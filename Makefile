@@ -1,0 +1,42 @@
+# Convenience targets for the Iustitia reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus ablations and micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Print every evaluation table/figure as text (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/iustitia-bench -experiment all -scale default
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/qos-router
+	$(GO) run ./examples/ids-offload
+	$(GO) run ./examples/forensics
+	$(GO) run ./examples/streaming
+
+# Short fuzzing passes over the three byte-level parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzStrip -fuzztime=30s ./internal/appheader
+	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/packet
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/pcap
+
+clean:
+	$(GO) clean ./...
+	rm -f model.json test_output.txt bench_output.txt

@@ -1,0 +1,160 @@
+// Command iustitia-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md §3 for the experiment index) and prints them as
+// text tables.
+//
+// Usage:
+//
+//	iustitia-bench -experiment all -scale default
+//	iustitia-bench -experiment table1,fig10 -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/experiments"
+)
+
+// runner executes one experiment and returns its printable result.
+type runner struct {
+	name string
+	desc string
+	run  func(experiments.Scale) (fmt.Stringer, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig2a", "file entropy-vector feature space", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunFeatureSpace(s)
+		}},
+		{"table1-cart", "cross-validated file classification, CART", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunTable1(s, core.KindCART)
+		}},
+		{"table1-svm", "cross-validated file classification, SVM-RBF", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunTable1(s, core.KindSVM)
+		}},
+		{"fig3", "JSD of prefix vs whole-file distributions", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunJSD(s, []int{1, 2, 3},
+				[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0})
+		}},
+		{"table2", "feature selection (tree voting + SFS)", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunTable2(s)
+		}},
+		{"fig4", "accuracy vs buffer size, H_F vs H_b training", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunBufferSweep(s, experiments.DefaultBufferSizes)
+		}},
+		{"fig5", "entropy vector calculation time and space", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunCalcCost(s, core.PhiPrimeSVM, experiments.DefaultBufferSizes)
+		}},
+		{"fig6", "training methods H_F / H_b / H_b'", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunTrainMethods(s, experiments.DefaultBufferSizes[:9], 512)
+		}},
+		{"fig7", "(ε, δ) estimation accuracy grid", func(s experiments.Scale) (fmt.Stringer, error) {
+			eps, deltas := experiments.DefaultEstimationGrid()
+			return experiments.RunEstimationGrid(s, eps, deltas, 1024)
+		}},
+		{"table3", "exact vs estimated time and space", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunTable3(s, 0.25, 0.75)
+		}},
+		{"fig8", "CDB size with and without purging", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunCDBPurge(s)
+		}},
+		{"fig9", "trace payload-size and inter-arrival CDFs", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunTraceCDF(s)
+		}},
+		{"fig10", "classifier buffering delay", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunDelay(s, experiments.DefaultDelayBuffers)
+		}},
+		{"modelselect", "SVM (γ, C) model selection, exact vs estimated", func(s experiments.Scale) (fmt.Stringer, error) {
+			gammas, cs := experiments.DefaultModelSelectionGrid()
+			return experiments.RunModelSelection(s, gammas, cs)
+		}},
+		{"purge", "CDB purge-policy ablation", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunPurgePolicy(s)
+		}},
+		{"evasion", "padding attack vs random-skip countermeasure (§4.6)", func(s experiments.Scale) (fmt.Stringer, error) {
+			return experiments.RunEvasion(s, 64, []int{0, 64, 256, 1024})
+		}},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iustitia-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		which     = flag.String("experiment", "all", "comma-separated experiment names, or 'all' / 'list'")
+		scaleName = flag.String("scale", "default", "experiment scale: small, default, or paper")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want small, default, or paper)", *scaleName)
+	}
+	scale.Seed = *seed
+
+	all := runners()
+	if *which == "list" {
+		for _, r := range all {
+			fmt.Printf("%-12s %s\n", r.name, r.desc)
+		}
+		return nil
+	}
+
+	selected := all
+	if *which != "all" {
+		wanted := map[string]bool{}
+		for _, name := range strings.Split(*which, ",") {
+			wanted[strings.TrimSpace(name)] = true
+		}
+		selected = nil
+		for _, r := range all {
+			if wanted[r.name] {
+				selected = append(selected, r)
+				delete(wanted, r.name)
+			}
+		}
+		if len(wanted) > 0 {
+			return fmt.Errorf("unknown experiments: %v (use -experiment list)", keys(wanted))
+		}
+	}
+
+	fmt.Printf("scale: %d files/class, %d folds, file sizes %d-%d, seed %d\n\n",
+		scale.PerClass, scale.Folds, scale.MinFileSize, scale.MaxFileSize, scale.Seed)
+	for _, r := range selected {
+		fmt.Printf("=== %s — %s ===\n", r.name, r.desc)
+		start := time.Now()
+		result, err := r.run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Print(result.String())
+		fmt.Printf("(%s in %s)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Command iustitia-trace generates a synthetic gateway packet trace and
+// prints its shape statistics (the Figure 9 CDFs plus flow composition) so
+// the substrate can be inspected and tuned independently of classification.
+//
+// Usage:
+//
+//	iustitia-trace -flows 5000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+	"iustitia/internal/pcap"
+	"iustitia/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iustitia-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		flows    = flag.Int("flows", 2000, "number of data flows")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		duration = flag.Duration("duration", 80*time.Second, "virtual capture duration")
+		udp      = flag.Float64("udp", 0.2, "UDP flow fraction")
+		headers  = flag.Float64("http-headers", 0.3, "fraction of flows with an HTTP header")
+		out      = flag.String("out", "", "write the trace to this file (replayable with iustitia-classify -replay)")
+		in       = flag.String("in", "", "read a previously written trace instead of generating one")
+		pcapOut  = flag.String("pcap", "", "also export the trace as a libpcap capture (tcpdump/Wireshark readable)")
+	)
+	flag.Parse()
+
+	var (
+		trace *packet.Trace
+		err   error
+	)
+	start := time.Now()
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = packet.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded trace from %s\n", *in)
+	} else {
+		cfg := packet.DefaultTraceConfig()
+		cfg.Flows = *flows
+		cfg.Seed = *seed
+		cfg.Duration = *duration
+		cfg.UDPFraction = *udp
+		cfg.HTTPHeaderFraction = *headers
+		trace, err = packet.Generate(cfg, corpus.NewGenerator(*seed))
+		if err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		n, err := trace.WriteTo(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%.1f MB)\n", *out, float64(n)/(1<<20))
+	}
+	if *pcapOut != "" {
+		f, err := os.Create(*pcapOut)
+		if err != nil {
+			return err
+		}
+		if err := pcap.WriteTrace(f, trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("pcap capture written to %s\n", *pcapOut)
+	}
+	fmt.Printf("generated %d packets (%d data) across %d flows in %s\n",
+		len(trace.Packets), trace.DataPackets(), len(trace.Flows),
+		time.Since(start).Round(time.Millisecond))
+
+	var (
+		byClass   = map[corpus.Class]int{}
+		byClose   = map[string]int{}
+		headered  int
+		sizes     []float64
+		totalByte int
+	)
+	for _, info := range trace.Flows {
+		byClass[info.Class]++
+		switch {
+		case info.ClosedBy.Has(packet.FlagFIN):
+			byClose["fin"]++
+		case info.ClosedBy.Has(packet.FlagRST):
+			byClose["rst"]++
+		default:
+			byClose["open"]++
+		}
+		if info.HasHeader {
+			headered++
+		}
+		totalByte += info.Bytes
+	}
+	for i := range trace.Packets {
+		if trace.Packets[i].IsData() {
+			sizes = append(sizes, float64(len(trace.Packets[i].Payload)))
+		}
+	}
+	fmt.Printf("flow classes: text=%d binary=%d encrypted=%d\n",
+		byClass[corpus.Text], byClass[corpus.Binary], byClass[corpus.Encrypted])
+	fmt.Printf("termination: fin=%d rst=%d silent=%d; %d flows carry HTTP headers\n",
+		byClose["fin"], byClose["rst"], byClose["open"], headered)
+	fmt.Printf("total payload: %.1f MB\n", float64(totalByte)/(1<<20))
+
+	cdf, err := stats.NewCDF(sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Println("payload size CDF:")
+	for _, x := range []float64{64, 140, 512, 1024, 1480} {
+		fmt.Printf("  P(size <= %4.0f) = %.2f\n", x, cdf.At(x))
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Command iustitia-train trains an Iustitia flow-nature classifier on the
+// synthetic corpus and writes it to a JSON model file.
+//
+// Usage:
+//
+//	iustitia-train -model svm -b 32 -per-class 200 -out model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iustitia"
+	"iustitia/internal/ml/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iustitia-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelName = flag.String("model", "svm", "model family: cart or svm")
+		buffer    = flag.Int("b", 32, "buffer size the classifier is trained for (bytes)")
+		perClass  = flag.Int("per-class", 200, "training files per class")
+		minSize   = flag.Int("min-size", 1<<10, "minimum corpus file size")
+		maxSize   = flag.Int("max-size", 16<<10, "maximum corpus file size")
+		seed      = flag.Int64("seed", 1, "corpus and training seed")
+		gamma     = flag.Float64("gamma", 50, "RBF kernel gamma (svm only)")
+		cPenalty  = flag.Float64("C", 1000, "soft margin penalty (svm only)")
+		wholeFile = flag.Bool("whole-file", false, "train on whole files (H_F) instead of first-b bytes (H_b)")
+		offsetT   = flag.Int("random-offset", 0, "if > 0, train on b bytes at a random offset up to this threshold (H_b')")
+		out       = flag.String("out", "model.json", "output model path")
+		features  = flag.String("features-out", "", "also dump the training entropy vectors as CSV")
+	)
+	flag.Parse()
+
+	var model iustitia.Model
+	switch *modelName {
+	case "cart":
+		model = iustitia.ModelCART
+	case "svm":
+		model = iustitia.ModelSVM
+	default:
+		return fmt.Errorf("unknown model %q (want cart or svm)", *modelName)
+	}
+
+	fmt.Printf("synthesizing corpus: %d files/class, %d-%d bytes (seed %d)\n",
+		*perClass, *minSize, *maxSize, *seed)
+	files, err := iustitia.SyntheticCorpus(*seed, *perClass, *minSize, *maxSize)
+	if err != nil {
+		return err
+	}
+
+	opts := []iustitia.Option{
+		iustitia.WithModel(model),
+		iustitia.WithBufferSize(*buffer),
+		iustitia.WithSVMParams(*gamma, *cPenalty),
+		iustitia.WithSeed(*seed),
+	}
+	switch {
+	case *wholeFile:
+		opts = append(opts, iustitia.WithWholeFileTraining())
+	case *offsetT > 0:
+		opts = append(opts, iustitia.WithRandomOffsetTraining(*offsetT))
+	}
+
+	fmt.Printf("training %s classifier (b=%d)...\n", *modelName, *buffer)
+	clf, err := iustitia.Train(files, opts...)
+	if err != nil {
+		return err
+	}
+
+	if *features != "" {
+		if err := dumpFeatures(clf, files, *buffer, *features); err != nil {
+			return err
+		}
+		fmt.Printf("training features written to %s\n", *features)
+	}
+
+	// Quick held-out check on a fresh pool.
+	holdout, err := iustitia.SyntheticCorpus(*seed+1000, 60, *minSize, *maxSize)
+	if err != nil {
+		return err
+	}
+	correct := 0
+	for _, f := range holdout {
+		window := f.Data
+		if len(window) > *buffer {
+			window = window[:*buffer]
+		}
+		got, err := clf.Classify(window)
+		if err != nil {
+			return err
+		}
+		if got == f.Class {
+			correct++
+		}
+	}
+	fmt.Printf("held-out accuracy: %.1f%% (%d/%d)\n",
+		100*float64(correct)/float64(len(holdout)), correct, len(holdout))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := clf.Save(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s\n", *out)
+	return nil
+}
+
+// dumpFeatures featurizes the training files with the trained classifier's
+// widths and writes them as CSV for external analysis.
+func dumpFeatures(clf *iustitia.Classifier, files []iustitia.TrainingFile, buffer int, path string) error {
+	widths := clf.FeatureWidths()
+	names := make([]string, len(widths))
+	for i, k := range widths {
+		names[i] = fmt.Sprintf("h%d", k)
+	}
+	var samples []dataset.Sample
+	for _, f := range files {
+		window := f.Data
+		if len(window) > buffer {
+			window = window[:buffer]
+		}
+		vec, err := clf.Features(window)
+		if err != nil {
+			continue // files shorter than the widest feature are skipped
+		}
+		samples = append(samples, dataset.Sample{Features: vec, Label: int(f.Class)})
+	}
+	ds, err := dataset.New(samples, 3)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ds.WriteCSV(out, names); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

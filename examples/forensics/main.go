@@ -1,0 +1,118 @@
+// Forensics: the paper's law-enforcement motivation. An investigator wants
+// to run keyword searches over live traffic, but keyword matching only
+// makes sense on text flows. Iustitia identifies text flows on the fly so
+// the expensive search runs on a fraction of the traffic; binary flows are
+// only logged (possible copyrighted content) and encrypted flows counted.
+//
+// Run with:
+//
+//	go run ./examples/forensics
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"iustitia"
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+func main() {
+	files, err := iustitia.SyntheticCorpus(29, 150, 1<<10, 16<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := iustitia.Train(files, iustitia.WithBufferSize(32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := iustitia.NewMonitor(clf,
+		iustitia.WithMonitorBufferSize(32),
+		iustitia.WithHeaderStripping(0),
+		iustitia.WithPurging(4),
+		iustitia.WithIdleFlush(2*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = 1000
+	cfg.Seed = 31
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(31))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keywords := [][]byte{
+		[]byte("payload"), []byte("network"), []byte("classifier"), []byte("message"),
+	}
+	var (
+		bytesTotal, bytesSearched int
+		keywordHits               int
+		flowsWithHits             = map[iustitia.FiveTuple]bool{}
+		binaryLogged              int
+		encryptedSeen             int
+	)
+	for i := range trace.Packets {
+		p := &trace.Packets[i]
+		verdict, err := mon.Process(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !p.IsData() {
+			continue
+		}
+		bytesTotal += len(p.Payload)
+		if !verdict.Routed {
+			continue
+		}
+		switch verdict.Queue {
+		case iustitia.Text:
+			// Keyword search runs only on the text queue.
+			bytesSearched += len(p.Payload)
+			for _, kw := range keywords {
+				if bytes.Contains(p.Payload, kw) {
+					keywordHits++
+					flowsWithHits[p.Tuple] = true
+				}
+			}
+		case iustitia.Binary:
+			binaryLogged++
+		case iustitia.Encrypted:
+			encryptedSeen++
+		}
+	}
+
+	fmt.Printf("traffic scanned: %.1f MB total, %.1f MB searched (%.1f%% of bytes)\n",
+		mb(bytesTotal), mb(bytesSearched), 100*float64(bytesSearched)/float64(bytesTotal))
+	fmt.Printf("keyword hits: %d across %d text flows\n", keywordHits, len(flowsWithHits))
+	fmt.Printf("binary packets logged for copyright review: %d\n", binaryLogged)
+	fmt.Printf("encrypted packets (opaque, counted only): %d\n", encryptedSeen)
+
+	// How much text traffic did misclassification hide from the search?
+	missedText := 0
+	for tuple, info := range trace.Flows {
+		if label, ok := mon.Label(tuple); ok &&
+			info.Class == corpus.Text && label != iustitia.Text {
+			missedText++
+		}
+	}
+	fmt.Printf("text flows hidden by misclassification: %d of %d\n",
+		missedText, countClass(trace, corpus.Text))
+}
+
+func mb(n int) float64 { return float64(n) / (1 << 20) }
+
+func countClass(trace *packet.Trace, class corpus.Class) int {
+	n := 0
+	for _, info := range trace.Flows {
+		if info.Class == class {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+// Quickstart: train an Iustitia classifier and identify the nature of a
+// few payloads.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"iustitia"
+)
+
+func main() {
+	// 1. Get labeled training data. The library ships a deterministic
+	// synthetic corpus with the same per-class entropy bands as the
+	// paper's file pool; in production you would label your own files.
+	files, err := iustitia.SyntheticCorpus(42, 200, 1<<10, 16<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Train. Defaults follow the paper's deployed configuration:
+	// DAGSVM with an RBF kernel (γ=50, C=1000), entropy features
+	// <h1,h2,h3,h5>, trained on the first 32 bytes of every file.
+	clf, err := iustitia.Train(files,
+		iustitia.WithModel(iustitia.ModelSVM),
+		iustitia.WithBufferSize(32),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Classify payload prefixes.
+	encrypted := make([]byte, 64)
+	if _, err := rand.Read(encrypted); err != nil {
+		log.Fatal(err)
+	}
+	var compressed bytes.Buffer
+	w, err := flate.NewWriter(&compressed, flate.BestCompression)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Write([]byte("a multimedia attachment, compressed before transfer, compressed before transfer")); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	payloads := map[string][]byte{
+		"chat message":    []byte("hey, are we still meeting for lunch at the usual place today?"),
+		"html page":       []byte("<!DOCTYPE html><html><head><title>billing portal</title></head>"),
+		"ciphertext":      encrypted,
+		"compressed blob": compressed.Bytes(),
+	}
+	for name, payload := range payloads {
+		class, err := clf.Classify(payload[:32])
+		if err != nil {
+			log.Fatal(err)
+		}
+		vec, err := clf.Features(payload[:32])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s -> %-10s (entropy vector %.3v)\n", name, class, vec)
+	}
+}

@@ -1,0 +1,3 @@
+module iustitia
+
+go 1.22

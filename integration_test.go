@@ -1,0 +1,264 @@
+package iustitia
+
+// End-to-end integration tests: train on the synthetic corpus, replay
+// synthetic gateway traces through the online monitor, and check the
+// system-level properties the paper claims — ground-truth accuracy, the
+// effect of header stripping, CDB boundedness under purging, and
+// concurrency safety.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+// replayAccuracy trains a classifier, replays a trace through a monitor
+// built with opts, and returns ground-truth flow accuracy.
+func replayAccuracy(t *testing.T, traceSeed int64, opts ...MonitorOption) float64 {
+	t.Helper()
+	files, err := SyntheticCorpus(1, 80, 1<<10, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := Train(files, WithBufferSize(32), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(clf, append([]MonitorOption{
+		WithMonitorBufferSize(32),
+		WithIdleFlush(2 * time.Second),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = 400
+	cfg.Seed = traceSeed
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(traceSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	for i := range trace.Packets {
+		if _, err := mon.Process(&trace.Packets[i]); err != nil {
+			t.Fatal(err)
+		}
+		last = trace.Packets[i].Time
+	}
+	if _, err := mon.FlushAll(last + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	correct, labeled := 0, 0
+	for tuple, info := range trace.Flows {
+		got, ok := mon.Label(tuple)
+		if !ok {
+			continue
+		}
+		labeled++
+		if got == info.Class {
+			correct++
+		}
+	}
+	if labeled < len(trace.Flows)*9/10 {
+		t.Fatalf("only %d of %d flows labeled", labeled, len(trace.Flows))
+	}
+	return float64(correct) / float64(labeled)
+}
+
+func TestEndToEndTraceAccuracy(t *testing.T) {
+	acc := replayAccuracy(t, 101, WithPurging(4), WithHeaderStripping(0))
+	if acc < 0.65 {
+		t.Errorf("end-to-end accuracy = %.3f, want >= 0.65", acc)
+	}
+}
+
+func TestHeaderStrippingImprovesAccuracy(t *testing.T) {
+	// 30% of trace flows carry HTTP text headers; without stripping they
+	// are classified by their header bytes (paper §4.3's problem), so
+	// stripping must improve ground-truth accuracy.
+	withStrip := replayAccuracy(t, 102, WithHeaderStripping(0))
+	withoutStrip := replayAccuracy(t, 102)
+	if withStrip <= withoutStrip {
+		t.Errorf("header stripping did not help: %.3f (strip) vs %.3f (raw)",
+			withStrip, withoutStrip)
+	}
+}
+
+func TestPurgingBoundsCDB(t *testing.T) {
+	files, err := SyntheticCorpus(1, 60, 1<<10, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := Train(files, WithModel(ModelCART), WithBufferSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(opts ...MonitorOption) *Monitor {
+		mon, err := NewMonitor(clf, append([]MonitorOption{
+			WithMonitorBufferSize(32),
+			WithIdleFlush(time.Second),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mon
+	}
+	purged := build(WithPurging(4))
+	unpurged := build()
+
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = 600
+	cfg.Seed = 103
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nextFlush time.Duration = time.Second
+	for i := range trace.Packets {
+		p := &trace.Packets[i]
+		for p.Time >= nextFlush {
+			if _, err := purged.FlushIdle(nextFlush); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := unpurged.FlushIdle(nextFlush); err != nil {
+				t.Fatal(err)
+			}
+			nextFlush += time.Second
+		}
+		if _, err := purged.Process(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := unpurged.Process(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps, us := purged.Stats(), unpurged.Stats()
+	if ps.CDBSize >= us.CDBSize {
+		t.Errorf("purging did not bound the CDB: %d (purged) vs %d (unpurged)",
+			ps.CDBSize, us.CDBSize)
+	}
+	if us.CDBSize < 500 {
+		t.Errorf("unpurged CDB = %d, expected to track ~600 total flows", us.CDBSize)
+	}
+}
+
+func TestMonitorConcurrentAccess(t *testing.T) {
+	// The engine claims concurrency safety; hammer it from several
+	// goroutines with disjoint and overlapping flows (run with -race).
+	files, err := SyntheticCorpus(1, 40, 1<<10, 2<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := Train(files, WithModel(ModelCART), WithBufferSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(clf, WithMonitorBufferSize(16), WithPurging(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := make([]byte, 64)
+			for i := range payload {
+				payload[i] = byte(i * (w + 3))
+			}
+			for i := 0; i < 300; i++ {
+				tp := FiveTuple{
+					SrcIP: [4]byte{10, byte(w), byte(i >> 8), byte(i)},
+					DstIP: [4]byte{192, 168, 0, 1},
+					// Overlap half the flows across workers.
+					SrcPort:   uint16(i % 150),
+					DstPort:   80,
+					Transport: packet.TCP,
+				}
+				p := &Packet{Tuple: tp, Time: time.Duration(i) * time.Millisecond, Payload: payload}
+				if _, err := mon.Process(p); err != nil {
+					errs <- err
+					return
+				}
+				if i%50 == 0 {
+					mon.Stats()
+					if _, err := mon.FlushIdle(time.Duration(i) * time.Millisecond); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if mon.Stats().Classified == 0 {
+		t.Error("no flows classified under concurrency")
+	}
+}
+
+func TestAntiEvasionEndToEnd(t *testing.T) {
+	// A padded flow: 64 bytes of high-entropy padding in front of text.
+	// With anti-evasion random skip, a meaningful fraction of such flows
+	// must classify on content rather than padding.
+	files, err := SyntheticCorpus(1, 60, 1<<10, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := Train(files, WithBufferSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := corpus.NewGenerator(104)
+	padding := gen.Encrypted(64).Data
+	text := gen.Text(4096).Data
+	payload := append(append([]byte{}, padding...), text...)
+
+	classifyFlows := func(mon *Monitor) int {
+		textCount := 0
+		for i := 0; i < 40; i++ {
+			tp := FiveTuple{
+				SrcIP: [4]byte{10, 0, 1, byte(i)}, DstIP: [4]byte{10, 0, 2, 1},
+				SrcPort: uint16(3000 + i), DstPort: 443, Transport: packet.TCP,
+			}
+			v, err := mon.Process(&Packet{Tuple: tp, Time: 0, Payload: payload})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Classified && v.Queue == Text {
+				textCount++
+			}
+		}
+		return textCount
+	}
+
+	plain, err := NewMonitor(clf, WithMonitorBufferSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened, err := NewMonitor(clf,
+		WithMonitorBufferSize(32),
+		WithAntiEvasion(512, 0),
+		WithMonitorSeed(9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := classifyFlows(plain); got != 0 {
+		t.Fatalf("unhardened monitor saw through padding on %d flows (expected 0)", got)
+	}
+	if got := classifyFlows(hardened); got < 20 {
+		t.Errorf("hardened monitor recovered only %d/40 padded flows", got)
+	}
+}

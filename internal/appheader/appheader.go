@@ -1,0 +1,211 @@
+// Package appheader detects and strips well-known application-layer
+// protocol headers (paper §4.3): a binary object fetched over HTTP starts
+// with a text header that would skew the first-b-bytes entropy vector, so
+// Iustitia removes known headers before buffering and otherwise skips a
+// configurable threshold of T bytes to jump over unknown headers.
+package appheader
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Protocol identifies a recognized application-layer protocol.
+type Protocol int
+
+// Recognized protocols. Unknown is deliberately the zero value: a payload
+// with no recognizable header detects as Unknown.
+const (
+	Unknown Protocol = iota
+	HTTP
+	SMTP
+	POP3
+	IMAP
+	FTP
+	SSH
+	TLS
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case HTTP:
+		return "http"
+	case SMTP:
+		return "smtp"
+	case POP3:
+		return "pop3"
+	case IMAP:
+		return "imap"
+	case FTP:
+		return "ftp"
+	case SSH:
+		return "ssh"
+	case TLS:
+		return "tls"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// httpPrefixes are request-line methods and the response-line prefix.
+var httpPrefixes = [][]byte{
+	[]byte("GET "), []byte("POST "), []byte("PUT "), []byte("HEAD "),
+	[]byte("DELETE "), []byte("OPTIONS "), []byte("TRACE "), []byte("CONNECT "),
+	[]byte("HTTP/1."),
+}
+
+var smtpPrefixes = [][]byte{
+	[]byte("220 "), []byte("220-"), []byte("HELO "), []byte("EHLO "),
+	[]byte("MAIL FROM:"), []byte("RCPT TO:"),
+}
+
+// Detect identifies the application protocol from the first bytes of a
+// flow's payload using the signature prefixes of well-known protocols. A
+// 220 banner is FTP when the banner mentions FTP and SMTP otherwise
+// (matching the common convention of each protocol's greeting).
+func Detect(payload []byte) Protocol {
+	switch {
+	case hasAnyPrefix(payload, httpPrefixes):
+		return HTTP
+	case bytes.HasPrefix(payload, []byte("SSH-")):
+		return SSH
+	case isTLSRecord(payload):
+		return TLS
+	case bytes.HasPrefix(payload, []byte("+OK")):
+		return POP3
+	case bytes.HasPrefix(payload, []byte("* OK")) || bytes.HasPrefix(payload, []byte("* PREAUTH")):
+		return IMAP
+	case hasAnyPrefix(payload, smtpPrefixes):
+		if line := firstLine(payload); bytes.Contains(bytes.ToUpper(line), []byte("FTP")) {
+			return FTP
+		}
+		return SMTP
+	default:
+		return Unknown
+	}
+}
+
+func hasAnyPrefix(payload []byte, prefixes [][]byte) bool {
+	for _, p := range prefixes {
+		if bytes.HasPrefix(payload, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func firstLine(payload []byte) []byte {
+	if i := bytes.IndexByte(payload, '\n'); i >= 0 {
+		return payload[:i]
+	}
+	return payload
+}
+
+// isTLSRecord recognizes a TLS record header: content type handshake(22)
+// or application-data(23)/alert(21), legacy version major 3, minor 0..4,
+// and a plausible record length. This is the one protocol whose detection
+// short-circuits classification entirely — the flow *is* encrypted.
+func isTLSRecord(payload []byte) bool {
+	if len(payload) < 5 {
+		return false
+	}
+	contentType := payload[0]
+	if contentType < 20 || contentType > 23 {
+		return false
+	}
+	if payload[1] != 3 || payload[2] > 4 {
+		return false
+	}
+	length := int(payload[3])<<8 | int(payload[4])
+	return length > 0 && length <= 1<<14+256
+}
+
+// maxLineHeader caps how much of a line-based protocol exchange Strip will
+// consume, so a pathological all-ASCII flow is not swallowed whole.
+const maxLineHeader = 2048
+
+// Strip removes the detected application-layer header from payload and
+// returns the remaining application content along with the protocol. For
+// HTTP the header ends at the blank line; for the line-based mail
+// protocols it consumes leading command/response lines until the exchange
+// stops looking like protocol chatter. When no protocol is recognized,
+// payload is returned unchanged with Unknown.
+func Strip(payload []byte) ([]byte, Protocol) {
+	proto := Detect(payload)
+	switch proto {
+	case HTTP:
+		return stripHTTP(payload), proto
+	case SMTP, POP3, IMAP, FTP, SSH:
+		return stripLines(payload), proto
+	case TLS:
+		// A TLS record is not a header to remove: the record bytes are
+		// the flow's content, and they are ciphertext.
+		return payload, proto
+	default:
+		return payload, Unknown
+	}
+}
+
+// stripHTTP drops everything through the first blank line (CRLFCRLF, with
+// a bare-LF fallback). When the header has not finished inside payload the
+// whole payload is header, so nothing remains.
+func stripHTTP(payload []byte) []byte {
+	if i := bytes.Index(payload, []byte("\r\n\r\n")); i >= 0 {
+		return payload[i+4:]
+	}
+	if i := bytes.Index(payload, []byte("\n\n")); i >= 0 {
+		return payload[i+2:]
+	}
+	return nil
+}
+
+// stripLines consumes leading ASCII protocol lines. A line stops the strip
+// when it is empty (mail body separator) or contains non-ASCII bytes
+// (start of real content).
+func stripLines(payload []byte) []byte {
+	rest := payload
+	consumed := 0
+	for len(rest) > 0 && consumed < maxLineHeader {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break
+		}
+		line := rest[:nl]
+		if len(bytes.TrimRight(line, "\r")) == 0 {
+			// Blank separator line: content starts after it.
+			return rest[nl+1:]
+		}
+		if !asciiLine(line) {
+			break
+		}
+		consumed += nl + 1
+		rest = rest[nl+1:]
+	}
+	return rest
+}
+
+func asciiLine(line []byte) bool {
+	for _, b := range line {
+		if (b < 0x20 || b > 0x7e) && b != '\r' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// SkipThreshold returns payload with its first t bytes removed — the
+// paper's threshold-T rule for unknown application headers ("we treat the
+// (T+1)-th byte in a flow as the beginning of the flow"). It returns an
+// empty slice when the payload is shorter than t.
+func SkipThreshold(payload []byte, t int) []byte {
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(payload) {
+		return nil
+	}
+	return payload[t:]
+}

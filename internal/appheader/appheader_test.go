@@ -1,0 +1,179 @@
+package appheader
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		want    Protocol
+	}{
+		{"http get", "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n", HTTP},
+		{"http response", "HTTP/1.1 200 OK\r\nContent-Type: image/png\r\n\r\n\x89PNG", HTTP},
+		{"http post", "POST /api HTTP/1.1\r\n\r\n{}", HTTP},
+		{"smtp banner", "220 mail.example.com ESMTP ready\r\n", SMTP},
+		{"smtp helo", "EHLO client.example.org\r\n", SMTP},
+		{"ftp banner", "220 example FTP server ready\r\n", FTP},
+		{"pop3", "+OK POP3 server ready\r\n", POP3},
+		{"imap", "* OK IMAP4rev1 ready\r\n", IMAP},
+		{"binary", "\x7fELF\x02\x01\x01", Unknown},
+		{"empty", "", Unknown},
+		{"plain text", "hello world this is a letter", Unknown},
+		{"ssh banner", "SSH-2.0-OpenSSH_5.1\r\n", SSH},
+		{"tls handshake", "\x16\x03\x01\x00\xc5\x01\x00\x00\xc1\x03\x03", TLS},
+		{"tls appdata", "\x17\x03\x03\x01\x00payload", TLS},
+		{"tls bad version", "\x16\x04\x01\x00\x10", Unknown},
+		{"tls zero length", "\x16\x03\x01\x00\x00", Unknown},
+		{"tls short", "\x16\x03", Unknown},
+	}
+	for _, tc := range cases {
+		if got := Detect([]byte(tc.payload)); got != tc.want {
+			t.Errorf("%s: Detect = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	cases := map[Protocol]string{
+		HTTP: "http", SMTP: "smtp", POP3: "pop3", IMAP: "imap",
+		FTP: "ftp", SSH: "ssh", TLS: "tls",
+		Unknown: "unknown", Protocol(99): "protocol(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestStripHTTP(t *testing.T) {
+	body := []byte{0x89, 'P', 'N', 'G', 0, 1, 2, 3}
+	payload := append([]byte("HTTP/1.1 200 OK\r\nContent-Length: 8\r\n\r\n"), body...)
+	got, proto := Strip(payload)
+	if proto != HTTP {
+		t.Fatalf("proto = %v, want HTTP", proto)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("stripped = %q, want %q", got, body)
+	}
+}
+
+func TestStripHTTPBareLF(t *testing.T) {
+	payload := []byte("GET / HTTP/1.0\nHost: x\n\nBODY")
+	got, proto := Strip(payload)
+	if proto != HTTP || string(got) != "BODY" {
+		t.Errorf("Strip = (%q, %v)", got, proto)
+	}
+}
+
+func TestStripHTTPUnfinishedHeader(t *testing.T) {
+	payload := []byte("GET /very/long/path HTTP/1.1\r\nHost: example.com\r\n")
+	got, proto := Strip(payload)
+	if proto != HTTP {
+		t.Fatalf("proto = %v, want HTTP", proto)
+	}
+	if len(got) != 0 {
+		t.Errorf("unfinished header should strip everything, got %q", got)
+	}
+}
+
+func TestStripSMTPToBody(t *testing.T) {
+	payload := []byte("220 mail ESMTP\r\nMAIL FROM:<a@b>\r\nDATA\r\n\r\nThe actual message body")
+	got, proto := Strip(payload)
+	if proto != SMTP {
+		t.Fatalf("proto = %v, want SMTP", proto)
+	}
+	if string(got) != "The actual message body" {
+		t.Errorf("stripped = %q", got)
+	}
+}
+
+func TestStripLinesStopsAtBinary(t *testing.T) {
+	binary := []byte{0x00, 0xff, 0x13, 0x37}
+	payload := append([]byte("+OK ready\r\n"), binary...)
+	got, proto := Strip(payload)
+	if proto != POP3 {
+		t.Fatalf("proto = %v, want POP3", proto)
+	}
+	if !bytes.Equal(got, binary) {
+		t.Errorf("stripped = %q, want %q", got, binary)
+	}
+}
+
+func TestStripSSHBanner(t *testing.T) {
+	kex := []byte{0x00, 0x00, 0x03, 0x14, 0x08, 0x14, 0xff}
+	payload := append([]byte("SSH-2.0-OpenSSH_5.1\r\n"), kex...)
+	got, proto := Strip(payload)
+	if proto != SSH {
+		t.Fatalf("proto = %v, want SSH", proto)
+	}
+	if !bytes.Equal(got, kex) {
+		t.Errorf("stripped = %v, want key-exchange bytes", got)
+	}
+}
+
+func TestStripTLSPassthrough(t *testing.T) {
+	payload := []byte("\x17\x03\x03\x00\x20opaque ciphertext follows here")
+	got, proto := Strip(payload)
+	if proto != TLS {
+		t.Fatalf("proto = %v, want TLS", proto)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("TLS records must pass through unstripped")
+	}
+}
+
+func TestStripUnknownPassthrough(t *testing.T) {
+	payload := []byte{1, 2, 3, 4}
+	got, proto := Strip(payload)
+	if proto != Unknown || !bytes.Equal(got, payload) {
+		t.Errorf("Strip(unknown) = (%q, %v), want passthrough", got, proto)
+	}
+}
+
+func TestStripLineHeaderCap(t *testing.T) {
+	// An endless ASCII command stream must not be consumed past the cap.
+	var payload []byte
+	for i := 0; i < 500; i++ {
+		payload = append(payload, []byte("MAIL FROM:<x@y>\r\n")...)
+	}
+	got, _ := Strip(payload)
+	if len(got) == 0 {
+		t.Error("line stripping consumed the entire flow")
+	}
+}
+
+func TestSkipThreshold(t *testing.T) {
+	payload := []byte("0123456789")
+	if got := SkipThreshold(payload, 4); string(got) != "456789" {
+		t.Errorf("SkipThreshold(4) = %q", got)
+	}
+	if got := SkipThreshold(payload, 0); string(got) != "0123456789" {
+		t.Errorf("SkipThreshold(0) = %q", got)
+	}
+	if got := SkipThreshold(payload, -3); string(got) != "0123456789" {
+		t.Errorf("SkipThreshold(-3) = %q", got)
+	}
+	if got := SkipThreshold(payload, 100); len(got) != 0 {
+		t.Errorf("SkipThreshold(beyond) = %q, want empty", got)
+	}
+}
+
+// Property: Strip never grows the payload and always returns a suffix of
+// the input.
+func TestStripSuffixProperty(t *testing.T) {
+	prop := func(payload []byte) bool {
+		got, _ := Strip(payload)
+		if len(got) > len(payload) {
+			return false
+		}
+		return bytes.Equal(got, payload[len(payload)-len(got):])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package appheader
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStrip checks that header stripping never panics, never grows the
+// payload, and always returns a suffix of its input, for arbitrary bytes.
+// Run with `go test -fuzz=FuzzStrip ./internal/appheader` to explore; the
+// seed corpus runs in every normal `go test`.
+func FuzzStrip(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		[]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\nBODY"),
+		[]byte("HTTP/1.1 200 OK\r\n\r\n"),
+		[]byte("220 smtp ready\r\nDATA\r\n\r\nbody"),
+		[]byte("220 ftp FTP ready\r\n"),
+		[]byte("+OK\r\n\x00\x01\x02"),
+		[]byte("* OK IMAP\r\n"),
+		[]byte("SSH-2.0-x\r\n\x00\x00"),
+		[]byte("\x16\x03\x01\x00\x10handshake"),
+		[]byte("\x7fELF"),
+		bytes.Repeat([]byte("MAIL FROM:<a@b>\r\n"), 300),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		got, proto := Strip(payload)
+		if len(got) > len(payload) {
+			t.Fatalf("Strip grew payload: %d -> %d", len(payload), len(got))
+		}
+		if !bytes.Equal(got, payload[len(payload)-len(got):]) {
+			t.Fatal("Strip result is not a suffix of the input")
+		}
+		if proto == Unknown && len(got) != len(payload) {
+			t.Fatal("Unknown protocol must pass payload through unchanged")
+		}
+		// Detect must agree with Strip's protocol.
+		if detected := Detect(payload); detected != proto {
+			t.Fatalf("Detect = %v but Strip returned %v", detected, proto)
+		}
+	})
+}

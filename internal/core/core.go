@@ -1,0 +1,398 @@
+// Package core assembles Iustitia's primary contribution: training a
+// content-nature classifier from a file corpus via entropy-vector features
+// and serving it online. It binds the substrates together — corpus files
+// are reduced to entropy vectors (exact or (δ,ε)-estimated), a CART tree or
+// DAGSVM model is trained on them with one of the paper's three training
+// methods (H_F whole-file, H_b first-b-bytes, H_b′ random-offset), and the
+// resulting Classifier plugs into the flow engine as its classification
+// module.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/entest"
+	"iustitia/internal/entropy"
+	"iustitia/internal/ml/cart"
+	"iustitia/internal/ml/dataset"
+	"iustitia/internal/ml/svm"
+)
+
+// Feature-width sets from the paper (values are element widths k, so the
+// feature h_k is computed over k-byte elements).
+var (
+	// AllWidths is the full H_F = <h_1 .. h_10> feature vector.
+	AllWidths = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// PhiCART is the tree-voting selection φ_CART = {h1, h3, h4, h10}.
+	PhiCART = []int{1, 3, 4, 10}
+	// PhiSVM is the SFS selection φ_SVM = {h1, h2, h3, h9}.
+	PhiSVM = []int{1, 2, 3, 9}
+	// PhiPrimeCART is the deployment set φ′_CART = {h1, h3, h4, h5}.
+	PhiPrimeCART = []int{1, 3, 4, 5}
+	// PhiPrimeSVM is the deployment set φ′_SVM = {h1, h2, h3, h5}.
+	PhiPrimeSVM = []int{1, 2, 3, 5}
+)
+
+// ModelKind selects the classification model family.
+type ModelKind int
+
+// Supported model kinds.
+const (
+	KindCART ModelKind = iota + 1
+	KindSVM
+)
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	switch k {
+	case KindCART:
+		return "cart"
+	case KindSVM:
+		return "svm"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// TrainingMethod selects which bytes of each training file feed the
+// entropy vector (paper §4.3).
+type TrainingMethod int
+
+// The paper's three training methods.
+const (
+	// MethodWholeFile trains on H_F, the entropy vector of the entire
+	// file.
+	MethodWholeFile TrainingMethod = iota + 1
+	// MethodPrefix trains on H_b, the entropy vector of the first b
+	// bytes.
+	MethodPrefix
+	// MethodRandomOffset trains on H_b′: b consecutive bytes starting at
+	// a uniform offset in [0, T], emulating unknown application headers.
+	MethodRandomOffset
+)
+
+// String implements fmt.Stringer.
+func (m TrainingMethod) String() string {
+	switch m {
+	case MethodWholeFile:
+		return "H_F"
+	case MethodPrefix:
+		return "H_b"
+	case MethodRandomOffset:
+		return "H_b'"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Common errors.
+var (
+	ErrNoFiles      = errors.New("core: no training files")
+	ErrBadWidths    = errors.New("core: invalid feature widths")
+	ErrShortPayload = errors.New("core: payload shorter than the widest feature")
+)
+
+// DatasetConfig controls file-to-feature reduction.
+type DatasetConfig struct {
+	// Widths are the entropy feature widths (k values), e.g. PhiPrimeSVM.
+	Widths []int
+	// Method picks the training material per file.
+	Method TrainingMethod
+	// BufferSize is b for MethodPrefix and MethodRandomOffset.
+	BufferSize int
+	// HeaderThreshold is T for MethodRandomOffset.
+	HeaderThreshold int
+	// Estimator, when non-nil, replaces exact entropy calculation for
+	// widths >= 2 ((δ,ε)-approximation training, paper §4.4.2).
+	Estimator *entest.Estimator
+	// Seed drives the random offsets of MethodRandomOffset.
+	Seed int64
+}
+
+func (c DatasetConfig) validate() error {
+	if len(c.Widths) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadWidths)
+	}
+	for _, k := range c.Widths {
+		if k < 1 {
+			return fmt.Errorf("%w: width %d", ErrBadWidths, k)
+		}
+	}
+	switch c.Method {
+	case MethodWholeFile:
+	case MethodPrefix, MethodRandomOffset:
+		if c.BufferSize <= 0 {
+			return fmt.Errorf("core: method %v needs a positive buffer size", c.Method)
+		}
+	default:
+		return fmt.Errorf("core: unknown training method %d", int(c.Method))
+	}
+	return nil
+}
+
+// vectorOf computes the configured entropy vector for one byte window.
+func (c DatasetConfig) vectorOf(data []byte) ([]float64, error) {
+	if c.Estimator != nil {
+		return c.Estimator.Vector(data, c.Widths)
+	}
+	return entropy.VectorAt(data, c.Widths)
+}
+
+// window selects the training bytes of one file per the configured method.
+func (c DatasetConfig) window(data []byte, rng *rand.Rand) []byte {
+	switch c.Method {
+	case MethodPrefix:
+		if len(data) > c.BufferSize {
+			return data[:c.BufferSize]
+		}
+	case MethodRandomOffset:
+		t := c.HeaderThreshold
+		if t > len(data)-c.BufferSize {
+			t = len(data) - c.BufferSize
+		}
+		if t > 0 {
+			off := rng.Intn(t + 1)
+			end := off + c.BufferSize
+			if end > len(data) {
+				end = len(data)
+			}
+			return data[off:end]
+		}
+		if len(data) > c.BufferSize {
+			return data[:c.BufferSize]
+		}
+	}
+	return data
+}
+
+// BuildDataset reduces corpus files to a labeled entropy-vector dataset.
+// Files shorter than the widest feature are skipped; it is an error if
+// every file is skipped.
+func BuildDataset(files []corpus.File, cfg DatasetConfig) (*dataset.Dataset, error) {
+	if len(files) == 0 {
+		return nil, ErrNoFiles
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	maxWidth := 0
+	for _, k := range cfg.Widths {
+		if k > maxWidth {
+			maxWidth = k
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	samples := make([]dataset.Sample, 0, len(files))
+	for _, f := range files {
+		window := cfg.window(f.Data, rng)
+		if len(window) < maxWidth {
+			continue
+		}
+		vec, err := cfg.vectorOf(window)
+		if err != nil {
+			return nil, fmt.Errorf("core: featurizing %s/%s: %w", f.Class, f.Kind, err)
+		}
+		samples = append(samples, dataset.Sample{Features: vec, Label: int(f.Class)})
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%w: every file shorter than widest feature %d",
+			ErrNoFiles, maxWidth)
+	}
+	return dataset.New(samples, corpus.NumClasses)
+}
+
+// TrainConfig assembles classifier training.
+type TrainConfig struct {
+	// Kind selects CART or SVM.
+	Kind ModelKind
+	// Dataset controls feature extraction from the corpus files.
+	Dataset DatasetConfig
+	// CART configures tree growth for KindCART.
+	CART cart.Config
+	// SVM configures SMO for KindSVM; the paper's model is
+	// RBF(γ=50)/C=1000.
+	SVM svm.Config
+}
+
+// Train builds a Classifier from labeled corpus files.
+func Train(files []corpus.File, cfg TrainConfig) (*Classifier, error) {
+	ds, err := BuildDataset(files, cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	return TrainOnDataset(ds, cfg)
+}
+
+// TrainOnDataset builds a Classifier from an already-featurized dataset
+// whose columns correspond to cfg.Dataset.Widths.
+func TrainOnDataset(ds *dataset.Dataset, cfg TrainConfig) (*Classifier, error) {
+	if err := cfg.Dataset.validate(); err != nil {
+		return nil, err
+	}
+	if ds.Width() != len(cfg.Dataset.Widths) {
+		return nil, fmt.Errorf("core: dataset width %d does not match %d feature widths",
+			ds.Width(), len(cfg.Dataset.Widths))
+	}
+	c := &Classifier{
+		kind:      cfg.Kind,
+		widths:    append([]int{}, cfg.Dataset.Widths...),
+		estimator: cfg.Dataset.Estimator,
+	}
+	switch cfg.Kind {
+	case KindCART:
+		tree, err := cart.Train(ds, cfg.CART)
+		if err != nil {
+			return nil, err
+		}
+		c.tree = tree
+	case KindSVM:
+		model, err := svm.Train(ds, cfg.SVM)
+		if err != nil {
+			return nil, err
+		}
+		c.svm = model
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %d", int(cfg.Kind))
+	}
+	return c, nil
+}
+
+// Classifier is a trained Iustitia classification module. It satisfies the
+// flow engine's Classifier interface.
+type Classifier struct {
+	kind      ModelKind
+	widths    []int
+	tree      *cart.Tree
+	svm       *svm.Model
+	estimator *entest.Estimator
+}
+
+// Kind returns the underlying model family.
+func (c *Classifier) Kind() ModelKind { return c.kind }
+
+// Widths returns the entropy feature widths the classifier consumes.
+func (c *Classifier) Widths() []int { return append([]int{}, c.widths...) }
+
+// UseEstimator switches feature extraction to the (δ,ε)-approximation
+// algorithm for widths >= 2. Passing nil reverts to exact calculation.
+func (c *Classifier) UseEstimator(e *entest.Estimator) { c.estimator = e }
+
+// Features computes the classifier's entropy vector for a payload buffer.
+func (c *Classifier) Features(payload []byte) ([]float64, error) {
+	maxWidth := 0
+	for _, k := range c.widths {
+		if k > maxWidth {
+			maxWidth = k
+		}
+	}
+	if len(payload) < maxWidth {
+		return nil, fmt.Errorf("%w: %d < %d", ErrShortPayload, len(payload), maxWidth)
+	}
+	if c.estimator != nil {
+		return c.estimator.Vector(payload, c.widths)
+	}
+	return entropy.VectorAt(payload, c.widths)
+}
+
+// Classify labels a payload buffer with its content nature.
+func (c *Classifier) Classify(payload []byte) (corpus.Class, error) {
+	vec, err := c.Features(payload)
+	if err != nil {
+		return 0, err
+	}
+	return c.ClassifyVector(vec)
+}
+
+// ClassifyVector labels an already-computed entropy vector.
+func (c *Classifier) ClassifyVector(vec []float64) (corpus.Class, error) {
+	var (
+		label int
+		err   error
+	)
+	switch c.kind {
+	case KindCART:
+		label, err = c.tree.Predict(vec)
+	case KindSVM:
+		label, err = c.svm.Predict(vec)
+	default:
+		return 0, fmt.Errorf("core: classifier has unknown kind %d", int(c.kind))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return corpus.Class(label), nil
+}
+
+// Evaluate classifies every sample of a featurized dataset.
+func (c *Classifier) Evaluate(ds *dataset.Dataset) (*dataset.Confusion, error) {
+	actual := make([]int, ds.Len())
+	predicted := make([]int, ds.Len())
+	for i, s := range ds.Samples {
+		p, err := c.ClassifyVector(s.Features)
+		if err != nil {
+			return nil, err
+		}
+		actual[i] = s.Label
+		predicted[i] = int(p)
+	}
+	return dataset.NewConfusion(corpus.NumClasses, actual, predicted)
+}
+
+// classifierJSON is the persisted form of a Classifier. The estimator is
+// deliberately not persisted: it is a runtime choice.
+type classifierJSON struct {
+	Kind   ModelKind       `json:"kind"`
+	Widths []int           `json:"widths"`
+	Tree   *cart.Tree      `json:"tree,omitempty"`
+	SVM    json.RawMessage `json:"svm,omitempty"`
+}
+
+// Save writes the classifier as JSON.
+func (c *Classifier) Save(w io.Writer) error {
+	out := classifierJSON{Kind: c.kind, Widths: c.widths, Tree: c.tree}
+	if c.svm != nil {
+		blob, err := json.Marshal(c.svm)
+		if err != nil {
+			return fmt.Errorf("core: marshal svm: %w", err)
+		}
+		out.SVM = blob
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load reads a classifier previously written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var in classifierJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode classifier: %w", err)
+	}
+	if len(in.Widths) == 0 {
+		return nil, fmt.Errorf("%w: missing widths", ErrBadWidths)
+	}
+	c := &Classifier{kind: in.Kind, widths: in.Widths}
+	switch in.Kind {
+	case KindCART:
+		if in.Tree == nil {
+			return nil, errors.New("core: cart classifier missing tree")
+		}
+		c.tree = in.Tree
+	case KindSVM:
+		if len(in.SVM) == 0 {
+			return nil, errors.New("core: svm classifier missing model")
+		}
+		var model svm.Model
+		if err := json.Unmarshal(in.SVM, &model); err != nil {
+			return nil, fmt.Errorf("core: decode svm: %w", err)
+		}
+		c.svm = &model
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %d", int(in.Kind))
+	}
+	return c, nil
+}

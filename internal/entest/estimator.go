@@ -1,0 +1,208 @@
+// Package entest implements the (δ,ε)-approximation algorithm Iustitia uses
+// to estimate entropy vectors with sublinear counter space (paper §4.4),
+// following the data-streaming entropy estimator of Lall et al.
+// (SIGMETRICS 2006), which is itself built on the Alon-Matias-Szegedy
+// frequency-moment estimation technique.
+//
+// The estimator approximates S_k = Σ_i m_ik·log2(m_ik) — the only
+// data-dependent term of the paper's Formula 1 — and then normalizes the
+// estimate into h_k exactly as the exact calculator does. The guarantee is
+// Pr(|S - Ŝ| <= ε·S) >= 1-δ, achieved with g groups of z sampled counters:
+//
+//	z_k = ⌈32·log_{|f_k|}(b) / ε²⌉    g = ⌈2·log2(1/δ)⌉
+//
+// The algorithm assumes |f_k| >> b, which fails for k=1 (|f_1| = 256), so —
+// as in the paper — h_1 is always computed exactly and only widths k >= 2
+// use estimation.
+package entest
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iustitia/internal/entropy"
+	"iustitia/internal/stats"
+)
+
+// Estimator estimates entropy vectors with the (δ,ε)-approximation
+// algorithm. An Estimator owns a deterministic random source for its
+// sampled buffer locations and is therefore not safe for concurrent use;
+// create one per goroutine (they are cheap).
+type Estimator struct {
+	epsilon float64
+	delta   float64
+	rng     *rand.Rand
+}
+
+// New returns an Estimator with relative error at most epsilon with
+// probability at least 1-delta. Both parameters must lie in (0, 1). The
+// seed fixes the sampled locations, making runs reproducible.
+func New(epsilon, delta float64, seed int64) (*Estimator, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("entest: epsilon %v outside (0, 1)", epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("entest: delta %v outside (0, 1)", delta)
+	}
+	return &Estimator{
+		epsilon: epsilon,
+		delta:   delta,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Epsilon returns the configured relative-error bound.
+func (e *Estimator) Epsilon() float64 { return e.epsilon }
+
+// Delta returns the configured failure probability.
+func (e *Estimator) Delta() float64 { return e.delta }
+
+// Groups returns g = ⌈2·log2(1/δ)⌉, the number of estimator groups whose
+// averages are combined by a median. It is always at least 1.
+func (e *Estimator) Groups() int {
+	g := int(math.Ceil(2 * math.Log2(1/e.delta)))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// CountersPerGroup returns z_k = ⌈32·log_{|f_k|}(b)/ε²⌉ for element width k
+// and buffer size b: the number of sampled counters in each group. It is
+// always at least 1.
+func (e *Estimator) CountersPerGroup(k, b int) int {
+	if k < 1 || b < 2 {
+		return 1
+	}
+	logFk := math.Log2(float64(b)) / entropy.ElementSetBits(k)
+	z := int(math.Ceil(32 * logFk / (e.epsilon * e.epsilon)))
+	if z < 1 {
+		z = 1
+	}
+	return z
+}
+
+// Counters returns the total number of counters g·Σ z_k the estimator uses
+// for the given feature widths and buffer size. Widths of 1 are skipped
+// because h_1 is computed exactly.
+func (e *Estimator) Counters(widths []int, b int) int {
+	var total int
+	g := e.Groups()
+	for _, k := range widths {
+		if k == 1 {
+			continue
+		}
+		total += g * e.CountersPerGroup(k, b)
+	}
+	return total
+}
+
+// EstimateS estimates S_k = Σ m_ik·log2(m_ik) over the k-gram stream of
+// data using g·z sampled locations. len(data) must be at least k.
+func (e *Estimator) EstimateS(data []byte, k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("entest: element width %d is not positive", k)
+	}
+	if len(data) < k {
+		return 0, entropy.ErrShortSequence
+	}
+	n := len(data) - k + 1 // number of k-gram elements in the stream
+	g := e.Groups()
+	z := e.CountersPerGroup(k, len(data))
+
+	averages := make([]float64, g)
+	for gi := 0; gi < g; gi++ {
+		var sum float64
+		for zi := 0; zi < z; zi++ {
+			// Pick a random location, take the element there, and count
+			// its occurrences from that location to the end of the
+			// stream (AMS downstream counting).
+			loc := e.rng.Intn(n)
+			elem := data[loc : loc+k]
+			c := 0
+			for i := loc; i < n; i++ {
+				if bytes.Equal(data[i:i+k], elem) {
+					c++
+				}
+			}
+			sum += unbiasedS(n, c)
+		}
+		averages[gi] = sum / float64(z)
+	}
+	return stats.Median(averages), nil
+}
+
+// unbiasedS is the AMS-style unbiased estimator of S from a single sampled
+// downstream count c over a stream of n elements:
+//
+//	X = n · (c·log2(c) − (c−1)·log2(c−1))
+func unbiasedS(n, c int) float64 {
+	if c <= 1 {
+		// c==1: 1·log(1) − 0·log(0) = 0 (the paper's 0·log 0 = 0 rule).
+		return 0
+	}
+	return float64(n) * (float64(c)*math.Log2(float64(c)) - float64(c-1)*math.Log2(float64(c-1)))
+}
+
+// EstimateH estimates the normalized entropy h_k of data. For k == 1 the
+// estimation premise |f_k| >> b does not hold, so the exact value is
+// returned instead, mirroring the paper's design.
+func (e *Estimator) EstimateH(data []byte, k int) (float64, error) {
+	if k == 1 {
+		return entropy.H(data, 1)
+	}
+	s, err := e.EstimateS(data, k)
+	if err != nil {
+		return 0, err
+	}
+	return entropy.NormalizeS(s, len(data)-k+1, k), nil
+}
+
+// Vector estimates the entropy vector of data at the given feature widths
+// (exact for width 1, estimated otherwise), in order.
+func (e *Estimator) Vector(data []byte, widths []int) ([]float64, error) {
+	vec := make([]float64, len(widths))
+	for i, k := range widths {
+		h, err := e.EstimateH(data, k)
+		if err != nil {
+			return nil, err
+		}
+		vec[i] = h
+	}
+	return vec, nil
+}
+
+// FeatureSetCoefficient returns K_φ = 8·Σ_{k∈widths, k≠1} 1/k, the
+// coefficient in the paper's Formula 4 lower bound. For the paper's
+// feature sets, K_φSVM ≈ 8.26 (widths {1,2,3,9}) and K_φCART ≈ 6.26
+// (widths {1,3,4,10}).
+func FeatureSetCoefficient(widths []int) float64 {
+	var sum float64
+	for _, k := range widths {
+		if k != 1 {
+			sum += 1 / float64(k)
+		}
+	}
+	return 8 * sum
+}
+
+// MinEpsilon returns the Formula 4 lower bound on ε below which the
+// estimator would need more counters than exact calculation (alpha
+// counters):
+//
+//	ε > sqrt(K_φ · log2(b)/α · log2(1/δ))
+func MinEpsilon(widths []int, b, alpha int, delta float64) (float64, error) {
+	if alpha <= 0 {
+		return 0, fmt.Errorf("entest: alpha %d is not positive", alpha)
+	}
+	if b < 2 {
+		return 0, fmt.Errorf("entest: buffer size %d too small", b)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("entest: delta %v outside (0, 1)", delta)
+	}
+	k := FeatureSetCoefficient(widths)
+	return math.Sqrt(k * math.Log2(float64(b)) / float64(alpha) * math.Log2(1/delta)), nil
+}

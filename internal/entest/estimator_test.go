@@ -1,0 +1,269 @@
+package entest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iustitia/internal/entropy"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct{ eps, delta float64 }{
+		{0, 0.5}, {1, 0.5}, {-0.1, 0.5}, {0.5, 0}, {0.5, 1}, {0.5, 1.5},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.eps, tc.delta, 1); err == nil {
+			t.Errorf("New(%v, %v): want error", tc.eps, tc.delta)
+		}
+	}
+	if _, err := New(0.25, 0.75, 1); err != nil {
+		t.Errorf("New(0.25, 0.75): %v", err)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	cases := []struct {
+		delta float64
+		want  int
+	}{
+		{0.5, 2},   // 2*log2(2) = 2
+		{0.25, 4},  // 2*log2(4) = 4
+		{0.75, 1},  // 2*0.415 = 0.83 -> ceil 1
+		{0.1, 7},   // 2*3.32 = 6.64 -> ceil 7
+		{0.999, 1}, // floor effect: never below 1
+	}
+	for _, tc := range cases {
+		e, err := New(0.25, tc.delta, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Groups(); got != tc.want {
+			t.Errorf("Groups(delta=%v) = %d, want %d", tc.delta, got, tc.want)
+		}
+	}
+}
+
+func TestCountersPerGroup(t *testing.T) {
+	e, err := New(0.25, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=2, b=1024: log_{2^16}(1024) = 10/16; z = ceil(32*0.625/0.0625) = 320.
+	if got := e.CountersPerGroup(2, 1024); got != 320 {
+		t.Errorf("z(k=2,b=1024) = %d, want 320", got)
+	}
+	// Larger k needs fewer counters (log_{|f_k|} b shrinks).
+	if z3 := e.CountersPerGroup(3, 1024); z3 >= 320 {
+		t.Errorf("z(k=3) = %d, want < z(k=2) = 320", z3)
+	}
+	if got := e.CountersPerGroup(2, 1); got != 1 {
+		t.Errorf("z(b=1) = %d, want 1 floor", got)
+	}
+}
+
+func TestCountersSkipsWidthOne(t *testing.T) {
+	e, err := New(0.25, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := e.Counters([]int{1, 2, 3}, 1024)
+	noOne := e.Counters([]int{2, 3}, 1024)
+	if all != noOne {
+		t.Errorf("h_1 must not consume estimation counters: %d vs %d", all, noOne)
+	}
+	if all == 0 {
+		t.Error("Counters = 0 for non-trivial widths")
+	}
+}
+
+func TestEstimateHWidthOneIsExact(t *testing.T) {
+	e, err := New(0.25, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("exact path for h1 regardless of sampling randomness")
+	got, err := e.EstimateH(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := entropy.H(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("EstimateH(k=1) = %v, want exact %v", got, want)
+	}
+}
+
+func TestEstimateSConstantData(t *testing.T) {
+	// All elements identical: every sampled counter sees the full
+	// downstream count, and S estimation is exact in expectation and in
+	// every sample: m_1k = n, S = n*log2(n).
+	e, err := New(0.3, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 257) // 256 two-grams, all "aa"
+	for i := range data {
+		data[i] = 'a'
+	}
+	s, err := e.EstimateS(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downstream counts range over 1..n, giving the unbiased-estimator
+	// telescoping property; constant data yields Ŝ close to n·log2(n) but
+	// each single sample is n·(c·log c − (c−1)·log(c−1)) for its own c, so
+	// only the average telescopes. Accept the ε bound.
+	n := 256.0
+	want := n * math.Log2(n)
+	if math.Abs(s-want) > 0.5*want {
+		t.Errorf("EstimateS(constant) = %v, want ~%v", s, want)
+	}
+}
+
+func TestEstimateHShortData(t *testing.T) {
+	e, err := New(0.25, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EstimateH([]byte{1}, 2); err != entropy.ErrShortSequence {
+		t.Errorf("err = %v, want ErrShortSequence", err)
+	}
+	if _, err := e.EstimateS([]byte{1, 2}, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func TestEstimateAccuracyOnSkewedStream(t *testing.T) {
+	// Statistical check of the (δ,ε) guarantee on a low-entropy skewed
+	// stream, where the estimator is strongest: repeated trials must land
+	// within the relative-error bound most of the time.
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 1024)
+	for i := range data {
+		// Zipf-ish skew over a handful of symbols.
+		data[i] = byte(rng.Intn(4) * rng.Intn(4))
+	}
+	exact, err := entropy.H(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(0.25, 0.25, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var within int
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		got, err := e.EstimateH(data, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-exact) <= 0.25*exact+0.02 {
+			within++
+		}
+	}
+	if within < trials*3/5 {
+		t.Errorf("only %d/%d trials within error bound (exact=%v)", within, trials, exact)
+	}
+}
+
+func TestVectorLengthAndBounds(t *testing.T) {
+	e, err := New(0.25, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 512)
+	rand.New(rand.NewSource(2)).Read(data)
+	widths := []int{1, 2, 3, 5}
+	vec, err := e.Vector(data, widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != len(widths) {
+		t.Fatalf("len = %d, want %d", len(vec), len(widths))
+	}
+	for i, h := range vec {
+		if h < 0 || h > 1 {
+			t.Errorf("vec[%d] = %v outside [0,1]", i, h)
+		}
+	}
+}
+
+func TestFeatureSetCoefficient(t *testing.T) {
+	// Paper values (for the preferred low-k sets φ′ actually deployed):
+	// K_φSVM = 8.26 for {1,2,3,5}, K_φCART = 6.26 for {1,3,4,5}.
+	if got := FeatureSetCoefficient([]int{1, 2, 3, 5}); math.Abs(got-8.26) > 0.1 {
+		t.Errorf("K_φSVM = %v, want ≈8.26", got)
+	}
+	if got := FeatureSetCoefficient([]int{1, 3, 4, 5}); math.Abs(got-6.26) > 0.1 {
+		t.Errorf("K_φCART = %v, want ≈6.26", got)
+	}
+	if got := FeatureSetCoefficient([]int{1}); got != 0 {
+		t.Errorf("K_φ({1}) = %v, want 0", got)
+	}
+}
+
+func TestMinEpsilonPaperOperatingPoint(t *testing.T) {
+	// Paper §4.4.1: with b=1024 and α≈1911 the bound reduces to
+	// ε > 0.18·sqrt(log2(1/δ)). Check at δ=0.5 where the sqrt is 1.
+	eps, err := MinEpsilon([]int{1, 2, 3, 5}, 1024, 1911, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps < 0.1 || eps > 0.3 {
+		t.Errorf("MinEpsilon = %v, want ≈0.18-0.22", eps)
+	}
+}
+
+func TestMinEpsilonValidation(t *testing.T) {
+	if _, err := MinEpsilon([]int{1, 2}, 1024, 0, 0.5); err == nil {
+		t.Error("alpha=0: want error")
+	}
+	if _, err := MinEpsilon([]int{1, 2}, 1, 100, 0.5); err == nil {
+		t.Error("b=1: want error")
+	}
+	if _, err := MinEpsilon([]int{1, 2}, 1024, 100, 0); err == nil {
+		t.Error("delta=0: want error")
+	}
+}
+
+// Property: estimated h is always clamped to [0,1] for arbitrary data.
+func TestEstimateHBoundsProperty(t *testing.T) {
+	e, err := New(0.4, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		h, err := e.EstimateH(data, 2)
+		if err != nil {
+			return false
+		}
+		return h >= 0 && h <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: estimator uses strictly fewer counters as epsilon grows.
+func TestCountersMonotoneProperty(t *testing.T) {
+	prop := func(seed uint8) bool {
+		loose, err1 := New(0.5, 0.5, int64(seed))
+		tight, err2 := New(0.1, 0.5, int64(seed))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		widths := []int{2, 3, 5}
+		return loose.Counters(widths, 1024) < tight.Counters(widths, 1024)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+package entest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iustitia/internal/entropy"
+	"iustitia/internal/stats"
+)
+
+// StreamEstimator is the one-pass form of the (δ,ε)-approximation: it
+// consumes a byte stream incrementally — packet by packet, the way a
+// router sees a flow — and can report an estimate of S_k (and h_k) at any
+// point without ever buffering the stream.
+//
+// Each of its g·z slots independently samples a uniform stream position by
+// reservoir sampling (when the m-th element arrives, a slot adopts it with
+// probability 1/m) and counts occurrences of its sampled element from that
+// position onward; b·(c·log c − (c−1)·log(c−1)) is then the standard AMS
+// unbiased estimator, combined by mean-within-group and median-of-groups,
+// exactly as in the buffered Estimator.
+//
+// A StreamEstimator is not safe for concurrent use.
+type StreamEstimator struct {
+	k     int
+	g, z  int
+	slots []streamSlot
+
+	n      int    // elements seen so far
+	window []byte // trailing k-1 bytes, to form k-grams across Write calls
+	rng    *rand.Rand
+}
+
+// streamSlot is one reservoir sample: the element adopted at the sampled
+// position and the count of its occurrences since.
+type streamSlot struct {
+	elem  string
+	count int
+}
+
+// NewStream builds a one-pass estimator for element width k. The counter
+// budget z is sized from expectedLen (the anticipated stream length, e.g.
+// the flow buffer size b) using the same z = ⌈32·log_{|f_k|}(len)/ε²⌉
+// formula as the buffered estimator; g = ⌈2·log2(1/δ)⌉.
+func NewStream(epsilon, delta float64, k, expectedLen int, seed int64) (*StreamEstimator, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("entest: stream estimation needs k >= 2 (|f_1| is too small), got %d", k)
+	}
+	if expectedLen < k {
+		return nil, fmt.Errorf("entest: expected length %d shorter than element width %d", expectedLen, k)
+	}
+	base, err := New(epsilon, delta, seed)
+	if err != nil {
+		return nil, err
+	}
+	g := base.Groups()
+	z := base.CountersPerGroup(k, expectedLen)
+	return &StreamEstimator{
+		k:      k,
+		g:      g,
+		z:      z,
+		slots:  make([]streamSlot, g*z),
+		window: make([]byte, 0, k-1),
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Counters returns the number of sampled counters (g·z) the estimator
+// maintains — its memory footprint in counter units.
+func (s *StreamEstimator) Counters() int { return len(s.slots) }
+
+// Elements returns how many k-gram elements have been consumed.
+func (s *StreamEstimator) Elements() int { return s.n }
+
+// Write consumes the next chunk of the stream. It implements io.Writer and
+// never fails.
+func (s *StreamEstimator) Write(p []byte) (int, error) {
+	for _, b := range p {
+		s.window = append(s.window, b)
+		if len(s.window) < s.k {
+			continue
+		}
+		s.consume(string(s.window))
+		// Slide the window by one byte.
+		copy(s.window, s.window[1:])
+		s.window = s.window[:s.k-1]
+	}
+	return len(p), nil
+}
+
+// consume feeds one element to every reservoir slot.
+func (s *StreamEstimator) consume(elem string) {
+	s.n++
+	for i := range s.slots {
+		// Reservoir: adopt the current position with probability 1/n.
+		if s.rng.Intn(s.n) == 0 {
+			s.slots[i] = streamSlot{elem: elem, count: 1}
+			continue
+		}
+		if s.slots[i].elem == elem {
+			s.slots[i].count++
+		}
+	}
+}
+
+// EstimateS returns the current estimate of S_k = Σ m_ik·log2(m_ik) over
+// everything consumed so far. It returns 0 before any element arrives.
+func (s *StreamEstimator) EstimateS() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	averages := make([]float64, s.g)
+	for gi := 0; gi < s.g; gi++ {
+		var sum float64
+		for zi := 0; zi < s.z; zi++ {
+			sum += unbiasedS(s.n, s.slots[gi*s.z+zi].count)
+		}
+		averages[gi] = sum / float64(s.z)
+	}
+	return stats.Median(averages)
+}
+
+// EstimateH returns the current normalized-entropy estimate h_k.
+func (s *StreamEstimator) EstimateH() float64 {
+	return entropy.NormalizeS(s.EstimateS(), s.n, s.k)
+}
+
+// Reset clears all state so the estimator can be reused for a new flow
+// without reallocating its counters.
+func (s *StreamEstimator) Reset() {
+	for i := range s.slots {
+		s.slots[i] = streamSlot{}
+	}
+	s.n = 0
+	s.window = s.window[:0]
+}
+
+// StreamVector tracks a full entropy vector online: an exact byte
+// histogram for h_1 (estimation is invalid at |f_1| = 256) plus one
+// StreamEstimator per wider feature. It is the classification-module front
+// end a router would run per flow when even the b-byte buffer is too much
+// state.
+type StreamVector struct {
+	widths  []int
+	h1      [256]int
+	n1      int
+	wide    []*StreamEstimator
+	wideIdx []int // positions of estimated widths within widths
+}
+
+// NewStreamVector builds an online entropy-vector tracker for the given
+// feature widths (width 1 is tracked exactly).
+func NewStreamVector(epsilon, delta float64, widths []int, expectedLen int, seed int64) (*StreamVector, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("entest: no feature widths")
+	}
+	v := &StreamVector{widths: append([]int{}, widths...)}
+	for i, k := range widths {
+		if k == 1 {
+			continue
+		}
+		est, err := NewStream(epsilon, delta, k, expectedLen, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		v.wide = append(v.wide, est)
+		v.wideIdx = append(v.wideIdx, i)
+	}
+	return v, nil
+}
+
+// Write consumes the next chunk of the flow. It implements io.Writer and
+// never fails.
+func (v *StreamVector) Write(p []byte) (int, error) {
+	for _, b := range p {
+		v.h1[b]++
+	}
+	v.n1 += len(p)
+	for _, est := range v.wide {
+		if _, err := est.Write(p); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Vector returns the current entropy-vector estimate, ordered like the
+// construction widths.
+func (v *StreamVector) Vector() []float64 {
+	out := make([]float64, len(v.widths))
+	for i, k := range v.widths {
+		if k == 1 {
+			out[i] = v.exactH1()
+		}
+	}
+	for j, est := range v.wide {
+		out[v.wideIdx[j]] = est.EstimateH()
+	}
+	return out
+}
+
+// exactH1 computes h_1 from the running byte histogram.
+func (v *StreamVector) exactH1() float64 {
+	if v.n1 == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range v.h1 {
+		if c > 1 {
+			sum += float64(c) * math.Log2(float64(c))
+		}
+	}
+	return entropy.NormalizeS(sum, v.n1, 1)
+}
+
+// Counters returns the total counter footprint (estimation slots plus the
+// 256-entry exact byte histogram when h_1 is tracked).
+func (v *StreamVector) Counters() int {
+	total := 0
+	for _, k := range v.widths {
+		if k == 1 {
+			total += 256
+		}
+	}
+	for _, est := range v.wide {
+		total += est.Counters()
+	}
+	return total
+}
+
+// Reset clears all state for reuse on a new flow.
+func (v *StreamVector) Reset() {
+	v.h1 = [256]int{}
+	v.n1 = 0
+	for _, est := range v.wide {
+		est.Reset()
+	}
+}

@@ -1,0 +1,223 @@
+package entest
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"iustitia/internal/entropy"
+)
+
+var (
+	_ io.Writer = (*StreamEstimator)(nil)
+	_ io.Writer = (*StreamVector)(nil)
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	if _, err := NewStream(0.25, 0.5, 1, 1024, 1); err == nil {
+		t.Error("k=1: want error (estimation invalid at |f_1|=256)")
+	}
+	if _, err := NewStream(0.25, 0.5, 2, 1, 1); err == nil {
+		t.Error("expectedLen < k: want error")
+	}
+	if _, err := NewStream(2, 0.5, 2, 1024, 1); err == nil {
+		t.Error("epsilon out of range: want error")
+	}
+}
+
+func TestStreamCountersMatchBuffered(t *testing.T) {
+	base, err := New(0.25, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewStream(0.25, 0.5, 2, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Groups() * base.CountersPerGroup(2, 1024)
+	if got := stream.Counters(); got != want {
+		t.Errorf("stream counters = %d, want %d (g·z of buffered estimator)", got, want)
+	}
+}
+
+func TestStreamConstantData(t *testing.T) {
+	// All elements identical: every slot's downstream count telescopes,
+	// the estimate must land near n·log2(n).
+	s, err := NewStream(0.3, 0.5, 2, 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 513)
+	for i := range data {
+		data[i] = 'x'
+	}
+	if _, err := s.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if s.Elements() != 512 {
+		t.Fatalf("Elements = %d, want 512", s.Elements())
+	}
+	want := 512 * math.Log2(512)
+	if got := s.EstimateS(); math.Abs(got-want) > 0.5*want {
+		t.Errorf("EstimateS(constant) = %v, want ~%v", got, want)
+	}
+	if h := s.EstimateH(); h > 0.1 {
+		t.Errorf("EstimateH(constant) = %v, want ~0", h)
+	}
+}
+
+func TestStreamMatchesOfflineOnSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(8)) // low-entropy skewed stream
+	}
+	exact, err := entropy.H(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(0.25, 0.25, 2, len(data), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EstimateH(); math.Abs(got-exact) > 0.25*exact+0.03 {
+		t.Errorf("stream EstimateH = %v, exact = %v (outside ε bound)", got, exact)
+	}
+}
+
+func TestStreamChunkedWritesEqualWholeWrite(t *testing.T) {
+	// The same bytes split across packet-sized Writes must consume the
+	// same elements (k-grams spanning chunk boundaries included).
+	data := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	whole, err := NewStream(0.3, 0.5, 3, len(data), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := whole.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := NewStream(0.3, 0.5, 3, len(data), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i += 7 {
+		end := i + 7
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := chunked.Write(data[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if whole.Elements() != chunked.Elements() {
+		t.Errorf("element counts differ: %d vs %d", whole.Elements(), chunked.Elements())
+	}
+	// Same seed, same element sequence -> identical reservoir decisions
+	// and identical estimates.
+	if whole.EstimateS() != chunked.EstimateS() {
+		t.Errorf("estimates differ: %v vs %v", whole.EstimateS(), chunked.EstimateS())
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s, err := NewStream(0.3, 0.5, 2, 256, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write([]byte("some first flow content here")); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Elements() != 0 {
+		t.Errorf("Elements after Reset = %d", s.Elements())
+	}
+	if got := s.EstimateS(); got != 0 {
+		t.Errorf("EstimateS after Reset = %v, want 0", got)
+	}
+	// Reused estimator still works.
+	if _, err := s.Write([]byte("aaaaaaaaaaaaaaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.EstimateH(); h > 0.2 {
+		t.Errorf("post-reset constant stream h = %v", h)
+	}
+}
+
+func TestStreamEstimateBeforeData(t *testing.T) {
+	s, err := NewStream(0.3, 0.5, 2, 256, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EstimateS(); got != 0 {
+		t.Errorf("EstimateS on empty stream = %v", got)
+	}
+	if got := s.EstimateH(); got != 0 {
+		t.Errorf("EstimateH on empty stream = %v", got)
+	}
+}
+
+func TestStreamVector(t *testing.T) {
+	widths := []int{1, 2, 3}
+	v, err := NewStreamVector(0.3, 0.5, widths, 1024, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	data := make([]byte, 1024)
+	rng.Read(data)
+	for i := 0; i < len(data); i += 128 {
+		if _, err := v.Write(data[i : i+128]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vec := v.Vector()
+	if len(vec) != len(widths) {
+		t.Fatalf("vector length = %d, want %d", len(vec), len(widths))
+	}
+	// h_1 is exact: must match the offline calculation bit for bit.
+	exact, err := entropy.H(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0] != exact {
+		t.Errorf("streamed h_1 = %v, exact = %v", vec[0], exact)
+	}
+	for i, h := range vec {
+		if h < 0 || h > 1 {
+			t.Errorf("vec[%d] = %v outside [0,1]", i, h)
+		}
+	}
+	if v.Counters() <= 256 {
+		t.Errorf("Counters = %d, want > 256 (histogram plus slots)", v.Counters())
+	}
+}
+
+func TestStreamVectorReset(t *testing.T) {
+	v, err := NewStreamVector(0.3, 0.5, []int{1, 2}, 256, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write([]byte("abcabcabc")); err != nil {
+		t.Fatal(err)
+	}
+	v.Reset()
+	vec := v.Vector()
+	for i, h := range vec {
+		if h != 0 {
+			t.Errorf("vec[%d] after Reset = %v", i, h)
+		}
+	}
+}
+
+func TestStreamVectorValidation(t *testing.T) {
+	if _, err := NewStreamVector(0.3, 0.5, nil, 256, 1); err == nil {
+		t.Error("no widths: want error")
+	}
+	if _, err := NewStreamVector(0.3, 0.5, []int{1, 2}, 1, 1); err == nil {
+		t.Error("expectedLen too small: want error")
+	}
+}

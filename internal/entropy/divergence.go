@@ -1,0 +1,128 @@
+package entropy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmptyDistribution is returned when a divergence is requested against a
+// distribution with no mass.
+var ErrEmptyDistribution = errors.New("entropy: empty probability distribution")
+
+// Distribution is a discrete probability distribution over k-byte elements,
+// keyed by the raw element bytes. Probabilities are expected to sum to ~1.
+type Distribution map[string]float64
+
+// NewDistribution converts k-gram counts into a probability distribution.
+func NewDistribution(counts map[string]int) (Distribution, error) {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil, ErrEmptyDistribution
+	}
+	dist := make(Distribution, len(counts))
+	for elem, c := range counts {
+		if c > 0 {
+			dist[elem] = float64(c) / float64(total)
+		}
+	}
+	return dist, nil
+}
+
+// DistributionOf builds the k-gram probability distribution of data.
+func DistributionOf(data []byte, k int) (Distribution, error) {
+	counts, err := CountKGrams(data, k)
+	if err != nil {
+		return nil, err
+	}
+	return NewDistribution(counts)
+}
+
+// Entropy returns the Shannon entropy of the distribution in bits.
+func (p Distribution) Entropy() float64 {
+	var h float64
+	for _, prob := range p {
+		if prob > 0 {
+			h -= prob * math.Log2(prob)
+		}
+	}
+	return h
+}
+
+// Mix returns the average distribution M = (p+q)/2.
+func (p Distribution) Mix(q Distribution) Distribution {
+	m := make(Distribution, len(p)+len(q))
+	for elem, prob := range p {
+		m[elem] += prob / 2
+	}
+	for elem, prob := range q {
+		m[elem] += prob / 2
+	}
+	return m
+}
+
+// KL returns the Kullback-Leibler distance KLD(p||q) in bits. It returns an
+// error when q lacks support for an element p assigns mass to, because the
+// distance is then infinite.
+func KL(p, q Distribution) (float64, error) {
+	if len(p) == 0 || len(q) == 0 {
+		return 0, ErrEmptyDistribution
+	}
+	var d float64
+	for elem, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		qi := q[elem]
+		if qi <= 0 {
+			return 0, fmt.Errorf("entropy: KL distance undefined, q has no mass on element %q", elem)
+		}
+		d += pi * math.Log2(pi/qi)
+	}
+	return d, nil
+}
+
+// JSD returns the Jensen-Shannon divergence between p and q (Formula 2):
+//
+//	JSD(p||q) = H(M) - H(p)/2 - H(q)/2,  M = (p+q)/2
+//
+// JSD is computed with base-2 logarithms and then normalized by 1 bit, so
+// the result is bounded in [0, 1], symmetric, and 0 iff p == q — matching
+// the "element/symbol" unit the paper plots in Figure 3.
+func JSD(p, q Distribution) (float64, error) {
+	if len(p) == 0 || len(q) == 0 {
+		return 0, ErrEmptyDistribution
+	}
+	m := p.Mix(q)
+	d := m.Entropy() - p.Entropy()/2 - q.Entropy()/2
+	// Floating-point cancellation can push the value epsilon outside the
+	// theoretical [0,1] bound.
+	return math.Min(1, math.Max(0, d)), nil
+}
+
+// PrefixJSD measures how well the first-portion element distribution of
+// data represents the whole: it returns JSD(P||Q) where P is the k-gram
+// distribution of the first ceil(portion*len(data)) bytes and Q is the
+// distribution of all of data. This is the Hypothesis-2 measurement behind
+// Figure 3. portion must be in (0, 1].
+func PrefixJSD(data []byte, portion float64, k int) (float64, error) {
+	if portion <= 0 || portion > 1 {
+		return 0, fmt.Errorf("entropy: portion %v outside (0, 1]", portion)
+	}
+	b := int(math.Ceil(portion * float64(len(data))))
+	if b < k {
+		return 0, ErrShortSequence
+	}
+	p, err := DistributionOf(data[:b], k)
+	if err != nil {
+		return 0, err
+	}
+	q, err := DistributionOf(data, k)
+	if err != nil {
+		return 0, err
+	}
+	return JSD(p, q)
+}

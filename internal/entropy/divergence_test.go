@@ -1,0 +1,203 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustDist(t *testing.T, counts map[string]int) Distribution {
+	t.Helper()
+	d, err := NewDistribution(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDistributionNormalizes(t *testing.T) {
+	d := mustDist(t, map[string]int{"a": 3, "b": 1})
+	if got := d["a"]; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("p(a) = %v, want 0.75", got)
+	}
+	var sum float64
+	for _, p := range d {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("sum = %v, want 1", sum)
+	}
+}
+
+func TestNewDistributionEmpty(t *testing.T) {
+	if _, err := NewDistribution(map[string]int{}); err != ErrEmptyDistribution {
+		t.Errorf("err = %v, want ErrEmptyDistribution", err)
+	}
+}
+
+func TestDistributionEntropy(t *testing.T) {
+	uniform := mustDist(t, map[string]int{"a": 1, "b": 1, "c": 1, "d": 1})
+	if got := uniform.Entropy(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("H(uniform-4) = %v, want 2 bits", got)
+	}
+	point := mustDist(t, map[string]int{"a": 10})
+	if got := point.Entropy(); got != 0 {
+		t.Errorf("H(point mass) = %v, want 0", got)
+	}
+}
+
+func TestKLIdentity(t *testing.T) {
+	p := mustDist(t, map[string]int{"a": 2, "b": 3, "c": 5})
+	d, err := KL(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d) > 1e-12 {
+		t.Errorf("KL(p||p) = %v, want 0", d)
+	}
+}
+
+func TestKLUndefinedSupport(t *testing.T) {
+	p := mustDist(t, map[string]int{"a": 1, "b": 1})
+	q := mustDist(t, map[string]int{"a": 1})
+	if _, err := KL(p, q); err == nil {
+		t.Error("KL with missing support: want error")
+	}
+}
+
+func TestKLKnownValue(t *testing.T) {
+	// p = (1/2,1/2), q = (1/4,3/4):
+	// KL = 0.5*log2(2) + 0.5*log2(2/3) = 0.5 - 0.5*log2(3) + 0.5
+	p := mustDist(t, map[string]int{"a": 1, "b": 1})
+	q := mustDist(t, map[string]int{"a": 1, "b": 3})
+	d, err := KL(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*math.Log2(0.5/0.25) + 0.5*math.Log2(0.5/0.75)
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("KL = %v, want %v", d, want)
+	}
+}
+
+func TestJSDIdentity(t *testing.T) {
+	p := mustDist(t, map[string]int{"x": 4, "y": 6})
+	d, err := JSD(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("JSD(p||p) = %v, want 0", d)
+	}
+}
+
+func TestJSDDisjointSupportIsMaximal(t *testing.T) {
+	p := mustDist(t, map[string]int{"a": 1})
+	q := mustDist(t, map[string]int{"b": 1})
+	d, err := JSD(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("JSD(disjoint) = %v, want 1", d)
+	}
+}
+
+func TestJSDEqualsAverageKLToMix(t *testing.T) {
+	// Cross-check the H(M)-H(P)/2-H(Q)/2 form against the definitional
+	// average-of-KL form on overlapping distributions.
+	p := mustDist(t, map[string]int{"a": 1, "b": 2, "c": 3})
+	q := mustDist(t, map[string]int{"b": 5, "c": 1, "d": 4})
+	jsd, err := JSD(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Mix(q)
+	kp, err := KL(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kq, err := KL(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (kp + kq) / 2; math.Abs(jsd-want) > 1e-9 {
+		t.Errorf("JSD = %v, avg-KL form = %v", jsd, want)
+	}
+}
+
+func TestJSDEmpty(t *testing.T) {
+	p := mustDist(t, map[string]int{"a": 1})
+	if _, err := JSD(p, Distribution{}); err != ErrEmptyDistribution {
+		t.Errorf("err = %v, want ErrEmptyDistribution", err)
+	}
+}
+
+func TestPrefixJSDDecreasesWithPortion(t *testing.T) {
+	// For a stationary source, a longer prefix must represent the whole
+	// better (smaller JSD) than a very short one, and the full file is an
+	// exact match.
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(rng.Intn(64))
+	}
+	short, err := PrefixJSD(data, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := PrefixJSD(data, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := PrefixJSD(data, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(full < long && long < short) {
+		t.Errorf("JSD should shrink with portion: 5%%=%v 50%%=%v 100%%=%v", short, long, full)
+	}
+	if full > 1e-12 {
+		t.Errorf("JSD(whole||whole) = %v, want 0", full)
+	}
+}
+
+func TestPrefixJSDInvalidPortion(t *testing.T) {
+	for _, portion := range []float64{0, -0.5, 1.5} {
+		if _, err := PrefixJSD([]byte("abcabc"), portion, 1); err == nil {
+			t.Errorf("portion=%v: want error", portion)
+		}
+	}
+}
+
+func TestPrefixJSDTooShort(t *testing.T) {
+	if _, err := PrefixJSD([]byte("abcdefgh"), 0.1, 2); err != ErrShortSequence {
+		t.Errorf("err = %v, want ErrShortSequence", err)
+	}
+}
+
+// Property: JSD is symmetric and bounded in [0,1] for arbitrary count maps.
+func TestJSDSymmetryBoundsProperty(t *testing.T) {
+	type counts struct {
+		A, B, C, D uint8
+	}
+	prop := func(c1, c2 counts) bool {
+		m1 := map[string]int{"a": int(c1.A), "b": int(c1.B), "c": int(c1.C), "d": int(c1.D)}
+		m2 := map[string]int{"a": int(c2.A), "b": int(c2.B), "c": int(c2.C), "d": int(c2.D)}
+		p, err1 := NewDistribution(m1)
+		q, err2 := NewDistribution(m2)
+		if err1 != nil || err2 != nil {
+			return true // empty draws are fine to skip
+		}
+		dpq, err1 := JSD(p, q)
+		dqp, err2 := JSD(q, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(dpq-dqp) < 1e-12 && dpq >= 0 && dpq <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package entropy
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHConstantSequenceIsZero(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		data := bytes.Repeat([]byte{0x41}, 64)
+		h, err := H(data, k)
+		if err != nil {
+			t.Fatalf("H(k=%d): %v", k, err)
+		}
+		if h != 0 {
+			t.Errorf("H(constant, k=%d) = %v, want 0", k, h)
+		}
+	}
+}
+
+func TestHAllDistinctBytes(t *testing.T) {
+	// 256 distinct bytes, each once: the f_1 distribution is exactly
+	// uniform over the whole element set, so h_1 must be 1.
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	h, err := H(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1) > 1e-12 {
+		t.Errorf("H(all-bytes, k=1) = %v, want 1", h)
+	}
+}
+
+func TestHShortSequence(t *testing.T) {
+	if _, err := H([]byte{1, 2}, 3); err != ErrShortSequence {
+		t.Errorf("H on short data: err = %v, want ErrShortSequence", err)
+	}
+	if _, err := H(nil, 1); err != ErrShortSequence {
+		t.Errorf("H(nil): err = %v, want ErrShortSequence", err)
+	}
+}
+
+func TestHInvalidWidth(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		if _, err := H([]byte{1, 2, 3}, k); err == nil {
+			t.Errorf("H(k=%d): want error, got nil", k)
+		}
+	}
+}
+
+func TestHSingleElement(t *testing.T) {
+	// m == k: exactly one element; entropy is defined as 0.
+	h, err := H([]byte{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Errorf("H(single element) = %v, want 0", h)
+	}
+}
+
+func TestHOrderingAcrossClasses(t *testing.T) {
+	// The paper's core observation: entropy(text) < entropy(mixed binary)
+	// < entropy(random). Synthesize stand-ins and check the ordering.
+	rng := rand.New(rand.NewSource(1))
+	text := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 40)
+
+	binary := make([]byte, len(text))
+	for i := range binary {
+		// Skewed byte distribution over half the alphabet.
+		binary[i] = byte(rng.Intn(128)) * 2
+	}
+
+	random := make([]byte, len(text))
+	rng.Read(random)
+
+	hText, err := H(text, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBin, err := H(binary, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hEnc, err := H(random, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hText < hBin && hBin < hEnc) {
+		t.Errorf("entropy ordering violated: text=%v binary=%v random=%v", hText, hBin, hEnc)
+	}
+}
+
+func TestCountKGrams(t *testing.T) {
+	counts, err := CountKGrams([]byte("abab"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"ab": 2, "ba": 1}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("counts[%q] = %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+func TestCountKGramsElementTotal(t *testing.T) {
+	data := []byte("hello, entropy world")
+	for k := 1; k <= 5; k++ {
+		counts, err := CountKGrams(data, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int
+		for _, c := range counts {
+			total += c
+		}
+		if want := len(data) - k + 1; total != want {
+			t.Errorf("k=%d: total elements = %d, want %d", k, total, want)
+		}
+	}
+}
+
+func TestVector(t *testing.T) {
+	data := []byte("abcdabcdabcdabcd")
+	vec, err := Vector(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 4 {
+		t.Fatalf("len(vec) = %d, want 4", len(vec))
+	}
+	for i, h := range vec {
+		if h < 0 || h > 1 {
+			t.Errorf("vec[%d] = %v outside [0,1]", i, h)
+		}
+	}
+	// h_4 of a perfectly periodic sequence: 4 distinct 4-grams repeated —
+	// low but nonzero.
+	if vec[3] == 0 {
+		t.Error("h_4 of periodic data = 0, want > 0 (4 distinct rotations)")
+	}
+}
+
+func TestVectorAtMatchesVector(t *testing.T) {
+	data := []byte("the entropy of this string is neither zero nor one")
+	full, err := Vector(data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := VectorAt(data, []int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []int{1, 3, 5} {
+		if sparse[i] != full[k-1] {
+			t.Errorf("VectorAt[%d] = %v, want %v", i, sparse[i], full[k-1])
+		}
+	}
+}
+
+func TestPrefixClampsToDataLength(t *testing.T) {
+	data := []byte("short")
+	got, err := Prefix(data, 1024, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := VectorAt(data, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] {
+		t.Errorf("Prefix(b>len) = %v, want %v", got[0], want[0])
+	}
+}
+
+func TestPrefixInvalid(t *testing.T) {
+	if _, err := Prefix([]byte("x"), 0, []int{1}); err == nil {
+		t.Error("Prefix(b=0): want error")
+	}
+}
+
+func TestNormalizeSDegenerate(t *testing.T) {
+	if got := NormalizeS(0, 0, 1); got != 0 {
+		t.Errorf("NormalizeS(n=0) = %v, want 0", got)
+	}
+	if got := NormalizeS(0, 1, 1); got != 0 {
+		t.Errorf("NormalizeS(n=1) = %v, want 0", got)
+	}
+	// Wildly wrong estimate must still clamp into [0,1].
+	if got := NormalizeS(-1e9, 100, 1); got != 1 {
+		t.Errorf("NormalizeS clamp high = %v, want 1", got)
+	}
+	if got := NormalizeS(1e9, 100, 1); got != 0 {
+		t.Errorf("NormalizeS clamp low = %v, want 0", got)
+	}
+}
+
+// Property: h_k of any byte sequence is within [0, 1].
+func TestHBoundsProperty(t *testing.T) {
+	prop := func(data []byte, kRaw uint8) bool {
+		k := int(kRaw)%4 + 1
+		if len(data) < k {
+			return true
+		}
+		h, err := H(data, k)
+		if err != nil {
+			return false
+		}
+		return h >= 0 && h <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: entropy is invariant under any byte-alphabet permutation
+// (relabeling elements cannot change the frequency profile) for k=1.
+func TestHPermutationInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var perm [256]byte
+	for i, p := range rng.Perm(256) {
+		perm[i] = byte(p)
+	}
+	prop := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		mapped := make([]byte, len(data))
+		for i, b := range data {
+			mapped[i] = perm[b]
+		}
+		h1, err1 := H(data, 1)
+		h2, err2 := H(mapped, 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(h1-h2) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: duplicating a sequence cannot increase its normalized k=1
+// entropy beyond a small floor effect, and the byte distribution is
+// unchanged so entropies match exactly.
+func TestHConcatenationProperty(t *testing.T) {
+	prop := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		h1, err1 := H(data, 1)
+		h2, err2 := H(append(append([]byte{}, data...), data...), 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Same distribution, doubled counts: Shannon entropy identical.
+		return math.Abs(h1-h2) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/stats"
+)
+
+// ClassBand summarizes where one class sits in the (h1, h2, h3) feature
+// space of Figure 2(a).
+type ClassBand struct {
+	Class corpus.Class
+	// Mean and Std are per-feature (h1, h2, h3).
+	Mean [3]float64
+	Std  [3]float64
+}
+
+// FeatureSpaceResult reproduces Figure 2(a): the per-class location and
+// spread of file entropy-vector points in (h1, h2, h3) space. The paper's
+// plot shows text lowest, encrypted highest and tightly clustered, binary
+// in between with the widest spread.
+type FeatureSpaceResult struct {
+	Bands []ClassBand
+	// Files per class measured.
+	PerClass int
+}
+
+// RunFeatureSpace measures the Figure 2(a) feature-space geometry.
+func RunFeatureSpace(s Scale) (*FeatureSpaceResult, error) {
+	pool, err := buildPool(s)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := core.BuildDataset(pool, core.DatasetConfig{
+		Widths: []int{1, 2, 3},
+		Method: core.MethodWholeFile,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byClass := make(map[int][][]float64) // class -> feature columns
+	for _, sample := range ds.Samples {
+		cols := byClass[sample.Label]
+		if cols == nil {
+			cols = make([][]float64, 3)
+		}
+		for i, h := range sample.Features {
+			cols[i] = append(cols[i], h)
+		}
+		byClass[sample.Label] = cols
+	}
+
+	result := &FeatureSpaceResult{PerClass: s.PerClass}
+	for class := corpus.Text; class <= corpus.Encrypted; class++ {
+		band := ClassBand{Class: class}
+		for i, col := range byClass[int(class)] {
+			summary, err := stats.Summarize(col)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: class %v feature %d: %w", class, i, err)
+			}
+			band.Mean[i] = summary.Mean
+			band.Std[i] = summary.Std
+		}
+		result.Bands = append(result.Bands, band)
+	}
+	return result, nil
+}
+
+// String renders the Figure 2(a) summary table.
+func (r *FeatureSpaceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2(a) — file entropy-vector feature space (%d files/class)\n", r.PerClass)
+	fmt.Fprintf(&b, "%-10s %20s %20s %20s\n", "class", "h1 (mean±std)", "h2 (mean±std)", "h3 (mean±std)")
+	for _, band := range r.Bands {
+		fmt.Fprintf(&b, "%-10s", band.Class)
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(&b, "     %.3f ± %.3f   ", band.Mean[i], band.Std[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iustitia/internal/core"
+)
+
+// DefaultBufferSizes is the Figure 4/6 sweep: 8 B to 8 KiB.
+var DefaultBufferSizes = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// BufferSweepResult reproduces Figure 4: classification accuracy versus
+// buffer size b, for classifiers trained on whole files (4a) and on the
+// first b bytes of each file (4b), for both models. The paper's reading:
+// whole-file training needs b≈1K to reach 86% with SVM, while first-b
+// training reaches 86% already at b=32.
+type BufferSweepResult struct {
+	Sizes []int
+	// Accuracy[method][model][i] for size index i. Methods are "H_F" and
+	// "H_b"; models "cart" and "svm".
+	Accuracy map[string]map[string][]float64
+}
+
+// RunBufferSweep measures Figure 4 over the given buffer sizes.
+func RunBufferSweep(s Scale, sizes []int) (*BufferSweepResult, error) {
+	if len(sizes) == 0 {
+		return nil, errors.New("experiments: empty buffer-size sweep")
+	}
+	pool, err := buildPool(s)
+	if err != nil {
+		return nil, err
+	}
+	// A single stratified train/test split keeps the 2×2×|sizes| grid
+	// tractable; cross-validation of single points happens in Table 1.
+	rng := rand.New(rand.NewSource(s.Seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	cut := len(pool) / 2
+	trainFiles, testFiles := pool[:cut], pool[cut:]
+
+	result := &BufferSweepResult{
+		Sizes:    sizes,
+		Accuracy: map[string]map[string][]float64{},
+	}
+	for _, method := range []core.TrainingMethod{core.MethodWholeFile, core.MethodPrefix} {
+		perModel := map[string][]float64{}
+		for _, kind := range []core.ModelKind{core.KindCART, core.KindSVM} {
+			accs := make([]float64, 0, len(sizes))
+			for _, b := range sizes {
+				widths := widthsFor(kind, b)
+				trainCfg := core.TrainConfig{
+					Kind: kind,
+					Dataset: core.DatasetConfig{
+						Widths:     widths,
+						Method:     method,
+						BufferSize: b,
+					},
+					CART: paperCARTConfig(),
+					SVM:  paperSVMConfig(s.Seed),
+				}
+				clf, err := core.Train(trainFiles, trainCfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig4 %v/%v b=%d: %w", method, kind, b, err)
+				}
+				testDS, err := core.BuildDataset(testFiles, core.DatasetConfig{
+					Widths: widths, Method: core.MethodPrefix, BufferSize: b,
+				})
+				if err != nil {
+					return nil, err
+				}
+				conf, err := clf.Evaluate(testDS)
+				if err != nil {
+					return nil, err
+				}
+				accs = append(accs, conf.Accuracy())
+			}
+			perModel[kind.String()] = accs
+		}
+		result.Accuracy[method.String()] = perModel
+	}
+	return result, nil
+}
+
+// widthsFor returns the model's deployment feature set, narrowed so the
+// widest feature fits inside a b-byte buffer.
+func widthsFor(kind core.ModelKind, b int) []int {
+	base := core.PhiPrimeSVM
+	if kind == core.KindCART {
+		base = core.PhiPrimeCART
+	}
+	widths := make([]int, 0, len(base))
+	for _, k := range base {
+		if k <= b {
+			widths = append(widths, k)
+		}
+	}
+	if len(widths) == 0 {
+		widths = []int{1}
+	}
+	return widths
+}
+
+// String renders the Figure 4 series.
+func (r *BufferSweepResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — classification accuracy vs buffer size b\n")
+	fmt.Fprintf(&b, "%-18s", "train/model")
+	for _, size := range r.Sizes {
+		fmt.Fprintf(&b, "%7d", size)
+	}
+	b.WriteByte('\n')
+	for _, method := range []string{"H_F", "H_b"} {
+		for _, model := range []string{"cart", "svm"} {
+			series, ok := r.Accuracy[method][model]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%-18s", method+"/"+model)
+			for _, acc := range series {
+				fmt.Fprintf(&b, "%6.1f%%", 100*acc)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

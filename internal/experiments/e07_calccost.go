@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"iustitia/internal/entropy"
+)
+
+// CalcCostPoint is one Figure 5 measurement.
+type CalcCostPoint struct {
+	BufferSize int
+	// TimePerVector is the mean wall time to compute one entropy vector.
+	TimePerVector time.Duration
+	// SpaceBytes approximates the counter memory: for each feature width
+	// k, the number of distinct elements observed times (k bytes of key +
+	// 8 bytes of counter).
+	SpaceBytes int
+}
+
+// CalcCostResult reproduces Figure 5: entropy-vector calculation time (5a)
+// and counter space (5b) as the buffer grows. Both curves grow linearly in
+// b; the paper's b=32 point is ~10× faster and ~30× smaller than b=1024.
+type CalcCostResult struct {
+	Widths []int
+	Points []CalcCostPoint
+}
+
+// RunCalcCost measures Figure 5 with the given feature widths over the
+// buffer-size sweep.
+func RunCalcCost(s Scale, widths []int, sizes []int) (*CalcCostResult, error) {
+	if len(widths) == 0 || len(sizes) == 0 {
+		return nil, errors.New("experiments: calc-cost needs widths and sizes")
+	}
+	pool, err := buildPool(s)
+	if err != nil {
+		return nil, err
+	}
+	result := &CalcCostResult{Widths: widths}
+	for _, b := range sizes {
+		var (
+			total   time.Duration
+			space   int
+			vectors int
+		)
+		for _, f := range pool {
+			data := f.Data
+			if len(data) > b {
+				data = data[:b]
+			}
+			maxWidth := 0
+			for _, k := range widths {
+				if k > maxWidth {
+					maxWidth = k
+				}
+			}
+			if len(data) < maxWidth {
+				continue
+			}
+			start := time.Now()
+			if _, err := entropy.VectorAt(data, widths); err != nil {
+				return nil, fmt.Errorf("experiments: fig5 b=%d: %w", b, err)
+			}
+			total += time.Since(start)
+			vectors++
+		}
+		// Space is data-dependent but stable across same-class files;
+		// average over a handful of samples.
+		const spaceSamples = 6
+		counted := 0
+		for _, f := range pool {
+			if counted >= spaceSamples {
+				break
+			}
+			data := f.Data
+			if len(data) > b {
+				data = data[:b]
+			}
+			sz, err := counterBytes(data, widths)
+			if err != nil {
+				continue
+			}
+			space += sz
+			counted++
+		}
+		if vectors == 0 || counted == 0 {
+			return nil, fmt.Errorf("experiments: fig5 b=%d: no usable files", b)
+		}
+		result.Points = append(result.Points, CalcCostPoint{
+			BufferSize:    b,
+			TimePerVector: total / time.Duration(vectors),
+			SpaceBytes:    space / counted,
+		})
+	}
+	return result, nil
+}
+
+// counterBytes approximates exact-calculation counter space for one
+// buffer: distinct elements per width times key+counter size.
+func counterBytes(data []byte, widths []int) (int, error) {
+	total := 0
+	for _, k := range widths {
+		if len(data) < k {
+			return 0, entropy.ErrShortSequence
+		}
+		counts, err := entropy.CountKGrams(data, k)
+		if err != nil {
+			return 0, err
+		}
+		total += len(counts) * (k + 8)
+	}
+	return total, nil
+}
+
+// String renders the Figure 5 table.
+func (r *CalcCostResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — entropy vector calculation cost, widths %s\n", widthsLabel(r.Widths))
+	fmt.Fprintf(&b, "%10s %16s %14s\n", "buffer", "time/vector", "space")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10d %16s %13dB\n", p.BufferSize, p.TimePerVector, p.SpaceBytes)
+	}
+	return b.String()
+}

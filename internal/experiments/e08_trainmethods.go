@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iustitia/internal/core"
+)
+
+// defaultHeaderThreshold is T, the maximum unknown-application-header
+// length the H_b′ method trains against.
+const defaultHeaderThreshold = 512
+
+// TrainMethodsResult reproduces Figure 6: classification accuracy for the
+// three training methods — H_F (whole file), H_b (first b bytes), and H_b′
+// (b bytes at a random offset ≤ T) — across buffer sizes, for SVM (6a) and
+// CART (6b). The paper finds the three curves close together (flow
+// randomness is stable along the flow), SVM ahead of CART by up to ~10%,
+// and accuracy rising with b.
+type TrainMethodsResult struct {
+	Sizes     []int
+	Threshold int
+	// Accuracy[model][method][i] for size index i.
+	Accuracy map[string]map[string][]float64
+}
+
+// RunTrainMethods measures Figure 6 over the given buffer sizes.
+func RunTrainMethods(s Scale, sizes []int, threshold int) (*TrainMethodsResult, error) {
+	if len(sizes) == 0 {
+		return nil, errors.New("experiments: empty buffer-size sweep")
+	}
+	if threshold <= 0 {
+		threshold = defaultHeaderThreshold
+	}
+	pool, err := buildPool(s)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	cut := len(pool) / 2
+	trainFiles, testFiles := pool[:cut], pool[cut:]
+
+	methods := []core.TrainingMethod{core.MethodWholeFile, core.MethodPrefix, core.MethodRandomOffset}
+	result := &TrainMethodsResult{
+		Sizes:     sizes,
+		Threshold: threshold,
+		Accuracy:  map[string]map[string][]float64{},
+	}
+	for _, kind := range []core.ModelKind{core.KindSVM, core.KindCART} {
+		perMethod := map[string][]float64{}
+		for _, method := range methods {
+			accs := make([]float64, 0, len(sizes))
+			for _, b := range sizes {
+				widths := widthsFor(kind, b)
+				clf, err := core.Train(trainFiles, core.TrainConfig{
+					Kind: kind,
+					Dataset: core.DatasetConfig{
+						Widths:          widths,
+						Method:          method,
+						BufferSize:      b,
+						HeaderThreshold: threshold,
+						Seed:            s.Seed,
+					},
+					CART: paperCARTConfig(),
+					SVM:  paperSVMConfig(s.Seed),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig6 %v/%v b=%d: %w", kind, method, b, err)
+				}
+				// Test flows emulate unknown headers: their window starts
+				// at a random offset in [0, T], like the paper's
+				// (T−Y+1)-th-byte rule.
+				testDS, err := core.BuildDataset(testFiles, core.DatasetConfig{
+					Widths:          widths,
+					Method:          core.MethodRandomOffset,
+					BufferSize:      b,
+					HeaderThreshold: threshold,
+					Seed:            s.Seed + 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				conf, err := clf.Evaluate(testDS)
+				if err != nil {
+					return nil, err
+				}
+				accs = append(accs, conf.Accuracy())
+			}
+			perMethod[method.String()] = accs
+		}
+		result.Accuracy[kind.String()] = perMethod
+	}
+	return result, nil
+}
+
+// String renders the Figure 6 series.
+func (r *TrainMethodsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — accuracy by training method (T=%d), random-offset test windows\n", r.Threshold)
+	fmt.Fprintf(&b, "%-16s", "model/method")
+	for _, size := range r.Sizes {
+		fmt.Fprintf(&b, "%7d", size)
+	}
+	b.WriteByte('\n')
+	for _, model := range []string{"svm", "cart"} {
+		for _, method := range []string{"H_F", "H_b", "H_b'"} {
+			series, ok := r.Accuracy[model][method]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%-16s", model+"/"+method)
+			for _, acc := range series {
+				fmt.Fprintf(&b, "%6.1f%%", 100*acc)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

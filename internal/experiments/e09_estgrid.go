@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/entest"
+)
+
+// EstimationGridResult reproduces Figure 7: classification accuracy (per
+// class and total) over a grid of estimator parameters (ε, δ), for SVM and
+// CART models trained with the H_b′ method at b′=1024 and tested on
+// (δ,ε)-estimated entropy vectors. The paper's optima: SVM ≈ 81-83% at
+// (ε=0.25, δ=0.75), CART ≈ 76% at (ε=0.5, δ=0.1) — estimation costs a few
+// accuracy points versus exact vectors.
+type EstimationGridResult struct {
+	Epsilons []float64
+	Deltas   []float64
+	Buffer   int
+	// Total[model][ei][di] is total accuracy at epsilon index ei, delta
+	// index di; PerClass adds the class dimension.
+	Total    map[string][][]float64
+	PerClass map[string][corpus.NumClasses][][]float64
+	// Best[model] is the grid point with the highest total accuracy.
+	Best map[string]EstimationBest
+}
+
+// EstimationBest records a model's optimal grid point.
+type EstimationBest struct {
+	Epsilon, Delta, Accuracy float64
+}
+
+// DefaultEstimationGrid returns the (ε, δ) grid used by the benchmark
+// harness: coarse enough to run in seconds, spanning the paper's optima.
+func DefaultEstimationGrid() (epsilons, deltas []float64) {
+	return []float64{0.25, 0.5, 0.75}, []float64{0.1, 0.5, 0.75}
+}
+
+// RunEstimationGrid measures Figure 7.
+func RunEstimationGrid(s Scale, epsilons, deltas []float64, buffer int) (*EstimationGridResult, error) {
+	if len(epsilons) == 0 || len(deltas) == 0 {
+		return nil, errors.New("experiments: empty estimation grid")
+	}
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	pool, err := buildPool(s)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	cut := len(pool) / 2
+	trainFiles, testFiles := pool[:cut], pool[cut:]
+
+	result := &EstimationGridResult{
+		Epsilons: epsilons,
+		Deltas:   deltas,
+		Buffer:   buffer,
+		Total:    map[string][][]float64{},
+		PerClass: map[string][corpus.NumClasses][][]float64{},
+		Best:     map[string]EstimationBest{},
+	}
+
+	for _, kind := range []core.ModelKind{core.KindSVM, core.KindCART} {
+		widths := core.PhiPrimeSVM
+		if kind == core.KindCART {
+			widths = core.PhiPrimeCART
+		}
+		clf, err := core.Train(trainFiles, core.TrainConfig{
+			Kind: kind,
+			Dataset: core.DatasetConfig{
+				Widths:          widths,
+				Method:          core.MethodRandomOffset,
+				BufferSize:      buffer,
+				HeaderThreshold: defaultHeaderThreshold,
+				Seed:            s.Seed,
+			},
+			CART: paperCARTConfig(),
+			SVM:  paperSVMConfig(s.Seed),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 train %v: %w", kind, err)
+		}
+
+		total := make([][]float64, len(epsilons))
+		var perClass [corpus.NumClasses][][]float64
+		for c := range perClass {
+			perClass[c] = make([][]float64, len(epsilons))
+		}
+		best := EstimationBest{Accuracy: -1}
+
+		for ei, eps := range epsilons {
+			total[ei] = make([]float64, len(deltas))
+			for c := range perClass {
+				perClass[c][ei] = make([]float64, len(deltas))
+			}
+			for di, delta := range deltas {
+				est, err := entest.New(eps, delta, s.Seed)
+				if err != nil {
+					return nil, err
+				}
+				testDS, err := core.BuildDataset(testFiles, core.DatasetConfig{
+					Widths:     widths,
+					Method:     core.MethodPrefix,
+					BufferSize: buffer,
+					Estimator:  est,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig7 (ε=%v, δ=%v): %w", eps, delta, err)
+				}
+				conf, err := clf.Evaluate(testDS)
+				if err != nil {
+					return nil, err
+				}
+				total[ei][di] = conf.Accuracy()
+				for c := 0; c < corpus.NumClasses; c++ {
+					perClass[c][ei][di] = conf.ClassAccuracy(c)
+				}
+				if acc := conf.Accuracy(); acc > best.Accuracy {
+					best = EstimationBest{Epsilon: eps, Delta: delta, Accuracy: acc}
+				}
+			}
+		}
+		result.Total[kind.String()] = total
+		result.PerClass[kind.String()] = perClass
+		result.Best[kind.String()] = best
+	}
+	return result, nil
+}
+
+// String renders the Figure 7 grids.
+func (r *EstimationGridResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — accuracy with (δ,ε)-estimated entropy vectors, b'=%d\n", r.Buffer)
+	for _, model := range []string{"svm", "cart"} {
+		grid, ok := r.Total[model]
+		if !ok {
+			continue
+		}
+		best := r.Best[model]
+		fmt.Fprintf(&b, "%s total accuracy (best %s at ε=%v, δ=%v):\n",
+			model, percent(best.Accuracy), best.Epsilon, best.Delta)
+		fmt.Fprintf(&b, "%10s", "ε \\ δ")
+		for _, d := range r.Deltas {
+			fmt.Fprintf(&b, "%9.2f", d)
+		}
+		b.WriteByte('\n')
+		for ei, eps := range r.Epsilons {
+			fmt.Fprintf(&b, "%10.2f", eps)
+			for di := range r.Deltas {
+				fmt.Fprintf(&b, "%8.1f%%", 100*grid[ei][di])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/packet"
+)
+
+// CDBSample is one per-second observation of Figure 8.
+type CDBSample struct {
+	At               time.Duration
+	PacketsSoFar     int
+	FlowsSoFar       int
+	SizeWithPurge    int
+	SizeWithoutPurge int
+}
+
+// CDBPurgeResult reproduces Figure 8: CDB size over time with and without
+// purging, against cumulative packet and flow counts. The paper sees ~46%
+// of flows removable on FIN/RST, and the purged CDB staying roughly flat
+// while the unpurged one tracks total flows.
+type CDBPurgeResult struct {
+	Samples []CDBSample
+	// Totals at end of trace.
+	TotalPackets   int
+	TotalFlows     int
+	RemovedByClose int
+	RemovedByIdle  int
+	Reclassified   int
+}
+
+// cdbTraceConfig shapes the Figure 8 trace from the experiment scale.
+func cdbTraceConfig(s Scale) packet.TraceConfig {
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = s.PerClass * 10
+	cfg.Seed = s.Seed
+	cfg.MaxFlowBytes = s.MaxFileSize
+	cfg.MinFlowBytes = s.MinFileSize / 4
+	return cfg
+}
+
+// trainFlowClassifier trains the small b=32 classifier the trace
+// experiments plug into the engine.
+func trainFlowClassifier(s Scale, b int) (*core.Classifier, error) {
+	pool, err := buildPool(s)
+	if err != nil {
+		return nil, err
+	}
+	return core.Train(pool, core.TrainConfig{
+		Kind: core.KindCART, // trees classify in ns — right for replay loops
+		Dataset: core.DatasetConfig{
+			Widths:     widthsFor(core.KindCART, b),
+			Method:     core.MethodPrefix,
+			BufferSize: b,
+		},
+		CART: paperCARTConfig(),
+	})
+}
+
+// RunCDBPurge measures Figure 8 by replaying one synthetic trace through
+// two engines that differ only in purge policy.
+func RunCDBPurge(s Scale) (*CDBPurgeResult, error) {
+	clf, err := trainFlowClassifier(s, 32)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := packet.Generate(cdbTraceConfig(s), corpus.NewGenerator(s.Seed+100))
+	if err != nil {
+		return nil, err
+	}
+
+	newEngine := func(purge bool) (*flow.Engine, error) {
+		return flow.NewEngine(flow.EngineConfig{
+			BufferSize: 32,
+			Classifier: clf,
+			IdleFlush:  2 * time.Second,
+			CDB: flow.CDBConfig{
+				PurgeOnClose:  purge,
+				PurgeInactive: purge,
+				N:             4,
+				PurgeEvery:    500,
+			},
+		})
+	}
+	purged, err := newEngine(true)
+	if err != nil {
+		return nil, err
+	}
+	unpurged, err := newEngine(false)
+	if err != nil {
+		return nil, err
+	}
+
+	result := &CDBPurgeResult{TotalFlows: len(trace.Flows)}
+	seen := make(map[packet.FiveTuple]bool, len(trace.Flows))
+	nextSample := time.Second
+	flowsSoFar := 0
+	for i := range trace.Packets {
+		p := &trace.Packets[i]
+		for p.Time >= nextSample {
+			// Time-based inactivity sweep plus sample, once per virtual
+			// second.
+			purged.CDB().Sweep(nextSample)
+			if _, err := purged.FlushIdle(nextSample); err != nil {
+				return nil, err
+			}
+			if _, err := unpurged.FlushIdle(nextSample); err != nil {
+				return nil, err
+			}
+			result.Samples = append(result.Samples, CDBSample{
+				At:               nextSample,
+				PacketsSoFar:     result.TotalPackets,
+				FlowsSoFar:       flowsSoFar,
+				SizeWithPurge:    purged.CDB().Size(),
+				SizeWithoutPurge: unpurged.CDB().Size(),
+			})
+			nextSample += time.Second
+		}
+		result.TotalPackets++
+		if !seen[p.Tuple] {
+			seen[p.Tuple] = true
+			flowsSoFar++
+		}
+		if _, err := purged.Process(p); err != nil {
+			return nil, fmt.Errorf("experiments: fig8 purged engine: %w", err)
+		}
+		if _, err := unpurged.Process(p); err != nil {
+			return nil, fmt.Errorf("experiments: fig8 unpurged engine: %w", err)
+		}
+	}
+	stats := purged.CDB().Stats()
+	result.RemovedByClose = stats.RemovedByClose
+	result.RemovedByIdle = stats.RemovedByIdle
+	result.Reclassified = stats.Reinsertions
+	return result, nil
+}
+
+// String renders the Figure 8 series.
+func (r *CDBPurgeResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — CDB size with and without purging\n")
+	fmt.Fprintf(&b, "%8s %10s %10s %12s %14s\n", "t", "packets", "flows", "CDB(purge)", "CDB(no purge)")
+	step := 1
+	if len(r.Samples) > 20 {
+		step = len(r.Samples) / 20
+	}
+	for i := 0; i < len(r.Samples); i += step {
+		sm := r.Samples[i]
+		fmt.Fprintf(&b, "%8s %10d %10d %12d %14d\n",
+			sm.At, sm.PacketsSoFar, sm.FlowsSoFar, sm.SizeWithPurge, sm.SizeWithoutPurge)
+	}
+	fmt.Fprintf(&b, "totals: %d packets, %d flows; purge removed %d by FIN/RST (%.0f%% of flows), %d by inactivity; %d reclassifications\n",
+		r.TotalPackets, r.TotalFlows, r.RemovedByClose,
+		100*float64(r.RemovedByClose)/float64(max(1, r.TotalFlows)),
+		r.RemovedByIdle, r.Reclassified)
+	return b.String()
+}

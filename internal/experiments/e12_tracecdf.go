@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+	"iustitia/internal/stats"
+)
+
+// TraceCDFResult reproduces Figure 9: the cumulative distributions of (a)
+// packet payload size and (b) per-flow packet inter-arrival time for the
+// gateway trace. The paper's shape: bimodal payload sizes with >50% of
+// packets under 140 bytes and ~20% at 1480; inter-arrivals mostly well
+// under a second with a long tail.
+type TraceCDFResult struct {
+	PayloadSize   *stats.CDF
+	InterArrival  *stats.CDF
+	TotalPackets  int
+	TotalFlows    int
+	DataPackets   int
+	MedianGap     time.Duration
+	FullSizeShare float64
+}
+
+// RunTraceCDF measures Figure 9 on a freshly generated trace.
+func RunTraceCDF(s Scale) (*TraceCDFResult, error) {
+	trace, err := packet.Generate(cdbTraceConfig(s), corpus.NewGenerator(s.Seed+200))
+	if err != nil {
+		return nil, err
+	}
+	var sizes []float64
+	fullSize := 0
+	lastSeen := make(map[packet.FiveTuple]time.Duration)
+	var gaps []float64
+	for i := range trace.Packets {
+		p := &trace.Packets[i]
+		if p.IsData() {
+			sizes = append(sizes, float64(len(p.Payload)))
+			if len(p.Payload) == 1480 {
+				fullSize++
+			}
+		}
+		if prev, ok := lastSeen[p.Tuple]; ok {
+			gaps = append(gaps, (p.Time - prev).Seconds())
+		}
+		lastSeen[p.Tuple] = p.Time
+	}
+	if len(sizes) == 0 || len(gaps) == 0 {
+		return nil, errors.New("experiments: degenerate trace (no data packets or gaps)")
+	}
+	sizeCDF, err := stats.NewCDF(sizes)
+	if err != nil {
+		return nil, err
+	}
+	gapCDF, err := stats.NewCDF(gaps)
+	if err != nil {
+		return nil, err
+	}
+	sort.Float64s(gaps)
+	return &TraceCDFResult{
+		PayloadSize:   sizeCDF,
+		InterArrival:  gapCDF,
+		TotalPackets:  len(trace.Packets),
+		TotalFlows:    len(trace.Flows),
+		DataPackets:   trace.DataPackets(),
+		MedianGap:     time.Duration(gaps[len(gaps)/2] * float64(time.Second)),
+		FullSizeShare: float64(fullSize) / float64(len(sizes)),
+	}, nil
+}
+
+// String renders the Figure 9 tables.
+func (r *TraceCDFResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — trace CDFs (%d packets, %d data, %d flows)\n",
+		r.TotalPackets, r.DataPackets, r.TotalFlows)
+	b.WriteString("(a) payload size:\n")
+	for _, x := range []float64{64, 140, 512, 1024, 1479, 1480} {
+		fmt.Fprintf(&b, "    P(size <= %4.0fB) = %.2f\n", x, r.PayloadSize.At(x))
+	}
+	fmt.Fprintf(&b, "    full-size (1480B) share = %.2f\n", r.FullSizeShare)
+	b.WriteString("(b) packet inter-arrival time:\n")
+	for _, x := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1.0} {
+		fmt.Fprintf(&b, "    P(gap <= %5.2fs) = %.2f\n", x, r.InterArrival.At(x))
+	}
+	fmt.Fprintf(&b, "    median gap = %s\n", r.MedianGap)
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"strings"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/packet"
+	"iustitia/internal/stats"
+)
+
+// DelayRow is the Figure 10 measurement for one buffer size.
+type DelayRow struct {
+	Buffer int
+	// MeanPacketsToFill is c: the average number of data packets needed
+	// to fill the buffer.
+	MeanPacketsToFill float64
+	// MeanFillDelay is the average τ_b, the buffering component of the
+	// classifier delay (virtual trace time).
+	MeanFillDelay time.Duration
+	// MedianFillDelay is the 50th percentile of τ_b.
+	MedianFillDelay time.Duration
+	FlowsClassified int
+}
+
+// DelayResult reproduces Figure 10 plus the paper's τ decomposition: the
+// buffering delay τ_b dominated by buffer size, with the measured hash and
+// CDB-search components (τ_hash, τ_search) reported alongside. The paper's
+// shape: c ≈ 1 for b=32 (near-zero buffering delay) and c ≈ 3-5 with τ
+// around a second for b in the 1-2 KB range.
+type DelayResult struct {
+	Rows []DelayRow
+	// HashTime is the measured mean SHA-1 flow-ID hash time (τ_hash).
+	HashTime time.Duration
+	// SearchTime is the measured mean CDB lookup time (τ_search).
+	SearchTime time.Duration
+}
+
+// DefaultDelayBuffers are the four buffer sizes of Figure 10.
+var DefaultDelayBuffers = []int{32, 1024, 1500, 2000}
+
+// RunDelay measures Figure 10 by replaying one trace per buffer size.
+func RunDelay(s Scale, buffers []int) (*DelayResult, error) {
+	if len(buffers) == 0 {
+		buffers = DefaultDelayBuffers
+	}
+	clf, err := trainFlowClassifier(s, 32)
+	if err != nil {
+		return nil, err
+	}
+	result := &DelayResult{}
+	for _, b := range buffers {
+		trace, err := packet.Generate(cdbTraceConfig(s), corpus.NewGenerator(s.Seed+300))
+		if err != nil {
+			return nil, err
+		}
+		engine, err := flow.NewEngine(flow.EngineConfig{
+			BufferSize: b,
+			Classifier: clf,
+			IdleFlush:  2 * time.Second,
+			CDB:        flow.CDBConfig{PurgeOnClose: true, PurgeInactive: true, N: 4, PurgeEvery: 500},
+		})
+		if err != nil {
+			return nil, err
+		}
+		nextFlush := time.Second
+		for i := range trace.Packets {
+			p := &trace.Packets[i]
+			for p.Time >= nextFlush {
+				if _, err := engine.FlushIdle(nextFlush); err != nil {
+					return nil, err
+				}
+				nextFlush += time.Second
+			}
+			if _, err := engine.Process(p); err != nil {
+				return nil, fmt.Errorf("experiments: fig10 b=%d: %w", b, err)
+			}
+		}
+
+		fills := engine.FillStats()
+		if len(fills) == 0 {
+			return nil, fmt.Errorf("experiments: fig10 b=%d classified no flows", b)
+		}
+		var packetsToFill, delays []float64
+		for _, f := range fills {
+			packetsToFill = append(packetsToFill, float64(f.Packets))
+			delays = append(delays, f.Delay.Seconds())
+		}
+		result.Rows = append(result.Rows, DelayRow{
+			Buffer:            b,
+			MeanPacketsToFill: stats.Mean(packetsToFill),
+			MeanFillDelay:     time.Duration(stats.Mean(delays) * float64(time.Second)),
+			MedianFillDelay:   time.Duration(stats.Median(delays) * float64(time.Second)),
+			FlowsClassified:   len(fills),
+		})
+	}
+
+	result.HashTime = measureHashTime()
+	result.SearchTime, err = measureSearchTime()
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// measureHashTime times the SHA-1 flow-ID hash (τ_hash).
+func measureHashTime() time.Duration {
+	tuple := packet.FiveTuple{
+		SrcIP: [4]byte{10, 1, 2, 3}, DstIP: [4]byte{10, 4, 5, 6},
+		SrcPort: 1234, DstPort: 80, Transport: packet.TCP,
+	}
+	const iterations = 20000
+	start := time.Now()
+	var sink [sha1.Size]byte
+	for i := 0; i < iterations; i++ {
+		sink = flow.IDOf(tuple)
+		tuple.SrcPort++
+	}
+	_ = sink
+	return time.Since(start) / iterations
+}
+
+// measureSearchTime times a CDB lookup against a populated database
+// (τ_search).
+func measureSearchTime() (time.Duration, error) {
+	cdb := flow.NewCDB(flow.CDBConfig{})
+	tuple := packet.FiveTuple{
+		SrcIP: [4]byte{10, 1, 2, 3}, DstIP: [4]byte{10, 4, 5, 6},
+		SrcPort: 1, DstPort: 80, Transport: packet.TCP,
+	}
+	const entries = 30000
+	for i := 0; i < entries; i++ {
+		tuple.SrcPort = uint16(i)
+		tuple.DstPort = uint16(i >> 4)
+		cdb.Insert(flow.IDOf(tuple), corpus.Binary, 0)
+	}
+	const iterations = 20000
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		tuple.SrcPort = uint16(i % entries)
+		tuple.DstPort = uint16((i % entries) >> 4)
+		cdb.Lookup(flow.IDOf(tuple), time.Duration(i))
+	}
+	elapsed := time.Since(start) / iterations
+	return elapsed, nil
+}
+
+// String renders the Figure 10 table.
+func (r *DelayResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — classifier buffering delay\n")
+	fmt.Fprintf(&b, "%8s %10s %14s %16s %10s\n", "buffer", "mean c", "mean τ_b", "median τ_b", "flows")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %10.2f %14s %16s %10d\n",
+			row.Buffer, row.MeanPacketsToFill,
+			row.MeanFillDelay.Round(time.Millisecond),
+			row.MedianFillDelay.Round(time.Millisecond),
+			row.FlowsClassified)
+	}
+	fmt.Fprintf(&b, "measured τ_hash = %s, τ_CDB-search = %s (τ = τ_hash + τ_search + τ_b)\n",
+		r.HashTime, r.SearchTime)
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iustitia/internal/core"
+	"iustitia/internal/entest"
+	"iustitia/internal/ml/featsel"
+	"iustitia/internal/ml/svm"
+)
+
+// ModelSelectionResult reproduces the paper's two model-selection passes:
+// §3.2 selects RBF(γ=50, C=1000) on exact whole-file entropy vectors, and
+// §4.4.2 re-selects on (δ,ε)-estimated vectors, where a softer γ=10 wins.
+// The experiment sweeps the (γ, C) grid on both feature sources and
+// reports each grid plus the winners.
+type ModelSelectionResult struct {
+	Gammas []float64
+	Cs     []float64
+	// ExactGrid and EstimatedGrid are validation accuracies in gamma-major
+	// order.
+	ExactGrid     []featsel.GridPoint
+	EstimatedGrid []featsel.GridPoint
+	BestExact     featsel.GridPoint
+	BestEstimated featsel.GridPoint
+}
+
+// DefaultModelSelectionGrid is the (γ, C) sweep used by the harness.
+func DefaultModelSelectionGrid() (gammas, cs []float64) {
+	return []float64{1, 10, 50, 200}, []float64{1, 100, 1000}
+}
+
+// RunModelSelection sweeps the SVM hyper-parameter grid on exact and on
+// (δ,ε)-estimated entropy vectors.
+func RunModelSelection(s Scale, gammas, cs []float64) (*ModelSelectionResult, error) {
+	if len(gammas) == 0 || len(cs) == 0 {
+		gammas, cs = DefaultModelSelectionGrid()
+	}
+	pool, err := buildPool(s)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	cut := len(pool) / 2
+	trainFiles, valFiles := pool[:cut], pool[cut:]
+
+	exactCfg := core.DatasetConfig{Widths: core.PhiPrimeSVM, Method: core.MethodPrefix, BufferSize: 1024}
+	trainDS, err := core.BuildDataset(trainFiles, exactCfg)
+	if err != nil {
+		return nil, err
+	}
+	valDS, err := core.BuildDataset(valFiles, exactCfg)
+	if err != nil {
+		return nil, err
+	}
+	base := svm.Config{Seed: s.Seed, MaxPasses: 3, MaxIter: 400}
+	exactGrid, bestExact, err := featsel.GridSearchSVM(trainDS, valDS, gammas, cs, base)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: model selection (exact): %w", err)
+	}
+
+	est, err := entest.New(0.25, 0.75, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	estCfg := exactCfg
+	estCfg.Estimator = est
+	trainEst, err := core.BuildDataset(trainFiles, estCfg)
+	if err != nil {
+		return nil, err
+	}
+	valEst, err := core.BuildDataset(valFiles, estCfg)
+	if err != nil {
+		return nil, err
+	}
+	estGrid, bestEst, err := featsel.GridSearchSVM(trainEst, valEst, gammas, cs, base)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: model selection (estimated): %w", err)
+	}
+
+	return &ModelSelectionResult{
+		Gammas:        gammas,
+		Cs:            cs,
+		ExactGrid:     exactGrid,
+		EstimatedGrid: estGrid,
+		BestExact:     bestExact,
+		BestEstimated: bestEst,
+	}, nil
+}
+
+// String renders both grids.
+func (r *ModelSelectionResult) String() string {
+	var b strings.Builder
+	b.WriteString("Model selection — RBF (γ, C) grid, exact vs estimated features (§3.2, §4.4.2)\n")
+	render := func(label string, grid []featsel.GridPoint, best featsel.GridPoint) {
+		fmt.Fprintf(&b, "%s features (best %s at γ=%v, C=%v):\n%10s",
+			label, percent(best.Accuracy), best.Gamma, best.C, "γ \\ C")
+		for _, c := range r.Cs {
+			fmt.Fprintf(&b, "%9.0f", c)
+		}
+		b.WriteByte('\n')
+		i := 0
+		for _, gamma := range r.Gammas {
+			fmt.Fprintf(&b, "%10.0f", gamma)
+			for range r.Cs {
+				fmt.Fprintf(&b, "%8.1f%%", 100*grid[i].Accuracy)
+				i++
+			}
+			b.WriteByte('\n')
+		}
+	}
+	render("exact", r.ExactGrid, r.BestExact)
+	render("estimated", r.EstimatedGrid, r.BestEstimated)
+	return b.String()
+}

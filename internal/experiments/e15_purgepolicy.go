@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/packet"
+)
+
+// PurgePolicyRow is one purge-policy measurement.
+type PurgePolicyRow struct {
+	Policy         string
+	FinalCDBSize   int
+	PeakCDBSize    int
+	RemovedByClose int
+	RemovedByIdle  int
+	// Reclassifications counts flows classified more than once because
+	// purging dropped their record while they were still active — the
+	// cost side of aggressive purging (paper §4.5's n trade-off).
+	Reclassifications int
+}
+
+// PurgePolicyResult is the DESIGN.md §5 ablation of the CDB purge policy:
+// no purging, FIN/RST-only, and FIN/RST plus the n·λ inactivity rule, all
+// replaying the same trace. The paper's full policy should bound the CDB
+// near the concurrent-flow count at a modest reclassification cost.
+type PurgePolicyResult struct {
+	Rows       []PurgePolicyRow
+	TotalFlows int
+}
+
+// RunPurgePolicy replays one trace under the three purge policies.
+func RunPurgePolicy(s Scale) (*PurgePolicyResult, error) {
+	clf, err := trainFlowClassifier(s, 32)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := packet.Generate(cdbTraceConfig(s), corpus.NewGenerator(s.Seed+400))
+	if err != nil {
+		return nil, err
+	}
+
+	policies := []struct {
+		name string
+		cdb  flow.CDBConfig
+	}{
+		{"none", flow.CDBConfig{}},
+		{"fin-rst", flow.CDBConfig{PurgeOnClose: true}},
+		{"fin-rst+idle", flow.CDBConfig{PurgeOnClose: true, PurgeInactive: true, N: 4, PurgeEvery: 500}},
+	}
+
+	result := &PurgePolicyResult{TotalFlows: len(trace.Flows)}
+	for _, policy := range policies {
+		engine, err := flow.NewEngine(flow.EngineConfig{
+			BufferSize: 32,
+			Classifier: clf,
+			IdleFlush:  2 * time.Second,
+			CDB:        policy.cdb,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := PurgePolicyRow{Policy: policy.name}
+		nextTick := time.Second
+		for i := range trace.Packets {
+			p := &trace.Packets[i]
+			for p.Time >= nextTick {
+				if policy.cdb.PurgeInactive {
+					engine.CDB().Sweep(nextTick)
+				}
+				if _, err := engine.FlushIdle(nextTick); err != nil {
+					return nil, err
+				}
+				if size := engine.CDB().Size(); size > row.PeakCDBSize {
+					row.PeakCDBSize = size
+				}
+				nextTick += time.Second
+			}
+			if _, err := engine.Process(p); err != nil {
+				return nil, fmt.Errorf("experiments: purge policy %s: %w", policy.name, err)
+			}
+		}
+		stats := engine.CDB().Stats()
+		row.FinalCDBSize = stats.Size
+		if row.FinalCDBSize > row.PeakCDBSize {
+			row.PeakCDBSize = row.FinalCDBSize
+		}
+		row.RemovedByClose = stats.RemovedByClose
+		row.RemovedByIdle = stats.RemovedByIdle
+		row.Reclassifications = stats.Reinsertions
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+// String renders the ablation table.
+func (r *PurgePolicyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Purge-policy ablation (%d flows replayed)\n", r.TotalFlows)
+	fmt.Fprintf(&b, "%-14s %10s %10s %12s %12s %10s\n",
+		"policy", "final CDB", "peak CDB", "by FIN/RST", "by idle", "reclass")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %10d %10d %12d %12d %10d\n",
+			row.Policy, row.FinalCDBSize, row.PeakCDBSize,
+			row.RemovedByClose, row.RemovedByIdle, row.Reclassifications)
+	}
+	return b.String()
+}

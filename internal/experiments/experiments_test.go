@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+)
+
+// tinyScale keeps the heavier experiments inside unit-test time budgets.
+func tinyScale() Scale {
+	return Scale{PerClass: 24, Folds: 3, MinFileSize: 2 << 10, MaxFileSize: 4 << 10, Seed: 1}
+}
+
+func TestScaleValidate(t *testing.T) {
+	bad := []Scale{
+		{PerClass: 1, Folds: 3, MinFileSize: 10, MaxFileSize: 20},
+		{PerClass: 10, Folds: 1, MinFileSize: 10, MaxFileSize: 20},
+		{PerClass: 10, Folds: 3, MinFileSize: 0, MaxFileSize: 20},
+		{PerClass: 10, Folds: 3, MinFileSize: 30, MaxFileSize: 20},
+	}
+	for i, s := range bad {
+		if err := s.validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	for _, s := range []Scale{SmallScale(), DefaultScale(), PaperScale()} {
+		if err := s.validate(); err != nil {
+			t.Errorf("preset scale invalid: %v", err)
+		}
+	}
+}
+
+func TestRunFeatureSpace(t *testing.T) {
+	r, err := RunFeatureSpace(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bands) != corpus.NumClasses {
+		t.Fatalf("bands = %d, want %d", len(r.Bands), corpus.NumClasses)
+	}
+	// Paper ordering along h1: text < binary < encrypted.
+	if !(r.Bands[corpus.Text].Mean[0] < r.Bands[corpus.Binary].Mean[0] &&
+		r.Bands[corpus.Binary].Mean[0] < r.Bands[corpus.Encrypted].Mean[0]) {
+		t.Errorf("h1 band order violated: %+v", r.Bands)
+	}
+	if !strings.Contains(r.String(), "Figure 2(a)") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunTable1BothModels(t *testing.T) {
+	for _, kind := range []core.ModelKind{core.KindCART, core.KindSVM} {
+		r, err := RunTable1(tinyScale(), kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if acc := r.Confusion.Accuracy(); acc < 0.55 {
+			t.Errorf("%v total accuracy = %v, want >= 0.55", kind, acc)
+		}
+		if len(r.FoldAccuracies) != 3 {
+			t.Errorf("%v folds = %d, want 3", kind, len(r.FoldAccuracies))
+		}
+		if !strings.Contains(r.String(), "Table 1") {
+			t.Error("String() missing header")
+		}
+	}
+}
+
+func TestRunTable1UnknownKind(t *testing.T) {
+	if _, err := RunTable1(tinyScale(), core.ModelKind(9)); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}
+
+func TestRunJSD(t *testing.T) {
+	portions := []float64{0.2, 0.6, 1.0}
+	r, err := RunJSD(tinyScale(), []int{1, 2}, portions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2} {
+		for class := corpus.Text; class <= corpus.Encrypted; class++ {
+			series := r.Mean[k][class]
+			if len(series) != len(portions) {
+				t.Fatalf("k=%d class=%v series length %d", k, class, len(series))
+			}
+			// JSD falls as the portion grows, and is ~0 at portion 1.
+			if !(series[0] >= series[1] && series[1] >= series[2]) {
+				t.Errorf("k=%d class=%v JSD not monotone: %v", k, class, series)
+			}
+			if series[2] > 1e-9 {
+				t.Errorf("k=%d class=%v JSD(1.0) = %v, want 0", k, class, series[2])
+			}
+		}
+	}
+	if _, err := RunJSD(tinyScale(), nil, portions); err == nil {
+		t.Error("no widths: want error")
+	}
+	if !strings.Contains(r.String(), "Figure 3") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	r, err := RunTable2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SelectedCART) != 4 || len(r.SelectedSVM) != 4 {
+		t.Fatalf("selected sets: cart=%v svm=%v, want 4 widths each", r.SelectedCART, r.SelectedSVM)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	// Feature selection must not destroy accuracy: each selected/preferred
+	// row within 15 points of its model's full row.
+	fullAcc := map[core.ModelKind]float64{}
+	for _, row := range r.Rows {
+		if row.Label == "full" {
+			fullAcc[row.Model] = row.Confusion.Accuracy()
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Label == "full" {
+			continue
+		}
+		if row.Confusion.Accuracy() < fullAcc[row.Model]-0.15 {
+			t.Errorf("%v/%s accuracy %v fell far below full %v",
+				row.Model, row.Label, row.Confusion.Accuracy(), fullAcc[row.Model])
+		}
+	}
+	if !strings.Contains(r.String(), "Table 2") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunBufferSweep(t *testing.T) {
+	sizes := []int{16, 64, 512}
+	r, err := RunBufferSweep(tinyScale(), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"H_F", "H_b"} {
+		for _, model := range []string{"cart", "svm"} {
+			series := r.Accuracy[method][model]
+			if len(series) != len(sizes) {
+				t.Fatalf("%s/%s series = %v", method, model, series)
+			}
+			// Figure 4's core finding: training on the first b bytes beats
+			// chance at every size, while whole-file training may collapse
+			// to chance at tiny b (distribution shift) and recovers as b
+			// grows — so only the largest size is asserted for H_F.
+			if method == "H_b" {
+				for _, acc := range series {
+					if acc < 0.4 {
+						t.Errorf("H_b/%s accuracy %v near chance", model, acc)
+					}
+				}
+			} else if last := series[len(series)-1]; last < 0.4 {
+				t.Errorf("H_F/%s accuracy %v near chance at largest b", model, last)
+			}
+		}
+	}
+	if _, err := RunBufferSweep(tinyScale(), nil); err == nil {
+		t.Error("no sizes: want error")
+	}
+	if !strings.Contains(r.String(), "Figure 4") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestWidthsForNarrowBuffers(t *testing.T) {
+	if got := widthsFor(core.KindSVM, 2); len(got) == 0 || got[len(got)-1] > 2 {
+		t.Errorf("widthsFor(svm, 2) = %v", got)
+	}
+	if got := widthsFor(core.KindCART, 1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("widthsFor(cart, 1) = %v, want [1]", got)
+	}
+	if got := widthsFor(core.KindSVM, 8192); len(got) != 4 {
+		t.Errorf("widthsFor(svm, 8192) = %v, want full φ′ set", got)
+	}
+}
+
+func TestRunCalcCost(t *testing.T) {
+	r, err := RunCalcCost(tinyScale(), core.PhiPrimeSVM, []int{32, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(r.Points))
+	}
+	// Both time and space must grow with b (paper: linear growth).
+	if !(r.Points[0].TimePerVector < r.Points[2].TimePerVector) {
+		t.Errorf("time not increasing: %v", r.Points)
+	}
+	if !(r.Points[0].SpaceBytes < r.Points[2].SpaceBytes) {
+		t.Errorf("space not increasing: %v", r.Points)
+	}
+	if _, err := RunCalcCost(tinyScale(), nil, []int{32}); err == nil {
+		t.Error("no widths: want error")
+	}
+	if !strings.Contains(r.String(), "Figure 5") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunTrainMethods(t *testing.T) {
+	r, err := RunTrainMethods(tinyScale(), []int{64, 512}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{"svm", "cart"} {
+		for _, method := range []string{"H_F", "H_b", "H_b'"} {
+			series := r.Accuracy[model][method]
+			if len(series) != 2 {
+				t.Fatalf("%s/%s series = %v", model, method, series)
+			}
+		}
+	}
+	if _, err := RunTrainMethods(tinyScale(), nil, 0); err == nil {
+		t.Error("no sizes: want error")
+	}
+	if !strings.Contains(r.String(), "Figure 6") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunEstimationGrid(t *testing.T) {
+	r, err := RunEstimationGrid(tinyScale(), []float64{0.5}, []float64{0.5, 0.75}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{"svm", "cart"} {
+		grid := r.Total[model]
+		if len(grid) != 1 || len(grid[0]) != 2 {
+			t.Fatalf("%s grid shape wrong: %v", model, grid)
+		}
+		best := r.Best[model]
+		if best.Accuracy <= 0.34 {
+			t.Errorf("%s best estimated accuracy %v at or below chance", model, best.Accuracy)
+		}
+	}
+	if _, err := RunEstimationGrid(tinyScale(), nil, nil, 0); err == nil {
+		t.Error("empty grid: want error")
+	}
+	if !strings.Contains(r.String(), "Figure 7") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	r, err := RunTable3(tinyScale(), 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 models × (exact@1024, estimated@1024, exact@32) = 6 rows.
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	var exact1024, est1024 *Table3Row
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Buffer == 1024 && strings.HasPrefix(row.Mode, "exact/svm") {
+			exact1024 = row
+		}
+		if row.Buffer == 1024 && strings.HasPrefix(row.Mode, "estimated/svm") {
+			est1024 = row
+		}
+	}
+	if exact1024 == nil || est1024 == nil {
+		t.Fatal("missing svm rows")
+	}
+	// Paper's trade-off: estimation uses less space but more time.
+	if est1024.SpaceBytes >= exact1024.SpaceBytes {
+		t.Errorf("estimation space %d not below exact %d",
+			est1024.SpaceBytes, exact1024.SpaceBytes)
+	}
+	if est1024.TimePerVector <= exact1024.TimePerVector {
+		t.Errorf("estimation time %v not above exact %v",
+			est1024.TimePerVector, exact1024.TimePerVector)
+	}
+	if !strings.Contains(r.String(), "Table 3") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunCDBPurge(t *testing.T) {
+	r, err := RunCDBPurge(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalPackets == 0 || r.TotalFlows == 0 || len(r.Samples) == 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	last := r.Samples[len(r.Samples)-1]
+	if last.SizeWithPurge >= last.SizeWithoutPurge {
+		t.Errorf("purging did not shrink the CDB: %d vs %d",
+			last.SizeWithPurge, last.SizeWithoutPurge)
+	}
+	if r.RemovedByClose == 0 {
+		t.Error("no FIN/RST removals recorded")
+	}
+	if !strings.Contains(r.String(), "Figure 8") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunTraceCDF(t *testing.T) {
+	r, err := RunTraceCDF(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 9(a) shape: most packets small, a visible 1480 spike.
+	if got := r.PayloadSize.At(140); got < 0.4 {
+		t.Errorf("P(size<=140) = %v, want >= 0.4", got)
+	}
+	// The nominal 20% full-size draw is diluted by short flows whose last
+	// packet truncates; demand a still-visible spike.
+	if r.FullSizeShare < 0.05 {
+		t.Errorf("full-size share = %v, want >= 0.05", r.FullSizeShare)
+	}
+	if r.MedianGap <= 0 {
+		t.Error("non-positive median gap")
+	}
+	if !strings.Contains(r.String(), "Figure 9") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunDelay(t *testing.T) {
+	r, err := RunDelay(tinyScale(), []int{32, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	small, large := r.Rows[0], r.Rows[1]
+	// Figure 10 shape: b=32 needs ~1 packet with near-zero delay; larger
+	// buffers need more packets and longer delays.
+	if small.MeanPacketsToFill > large.MeanPacketsToFill {
+		t.Errorf("c(32)=%v > c(1024)=%v", small.MeanPacketsToFill, large.MeanPacketsToFill)
+	}
+	if small.MeanFillDelay > large.MeanFillDelay {
+		t.Errorf("τ_b(32)=%v > τ_b(1024)=%v", small.MeanFillDelay, large.MeanFillDelay)
+	}
+	if r.HashTime <= 0 || r.SearchTime <= 0 {
+		t.Errorf("component timings not measured: hash=%v search=%v", r.HashTime, r.SearchTime)
+	}
+	if !strings.Contains(r.String(), "Figure 10") {
+		t.Error("String() missing header")
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunModelSelection(t *testing.T) {
+	r, err := RunModelSelection(tinyScale(), []float64{10, 50}, []float64{100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ExactGrid) != 4 || len(r.EstimatedGrid) != 4 {
+		t.Fatalf("grid sizes: exact=%d estimated=%d, want 4", len(r.ExactGrid), len(r.EstimatedGrid))
+	}
+	if r.BestExact.Accuracy < 0.5 {
+		t.Errorf("best exact accuracy = %v, want >= 0.5", r.BestExact.Accuracy)
+	}
+	// Estimation adds noise: its best should not beat exact by much.
+	if r.BestEstimated.Accuracy > r.BestExact.Accuracy+0.1 {
+		t.Errorf("estimated best %v implausibly above exact best %v",
+			r.BestEstimated.Accuracy, r.BestExact.Accuracy)
+	}
+	if !strings.Contains(r.String(), "Model selection") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunModelSelectionDefaultsGrid(t *testing.T) {
+	gammas, cs := DefaultModelSelectionGrid()
+	if len(gammas) == 0 || len(cs) == 0 {
+		t.Fatal("empty default grid")
+	}
+}
+
+func TestRunPurgePolicy(t *testing.T) {
+	r, err := RunPurgePolicy(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	none, finrst, full := r.Rows[0], r.Rows[1], r.Rows[2]
+	// No purging: the CDB holds every classified flow at the end.
+	if none.FinalCDBSize <= finrst.FinalCDBSize {
+		t.Errorf("fin-rst purging did not shrink CDB: %d vs %d",
+			none.FinalCDBSize, finrst.FinalCDBSize)
+	}
+	if finrst.FinalCDBSize <= full.FinalCDBSize {
+		t.Errorf("idle purging did not shrink CDB further: %d vs %d",
+			finrst.FinalCDBSize, full.FinalCDBSize)
+	}
+	if none.RemovedByClose != 0 || none.RemovedByIdle != 0 {
+		t.Errorf("policy 'none' removed records: %+v", none)
+	}
+	if full.RemovedByIdle == 0 {
+		t.Error("full policy removed nothing by inactivity")
+	}
+	// Aggressive purging costs reclassifications.
+	if full.Reclassifications < finrst.Reclassifications {
+		t.Errorf("full policy reclassified less (%d) than fin-rst (%d)",
+			full.Reclassifications, finrst.Reclassifications)
+	}
+	if !strings.Contains(r.String(), "Purge-policy") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunEvasion(t *testing.T) {
+	r, err := RunEvasion(tinyScale(), 64, []int{0, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	noSkip, bigSkip := r.Rows[0], r.Rows[1]
+	// With no skip the 64-byte padding owns the whole 32-byte buffer:
+	// evasion should be near-total.
+	if noSkip.EvasionRate < 0.8 {
+		t.Errorf("evasion without skip = %v, want >= 0.8", noSkip.EvasionRate)
+	}
+	// A 512-byte random skip jumps past the padding most of the time.
+	if bigSkip.EvasionRate > noSkip.EvasionRate-0.3 {
+		t.Errorf("random skip barely reduced evasion: %v -> %v",
+			noSkip.EvasionRate, bigSkip.EvasionRate)
+	}
+	// Honest flows must stay usable under the skip.
+	if bigSkip.CleanAccuracy < 0.5 {
+		t.Errorf("clean accuracy under skip = %v, want >= 0.5", bigSkip.CleanAccuracy)
+	}
+	if !strings.Contains(r.String(), "Anti-evasion") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestRunEvasionDefaults(t *testing.T) {
+	r, err := RunEvasion(tinyScale(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PadLen != 64 || len(r.Rows) != 4 {
+		t.Errorf("defaults: padLen=%d rows=%d", r.PadLen, len(r.Rows))
+	}
+}

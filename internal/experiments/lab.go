@@ -1,0 +1,143 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, shared by the repository's benchmark suite
+// (bench_test.go) and the iustitia-bench CLI. Each runner returns a result
+// struct whose String method renders the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/ml/cart"
+	"iustitia/internal/ml/dataset"
+	"iustitia/internal/ml/svm"
+)
+
+// Scale sizes an experiment run. The paper's pools (6,000 files per
+// cross-validation, 10 folds) are reachable with PaperScale; tests and
+// quick runs use SmallScale.
+type Scale struct {
+	// PerClass is the number of corpus files per class.
+	PerClass int
+	// Folds is the cross-validation fold count.
+	Folds int
+	// MinFileSize and MaxFileSize bound synthesized file sizes.
+	MinFileSize, MaxFileSize int
+	// Seed fixes corpus synthesis and all experiment randomness.
+	Seed int64
+}
+
+// SmallScale is a seconds-long configuration for tests and smoke runs.
+func SmallScale() Scale {
+	return Scale{PerClass: 45, Folds: 3, MinFileSize: 2 << 10, MaxFileSize: 6 << 10, Seed: 1}
+}
+
+// DefaultScale is the benchmark configuration: large enough for stable
+// accuracy estimates, small enough for a laptop.
+func DefaultScale() Scale {
+	return Scale{PerClass: 150, Folds: 5, MinFileSize: 2 << 10, MaxFileSize: 12 << 10, Seed: 1}
+}
+
+// PaperScale mirrors the paper's cross-validation pools (2,000 files per
+// class per validation, 10 folds). Expect minutes per experiment.
+func PaperScale() Scale {
+	return Scale{PerClass: 2000, Folds: 10, MinFileSize: 2 << 10, MaxFileSize: 32 << 10, Seed: 1}
+}
+
+func (s Scale) validate() error {
+	if s.PerClass < s.Folds {
+		return fmt.Errorf("experiments: %d files per class cannot fill %d folds", s.PerClass, s.Folds)
+	}
+	if s.Folds < 2 {
+		return fmt.Errorf("experiments: need at least 2 folds, got %d", s.Folds)
+	}
+	if s.MinFileSize <= 0 || s.MaxFileSize < s.MinFileSize {
+		return fmt.Errorf("experiments: invalid file size range [%d, %d]", s.MinFileSize, s.MaxFileSize)
+	}
+	return nil
+}
+
+// buildPool synthesizes the experiment's corpus.
+func buildPool(s Scale) ([]corpus.File, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return corpus.NewGenerator(s.Seed).Pool(s.PerClass, s.MinFileSize, s.MaxFileSize)
+}
+
+// paperSVMConfig is the paper's selected SVM model: RBF kernel with γ=50,
+// C=1000, DAGSVM multi-class.
+func paperSVMConfig(seed int64) svm.Config {
+	return svm.Config{Kernel: svm.RBF{Gamma: 50}, C: 1000, Seed: seed}
+}
+
+// paperCARTConfig grows trees with a small leaf floor to curb overfitting
+// on the continuous entropy features.
+func paperCARTConfig() cart.Config {
+	return cart.Config{MinLeaf: 3}
+}
+
+// trainEval trains a model on a fold's training split and evaluates on its
+// test split.
+type trainEval func(fold dataset.Fold) (*dataset.Confusion, error)
+
+func cartTrainEval(cfg cart.Config) trainEval {
+	return func(fold dataset.Fold) (*dataset.Confusion, error) {
+		tree, err := cart.Train(fold.Train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return tree.Evaluate(fold.Test)
+	}
+}
+
+func svmTrainEval(cfg svm.Config) trainEval {
+	return func(fold dataset.Fold) (*dataset.Confusion, error) {
+		model, err := svm.Train(fold.Train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return model.Evaluate(fold.Test)
+	}
+}
+
+// crossValidate runs stratified k-fold cross validation and returns the
+// merged confusion matrix plus per-fold accuracies.
+func crossValidate(ds *dataset.Dataset, folds int, seed int64, te trainEval) (*dataset.Confusion, []float64, error) {
+	split, err := ds.StratifiedKFold(folds, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, err := dataset.NewConfusion(ds.Classes, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	accs := make([]float64, 0, folds)
+	for i, fold := range split {
+		conf, err := te(fold)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: fold %d: %w", i, err)
+		}
+		accs = append(accs, conf.Accuracy())
+		if err := merged.Merge(conf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return merged, accs, nil
+}
+
+// widthsLabel renders a feature-width set as the paper writes it, e.g.
+// "<h1,h3,h4,h10>".
+func widthsLabel(widths []int) string {
+	parts := make([]string, len(widths))
+	for i, k := range widths {
+		parts[i] = fmt.Sprintf("h%d", k)
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+
+// percent renders a fraction as "NN.NN%".
+func percent(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

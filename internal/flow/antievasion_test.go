@@ -1,0 +1,140 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+func TestRandomSkipDefeatsPadding(t *testing.T) {
+	// An attacker prepends 64 bytes of 'E' (encrypted-looking padding) to
+	// a text flow. Without random skip, classification sees only padding;
+	// with RandomSkipMax large enough, some flows classify on real
+	// content.
+	newEngineWithSkip := func(skip int) *Engine {
+		e, err := NewEngine(EngineConfig{
+			BufferSize:    8,
+			Classifier:    firstByteClassifier(),
+			RandomSkipMax: skip,
+			Seed:          7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	padding := make([]byte, 64)
+	for i := range padding {
+		padding[i] = 'E'
+	}
+	content := make([]byte, 256)
+	for i := range content {
+		content[i] = 'T'
+	}
+	payload := string(padding) + string(content)
+
+	classify := func(e *Engine, port uint16) corpus.Class {
+		v, err := e.Process(dataPacket(tuple(port, packet.TCP), 0, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Classified {
+			t.Fatal("flow did not classify")
+		}
+		return v.Queue
+	}
+
+	noSkip := newEngineWithSkip(0)
+	if got := classify(noSkip, 1); got != corpus.Encrypted {
+		t.Fatalf("without skip, padding should win: got %v", got)
+	}
+
+	withSkip := newEngineWithSkip(200)
+	textSeen := false
+	for port := uint16(1); port <= 20; port++ {
+		if classify(withSkip, port) == corpus.Text {
+			textSeen = true
+			break
+		}
+	}
+	if !textSeen {
+		t.Error("random skip never jumped past the deceiving padding in 20 flows")
+	}
+}
+
+func TestRandomSkipValidation(t *testing.T) {
+	_, err := NewEngine(EngineConfig{
+		BufferSize:    8,
+		Classifier:    firstByteClassifier(),
+		RandomSkipMax: -1,
+	})
+	if err == nil {
+		t.Error("negative RandomSkipMax: want error")
+	}
+}
+
+func TestCDBMaxAgeForcesReclassification(t *testing.T) {
+	cdb := NewCDB(CDBConfig{MaxAge: time.Second})
+	id := IDOf(tuple(9, packet.TCP))
+	cdb.Insert(id, corpus.Text, 0)
+	if _, ok := cdb.Lookup(id, 500*time.Millisecond); !ok {
+		t.Fatal("fresh record missing")
+	}
+	if _, ok := cdb.Lookup(id, 2*time.Second); ok {
+		t.Fatal("expired record still served")
+	}
+	if cdb.Size() != 0 {
+		t.Error("expired record not removed")
+	}
+	if got := cdb.Stats().Expired; got != 1 {
+		t.Errorf("Expired = %d, want 1", got)
+	}
+}
+
+func TestCDBMaxAgeDisabledByDefault(t *testing.T) {
+	cdb := NewCDB(CDBConfig{})
+	id := IDOf(tuple(10, packet.TCP))
+	cdb.Insert(id, corpus.Text, 0)
+	if _, ok := cdb.Lookup(id, 1000*time.Hour); !ok {
+		t.Error("record expired despite MaxAge=0")
+	}
+}
+
+func TestEngineReclassifiesExpiredFlow(t *testing.T) {
+	e, err := NewEngine(EngineConfig{
+		BufferSize: 4,
+		Classifier: firstByteClassifier(),
+		CDB:        CDBConfig{MaxAge: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple(11, packet.TCP)
+	// First classification: text.
+	v, err := e.Process(dataPacket(tp, 0, "TTTT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified || v.Queue != corpus.Text {
+		t.Fatalf("first verdict = %+v", v)
+	}
+	// Within MaxAge: CDB hit.
+	v, err = e.Process(dataPacket(tp, 500*time.Millisecond, "EEEE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.FromCDB {
+		t.Fatalf("pre-expiry verdict = %+v, want CDB hit", v)
+	}
+	// After MaxAge: the flow content changed to encrypted; the record
+	// expires and the flow is rebuffered and reclassified.
+	v, err = e.Process(dataPacket(tp, 3*time.Second, "EEEE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified || v.Queue != corpus.Encrypted {
+		t.Fatalf("post-expiry verdict = %+v, want fresh encrypted classification", v)
+	}
+}

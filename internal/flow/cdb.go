@@ -1,0 +1,205 @@
+package flow
+
+import (
+	"sync"
+	"time"
+
+	"iustitia/internal/corpus"
+)
+
+// CDBConfig tunes the Classification Database's purge behaviour.
+type CDBConfig struct {
+	// PurgeOnClose removes a flow's record when a FIN or RST packet is
+	// seen (paper: up to 46% of flows are removable this way).
+	PurgeOnClose bool
+	// PurgeInactive removes records idle longer than N times their last
+	// observed inter-arrival time λ (paper's t_current − t_Fi > n·λ rule).
+	PurgeInactive bool
+	// N is the inactivity coefficient n; the paper finds n = 4 optimal.
+	// Values <= 0 default to 4.
+	N float64
+	// DefaultLambda is the λ assumed for flows with a single observed
+	// packet. Values <= 0 default to the paper's 0.5 s.
+	DefaultLambda time.Duration
+	// PurgeEvery triggers an inactivity sweep whenever this many new
+	// flows have been inserted since the last sweep (paper: 5,000).
+	// Values <= 0 default to 5000.
+	PurgeEvery int
+	// MaxAge, when positive, expires a record this long after its flow
+	// was classified, forcing reclassification — the paper's §4.6
+	// countermeasure against attackers who prepend deceiving padding to a
+	// flow and then switch content. Zero disables expiry.
+	MaxAge time.Duration
+}
+
+func (c CDBConfig) withDefaults() CDBConfig {
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.DefaultLambda <= 0 {
+		c.DefaultLambda = 500 * time.Millisecond
+	}
+	if c.PurgeEvery <= 0 {
+		c.PurgeEvery = 5000
+	}
+	return c
+}
+
+// cdbRecord is one CDB entry. Together with its map key it corresponds to
+// the paper's 194-bit record (hash + λ + label).
+type cdbRecord struct {
+	label        corpus.Class
+	lastSeen     time.Duration
+	lambda       time.Duration
+	classifiedAt time.Duration
+}
+
+// CDB is the Classification Database: flow ID -> class label, with the
+// paper's two purge policies. It is safe for concurrent use.
+type CDB struct {
+	cfg CDBConfig
+
+	mu              sync.Mutex
+	records         map[ID]cdbRecord
+	sinceLastSweep  int
+	removedByClose  int
+	removedByIdle   int
+	insertions      int
+	reinsertedFlows map[ID]struct{}
+	reinsertions    int
+	expired         int
+}
+
+// NewCDB returns an empty CDB.
+func NewCDB(cfg CDBConfig) *CDB {
+	return &CDB{
+		cfg:             cfg.withDefaults(),
+		records:         make(map[ID]cdbRecord),
+		reinsertedFlows: make(map[ID]struct{}),
+	}
+}
+
+// Lookup returns the class of a known flow and refreshes its activity
+// clock (updating λ from the gap since the previous packet).
+func (c *CDB) Lookup(id ID, now time.Duration) (corpus.Class, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	rec, ok := c.records[id]
+	if !ok {
+		return 0, false
+	}
+	if c.cfg.MaxAge > 0 && now-rec.classifiedAt > c.cfg.MaxAge {
+		// Stale label: expire the record so the flow is reclassified.
+		delete(c.records, id)
+		c.expired++
+		return 0, false
+	}
+	if gap := now - rec.lastSeen; gap > 0 {
+		rec.lambda = gap
+	}
+	rec.lastSeen = now
+	c.records[id] = rec
+	return rec.label, true
+}
+
+// Insert stores a newly classified flow and runs the periodic inactivity
+// sweep when due.
+func (c *CDB) Insert(id ID, label corpus.Class, now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if _, seen := c.reinsertedFlows[id]; seen {
+		c.reinsertions++
+	} else {
+		c.reinsertedFlows[id] = struct{}{}
+	}
+	c.records[id] = cdbRecord{
+		label:        label,
+		lastSeen:     now,
+		lambda:       c.cfg.DefaultLambda,
+		classifiedAt: now,
+	}
+	c.insertions++
+	c.sinceLastSweep++
+	if c.cfg.PurgeInactive && c.sinceLastSweep >= c.cfg.PurgeEvery {
+		c.sweepLocked(now)
+		c.sinceLastSweep = 0
+	}
+}
+
+// Close removes a flow on FIN/RST when PurgeOnClose is enabled. It reports
+// whether a record was removed.
+func (c *CDB) Close(id ID) bool {
+	if !c.cfg.PurgeOnClose {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.records[id]; !ok {
+		return false
+	}
+	delete(c.records, id)
+	c.removedByClose++
+	return true
+}
+
+// Sweep removes every record idle longer than n·λ at the given time and
+// returns how many were removed. It is also invoked automatically every
+// PurgeEvery insertions.
+func (c *CDB) Sweep(now time.Duration) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sweepLocked(now)
+}
+
+func (c *CDB) sweepLocked(now time.Duration) int {
+	removed := 0
+	for id, rec := range c.records {
+		if now-rec.lastSeen > time.Duration(c.cfg.N*float64(rec.lambda)) {
+			delete(c.records, id)
+			removed++
+		}
+	}
+	c.removedByIdle += removed
+	return removed
+}
+
+// Size returns the number of live records.
+func (c *CDB) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// CDBStats is a snapshot of CDB accounting.
+type CDBStats struct {
+	Size           int
+	Insertions     int
+	RemovedByClose int
+	RemovedByIdle  int
+	// Reinsertions counts flows classified more than once because their
+	// record had been purged — the reclassification cost of aggressive
+	// purging the paper weighs when choosing n.
+	Reinsertions int
+	// Expired counts records dropped by the MaxAge reclassification rule.
+	Expired int
+}
+
+// Stats returns a snapshot of the CDB counters.
+func (c *CDB) Stats() CDBStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CDBStats{
+		Size:           len(c.records),
+		Insertions:     c.insertions,
+		RemovedByClose: c.removedByClose,
+		RemovedByIdle:  c.removedByIdle,
+		Reinsertions:   c.reinsertions,
+		Expired:        c.expired,
+	}
+}
+
+// ApproxBits returns the CDB's live size in paper-accounted bits
+// (RecordBits per record).
+func (c *CDB) ApproxBits() int { return c.Size() * RecordBits }

@@ -1,0 +1,357 @@
+package flow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"iustitia/internal/appheader"
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+// Classifier labels a buffered payload prefix with its content nature.
+// Implementations are the entropy-vector + CART/SVM classifiers from
+// internal/core; tests may plug anything.
+type Classifier interface {
+	Classify(payload []byte) (corpus.Class, error)
+}
+
+// ClassifierFunc adapts a function to the Classifier interface.
+type ClassifierFunc func(payload []byte) (corpus.Class, error)
+
+// Classify implements Classifier.
+func (f ClassifierFunc) Classify(payload []byte) (corpus.Class, error) { return f(payload) }
+
+// EngineConfig assembles an online flow-classification engine.
+type EngineConfig struct {
+	// BufferSize is b: payload bytes buffered per new flow before its
+	// entropy vector is extracted. Must be positive.
+	BufferSize int
+	// Classifier labels filled buffers. Required.
+	Classifier Classifier
+	// CDB tunes the classification database.
+	CDB CDBConfig
+	// StripKnownHeaders removes recognized application-layer headers
+	// (HTTP/SMTP/POP3/IMAP/FTP) from the head of a flow before buffering.
+	StripKnownHeaders bool
+	// HeaderThreshold is T: payload bytes skipped at the start of every
+	// flow whose header is not recognized, jumping over unknown
+	// application headers. Zero disables skipping.
+	HeaderThreshold int
+	// IdleFlush classifies a partially filled buffer once the flow has
+	// been quiet this long, so short flows are not stuck unbuffered
+	// forever ("when the buffer stops receiving packets for a certain
+	// period of time"). Zero disables idle flushing; call FlushAll at end
+	// of trace instead.
+	IdleFlush time.Duration
+	// RandomSkipMax, when positive, skips a uniform random number of
+	// payload bytes in [0, RandomSkipMax] at the start of every new flow
+	// before buffering — the paper's §4.6 countermeasure against
+	// attackers who prepend deceiving (e.g. encrypted-looking) padding to
+	// dodge deep inspection. The skip is applied on top of header
+	// stripping/thresholds.
+	RandomSkipMax int
+	// Seed drives the random-skip draws.
+	Seed int64
+}
+
+// Verdict reports what the engine did with one packet.
+type Verdict struct {
+	// Queue is the output queue (class) the packet was routed to.
+	Queue corpus.Class
+	// Routed is false while the flow is still being buffered.
+	Routed bool
+	// FromCDB is true when the label came from a CDB hit.
+	FromCDB bool
+	// Classified is true on the single packet that completed the flow's
+	// buffer and triggered classification.
+	Classified bool
+}
+
+// pending is a flow still filling its buffer.
+type pending struct {
+	buf        []byte
+	skipLeft   int
+	checkedHdr bool
+	// headerCont is set when a recognized HTTP header did not finish
+	// inside the first packet: subsequent payload is discarded until the
+	// blank-line terminator is found (tail carries the last bytes of the
+	// previous chunk so a terminator split across packets still matches).
+	headerCont  bool
+	headerTail  []byte
+	headerSpent int
+	firstSeen   time.Duration
+	lastSeen    time.Duration
+	packets     int
+}
+
+// maxHeaderSpan caps how many bytes a multi-packet application header may
+// consume before the engine gives up and buffers raw payload.
+const maxHeaderSpan = 8 << 10
+
+// FillStats records buffering-delay measurements for one classified flow
+// (the Figure 10 quantities).
+type FillStats struct {
+	// Packets is c: how many data packets were needed to fill the buffer.
+	Packets int
+	// Delay is τ_b: virtual time from the flow's first buffered packet to
+	// classification.
+	Delay time.Duration
+}
+
+// Engine is the online flow classifier. It is safe for concurrent use,
+// though trace replay is typically sequential.
+type Engine struct {
+	cfg EngineConfig
+	cdb *CDB
+
+	mu       sync.Mutex
+	rng      *rand.Rand // guarded by mu; drives random-skip draws
+	pend     map[ID]*pending
+	queued   [corpus.NumClasses]int
+	fills    []FillStats
+	labelled map[ID]corpus.Class // ground-truth-comparable outcomes, by flow
+}
+
+// NewEngine validates cfg and builds an engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.BufferSize <= 0 {
+		return nil, errors.New("flow: buffer size must be positive")
+	}
+	if cfg.Classifier == nil {
+		return nil, errors.New("flow: classifier is required")
+	}
+	if cfg.HeaderThreshold < 0 {
+		return nil, fmt.Errorf("flow: negative header threshold %d", cfg.HeaderThreshold)
+	}
+	if cfg.RandomSkipMax < 0 {
+		return nil, fmt.Errorf("flow: negative random skip %d", cfg.RandomSkipMax)
+	}
+	return &Engine{
+		cfg:      cfg,
+		cdb:      NewCDB(cfg.CDB),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pend:     make(map[ID]*pending),
+		labelled: make(map[ID]corpus.Class),
+	}, nil
+}
+
+// CDB exposes the engine's classification database for inspection.
+func (e *Engine) CDB() *CDB { return e.cdb }
+
+// Process handles one packet at its virtual capture time and returns the
+// engine's verdict.
+func (e *Engine) Process(p *packet.Packet) (Verdict, error) {
+	if p == nil {
+		return Verdict{}, errors.New("flow: nil packet")
+	}
+	id := IDOf(p.Tuple)
+
+	// TCP teardown: purge the CDB record; the packet itself carries no
+	// payload to route.
+	if p.Flags.Has(packet.FlagFIN) || p.Flags.Has(packet.FlagRST) {
+		e.cdb.Close(id)
+		e.mu.Lock()
+		delete(e.pend, id)
+		e.mu.Unlock()
+		return Verdict{}, nil
+	}
+
+	if label, ok := e.cdb.Lookup(id, p.Time); ok {
+		e.mu.Lock()
+		e.queued[label]++
+		e.mu.Unlock()
+		return Verdict{Queue: label, Routed: true, FromCDB: true}, nil
+	}
+	if !p.IsData() {
+		return Verdict{}, nil
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	fl := e.pend[id]
+	if fl == nil {
+		fl = &pending{firstSeen: p.Time, skipLeft: -1}
+		e.pend[id] = fl
+	}
+	fl.lastSeen = p.Time
+	fl.packets++
+
+	payload := p.Payload
+	if !fl.checkedHdr {
+		// First data packet decides header handling for the whole flow.
+		fl.checkedHdr = true
+		fl.skipLeft = 0
+		if e.cfg.StripKnownHeaders {
+			if stripped, proto := appheader.Strip(payload); proto != appheader.Unknown {
+				if proto == appheader.HTTP && len(stripped) == 0 {
+					// The header did not finish in this packet: keep
+					// discarding until its blank-line terminator.
+					fl.headerCont = true
+					fl.headerTail = tailOf(payload)
+					fl.headerSpent = len(payload)
+				}
+				payload = stripped
+			} else {
+				fl.skipLeft = e.cfg.HeaderThreshold
+			}
+		} else {
+			fl.skipLeft = e.cfg.HeaderThreshold
+		}
+		if e.cfg.RandomSkipMax > 0 {
+			fl.skipLeft += e.rng.Intn(e.cfg.RandomSkipMax + 1)
+		}
+	} else if fl.headerCont {
+		payload = fl.continueHeader(payload)
+	}
+	if fl.skipLeft > 0 {
+		if fl.skipLeft >= len(payload) {
+			fl.skipLeft -= len(payload)
+			return Verdict{}, nil
+		}
+		payload = payload[fl.skipLeft:]
+		fl.skipLeft = 0
+	}
+
+	need := e.cfg.BufferSize - len(fl.buf)
+	if len(payload) > need {
+		payload = payload[:need]
+	}
+	fl.buf = append(fl.buf, payload...)
+
+	if len(fl.buf) < e.cfg.BufferSize {
+		return Verdict{}, nil
+	}
+	return e.classifyLocked(id, fl, p.Time)
+}
+
+// headerTerminator ends an HTTP header.
+var headerTerminator = []byte("\r\n\r\n")
+
+// tailOf returns the last len(headerTerminator)-1 bytes of chunk, for
+// matching a terminator split across packet boundaries.
+func tailOf(chunk []byte) []byte {
+	keep := len(headerTerminator) - 1
+	if len(chunk) < keep {
+		keep = len(chunk)
+	}
+	return append([]byte(nil), chunk[len(chunk)-keep:]...)
+}
+
+// continueHeader consumes payload while a multi-packet HTTP header is
+// still open, returning the content bytes after its terminator (nil while
+// the header continues). After maxHeaderSpan bytes it gives up and buffers
+// payload raw.
+func (fl *pending) continueHeader(payload []byte) []byte {
+	joined := append(append([]byte(nil), fl.headerTail...), payload...)
+	if i := bytes.Index(joined, headerTerminator); i >= 0 {
+		fl.headerCont = false
+		fl.headerTail = nil
+		return joined[i+len(headerTerminator):]
+	}
+	fl.headerSpent += len(payload)
+	if fl.headerSpent > maxHeaderSpan {
+		fl.headerCont = false
+		fl.headerTail = nil
+		return payload
+	}
+	fl.headerTail = tailOf(joined)
+	return nil
+}
+
+// classifyLocked labels a filled (or flushed) buffer, updates the CDB and
+// queues, and retires the pending state. Caller holds e.mu.
+func (e *Engine) classifyLocked(id ID, fl *pending, now time.Duration) (Verdict, error) {
+	label, err := e.cfg.Classifier.Classify(fl.buf)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("flow: classify: %w", err)
+	}
+	delete(e.pend, id)
+	e.cdb.Insert(id, label, now)
+	e.labelled[id] = label
+	e.queued[label]++
+	e.fills = append(e.fills, FillStats{
+		Packets: fl.packets,
+		Delay:   now - fl.firstSeen,
+	})
+	return Verdict{Queue: label, Routed: true, Classified: true}, nil
+}
+
+// FlushIdle classifies every pending flow quiet for at least the
+// configured IdleFlush at virtual time now. It returns how many flows were
+// flushed. Flows whose buffers are still empty (e.g. all bytes consumed by
+// header skipping) are dropped unclassified.
+func (e *Engine) FlushIdle(now time.Duration) (int, error) {
+	if e.cfg.IdleFlush <= 0 {
+		return 0, nil
+	}
+	return e.flush(func(fl *pending) bool { return now-fl.lastSeen >= e.cfg.IdleFlush }, now)
+}
+
+// FlushAll classifies every pending flow regardless of idle time — the end
+// of a trace replay.
+func (e *Engine) FlushAll(now time.Duration) (int, error) {
+	return e.flush(func(*pending) bool { return true }, now)
+}
+
+func (e *Engine) flush(due func(*pending) bool, now time.Duration) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	flushed := 0
+	for id, fl := range e.pend {
+		if !due(fl) {
+			continue
+		}
+		if len(fl.buf) == 0 {
+			delete(e.pend, id)
+			continue
+		}
+		if _, err := e.classifyLocked(id, fl, now); err != nil {
+			return flushed, err
+		}
+		flushed++
+	}
+	return flushed, nil
+}
+
+// Label returns the engine's class decision for a flow, if it was
+// classified.
+func (e *Engine) Label(t packet.FiveTuple) (corpus.Class, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	label, ok := e.labelled[IDOf(t)]
+	return label, ok
+}
+
+// EngineStats is a point-in-time summary of engine activity.
+type EngineStats struct {
+	Pending     int
+	Classified  int
+	QueueCounts [corpus.NumClasses]int
+	CDB         CDBStats
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		Pending:     len(e.pend),
+		Classified:  len(e.fills),
+		QueueCounts: e.queued,
+		CDB:         e.cdb.Stats(),
+	}
+}
+
+// FillStats returns a copy of the per-flow buffering measurements gathered
+// so far.
+func (e *Engine) FillStats() []FillStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]FillStats(nil), e.fills...)
+}

@@ -1,0 +1,404 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+func tuple(srcPort uint16, transport packet.Transport) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{192, 168, 0, 1},
+		SrcPort: srcPort, DstPort: 80, Transport: transport,
+	}
+}
+
+func TestIDOfDeterministicAndDistinct(t *testing.T) {
+	a := IDOf(tuple(1000, packet.TCP))
+	b := IDOf(tuple(1000, packet.TCP))
+	c := IDOf(tuple(1001, packet.TCP))
+	if a != b {
+		t.Error("same tuple hashed differently")
+	}
+	if a == c {
+		t.Error("different tuples collided")
+	}
+	if a == IDOf(tuple(1000, packet.UDP)) {
+		t.Error("transport not part of the flow ID")
+	}
+}
+
+func TestCDBLookupInsert(t *testing.T) {
+	cdb := NewCDB(CDBConfig{})
+	id := IDOf(tuple(1, packet.TCP))
+	if _, ok := cdb.Lookup(id, 0); ok {
+		t.Error("empty CDB returned a record")
+	}
+	cdb.Insert(id, corpus.Binary, time.Second)
+	label, ok := cdb.Lookup(id, 2*time.Second)
+	if !ok || label != corpus.Binary {
+		t.Errorf("Lookup = (%v, %v), want (binary, true)", label, ok)
+	}
+	if cdb.Size() != 1 {
+		t.Errorf("Size = %d, want 1", cdb.Size())
+	}
+	if cdb.ApproxBits() != RecordBits {
+		t.Errorf("ApproxBits = %d, want %d", cdb.ApproxBits(), RecordBits)
+	}
+}
+
+func TestCDBCloseRespectsPolicy(t *testing.T) {
+	id := IDOf(tuple(2, packet.TCP))
+
+	enabled := NewCDB(CDBConfig{PurgeOnClose: true})
+	enabled.Insert(id, corpus.Text, 0)
+	if !enabled.Close(id) {
+		t.Error("Close should remove with PurgeOnClose")
+	}
+	if enabled.Size() != 0 {
+		t.Error("record survived Close")
+	}
+	if enabled.Close(id) {
+		t.Error("Close on missing record reported removal")
+	}
+
+	disabled := NewCDB(CDBConfig{PurgeOnClose: false})
+	disabled.Insert(id, corpus.Text, 0)
+	if disabled.Close(id) || disabled.Size() != 1 {
+		t.Error("Close should be a no-op with PurgeOnClose=false")
+	}
+}
+
+func TestCDBInactivitySweep(t *testing.T) {
+	cdb := NewCDB(CDBConfig{PurgeInactive: true, N: 4, DefaultLambda: 100 * time.Millisecond})
+	idle := IDOf(tuple(3, packet.TCP))
+	active := IDOf(tuple(4, packet.TCP))
+	cdb.Insert(idle, corpus.Text, 0)
+	cdb.Insert(active, corpus.Text, 0)
+	// active gets a packet at t=900ms: lambda becomes 900ms.
+	cdb.Lookup(active, 900*time.Millisecond)
+
+	// At t=1s: idle has been quiet 1s > 4*100ms and goes; active was seen
+	// 100ms ago < 4*900ms and stays.
+	removed := cdb.Sweep(time.Second)
+	if removed != 1 {
+		t.Fatalf("Sweep removed %d, want 1", removed)
+	}
+	if _, ok := cdb.Lookup(active, time.Second); !ok {
+		t.Error("active flow was swept")
+	}
+	if _, ok := cdb.Lookup(idle, time.Second); ok {
+		t.Error("idle flow survived the sweep")
+	}
+	stats := cdb.Stats()
+	if stats.RemovedByIdle != 1 {
+		t.Errorf("RemovedByIdle = %d, want 1", stats.RemovedByIdle)
+	}
+}
+
+func TestCDBLambdaUpdatesFromTraffic(t *testing.T) {
+	cdb := NewCDB(CDBConfig{PurgeInactive: true, N: 2, DefaultLambda: 10 * time.Millisecond})
+	id := IDOf(tuple(5, packet.TCP))
+	cdb.Insert(id, corpus.Text, 0)
+	// A slow flow: packet at t=1s stretches lambda to 1s, so at t=2.5s
+	// (idle 1.5s < 2*1s) it must survive.
+	cdb.Lookup(id, time.Second)
+	if removed := cdb.Sweep(2500 * time.Millisecond); removed != 0 {
+		t.Errorf("slow-but-alive flow swept (removed=%d)", removed)
+	}
+	// But at t=3.1s (idle 2.1s > 2s) it goes.
+	if removed := cdb.Sweep(3100 * time.Millisecond); removed != 1 {
+		t.Errorf("Sweep removed %d, want 1", removed)
+	}
+}
+
+func TestCDBAutoSweepEveryN(t *testing.T) {
+	cdb := NewCDB(CDBConfig{PurgeInactive: true, N: 1, DefaultLambda: time.Millisecond, PurgeEvery: 10})
+	// First 9 inserts at t=0 (they will all be stale by t=1s).
+	for i := 0; i < 9; i++ {
+		cdb.Insert(IDOf(tuple(uint16(100+i), packet.TCP)), corpus.Text, 0)
+	}
+	if cdb.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", cdb.Size())
+	}
+	// The 10th insert arrives much later and triggers the sweep.
+	cdb.Insert(IDOf(tuple(200, packet.TCP)), corpus.Text, time.Second)
+	if got := cdb.Size(); got != 1 {
+		t.Errorf("auto-sweep left %d records, want 1", got)
+	}
+}
+
+func TestCDBReinsertionCounting(t *testing.T) {
+	cdb := NewCDB(CDBConfig{PurgeOnClose: true})
+	id := IDOf(tuple(6, packet.TCP))
+	cdb.Insert(id, corpus.Text, 0)
+	cdb.Close(id)
+	cdb.Insert(id, corpus.Text, time.Second)
+	if got := cdb.Stats().Reinsertions; got != 1 {
+		t.Errorf("Reinsertions = %d, want 1", got)
+	}
+}
+
+// firstByteClassifier labels by the first payload byte, making engine
+// behaviour fully deterministic in tests: 'T' -> text, 'E' -> encrypted,
+// anything else -> binary.
+func firstByteClassifier() Classifier {
+	return ClassifierFunc(func(payload []byte) (corpus.Class, error) {
+		if len(payload) == 0 {
+			return 0, errors.New("empty payload")
+		}
+		switch payload[0] {
+		case 'T':
+			return corpus.Text, nil
+		case 'E':
+			return corpus.Encrypted, nil
+		default:
+			return corpus.Binary, nil
+		}
+	})
+}
+
+func newTestEngine(t *testing.T, cfg EngineConfig) *Engine {
+	t.Helper()
+	if cfg.Classifier == nil {
+		cfg.Classifier = firstByteClassifier()
+	}
+	if cfg.BufferSize == 0 {
+		cfg.BufferSize = 8
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func dataPacket(tp packet.FiveTuple, at time.Duration, payload string) *packet.Packet {
+	return &packet.Packet{Tuple: tp, Time: at, Flags: packet.FlagACK, Payload: []byte(payload)}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{BufferSize: 0, Classifier: firstByteClassifier()}); err == nil {
+		t.Error("b=0: want error")
+	}
+	if _, err := NewEngine(EngineConfig{BufferSize: 8}); err == nil {
+		t.Error("nil classifier: want error")
+	}
+	if _, err := NewEngine(EngineConfig{BufferSize: 8, Classifier: firstByteClassifier(), HeaderThreshold: -1}); err == nil {
+		t.Error("negative T: want error")
+	}
+}
+
+func TestEngineBuffersThenClassifies(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{BufferSize: 8})
+	tp := tuple(1000, packet.TCP)
+
+	v, err := e.Process(dataPacket(tp, 0, "TTTT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Routed || v.Classified {
+		t.Errorf("first half-buffer packet: verdict = %+v, want buffered", v)
+	}
+	v, err = e.Process(dataPacket(tp, 10*time.Millisecond, "TTTT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified || !v.Routed || v.Queue != corpus.Text {
+		t.Errorf("buffer-completing packet: verdict = %+v", v)
+	}
+
+	// Subsequent packets hit the CDB.
+	v, err = e.Process(dataPacket(tp, 20*time.Millisecond, "whatever"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.FromCDB || v.Queue != corpus.Text {
+		t.Errorf("post-classification packet: verdict = %+v", v)
+	}
+
+	if label, ok := e.Label(tp); !ok || label != corpus.Text {
+		t.Errorf("Label = (%v, %v), want (text, true)", label, ok)
+	}
+	fills := e.FillStats()
+	if len(fills) != 1 || fills[0].Packets != 2 || fills[0].Delay != 10*time.Millisecond {
+		t.Errorf("FillStats = %+v", fills)
+	}
+}
+
+func TestEngineTruncatesOverfill(t *testing.T) {
+	// A single oversized packet must classify on exactly b bytes.
+	var got []byte
+	e := newTestEngine(t, EngineConfig{
+		BufferSize: 4,
+		Classifier: ClassifierFunc(func(p []byte) (corpus.Class, error) {
+			got = append([]byte(nil), p...)
+			return corpus.Binary, nil
+		}),
+	})
+	if _, err := e.Process(dataPacket(tuple(1, packet.TCP), 0, "ABCDEFGH")); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ABCD" {
+		t.Errorf("classifier saw %q, want %q", got, "ABCD")
+	}
+}
+
+func TestEngineFINPurgesAndDropsPending(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{BufferSize: 8, CDB: CDBConfig{PurgeOnClose: true}})
+	tp := tuple(2000, packet.TCP)
+	if _, err := e.Process(dataPacket(tp, 0, "TTTTTTTT")); err != nil {
+		t.Fatal(err)
+	}
+	if e.CDB().Size() != 1 {
+		t.Fatal("flow not in CDB")
+	}
+	fin := &packet.Packet{Tuple: tp, Time: time.Second, Flags: packet.FlagFIN | packet.FlagACK}
+	if _, err := e.Process(fin); err != nil {
+		t.Fatal(err)
+	}
+	if e.CDB().Size() != 0 {
+		t.Error("FIN did not purge the CDB record")
+	}
+
+	// FIN on a still-pending flow drops its buffer.
+	tp2 := tuple(2001, packet.TCP)
+	if _, err := e.Process(dataPacket(tp2, 0, "TT")); err != nil {
+		t.Fatal(err)
+	}
+	rst := &packet.Packet{Tuple: tp2, Time: time.Second, Flags: packet.FlagRST}
+	if _, err := e.Process(rst); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Pending; got != 0 {
+		t.Errorf("Pending = %d after RST, want 0", got)
+	}
+}
+
+func TestEngineHeaderThresholdSkips(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{BufferSize: 4, HeaderThreshold: 6})
+	tp := tuple(3000, packet.TCP)
+	// 6 header bytes then the real content "EEEE".
+	if _, err := e.Process(dataPacket(tp, 0, "HDR")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Process(dataPacket(tp, 1, "HDR")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Process(dataPacket(tp, 2, "EEEE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified || v.Queue != corpus.Encrypted {
+		t.Errorf("verdict = %+v, want encrypted classification", v)
+	}
+}
+
+func TestEngineStripsKnownHeaders(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{BufferSize: 4, StripKnownHeaders: true})
+	tp := tuple(4000, packet.TCP)
+	payload := "HTTP/1.1 200 OK\r\nContent-Type: x\r\n\r\nEEEE"
+	v, err := e.Process(dataPacket(tp, 0, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified || v.Queue != corpus.Encrypted {
+		t.Errorf("verdict = %+v, want encrypted after HTTP strip", v)
+	}
+}
+
+func TestEngineIdleFlush(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{BufferSize: 1024, IdleFlush: time.Second})
+	tp := tuple(5000, packet.UDP)
+	if _, err := e.Process(dataPacket(tp, 0, "EEEE")); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet idle long enough.
+	n, err := e.FlushIdle(500 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("early flush classified %d flows", n)
+	}
+	n, err = e.FlushIdle(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("idle flush classified %d flows, want 1", n)
+	}
+	if label, ok := e.Label(tp); !ok || label != corpus.Encrypted {
+		t.Errorf("Label = (%v, %v), want encrypted", label, ok)
+	}
+}
+
+func TestEngineIdleFlushDisabled(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{BufferSize: 1024})
+	if _, err := e.Process(dataPacket(tuple(1, packet.UDP), 0, "EE")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.FlushIdle(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Error("FlushIdle should be a no-op when disabled")
+	}
+	n, err = e.FlushAll(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("FlushAll = %d, want 1", n)
+	}
+}
+
+func TestEngineQueueCounting(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{BufferSize: 2})
+	flows := []struct {
+		port    uint16
+		payload string
+		class   corpus.Class
+	}{
+		{1, "TT", corpus.Text},
+		{2, "BB", corpus.Binary},
+		{3, "EE", corpus.Encrypted},
+		{4, "EE", corpus.Encrypted},
+	}
+	for _, f := range flows {
+		if _, err := e.Process(dataPacket(tuple(f.port, packet.TCP), 0, f.payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := e.Stats()
+	want := [corpus.NumClasses]int{1, 1, 2}
+	if stats.QueueCounts != want {
+		t.Errorf("QueueCounts = %v, want %v", stats.QueueCounts, want)
+	}
+	if stats.Classified != 4 {
+		t.Errorf("Classified = %d, want 4", stats.Classified)
+	}
+}
+
+func TestEngineClassifierErrorPropagates(t *testing.T) {
+	wantErr := errors.New("boom")
+	e := newTestEngine(t, EngineConfig{
+		BufferSize: 2,
+		Classifier: ClassifierFunc(func([]byte) (corpus.Class, error) { return 0, wantErr }),
+	})
+	_, err := e.Process(dataPacket(tuple(1, packet.TCP), 0, "xx"))
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestEngineNilPacket(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{})
+	if _, err := e.Process(nil); err == nil {
+		t.Error("nil packet: want error")
+	}
+}

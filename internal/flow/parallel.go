@@ -1,0 +1,117 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+// ParallelEngine shards flows across independent engines by flow ID, so a
+// multi-queue NIC (or multiple goroutines) can classify in parallel
+// without cross-shard lock contention. All packets of one flow hash to the
+// same shard, so per-flow state never crosses shards and each shard's CDB
+// purging behaves exactly like a single engine's.
+type ParallelEngine struct {
+	shards []*Engine
+}
+
+// NewParallelEngine builds shards engines from cfg. When classifiers is
+// non-nil it must supply one classifier per shard (use this when the
+// classifier holds per-instance state, e.g. an entropy estimator);
+// otherwise cfg.Classifier is shared across shards and must be safe for
+// concurrent use (the exact-calculation classifier is).
+func NewParallelEngine(cfg EngineConfig, shards int, classifiers []Classifier) (*ParallelEngine, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("flow: shard count %d is not positive", shards)
+	}
+	if classifiers != nil && len(classifiers) != shards {
+		return nil, fmt.Errorf("flow: %d classifiers for %d shards", len(classifiers), shards)
+	}
+	pe := &ParallelEngine{shards: make([]*Engine, shards)}
+	for i := range pe.shards {
+		shardCfg := cfg
+		shardCfg.Seed = cfg.Seed + int64(i)
+		if classifiers != nil {
+			shardCfg.Classifier = classifiers[i]
+		}
+		engine, err := NewEngine(shardCfg)
+		if err != nil {
+			return nil, fmt.Errorf("flow: shard %d: %w", i, err)
+		}
+		pe.shards[i] = engine
+	}
+	return pe, nil
+}
+
+// Shards returns the shard count.
+func (pe *ParallelEngine) Shards() int { return len(pe.shards) }
+
+// shardFor maps a flow ID to its shard. The SHA-1 flow ID is uniform, so
+// any fixed bytes of it balance the shards.
+func (pe *ParallelEngine) shardFor(id ID) *Engine {
+	idx := (int(id[0])<<8 | int(id[1])) % len(pe.shards)
+	return pe.shards[idx]
+}
+
+// Process routes a packet to its flow's shard. Safe for concurrent use;
+// callers typically run one goroutine per NIC queue.
+func (pe *ParallelEngine) Process(p *packet.Packet) (Verdict, error) {
+	if p == nil {
+		return Verdict{}, errors.New("flow: nil packet")
+	}
+	return pe.shardFor(IDOf(p.Tuple)).Process(p)
+}
+
+// FlushIdle flushes idle pending flows on every shard.
+func (pe *ParallelEngine) FlushIdle(now time.Duration) (int, error) {
+	total := 0
+	for i, shard := range pe.shards {
+		n, err := shard.FlushIdle(now)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("flow: shard %d: %w", i, err)
+		}
+	}
+	return total, nil
+}
+
+// FlushAll flushes every pending flow on every shard.
+func (pe *ParallelEngine) FlushAll(now time.Duration) (int, error) {
+	total := 0
+	for i, shard := range pe.shards {
+		n, err := shard.FlushAll(now)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("flow: shard %d: %w", i, err)
+		}
+	}
+	return total, nil
+}
+
+// Label returns the classification of a flow, if any shard has one.
+func (pe *ParallelEngine) Label(t packet.FiveTuple) (corpus.Class, bool) {
+	return pe.shardFor(IDOf(t)).Label(t)
+}
+
+// Stats aggregates counters across shards.
+func (pe *ParallelEngine) Stats() EngineStats {
+	var agg EngineStats
+	for _, shard := range pe.shards {
+		s := shard.Stats()
+		agg.Pending += s.Pending
+		agg.Classified += s.Classified
+		for c := range agg.QueueCounts {
+			agg.QueueCounts[c] += s.QueueCounts[c]
+		}
+		agg.CDB.Size += s.CDB.Size
+		agg.CDB.Insertions += s.CDB.Insertions
+		agg.CDB.RemovedByClose += s.CDB.RemovedByClose
+		agg.CDB.RemovedByIdle += s.CDB.RemovedByIdle
+		agg.CDB.Reinsertions += s.CDB.Reinsertions
+		agg.CDB.Expired += s.CDB.Expired
+	}
+	return agg
+}

@@ -1,0 +1,199 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+func TestNewParallelEngineValidation(t *testing.T) {
+	cfg := EngineConfig{BufferSize: 8, Classifier: firstByteClassifier()}
+	if _, err := NewParallelEngine(cfg, 0, nil); err == nil {
+		t.Error("shards=0: want error")
+	}
+	if _, err := NewParallelEngine(cfg, 4, make([]Classifier, 2)); err == nil {
+		t.Error("classifier count mismatch: want error")
+	}
+	bad := cfg
+	bad.BufferSize = 0
+	if _, err := NewParallelEngine(bad, 2, nil); err == nil {
+		t.Error("invalid shard config: want error")
+	}
+}
+
+func TestParallelEngineMatchesSingle(t *testing.T) {
+	// The same flows must classify identically whether processed by a
+	// single engine or a sharded one.
+	single := newTestEngine(t, EngineConfig{BufferSize: 4})
+	parallel, err := NewParallelEngine(
+		EngineConfig{BufferSize: 4, Classifier: firstByteClassifier()}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := []string{"TTTT", "BBBB", "EEEE"}
+	for i := 0; i < 60; i++ {
+		tp := tuple(uint16(1000+i), packet.TCP)
+		payload := payloads[i%3]
+		v1, err := single.Process(dataPacket(tp, 0, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := parallel.Process(dataPacket(tp, 0, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1.Queue != v2.Queue || v1.Classified != v2.Classified {
+			t.Fatalf("flow %d: single %+v vs parallel %+v", i, v1, v2)
+		}
+	}
+	if got, want := parallel.Stats().Classified, single.Stats().Classified; got != want {
+		t.Errorf("classified counts differ: %d vs %d", got, want)
+	}
+}
+
+func TestParallelEngineShardAffinity(t *testing.T) {
+	pe, err := NewParallelEngine(
+		EngineConfig{BufferSize: 8, Classifier: firstByteClassifier()}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flow split across two packets must land in one shard's buffer and
+	// classify exactly once.
+	tp := tuple(7777, packet.TCP)
+	v, err := pe.Process(dataPacket(tp, 0, "TTTT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Classified {
+		t.Fatal("classified on half a buffer")
+	}
+	v, err = pe.Process(dataPacket(tp, time.Millisecond, "TTTT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified || v.Queue != corpus.Text {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if label, ok := pe.Label(tp); !ok || label != corpus.Text {
+		t.Errorf("Label = (%v, %v)", label, ok)
+	}
+}
+
+func TestParallelEngineConcurrent(t *testing.T) {
+	pe, err := NewParallelEngine(
+		EngineConfig{BufferSize: 8, Classifier: firstByteClassifier(), IdleFlush: time.Second},
+		8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				tp := tuple(uint16(w*1000+i), packet.TCP)
+				if _, err := pe.Process(dataPacket(tp, time.Duration(i)*time.Millisecond, "EEEEEEEE")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := pe.Stats()
+	if stats.Classified != 8*400 {
+		t.Errorf("Classified = %d, want %d", stats.Classified, 8*400)
+	}
+	if stats.QueueCounts[corpus.Encrypted] != 8*400 {
+		t.Errorf("encrypted queue = %d", stats.QueueCounts[corpus.Encrypted])
+	}
+}
+
+func TestParallelEngineFlushes(t *testing.T) {
+	pe, err := NewParallelEngine(
+		EngineConfig{BufferSize: 1024, Classifier: firstByteClassifier(), IdleFlush: time.Second},
+		4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := pe.Process(dataPacket(tuple(uint16(i), packet.UDP), 0, "EE")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := pe.FlushIdle(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Errorf("FlushIdle = %d, want 20", n)
+	}
+	n, err = pe.FlushAll(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("FlushAll after idle flush = %d, want 0", n)
+	}
+}
+
+func TestParallelEnginePerShardClassifiers(t *testing.T) {
+	// Per-shard classifiers receive only their shard's flows.
+	const shards = 4
+	var mu sync.Mutex
+	counts := make([]int, shards)
+	classifiers := make([]Classifier, shards)
+	for i := range classifiers {
+		i := i
+		classifiers[i] = ClassifierFunc(func(payload []byte) (corpus.Class, error) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+			return corpus.Binary, nil
+		})
+	}
+	pe, err := NewParallelEngine(EngineConfig{BufferSize: 2, Classifier: firstByteClassifier()},
+		shards, classifiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := pe.Process(dataPacket(tuple(uint16(i), packet.TCP), 0, "xx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	busyShards := 0
+	for _, c := range counts {
+		total += c
+		if c > 0 {
+			busyShards++
+		}
+	}
+	if total != 200 {
+		t.Errorf("total classifications = %d, want 200", total)
+	}
+	if busyShards < 2 {
+		t.Errorf("only %d shards saw traffic; sharding is degenerate", busyShards)
+	}
+}
+
+func TestParallelEngineNilPacket(t *testing.T) {
+	pe, err := NewParallelEngine(
+		EngineConfig{BufferSize: 8, Classifier: firstByteClassifier()}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pe.Process(nil); err == nil {
+		t.Error("nil packet: want error")
+	}
+}

@@ -1,0 +1,300 @@
+// Package cart implements Classification and Regression Trees (Breiman et
+// al., 1984) for classification on continuous features — the decision-tree
+// model Iustitia evaluates against SVM. Trees are grown greedily by Gini
+// impurity, support depth and leaf-size limits, expose per-feature usage
+// statistics (for the paper's tree-voting feature selector), and can be
+// pruned by reduced-error pruning under an accuracy-drop budget.
+package cart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"iustitia/internal/ml/dataset"
+)
+
+// ErrNotTrained is returned when predicting with an empty tree.
+var ErrNotTrained = errors.New("cart: tree has not been trained")
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf; values < 1 are
+	// treated as 1.
+	MinLeaf int
+	// MinImpurityDecrease stops a split whose Gini gain falls below this
+	// threshold.
+	MinImpurityDecrease float64
+}
+
+// Tree is a trained CART classifier.
+type Tree struct {
+	Root    *Node `json:"root"`
+	Classes int   `json:"classes"`
+	Width   int   `json:"width"`
+}
+
+// Node is one tree node. Leaves have Left == Right == nil and predict
+// Label; internal nodes route samples with Features[Feature] <= Threshold
+// to Left and the rest to Right. The exported fields make trees directly
+// JSON-serializable for model persistence.
+type Node struct {
+	Feature   int     `json:"feature,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Left      *Node   `json:"left,omitempty"`
+	Right     *Node   `json:"right,omitempty"`
+	Label     int     `json:"label"`
+	// Counts holds the training class distribution that reached this node;
+	// it backs pruning and majority relabeling.
+	Counts []int `json:"counts,omitempty"`
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Train grows a tree on ds.
+func Train(ds *dataset.Dataset, cfg Config) (*Tree, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	root := grow(ds, idx, cfg, 1)
+	return &Tree{Root: root, Classes: ds.Classes, Width: ds.Width()}, nil
+}
+
+// grow recursively builds the subtree over the samples named by idx.
+func grow(ds *dataset.Dataset, idx []int, cfg Config, depth int) *Node {
+	counts := classCounts(ds, idx)
+	n := &Node{Counts: counts, Label: argmax(counts)}
+	if pure(counts) || len(idx) < 2*cfg.MinLeaf ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return n
+	}
+	feature, threshold, gain := bestSplit(ds, idx, counts, cfg.MinLeaf)
+	if feature < 0 || gain <= cfg.MinImpurityDecrease {
+		return n
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if ds.Samples[i].Features[feature] <= threshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < cfg.MinLeaf || len(rightIdx) < cfg.MinLeaf {
+		return n
+	}
+	n.Feature = feature
+	n.Threshold = threshold
+	n.Left = grow(ds, leftIdx, cfg, depth+1)
+	n.Right = grow(ds, rightIdx, cfg, depth+1)
+	return n
+}
+
+func classCounts(ds *dataset.Dataset, idx []int) []int {
+	counts := make([]int, ds.Classes)
+	for _, i := range idx {
+		counts[ds.Samples[i].Label]++
+	}
+	return counts
+}
+
+func pure(counts []int) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func argmax(counts []int) int {
+	best, bestCount := 0, -1
+	for i, c := range counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best
+}
+
+// gini returns the Gini impurity of a class-count vector over total
+// samples.
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	impurity := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		impurity -= p * p
+	}
+	return impurity
+}
+
+// bestSplit scans every feature for the threshold with the largest Gini
+// gain. It returns feature -1 when no valid split exists.
+func bestSplit(ds *dataset.Dataset, idx []int, parentCounts []int, minLeaf int) (feature int, threshold, gain float64) {
+	total := len(idx)
+	parentGini := gini(parentCounts, total)
+	feature = -1
+
+	// Reused per-feature buffers.
+	type fv struct {
+		value float64
+		label int
+	}
+	values := make([]fv, total)
+	leftCounts := make([]int, ds.Classes)
+
+	for f := 0; f < ds.Width(); f++ {
+		for i, sampleIdx := range idx {
+			s := ds.Samples[sampleIdx]
+			values[i] = fv{value: s.Features[f], label: s.Label}
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i].value < values[j].value })
+
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		// Sweep split positions: after position i, left = values[:i+1].
+		for i := 0; i < total-1; i++ {
+			leftCounts[values[i].label]++
+			if values[i].value == values[i+1].value {
+				continue // threshold must separate distinct values
+			}
+			nLeft := i + 1
+			nRight := total - nLeft
+			if nLeft < minLeaf || nRight < minLeaf {
+				continue
+			}
+			rightCounts := make([]int, ds.Classes)
+			for c := range rightCounts {
+				rightCounts[c] = parentCounts[c] - leftCounts[c]
+			}
+			weighted := (float64(nLeft)*gini(leftCounts, nLeft) +
+				float64(nRight)*gini(rightCounts, nRight)) / float64(total)
+			if g := parentGini - weighted; g > gain {
+				gain = g
+				feature = f
+				threshold = midpoint(values[i].value, values[i+1].value)
+			}
+		}
+	}
+	return feature, threshold, gain
+}
+
+// midpoint returns a threshold strictly between a and b (a < b), falling
+// back to a when the midpoint is not representable between them.
+func midpoint(a, b float64) float64 {
+	m := a + (b-a)/2
+	if m <= a || m >= b {
+		return a
+	}
+	return m
+}
+
+// Predict returns the predicted class for a feature vector.
+func (t *Tree) Predict(features []float64) (int, error) {
+	if t == nil || t.Root == nil {
+		return 0, ErrNotTrained
+	}
+	if len(features) != t.Width {
+		return 0, fmt.Errorf("cart: feature width %d, tree expects %d", len(features), t.Width)
+	}
+	n := t.Root
+	for !n.IsLeaf() {
+		if features[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Label, nil
+}
+
+// Evaluate classifies every sample in ds and returns the confusion matrix.
+func (t *Tree) Evaluate(ds *dataset.Dataset) (*dataset.Confusion, error) {
+	actual := make([]int, ds.Len())
+	predicted := make([]int, ds.Len())
+	for i, s := range ds.Samples {
+		p, err := t.Predict(s.Features)
+		if err != nil {
+			return nil, err
+		}
+		actual[i] = s.Label
+		predicted[i] = p
+	}
+	return dataset.NewConfusion(t.Classes, actual, predicted)
+}
+
+// Depth returns the depth of the tree (a lone root counts as 1).
+func (t *Tree) Depth() int { return depth(t.Root) }
+
+func depth(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := depth(n.Left), depth(n.Right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return leaves(t.Root) }
+
+func leaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return leaves(n.Left) + leaves(n.Right)
+}
+
+// FeatureUsage returns, per feature column, how many internal nodes split
+// on it. The paper's CART feature selector votes over these counts across
+// pruned cross-validation trees.
+func (t *Tree) FeatureUsage() []int {
+	usage := make([]int, t.Width)
+	countUsage(t.Root, usage)
+	return usage
+}
+
+func countUsage(n *Node, usage []int) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	usage[n.Feature]++
+	countUsage(n.Left, usage)
+	countUsage(n.Right, usage)
+}
+
+// WeightedFeatureUsage returns per-feature importance where a split at
+// depth d contributes 1/2^(d-1) — "the higher a feature is in a tree, the
+// more effective it is in the classification model" (paper §4.1).
+func (t *Tree) WeightedFeatureUsage() []float64 {
+	usage := make([]float64, t.Width)
+	weighUsage(t.Root, usage, 1)
+	return usage
+}
+
+func weighUsage(n *Node, usage []float64, depth int) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	usage[n.Feature] += 1 / math.Pow(2, float64(depth-1))
+	weighUsage(n.Left, usage, depth+1)
+	weighUsage(n.Right, usage, depth+1)
+}

@@ -1,0 +1,360 @@
+package cart
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iustitia/internal/ml/dataset"
+)
+
+// xorDataset is a classic non-linearly-separable problem a depth>=2 tree
+// can solve exactly.
+func xorDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	var samples []dataset.Sample
+	for i := 0; i < 40; i++ {
+		x := float64(i%2) + 0.01*float64(i)/40
+		y := float64((i/2)%2) + 0.01*float64(i)/40
+		label := 0
+		if (x < 0.5) != (y < 0.5) {
+			label = 1
+		}
+		samples = append(samples, dataset.Sample{Features: []float64{x, y}, Label: label})
+	}
+	ds, err := dataset.New(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// bandsDataset mimics the Iustitia feature geometry: three classes in
+// ordered (noisy, overlapping) entropy bands along one feature.
+func bandsDataset(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var samples []dataset.Sample
+	centers := []float64{0.3, 0.65, 0.95}
+	for class, c := range centers {
+		for i := 0; i < n; i++ {
+			h1 := c + rng.NormFloat64()*0.05
+			h2 := c*0.8 + rng.NormFloat64()*0.07
+			samples = append(samples, dataset.Sample{
+				Features: []float64{h1, h2, rng.Float64()}, // third feature is noise
+				Label:    class,
+			})
+		}
+	}
+	ds, err := dataset.New(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainEmpty(t *testing.T) {
+	if _, err := Train(nil, Config{}); !errors.Is(err, dataset.ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestTreeSolvesXOR(t *testing.T) {
+	ds := xorDataset(t)
+	tree, err := Train(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := tree.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := conf.Accuracy(); acc != 1 {
+		t.Errorf("XOR training accuracy = %v, want 1", acc)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("XOR needs depth >= 2, got %d", tree.Depth())
+	}
+}
+
+func TestTreeGeneralizesOnBands(t *testing.T) {
+	train := bandsDataset(t, 100, 1)
+	test := bandsDataset(t, 50, 2)
+	tree, err := Train(train, Config{MinLeaf: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := tree.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := conf.Accuracy(); acc < 0.85 {
+		t.Errorf("band accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestMaxDepthLimit(t *testing.T) {
+	ds := bandsDataset(t, 100, 3)
+	tree, err := Train(ds, Config{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 2 {
+		t.Errorf("Depth = %d, want <= 2", d)
+	}
+}
+
+func TestMinLeafLimit(t *testing.T) {
+	ds := bandsDataset(t, 50, 4)
+	tree, err := Train(ds, Config{MinLeaf: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checkMinLeaf(tree.Root, 20) {
+		t.Error("a leaf has fewer samples than MinLeaf")
+	}
+}
+
+func checkMinLeaf(n *Node, minLeaf int) bool {
+	if n == nil {
+		return true
+	}
+	if n.IsLeaf() {
+		total := 0
+		for _, c := range n.Counts {
+			total += c
+		}
+		return total >= minLeaf
+	}
+	return checkMinLeaf(n.Left, minLeaf) && checkMinLeaf(n.Right, minLeaf)
+}
+
+func TestPredictValidation(t *testing.T) {
+	var empty *Tree
+	if _, err := empty.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("nil tree: err = %v", err)
+	}
+	ds := xorDataset(t)
+	tree, err := Train(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Predict([]float64{1}); err == nil {
+		t.Error("wrong width: want error")
+	}
+}
+
+func TestPureDatasetSingleLeaf(t *testing.T) {
+	samples := []dataset.Sample{
+		{Features: []float64{1}, Label: 1},
+		{Features: []float64{2}, Label: 1},
+	}
+	ds, err := dataset.New(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Train(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Error("pure dataset should yield a single leaf")
+	}
+	p, err := tree.Predict([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("Predict = %d, want 1", p)
+	}
+}
+
+func TestConstantFeaturesNoSplit(t *testing.T) {
+	samples := []dataset.Sample{
+		{Features: []float64{3, 3}, Label: 0},
+		{Features: []float64{3, 3}, Label: 1},
+		{Features: []float64{3, 3}, Label: 0},
+	}
+	ds, err := dataset.New(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Train(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Error("identical features cannot be split")
+	}
+	if tree.Root.Label != 0 {
+		t.Errorf("majority label = %d, want 0", tree.Root.Label)
+	}
+}
+
+func TestFeatureUsageFindsSignal(t *testing.T) {
+	ds := bandsDataset(t, 150, 5)
+	tree, err := Train(ds, Config{MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := tree.FeatureUsage()
+	if len(usage) != 3 {
+		t.Fatalf("usage width = %d, want 3", len(usage))
+	}
+	// Features 0 and 1 carry signal; feature 2 is noise. The root split in
+	// particular must be on a signal feature.
+	if tree.Root.Feature == 2 {
+		t.Error("root splits on the noise feature")
+	}
+	weighted := tree.WeightedFeatureUsage()
+	if weighted[2] >= weighted[0]+weighted[1] {
+		t.Errorf("noise feature dominates weighted usage: %v", weighted)
+	}
+}
+
+// noisyDataset has heavy class overlap so an unlimited tree overfits and
+// reduced-error pruning has real work to do.
+func noisyDataset(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var samples []dataset.Sample
+	centers := []float64{0.45, 0.5, 0.55}
+	for class, c := range centers {
+		for i := 0; i < n; i++ {
+			samples = append(samples, dataset.Sample{
+				Features: []float64{c + rng.NormFloat64()*0.15, rng.Float64()},
+				Label:    class,
+			})
+		}
+	}
+	ds, err := dataset.New(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPruneReducesLeaves(t *testing.T) {
+	train := noisyDataset(t, 150, 6)
+	val := noisyDataset(t, 80, 7)
+	tree, err := Train(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.LeafCount()
+	accBefore, err := tree.accuracy(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collapsed, err := tree.Prune(val, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := tree.LeafCount()
+	if collapsed == 0 || after >= before {
+		t.Errorf("pruning had no effect: collapsed=%d leaves %d -> %d", collapsed, before, after)
+	}
+	accAfter, err := tree.accuracy(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accAfter < accBefore-0.02-1e-9 {
+		t.Errorf("pruned accuracy %v fell more than 2%% below %v", accAfter, accBefore)
+	}
+}
+
+func TestPruneValidation(t *testing.T) {
+	tree, err := Train(xorDataset(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Prune(nil, 0.02); !errors.Is(err, ErrNoValidation) {
+		t.Errorf("nil val: err = %v", err)
+	}
+	var empty *Tree
+	if _, err := empty.Prune(xorDataset(t), 0.02); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("nil tree: err = %v", err)
+	}
+}
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	ds := bandsDataset(t, 60, 8)
+	tree, err := Train(ds, Config{MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Tree
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ds.Samples[:20] {
+		p1, err := tree.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := restored.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatalf("round-trip prediction mismatch: %d vs %d", p1, p2)
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini([]int{10, 0}, 10); g != 0 {
+		t.Errorf("gini(pure) = %v, want 0", g)
+	}
+	if g := gini([]int{5, 5}, 10); g != 0.5 {
+		t.Errorf("gini(50/50) = %v, want 0.5", g)
+	}
+	if g := gini(nil, 0); g != 0 {
+		t.Errorf("gini(empty) = %v, want 0", g)
+	}
+}
+
+// Property: a trained tree predicts the majority label of any training
+// sample's leaf, so training accuracy with unlimited growth and MinLeaf=1
+// on distinct feature vectors is 1.
+func TestPerfectFitProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		seen := map[float64]bool{}
+		var samples []dataset.Sample
+		for i, v := range raw {
+			if seen[v] || v != v { // skip dups and NaN
+				continue
+			}
+			seen[v] = true
+			samples = append(samples, dataset.Sample{Features: []float64{v}, Label: i % 2})
+		}
+		if len(samples) < 2 {
+			return true
+		}
+		ds, err := dataset.New(samples, 2)
+		if err != nil {
+			return false
+		}
+		tree, err := Train(ds, Config{})
+		if err != nil {
+			return false
+		}
+		conf, err := tree.Evaluate(ds)
+		if err != nil {
+			return false
+		}
+		return conf.Accuracy() == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

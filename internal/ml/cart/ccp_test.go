@@ -1,0 +1,107 @@
+package cart
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCostComplexityPruneValidation(t *testing.T) {
+	var empty *Tree
+	if _, err := empty.CostComplexityPrune(0.1); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("nil tree: err = %v", err)
+	}
+	tree, err := Train(xorDataset(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.CostComplexityPrune(-1); err == nil {
+		t.Error("negative alpha: want error")
+	}
+}
+
+func TestCostComplexityPruneLargeAlphaCollapsesToRoot(t *testing.T) {
+	tree, err := Train(noisyDataset(t, 120, 21), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.LeafCount() < 4 {
+		t.Skip("tree too small to exercise pruning")
+	}
+	collapsed, err := tree.CostComplexityPrune(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collapsed == 0 {
+		t.Fatal("alpha=1 collapsed nothing")
+	}
+	if !tree.Root.IsLeaf() {
+		t.Errorf("alpha=1 should prune to the root; %d leaves remain", tree.LeafCount())
+	}
+}
+
+func TestCostComplexityPruneZeroAlphaKeepsUsefulSplits(t *testing.T) {
+	// XOR needs every split to reach zero training error: alpha=0 must
+	// keep training accuracy at 1.
+	ds := xorDataset(t)
+	tree, err := Train(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.CostComplexityPrune(0); err != nil {
+		t.Fatal(err)
+	}
+	conf, err := tree.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() != 1 {
+		t.Errorf("alpha=0 pruning broke a lossless tree: accuracy %v", conf.Accuracy())
+	}
+}
+
+func TestCostComplexityPruneMonotoneInAlpha(t *testing.T) {
+	build := func() *Tree {
+		tree, err := Train(noisyDataset(t, 150, 22), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+	mild := build()
+	if _, err := mild.CostComplexityPrune(0.001); err != nil {
+		t.Fatal(err)
+	}
+	hard := build()
+	if _, err := hard.CostComplexityPrune(0.05); err != nil {
+		t.Fatal(err)
+	}
+	if hard.LeafCount() > mild.LeafCount() {
+		t.Errorf("larger alpha left more leaves: %d vs %d",
+			hard.LeafCount(), mild.LeafCount())
+	}
+}
+
+func TestCostComplexityPruneGeneralization(t *testing.T) {
+	// Pruning an overfit tree must not devastate held-out accuracy.
+	train := noisyDataset(t, 200, 23)
+	test := noisyDataset(t, 120, 24)
+	tree, err := Train(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := tree.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.CostComplexityPrune(0.005); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tree.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Accuracy() < before.Accuracy()-0.1 {
+		t.Errorf("pruning cost too much held-out accuracy: %v -> %v",
+			before.Accuracy(), after.Accuracy())
+	}
+}

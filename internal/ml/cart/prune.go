@@ -1,0 +1,160 @@
+package cart
+
+import (
+	"errors"
+
+	"iustitia/internal/ml/dataset"
+)
+
+// ErrNoValidation is returned when pruning is attempted without validation
+// data.
+var ErrNoValidation = errors.New("cart: pruning needs a non-empty validation set")
+
+// Prune performs reduced-error pruning against val: it repeatedly collapses
+// the internal node whose removal costs the least validation accuracy, as
+// long as the total accuracy stays within maxAccuracyDrop of the unpruned
+// tree's accuracy. This is the pruning step of the paper's tree-voting
+// feature selector ("we prune the trees until we reach the threshold of 2%
+// decrease in accuracy"). It returns the number of collapsed nodes.
+func (t *Tree) Prune(val *dataset.Dataset, maxAccuracyDrop float64) (int, error) {
+	if t == nil || t.Root == nil {
+		return 0, ErrNotTrained
+	}
+	if val == nil || val.Len() == 0 {
+		return 0, ErrNoValidation
+	}
+	baseline, err := t.accuracy(val)
+	if err != nil {
+		return 0, err
+	}
+	floor := baseline - maxAccuracyDrop
+
+	collapsed := 0
+	for {
+		candidates := collapsibleNodes(t.Root)
+		if len(candidates) == 0 {
+			return collapsed, nil
+		}
+		// Find the collapse that keeps validation accuracy highest.
+		bestAcc := -1.0
+		var best *Node
+		for _, n := range candidates {
+			left, right := n.Left, n.Right
+			n.Left, n.Right = nil, nil
+			acc, err := t.accuracy(val)
+			n.Left, n.Right = left, right
+			if err != nil {
+				return collapsed, err
+			}
+			if acc > bestAcc {
+				bestAcc = acc
+				best = n
+			}
+		}
+		if bestAcc < floor {
+			return collapsed, nil
+		}
+		best.Left, best.Right = nil, nil
+		collapsed++
+	}
+}
+
+// collapsibleNodes returns every internal node whose children are both
+// leaves — the only nodes reduced-error pruning may collapse in one step.
+func collapsibleNodes(n *Node) []*Node {
+	if n == nil || n.IsLeaf() {
+		return nil
+	}
+	if n.Left.IsLeaf() && n.Right.IsLeaf() {
+		return []*Node{n}
+	}
+	return append(collapsibleNodes(n.Left), collapsibleNodes(n.Right)...)
+}
+
+func (t *Tree) accuracy(ds *dataset.Dataset) (float64, error) {
+	c, err := t.Evaluate(ds)
+	if err != nil {
+		return 0, err
+	}
+	return c.Accuracy(), nil
+}
+
+// CostComplexityPrune performs Breiman's minimal cost-complexity pruning:
+// it repeatedly collapses the weakest link — the internal node whose
+// collapse raises training misclassification least per removed leaf —
+// while that per-leaf cost increase g(n) stays at or below alpha. Larger
+// alpha prunes harder; alpha = 0 removes only splits that do not reduce
+// training error at all. It returns the number of collapsed subtrees.
+func (t *Tree) CostComplexityPrune(alpha float64) (int, error) {
+	if t == nil || t.Root == nil {
+		return 0, ErrNotTrained
+	}
+	if alpha < 0 {
+		return 0, errors.New("cart: negative pruning alpha")
+	}
+	total := 0
+	for _, c := range t.Root.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, errors.New("cart: tree lacks training counts for pruning")
+	}
+	collapsed := 0
+	for {
+		node, g := weakestLink(t.Root, total)
+		if node == nil || g > alpha {
+			return collapsed, nil
+		}
+		node.Left, node.Right = nil, nil
+		collapsed++
+	}
+}
+
+// weakestLink returns the internal node with the smallest per-leaf cost
+// increase g(n) = (R(n as leaf) − R(subtree)) / (leaves − 1), with R the
+// training misclassification rate contribution.
+func weakestLink(root *Node, total int) (*Node, float64) {
+	var (
+		best  *Node
+		bestG float64
+	)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		leafErr := nodeError(n)
+		subErr, leaves := subtreeError(n)
+		g := float64(leafErr-subErr) / float64(total) / float64(leaves-1)
+		if best == nil || g < bestG {
+			best, bestG = n, g
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	return best, bestG
+}
+
+// nodeError is the number of training samples the node would misclassify
+// as a leaf.
+func nodeError(n *Node) int {
+	total, best := 0, 0
+	for _, c := range n.Counts {
+		total += c
+		if c > best {
+			best = c
+		}
+	}
+	return total - best
+}
+
+// subtreeError sums leaf errors below n and counts the leaves.
+func subtreeError(n *Node) (errCount, leaves int) {
+	if n.IsLeaf() {
+		return nodeError(n), 1
+	}
+	le, ll := subtreeError(n.Left)
+	re, rl := subtreeError(n.Right)
+	return le + re, ll + rl
+}

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a confusion matrix: Counts[actual][predicted].
+type Confusion struct {
+	Counts [][]int
+}
+
+// NewConfusion builds a confusion matrix from parallel actual/predicted
+// label slices.
+func NewConfusion(classes int, actual, predicted []int) (*Confusion, error) {
+	if len(actual) != len(predicted) {
+		return nil, ErrLengthMismatc
+	}
+	c := &Confusion{Counts: make([][]int, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, classes)
+	}
+	for i, a := range actual {
+		p := predicted[i]
+		if a < 0 || a >= classes || p < 0 || p >= classes {
+			return nil, fmt.Errorf("%w: actual=%d predicted=%d", ErrUnknownLabel, a, p)
+		}
+		c.Counts[a][p]++
+	}
+	return c, nil
+}
+
+// Merge adds the counts of other into c. The matrices must agree in size.
+func (c *Confusion) Merge(other *Confusion) error {
+	if len(c.Counts) != len(other.Counts) {
+		return fmt.Errorf("dataset: merging %d-class into %d-class confusion",
+			len(other.Counts), len(c.Counts))
+	}
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] += other.Counts[i][j]
+		}
+	}
+	return nil
+}
+
+// Total returns the number of classified samples.
+func (c *Confusion) Total() int {
+	var n int
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the overall fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	var correct int
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// ClassAccuracy returns the recall of class i: the fraction of class-i
+// samples predicted as class i. This is the per-class "accuracy" the paper
+// reports in Tables 1 and 2.
+func (c *Confusion) ClassAccuracy(i int) float64 {
+	var rowTotal int
+	for _, v := range c.Counts[i] {
+		rowTotal += v
+	}
+	if rowTotal == 0 {
+		return 0
+	}
+	return float64(c.Counts[i][i]) / float64(rowTotal)
+}
+
+// Misclassification returns the fraction of class-from samples that were
+// predicted as class to (the off-diagonal rates of Table 1).
+func (c *Confusion) Misclassification(from, to int) float64 {
+	var rowTotal int
+	for _, v := range c.Counts[from] {
+		rowTotal += v
+	}
+	if rowTotal == 0 {
+		return 0
+	}
+	return float64(c.Counts[from][to]) / float64(rowTotal)
+}
+
+// Format renders the matrix with the given class names as a fixed-width
+// table, for the benchmark harness output.
+func (c *Confusion) Format(names []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "actual\\pred")
+	for j := range c.Counts {
+		name := fmt.Sprintf("c%d", j)
+		if j < len(names) {
+			name = names[j]
+		}
+		fmt.Fprintf(&b, "%12s", name)
+	}
+	fmt.Fprintf(&b, "%12s\n", "recall")
+	for i, row := range c.Counts {
+		name := fmt.Sprintf("c%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, v := range row {
+			fmt.Fprintf(&b, "%12d", v)
+		}
+		fmt.Fprintf(&b, "%11.2f%%\n", 100*c.ClassAccuracy(i))
+	}
+	fmt.Fprintf(&b, "total accuracy %.2f%%\n", 100*c.Accuracy())
+	return b.String()
+}

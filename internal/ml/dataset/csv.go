@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row. columnNames label the
+// feature columns (e.g. "h1", "h3"); when nil, "f0".."fN" are generated.
+// The label column is always last and named "label".
+func (d *Dataset) WriteCSV(w io.Writer, columnNames []string) error {
+	width := d.Width()
+	if columnNames == nil {
+		columnNames = make([]string, width)
+		for i := range columnNames {
+			columnNames[i] = "f" + strconv.Itoa(i)
+		}
+	}
+	if len(columnNames) != width {
+		return fmt.Errorf("dataset: %d column names for width %d", len(columnNames), width)
+	}
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, columnNames...), "label")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, width+1)
+	for _, s := range d.Samples {
+		for i, v := range s.Features {
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[width] = strconv.Itoa(s.Label)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any CSV whose last
+// column is an integer label in [0, classes)). The header row is required
+// and skipped.
+func ReadCSV(r io.Reader, classes int) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, errors.New("dataset: csv needs at least one feature and a label column")
+	}
+	width := len(header) - 1
+	var samples []Sample
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+		}
+		if len(row) != width+1 {
+			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d",
+				line, len(row), width+1)
+		}
+		features := make([]float64, width)
+		for i := 0; i < width; i++ {
+			v, err := strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d column %d: %w", line, i, err)
+			}
+			features[i] = v
+		}
+		label, err := strconv.Atoi(row[width])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d label: %w", line, err)
+		}
+		samples = append(samples, Sample{Features: features, Label: label})
+	}
+	return New(samples, classes)
+}

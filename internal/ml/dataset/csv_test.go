@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, err := New([]Sample{
+		{Features: []float64{0.123456789, 0.5}, Label: 0},
+		{Features: []float64{1, 0}, Label: 2},
+		{Features: []float64{0.25, 0.75}, Label: 1},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf, []string{"h1", "h3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "h1,h3,label\n") {
+		t.Errorf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	restored, err := ReadCSV(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != d.Len() || restored.Width() != d.Width() {
+		t.Fatalf("shape = (%d, %d)", restored.Len(), restored.Width())
+	}
+	for i := range d.Samples {
+		if restored.Samples[i].Label != d.Samples[i].Label {
+			t.Errorf("sample %d label differs", i)
+		}
+		for j := range d.Samples[i].Features {
+			if restored.Samples[i].Features[j] != d.Samples[i].Features[j] {
+				t.Errorf("sample %d feature %d: %v != %v", i, j,
+					restored.Samples[i].Features[j], d.Samples[i].Features[j])
+			}
+		}
+	}
+}
+
+func TestWriteCSVDefaultNames(t *testing.T) {
+	d, err := New([]Sample{{Features: []float64{1, 2, 3}, Label: 0},
+		{Features: []float64{1, 2, 3}, Label: 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "f0,f1,f2,label\n") {
+		t.Errorf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	if err := d.WriteCSV(&buf, []string{"one"}); err == nil {
+		t.Error("wrong name count: want error")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"header only?": "h1,label\nnot-a-number,0\n",
+		"bad label":    "h1,label\n0.5,zero\n",
+		"one column":   "label\n1\n",
+		"bad width":    "h1,h2,label\n0.5,0\n",
+		"label range":  "h1,label\n0.5,9\n",
+	}
+	for name, blob := range cases {
+		if _, err := ReadCSV(strings.NewReader(blob), 3); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

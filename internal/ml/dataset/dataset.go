@@ -1,0 +1,205 @@
+// Package dataset provides the labeled-data substrate for Iustitia's
+// machine-learning components: feature datasets, stratified cross-validation
+// splits, and confusion-matrix evaluation as reported in the paper's
+// Table 1 and Table 2.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Common errors.
+var (
+	ErrEmpty         = errors.New("dataset: empty dataset")
+	ErrFeatureWidth  = errors.New("dataset: inconsistent feature width")
+	ErrFoldCount     = errors.New("dataset: fold count must be at least 2")
+	ErrUnknownLabel  = errors.New("dataset: unknown label")
+	ErrLengthMismatc = errors.New("dataset: labels and predictions differ in length")
+)
+
+// Sample is one labeled feature vector.
+type Sample struct {
+	Features []float64
+	Label    int
+}
+
+// Dataset is an ordered collection of labeled samples with a fixed feature
+// width and a fixed number of classes.
+type Dataset struct {
+	Samples []Sample
+	Classes int
+}
+
+// New builds a dataset, validating that every sample has the same feature
+// width and a label in [0, classes).
+func New(samples []Sample, classes int) (*Dataset, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 classes, got %d", classes)
+	}
+	width := len(samples[0].Features)
+	for i, s := range samples {
+		if len(s.Features) != width {
+			return nil, fmt.Errorf("%w: sample %d has %d features, want %d",
+				ErrFeatureWidth, i, len(s.Features), width)
+		}
+		if s.Label < 0 || s.Label >= classes {
+			return nil, fmt.Errorf("%w: sample %d has label %d", ErrUnknownLabel, i, s.Label)
+		}
+	}
+	return &Dataset{Samples: samples, Classes: classes}, nil
+}
+
+// Width returns the number of features per sample.
+func (d *Dataset) Width() int {
+	if len(d.Samples) == 0 {
+		return 0
+	}
+	return len(d.Samples[0].Features)
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// ClassCounts returns the per-class sample counts.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, s := range d.Samples {
+		counts[s.Label]++
+	}
+	return counts
+}
+
+// Project returns a new dataset keeping only the feature columns named in
+// cols (0-based), in order. The underlying feature storage is copied.
+func (d *Dataset) Project(cols []int) (*Dataset, error) {
+	width := d.Width()
+	for _, c := range cols {
+		if c < 0 || c >= width {
+			return nil, fmt.Errorf("dataset: column %d outside [0, %d)", c, width)
+		}
+	}
+	samples := make([]Sample, len(d.Samples))
+	for i, s := range d.Samples {
+		feats := make([]float64, len(cols))
+		for j, c := range cols {
+			feats[j] = s.Features[c]
+		}
+		samples[i] = Sample{Features: feats, Label: s.Label}
+	}
+	return New(samples, d.Classes)
+}
+
+// Shuffle permutes the samples in place using the given source.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(d.Samples), func(i, j int) {
+		d.Samples[i], d.Samples[j] = d.Samples[j], d.Samples[i]
+	})
+}
+
+// Split partitions the dataset into two by a fraction in (0,1): the first
+// part receives ceil(frac*N) samples in current order.
+func (d *Dataset) Split(frac float64) (*Dataset, *Dataset, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: split fraction %v outside (0,1)", frac)
+	}
+	cut := (len(d.Samples)*int(frac*1000) + 999) / 1000
+	if cut == 0 || cut == len(d.Samples) {
+		return nil, nil, fmt.Errorf("dataset: split fraction %v leaves a side empty", frac)
+	}
+	left, err := New(d.Samples[:cut], d.Classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err := New(d.Samples[cut:], d.Classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+// Fold is one train/test partition of a cross validation.
+type Fold struct {
+	Train *Dataset
+	Test  *Dataset
+}
+
+// StratifiedKFold splits the dataset into k folds that preserve per-class
+// proportions. Samples are shuffled per class with rng before assignment,
+// so folds are random but reproducible. Every sample appears in exactly one
+// test fold.
+func (d *Dataset) StratifiedKFold(k int, rng *rand.Rand) ([]Fold, error) {
+	if k < 2 {
+		return nil, ErrFoldCount
+	}
+	if k > len(d.Samples) {
+		return nil, fmt.Errorf("dataset: %d folds exceed %d samples", k, len(d.Samples))
+	}
+	// Bucket sample indices by class, shuffle each bucket, deal them
+	// round-robin into folds.
+	byClass := make([][]int, d.Classes)
+	for i, s := range d.Samples {
+		byClass[s.Label] = append(byClass[s.Label], i)
+	}
+	foldIdx := make([][]int, k)
+	for _, bucket := range byClass {
+		rng.Shuffle(len(bucket), func(i, j int) { bucket[i], bucket[j] = bucket[j], bucket[i] })
+		for i, idx := range bucket {
+			foldIdx[i%k] = append(foldIdx[i%k], idx)
+		}
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		inTest := make(map[int]bool, len(foldIdx[f]))
+		for _, idx := range foldIdx[f] {
+			inTest[idx] = true
+		}
+		var train, test []Sample
+		for i, s := range d.Samples {
+			if inTest[i] {
+				test = append(test, s)
+			} else {
+				train = append(train, s)
+			}
+		}
+		trainDS, err := New(train, d.Classes)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: fold %d train: %w", f, err)
+		}
+		testDS, err := New(test, d.Classes)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: fold %d test: %w", f, err)
+		}
+		folds[f] = Fold{Train: trainDS, Test: testDS}
+	}
+	return folds, nil
+}
+
+// Balanced draws up to perClass samples from each class (in current order)
+// and returns them as a new dataset, mimicking the paper's "6000 files
+// equally drawn from each class" cross-validation pools.
+func (d *Dataset) Balanced(perClass int, rng *rand.Rand) (*Dataset, error) {
+	if perClass <= 0 {
+		return nil, fmt.Errorf("dataset: perClass %d is not positive", perClass)
+	}
+	byClass := make([][]int, d.Classes)
+	for i, s := range d.Samples {
+		byClass[s.Label] = append(byClass[s.Label], i)
+	}
+	var samples []Sample
+	for _, bucket := range byClass {
+		rng.Shuffle(len(bucket), func(i, j int) { bucket[i], bucket[j] = bucket[j], bucket[i] })
+		n := perClass
+		if n > len(bucket) {
+			n = len(bucket)
+		}
+		for _, idx := range bucket[:n] {
+			samples = append(samples, d.Samples[idx])
+		}
+	}
+	return New(samples, d.Classes)
+}

@@ -1,0 +1,266 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sample(label int, feats ...float64) Sample {
+	return Sample{Features: feats, Label: label}
+}
+
+func testDataset(t *testing.T, perClass, classes int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var samples []Sample
+	for c := 0; c < classes; c++ {
+		for i := 0; i < perClass; i++ {
+			samples = append(samples, sample(c, rng.Float64(), rng.Float64()))
+		}
+	}
+	d, err := New(samples, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 2); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := New([]Sample{sample(0, 1)}, 1); err == nil {
+		t.Error("classes=1: want error")
+	}
+	if _, err := New([]Sample{sample(0, 1), sample(1, 1, 2)}, 2); !errors.Is(err, ErrFeatureWidth) {
+		t.Error("ragged features: want ErrFeatureWidth")
+	}
+	if _, err := New([]Sample{sample(5, 1)}, 2); !errors.Is(err, ErrUnknownLabel) {
+		t.Error("label out of range: want ErrUnknownLabel")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	d := testDataset(t, 4, 3)
+	for c, n := range d.ClassCounts() {
+		if n != 4 {
+			t.Errorf("class %d count = %d, want 4", c, n)
+		}
+	}
+	if d.Width() != 2 || d.Len() != 12 {
+		t.Errorf("Width=%d Len=%d", d.Width(), d.Len())
+	}
+}
+
+func TestProject(t *testing.T) {
+	d, err := New([]Sample{
+		sample(0, 10, 20, 30),
+		sample(1, 40, 50, 60),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Project([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Samples[0].Features; got[0] != 30 || got[1] != 10 {
+		t.Errorf("projected = %v, want [30 10]", got)
+	}
+	// Projection must not alias the original storage.
+	p.Samples[0].Features[0] = -1
+	if d.Samples[0].Features[2] == -1 {
+		t.Error("Project aliases original feature storage")
+	}
+	if _, err := d.Project([]int{3}); err == nil {
+		t.Error("column out of range: want error")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := testDataset(t, 10, 2)
+	left, right, err := d.Split(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Len()+right.Len() != d.Len() {
+		t.Errorf("split loses samples: %d + %d != %d", left.Len(), right.Len(), d.Len())
+	}
+	if left.Len() != 5 {
+		t.Errorf("left = %d, want 5", left.Len())
+	}
+	for _, frac := range []float64{0, 1, -0.5} {
+		if _, _, err := d.Split(frac); err == nil {
+			t.Errorf("Split(%v): want error", frac)
+		}
+	}
+}
+
+func TestStratifiedKFold(t *testing.T) {
+	d := testDataset(t, 20, 3)
+	folds, err := d.StratifiedKFold(5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d, want 5", len(folds))
+	}
+	totalTest := 0
+	for i, f := range folds {
+		totalTest += f.Test.Len()
+		if f.Train.Len()+f.Test.Len() != d.Len() {
+			t.Errorf("fold %d: train+test = %d, want %d",
+				i, f.Train.Len()+f.Test.Len(), d.Len())
+		}
+		// Stratification: each class contributes 20/5 = 4 test samples.
+		for c, n := range f.Test.ClassCounts() {
+			if n != 4 {
+				t.Errorf("fold %d class %d test count = %d, want 4", i, c, n)
+			}
+		}
+	}
+	if totalTest != d.Len() {
+		t.Errorf("test folds cover %d samples, want %d", totalTest, d.Len())
+	}
+}
+
+func TestStratifiedKFoldValidation(t *testing.T) {
+	d := testDataset(t, 2, 2)
+	if _, err := d.StratifiedKFold(1, rand.New(rand.NewSource(1))); !errors.Is(err, ErrFoldCount) {
+		t.Errorf("k=1: err = %v", err)
+	}
+	if _, err := d.StratifiedKFold(100, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("k>N: want error")
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	for i := 0; i < 30; i++ {
+		samples = append(samples, sample(0, float64(i)))
+	}
+	for i := 0; i < 5; i++ {
+		samples = append(samples, sample(1, float64(i)))
+	}
+	d, err := New(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := d.Balanced(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := bal.ClassCounts()
+	if counts[0] != 10 {
+		t.Errorf("class 0 = %d, want 10", counts[0])
+	}
+	if counts[1] != 5 { // only 5 available
+		t.Errorf("class 1 = %d, want 5", counts[1])
+	}
+	if _, err := d.Balanced(0, rng); err == nil {
+		t.Error("perClass=0: want error")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	actual := []int{0, 0, 1, 1, 2, 2}
+	pred := []int{0, 1, 1, 1, 2, 0}
+	c, err := NewConfusion(3, actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Accuracy(); got != 4.0/6.0 {
+		t.Errorf("Accuracy = %v, want 2/3", got)
+	}
+	if got := c.ClassAccuracy(1); got != 1 {
+		t.Errorf("ClassAccuracy(1) = %v, want 1", got)
+	}
+	if got := c.Misclassification(0, 1); got != 0.5 {
+		t.Errorf("Misclassification(0,1) = %v, want 0.5", got)
+	}
+	if got := c.Misclassification(2, 0); got != 0.5 {
+		t.Errorf("Misclassification(2,0) = %v, want 0.5", got)
+	}
+	if c.Total() != 6 {
+		t.Errorf("Total = %d, want 6", c.Total())
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	if _, err := NewConfusion(2, []int{0}, []int{0, 1}); !errors.Is(err, ErrLengthMismatc) {
+		t.Errorf("length mismatch: err = %v", err)
+	}
+	if _, err := NewConfusion(2, []int{5}, []int{0}); !errors.Is(err, ErrUnknownLabel) {
+		t.Errorf("bad label: err = %v", err)
+	}
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a, err := NewConfusion(2, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewConfusion(2, []int{0, 1}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 4 {
+		t.Errorf("merged total = %d, want 4", a.Total())
+	}
+	if got := a.Accuracy(); got != 0.75 {
+		t.Errorf("merged accuracy = %v, want 0.75", got)
+	}
+	mismatched, err := NewConfusion(3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(mismatched); err == nil {
+		t.Error("size mismatch: want error")
+	}
+}
+
+func TestConfusionFormat(t *testing.T) {
+	c, err := NewConfusion(2, []int{0, 1}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Format([]string{"text", "binary"})
+	if out == "" {
+		t.Error("Format returned empty string")
+	}
+}
+
+// Property: degenerate all-one-class predictions give accuracy equal to
+// that class's prevalence.
+func TestConfusionPrevalenceProperty(t *testing.T) {
+	prop := func(labels []bool) bool {
+		if len(labels) == 0 {
+			return true
+		}
+		actual := make([]int, len(labels))
+		pred := make([]int, len(labels))
+		ones := 0
+		for i, b := range labels {
+			if b {
+				actual[i] = 1
+				ones++
+			}
+			pred[i] = 1
+		}
+		c, err := NewConfusion(2, actual, pred)
+		if err != nil {
+			return false
+		}
+		want := float64(ones) / float64(len(labels))
+		return c.Accuracy() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

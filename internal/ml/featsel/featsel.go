@@ -1,0 +1,233 @@
+// Package featsel implements the two feature-selection procedures of the
+// paper's §4.1 — Sequential Forward Search (SFS, Somol et al.) for the SVM
+// model and pruned-tree usage voting for CART — plus the (γ, C) grid model
+// selection used to tune the RBF kernel. Feature identities are dataset
+// column indices; in Iustitia column k-1 holds the entropy feature h_k, so
+// "prefer features with lower k" translates to preferring lower columns.
+package featsel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"iustitia/internal/ml/cart"
+	"iustitia/internal/ml/dataset"
+	"iustitia/internal/ml/svm"
+)
+
+// Evaluator trains a model on train (already projected to the candidate
+// columns) and returns its accuracy on test.
+type Evaluator func(train, test *dataset.Dataset) (float64, error)
+
+// ErrTargetSize is returned when the requested number of features is
+// invalid for the dataset.
+var ErrTargetSize = errors.New("featsel: invalid target feature count")
+
+// SVMEvaluator adapts an SVM configuration into an Evaluator.
+func SVMEvaluator(cfg svm.Config) Evaluator {
+	return func(train, test *dataset.Dataset) (float64, error) {
+		m, err := svm.Train(train, cfg)
+		if err != nil {
+			return 0, err
+		}
+		conf, err := m.Evaluate(test)
+		if err != nil {
+			return 0, err
+		}
+		return conf.Accuracy(), nil
+	}
+}
+
+// CARTEvaluator adapts a CART configuration into an Evaluator.
+func CARTEvaluator(cfg cart.Config) Evaluator {
+	return func(train, test *dataset.Dataset) (float64, error) {
+		tree, err := cart.Train(train, cfg)
+		if err != nil {
+			return 0, err
+		}
+		conf, err := tree.Evaluate(test)
+		if err != nil {
+			return 0, err
+		}
+		return conf.Accuracy(), nil
+	}
+}
+
+// SFS runs Sequential Forward Search: starting from the empty set, it
+// repeatedly adds the column that maximizes eval accuracy on (train, val)
+// until nSelect columns are chosen. It returns the chosen columns in
+// selection order.
+func SFS(train, val *dataset.Dataset, nSelect int, eval Evaluator) ([]int, error) {
+	width := train.Width()
+	if nSelect < 1 || nSelect > width {
+		return nil, fmt.Errorf("%w: %d of %d", ErrTargetSize, nSelect, width)
+	}
+	var selected []int
+	inSet := make([]bool, width)
+	for len(selected) < nSelect {
+		bestCol, bestAcc := -1, -1.0
+		for col := 0; col < width; col++ {
+			if inSet[col] {
+				continue
+			}
+			candidate := append(append([]int{}, selected...), col)
+			trainP, err := train.Project(candidate)
+			if err != nil {
+				return nil, err
+			}
+			valP, err := val.Project(candidate)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := eval(trainP, valP)
+			if err != nil {
+				return nil, fmt.Errorf("featsel: evaluating column %d: %w", col, err)
+			}
+			if acc > bestAcc {
+				bestAcc, bestCol = acc, col
+			}
+		}
+		selected = append(selected, bestCol)
+		inSet[bestCol] = true
+	}
+	return selected, nil
+}
+
+// SFSVote runs SFS independently on every cross-validation fold and tallies
+// one vote per fold for each selected column (the paper's "voting mechanism
+// to choose the best features"). It returns the nSelect columns with the
+// most votes, ties broken toward lower columns, sorted ascending.
+func SFSVote(folds []dataset.Fold, nSelect int, eval Evaluator) ([]int, error) {
+	if len(folds) == 0 {
+		return nil, errors.New("featsel: no folds")
+	}
+	width := folds[0].Train.Width()
+	votes := make([]int, width)
+	for i, f := range folds {
+		cols, err := SFS(f.Train, f.Test, nSelect, eval)
+		if err != nil {
+			return nil, fmt.Errorf("featsel: fold %d: %w", i, err)
+		}
+		for _, c := range cols {
+			votes[c]++
+		}
+	}
+	return topColumns(votes, nSelect), nil
+}
+
+// TreeVote implements the CART feature selector: per fold, grow a tree,
+// prune it against the fold's test set until accuracy drops by at most
+// maxAccuracyDrop, then credit each feature with its split count in the
+// pruned tree. It returns the nSelect most-used columns, sorted ascending.
+func TreeVote(folds []dataset.Fold, nSelect int, cfg cart.Config, maxAccuracyDrop float64) ([]int, error) {
+	if len(folds) == 0 {
+		return nil, errors.New("featsel: no folds")
+	}
+	width := folds[0].Train.Width()
+	if nSelect < 1 || nSelect > width {
+		return nil, fmt.Errorf("%w: %d of %d", ErrTargetSize, nSelect, width)
+	}
+	votes := make([]int, width)
+	for i, f := range folds {
+		tree, err := cart.Train(f.Train, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("featsel: fold %d: %w", i, err)
+		}
+		if _, err := tree.Prune(f.Test, maxAccuracyDrop); err != nil {
+			return nil, fmt.Errorf("featsel: fold %d prune: %w", i, err)
+		}
+		for col, used := range tree.FeatureUsage() {
+			votes[col] += used
+		}
+	}
+	return topColumns(votes, nSelect), nil
+}
+
+// topColumns returns the n columns with the highest votes, ties broken
+// toward lower column indices, sorted ascending.
+func topColumns(votes []int, n int) []int {
+	order := make([]int, len(votes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if votes[order[a]] != votes[order[b]] {
+			return votes[order[a]] > votes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	top := append([]int{}, order[:n]...)
+	sort.Ints(top)
+	return top
+}
+
+// CapColumns applies the paper's deployment preference for narrow element
+// widths: every selected column above maxCol is replaced by the widest
+// unused column <= maxCol — the closest admissible substitute, exactly the
+// paper's h10 -> h5 (φ′_CART) and h9 -> h5 (φ′_SVM) replacements. The
+// result is sorted ascending and duplicate-free.
+func CapColumns(selected []int, maxCol int) []int {
+	used := make(map[int]bool, len(selected))
+	for _, c := range selected {
+		if c <= maxCol {
+			used[c] = true
+		}
+	}
+	out := make([]int, 0, len(selected))
+	for c := range used {
+		out = append(out, c)
+	}
+	need := len(selected) - len(out)
+	for c := maxCol; c >= 0 && need > 0; c-- {
+		if !used[c] {
+			out = append(out, c)
+			used[c] = true
+			need--
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GridPoint is one (γ, C) model-selection result.
+type GridPoint struct {
+	Gamma    float64
+	C        float64
+	Accuracy float64
+}
+
+// GridSearchSVM sweeps the cross product of gammas and cs, training an
+// RBF-kernel SVM on train and scoring on val, and returns every grid point
+// plus the best one. base supplies the non-swept configuration.
+func GridSearchSVM(train, val *dataset.Dataset, gammas, cs []float64, base svm.Config) ([]GridPoint, GridPoint, error) {
+	if len(gammas) == 0 || len(cs) == 0 {
+		return nil, GridPoint{}, errors.New("featsel: empty model-selection grid")
+	}
+	var (
+		points []GridPoint
+		best   GridPoint
+	)
+	best.Accuracy = -1
+	for _, gamma := range gammas {
+		for _, c := range cs {
+			cfg := base
+			cfg.Kernel = svm.RBF{Gamma: gamma}
+			cfg.C = c
+			m, err := svm.Train(train, cfg)
+			if err != nil {
+				return nil, GridPoint{}, fmt.Errorf("featsel: grid (γ=%v, C=%v): %w", gamma, c, err)
+			}
+			conf, err := m.Evaluate(val)
+			if err != nil {
+				return nil, GridPoint{}, err
+			}
+			p := GridPoint{Gamma: gamma, C: c, Accuracy: conf.Accuracy()}
+			points = append(points, p)
+			if p.Accuracy > best.Accuracy {
+				best = p
+			}
+		}
+	}
+	return points, best, nil
+}

@@ -1,0 +1,202 @@
+package featsel
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"iustitia/internal/ml/cart"
+	"iustitia/internal/ml/dataset"
+	"iustitia/internal/ml/svm"
+)
+
+// signalDataset has complementary informative columns 1 and 3 — column 1
+// separates class 0 from {1,2} and column 3 separates class 2 from {0,1},
+// so both are required for full accuracy — while columns 0, 2, 4 are pure
+// noise.
+func signalDataset(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var samples []dataset.Sample
+	for class := 0; class < 3; class++ {
+		f1 := 0.8
+		if class == 0 {
+			f1 = 0.2
+		}
+		f3 := 0.2
+		if class == 2 {
+			f3 = 0.8
+		}
+		for i := 0; i < n; i++ {
+			samples = append(samples, dataset.Sample{
+				Features: []float64{
+					rng.Float64(),
+					f1 + rng.NormFloat64()*0.05,
+					rng.Float64(),
+					f3 + rng.NormFloat64()*0.05,
+					rng.Float64(),
+				},
+				Label: class,
+			})
+		}
+	}
+	ds, err := dataset.New(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSFSFindsSignalColumns(t *testing.T) {
+	train := signalDataset(t, 60, 1)
+	val := signalDataset(t, 40, 2)
+	cols, err := SFS(train, val, 2, CARTEvaluator(cart.Config{MinLeaf: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cols {
+		if c != 1 && c != 3 {
+			t.Errorf("SFS selected noise column %d (selection %v)", c, cols)
+		}
+	}
+}
+
+func TestSFSValidation(t *testing.T) {
+	ds := signalDataset(t, 10, 3)
+	if _, err := SFS(ds, ds, 0, CARTEvaluator(cart.Config{})); !errors.Is(err, ErrTargetSize) {
+		t.Errorf("nSelect=0: err = %v", err)
+	}
+	if _, err := SFS(ds, ds, 99, CARTEvaluator(cart.Config{})); !errors.Is(err, ErrTargetSize) {
+		t.Errorf("nSelect>width: err = %v", err)
+	}
+}
+
+func TestSFSVote(t *testing.T) {
+	ds := signalDataset(t, 90, 4)
+	folds, err := ds.StratifiedKFold(3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := SFSVote(folds, 2, CARTEvaluator(cart.Config{MinLeaf: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cols, []int{1, 3}) {
+		t.Errorf("SFSVote = %v, want [1 3]", cols)
+	}
+	if _, err := SFSVote(nil, 2, CARTEvaluator(cart.Config{})); err == nil {
+		t.Error("no folds: want error")
+	}
+}
+
+func TestTreeVote(t *testing.T) {
+	ds := signalDataset(t, 90, 6)
+	folds, err := ds.StratifiedKFold(3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := TreeVote(folds, 2, cart.Config{MinLeaf: 3}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cols, []int{1, 3}) {
+		t.Errorf("TreeVote = %v, want [1 3]", cols)
+	}
+	if _, err := TreeVote(folds, 0, cart.Config{}, 0.02); !errors.Is(err, ErrTargetSize) {
+		t.Errorf("nSelect=0: err = %v", err)
+	}
+	if _, err := TreeVote(nil, 2, cart.Config{}, 0.02); err == nil {
+		t.Error("no folds: want error")
+	}
+}
+
+func TestTopColumnsTieBreak(t *testing.T) {
+	got := topColumns([]int{3, 5, 5, 1}, 2)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("topColumns = %v, want [1 2]", got)
+	}
+	// Ties prefer lower indices.
+	got = topColumns([]int{2, 2, 2}, 2)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("topColumns ties = %v, want [0 1]", got)
+	}
+}
+
+func TestCapColumns(t *testing.T) {
+	// Paper case: φ_CART columns {0,2,3,9} (h1,h3,h4,h10) capped at
+	// column 4 (h5) becomes {0,2,3,4}.
+	got := CapColumns([]int{0, 2, 3, 9}, 4)
+	if !reflect.DeepEqual(got, []int{0, 2, 3, 4}) {
+		t.Errorf("CapColumns = %v, want [0 2 3 4]", got)
+	}
+	// Paper case: φ_SVM columns {0,1,2,8} (h1,h2,h3,h9) capped at column 4
+	// becomes {0,1,2,4} = φ′_SVM (h1,h2,h3,h5).
+	got = CapColumns([]int{0, 1, 2, 8}, 4)
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 4}) {
+		t.Errorf("CapColumns = %v, want [0 1 2 4]", got)
+	}
+	// Already-capped sets are unchanged.
+	got = CapColumns([]int{1, 2}, 4)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("CapColumns no-op = %v, want [1 2]", got)
+	}
+	// Duplicates above the cap collapse to distinct replacements filled
+	// downward from the cap.
+	got = CapColumns([]int{7, 8}, 2)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("CapColumns dup = %v, want [1 2]", got)
+	}
+}
+
+func TestGridSearchSVM(t *testing.T) {
+	train := signalDataset(t, 50, 8)
+	val := signalDataset(t, 30, 9)
+	trainP, err := train.Project([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valP, err := val.Project([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, best, err := GridSearchSVM(trainP, valP,
+		[]float64{1, 10, 50}, []float64{1, 100}, svm.Config{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("grid points = %d, want 6", len(points))
+	}
+	if best.Accuracy < 0.9 {
+		t.Errorf("best grid accuracy = %v, want >= 0.9", best.Accuracy)
+	}
+	for _, p := range points {
+		if p.Accuracy > best.Accuracy {
+			t.Errorf("best (%v) is not maximal (point %+v)", best.Accuracy, p)
+		}
+	}
+	if _, _, err := GridSearchSVM(trainP, valP, nil, []float64{1}, svm.Config{}); err == nil {
+		t.Error("empty grid: want error")
+	}
+}
+
+func TestSVMEvaluator(t *testing.T) {
+	train := signalDataset(t, 40, 11)
+	val := signalDataset(t, 30, 12)
+	trainP, err := train.Project([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valP, err := val.Project([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := SVMEvaluator(svm.Config{Kernel: svm.RBF{Gamma: 50}, C: 100, Seed: 13})(trainP, valP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Errorf("SVM evaluator accuracy = %v, want >= 0.8", acc)
+	}
+}

@@ -1,0 +1,76 @@
+// Package svm implements soft-margin support vector machines trained with
+// sequential minimal optimization (SMO), with linear and RBF kernels, and
+// the DAGSVM decision DAG (Platt et al., NIPS 2000) for multi-class
+// classification — the classifier family with which Iustitia reaches its
+// headline 86% accuracy (RBF kernel, γ=50, C=1000).
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kernel computes inner products in feature space.
+type Kernel interface {
+	// Compute returns K(a, b). Implementations may assume len(a) == len(b).
+	Compute(a, b []float64) float64
+}
+
+// Linear is the linear kernel K(a,b) = a·b.
+type Linear struct{}
+
+// Compute implements Kernel.
+func (Linear) Compute(a, b []float64) float64 {
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return dot
+}
+
+// RBF is the radial-basis-function kernel K(a,b) = exp(-γ·||a-b||²).
+type RBF struct {
+	Gamma float64
+}
+
+// Compute implements Kernel.
+func (k RBF) Compute(a, b []float64) float64 {
+	var sq float64
+	for i := range a {
+		d := a[i] - b[i]
+		sq += d * d
+	}
+	return math.Exp(-k.Gamma * sq)
+}
+
+// kernelSpec is the serializable description of a kernel.
+type kernelSpec struct {
+	Type  string  `json:"type"`
+	Gamma float64 `json:"gamma,omitempty"`
+}
+
+func specFor(k Kernel) (kernelSpec, error) {
+	switch k := k.(type) {
+	case Linear:
+		return kernelSpec{Type: "linear"}, nil
+	case RBF:
+		return kernelSpec{Type: "rbf", Gamma: k.Gamma}, nil
+	default:
+		return kernelSpec{}, fmt.Errorf("svm: unserializable kernel %T", k)
+	}
+}
+
+func (s kernelSpec) kernel() (Kernel, error) {
+	switch s.Type {
+	case "linear":
+		return Linear{}, nil
+	case "rbf":
+		if s.Gamma <= 0 {
+			return nil, errors.New("svm: rbf kernel needs gamma > 0")
+		}
+		return RBF{Gamma: s.Gamma}, nil
+	default:
+		return nil, fmt.Errorf("svm: unknown kernel type %q", s.Type)
+	}
+}

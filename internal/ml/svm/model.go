@@ -1,0 +1,283 @@
+package svm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"iustitia/internal/ml/dataset"
+)
+
+// MultiClass selects how pairwise binary machines are combined.
+type MultiClass int
+
+const (
+	// DAG evaluates the decision DAG of Platt et al. (DAGSVM): exactly
+	// Classes-1 binary evaluations per prediction. This is the paper's
+	// choice — "the fastest among other multi-class voting methods".
+	DAG MultiClass = iota + 1
+	// Vote runs all pairwise machines and takes the majority
+	// (one-vs-one max-wins), kept as an ablation baseline.
+	Vote
+)
+
+// Common errors.
+var (
+	ErrNotTrained   = errors.New("svm: model has not been trained")
+	ErrFeatureWidth = errors.New("svm: feature width mismatch")
+)
+
+// Config controls SVM training.
+type Config struct {
+	// C is the soft-margin penalty; values <= 0 default to 1.
+	C float64
+	// Kernel defaults to RBF with Gamma 1 when nil.
+	Kernel Kernel
+	// Tol is the KKT-violation tolerance; values <= 0 default to 1e-3.
+	Tol float64
+	// MaxPasses is the number of consecutive no-change sweeps before SMO
+	// declares convergence; values <= 0 default to 5.
+	MaxPasses int
+	// MaxIter hard-caps SMO sweeps; values <= 0 default to 2000.
+	MaxIter int
+	// MultiClass defaults to DAG.
+	MultiClass MultiClass
+	// Seed drives SMO's randomized working-pair choice.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Kernel == nil {
+		c.Kernel = RBF{Gamma: 1}
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses <= 0 {
+		c.MaxPasses = 5
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 2000
+	}
+	if c.MultiClass == 0 {
+		c.MultiClass = DAG
+	}
+	return c
+}
+
+// Model is a trained multi-class SVM: one binary machine per unordered
+// class pair, combined by DAGSVM or voting.
+type Model struct {
+	classes  int
+	width    int
+	mode     MultiClass
+	machines map[[2]int]*binary // keyed by {i, j} with i < j
+}
+
+// Train fits pairwise binary machines on ds.
+func Train(ds *dataset.Dataset, cfg Config) (*Model, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, dataset.ErrEmpty
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	byClass := make([][][]float64, ds.Classes)
+	for _, s := range ds.Samples {
+		byClass[s.Label] = append(byClass[s.Label], s.Features)
+	}
+	m := &Model{
+		classes:  ds.Classes,
+		width:    ds.Width(),
+		mode:     cfg.MultiClass,
+		machines: make(map[[2]int]*binary),
+	}
+	for i := 0; i < ds.Classes; i++ {
+		for j := i + 1; j < ds.Classes; j++ {
+			if len(byClass[i]) == 0 || len(byClass[j]) == 0 {
+				return nil, fmt.Errorf("svm: class pair (%d,%d) lacks samples", i, j)
+			}
+			x := make([][]float64, 0, len(byClass[i])+len(byClass[j]))
+			y := make([]float64, 0, cap(x))
+			// Class i is the +1 side of machine (i, j).
+			for _, f := range byClass[i] {
+				x = append(x, f)
+				y = append(y, 1)
+			}
+			for _, f := range byClass[j] {
+				x = append(x, f)
+				y = append(y, -1)
+			}
+			mach, err := trainBinary(x, y, smoConfig{
+				c:         cfg.C,
+				kernel:    cfg.Kernel,
+				tol:       cfg.Tol,
+				maxPasses: cfg.MaxPasses,
+				maxIter:   cfg.MaxIter,
+				rng:       rng,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%d,%d): %w", i, j, err)
+			}
+			m.machines[[2]int{i, j}] = mach
+		}
+	}
+	return m, nil
+}
+
+// Classes returns the number of classes the model distinguishes.
+func (m *Model) Classes() int { return m.classes }
+
+// Width returns the expected feature-vector width.
+func (m *Model) Width() int { return m.width }
+
+// SupportVectors returns the total support-vector count across machines —
+// the model-size measure behind the paper's space accounting.
+func (m *Model) SupportVectors() int {
+	var total int
+	for _, mach := range m.machines {
+		total += mach.numSVs()
+	}
+	return total
+}
+
+// Predict classifies one feature vector.
+func (m *Model) Predict(features []float64) (int, error) {
+	if m == nil || len(m.machines) == 0 {
+		return 0, ErrNotTrained
+	}
+	if len(features) != m.width {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrFeatureWidth, len(features), m.width)
+	}
+	if m.mode == Vote {
+		return m.predictVote(features), nil
+	}
+	return m.predictDAG(features), nil
+}
+
+// predictDAG walks the DAGSVM decision list: keep candidates [lo..hi]; each
+// step evaluates machine (lo, hi) and eliminates the losing class, needing
+// exactly classes-1 evaluations.
+func (m *Model) predictDAG(features []float64) int {
+	lo, hi := 0, m.classes-1
+	for lo < hi {
+		mach := m.machines[[2]int{lo, hi}]
+		if mach.decision(features) >= 0 {
+			hi-- // class lo (the +1 side) wins; eliminate hi
+		} else {
+			lo++ // class hi wins; eliminate lo
+		}
+	}
+	return lo
+}
+
+// predictVote runs every pairwise machine and returns the class with most
+// wins, breaking ties toward the smaller class index.
+func (m *Model) predictVote(features []float64) int {
+	wins := make([]int, m.classes)
+	for pair, mach := range m.machines {
+		if mach.decision(features) >= 0 {
+			wins[pair[0]]++
+		} else {
+			wins[pair[1]]++
+		}
+	}
+	best := 0
+	for c := 1; c < m.classes; c++ {
+		if wins[c] > wins[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Evaluate classifies every sample of ds and returns the confusion matrix.
+func (m *Model) Evaluate(ds *dataset.Dataset) (*dataset.Confusion, error) {
+	actual := make([]int, ds.Len())
+	predicted := make([]int, ds.Len())
+	for i, s := range ds.Samples {
+		p, err := m.Predict(s.Features)
+		if err != nil {
+			return nil, err
+		}
+		actual[i] = s.Label
+		predicted[i] = p
+	}
+	return dataset.NewConfusion(m.classes, actual, predicted)
+}
+
+// modelJSON is the serialized form of a Model.
+type modelJSON struct {
+	Classes  int           `json:"classes"`
+	Width    int           `json:"width"`
+	Mode     MultiClass    `json:"mode"`
+	Machines []machineJSON `json:"machines"`
+}
+
+type machineJSON struct {
+	I      int         `json:"i"`
+	J      int         `json:"j"`
+	Kernel kernelSpec  `json:"kernel"`
+	Coef   []float64   `json:"coef"`
+	SVs    [][]float64 `json:"svs"`
+	B      float64     `json:"b"`
+}
+
+// MarshalJSON implements json.Marshaler for model persistence.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{Classes: m.classes, Width: m.width, Mode: m.mode}
+	for i := 0; i < m.classes; i++ {
+		for j := i + 1; j < m.classes; j++ {
+			mach := m.machines[[2]int{i, j}]
+			spec, err := specFor(mach.kernel)
+			if err != nil {
+				return nil, err
+			}
+			out.Machines = append(out.Machines, machineJSON{
+				I: i, J: j, Kernel: spec, Coef: mach.coef, SVs: mach.svs, B: mach.b,
+			})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Classes < 2 {
+		return fmt.Errorf("svm: invalid class count %d", in.Classes)
+	}
+	m.classes = in.Classes
+	m.width = in.Width
+	m.mode = in.Mode
+	if m.mode == 0 {
+		m.mode = DAG
+	}
+	m.machines = make(map[[2]int]*binary, len(in.Machines))
+	for _, mj := range in.Machines {
+		k, err := mj.Kernel.kernel()
+		if err != nil {
+			return err
+		}
+		if len(mj.Coef) != len(mj.SVs) {
+			return fmt.Errorf("svm: machine (%d,%d) has %d coefs for %d SVs",
+				mj.I, mj.J, len(mj.Coef), len(mj.SVs))
+		}
+		m.machines[[2]int{mj.I, mj.J}] = &binary{
+			kernel: k, coef: mj.Coef, svs: mj.SVs, b: mj.B,
+		}
+	}
+	want := m.classes * (m.classes - 1) / 2
+	if len(m.machines) != want {
+		return fmt.Errorf("svm: %d machines for %d classes, want %d",
+			len(m.machines), m.classes, want)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"iustitia/internal/ml/dataset"
+)
+
+// fourCorners is a 4-class problem: one Gaussian blob per unit-square
+// corner.
+func fourCorners(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	corners := [][2]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	var samples []dataset.Sample
+	for class, c := range corners {
+		for i := 0; i < n; i++ {
+			samples = append(samples, dataset.Sample{
+				Features: []float64{
+					c[0] + rng.NormFloat64()*0.08,
+					c[1] + rng.NormFloat64()*0.08,
+				},
+				Label: class,
+			})
+		}
+	}
+	ds, err := dataset.New(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFourClassDAG(t *testing.T) {
+	train := fourCorners(t, 40, 1)
+	test := fourCorners(t, 25, 2)
+	m, err := Train(train, Config{Kernel: RBF{Gamma: 20}, C: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 classes -> 6 pairwise machines.
+	if got := len(m.machines); got != 6 {
+		t.Fatalf("machines = %d, want 6", got)
+	}
+	conf, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := conf.Accuracy(); acc < 0.95 {
+		t.Errorf("4-class DAG accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestFourClassVoteMatchesDAG(t *testing.T) {
+	train := fourCorners(t, 40, 4)
+	test := fourCorners(t, 25, 5)
+	dag, err := Train(train, Config{Kernel: RBF{Gamma: 20}, C: 100, MultiClass: DAG, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vote, err := Train(train, Config{Kernel: RBF{Gamma: 20}, C: 100, MultiClass: Vote, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dagConf, err := dag.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voteConf, err := vote.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a well-separated problem both multi-class schemes are near
+	// perfect; neither should collapse.
+	if dagConf.Accuracy() < 0.95 || voteConf.Accuracy() < 0.95 {
+		t.Errorf("accuracies: dag=%v vote=%v", dagConf.Accuracy(), voteConf.Accuracy())
+	}
+}
+
+func TestDAGEvaluationCount(t *testing.T) {
+	// DAGSVM's selling point: exactly classes-1 machine evaluations per
+	// prediction. Count kernel invocations via an instrumented kernel.
+	train := fourCorners(t, 20, 7)
+	calls := 0
+	counting := kernelFunc(func(a, b []float64) float64 {
+		calls++
+		return RBF{Gamma: 20}.Compute(a, b)
+	})
+	m, err := Train(train, Config{Kernel: counting, C: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perMachineSVs := make(map[[2]int]int, len(m.machines))
+	for pair, mach := range m.machines {
+		perMachineSVs[pair] = mach.numSVs()
+	}
+	calls = 0
+	if _, err := m.Predict([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// The DAG path for 4 classes evaluates exactly 3 machines; kernel
+	// calls equal the sum of those machines' SV counts, which is strictly
+	// less than the total across all 6 machines.
+	var total int
+	for _, n := range perMachineSVs {
+		total += n
+	}
+	if calls >= total {
+		t.Errorf("DAG used %d kernel calls, not fewer than all-machine total %d", calls, total)
+	}
+	if calls == 0 {
+		t.Error("no kernel calls recorded")
+	}
+}
+
+// kernelFunc adapts a function to the Kernel interface for tests.
+type kernelFunc func(a, b []float64) float64
+
+func (f kernelFunc) Compute(a, b []float64) float64 { return f(a, b) }

@@ -1,0 +1,147 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// smoConfig carries the binary-training knobs resolved from Config.
+type smoConfig struct {
+	c         float64
+	kernel    Kernel
+	tol       float64
+	maxPasses int
+	maxIter   int
+	rng       *rand.Rand
+}
+
+// binary is one trained two-class machine. Labels are ±1. Only support
+// vectors are retained.
+type binary struct {
+	kernel Kernel
+	// coef[i] = alpha_i * y_i for support vector i.
+	coef []float64
+	svs  [][]float64
+	b    float64
+}
+
+// trainBinary runs simplified SMO (Platt 1998, in the simplified variant
+// with randomized second-choice and an error cache) on x with labels
+// y ∈ {−1, +1}.
+func trainBinary(x [][]float64, y []float64, cfg smoConfig) (*binary, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, errors.New("svm: empty or mismatched training data")
+	}
+	// Precompute the kernel matrix; binary problems in Iustitia are a few
+	// hundred points, so the O(n²) memory is cheap and removes the
+	// dominant repeated cost from the SMO inner loop.
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := cfg.kernel.Compute(x[i], x[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+
+	alpha := make([]float64, n)
+	var b float64
+
+	decision := func(i int) float64 {
+		var f float64
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				f += alpha[j] * y[j] * k[j][i]
+			}
+		}
+		return f + b
+	}
+
+	passes, iter := 0, 0
+	for passes < cfg.maxPasses && iter < cfg.maxIter {
+		iter++
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := decision(i) - y[i]
+			// KKT violation check.
+			if !((y[i]*ei < -cfg.tol && alpha[i] < cfg.c) || (y[i]*ei > cfg.tol && alpha[i] > 0)) {
+				continue
+			}
+			j := cfg.rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := decision(j) - y[j]
+
+			aiOld, ajOld := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, ajOld-aiOld)
+				hi = math.Min(cfg.c, cfg.c+ajOld-aiOld)
+			} else {
+				lo = math.Max(0, aiOld+ajOld-cfg.c)
+				hi = math.Min(cfg.c, aiOld+ajOld)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*k[i][j] - k[i][i] - k[j][j]
+			if eta >= 0 {
+				continue
+			}
+			aj := ajOld - y[j]*(ei-ej)/eta
+			if aj > hi {
+				aj = hi
+			} else if aj < lo {
+				aj = lo
+			}
+			if math.Abs(aj-ajOld) < 1e-5 {
+				continue
+			}
+			ai := aiOld + y[i]*y[j]*(ajOld-aj)
+			alpha[i], alpha[j] = ai, aj
+
+			b1 := b - ei - y[i]*(ai-aiOld)*k[i][i] - y[j]*(aj-ajOld)*k[i][j]
+			b2 := b - ej - y[i]*(ai-aiOld)*k[i][j] - y[j]*(aj-ajOld)*k[j][j]
+			switch {
+			case ai > 0 && ai < cfg.c:
+				b = b1
+			case aj > 0 && aj < cfg.c:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	// Retain support vectors only.
+	m := &binary{kernel: cfg.kernel, b: b}
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-8 {
+			m.coef = append(m.coef, alpha[i]*y[i])
+			m.svs = append(m.svs, x[i])
+		}
+	}
+	return m, nil
+}
+
+// decision returns the signed decision value f(x) = Σ αᵢyᵢK(svᵢ, x) + b.
+func (m *binary) decision(x []float64) float64 {
+	f := m.b
+	for i, sv := range m.svs {
+		f += m.coef[i] * m.kernel.Compute(sv, x)
+	}
+	return f
+}
+
+// numSVs returns the number of retained support vectors.
+func (m *binary) numSVs() int { return len(m.svs) }

@@ -1,0 +1,333 @@
+package svm
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iustitia/internal/ml/dataset"
+)
+
+func TestLinearKernel(t *testing.T) {
+	k := Linear{}
+	if got := k.Compute([]float64{1, 2}, []float64{3, 4}); got != 11 {
+		t.Errorf("linear = %v, want 11", got)
+	}
+}
+
+func TestRBFKernel(t *testing.T) {
+	k := RBF{Gamma: 1}
+	if got := k.Compute([]float64{1, 1}, []float64{1, 1}); got != 1 {
+		t.Errorf("RBF(x,x) = %v, want 1", got)
+	}
+	got := k.Compute([]float64{0, 0}, []float64{1, 0})
+	if want := math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RBF = %v, want %v", got, want)
+	}
+}
+
+// separable2D returns a linearly separable two-class dataset.
+func separable2D(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var samples []dataset.Sample
+	for i := 0; i < n; i++ {
+		samples = append(samples,
+			dataset.Sample{Features: []float64{rng.Float64() * 0.4, rng.Float64()}, Label: 0},
+			dataset.Sample{Features: []float64{0.6 + rng.Float64()*0.4, rng.Float64()}, Label: 1},
+		)
+	}
+	ds, err := dataset.New(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// ringDataset is a non-linearly-separable problem (inner disk vs outer
+// ring) the RBF kernel must solve and the linear kernel cannot.
+func ringDataset(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var samples []dataset.Sample
+	for len(samples) < 2*n {
+		x, y := rng.Float64()*2-1, rng.Float64()*2-1
+		r := math.Hypot(x, y)
+		switch {
+		case r < 0.4:
+			samples = append(samples, dataset.Sample{Features: []float64{x, y}, Label: 0})
+		case r > 0.6 && r < 1:
+			samples = append(samples, dataset.Sample{Features: []float64{x, y}, Label: 1})
+		}
+	}
+	ds, err := dataset.New(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// threeBands is a 3-class problem shaped like the entropy-band geometry.
+func threeBands(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var samples []dataset.Sample
+	centers := []float64{0.25, 0.6, 0.92}
+	for class, c := range centers {
+		for i := 0; i < n; i++ {
+			samples = append(samples, dataset.Sample{
+				Features: []float64{
+					c + rng.NormFloat64()*0.05,
+					c*0.9 + rng.NormFloat64()*0.06,
+				},
+				Label: class,
+			})
+		}
+	}
+	ds, err := dataset.New(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainEmpty(t *testing.T) {
+	if _, err := Train(nil, Config{}); !errors.Is(err, dataset.ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestTrainMissingClass(t *testing.T) {
+	ds, err := dataset.New([]dataset.Sample{
+		{Features: []float64{1}, Label: 0},
+		{Features: []float64{2}, Label: 0},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(ds, Config{}); err == nil {
+		t.Error("missing class samples: want error")
+	}
+}
+
+func TestLinearSeparable(t *testing.T) {
+	train := separable2D(t, 40, 1)
+	test := separable2D(t, 20, 2)
+	m, err := Train(train, Config{Kernel: Linear{}, C: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := conf.Accuracy(); acc < 0.95 {
+		t.Errorf("linear separable accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestRBFSolvesRing(t *testing.T) {
+	train := ringDataset(t, 60, 4)
+	test := ringDataset(t, 40, 5)
+	rbf, err := Train(train, Config{Kernel: RBF{Gamma: 10}, C: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := rbf.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := conf.Accuracy(); acc < 0.9 {
+		t.Errorf("RBF ring accuracy = %v, want >= 0.9", acc)
+	}
+
+	// The linear kernel must do clearly worse on the same problem.
+	lin, err := Train(train, Config{Kernel: Linear{}, C: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linConf, err := lin.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linConf.Accuracy() >= conf.Accuracy() {
+		t.Errorf("linear (%v) should not beat RBF (%v) on the ring",
+			linConf.Accuracy(), conf.Accuracy())
+	}
+}
+
+func TestThreeClassDAG(t *testing.T) {
+	train := threeBands(t, 60, 7)
+	test := threeBands(t, 40, 8)
+	m, err := Train(train, Config{Kernel: RBF{Gamma: 50}, C: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := conf.Accuracy(); acc < 0.9 {
+		t.Errorf("3-class DAG accuracy = %v, want >= 0.9", acc)
+	}
+	if m.SupportVectors() == 0 {
+		t.Error("model retained no support vectors")
+	}
+}
+
+func TestDAGAndVoteAgreeOnClearData(t *testing.T) {
+	train := threeBands(t, 60, 10)
+	test := threeBands(t, 40, 11)
+	dag, err := Train(train, Config{Kernel: RBF{Gamma: 50}, C: 1000, MultiClass: DAG, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vote, err := Train(train, Config{Kernel: RBF{Gamma: 50}, C: 1000, MultiClass: Vote, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, s := range test.Samples {
+		p1, err := dag.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := vote.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 == p2 {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(test.Len()); frac < 0.9 {
+		t.Errorf("DAG and Vote agree on only %v of clear data", frac)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	var empty *Model
+	if _, err := empty.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("nil model: err = %v", err)
+	}
+	m, err := Train(separable2D(t, 20, 13), Config{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2, 3}); !errors.Is(err, ErrFeatureWidth) {
+		t.Errorf("wrong width: err = %v", err)
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	train := threeBands(t, 40, 15)
+	m, err := Train(train, Config{Kernel: RBF{Gamma: 50}, C: 1000, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Model
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Classes() != 3 || restored.Width() != 2 {
+		t.Fatalf("restored shape = (%d classes, %d width)", restored.Classes(), restored.Width())
+	}
+	for _, s := range train.Samples {
+		p1, err := m.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := restored.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatal("round-trip prediction mismatch")
+		}
+	}
+}
+
+func TestModelJSONInvalid(t *testing.T) {
+	var m Model
+	if err := json.Unmarshal([]byte(`{"classes":1}`), &m); err == nil {
+		t.Error("classes=1: want error")
+	}
+	if err := json.Unmarshal([]byte(`{"classes":2,"width":1,"machines":[]}`), &m); err == nil {
+		t.Error("missing machines: want error")
+	}
+	bad := `{"classes":2,"width":1,"machines":[{"i":0,"j":1,"kernel":{"type":"nope"},"coef":[],"svs":[],"b":0}]}`
+	if err := json.Unmarshal([]byte(bad), &m); err == nil {
+		t.Error("unknown kernel: want error")
+	}
+}
+
+func TestKernelSpecRoundTrip(t *testing.T) {
+	for _, k := range []Kernel{Linear{}, RBF{Gamma: 2.5}} {
+		spec, err := specFor(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := spec.kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := []float64{0.1, 0.9}, []float64{0.4, 0.2}
+		if back.Compute(a, b) != k.Compute(a, b) {
+			t.Errorf("kernel %T changed after spec round trip", k)
+		}
+	}
+	if _, err := (kernelSpec{Type: "rbf", Gamma: 0}).kernel(); err == nil {
+		t.Error("rbf gamma=0: want error")
+	}
+}
+
+// Property: RBF kernel is symmetric, bounded in (0, 1], and 1 on the
+// diagonal.
+func TestRBFProperty(t *testing.T) {
+	k := RBF{Gamma: 3}
+	prop := func(a, b [3]float64) bool {
+		for _, v := range append(a[:], b[:]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		kab := k.Compute(a[:], b[:])
+		kba := k.Compute(b[:], a[:])
+		kaa := k.Compute(a[:], a[:])
+		return kab == kba && kab > 0 && kab <= 1 && kaa == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the decision function of a trained binary machine is
+// continuous in its inputs in the trivial sense that identical inputs give
+// identical outputs across repeated calls (no hidden state).
+func TestDecisionDeterministic(t *testing.T) {
+	m, err := Train(separable2D(t, 30, 17), Config{Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, 0.5}
+	p1, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p2, err := m.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatal("prediction not deterministic")
+		}
+	}
+}

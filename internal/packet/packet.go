@@ -1,0 +1,92 @@
+// Package packet provides the network substrate of the Iustitia
+// evaluation: a packet model (5-tuple, transport, TCP flags, payload,
+// virtual timestamps) and a synthetic gateway-trace generator matching the
+// shape of the UMASS gigabit trace the paper replays — bimodal payload
+// sizes (most packets under 140 bytes, a spike at the 1480-byte MTU
+// payload), heavy-tailed per-flow inter-arrival times, a TCP/UDP mix, and a
+// fraction of flows properly closed by FIN or RST. Flow payloads are drawn
+// from the synthetic corpus, which is the same substitution the paper's
+// authors made with their own file pool (see DESIGN.md §4).
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Transport is the flow's transport protocol.
+type Transport uint8
+
+// Supported transports.
+const (
+	TCP Transport = iota + 1
+	UDP
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("transport(%d)", uint8(t))
+	}
+}
+
+// Flags is a TCP flag bitmask (UDP packets carry none).
+type Flags uint8
+
+// TCP flags relevant to flow lifetime tracking.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagPSH
+	FlagFIN
+	FlagRST
+)
+
+// Has reports whether all flags in mask are set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// FiveTuple identifies a flow.
+type FiveTuple struct {
+	SrcIP     [4]byte
+	DstIP     [4]byte
+	SrcPort   uint16
+	DstPort   uint16
+	Transport Transport
+}
+
+// String implements fmt.Stringer.
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d/%s",
+		t.SrcIP[0], t.SrcIP[1], t.SrcIP[2], t.SrcIP[3], t.SrcPort,
+		t.DstIP[0], t.DstIP[1], t.DstIP[2], t.DstIP[3], t.DstPort, t.Transport)
+}
+
+// Marshal writes the canonical 13-byte wire form of the tuple, used as the
+// input of the flow-ID hash.
+func (t FiveTuple) Marshal() [13]byte {
+	var out [13]byte
+	copy(out[0:4], t.SrcIP[:])
+	copy(out[4:8], t.DstIP[:])
+	binary.BigEndian.PutUint16(out[8:10], t.SrcPort)
+	binary.BigEndian.PutUint16(out[10:12], t.DstPort)
+	out[12] = byte(t.Transport)
+	return out
+}
+
+// Packet is one captured packet with a virtual timestamp relative to the
+// start of its trace.
+type Packet struct {
+	Tuple   FiveTuple
+	Time    time.Duration
+	Flags   Flags
+	Payload []byte
+}
+
+// IsData reports whether the packet carries payload bytes.
+func (p *Packet) IsData() bool { return len(p.Payload) > 0 }

@@ -1,0 +1,250 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/stats"
+)
+
+func TestTransportString(t *testing.T) {
+	if TCP.String() != "tcp" || UDP.String() != "udp" {
+		t.Error("transport names wrong")
+	}
+	if Transport(9).String() != "transport(9)" {
+		t.Errorf("unknown transport = %q", Transport(9).String())
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := FlagFIN | FlagACK
+	if !f.Has(FlagFIN) || !f.Has(FlagACK) || !f.Has(FlagFIN|FlagACK) {
+		t.Error("Has should match set flags")
+	}
+	if f.Has(FlagRST) {
+		t.Error("Has matched an unset flag")
+	}
+}
+
+func TestFiveTupleMarshalDistinct(t *testing.T) {
+	a := FiveTuple{SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8},
+		SrcPort: 1000, DstPort: 80, Transport: TCP}
+	b := a
+	b.SrcPort = 1001
+	if a.Marshal() == b.Marshal() {
+		t.Error("distinct tuples marshal identically")
+	}
+	if a.Marshal() != a.Marshal() {
+		t.Error("marshal is not deterministic")
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func smallConfig() TraceConfig {
+	cfg := DefaultTraceConfig()
+	cfg.Flows = 100
+	cfg.Duration = 10 * time.Second
+	cfg.MaxFlowBytes = 4096
+	return cfg
+}
+
+func TestGenerateValidation(t *testing.T) {
+	gen := corpus.NewGenerator(1)
+	bad := smallConfig()
+	bad.Flows = 0
+	if _, err := Generate(bad, gen); err == nil {
+		t.Error("flows=0: want error")
+	}
+	bad = smallConfig()
+	bad.MinFlowBytes = 0
+	if _, err := Generate(bad, gen); err == nil {
+		t.Error("min=0: want error")
+	}
+	bad = smallConfig()
+	bad.Duration = 0
+	if _, err := Generate(bad, gen); err == nil {
+		t.Error("duration=0: want error")
+	}
+	bad = smallConfig()
+	bad.MeanPacketGap = 0
+	if _, err := Generate(bad, gen); err == nil {
+		t.Error("gap=0: want error")
+	}
+	if _, err := Generate(smallConfig(), nil); err == nil {
+		t.Error("nil generator: want error")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig()
+	trace, err := Generate(cfg, corpus.NewGenerator(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Flows) != cfg.Flows {
+		t.Fatalf("flows = %d, want %d", len(trace.Flows), cfg.Flows)
+	}
+	// Packets are time-sorted.
+	for i := 1; i < len(trace.Packets); i++ {
+		if trace.Packets[i].Time < trace.Packets[i-1].Time {
+			t.Fatal("packets not sorted by time")
+		}
+	}
+	// Per-flow payload bytes must reassemble to the recorded flow size.
+	seen := make(map[FiveTuple]int)
+	for i := range trace.Packets {
+		seen[trace.Packets[i].Tuple] += len(trace.Packets[i].Payload)
+	}
+	for tuple, info := range trace.Flows {
+		if seen[tuple] != info.Bytes {
+			t.Errorf("flow %v reassembles to %d bytes, want %d", tuple, seen[tuple], info.Bytes)
+		}
+	}
+	if trace.DataPackets() == 0 {
+		t.Error("no data packets")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	t1, err := Generate(cfg, corpus.NewGenerator(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Generate(cfg, corpus.NewGenerator(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Packets) != len(t2.Packets) {
+		t.Fatalf("packet counts differ: %d vs %d", len(t1.Packets), len(t2.Packets))
+	}
+	for i := range t1.Packets {
+		if t1.Packets[i].Time != t2.Packets[i].Time ||
+			t1.Packets[i].Tuple != t2.Packets[i].Tuple {
+			t.Fatalf("packet %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateTermination(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Flows = 300
+	trace, err := Generate(cfg, corpus.NewGenerator(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fin, rst, open, udp int
+	for _, info := range trace.Flows {
+		switch {
+		case info.ClosedBy.Has(FlagFIN):
+			fin++
+		case info.ClosedBy.Has(FlagRST):
+			rst++
+		default:
+			open++
+		}
+		if info.Tuple.Transport == UDP {
+			udp++
+			if info.ClosedBy != 0 {
+				t.Error("UDP flow has a TCP close flag")
+			}
+		}
+	}
+	if fin == 0 || rst == 0 || open == 0 {
+		t.Errorf("termination mix degenerate: fin=%d rst=%d open=%d", fin, rst, open)
+	}
+	if udp == 0 {
+		t.Error("no UDP flows generated")
+	}
+	// Closed flows carry a trailing empty FIN/RST packet.
+	lastByFlow := make(map[FiveTuple]Packet)
+	for _, p := range trace.Packets {
+		lastByFlow[p.Tuple] = p
+	}
+	for tuple, info := range trace.Flows {
+		last := lastByFlow[tuple]
+		if info.ClosedBy != 0 {
+			if !last.Flags.Has(info.ClosedBy) || last.IsData() {
+				t.Errorf("flow %v: last packet flags=%v len=%d, want empty close packet",
+					tuple, last.Flags, len(last.Payload))
+			}
+		}
+	}
+}
+
+func TestPayloadSizeBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var sizes []float64
+	mtu := 0
+	for i := 0; i < 20000; i++ {
+		s := samplePayloadSize(rng)
+		if s <= 0 || s > mtuPayload {
+			t.Fatalf("payload size %d out of range", s)
+		}
+		if s == mtuPayload {
+			mtu++
+		}
+		sizes = append(sizes, float64(s))
+	}
+	cdf, err := stats.NewCDF(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 9(a): >50% of packets under 140 bytes, ~20% at full payload.
+	if got := cdf.At(140); got < 0.5 {
+		t.Errorf("P(size <= 140) = %v, want > 0.5", got)
+	}
+	if frac := float64(mtu) / 20000; frac < 0.15 || frac > 0.25 {
+		t.Errorf("MTU fraction = %v, want ~0.20", frac)
+	}
+}
+
+func TestGapHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var gaps []float64
+	for i := 0; i < 5000; i++ {
+		g := gap(rng, 50*time.Millisecond)
+		if g <= 0 {
+			t.Fatal("non-positive gap")
+		}
+		gaps = append(gaps, g.Seconds())
+	}
+	summary, err := stats.Summarize(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log-normal: mean well above median.
+	if summary.Mean <= summary.Median {
+		t.Errorf("gap distribution not heavy-tailed: mean=%v median=%v",
+			summary.Mean, summary.Median)
+	}
+}
+
+func TestHTTPHeaderFlows(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HTTPHeaderFraction = 1
+	trace, err := Generate(cfg, corpus.NewGenerator(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range trace.Flows {
+		if !info.HasHeader {
+			t.Fatal("HTTPHeaderFraction=1 but flow lacks header")
+		}
+	}
+	// The first data packet of some flow should start with an HTTP header.
+	found := false
+	for _, p := range trace.Packets {
+		if p.IsData() && len(p.Payload) >= 8 && string(p.Payload[:8]) == "HTTP/1.1" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no flow starts with an HTTP header")
+	}
+}

@@ -1,0 +1,245 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"iustitia/internal/corpus"
+)
+
+// TraceConfig parameterizes synthetic trace generation. The zero value is
+// not usable; use DefaultTraceConfig as a starting point.
+type TraceConfig struct {
+	// Flows is the number of data flows to synthesize.
+	Flows int
+	// Duration is the virtual capture length flows start within.
+	Duration time.Duration
+	// UDPFraction is the fraction of flows carried over UDP.
+	UDPFraction float64
+	// CleanCloseFraction is the fraction of TCP flows terminated with a
+	// FIN packet; an equal-probability RSTFraction is terminated by RST.
+	// The paper observes ~46% of flows removable via FIN/RST.
+	CleanCloseFraction float64
+	// RSTFraction is the fraction of TCP flows terminated by RST.
+	RSTFraction float64
+	// MinFlowBytes and MaxFlowBytes bound each flow's payload size.
+	MinFlowBytes, MaxFlowBytes int
+	// HTTPHeaderFraction of flows carry a synthetic HTTP response header
+	// before their content, exercising the application-header path.
+	HTTPHeaderFraction float64
+	// MeanPacketGap is the median per-flow inter-packet gap; per-flow
+	// gaps are drawn log-normally around it for a heavy-tailed mix.
+	MeanPacketGap time.Duration
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultTraceConfig returns a laptop-scale trace shaped like the UMASS
+// gateway trace of the paper's §4.5.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Flows:              2000,
+		Duration:           80 * time.Second,
+		UDPFraction:        0.2,
+		CleanCloseFraction: 0.36,
+		RSTFraction:        0.10,
+		MinFlowBytes:       256,
+		MaxFlowBytes:       16 << 10,
+		HTTPHeaderFraction: 0.3,
+		MeanPacketGap:      60 * time.Millisecond,
+		Seed:               1,
+	}
+}
+
+// FlowInfo is the ground truth recorded for one synthesized flow.
+type FlowInfo struct {
+	Tuple     FiveTuple
+	Class     corpus.Class
+	Bytes     int
+	Packets   int
+	HasHeader bool
+	// ClosedBy is 0 when the flow just goes quiet, otherwise FlagFIN or
+	// FlagRST.
+	ClosedBy Flags
+	Start    time.Duration
+}
+
+// Trace is a synthesized packet capture with ground-truth flow labels.
+type Trace struct {
+	Packets []Packet
+	Flows   map[FiveTuple]*FlowInfo
+}
+
+// DataPackets counts packets carrying payload.
+func (t *Trace) DataPackets() int {
+	n := 0
+	for i := range t.Packets {
+		if t.Packets[i].IsData() {
+			n++
+		}
+	}
+	return n
+}
+
+// Generate synthesizes a trace. Flow payloads are drawn from gen, one
+// corpus file per flow, class chosen uniformly.
+func Generate(cfg TraceConfig, gen *corpus.Generator) (*Trace, error) {
+	if cfg.Flows <= 0 {
+		return nil, errors.New("packet: config needs at least one flow")
+	}
+	if cfg.MinFlowBytes <= 0 || cfg.MaxFlowBytes < cfg.MinFlowBytes {
+		return nil, fmt.Errorf("packet: invalid flow size range [%d, %d]",
+			cfg.MinFlowBytes, cfg.MaxFlowBytes)
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("packet: duration must be positive")
+	}
+	if cfg.MeanPacketGap <= 0 {
+		return nil, errors.New("packet: mean packet gap must be positive")
+	}
+	if gen == nil {
+		return nil, errors.New("packet: nil corpus generator")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	trace := &Trace{Flows: make(map[FiveTuple]*FlowInfo, cfg.Flows)}
+	for i := 0; i < cfg.Flows; i++ {
+		tuple := randomTuple(rng, cfg.UDPFraction)
+		if _, dup := trace.Flows[tuple]; dup {
+			i--
+			continue
+		}
+		class := corpus.Class(rng.Intn(corpus.NumClasses))
+		size := cfg.MinFlowBytes
+		if cfg.MaxFlowBytes > cfg.MinFlowBytes {
+			size += rng.Intn(cfg.MaxFlowBytes - cfg.MinFlowBytes + 1)
+		}
+		file, err := gen.File(class, size)
+		if err != nil {
+			return nil, err
+		}
+		payload := file.Data
+		hasHeader := rng.Float64() < cfg.HTTPHeaderFraction
+		if hasHeader {
+			payload = append(httpHeader(rng, len(payload)), payload...)
+		}
+
+		info := &FlowInfo{
+			Tuple:     tuple,
+			Class:     class,
+			Bytes:     len(payload),
+			HasHeader: hasHeader,
+			Start:     time.Duration(rng.Int63n(int64(cfg.Duration))),
+		}
+		if tuple.Transport == TCP {
+			r := rng.Float64()
+			switch {
+			case r < cfg.CleanCloseFraction:
+				info.ClosedBy = FlagFIN
+			case r < cfg.CleanCloseFraction+cfg.RSTFraction:
+				info.ClosedBy = FlagRST
+			}
+		}
+
+		pkts := packetize(rng, tuple, payload, info.Start, cfg.MeanPacketGap)
+		if info.ClosedBy != 0 && len(pkts) > 0 {
+			last := pkts[len(pkts)-1]
+			pkts = append(pkts, Packet{
+				Tuple: tuple,
+				Time:  last.Time + gap(rng, cfg.MeanPacketGap),
+				Flags: info.ClosedBy | FlagACK,
+			})
+		}
+		info.Packets = len(pkts)
+		trace.Packets = append(trace.Packets, pkts...)
+		trace.Flows[tuple] = info
+	}
+
+	sort.SliceStable(trace.Packets, func(i, j int) bool {
+		return trace.Packets[i].Time < trace.Packets[j].Time
+	})
+	return trace, nil
+}
+
+// randomTuple draws a fresh 5-tuple.
+func randomTuple(rng *rand.Rand, udpFraction float64) FiveTuple {
+	transport := TCP
+	if rng.Float64() < udpFraction {
+		transport = UDP
+	}
+	var t FiveTuple
+	t.SrcIP = [4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1 + rng.Intn(254))}
+	t.DstIP = [4]byte{192, 168, byte(rng.Intn(256)), byte(1 + rng.Intn(254))}
+	t.SrcPort = uint16(1024 + rng.Intn(64511))
+	t.DstPort = uint16(1 + rng.Intn(65535))
+	t.Transport = transport
+	return t
+}
+
+// mtuPayload is the dominant full-size payload in the trace's bimodal
+// packet-size distribution (1480 bytes, per the paper's Figure 9(a)).
+const mtuPayload = 1480
+
+// samplePayloadSize draws one packet payload size from the bimodal
+// distribution of Figure 9(a): ~20% of packets are full 1480-byte
+// payloads, >50% are under 140 bytes, the rest spread between.
+func samplePayloadSize(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.20:
+		return mtuPayload
+	case r < 0.75:
+		return 1 + rng.Intn(139)
+	default:
+		return 140 + rng.Intn(mtuPayload-140)
+	}
+}
+
+// packetize chops payload into data packets with bimodal sizes and
+// heavy-tailed inter-arrival gaps starting at start.
+func packetize(rng *rand.Rand, tuple FiveTuple, payload []byte, start time.Duration, meanGap time.Duration) []Packet {
+	var pkts []Packet
+	now := start
+	for off := 0; off < len(payload); {
+		size := samplePayloadSize(rng)
+		if off+size > len(payload) {
+			size = len(payload) - off
+		}
+		flags := Flags(0)
+		if tuple.Transport == TCP {
+			flags = FlagACK | FlagPSH
+		}
+		pkts = append(pkts, Packet{
+			Tuple:   tuple,
+			Time:    now,
+			Flags:   flags,
+			Payload: payload[off : off+size],
+		})
+		off += size
+		now += gap(rng, meanGap)
+	}
+	return pkts
+}
+
+// gap draws one inter-packet gap: log-normal around the configured median,
+// giving the heavy right tail of Figure 9(b).
+func gap(rng *rand.Rand, median time.Duration) time.Duration {
+	g := float64(median) * math.Exp(rng.NormFloat64()*1.0)
+	if g < float64(time.Microsecond) {
+		g = float64(time.Microsecond)
+	}
+	return time.Duration(g)
+}
+
+// httpHeader synthesizes a plausible HTTP response header for a payload of
+// the given length.
+func httpHeader(rng *rand.Rand, contentLength int) []byte {
+	types := []string{"application/octet-stream", "image/jpeg", "text/html", "application/zip"}
+	return []byte(fmt.Sprintf(
+		"HTTP/1.1 200 OK\r\nServer: httpd/%d.%d\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: keep-alive\r\n\r\n",
+		1+rng.Intn(2), rng.Intn(10), types[rng.Intn(len(types))], contentLength))
+}

@@ -1,0 +1,275 @@
+package packet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"iustitia/internal/corpus"
+)
+
+// Trace file format (version 1): a compact binary capture that round-trips
+// the synthetic trace including ground truth, so experiment runs can share
+// one recorded workload.
+//
+//	magic "IUTR", version byte
+//	uvarint flowCount
+//	  per flow: 13-byte tuple, class byte, flags byte (hasHeader|closedBy),
+//	            uvarint bytes, uvarint packets, uvarint start (ns)
+//	uvarint packetCount
+//	  per packet: uvarint flow index, uvarint time delta (ns), flags byte,
+//	              uvarint payload length, payload bytes
+
+var (
+	traceMagic = []byte("IUTR")
+	// ErrBadTrace is returned when a trace file is malformed.
+	ErrBadTrace = errors.New("packet: malformed trace file")
+)
+
+const traceVersion = 1
+
+// flow-info flag bits in the serialized form.
+const (
+	infoHasHeader = 1 << 0
+	infoClosedFIN = 1 << 1
+	infoClosedRST = 1 << 2
+)
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	count := func(n int, err error) error {
+		written += int64(n)
+		return err
+	}
+
+	if err := count(bw.Write(traceMagic)); err != nil {
+		return written, err
+	}
+	if err := count(bw.Write([]byte{traceVersion})); err != nil {
+		return written, err
+	}
+
+	// Deterministic flow order: sort by marshaled tuple.
+	tuples := make([]FiveTuple, 0, len(t.Flows))
+	for tuple := range t.Flows {
+		tuples = append(tuples, tuple)
+	}
+	sort.Slice(tuples, func(i, j int) bool {
+		a, b := tuples[i].Marshal(), tuples[j].Marshal()
+		return bytes.Compare(a[:], b[:]) < 0
+	})
+	index := make(map[FiveTuple]uint64, len(tuples))
+
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		return count(bw.Write(scratch[:n]))
+	}
+
+	if err := putUvarint(uint64(len(tuples))); err != nil {
+		return written, err
+	}
+	for i, tuple := range tuples {
+		index[tuple] = uint64(i)
+		info := t.Flows[tuple]
+		wire := tuple.Marshal()
+		if err := count(bw.Write(wire[:])); err != nil {
+			return written, err
+		}
+		var flags byte
+		if info.HasHeader {
+			flags |= infoHasHeader
+		}
+		if info.ClosedBy.Has(FlagFIN) {
+			flags |= infoClosedFIN
+		}
+		if info.ClosedBy.Has(FlagRST) {
+			flags |= infoClosedRST
+		}
+		if err := count(bw.Write([]byte{byte(info.Class), flags})); err != nil {
+			return written, err
+		}
+		if err := putUvarint(uint64(info.Bytes)); err != nil {
+			return written, err
+		}
+		if err := putUvarint(uint64(info.Packets)); err != nil {
+			return written, err
+		}
+		if err := putUvarint(uint64(info.Start)); err != nil {
+			return written, err
+		}
+	}
+
+	if err := putUvarint(uint64(len(t.Packets))); err != nil {
+		return written, err
+	}
+	var prev time.Duration
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		idx, ok := index[p.Tuple]
+		if !ok {
+			return written, fmt.Errorf("packet: packet %d references unknown flow %v", i, p.Tuple)
+		}
+		if err := putUvarint(idx); err != nil {
+			return written, err
+		}
+		if p.Time < prev {
+			return written, fmt.Errorf("packet: packets not time-ordered at index %d", i)
+		}
+		if err := putUvarint(uint64(p.Time - prev)); err != nil {
+			return written, err
+		}
+		prev = p.Time
+		if err := count(bw.Write([]byte{byte(p.Flags)})); err != nil {
+			return written, err
+		}
+		if err := putUvarint(uint64(len(p.Payload))); err != nil {
+			return written, err
+		}
+		if err := count(bw.Write(p.Payload)); err != nil {
+			return written, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, len(traceMagic)+1)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if !bytes.Equal(header[:len(traceMagic)], traceMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if header[len(traceMagic)] != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, header[len(traceMagic)])
+	}
+
+	flowCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: flow count: %v", ErrBadTrace, err)
+	}
+	const maxFlows = 1 << 26
+	if flowCount > maxFlows {
+		return nil, fmt.Errorf("%w: implausible flow count %d", ErrBadTrace, flowCount)
+	}
+
+	trace := &Trace{Flows: make(map[FiveTuple]*FlowInfo, flowCount)}
+	tuples := make([]FiveTuple, flowCount)
+	for i := range tuples {
+		var wire [13]byte
+		if _, err := io.ReadFull(br, wire[:]); err != nil {
+			return nil, fmt.Errorf("%w: flow %d tuple: %v", ErrBadTrace, i, err)
+		}
+		tuple, err := unmarshalTuple(wire)
+		if err != nil {
+			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadTrace, i, err)
+		}
+		meta := make([]byte, 2)
+		if _, err := io.ReadFull(br, meta); err != nil {
+			return nil, fmt.Errorf("%w: flow %d meta: %v", ErrBadTrace, i, err)
+		}
+		info := &FlowInfo{Tuple: tuple, Class: corpus.Class(meta[0])}
+		if info.Class < corpus.Text || info.Class > corpus.Encrypted {
+			return nil, fmt.Errorf("%w: flow %d class %d", ErrBadTrace, i, meta[0])
+		}
+		info.HasHeader = meta[1]&infoHasHeader != 0
+		if meta[1]&infoClosedFIN != 0 {
+			info.ClosedBy |= FlagFIN
+		}
+		if meta[1]&infoClosedRST != 0 {
+			info.ClosedBy |= FlagRST
+		}
+		for _, dst := range []*int{&info.Bytes, &info.Packets} {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: flow %d size: %v", ErrBadTrace, i, err)
+			}
+			*dst = int(v)
+		}
+		start, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: flow %d start: %v", ErrBadTrace, i, err)
+		}
+		info.Start = time.Duration(start)
+		tuples[i] = tuple
+		trace.Flows[tuple] = info
+	}
+
+	packetCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: packet count: %v", ErrBadTrace, err)
+	}
+	const maxPackets = 1 << 30
+	if packetCount > maxPackets {
+		return nil, fmt.Errorf("%w: implausible packet count %d", ErrBadTrace, packetCount)
+	}
+	trace.Packets = make([]Packet, 0, packetCount)
+	var now time.Duration
+	for i := uint64(0); i < packetCount; i++ {
+		idx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d flow: %v", ErrBadTrace, i, err)
+		}
+		if idx >= uint64(len(tuples)) {
+			return nil, fmt.Errorf("%w: packet %d flow index %d out of range", ErrBadTrace, i, idx)
+		}
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d time: %v", ErrBadTrace, i, err)
+		}
+		now += time.Duration(delta)
+		flagByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d flags: %v", ErrBadTrace, i, err)
+		}
+		payloadLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d payload length: %v", ErrBadTrace, i, err)
+		}
+		const maxPayload = 64 << 10
+		if payloadLen > maxPayload {
+			return nil, fmt.Errorf("%w: packet %d payload %d exceeds %d", ErrBadTrace, i, payloadLen, maxPayload)
+		}
+		var payload []byte
+		if payloadLen > 0 {
+			payload = make([]byte, payloadLen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return nil, fmt.Errorf("%w: packet %d payload: %v", ErrBadTrace, i, err)
+			}
+		}
+		trace.Packets = append(trace.Packets, Packet{
+			Tuple:   tuples[idx],
+			Time:    now,
+			Flags:   Flags(flagByte),
+			Payload: payload,
+		})
+	}
+	return trace, nil
+}
+
+// unmarshalTuple reverses FiveTuple.Marshal.
+func unmarshalTuple(wire [13]byte) (FiveTuple, error) {
+	var t FiveTuple
+	copy(t.SrcIP[:], wire[0:4])
+	copy(t.DstIP[:], wire[4:8])
+	t.SrcPort = binary.BigEndian.Uint16(wire[8:10])
+	t.DstPort = binary.BigEndian.Uint16(wire[10:12])
+	t.Transport = Transport(wire[12])
+	if t.Transport != TCP && t.Transport != UDP {
+		return t, fmt.Errorf("unknown transport %d", wire[12])
+	}
+	return t, nil
+}

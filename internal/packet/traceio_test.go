@@ -1,0 +1,171 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+)
+
+func roundTrip(t *testing.T, trace *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := trace.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	restored, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return restored
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	trace, err := Generate(cfg, corpus.NewGenerator(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := roundTrip(t, trace)
+
+	if len(restored.Packets) != len(trace.Packets) {
+		t.Fatalf("packets = %d, want %d", len(restored.Packets), len(trace.Packets))
+	}
+	for i := range trace.Packets {
+		a, b := &trace.Packets[i], &restored.Packets[i]
+		if a.Tuple != b.Tuple || a.Time != b.Time || a.Flags != b.Flags ||
+			!bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("packet %d differs after round trip", i)
+		}
+	}
+	if len(restored.Flows) != len(trace.Flows) {
+		t.Fatalf("flows = %d, want %d", len(restored.Flows), len(trace.Flows))
+	}
+	for tuple, info := range trace.Flows {
+		got, ok := restored.Flows[tuple]
+		if !ok {
+			t.Fatalf("flow %v lost", tuple)
+		}
+		if got.Class != info.Class || got.Bytes != info.Bytes ||
+			got.Packets != info.Packets || got.HasHeader != info.HasHeader ||
+			got.ClosedBy != info.ClosedBy || got.Start != info.Start {
+			t.Fatalf("flow %v metadata differs: %+v vs %+v", tuple, got, info)
+		}
+	}
+}
+
+func TestTraceRoundTripEmptyPayloads(t *testing.T) {
+	tuple := FiveTuple{SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8},
+		SrcPort: 80, DstPort: 81, Transport: TCP}
+	trace := &Trace{
+		Packets: []Packet{
+			{Tuple: tuple, Time: 0, Flags: FlagSYN},
+			{Tuple: tuple, Time: time.Second, Flags: FlagFIN | FlagACK},
+		},
+		Flows: map[FiveTuple]*FlowInfo{
+			tuple: {Tuple: tuple, Class: corpus.Text, ClosedBy: FlagFIN, Packets: 2},
+		},
+	}
+	restored := roundTrip(t, trace)
+	if restored.Packets[0].IsData() || restored.Packets[1].IsData() {
+		t.Error("empty payloads gained data")
+	}
+	if !restored.Packets[1].Flags.Has(FlagFIN) {
+		t.Error("FIN flag lost")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       []byte("IU"),
+		"bad magic":   []byte("NOPE\x01\x00"),
+		"bad version": []byte("IUTR\x07\x00"),
+		"truncated":   []byte("IUTR\x01\x05"),
+	}
+	for name, blob := range cases {
+		if _, err := ReadTrace(bytes.NewReader(blob)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: err = %v, want ErrBadTrace", name, err)
+		}
+	}
+}
+
+func TestReadTraceRejectsBadClassAndTransport(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Flows = 3
+	trace, err := Generate(cfg, corpus.NewGenerator(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// Corrupt the first flow's transport byte (offset: magic 4 + version 1
+	// + flowcount varint 1 + 12 bytes of IPs/ports).
+	corrupted := append([]byte{}, blob...)
+	corrupted[4+1+1+12] = 99
+	if _, err := ReadTrace(bytes.NewReader(corrupted)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad transport: err = %v, want ErrBadTrace", err)
+	}
+
+	// Corrupt the first flow's class byte (right after the 13-byte tuple).
+	corrupted = append([]byte{}, blob...)
+	corrupted[4+1+1+13] = 250
+	if _, err := ReadTrace(bytes.NewReader(corrupted)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad class: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestWriteToRejectsUnsortedPackets(t *testing.T) {
+	tuple := FiveTuple{SrcIP: [4]byte{1, 1, 1, 1}, Transport: TCP}
+	trace := &Trace{
+		Packets: []Packet{
+			{Tuple: tuple, Time: time.Second},
+			{Tuple: tuple, Time: 0},
+		},
+		Flows: map[FiveTuple]*FlowInfo{tuple: {Tuple: tuple, Class: corpus.Text}},
+	}
+	if _, err := trace.WriteTo(io.Discard); err == nil {
+		t.Error("unsorted packets: want error")
+	}
+}
+
+func TestWriteToRejectsUnknownFlow(t *testing.T) {
+	known := FiveTuple{SrcIP: [4]byte{1, 1, 1, 1}, Transport: TCP}
+	unknown := FiveTuple{SrcIP: [4]byte{2, 2, 2, 2}, Transport: TCP}
+	trace := &Trace{
+		Packets: []Packet{{Tuple: unknown}},
+		Flows:   map[FiveTuple]*FlowInfo{known: {Tuple: known, Class: corpus.Text}},
+	}
+	if _, err := trace.WriteTo(io.Discard); err == nil {
+		t.Error("packet with unknown flow: want error")
+	}
+}
+
+func TestTraceFileDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	trace, err := Generate(cfg, corpus.NewGenerator(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if _, err := trace.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialization is not deterministic")
+	}
+}

@@ -1,0 +1,42 @@
+package pcap
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+// FuzzRead checks the capture parser never panics on corrupted pcap bytes.
+func FuzzRead(f *testing.F) {
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = 5
+	cfg.Duration = 2 * time.Second
+	cfg.MaxFlowBytes = 1 << 10
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(71))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := WriteTrace(&valid, trace); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:40])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		packets, err := Read(bytes.NewReader(blob))
+		if err != nil {
+			return
+		}
+		for i := range packets {
+			tr := packets[i].Tuple.Transport
+			if tr != packet.TCP && tr != packet.UDP {
+				t.Fatalf("parsed packet %d has impossible transport %v", i, tr)
+			}
+		}
+	})
+}

@@ -1,0 +1,349 @@
+// Package pcap writes and reads libpcap capture files (the classic
+// tcpdump format, microsecond timestamps, Ethernet link type), so the
+// synthetic gateway traces can be inspected with standard tooling
+// (tcpdump, Wireshark) or ingested from it. Packets are framed as
+// Ethernet II / IPv4 / TCP-or-UDP with correct IP and transport
+// checksums.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"iustitia/internal/packet"
+)
+
+// ErrBadCapture is returned when a capture file is malformed.
+var ErrBadCapture = errors.New("pcap: malformed capture")
+
+const (
+	magicMicroseconds = 0xa1b2c3d4
+	versionMajor      = 2
+	versionMinor      = 4
+	linkTypeEthernet  = 1
+	snapLen           = 65535
+
+	etherTypeIPv4 = 0x0800
+	protoTCP      = 6
+	protoUDP      = 17
+
+	etherHeaderLen = 14
+	ipHeaderLen    = 20
+	tcpHeaderLen   = 20
+	udpHeaderLen   = 8
+)
+
+// TCP flag bits in the header's 13th byte.
+const (
+	tcpFIN = 1 << 0
+	tcpSYN = 1 << 1
+	tcpRST = 1 << 2
+	tcpPSH = 1 << 3
+	tcpACK = 1 << 4
+)
+
+// Writer emits one pcap file. Create with NewWriter, append packets with
+// WritePacket, and Flush at the end.
+type Writer struct {
+	bw  *bufio.Writer
+	seq map[packet.FiveTuple]uint32
+}
+
+// NewWriter writes the global header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicroseconds)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkTypeEthernet)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw, seq: make(map[packet.FiveTuple]uint32)}, nil
+}
+
+// WritePacket frames and appends one packet at its virtual timestamp.
+func (w *Writer) WritePacket(p *packet.Packet) error {
+	if p == nil {
+		return errors.New("pcap: nil packet")
+	}
+	frame, err := w.frame(p)
+	if err != nil {
+		return err
+	}
+	var rec [16]byte
+	usec := p.Time.Microseconds()
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(usec/1e6))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(usec%1e6))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		return err
+	}
+	_, err = w.bw.Write(frame)
+	return err
+}
+
+// Flush completes the file.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// frame builds Ethernet/IPv4/transport framing around the payload.
+func (w *Writer) frame(p *packet.Packet) ([]byte, error) {
+	var transportLen int
+	switch p.Tuple.Transport {
+	case packet.TCP:
+		transportLen = tcpHeaderLen
+	case packet.UDP:
+		transportLen = udpHeaderLen
+	default:
+		return nil, fmt.Errorf("pcap: unsupported transport %v", p.Tuple.Transport)
+	}
+	ipTotal := ipHeaderLen + transportLen + len(p.Payload)
+	if ipTotal > 0xffff {
+		return nil, fmt.Errorf("pcap: packet too large (%d bytes)", ipTotal)
+	}
+	frame := make([]byte, etherHeaderLen+ipTotal)
+
+	// Ethernet II: synthetic locally administered MACs derived from IPs.
+	copy(frame[0:6], []byte{0x02, 0, p.Tuple.DstIP[0], p.Tuple.DstIP[1], p.Tuple.DstIP[2], p.Tuple.DstIP[3]})
+	copy(frame[6:12], []byte{0x02, 0, p.Tuple.SrcIP[0], p.Tuple.SrcIP[1], p.Tuple.SrcIP[2], p.Tuple.SrcIP[3]})
+	binary.BigEndian.PutUint16(frame[12:14], etherTypeIPv4)
+
+	// IPv4 header.
+	ip := frame[etherHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipTotal))
+	ip[8] = 64 // TTL
+	switch p.Tuple.Transport {
+	case packet.TCP:
+		ip[9] = protoTCP
+	case packet.UDP:
+		ip[9] = protoUDP
+	}
+	copy(ip[12:16], p.Tuple.SrcIP[:])
+	copy(ip[16:20], p.Tuple.DstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:ipHeaderLen]))
+
+	transport := ip[ipHeaderLen:]
+	switch p.Tuple.Transport {
+	case packet.TCP:
+		binary.BigEndian.PutUint16(transport[0:2], p.Tuple.SrcPort)
+		binary.BigEndian.PutUint16(transport[2:4], p.Tuple.DstPort)
+		seq := w.seq[p.Tuple]
+		binary.BigEndian.PutUint32(transport[4:8], seq)
+		w.seq[p.Tuple] = seq + uint32(len(p.Payload))
+		transport[12] = tcpHeaderLen / 4 << 4 // data offset
+		transport[13] = tcpFlags(p.Flags)
+		binary.BigEndian.PutUint16(transport[14:16], 65535) // window
+		copy(transport[tcpHeaderLen:], p.Payload)
+		binary.BigEndian.PutUint16(transport[16:18],
+			transportChecksum(p.Tuple, protoTCP, transport[:tcpHeaderLen+len(p.Payload)]))
+	case packet.UDP:
+		binary.BigEndian.PutUint16(transport[0:2], p.Tuple.SrcPort)
+		binary.BigEndian.PutUint16(transport[2:4], p.Tuple.DstPort)
+		binary.BigEndian.PutUint16(transport[4:6], uint16(udpHeaderLen+len(p.Payload)))
+		copy(transport[udpHeaderLen:], p.Payload)
+		binary.BigEndian.PutUint16(transport[6:8],
+			transportChecksum(p.Tuple, protoUDP, transport[:udpHeaderLen+len(p.Payload)]))
+	}
+	return frame, nil
+}
+
+// tcpFlags maps the packet model's flags to wire bits. Data packets imply
+// ACK so captures look like established connections.
+func tcpFlags(f packet.Flags) byte {
+	var b byte
+	if f.Has(packet.FlagSYN) {
+		b |= tcpSYN
+	}
+	if f.Has(packet.FlagACK) {
+		b |= tcpACK
+	}
+	if f.Has(packet.FlagPSH) {
+		b |= tcpPSH
+	}
+	if f.Has(packet.FlagFIN) {
+		b |= tcpFIN
+	}
+	if f.Has(packet.FlagRST) {
+		b |= tcpRST
+	}
+	return b
+}
+
+func wireFlags(b byte) packet.Flags {
+	var f packet.Flags
+	if b&tcpSYN != 0 {
+		f |= packet.FlagSYN
+	}
+	if b&tcpACK != 0 {
+		f |= packet.FlagACK
+	}
+	if b&tcpPSH != 0 {
+		f |= packet.FlagPSH
+	}
+	if b&tcpFIN != 0 {
+		f |= packet.FlagFIN
+	}
+	if b&tcpRST != 0 {
+		f |= packet.FlagRST
+	}
+	return f
+}
+
+// checksum is the Internet checksum over data.
+func checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header. The segment's checksum field must be zero on entry.
+func transportChecksum(t packet.FiveTuple, proto byte, segment []byte) uint16 {
+	pseudo := make([]byte, 12, 12+len(segment)+1)
+	copy(pseudo[0:4], t.SrcIP[:])
+	copy(pseudo[4:8], t.DstIP[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	pseudo = append(pseudo, segment...)
+	return checksum(pseudo)
+}
+
+// Read parses a pcap file written by this package (or any Ethernet/IPv4
+// capture) back into packets. Frames that are not IPv4 TCP/UDP are
+// skipped. Flow ground truth is not part of pcap, so only packets are
+// returned.
+func Read(r io.Reader) ([]packet.Packet, error) {
+	br := bufio.NewReader(r)
+	var global [24]byte
+	if _, err := io.ReadFull(br, global[:]); err != nil {
+		return nil, fmt.Errorf("%w: global header: %v", ErrBadCapture, err)
+	}
+	if binary.LittleEndian.Uint32(global[0:4]) != magicMicroseconds {
+		return nil, fmt.Errorf("%w: unsupported magic %#x", ErrBadCapture,
+			binary.LittleEndian.Uint32(global[0:4]))
+	}
+	if binary.LittleEndian.Uint32(global[20:24]) != linkTypeEthernet {
+		return nil, fmt.Errorf("%w: unsupported link type", ErrBadCapture)
+	}
+
+	var packets []packet.Packet
+	for {
+		var rec [16]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return packets, nil
+			}
+			return nil, fmt.Errorf("%w: record header: %v", ErrBadCapture, err)
+		}
+		inclLen := binary.LittleEndian.Uint32(rec[8:12])
+		if inclLen > snapLen {
+			return nil, fmt.Errorf("%w: record length %d", ErrBadCapture, inclLen)
+		}
+		frame := make([]byte, inclLen)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame: %v", ErrBadCapture, err)
+		}
+		p, ok, err := parseFrame(frame)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		sec := binary.LittleEndian.Uint32(rec[0:4])
+		usec := binary.LittleEndian.Uint32(rec[4:8])
+		p.Time = time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond
+		packets = append(packets, p)
+	}
+}
+
+// parseFrame extracts a packet from one Ethernet frame; ok is false for
+// frames this package does not model.
+func parseFrame(frame []byte) (packet.Packet, bool, error) {
+	var p packet.Packet
+	if len(frame) < etherHeaderLen+ipHeaderLen {
+		return p, false, nil
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != etherTypeIPv4 {
+		return p, false, nil
+	}
+	ip := frame[etherHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return p, false, nil
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipHeaderLen || len(ip) < ihl {
+		return p, false, fmt.Errorf("%w: bad IHL", ErrBadCapture)
+	}
+	total := int(binary.BigEndian.Uint16(ip[2:4]))
+	if total > len(ip) {
+		return p, false, fmt.Errorf("%w: IP total length %d exceeds frame", ErrBadCapture, total)
+	}
+	if total < ihl {
+		return p, false, fmt.Errorf("%w: IP total length %d below header length %d",
+			ErrBadCapture, total, ihl)
+	}
+	copy(p.Tuple.SrcIP[:], ip[12:16])
+	copy(p.Tuple.DstIP[:], ip[16:20])
+	transport := ip[ihl:total]
+	switch ip[9] {
+	case protoTCP:
+		if len(transport) < tcpHeaderLen {
+			return p, false, fmt.Errorf("%w: short TCP header", ErrBadCapture)
+		}
+		p.Tuple.Transport = packet.TCP
+		p.Tuple.SrcPort = binary.BigEndian.Uint16(transport[0:2])
+		p.Tuple.DstPort = binary.BigEndian.Uint16(transport[2:4])
+		offset := int(transport[12]>>4) * 4
+		if offset < tcpHeaderLen || offset > len(transport) {
+			return p, false, fmt.Errorf("%w: bad TCP offset", ErrBadCapture)
+		}
+		p.Flags = wireFlags(transport[13])
+		p.Payload = append([]byte(nil), transport[offset:]...)
+	case protoUDP:
+		if len(transport) < udpHeaderLen {
+			return p, false, fmt.Errorf("%w: short UDP header", ErrBadCapture)
+		}
+		p.Tuple.Transport = packet.UDP
+		p.Tuple.SrcPort = binary.BigEndian.Uint16(transport[0:2])
+		p.Tuple.DstPort = binary.BigEndian.Uint16(transport[2:4])
+		p.Payload = append([]byte(nil), transport[udpHeaderLen:]...)
+	default:
+		return p, false, nil
+	}
+	if len(p.Payload) == 0 {
+		p.Payload = nil
+	}
+	return p, true, nil
+}
+
+// WriteTrace dumps an entire trace as a pcap file.
+func WriteTrace(w io.Writer, trace *packet.Trace) error {
+	pw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := range trace.Packets {
+		if err := pw.WritePacket(&trace.Packets[i]); err != nil {
+			return fmt.Errorf("pcap: packet %d: %w", i, err)
+		}
+	}
+	return pw.Flush()
+}

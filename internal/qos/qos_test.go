@@ -1,0 +1,248 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iustitia/internal/corpus"
+)
+
+func newSched(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewScheduler(Config{Policy: FIFO, LinkRate: 0}); err == nil {
+		t.Error("rate=0: want error")
+	}
+	if _, err := NewScheduler(Config{Policy: Policy(9), LinkRate: 1000}); err == nil {
+		t.Error("bad policy: want error")
+	}
+	if _, err := NewScheduler(Config{LinkRate: 1000, QueueCapBytes: -1}); err == nil {
+		t.Error("negative cap: want error")
+	}
+	cfg := Config{LinkRate: 1000}
+	cfg.Weights[0] = -1
+	if _, err := NewScheduler(cfg); err == nil {
+		t.Error("negative weight: want error")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || StrictPriority.String() != "strict-priority" ||
+		WeightedRoundRobin.String() != "wrr" {
+		t.Error("policy names wrong")
+	}
+	if Policy(0).String() != "policy(0)" {
+		t.Error("unknown policy string wrong")
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	s := newSched(t, Config{LinkRate: 1000})
+	if _, err := s.Enqueue(corpus.Class(9), 100, 0); err == nil {
+		t.Error("bad class: want error")
+	}
+	if _, err := s.Enqueue(corpus.Text, 0, 0); err == nil {
+		t.Error("size=0: want error")
+	}
+}
+
+func TestFIFOServesInOrder(t *testing.T) {
+	// 1000 B/s link; three 100-byte packets arriving back to back take
+	// 100 ms each; the third waits ~200 ms.
+	s := newSched(t, Config{Policy: FIFO, LinkRate: 1000})
+	for i := 0; i < 3; i++ {
+		ok, err := s.Enqueue(corpus.Text, 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("drop on unbounded queue")
+		}
+	}
+	idle := s.Drain()
+	if want := 300 * time.Millisecond; idle != want {
+		t.Errorf("drain time = %v, want %v", idle, want)
+	}
+	st := s.Stats()[corpus.Text]
+	if st.Served != 3 || st.Bytes != 300 {
+		t.Errorf("stats = %+v", st)
+	}
+	if want := 100 * time.Millisecond; st.MeanDelay() != want {
+		t.Errorf("mean delay = %v, want %v (0+100+200)/3", st.MeanDelay(), want)
+	}
+}
+
+func TestStrictPriorityFavorsHighClass(t *testing.T) {
+	// Flood the link with binary packets, then inject encrypted packets.
+	// Under strict priority the encrypted class must see far lower delay;
+	// under FIFO both wait equally.
+	run := func(policy Policy) (enc, bin time.Duration) {
+		s := newSched(t, Config{Policy: policy, LinkRate: 10000})
+		at := time.Duration(0)
+		for i := 0; i < 50; i++ {
+			if _, err := s.Enqueue(corpus.Binary, 1000, at); err != nil {
+				t.Fatal(err)
+			}
+			if i%5 == 0 {
+				if _, err := s.Enqueue(corpus.Encrypted, 100, at); err != nil {
+					t.Fatal(err)
+				}
+			}
+			at += time.Millisecond
+		}
+		s.Drain()
+		stats := s.Stats()
+		return stats[corpus.Encrypted].MeanDelay(), stats[corpus.Binary].MeanDelay()
+	}
+	encSP, binSP := run(StrictPriority)
+	encFIFO, _ := run(FIFO)
+	if encSP >= encFIFO {
+		t.Errorf("strict priority did not help encrypted: SP %v vs FIFO %v", encSP, encFIFO)
+	}
+	if encSP >= binSP {
+		t.Errorf("encrypted delay %v not below binary %v under strict priority", encSP, binSP)
+	}
+}
+
+func TestWRRSharesByWeight(t *testing.T) {
+	// Saturated link, two busy classes with weights 3:1 — served bytes
+	// early in the drain should respect the ratio. Measure by serving a
+	// finite backlog and comparing cumulative delay instead: the heavier
+	// class should finish with lower mean delay.
+	cfg := Config{Policy: WeightedRoundRobin, LinkRate: 10000}
+	cfg.Weights[corpus.Text] = 3
+	cfg.Weights[corpus.Binary] = 1
+	s := newSched(t, cfg)
+	for i := 0; i < 40; i++ {
+		if _, err := s.Enqueue(corpus.Text, 500, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Enqueue(corpus.Binary, 500, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	stats := s.Stats()
+	if stats[corpus.Text].Served != 40 || stats[corpus.Binary].Served != 40 {
+		t.Fatalf("not everything served: %+v", stats)
+	}
+	if stats[corpus.Text].MeanDelay() >= stats[corpus.Binary].MeanDelay() {
+		t.Errorf("weight-3 class delay %v not below weight-1 class delay %v",
+			stats[corpus.Text].MeanDelay(), stats[corpus.Binary].MeanDelay())
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	s := newSched(t, Config{Policy: FIFO, LinkRate: 100, QueueCapBytes: 250})
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		ok, err := s.Enqueue(corpus.Text, 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Errorf("accepted = %d, want 2 (cap 250B, 100B packets)", accepted)
+	}
+	if got := s.Stats()[corpus.Text].Dropped; got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+}
+
+func TestIdleLinkNoDelay(t *testing.T) {
+	// Packets spaced wider than their transmit time never queue.
+	s := newSched(t, Config{Policy: StrictPriority, LinkRate: 100000})
+	at := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Enqueue(corpus.Binary, 100, at); err != nil {
+			t.Fatal(err)
+		}
+		at += 100 * time.Millisecond
+	}
+	s.Drain()
+	if got := s.Stats()[corpus.Binary].MeanDelay(); got != 0 {
+		t.Errorf("mean delay on idle link = %v, want 0", got)
+	}
+}
+
+func TestDRROversizedPacketProgress(t *testing.T) {
+	// A packet far larger than quantum*weight must still be served.
+	cfg := Config{Policy: WeightedRoundRobin, LinkRate: 1 << 20}
+	s := newSched(t, cfg)
+	if _, err := s.Enqueue(corpus.Text, 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if got := s.Stats()[corpus.Text].Served; got != 1 {
+		t.Errorf("oversized packet not served (served=%d)", got)
+	}
+}
+
+// Property: the scheduler is work-conserving and lossless above the
+// drop-tail — every accepted byte is eventually served, under every
+// policy, for arbitrary arrival patterns.
+func TestConservationProperty(t *testing.T) {
+	prop := func(sizes []uint16, gaps []uint8, policyPick uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		policy := []Policy{FIFO, StrictPriority, WeightedRoundRobin}[int(policyPick)%3]
+		s, err := NewScheduler(Config{Policy: policy, LinkRate: 50000})
+		if err != nil {
+			return false
+		}
+		var (
+			at       time.Duration
+			enqueued int
+		)
+		for i, raw := range sizes {
+			size := int(raw)%1400 + 1
+			class := corpus.Class(i % corpus.NumClasses)
+			ok, err := s.Enqueue(class, size, at)
+			if err != nil {
+				return false
+			}
+			if ok {
+				enqueued += size
+			}
+			if i < len(gaps) {
+				at += time.Duration(gaps[i]) * time.Millisecond
+			}
+		}
+		s.Drain()
+		var served int
+		for _, st := range s.Stats() {
+			served += st.Bytes
+		}
+		return served == enqueued
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newSched(t, Config{LinkRate: 1000})
+	if _, err := s.Enqueue(corpus.Encrypted, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(corpus.Encrypted, 20, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	st := s.Stats()[corpus.Encrypted]
+	if st.Enqueued != 2 || st.Served != 2 || st.Bytes != 30 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

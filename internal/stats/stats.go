@@ -1,0 +1,174 @@
+// Package stats provides the small statistical toolkit used across the
+// Iustitia experiments: empirical CDFs, histograms, and summary statistics.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned when a statistic is requested over an empty sample.
+var ErrNoData = errors.New("stats: no data")
+
+// Summary holds the basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics for xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs, or 0 for an empty sample. xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs.
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	// First index with sorted[i] > x.
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v with P(X <= v) >= q, for
+// q in (0, 1]. Quantile(0) returns the sample minimum.
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// Points returns n evenly spaced (value, cumulative-probability) samples of
+// the CDF, suitable for plotting or table output.
+func (c *CDF) Points(n int) [][2]float64 {
+	if n < 2 {
+		n = 2
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	pts := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = [2]float64{x, c.At(x)}
+	}
+	return pts
+}
+
+// Histogram counts samples into nbins equal-width bins spanning [lo, hi].
+// Samples outside the range are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins over [lo, hi].
+func NewHistogram(xs []float64, nbins int, lo, hi float64) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, errors.New("stats: nbins must be positive")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: hi must exceed lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		h.Counts[idx]++
+		h.Total++
+	}
+	return h, nil
+}
+
+// Fraction returns the fraction of the sample that landed in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 || s.Median != 7 || s.Mean != 7 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v, want 0", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c, err := NewCDF([]float64{10, 20, 30, 40, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Quantile(0.5); got != 30 {
+		t.Errorf("Quantile(0.5) = %v, want 30", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %v, want 50", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, err := NewCDF([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Points(3)
+	if len(pts) != 3 {
+		t.Fatalf("len = %d, want 3", len(pts))
+	}
+	if pts[0][1] >= pts[2][1] {
+		t.Errorf("CDF points not nondecreasing: %v", pts)
+	}
+	if pts[2][1] != 1 {
+		t.Errorf("last point prob = %v, want 1", pts[2][1])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0.1, 0.2, 0.9, -5, 10}, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 { // 0.1, 0.2, and clamped -5
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[1] != 2 { // 0.9 and clamped 10
+		t.Errorf("bin1 = %d, want 2", h.Counts[1])
+	}
+	if got := h.Fraction(0); got != 0.6 {
+		t.Errorf("Fraction(0) = %v, want 0.6", got)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 0, 1); err == nil {
+		t.Error("nbins=0: want error")
+	}
+	if _, err := NewHistogram(nil, 2, 1, 1); err == nil {
+		t.Error("hi==lo: want error")
+	}
+}
+
+// Property: the CDF is monotone nondecreasing, 0 below min, 1 at max.
+func TestCDFMonotoneProperty(t *testing.T) {
+	prop := func(raw []float64, probe float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+		below := math.Nextafter(lo, math.Inf(-1))
+		if c.At(below) != 0 || c.At(hi) != 1 {
+			return false
+		}
+		if math.IsNaN(probe) || math.IsInf(probe, 0) {
+			return true
+		}
+		return c.At(probe) <= c.At(probe+1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,284 @@
+package iustitia
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+func trainedClassifier(t *testing.T, opts ...Option) *Classifier {
+	t.Helper()
+	files, err := SyntheticCorpus(1, 40, 1<<10, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Train(files, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSyntheticCorpus(t *testing.T) {
+	files, err := SyntheticCorpus(2, 5, 256, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 15 {
+		t.Fatalf("len = %d, want 15", len(files))
+	}
+	counts := map[Class]int{}
+	for _, f := range files {
+		counts[f.Class]++
+	}
+	if counts[Text] != 5 || counts[Binary] != 5 || counts[Encrypted] != 5 {
+		t.Errorf("class counts = %v", counts)
+	}
+	if _, err := SyntheticCorpus(2, 0, 1, 2); err == nil {
+		t.Error("perClass=0: want error")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("no files: want error")
+	}
+	bad := []TrainingFile{{Class: Class(7), Data: []byte("xxxx")}}
+	if _, err := Train(bad); err == nil {
+		t.Error("bad class: want error")
+	}
+	files, err := SyntheticCorpus(3, 3, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(files, WithModel(Model(9))); err == nil {
+		t.Error("bad model: want error")
+	}
+}
+
+func TestTrainDefaultsAndClassify(t *testing.T) {
+	c := trainedClassifier(t)
+	if got := c.FeatureWidths(); len(got) != 4 {
+		t.Errorf("default widths = %v, want the 4-feature φ′ set", got)
+	}
+	files, err := SyntheticCorpus(99, 20, 1<<10, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, f := range files {
+		got, err := c.Classify(f.Data[:32])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == f.Class {
+			correct++
+		}
+	}
+	// The paper reports 86% at b=32; demand comfortably above chance.
+	if frac := float64(correct) / float64(len(files)); frac < 0.6 {
+		t.Errorf("held-out accuracy = %v, want >= 0.6", frac)
+	}
+}
+
+func TestTrainCARTModel(t *testing.T) {
+	c := trainedClassifier(t, WithModel(ModelCART), WithBufferSize(64))
+	if _, err := c.Classify(bytes.Repeat([]byte("ab"), 32)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifierFeatures(t *testing.T) {
+	c := trainedClassifier(t)
+	vec, err := c.Features(bytes.Repeat([]byte{0xAA}, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range vec {
+		if h != 0 {
+			t.Errorf("constant payload features = %v, want all zero", vec)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := trainedClassifier(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("hello world "), 8)
+	want, err := c.Classify(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Classify(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip changed classification: %v vs %v", got, want)
+	}
+}
+
+func TestEstimationToggle(t *testing.T) {
+	c := trainedClassifier(t, WithBufferSize(1024))
+	if err := c.EnableEstimation(0.25, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if _, err := c.Classify(payload); err != nil {
+		t.Fatal(err)
+	}
+	c.DisableEstimation()
+	if _, err := c.Classify(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableEstimation(2, 0.5, 1); err == nil {
+		t.Error("epsilon=2: want error")
+	}
+}
+
+func TestTrainWithEstimationOption(t *testing.T) {
+	files, err := SyntheticCorpus(4, 10, 2048, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Train(files, WithModel(ModelCART), WithBufferSize(1024),
+		WithEstimation(0.5, 0.5), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Classify(files[0].Data[:1024]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	c := trainedClassifier(t, WithBufferSize(32))
+	mon, err := NewMonitor(c,
+		WithMonitorBufferSize(32),
+		WithPurging(4),
+		WithIdleFlush(time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tp := FiveTuple{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: 4444, DstPort: 443, Transport: packet.TCP}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	v, err := mon.Process(&Packet{Tuple: tp, Time: 0, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified || !v.Routed {
+		t.Errorf("verdict = %+v, want classified+routed", v)
+	}
+	if _, ok := mon.Label(tp); !ok {
+		t.Error("flow not labeled after classification")
+	}
+	stats := mon.Stats()
+	if stats.Classified != 1 || stats.CDBSize != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Second packet hits the CDB.
+	v, err = mon.Process(&Packet{Tuple: tp, Time: time.Millisecond, Payload: []byte("more")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.FromCDB {
+		t.Errorf("verdict = %+v, want CDB hit", v)
+	}
+
+	// FIN purges.
+	_, err = mon.Process(&Packet{Tuple: tp, Time: time.Second, Flags: packet.FlagFIN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Stats().CDBSize; got != 0 {
+		t.Errorf("CDBSize after FIN = %d, want 0", got)
+	}
+}
+
+func TestMonitorFlushes(t *testing.T) {
+	c := trainedClassifier(t, WithBufferSize(32))
+	mon, err := NewMonitor(c, WithMonitorBufferSize(1024), WithIdleFlush(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := FiveTuple{SrcIP: [4]byte{1, 1, 1, 1}, DstIP: [4]byte{2, 2, 2, 2},
+		SrcPort: 1, DstPort: 2, Transport: packet.UDP}
+	payload := bytes.Repeat([]byte("abcdefgh"), 8)
+	if _, err := mon.Process(&Packet{Tuple: tp, Time: 0, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := mon.FlushIdle(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("FlushIdle = %d, want 1", n)
+	}
+	n, err = mon.FlushAll(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("FlushAll after idle flush = %d, want 0", n)
+	}
+}
+
+func TestMonitorFillStats(t *testing.T) {
+	c := trainedClassifier(t, WithBufferSize(32))
+	mon, err := NewMonitor(c, WithMonitorBufferSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := FiveTuple{SrcIP: [4]byte{9, 9, 9, 9}, DstIP: [4]byte{8, 8, 8, 8},
+		SrcPort: 1, DstPort: 2, Transport: packet.TCP}
+	payload := bytes.Repeat([]byte{0x5a, 0x1b}, 16)
+	if _, err := mon.Process(&Packet{Tuple: tp, Time: 0, Payload: payload[:16]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Process(&Packet{Tuple: tp, Time: 30 * time.Millisecond, Payload: payload[:16]}); err != nil {
+		t.Fatal(err)
+	}
+	fills := mon.FillStats()
+	if len(fills) != 1 {
+		t.Fatalf("fills = %d, want 1", len(fills))
+	}
+	if fills[0].Packets != 2 || fills[0].Delay != 30*time.Millisecond {
+		t.Errorf("fill = %+v", fills[0])
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil); err == nil {
+		t.Error("nil classifier: want error")
+	}
+	c := trainedClassifier(t)
+	if _, err := NewMonitor(c, WithMonitorBufferSize(-1)); err == nil {
+		t.Error("negative buffer: want error")
+	}
+}
+
+func TestClassConstantsAlign(t *testing.T) {
+	if Text != corpus.Text || Binary != corpus.Binary || Encrypted != corpus.Encrypted {
+		t.Error("re-exported class constants diverge from internal values")
+	}
+}
