@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fuzz clean
+.PHONY: all build test race check bench experiments examples fuzz clean
 
 all: build test
 
@@ -15,6 +15,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The pre-merge gate: static checks, the race detector, and a short fuzz
+# smoke over the byte-level parsers. Slower than `test`, run before pushing.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -fuzz=FuzzStrip -fuzztime=5s ./internal/appheader
+	$(GO) test -fuzz=FuzzReadTrace -fuzztime=5s ./internal/packet
+	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/pcap
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:

@@ -8,6 +8,14 @@
 // Replay a synthetic trace through the online engine:
 //
 //	iustitia-classify -model model.json -trace -flows 2000
+//
+// Replay with production-style overload protection and fault tolerance —
+// a bounded pending table, load shedding to a fallback queue, and a
+// classifier-failure breaker — optionally demonstrated against injected
+// classifier faults:
+//
+//	iustitia-classify -model model.json -trace -max-pending 4096 -evict shed \
+//	    -fallback binary -tolerate -cdb-cap 100000 -chaos-error 0.05
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"iustitia"
 	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
 	"iustitia/internal/packet"
 )
 
@@ -36,8 +45,37 @@ func run() error {
 		flows      = flag.Int("flows", 2000, "trace flows (with -trace)")
 		seed       = flag.Int64("seed", 42, "trace seed (with -trace)")
 		replayPath = flag.String("replay", "", "replay a trace file written by iustitia-trace -out")
+
+		maxPending = flag.Int("max-pending", 0, "cap on concurrently buffered flows (0 = unbounded)")
+		evict      = flag.String("evict", "oldest", "policy at the pending cap: oldest|partial|shed")
+		fallback   = flag.String("fallback", "text", "fallback class for shed flows and tolerated failures: text|binary|encrypted")
+		tolerate   = flag.Bool("tolerate", false, "route classifier failures to the fallback class instead of aborting")
+		cdbCap     = flag.Int("cdb-cap", 0, "hard cap on classification-database records (0 = unbounded)")
+
+		chaosError = flag.Float64("chaos-error", 0, "inject classifier errors at this rate (demo of -tolerate)")
+		chaosPanic = flag.Float64("chaos-panic", 0, "inject classifier panics at this rate")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
+
+	policy, err := flow.ParseEvictPolicy(*evict)
+	if err != nil {
+		return err
+	}
+	fbClass, err := parseClass(*fallback)
+	if err != nil {
+		return err
+	}
+	eng := engineSetup{
+		maxPending: *maxPending,
+		policy:     policy,
+		fallback:   fbClass,
+		tolerate:   *tolerate,
+		cdbCap:     *cdbCap,
+		chaosError: *chaosError,
+		chaosPanic: *chaosPanic,
+		chaosSeed:  *chaosSeed,
+	}
 
 	mf, err := os.Open(*modelPath)
 	if err != nil {
@@ -59,10 +97,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return replay(clf, *buffer, tr)
+		return replay(clf, *buffer, eng, tr)
 	}
 	if *trace {
-		return replayTrace(clf, *buffer, *flows, *seed)
+		return replayTrace(clf, *buffer, eng, *flows, *seed)
 	}
 	if flag.NArg() == 0 {
 		return fmt.Errorf("no input files (or pass -trace)")
@@ -89,9 +127,31 @@ func run() error {
 	return nil
 }
 
+// engineSetup carries the overload/fault-tolerance flags into replay.
+type engineSetup struct {
+	maxPending int
+	policy     flow.EvictPolicy
+	fallback   corpus.Class
+	tolerate   bool
+	cdbCap     int
+	chaosError float64
+	chaosPanic float64
+	chaosSeed  int64
+}
+
+// parseClass maps a flag value to its class.
+func parseClass(s string) (corpus.Class, error) {
+	for c, name := range corpus.ClassNames() {
+		if s == name {
+			return corpus.Class(c), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown class %q (want text|binary|encrypted)", s)
+}
+
 // replayTrace generates a synthetic gateway trace and pushes it through the
-// online monitor, reporting throughput and ground-truth accuracy.
-func replayTrace(clf *iustitia.Classifier, buffer, flows int, seed int64) error {
+// online engine, reporting throughput and ground-truth accuracy.
+func replayTrace(clf *iustitia.Classifier, buffer int, eng engineSetup, flows int, seed int64) error {
 	cfg := packet.DefaultTraceConfig()
 	cfg.Flows = flows
 	cfg.Seed = seed
@@ -99,17 +159,37 @@ func replayTrace(clf *iustitia.Classifier, buffer, flows int, seed int64) error 
 	if err != nil {
 		return err
 	}
-	return replay(clf, buffer, tr)
+	return replay(clf, buffer, eng, tr)
 }
 
-// replay pushes a trace through the online monitor, reporting throughput
-// and ground-truth accuracy.
-func replay(clf *iustitia.Classifier, buffer int, tr *packet.Trace) error {
-	mon, err := iustitia.NewMonitor(clf,
-		iustitia.WithMonitorBufferSize(buffer),
-		iustitia.WithPurging(4),
-		iustitia.WithIdleFlush(2*time.Second),
-	)
+// replay pushes a trace through the online engine, reporting throughput,
+// ground-truth accuracy, and the overload/failure counters.
+func replay(clf *iustitia.Classifier, buffer int, eng engineSetup, tr *packet.Trace) error {
+	var classifier flow.Classifier = clf
+	var chaos *flow.ChaosClassifier
+	if eng.chaosError > 0 || eng.chaosPanic > 0 {
+		chaos = flow.NewChaosClassifier(clf, flow.ChaosConfig{
+			Seed:      eng.chaosSeed,
+			ErrorRate: eng.chaosError,
+			PanicRate: eng.chaosPanic,
+		})
+		classifier = chaos
+	}
+	engine, err := flow.NewEngine(flow.EngineConfig{
+		BufferSize:    buffer,
+		Classifier:    classifier,
+		IdleFlush:     2 * time.Second,
+		MaxPending:    eng.maxPending,
+		Eviction:      eng.policy,
+		FallbackClass: eng.fallback,
+		Faults:        flow.FaultPolicy{Tolerate: eng.tolerate},
+		CDB: flow.CDBConfig{
+			PurgeOnClose:  true,
+			PurgeInactive: true,
+			N:             4,
+			MaxRecords:    eng.cdbCap,
+		},
+	})
 	if err != nil {
 		return err
 	}
@@ -118,19 +198,19 @@ func replay(clf *iustitia.Classifier, buffer int, tr *packet.Trace) error {
 	var lastTime time.Duration
 	for i := range tr.Packets {
 		p := &tr.Packets[i]
-		if _, err := mon.Process(p); err != nil {
-			return err
+		if _, err := engine.Process(p); err != nil {
+			return fmt.Errorf("packet %d: %w (use -tolerate to degrade instead of aborting)", i, err)
 		}
 		lastTime = p.Time
 	}
-	if _, err := mon.FlushAll(lastTime + time.Minute); err != nil {
-		return err
+	if _, err := engine.FlushAll(lastTime + time.Minute); err != nil {
+		return fmt.Errorf("%w (use -tolerate to degrade instead of aborting)", err)
 	}
 	elapsed := time.Since(start)
 
 	correct, labeled := 0, 0
 	for tuple, info := range tr.Flows {
-		got, ok := mon.Label(tuple)
+		got, ok := engine.Label(tuple)
 		if !ok {
 			continue
 		}
@@ -139,7 +219,7 @@ func replay(clf *iustitia.Classifier, buffer int, tr *packet.Trace) error {
 			correct++
 		}
 	}
-	stats := mon.Stats()
+	stats := engine.Stats()
 	fmt.Printf("replayed %d packets / %d flows in %s (%.0f pkt/s)\n",
 		len(tr.Packets), len(tr.Flows), elapsed.Round(time.Millisecond),
 		float64(len(tr.Packets))/elapsed.Seconds())
@@ -147,6 +227,20 @@ func replay(clf *iustitia.Classifier, buffer int, tr *packet.Trace) error {
 		labeled, 100*float64(correct)/float64(max(1, labeled)))
 	fmt.Printf("queues: text=%d binary=%d encrypted=%d; CDB size %d\n",
 		stats.QueueCounts[corpus.Text], stats.QueueCounts[corpus.Binary],
-		stats.QueueCounts[corpus.Encrypted], stats.CDBSize)
+		stats.QueueCounts[corpus.Encrypted], stats.CDB.Size)
+	if eng.maxPending > 0 || eng.tolerate || eng.cdbCap > 0 || chaos != nil {
+		degraded := ""
+		if stats.Degraded > 0 {
+			degraded = " [DEGRADED]"
+		}
+		fmt.Printf("governor: cap=%d policy=%s shed=%d evicted=%d failed=%d fallback=%d cdb-pressure-evictions=%d%s\n",
+			eng.maxPending, eng.policy, stats.Shed, stats.Evicted, stats.Failed,
+			stats.Fallback, stats.CDB.RemovedByPressure, degraded)
+	}
+	if chaos != nil {
+		cs := chaos.Stats()
+		fmt.Printf("chaos: %d calls, %d injected errors, %d injected panics (seed %d)\n",
+			cs.Calls, cs.InjectedErrors, cs.InjectedPanics, eng.chaosSeed)
+	}
 	return nil
 }

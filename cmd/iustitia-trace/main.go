@@ -5,6 +5,12 @@
 // Usage:
 //
 //	iustitia-trace -flows 5000 -seed 7
+//
+// The -chaos-* flags deterministically perturb the trace (packet drops,
+// duplicates, reorders) before it is written, producing adversarial
+// workloads for overload and fault-tolerance testing:
+//
+//	iustitia-trace -flows 5000 -chaos-drop 0.02 -chaos-reorder 0.1 -out stress.trace
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"time"
 
 	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
 	"iustitia/internal/packet"
 	"iustitia/internal/pcap"
 	"iustitia/internal/stats"
@@ -36,6 +43,11 @@ func run() error {
 		out      = flag.String("out", "", "write the trace to this file (replayable with iustitia-classify -replay)")
 		in       = flag.String("in", "", "read a previously written trace instead of generating one")
 		pcapOut  = flag.String("pcap", "", "also export the trace as a libpcap capture (tcpdump/Wireshark readable)")
+
+		chaosDrop    = flag.Float64("chaos-drop", 0, "drop this fraction of packets (overload/loss stress)")
+		chaosDup     = flag.Float64("chaos-dup", 0, "duplicate this fraction of packets")
+		chaosReorder = flag.Float64("chaos-reorder", 0, "displace this fraction of packets out of timestamp order")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
 
@@ -66,6 +78,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	}
+	if *chaosDrop > 0 || *chaosDup > 0 || *chaosReorder > 0 {
+		perturbed, cs := flow.ChaosTrace(trace.Packets, flow.TraceChaosConfig{
+			Seed:        *chaosSeed,
+			DropRate:    *chaosDrop,
+			DupRate:     *chaosDup,
+			ReorderRate: *chaosReorder,
+		})
+		trace.Packets = perturbed
+		fmt.Printf("chaos: dropped %d, duplicated %d, reordered %d packets (seed %d)\n",
+			cs.Dropped, cs.Duplicated, cs.Reordered, *chaosSeed)
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

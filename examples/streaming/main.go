@@ -63,8 +63,13 @@ func main() {
 		len(packets), float64(capture.Len())/(1<<20))
 
 	// One StreamVector per flow: consume payloads packet by packet; after
-	// ~1 KiB of payload, classify from the streamed vector.
+	// ~1 KiB of payload, classify from the streamed vector. The active
+	// table is bounded the way an inline router's must be: at most
+	// maxActive flows hold counters at once, and admitting a flow past the
+	// cap classifies the oldest active flow early, on whatever its vector
+	// has streamed so far (the counters are then released).
 	const budget = 1024
+	const maxActive = 6
 	type flowState struct {
 		vec   *entest.StreamVector
 		seen  int
@@ -72,6 +77,27 @@ func main() {
 		label iustitia.Class
 	}
 	flows := make(map[packet.FiveTuple]*flowState)
+	var active []packet.FiveTuple // admission order; oldest first
+	evictions := 0
+	counters := 0 // per-flow counter cost, sampled from the first vector
+	settle := func(st *flowState) {
+		label, err := clf.ClassifyVector(st.vec.Vector())
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.label = label
+		st.done = true
+		st.vec = nil // release the counters: done flows keep only a label
+	}
+	dropDone := func() {
+		kept := active[:0]
+		for _, tp := range active {
+			if !flows[tp].done {
+				kept = append(kept, tp)
+			}
+		}
+		active = kept
+	}
 	for i := range packets {
 		p := &packets[i]
 		if len(p.Payload) == 0 {
@@ -79,12 +105,24 @@ func main() {
 		}
 		st := flows[p.Tuple]
 		if st == nil {
+			dropDone()
+			if len(active) >= maxActive {
+				// Early-classify the oldest active flow on its partial
+				// vector to make room — shedding state, not the flow.
+				settle(flows[active[0]])
+				active = active[1:]
+				evictions++
+			}
 			vec, err := entest.NewStreamVector(0.25, 0.75, widths, budget, 7)
 			if err != nil {
 				log.Fatal(err)
 			}
+			if counters == 0 {
+				counters = vec.Counters()
+			}
 			st = &flowState{vec: vec}
 			flows[p.Tuple] = st
+			active = append(active, p.Tuple)
 		}
 		if st.done {
 			continue
@@ -94,12 +132,13 @@ func main() {
 		}
 		st.seen += len(p.Payload)
 		if st.seen >= budget {
-			label, err := clf.ClassifyVector(st.vec.Vector())
-			if err != nil {
-				log.Fatal(err)
-			}
-			st.label = label
-			st.done = true
+			settle(st)
+		}
+	}
+	// End of capture: settle whatever is still streaming.
+	for _, tp := range active {
+		if st := flows[tp]; !st.done && st.seen > 0 {
+			settle(st)
 		}
 	}
 
@@ -113,13 +152,10 @@ func main() {
 			correct++
 		}
 	}
-	var counters int
-	for _, st := range flows {
-		counters = st.vec.Counters()
-		break
-	}
 	fmt.Printf("streamed classification: %d flows labeled, %.1f%% ground-truth accuracy\n",
 		classified, 100*float64(correct)/float64(max(1, classified)))
 	fmt.Printf("per-flow state: %d counters (vs %d bytes of buffered payload)\n",
 		counters, budget)
+	fmt.Printf("bounded state: ≤%d concurrent flows held counters; %d flows early-classified at the cap\n",
+		maxActive, evictions)
 }

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -30,6 +31,13 @@ type CDBConfig struct {
 	// countermeasure against attackers who prepend deceiving padding to a
 	// flow and then switch content. Zero disables expiry.
 	MaxAge time.Duration
+	// MaxRecords, when positive, hard-caps the database so its memory is
+	// bounded even when the purge heuristics cannot keep up with flow
+	// churn. An insert that overflows the cap first runs an inactivity
+	// sweep; if the database is still over, the oldest records are
+	// evicted (with headroom, so the eviction scan amortizes). Evicted
+	// flows simply get reclassified if they come back.
+	MaxRecords int
 }
 
 func (c CDBConfig) withDefaults() CDBConfig {
@@ -59,15 +67,16 @@ type cdbRecord struct {
 type CDB struct {
 	cfg CDBConfig
 
-	mu              sync.Mutex
-	records         map[ID]cdbRecord
-	sinceLastSweep  int
-	removedByClose  int
-	removedByIdle   int
-	insertions      int
-	reinsertedFlows map[ID]struct{}
-	reinsertions    int
-	expired         int
+	mu                sync.Mutex
+	records           map[ID]cdbRecord
+	sinceLastSweep    int
+	removedByClose    int
+	removedByIdle     int
+	removedByPressure int
+	insertions        int
+	reinsertedFlows   map[ID]struct{}
+	reinsertions      int
+	expired           int
 }
 
 // NewCDB returns an empty CDB.
@@ -112,6 +121,13 @@ func (c *CDB) Insert(id ID, label corpus.Class, now time.Duration) {
 	if _, seen := c.reinsertedFlows[id]; seen {
 		c.reinsertions++
 	} else {
+		// The first-insertion memory is accounting state, not routing
+		// state; under a MaxRecords cap it must stay bounded too, so it
+		// resets once it far exceeds the live table (reinsertions of
+		// flows older than the reset are then undercounted).
+		if c.cfg.MaxRecords > 0 && len(c.reinsertedFlows) >= 8*c.cfg.MaxRecords {
+			c.reinsertedFlows = make(map[ID]struct{})
+		}
 		c.reinsertedFlows[id] = struct{}{}
 	}
 	c.records[id] = cdbRecord{
@@ -125,6 +141,37 @@ func (c *CDB) Insert(id ID, label corpus.Class, now time.Duration) {
 	if c.cfg.PurgeInactive && c.sinceLastSweep >= c.cfg.PurgeEvery {
 		c.sweepLocked(now)
 		c.sinceLastSweep = 0
+	}
+	if c.cfg.MaxRecords > 0 && len(c.records) > c.cfg.MaxRecords {
+		c.relieveLocked(now)
+	}
+}
+
+// relieveLocked enforces MaxRecords: an inactivity sweep first, then
+// oldest-first eviction down to cap minus 1/8 headroom, so the O(n log n)
+// selection runs once per MaxRecords/8 overflowing inserts rather than on
+// every one. Caller holds c.mu.
+func (c *CDB) relieveLocked(now time.Duration) {
+	c.sweepLocked(now)
+	target := c.cfg.MaxRecords - c.cfg.MaxRecords/8
+	if target < 1 {
+		target = 1
+	}
+	if len(c.records) <= c.cfg.MaxRecords {
+		return
+	}
+	type aged struct {
+		id       ID
+		lastSeen time.Duration
+	}
+	all := make([]aged, 0, len(c.records))
+	for id, rec := range c.records {
+		all = append(all, aged{id, rec.lastSeen})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].lastSeen < all[j].lastSeen })
+	for _, a := range all[:len(all)-target] {
+		delete(c.records, a.id)
+		c.removedByPressure++
 	}
 }
 
@@ -178,6 +225,8 @@ type CDBStats struct {
 	Insertions     int
 	RemovedByClose int
 	RemovedByIdle  int
+	// RemovedByPressure counts records evicted by the MaxRecords hard cap.
+	RemovedByPressure int
 	// Reinsertions counts flows classified more than once because their
 	// record had been purged — the reclassification cost of aggressive
 	// purging the paper weighs when choosing n.
@@ -186,17 +235,29 @@ type CDBStats struct {
 	Expired int
 }
 
+// add accumulates s into the receiver (used by ParallelEngine).
+func (a *CDBStats) add(s CDBStats) {
+	a.Size += s.Size
+	a.Insertions += s.Insertions
+	a.RemovedByClose += s.RemovedByClose
+	a.RemovedByIdle += s.RemovedByIdle
+	a.RemovedByPressure += s.RemovedByPressure
+	a.Reinsertions += s.Reinsertions
+	a.Expired += s.Expired
+}
+
 // Stats returns a snapshot of the CDB counters.
 func (c *CDB) Stats() CDBStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CDBStats{
-		Size:           len(c.records),
-		Insertions:     c.insertions,
-		RemovedByClose: c.removedByClose,
-		RemovedByIdle:  c.removedByIdle,
-		Reinsertions:   c.reinsertions,
-		Expired:        c.expired,
+		Size:              len(c.records),
+		Insertions:        c.insertions,
+		RemovedByClose:    c.removedByClose,
+		RemovedByIdle:     c.removedByIdle,
+		RemovedByPressure: c.removedByPressure,
+		Reinsertions:      c.reinsertions,
+		Expired:           c.expired,
 	}
 }
 

@@ -1,0 +1,175 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+// This file is the fault-injection toolkit used to prove the engine's
+// degradation paths: a classifier wrapper that deterministically injects
+// errors, panics, and latency, and a trace wrapper that deterministically
+// drops, duplicates, and reorders packets. Both are seeded, so a failing
+// run reproduces bit-for-bit.
+
+// ErrInjected is the error returned by injected classifier failures.
+var ErrInjected = errors.New("flow: injected classifier fault")
+
+// ChaosConfig tunes a ChaosClassifier. All randomness derives from Seed.
+type ChaosConfig struct {
+	// Seed drives every injection draw.
+	Seed int64
+	// FailFirst makes the first N calls fail deterministically (errors,
+	// or panics when PanicRate > 0 and the panic draw fires) — handy for
+	// tripping degraded mode at a known point.
+	FailFirst int
+	// ErrorRate is the probability in [0,1] that a call returns
+	// ErrInjected.
+	ErrorRate float64
+	// PanicRate is the probability in [0,1] that a call panics.
+	PanicRate float64
+	// Latency is added to every call; Jitter adds a further uniform draw
+	// in [0, Jitter). Keep both zero in tests that must stay fast.
+	Latency time.Duration
+	Jitter  time.Duration
+}
+
+// ChaosStats counts what a ChaosClassifier actually injected.
+type ChaosStats struct {
+	Calls          int
+	InjectedErrors int
+	InjectedPanics int
+	Slept          time.Duration
+}
+
+// ChaosClassifier wraps a Classifier with deterministic fault injection.
+// It is safe for concurrent use; under concurrency the draws are still
+// consumed from one seeded stream, so sequential replays are exact and
+// concurrent replays are statistically identical.
+type ChaosClassifier struct {
+	inner Classifier
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cfg   ChaosConfig
+	stats ChaosStats
+}
+
+// NewChaosClassifier wraps inner with the given fault plan.
+func NewChaosClassifier(inner Classifier, cfg ChaosConfig) *ChaosClassifier {
+	return &ChaosClassifier{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+	}
+}
+
+// Classify injects the configured faults, delegating to the wrapped
+// classifier when none fires.
+func (c *ChaosClassifier) Classify(payload []byte) (corpus.Class, error) {
+	c.mu.Lock()
+	c.stats.Calls++
+	call := c.stats.Calls
+	errRoll := c.rng.Float64()
+	panicRoll := c.rng.Float64()
+	sleep := c.cfg.Latency
+	if c.cfg.Jitter > 0 {
+		sleep += time.Duration(c.rng.Int63n(int64(c.cfg.Jitter)))
+	}
+	fail := call <= c.cfg.FailFirst || errRoll < c.cfg.ErrorRate
+	panicking := panicRoll < c.cfg.PanicRate
+	if panicking {
+		c.stats.InjectedPanics++
+	} else if fail {
+		c.stats.InjectedErrors++
+	}
+	c.stats.Slept += sleep
+	c.mu.Unlock()
+
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if panicking {
+		panic(fmt.Sprintf("chaos: injected panic on call %d", call))
+	}
+	if fail {
+		return 0, fmt.Errorf("%w (call %d)", ErrInjected, call)
+	}
+	return c.inner.Classify(payload)
+}
+
+// Stats returns a snapshot of the injection counters.
+func (c *ChaosClassifier) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// TraceChaosConfig tunes ChaosTrace. All randomness derives from Seed.
+type TraceChaosConfig struct {
+	Seed int64
+	// DropRate is the probability in [0,1] that a packet is removed.
+	DropRate float64
+	// DupRate is the probability in [0,1] that a packet is emitted twice.
+	DupRate float64
+	// ReorderRate is the probability in [0,1] that a packet is displaced
+	// forward by up to ReorderWindow positions, arriving after packets
+	// that were sent later.
+	ReorderRate float64
+	// ReorderWindow is the maximum displacement in packets (default 8).
+	ReorderWindow int
+}
+
+// TraceChaosStats counts what ChaosTrace did.
+type TraceChaosStats struct {
+	Dropped    int
+	Duplicated int
+	Reordered  int
+}
+
+// ChaosTrace deterministically perturbs a packet sequence — drops,
+// duplicates, and bounded reorders — so tests and tools can stress the
+// engine with the malformed arrival patterns an inline tap actually sees.
+// The input slice is not modified.
+func ChaosTrace(packets []packet.Packet, cfg TraceChaosConfig) ([]packet.Packet, TraceChaosStats) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	window := cfg.ReorderWindow
+	if window <= 0 {
+		window = 8
+	}
+	var stats TraceChaosStats
+	out := make([]packet.Packet, 0, len(packets))
+	for i := range packets {
+		if rng.Float64() < cfg.DropRate {
+			stats.Dropped++
+			continue
+		}
+		out = append(out, packets[i])
+		if rng.Float64() < cfg.DupRate {
+			stats.Duplicated++
+			out = append(out, packets[i])
+		}
+	}
+	// Displace after drop/dup so every surviving packet can move: swap
+	// each selected packet with one up to `window` positions later. The
+	// timestamps stay attached to their sequence positions — as at a real
+	// tap, where capture stamps are monotonic but the flow-level order is
+	// permuted — so perturbed traces remain valid trace/pcap files.
+	for i := range out {
+		if rng.Float64() < cfg.ReorderRate {
+			j := i + 1 + rng.Intn(window)
+			if j >= len(out) {
+				continue
+			}
+			out[i].Time, out[j].Time = out[j].Time, out[i].Time
+			out[i], out[j] = out[j], out[i]
+			stats.Reordered++
+		}
+	}
+	return out, stats
+}

@@ -1,0 +1,186 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+func TestChaosClassifierDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 11, ErrorRate: 0.3}
+	run := func() []bool {
+		c := NewChaosClassifier(firstByteClassifier(), cfg)
+		outcomes := make([]bool, 200)
+		for i := range outcomes {
+			_, err := c.Classify([]byte("T"))
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	failures := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs between same-seed runs", i)
+		}
+		if a[i] {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(a) {
+		t.Errorf("injected %d/%d failures, want a mix at rate 0.3", failures, len(a))
+	}
+	if got := NewChaosClassifier(firstByteClassifier(), cfg); got == nil {
+		t.Fatal("nil chaos classifier")
+	}
+}
+
+func TestChaosClassifierFailFirstAndStats(t *testing.T) {
+	c := NewChaosClassifier(firstByteClassifier(), ChaosConfig{Seed: 1, FailFirst: 3})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Classify([]byte("T")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if label, err := c.Classify([]byte("T")); err != nil || label != corpus.Text {
+		t.Fatalf("call 4 = (%v, %v), want clean text", label, err)
+	}
+	s := c.Stats()
+	if s.Calls != 4 || s.InjectedErrors != 3 || s.InjectedPanics != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestChaosClassifierPanics(t *testing.T) {
+	c := NewChaosClassifier(firstByteClassifier(), ChaosConfig{Seed: 2, PanicRate: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("want injected panic")
+		}
+		if got := c.Stats().InjectedPanics; got != 1 {
+			t.Errorf("InjectedPanics = %d, want 1", got)
+		}
+	}()
+	c.Classify([]byte("T")) //nolint:errcheck // panics
+}
+
+func TestChaosTraceDeterministicCounts(t *testing.T) {
+	trace := generateTestTrace(t, 60, 21)
+	cfg := TraceChaosConfig{Seed: 9, DropRate: 0.1, DupRate: 0.1, ReorderRate: 0.2}
+	out1, s1 := ChaosTrace(trace.Packets, cfg)
+	out2, s2 := ChaosTrace(trace.Packets, cfg)
+	if len(out1) != len(out2) || s1 != s2 {
+		t.Fatalf("same-seed runs differ: %d/%+v vs %d/%+v", len(out1), s1, len(out2), s2)
+	}
+	if s1.Dropped == 0 || s1.Duplicated == 0 || s1.Reordered == 0 {
+		t.Errorf("chaos did nothing: %+v", s1)
+	}
+	if want := len(trace.Packets) - s1.Dropped + s1.Duplicated; len(out1) != want {
+		t.Errorf("len(out) = %d, want %d", len(out1), want)
+	}
+	for i := range trace.Packets {
+		if i > 0 && trace.Packets[i].Time < trace.Packets[i-1].Time {
+			t.Fatal("input trace was reordered in place")
+		}
+	}
+}
+
+func generateTestTrace(t *testing.T, flows int, seed int64) *packet.Trace {
+	t.Helper()
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = flows
+	cfg.Seed = seed
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestEngineSurvivesChaos is the acceptance drill: a realistic trace,
+// perturbed by packet chaos, through an engine whose classifier errors and
+// panics intermittently, with a hard pending cap. Asserts: no panic
+// escapes, no error surfaces in tolerant mode, the pending table never
+// exceeds its cap at any instant, no flow is classified more than once per
+// buffer fill (no unbounded retry), and the governor counters account for
+// every flow the engine admitted or refused.
+func TestEngineSurvivesChaos(t *testing.T) {
+	trace := generateTestTrace(t, 400, 33)
+	packets, _ := ChaosTrace(trace.Packets, TraceChaosConfig{
+		Seed: 33, DropRate: 0.02, DupRate: 0.02, ReorderRate: 0.05,
+	})
+
+	for _, policy := range []EvictPolicy{EvictOldest, EvictClassifyPartial, EvictShed} {
+		t.Run(policy.String(), func(t *testing.T) {
+			const cap = 8
+			chaos := NewChaosClassifier(firstByteClassifier(), ChaosConfig{
+				Seed: 7, ErrorRate: 0.15, PanicRate: 0.05,
+			})
+			e := newTestEngine(t, EngineConfig{
+				BufferSize:    8 << 10,
+				Classifier:    chaos,
+				MaxPending:    cap,
+				Eviction:      policy,
+				FallbackClass: corpus.Binary,
+				Faults:        FaultPolicy{Tolerate: true, TripAfter: 10, ProbeEvery: 4},
+				IdleFlush:     2 * time.Second,
+				CDB:           CDBConfig{PurgeOnClose: true, PurgeInactive: true, MaxRecords: 4 * cap},
+			})
+			var last time.Duration
+			for i := range packets {
+				if _, err := e.Process(&packets[i]); err != nil {
+					t.Fatalf("packet %d: tolerant engine surfaced %v", i, err)
+				}
+				if got := e.Stats().Pending; got > cap {
+					t.Fatalf("packet %d: pending table %d exceeds cap %d", i, got, cap)
+				}
+				if packets[i].Time > last {
+					last = packets[i].Time
+				}
+				if i%512 == 0 {
+					if _, err := e.FlushIdle(last); err != nil {
+						t.Fatalf("FlushIdle: %v", err)
+					}
+				}
+			}
+			if _, err := e.FlushAll(last + time.Minute); err != nil {
+				t.Fatalf("FlushAll: %v", err)
+			}
+
+			s := e.Stats()
+			cs := chaos.Stats()
+			if s.Pending != 0 {
+				t.Errorf("Pending = %d after FlushAll", s.Pending)
+			}
+			if s.Failed == 0 || cs.InjectedPanics == 0 {
+				t.Errorf("chaos too gentle: Failed=%d panics=%d", s.Failed, cs.InjectedPanics)
+			}
+			// Conservation: every admitted flow ended exactly one way.
+			if got := s.Classified + s.Fallback + s.Dropped; got != s.Admitted {
+				t.Errorf("flow accounting leak: Classified(%d)+Fallback(%d)+Dropped(%d) = %d, want Admitted %d",
+					s.Classified, s.Fallback, s.Dropped, got, s.Admitted)
+			}
+			// No unbounded retry: the classifier runs at most once per
+			// admission (strictly less when degraded mode short-circuits).
+			if cs.Calls > s.Admitted {
+				t.Errorf("classifier called %d times for %d admissions: flows are being retried", cs.Calls, s.Admitted)
+			}
+			if s.CDB.Size > 4*cap {
+				t.Errorf("CDB size %d exceeds its cap %d", s.CDB.Size, 4*cap)
+			}
+			switch policy {
+			case EvictShed:
+				if s.Shed == 0 {
+					t.Error("shed policy under churn never shed a flow")
+				}
+			default:
+				if s.Evicted == 0 {
+					t.Error("evicting policy under churn never evicted a flow")
+				}
+			}
+		})
+	}
+}

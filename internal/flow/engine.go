@@ -2,6 +2,7 @@ package flow
 
 import (
 	"bytes"
+	"container/list"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -57,6 +58,25 @@ type EngineConfig struct {
 	RandomSkipMax int
 	// Seed drives the random-skip draws.
 	Seed int64
+	// MaxPending caps the pending-flow table so per-flow state stays
+	// O(MaxPending) under flow churn. Zero leaves it unbounded (the
+	// original behaviour); an inline deployment should always set it.
+	MaxPending int
+	// Eviction selects what happens when a new flow arrives at a full
+	// pending table (default EvictOldest). Ignored while MaxPending is 0.
+	Eviction EvictPolicy
+	// FallbackClass is the queue used for shed flows and — under
+	// Faults.Tolerate — flows whose classification failed. Defaults to
+	// corpus.Text (class zero); set it to the class whose queue treatment
+	// is the safest default for the deployment.
+	FallbackClass corpus.Class
+	// Faults is the classifier fault-tolerance policy.
+	Faults FaultPolicy
+	// LabelCap bounds the ground-truth label map consulted by Label:
+	// 0 keeps every label forever (the original behaviour), n > 0 keeps
+	// only the n most recently labelled flows, negative disables label
+	// tracking entirely.
+	LabelCap int
 }
 
 // Verdict reports what the engine did with one packet.
@@ -70,6 +90,10 @@ type Verdict struct {
 	// Classified is true on the single packet that completed the flow's
 	// buffer and triggered classification.
 	Classified bool
+	// Fallback is true when Queue is the engine's fallback class chosen
+	// by load shedding, a classification failure, or degraded mode —
+	// not by the classifier.
+	Fallback bool
 }
 
 // pending is a flow still filling its buffer.
@@ -87,6 +111,9 @@ type pending struct {
 	firstSeen   time.Duration
 	lastSeen    time.Duration
 	packets     int
+	// elem is this flow's slot in the engine's recency list, used for
+	// O(1) eviction of the least-recently-active flow at MaxPending.
+	elem *list.Element
 }
 
 // maxHeaderSpan caps how many bytes a multi-packet application header may
@@ -112,9 +139,27 @@ type Engine struct {
 	mu       sync.Mutex
 	rng      *rand.Rand // guarded by mu; drives random-skip draws
 	pend     map[ID]*pending
+	lru      *list.List // pending flow IDs, least recently active first
 	queued   [corpus.NumClasses]int
 	fills    []FillStats
 	labelled map[ID]corpus.Class // ground-truth-comparable outcomes, by flow
+
+	// Bounded label-map ring (LabelCap > 0): labelRing holds the ids
+	// currently in labelled in insertion order, head/count delimit it.
+	labelRing  []ID
+	labelHead  int
+	labelCount int
+
+	// Governor accounting (guarded by mu).
+	admitted    int  // pending entries ever created
+	shed        int  // flows refused admission, routed to fallback
+	evicted     int  // pending flows force-retired to respect MaxPending
+	dropped     int  // flows retired without any label (evict/teardown/empty)
+	failed      int  // classifier errors + recovered panics
+	fallback    int  // flows labelled FallbackClass by failure or degraded mode
+	consecFails int  // consecutive classifier failures
+	degraded    bool // short-circuiting to fallback; probing for recovery
+	sinceProbe  int  // classify attempts since the last degraded-mode probe
 }
 
 // NewEngine validates cfg and builds an engine.
@@ -131,13 +176,26 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.RandomSkipMax < 0 {
 		return nil, fmt.Errorf("flow: negative random skip %d", cfg.RandomSkipMax)
 	}
-	return &Engine{
-		cfg:      cfg,
-		cdb:      NewCDB(cfg.CDB),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		pend:     make(map[ID]*pending),
-		labelled: make(map[ID]corpus.Class),
-	}, nil
+	if cfg.MaxPending < 0 {
+		return nil, fmt.Errorf("flow: negative pending cap %d", cfg.MaxPending)
+	}
+	if cfg.Eviction < EvictOldest || cfg.Eviction > EvictShed {
+		return nil, fmt.Errorf("flow: unknown eviction policy %d", int(cfg.Eviction))
+	}
+	if cfg.FallbackClass < 0 || cfg.FallbackClass >= corpus.NumClasses {
+		return nil, fmt.Errorf("flow: fallback class %d out of range", int(cfg.FallbackClass))
+	}
+	e := &Engine{
+		cfg:  cfg,
+		cdb:  NewCDB(cfg.CDB),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		pend: make(map[ID]*pending),
+		lru:  list.New(),
+	}
+	if cfg.LabelCap >= 0 {
+		e.labelled = make(map[ID]corpus.Class)
+	}
+	return e, nil
 }
 
 // CDB exposes the engine's classification database for inspection.
@@ -156,7 +214,10 @@ func (e *Engine) Process(p *packet.Packet) (Verdict, error) {
 	if p.Flags.Has(packet.FlagFIN) || p.Flags.Has(packet.FlagRST) {
 		e.cdb.Close(id)
 		e.mu.Lock()
-		delete(e.pend, id)
+		if fl := e.pend[id]; fl != nil {
+			e.retireLocked(id, fl)
+			e.dropped++
+		}
 		e.mu.Unlock()
 		return Verdict{}, nil
 	}
@@ -176,8 +237,18 @@ func (e *Engine) Process(p *packet.Packet) (Verdict, error) {
 
 	fl := e.pend[id]
 	if fl == nil {
+		if e.cfg.MaxPending > 0 && len(e.pend) >= e.cfg.MaxPending {
+			if e.cfg.Eviction == EvictShed {
+				return e.shedLocked(id, p.Time), nil
+			}
+			e.evictOneLocked(p.Time)
+		}
 		fl = &pending{firstSeen: p.Time, skipLeft: -1}
+		fl.elem = e.lru.PushBack(id)
 		e.pend[id] = fl
+		e.admitted++
+	} else {
+		e.lru.MoveToBack(fl.elem)
 	}
 	fl.lastSeen = p.Time
 	fl.packets++
@@ -264,22 +335,39 @@ func (fl *pending) continueHeader(payload []byte) []byte {
 	return nil
 }
 
+// retireLocked removes a flow from the pending table and the recency
+// list. Caller holds e.mu.
+func (e *Engine) retireLocked(id ID, fl *pending) {
+	delete(e.pend, id)
+	if fl.elem != nil {
+		e.lru.Remove(fl.elem)
+		fl.elem = nil
+	}
+}
+
 // classifyLocked labels a filled (or flushed) buffer, updates the CDB and
-// queues, and retires the pending state. Caller holds e.mu.
+// queues, and retires the pending state. The flow is retired on every
+// path — including classification failure — so no flow is ever
+// re-classified on each subsequent packet. Caller holds e.mu.
 func (e *Engine) classifyLocked(id ID, fl *pending, now time.Duration) (Verdict, error) {
-	label, err := e.cfg.Classifier.Classify(fl.buf)
+	e.retireLocked(id, fl)
+	label, fellBack, err := e.decideLocked(fl.buf)
 	if err != nil {
+		e.dropped++
 		return Verdict{}, fmt.Errorf("flow: classify: %w", err)
 	}
-	delete(e.pend, id)
 	e.cdb.Insert(id, label, now)
-	e.labelled[id] = label
+	e.recordLabelLocked(id, label)
 	e.queued[label]++
-	e.fills = append(e.fills, FillStats{
-		Packets: fl.packets,
-		Delay:   now - fl.firstSeen,
-	})
-	return Verdict{Queue: label, Routed: true, Classified: true}, nil
+	if fellBack {
+		e.fallback++
+	} else {
+		e.fills = append(e.fills, FillStats{
+			Packets: fl.packets,
+			Delay:   now - fl.firstSeen,
+		})
+	}
+	return Verdict{Queue: label, Routed: true, Classified: true, Fallback: fellBack}, nil
 }
 
 // FlushIdle classifies every pending flow quiet for at least the
@@ -299,24 +387,31 @@ func (e *Engine) FlushAll(now time.Duration) (int, error) {
 	return e.flush(func(*pending) bool { return true }, now)
 }
 
+// flush classifies every due pending flow. A classification failure on
+// one flow no longer aborts the pass: the failed flow is retired, the
+// remaining due flows are still processed, and the per-flow errors come
+// back joined so the caller sees every failure at once.
 func (e *Engine) flush(due func(*pending) bool, now time.Duration) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	flushed := 0
+	var errs []error
 	for id, fl := range e.pend {
 		if !due(fl) {
 			continue
 		}
 		if len(fl.buf) == 0 {
-			delete(e.pend, id)
+			e.retireLocked(id, fl)
+			e.dropped++
 			continue
 		}
 		if _, err := e.classifyLocked(id, fl, now); err != nil {
-			return flushed, err
+			errs = append(errs, fmt.Errorf("flow %x: %w", id[:4], err))
+			continue
 		}
 		flushed++
 	}
-	return flushed, nil
+	return flushed, errors.Join(errs...)
 }
 
 // Label returns the engine's class decision for a flow, if it was
@@ -328,24 +423,84 @@ func (e *Engine) Label(t packet.FiveTuple) (corpus.Class, bool) {
 	return label, ok
 }
 
-// EngineStats is a point-in-time summary of engine activity.
+// EngineStats is a point-in-time summary of engine activity. The
+// governor counters obey a conservation law the fault-injection tests
+// assert: Admitted == Classified + Fallback + Dropped + Pending, and
+// every flow the engine ever saw is either admitted or shed.
 type EngineStats struct {
 	Pending     int
 	Classified  int
 	QueueCounts [corpus.NumClasses]int
 	CDB         CDBStats
+
+	// Admitted counts pending-table entries ever created.
+	Admitted int
+	// Shed counts flows refused admission at MaxPending (EvictShed) and
+	// routed straight to the fallback queue.
+	Shed int
+	// Evicted counts pending flows force-retired to respect MaxPending
+	// (dropped under EvictOldest, partially classified under
+	// EvictClassifyPartial).
+	Evicted int
+	// Dropped counts flows retired without any label: evict-oldest
+	// victims, teardown (FIN/RST) while pending, empty buffers at flush,
+	// and strict-mode classification failures.
+	Dropped int
+	// Failed counts classifier errors and recovered classifier panics.
+	Failed int
+	// Fallback counts flows labelled FallbackClass because their
+	// classification failed or the engine was degraded.
+	Fallback int
+	// Degraded counts engines currently in degraded mode: 0 or 1 for an
+	// Engine, up to the shard count for a ParallelEngine.
+	Degraded int
+}
+
+// add accumulates s into the receiver (used by ParallelEngine).
+func (a *EngineStats) add(s EngineStats) {
+	a.Pending += s.Pending
+	a.Classified += s.Classified
+	for c := range a.QueueCounts {
+		a.QueueCounts[c] += s.QueueCounts[c]
+	}
+	a.CDB.add(s.CDB)
+	a.Admitted += s.Admitted
+	a.Shed += s.Shed
+	a.Evicted += s.Evicted
+	a.Dropped += s.Dropped
+	a.Failed += s.Failed
+	a.Fallback += s.Fallback
+	a.Degraded += s.Degraded
 }
 
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return EngineStats{
+	s := EngineStats{
 		Pending:     len(e.pend),
 		Classified:  len(e.fills),
 		QueueCounts: e.queued,
 		CDB:         e.cdb.Stats(),
+		Admitted:    e.admitted,
+		Shed:        e.shed,
+		Evicted:     e.evicted,
+		Dropped:     e.dropped,
+		Failed:      e.failed,
+		Fallback:    e.fallback,
 	}
+	if e.degraded {
+		s.Degraded = 1
+	}
+	return s
+}
+
+// Degraded reports whether the engine is currently short-circuiting
+// classification to the fallback queue.
+func (e *Engine) Degraded() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.degraded
 }
 
 // FillStats returns a copy of the per-flow buffering measurements gathered

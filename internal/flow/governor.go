@@ -1,0 +1,207 @@
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"iustitia/internal/corpus"
+)
+
+// This file is the engine's resource governor: the policies that keep
+// per-flow state bounded under flow churn and keep the classifier path
+// alive when the pluggable classifier misbehaves. An inline middlebox
+// cannot fall over because traffic got weird — it must shed, degrade, and
+// recover.
+
+// EvictPolicy selects what the engine does when a new flow arrives while
+// the pending-flow table is at MaxPending.
+type EvictPolicy int
+
+const (
+	// EvictOldest drops the least-recently-active pending flow
+	// unclassified to make room for the new one.
+	EvictOldest EvictPolicy = iota
+	// EvictClassifyPartial classifies the least-recently-active pending
+	// flow on whatever prefix it has buffered so far (falling back to
+	// EvictOldest when its buffer is still empty), then admits the new
+	// flow. Trades a noisier label for never losing a flow.
+	EvictClassifyPartial
+	// EvictShed refuses the new flow: it is labelled FallbackClass
+	// immediately, a CDB record is written so later packets route without
+	// touching the pending table, and the Shed counter increments.
+	EvictShed
+)
+
+// String names the policy for flags and logs.
+func (p EvictPolicy) String() string {
+	switch p {
+	case EvictOldest:
+		return "oldest"
+	case EvictClassifyPartial:
+		return "partial"
+	case EvictShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("EvictPolicy(%d)", int(p))
+	}
+}
+
+// ParseEvictPolicy maps a flag value to its policy.
+func ParseEvictPolicy(s string) (EvictPolicy, error) {
+	switch s {
+	case "oldest":
+		return EvictOldest, nil
+	case "partial":
+		return EvictClassifyPartial, nil
+	case "shed":
+		return EvictShed, nil
+	default:
+		return 0, fmt.Errorf("flow: unknown eviction policy %q (want oldest|partial|shed)", s)
+	}
+}
+
+// FaultPolicy controls what the engine does when the classifier returns an
+// error or panics. The zero value preserves strict behaviour: errors
+// propagate to the caller (the flow is still retired so it is never
+// re-classified on every subsequent packet).
+type FaultPolicy struct {
+	// Tolerate routes flows whose classification failed to the engine's
+	// FallbackClass instead of returning an error. Panics are recovered in
+	// both modes; with Tolerate they too become fallback routings.
+	Tolerate bool
+	// TripAfter is how many consecutive classification failures switch the
+	// engine into degraded mode, where classification short-circuits to
+	// the fallback queue without calling the classifier at all. Zero
+	// defaults to 8; negative disables degraded mode.
+	TripAfter int
+	// ProbeEvery is how often a degraded engine probes the real classifier
+	// to detect recovery: every ProbeEvery-th classification attempt runs
+	// the classifier, and a success restores normal operation. Zero
+	// defaults to 64.
+	ProbeEvery int
+}
+
+const (
+	defaultTripAfter  = 8
+	defaultProbeEvery = 64
+)
+
+func (f FaultPolicy) tripAfter() int {
+	if f.TripAfter == 0 {
+		return defaultTripAfter
+	}
+	return f.TripAfter
+}
+
+func (f FaultPolicy) probeEvery() int {
+	if f.ProbeEvery <= 0 {
+		return defaultProbeEvery
+	}
+	return f.ProbeEvery
+}
+
+// safeClassify invokes the pluggable classifier with panic containment:
+// an escaping panic on the packet path would take the whole inline engine
+// down, so it is converted into an ordinary classification error.
+func safeClassify(c Classifier, buf []byte) (label corpus.Class, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("classifier panic: %v", r)
+		}
+	}()
+	label, err = c.Classify(buf)
+	if err == nil && (label < 0 || label >= corpus.NumClasses) {
+		return 0, fmt.Errorf("classifier returned out-of-range class %d", int(label))
+	}
+	return label, err
+}
+
+// decideLocked produces the label for a filled (or flushed) buffer,
+// applying the fault policy: panic recovery, consecutive-failure counting,
+// degraded-mode short-circuiting, and probing recovery. It reports whether
+// the label is a fallback (failure or degraded short-circuit) rather than
+// a real classification. Caller holds e.mu.
+func (e *Engine) decideLocked(buf []byte) (label corpus.Class, fellBack bool, err error) {
+	f := e.cfg.Faults
+	if e.degraded {
+		e.sinceProbe++
+		if e.sinceProbe < f.probeEvery() {
+			return e.cfg.FallbackClass, true, nil
+		}
+		e.sinceProbe = 0 // fall through: probe the real classifier
+	}
+	label, err = safeClassify(e.cfg.Classifier, buf)
+	if err != nil {
+		e.failed++
+		e.consecFails++
+		if f.Tolerate {
+			if f.tripAfter() > 0 && e.consecFails >= f.tripAfter() && !e.degraded {
+				e.degraded = true
+				e.sinceProbe = 0
+			}
+			return e.cfg.FallbackClass, true, nil
+		}
+		return 0, true, err
+	}
+	e.consecFails = 0
+	e.degraded = false // a successful probe (or call) restores normal mode
+	return label, false, nil
+}
+
+// evictOneLocked makes room in the pending table by retiring its
+// least-recently-active flow, classifying it first under
+// EvictClassifyPartial. Classification errors are already counted by the
+// failure path and are not the admitting packet's fault, so they are
+// swallowed here. Caller holds e.mu.
+func (e *Engine) evictOneLocked(now time.Duration) {
+	front := e.lru.Front()
+	if front == nil {
+		return
+	}
+	id := front.Value.(ID)
+	fl := e.pend[id]
+	e.evicted++
+	if e.cfg.Eviction == EvictClassifyPartial && len(fl.buf) > 0 {
+		_, _ = e.classifyLocked(id, fl, now)
+		return
+	}
+	e.retireLocked(id, fl)
+	e.dropped++
+}
+
+// shedLocked refuses admission for a new flow: it is routed to the
+// fallback queue and remembered in the CDB so its later packets are
+// answered without pending state. Caller holds e.mu.
+func (e *Engine) shedLocked(id ID, now time.Duration) Verdict {
+	e.shed++
+	e.cdb.Insert(id, e.cfg.FallbackClass, now)
+	e.recordLabelLocked(id, e.cfg.FallbackClass)
+	e.queued[e.cfg.FallbackClass]++
+	return Verdict{Queue: e.cfg.FallbackClass, Routed: true, Fallback: true}
+}
+
+// recordLabelLocked stores a flow's final label in the ground-truth map,
+// honouring LabelCap: 0 keeps every label, n > 0 keeps the n most recent
+// (older labels are forgotten FIFO), negative disables the map entirely.
+// Caller holds e.mu.
+func (e *Engine) recordLabelLocked(id ID, label corpus.Class) {
+	cap := e.cfg.LabelCap
+	if cap < 0 {
+		return
+	}
+	if cap > 0 {
+		if _, present := e.labelled[id]; !present {
+			if e.labelRing == nil {
+				e.labelRing = make([]ID, cap)
+			}
+			if e.labelCount == cap {
+				delete(e.labelled, e.labelRing[e.labelHead])
+				e.labelHead = (e.labelHead + 1) % cap
+				e.labelCount--
+			}
+			e.labelRing[(e.labelHead+e.labelCount)%cap] = id
+			e.labelCount++
+		}
+	}
+	e.labelled[id] = label
+}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -49,10 +50,12 @@ func NewParallelEngine(cfg EngineConfig, shards int, classifiers []Classifier) (
 // Shards returns the shard count.
 func (pe *ParallelEngine) Shards() int { return len(pe.shards) }
 
-// shardFor maps a flow ID to its shard. The SHA-1 flow ID is uniform, so
-// any fixed bytes of it balance the shards.
+// shardFor maps a flow ID to its shard. It reduces a full 64-bit word of
+// the SHA-1 flow ID: a two-byte reduction (the old scheme) leaves only
+// 65536 distinct values, which mod a non-power-of-two shard count skews
+// the residue classes and unbalances shard load.
 func (pe *ParallelEngine) shardFor(id ID) *Engine {
-	idx := (int(id[0])<<8 | int(id[1])) % len(pe.shards)
+	idx := binary.BigEndian.Uint64(id[:8]) % uint64(len(pe.shards))
 	return pe.shards[idx]
 }
 
@@ -65,30 +68,34 @@ func (pe *ParallelEngine) Process(p *packet.Packet) (Verdict, error) {
 	return pe.shardFor(IDOf(p.Tuple)).Process(p)
 }
 
-// FlushIdle flushes idle pending flows on every shard.
+// FlushIdle flushes idle pending flows on every shard. A failing shard
+// does not stop the others; per-shard errors come back joined.
 func (pe *ParallelEngine) FlushIdle(now time.Duration) (int, error) {
 	total := 0
+	var errs []error
 	for i, shard := range pe.shards {
 		n, err := shard.FlushIdle(now)
 		total += n
 		if err != nil {
-			return total, fmt.Errorf("flow: shard %d: %w", i, err)
+			errs = append(errs, fmt.Errorf("flow: shard %d: %w", i, err))
 		}
 	}
-	return total, nil
+	return total, errors.Join(errs...)
 }
 
-// FlushAll flushes every pending flow on every shard.
+// FlushAll flushes every pending flow on every shard. A failing shard
+// does not stop the others; per-shard errors come back joined.
 func (pe *ParallelEngine) FlushAll(now time.Duration) (int, error) {
 	total := 0
+	var errs []error
 	for i, shard := range pe.shards {
 		n, err := shard.FlushAll(now)
 		total += n
 		if err != nil {
-			return total, fmt.Errorf("flow: shard %d: %w", i, err)
+			errs = append(errs, fmt.Errorf("flow: shard %d: %w", i, err))
 		}
 	}
-	return total, nil
+	return total, errors.Join(errs...)
 }
 
 // Label returns the classification of a flow, if any shard has one.
@@ -96,22 +103,12 @@ func (pe *ParallelEngine) Label(t packet.FiveTuple) (corpus.Class, bool) {
 	return pe.shardFor(IDOf(t)).Label(t)
 }
 
-// Stats aggregates counters across shards.
+// Stats aggregates counters across shards. Degraded is the number of
+// shards currently in degraded mode.
 func (pe *ParallelEngine) Stats() EngineStats {
 	var agg EngineStats
 	for _, shard := range pe.shards {
-		s := shard.Stats()
-		agg.Pending += s.Pending
-		agg.Classified += s.Classified
-		for c := range agg.QueueCounts {
-			agg.QueueCounts[c] += s.QueueCounts[c]
-		}
-		agg.CDB.Size += s.CDB.Size
-		agg.CDB.Insertions += s.CDB.Insertions
-		agg.CDB.RemovedByClose += s.CDB.RemovedByClose
-		agg.CDB.RemovedByIdle += s.CDB.RemovedByIdle
-		agg.CDB.Reinsertions += s.CDB.Reinsertions
-		agg.CDB.Expired += s.CDB.Expired
+		agg.add(shard.Stats())
 	}
 	return agg
 }

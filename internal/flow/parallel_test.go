@@ -187,6 +187,190 @@ func TestParallelEnginePerShardClassifiers(t *testing.T) {
 	}
 }
 
+func TestParallelEngineShardBalance(t *testing.T) {
+	// Uniform SHA-1 IDs must spread evenly across a non-power-of-two
+	// shard count. The old two-byte reduction (65536 values mod shards)
+	// skewed the residue classes for shards ∤ 65536.
+	for _, shards := range []int{3, 5, 7, 12} {
+		pe, err := NewParallelEngine(
+			EngineConfig{BufferSize: 8, Classifier: firstByteClassifier()}, shards, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[*Engine]int, shards)
+		const flows = 30000
+		for i := 0; i < flows; i++ {
+			counts[pe.shardFor(IDOf(tuple(uint16(i), packet.TCP)))]++
+		}
+		if len(counts) != shards {
+			t.Fatalf("%d shards: only %d received flows", shards, len(counts))
+		}
+		mean := float64(flows) / float64(shards)
+		for _, c := range counts {
+			if f := float64(c); f < 0.9*mean || f > 1.1*mean {
+				t.Errorf("%d shards: shard load %d strays over 10%% from mean %.0f", shards, c, mean)
+			}
+		}
+	}
+}
+
+// TestParallelEngineConcurrentChurnRace hammers Process, FlushIdle, Stats,
+// and Label from concurrent goroutines over a capped, fault-injected
+// sharded engine. Run under -race; it asserts the engine stays consistent
+// (no surfaced errors, conservation of flows) while everything races.
+func TestParallelEngineConcurrentChurnRace(t *testing.T) {
+	chaos := NewChaosClassifier(firstByteClassifier(), ChaosConfig{Seed: 3, ErrorRate: 0.1, PanicRate: 0.02})
+	pe, err := NewParallelEngine(EngineConfig{
+		BufferSize:    64,
+		Classifier:    chaos, // shared across shards; ChaosClassifier is concurrency-safe
+		MaxPending:    16,
+		Eviction:      EvictClassifyPartial,
+		FallbackClass: corpus.Binary,
+		Faults:        FaultPolicy{Tolerate: true, TripAfter: 20, ProbeEvery: 4},
+		IdleFlush:     50 * time.Millisecond,
+		CDB:           CDBConfig{PurgeOnClose: true, PurgeInactive: true, MaxRecords: 256},
+	}, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	const flowsPerWorker = 300
+	var wg, observers sync.WaitGroup
+	errs := make(chan error, workers+2)
+	stop := make(chan struct{})
+
+	// Observer goroutines: flush + stats while processing races on.
+	observers.Add(1)
+	go func() {
+		defer observers.Done()
+		now := time.Duration(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			now += 10 * time.Millisecond
+			if _, err := pe.FlushIdle(now); err != nil {
+				errs <- err
+				return
+			}
+			_ = pe.Stats()
+		}
+	}()
+	observers.Add(1)
+	go func() {
+		defer observers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = pe.Stats()
+			_, _ = pe.Label(tuple(1, packet.TCP))
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < flowsPerWorker; i++ {
+				tp := tuple(uint16(w*flowsPerWorker+i), packet.TCP)
+				at := time.Duration(i) * time.Millisecond
+				if _, err := pe.Process(dataPacket(tp, at, "EEEEEEEEEEEEEEEE")); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := pe.Process(dataPacket(tp, at+time.Millisecond, "EEEEEEEEEEEEEEEE")); err != nil {
+					errs <- err
+					return
+				}
+				// Half the flows tear down mid-fill.
+				if i%2 == 0 {
+					fin := &packet.Packet{Tuple: tp, Time: at + 2*time.Millisecond, Flags: packet.FlagFIN | packet.FlagACK}
+					if _, err := pe.Process(fin); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	observers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if _, err := pe.FlushAll(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := pe.Stats()
+	if s.Pending != 0 {
+		t.Errorf("Pending = %d after FlushAll", s.Pending)
+	}
+	if got := s.Classified + s.Fallback + s.Dropped; got != s.Admitted {
+		t.Errorf("conservation violated under races: %d+%d+%d != %d",
+			s.Classified, s.Fallback, s.Dropped, s.Admitted)
+	}
+}
+
+// TestEngineTeardownRacesClassification drives data packets and FIN/RST
+// for the same flow from two goroutines: whatever interleaving happens,
+// the engine must neither error nor leak pending state. Run under -race.
+func TestEngineTeardownRacesClassification(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{
+		BufferSize: 32,
+		CDB:        CDBConfig{PurgeOnClose: true},
+	})
+	const rounds = 500
+	tp := tuple(4242, packet.TCP)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			at := time.Duration(i) * time.Microsecond
+			for j := 0; j < 4; j++ {
+				if _, err := e.Process(dataPacket(tp, at, "EEEEEEEE")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			fin := &packet.Packet{Tuple: tp, Time: time.Duration(i) * time.Microsecond, Flags: packet.FlagFIN}
+			if _, err := e.Process(fin); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if _, err := e.FlushAll(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Pending != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending)
+	}
+	if got := s.Classified + s.Fallback + s.Dropped; got != s.Admitted {
+		t.Errorf("conservation violated: %d+%d+%d != %d", s.Classified, s.Fallback, s.Dropped, s.Admitted)
+	}
+}
+
 func TestParallelEngineNilPacket(t *testing.T) {
 	pe, err := NewParallelEngine(
 		EngineConfig{BufferSize: 8, Classifier: firstByteClassifier()}, 2, nil)

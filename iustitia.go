@@ -293,6 +293,21 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 	return &Classifier{inner: inner}, nil
 }
 
+// EvictionPolicy selects what a capped monitor does when a new flow
+// arrives at a full pending table.
+type EvictionPolicy = flow.EvictPolicy
+
+// The eviction policies for WithPendingCap.
+const (
+	// EvictOldest drops the least-recently-active pending flow.
+	EvictOldest = flow.EvictOldest
+	// EvictClassifyPartial classifies the least-recently-active pending
+	// flow on its partial buffer.
+	EvictClassifyPartial = flow.EvictClassifyPartial
+	// EvictShed refuses the new flow and routes it to the fallback class.
+	EvictShed = flow.EvictShed
+)
+
 // monitorOptions collects Monitor settings.
 type monitorOptions struct {
 	bufferSize      int
@@ -305,6 +320,14 @@ type monitorOptions struct {
 	randomSkipMax   int
 	reclassifyAfter time.Duration
 	seed            int64
+	maxPending      int
+	eviction        EvictionPolicy
+	fallback        Class
+	tolerate        bool
+	tripAfter       int
+	probeEvery      int
+	labelCap        int
+	cdbCap          int
 }
 
 // MonitorOption configures NewMonitor.
@@ -360,6 +383,52 @@ func WithMonitorSeed(seed int64) MonitorOption {
 	return func(o *monitorOptions) { o.seed = seed }
 }
 
+// WithPendingCap bounds the pending-flow table at maxFlows so monitor
+// memory stays O(maxFlows) under flow churn, applying policy when a new
+// flow arrives at a full table. An inline deployment should always set
+// this.
+func WithPendingCap(maxFlows int, policy EvictionPolicy) MonitorOption {
+	return func(o *monitorOptions) {
+		o.maxPending = maxFlows
+		o.eviction = policy
+	}
+}
+
+// WithFallbackClass sets the queue used for shed flows and tolerated
+// classification failures (default Text).
+func WithFallbackClass(c Class) MonitorOption {
+	return func(o *monitorOptions) { o.fallback = c }
+}
+
+// WithFaultTolerance routes flows whose classification errored or
+// panicked to the fallback class instead of surfacing the error, and
+// arms the degraded-mode breaker: after tripAfter consecutive failures
+// the monitor short-circuits to the fallback queue, probing the real
+// classifier every probeEvery-th flow until it recovers. Zero values pick
+// the defaults (8 and 64).
+func WithFaultTolerance(tripAfter, probeEvery int) MonitorOption {
+	return func(o *monitorOptions) {
+		o.tolerate = true
+		o.tripAfter = tripAfter
+		o.probeEvery = probeEvery
+	}
+}
+
+// WithLabelCap bounds the ground-truth label map behind Label: n > 0
+// keeps the n most recently labelled flows, negative disables label
+// tracking entirely (the memory-tightest choice), 0 keeps every label
+// forever (the default).
+func WithLabelCap(n int) MonitorOption {
+	return func(o *monitorOptions) { o.labelCap = n }
+}
+
+// WithCDBCap hard-caps the classification database at n records,
+// evicting the oldest under pressure; evicted flows are simply
+// reclassified if they come back.
+func WithCDBCap(n int) MonitorOption {
+	return func(o *monitorOptions) { o.cdbCap = n }
+}
+
 // Monitor is the online flow-classification pipeline of the paper's
 // Figure 1: it hashes packet headers to flow IDs, answers repeat packets
 // from the classification database, buffers new flows up to b bytes,
@@ -385,11 +454,21 @@ func NewMonitor(c *Classifier, opts ...MonitorOption) (*Monitor, error) {
 		IdleFlush:         o.idleFlush,
 		RandomSkipMax:     o.randomSkipMax,
 		Seed:              o.seed,
+		MaxPending:        o.maxPending,
+		Eviction:          o.eviction,
+		FallbackClass:     o.fallback,
+		LabelCap:          o.labelCap,
+		Faults: flow.FaultPolicy{
+			Tolerate:   o.tolerate,
+			TripAfter:  o.tripAfter,
+			ProbeEvery: o.probeEvery,
+		},
 		CDB: flow.CDBConfig{
 			PurgeOnClose:  o.purgeOnClose,
 			PurgeInactive: o.purgeInactive,
 			N:             o.inactivityN,
 			MaxAge:        o.reclassifyAfter,
+			MaxRecords:    o.cdbCap,
 		},
 	})
 	if err != nil {
@@ -421,6 +500,19 @@ type Stats struct {
 	QueueCounts [corpus.NumClasses]int
 	// CDBSize is the number of live classification-database records.
 	CDBSize int
+	// Shed counts flows refused admission at the pending cap and routed
+	// to the fallback queue.
+	Shed int
+	// Evicted counts pending flows force-retired to respect the cap.
+	Evicted int
+	// Failed counts classifier errors and recovered classifier panics.
+	Failed int
+	// Fallback counts flows labelled the fallback class because their
+	// classification failed or the monitor was degraded.
+	Fallback int
+	// Degraded reports whether the monitor is currently short-circuiting
+	// classification to the fallback queue.
+	Degraded bool
 }
 
 // FlowFill describes the buffering cost of one classified flow: how many
@@ -451,5 +543,10 @@ func (m *Monitor) Stats() Stats {
 		Classified:  s.Classified,
 		QueueCounts: s.QueueCounts,
 		CDBSize:     s.CDB.Size,
+		Shed:        s.Shed,
+		Evicted:     s.Evicted,
+		Failed:      s.Failed,
+		Fallback:    s.Fallback,
+		Degraded:    s.Degraded > 0,
 	}
 }
