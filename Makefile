@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench experiments examples fuzz clean
+.PHONY: all build test race check bench experiments examples fuzz snapshot-compat clean
 
 all: build test
 
@@ -17,13 +17,16 @@ race:
 	$(GO) test -race ./...
 
 # The pre-merge gate: static checks, the race detector, and a short fuzz
-# smoke over the byte-level parsers. Slower than `test`, run before pushing.
+# smoke over the byte-level parsers and snapshot decoders. Slower than
+# `test`, run before pushing.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -fuzz=FuzzStrip -fuzztime=5s ./internal/appheader
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=5s ./internal/packet
 	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/pcap
+	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=5s ./internal/persist
+	$(GO) test -fuzz=FuzzImportCheckpoint -fuzztime=5s ./internal/persist
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:
@@ -40,11 +43,24 @@ examples:
 	$(GO) run ./examples/forensics
 	$(GO) run ./examples/streaming
 
-# Short fuzzing passes over the three byte-level parsers.
+# Short fuzzing passes over the byte-level parsers and every snapshot
+# decoder (frame, tree, SVM, classifier, CDB, checkpoint).
 fuzz:
 	$(GO) test -fuzz=FuzzStrip -fuzztime=30s ./internal/appheader
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/packet
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/pcap
+	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=30s ./internal/persist
+	$(GO) test -fuzz=FuzzDecodeTree -fuzztime=30s ./internal/persist
+	$(GO) test -fuzz=FuzzDecodeSVMModel -fuzztime=30s ./internal/persist
+	$(GO) test -fuzz=FuzzDecodeClassifier -fuzztime=30s ./internal/persist
+	$(GO) test -fuzz=FuzzImportCDB -fuzztime=30s ./internal/persist
+	$(GO) test -fuzz=FuzzImportCheckpoint -fuzztime=30s ./internal/persist
+
+# Snapshot wire-format compatibility against the checked-in golden
+# fixtures (internal/persist/testdata). A failure means the format
+# changed without a version bump; regenerate intentionally with -update.
+snapshot-compat:
+	$(GO) test -run 'TestGolden' -v ./internal/persist
 
 clean:
 	$(GO) clean ./...

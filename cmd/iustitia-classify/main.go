@@ -16,18 +16,32 @@
 //
 //	iustitia-classify -model model.json -trace -max-pending 4096 -evict shed \
 //	    -fallback binary -tolerate -cdb-cap 100000 -chaos-error 0.05
+//
+// Durable operation: convert a JSON model to a checksummed binary
+// snapshot, then replay with periodic checkpoints; a SIGINT/SIGTERM
+// flushes a final checkpoint before exit, and -resume continues from it
+// (falling back to a cold start, with a warning, if the checkpoint is
+// unusable):
+//
+//	iustitia-classify -model model.json -save-model model.snap
+//	iustitia-classify -load-model model.snap -trace -checkpoint state.ckpt
+//	iustitia-classify -load-model model.snap -trace -checkpoint state.ckpt \
+//	    -resume state.ckpt
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"iustitia"
 	"iustitia/internal/corpus"
 	"iustitia/internal/flow"
 	"iustitia/internal/packet"
+	"iustitia/internal/persist"
 )
 
 func main() {
@@ -55,6 +69,13 @@ func run() error {
 		chaosError = flag.Float64("chaos-error", 0, "inject classifier errors at this rate (demo of -tolerate)")
 		chaosPanic = flag.Float64("chaos-panic", 0, "inject classifier panics at this rate")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "fault-injection seed")
+
+		saveModel  = flag.String("save-model", "", "write the loaded model as a binary snapshot to this path, atomically")
+		loadModel  = flag.String("load-model", "", "load the model from a binary snapshot instead of -model JSON")
+		checkpoint = flag.String("checkpoint", "", "write periodic engine checkpoints to this path; SIGINT/SIGTERM flushes a final one")
+		ckptEvery  = flag.Int("checkpoint-every", 1000, "classified flows between periodic checkpoints (with -checkpoint)")
+		resume     = flag.String("resume", "", "restore engine state from this checkpoint before replay (cold start if unusable)")
+		pace       = flag.Duration("pace", 0, "sleep this long between replayed packets (throttle for demos and shutdown tests)")
 	)
 	flag.Parse()
 
@@ -75,16 +96,37 @@ func run() error {
 		chaosError: *chaosError,
 		chaosPanic: *chaosPanic,
 		chaosSeed:  *chaosSeed,
+		checkpoint: *checkpoint,
+		ckptEvery:  *ckptEvery,
+		resume:     *resume,
+		pace:       *pace,
 	}
 
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		return err
+	var clf *iustitia.Classifier
+	if *loadModel != "" {
+		clf, err = iustitia.LoadClassifierSnapshot(*loadModel)
+		if err != nil {
+			return err
+		}
+	} else {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		clf, err = iustitia.LoadClassifier(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
 	}
-	defer mf.Close()
-	clf, err := iustitia.LoadClassifier(mf)
-	if err != nil {
-		return err
+	if *saveModel != "" {
+		if err := clf.SaveSnapshot(*saveModel); err != nil {
+			return err
+		}
+		fmt.Printf("saved model snapshot to %s\n", *saveModel)
+		if !*trace && *replayPath == "" && flag.NArg() == 0 {
+			return nil
+		}
 	}
 
 	if *replayPath != "" {
@@ -127,7 +169,8 @@ func run() error {
 	return nil
 }
 
-// engineSetup carries the overload/fault-tolerance flags into replay.
+// engineSetup carries the overload/fault-tolerance/durability flags into
+// replay.
 type engineSetup struct {
 	maxPending int
 	policy     flow.EvictPolicy
@@ -137,6 +180,20 @@ type engineSetup struct {
 	chaosError float64
 	chaosPanic float64
 	chaosSeed  int64
+	checkpoint string
+	ckptEvery  int
+	resume     string
+	pace       time.Duration
+}
+
+// resumeEngine restores engine state from a checkpoint file written by a
+// previous run's -checkpoint flag.
+func resumeEngine(engine *flow.Engine, path string) error {
+	payload, err := persist.LoadFile(path, persist.KindCheckpoint)
+	if err != nil {
+		return err
+	}
+	return engine.ImportCheckpoint(payload)
 }
 
 // parseClass maps a flag value to its class.
@@ -175,7 +232,7 @@ func replay(clf *iustitia.Classifier, buffer int, eng engineSetup, tr *packet.Tr
 		})
 		classifier = chaos
 	}
-	engine, err := flow.NewEngine(flow.EngineConfig{
+	cfg := flow.EngineConfig{
 		BufferSize:    buffer,
 		Classifier:    classifier,
 		IdleFlush:     2 * time.Second,
@@ -189,24 +246,87 @@ func replay(clf *iustitia.Classifier, buffer int, eng engineSetup, tr *packet.Tr
 			N:             4,
 			MaxRecords:    eng.cdbCap,
 		},
-	})
+	}
+	if eng.checkpoint != "" {
+		cfg.CheckpointEvery = eng.ckptEvery
+		cfg.OnCheckpoint = func(snapshot []byte) {
+			if err := persist.SaveFile(eng.checkpoint, persist.KindCheckpoint, snapshot); err != nil {
+				fmt.Fprintln(os.Stderr, "iustitia-classify: checkpoint:", err)
+			}
+		}
+	}
+	engine, err := flow.NewEngine(cfg)
 	if err != nil {
 		return err
+	}
+
+	// Resume from a prior checkpoint when asked. Any unusable checkpoint
+	// — missing, truncated, bit-flipped, wrong version, wrong kind — is a
+	// logged warning and a cold start, never a crash or a wrong restore.
+	if eng.resume != "" {
+		if err := resumeEngine(engine, eng.resume); err != nil {
+			fmt.Fprintf(os.Stderr,
+				"iustitia-classify: warning: cannot resume from %s (%v); cold start\n",
+				eng.resume, err)
+		} else {
+			s := engine.Stats()
+			fmt.Printf("resumed from %s: %d classified flows, %d CDB records\n",
+				eng.resume, s.Classified, s.CDB.Size)
+		}
+	}
+
+	// A final checkpoint is flushed on SIGINT/SIGTERM — process death
+	// must not throw away the classification state — and at the end of a
+	// normal replay.
+	var sigCh chan os.Signal
+	if eng.checkpoint != "" {
+		sigCh = make(chan os.Signal, 1)
+		signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+		defer signal.Stop(sigCh)
+	}
+	finalCheckpoint := func(now time.Duration) error {
+		if eng.checkpoint == "" {
+			return nil
+		}
+		if _, err := engine.FlushIdle(now); err != nil && !eng.tolerate {
+			fmt.Fprintln(os.Stderr, "iustitia-classify: flush before checkpoint:", err)
+		}
+		return persist.SaveFile(eng.checkpoint, persist.KindCheckpoint, engine.ExportCheckpoint())
 	}
 
 	start := time.Now()
 	var lastTime time.Duration
 	for i := range tr.Packets {
 		p := &tr.Packets[i]
+		select {
+		case sig := <-sigCh:
+			if err := finalCheckpoint(lastTime); err != nil {
+				return fmt.Errorf("final checkpoint on %v: %w", sig, err)
+			}
+			s := engine.Stats()
+			fmt.Printf("interrupted by %v after %d/%d packets: checkpoint saved to %s (%d classified flows, %d CDB records)\n",
+				sig, i, len(tr.Packets), eng.checkpoint, s.Classified, s.CDB.Size)
+			return nil
+		default:
+		}
 		if _, err := engine.Process(p); err != nil {
 			return fmt.Errorf("packet %d: %w (use -tolerate to degrade instead of aborting)", i, err)
 		}
 		lastTime = p.Time
+		if eng.pace > 0 {
+			time.Sleep(eng.pace)
+		}
 	}
 	if _, err := engine.FlushAll(lastTime + time.Minute); err != nil {
 		return fmt.Errorf("%w (use -tolerate to degrade instead of aborting)", err)
 	}
 	elapsed := time.Since(start)
+	if eng.checkpoint != "" {
+		if err := finalCheckpoint(lastTime + time.Minute); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Printf("checkpoint saved to %s\n", eng.checkpoint)
+	}
 
 	correct, labeled := 0, 0
 	for tuple, info := range tr.Flows {

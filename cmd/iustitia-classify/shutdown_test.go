@@ -1,0 +1,209 @@
+package main
+
+// Graceful-shutdown integration test: SIGTERM mid-trace must flush a
+// valid final checkpoint, and -resume must continue from it without
+// re-classifying flows already retired to the CDB.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"iustitia"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/persist"
+)
+
+// buildBinary compiles iustitia-classify into dir.
+func buildBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "iustitia-classify")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// trainModelSnapshot trains a small classifier on the synthetic corpus
+// and saves it as a binary snapshot.
+func trainModelSnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := iustitia.SyntheticCorpus(1, 30, 2048, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := iustitia.Train(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "model.snap")
+	if err := clf.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// checkpointStats loads a checkpoint file into a fresh engine and
+// returns its restored stats, failing the test if the file is invalid.
+func checkpointStats(t *testing.T, path string) flow.EngineStats {
+	t.Helper()
+	payload, err := persist.LoadFile(path, persist.KindCheckpoint)
+	if err != nil {
+		t.Fatalf("checkpoint %s unreadable: %v", path, err)
+	}
+	engine, err := flow.NewEngine(flow.EngineConfig{
+		BufferSize: 32,
+		Classifier: flow.ClassifierFunc(func([]byte) (corpus.Class, error) {
+			return corpus.Text, nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.ImportCheckpoint(payload); err != nil {
+		t.Fatalf("checkpoint %s does not restore: %v", path, err)
+	}
+	return engine.Stats()
+}
+
+func TestShutdownCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+	model := trainModelSnapshot(t, dir)
+	ckpt := filepath.Join(dir, "state.ckpt")
+
+	// Run 1: replay paced slowly enough to interrupt, checkpointing often.
+	run1 := exec.Command(bin,
+		"-load-model", model, "-trace", "-flows", "400", "-seed", "7",
+		"-pace", "2ms", "-checkpoint", ckpt, "-checkpoint-every", "25")
+	var out1 bytes.Buffer
+	run1.Stdout, run1.Stderr = &out1, &out1
+	if err := run1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first periodic checkpoint to land, then SIGTERM.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := persist.LoadFile(ckpt, persist.KindCheckpoint); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = run1.Process.Kill()
+			t.Fatalf("no checkpoint appeared; output so far:\n%s", out1.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := run1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := run1.Wait(); err != nil {
+		t.Fatalf("interrupted run exited with %v\n%s", err, out1.String())
+	}
+	if !strings.Contains(out1.String(), "interrupted by terminated") {
+		t.Fatalf("run 1 did not report the signal:\n%s", out1.String())
+	}
+
+	// The final checkpoint is valid and carries real progress.
+	interrupted := checkpointStats(t, ckpt)
+	if interrupted.Classified == 0 || interrupted.CDB.Size == 0 {
+		t.Fatalf("final checkpoint is empty: %+v", interrupted)
+	}
+
+	// Reference: the same trace replayed cold to completion.
+	coldCkpt := filepath.Join(dir, "cold.ckpt")
+	cold := exec.Command(bin,
+		"-load-model", model, "-trace", "-flows", "400", "-seed", "7",
+		"-checkpoint", coldCkpt)
+	if out, err := cold.CombinedOutput(); err != nil {
+		t.Fatalf("cold run: %v\n%s", err, out)
+	}
+	coldStats := checkpointStats(t, coldCkpt)
+
+	// Run 2: resume from the interrupt checkpoint and finish the trace.
+	resumedCkpt := filepath.Join(dir, "resumed.ckpt")
+	run2 := exec.Command(bin,
+		"-load-model", model, "-trace", "-flows", "400", "-seed", "7",
+		"-checkpoint", resumedCkpt, "-resume", ckpt)
+	out2, err := run2.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out2)
+	}
+	wantResume := fmt.Sprintf("resumed from %s: %d classified flows, %d CDB records",
+		ckpt, interrupted.Classified, interrupted.CDB.Size)
+	if !strings.Contains(string(out2), wantResume) {
+		t.Fatalf("run 2 output missing %q:\n%s", wantResume, out2)
+	}
+
+	// Counts continue from the snapshot...
+	final := checkpointStats(t, resumedCkpt)
+	if final.Classified < interrupted.Classified {
+		t.Errorf("resumed run finished with %d classified, below the restored %d",
+			final.Classified, interrupted.Classified)
+	}
+	// ...and flows already retired to the CDB are answered from it, not
+	// re-classified: the resumed total stays strictly below restored +
+	// cold (re-classifying everything would reach at least that sum).
+	if final.Classified >= interrupted.Classified+coldStats.Classified {
+		t.Errorf("resumed run classified %d flows (restored %d + cold %d): retired flows were re-classified",
+			final.Classified, interrupted.Classified, coldStats.Classified)
+	}
+}
+
+// TestResumeFallsBackToColdStart: a missing or corrupt -resume file must
+// warn and cold-start, never crash.
+func TestResumeFallsBackToColdStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+	model := trainModelSnapshot(t, dir)
+
+	for name, setup := range map[string]func(t *testing.T) string{
+		"missing": func(t *testing.T) string {
+			return filepath.Join(dir, "nonexistent.ckpt")
+		},
+		"corrupt": func(t *testing.T) string {
+			path := filepath.Join(dir, "corrupt.ckpt")
+			if err := persist.SaveFile(path, persist.KindCheckpoint, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-1] ^= 0xFF
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return path
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(bin,
+				"-load-model", model, "-trace", "-flows", "50", "-seed", "3",
+				"-resume", setup(t))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run failed instead of cold-starting: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), "cold start") {
+				t.Errorf("no cold-start warning in output:\n%s", out)
+			}
+			if !strings.Contains(string(out), "replayed") {
+				t.Errorf("replay did not complete:\n%s", out)
+			}
+		})
+	}
+}

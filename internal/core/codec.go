@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"iustitia/internal/ml/cart"
+	"iustitia/internal/ml/svm"
+	"iustitia/internal/persist"
+)
+
+// This file is the classifier's durable binary codec, the payload behind
+// persist.KindClassifier snapshots: model kind, feature widths, and the
+// model's own binary encoding. Decoding cross-checks the widths against
+// the embedded model's feature width so a loaded classifier refuses
+// mismatched feature vectors instead of silently misclassifying.
+
+// Caps enforced while decoding. Paper feature sets have ≤ 10 widths,
+// each ≤ 10 bytes; the caps exist only to bound hostile input.
+const (
+	maxDecodeWidths    = 1 << 8
+	maxDecodeWidthSize = 1 << 16
+)
+
+// EncodeSnapshot serializes the classifier as a persist.KindClassifier
+// payload (frame it with persist.Encode / persist.SaveFile).
+func (c *Classifier) EncodeSnapshot() ([]byte, error) {
+	var e persist.Encoder
+	e.U8(uint8(c.kind))
+	e.U32(uint32(len(c.widths)))
+	for _, w := range c.widths {
+		e.U32(uint32(w))
+	}
+	switch c.kind {
+	case KindCART:
+		if c.tree == nil {
+			return nil, fmt.Errorf("core: cart classifier missing tree")
+		}
+		blob, err := c.tree.Encode()
+		if err != nil {
+			return nil, err
+		}
+		e.Blob(blob)
+	case KindSVM:
+		if c.svm == nil {
+			return nil, fmt.Errorf("core: svm classifier missing model")
+		}
+		blob, err := c.svm.Encode()
+		if err != nil {
+			return nil, err
+		}
+		e.Blob(blob)
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %d", int(c.kind))
+	}
+	return e.Bytes(), nil
+}
+
+// DecodeSnapshot restores a classifier from a persist.KindClassifier
+// payload. Hostile input returns an error wrapping persist.ErrCorrupt.
+func DecodeSnapshot(data []byte) (*Classifier, error) {
+	d := persist.NewDecoder(data)
+	kind := ModelKind(d.U8())
+	nWidths := d.Count(4)
+	if d.Err() == nil {
+		if kind != KindCART && kind != KindSVM {
+			d.Fail("unknown model kind %d", int(kind))
+		}
+		if nWidths < 1 || nWidths > maxDecodeWidths {
+			d.Fail("width count %d out of range", nWidths)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("core: decode classifier: %w", err)
+	}
+	widths := make([]int, nWidths)
+	for i := range widths {
+		w := int(d.U32())
+		if d.Err() == nil && (w < 1 || w > maxDecodeWidthSize) {
+			d.Fail("feature width %d out of range", w)
+		}
+		widths[i] = w
+	}
+	blob := d.Blob()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("core: decode classifier: %w", err)
+	}
+
+	c := &Classifier{kind: kind, widths: widths}
+	var modelWidth int
+	switch kind {
+	case KindCART:
+		tree, err := cart.Decode(blob)
+		if err != nil {
+			return nil, err
+		}
+		c.tree = tree
+		modelWidth = tree.Width
+	case KindSVM:
+		model, err := svm.Decode(blob)
+		if err != nil {
+			return nil, err
+		}
+		c.svm = model
+		modelWidth = model.Width()
+	}
+	// The feature widths drive extraction; the model's width is how many
+	// features it consumes. A mismatch means the snapshot was assembled
+	// from incompatible halves — refuse it rather than misclassify.
+	if modelWidth != len(widths) {
+		return nil, fmt.Errorf("%w: model consumes %d features, snapshot lists %d widths",
+			persist.ErrCorrupt, modelWidth, len(widths))
+	}
+	return c, nil
+}

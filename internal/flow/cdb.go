@@ -74,6 +74,8 @@ type CDB struct {
 	removedByIdle     int
 	removedByPressure int
 	insertions        int
+	imported          int
+	importDropped     int
 	reinsertedFlows   map[ID]struct{}
 	reinsertions      int
 	expired           int
@@ -225,6 +227,13 @@ type CDBStats struct {
 	Insertions     int
 	RemovedByClose int
 	RemovedByIdle  int
+	// Imported counts records restored from a snapshot by Import; together
+	// with Insertions it accounts for every record that ever entered the
+	// database, so the PR-1 accounting invariant extends across restarts.
+	Imported int
+	// ImportDropped counts snapshot records refused at Import because the
+	// MaxRecords cap had no room for them (the oldest lose).
+	ImportDropped int
 	// RemovedByPressure counts records evicted by the MaxRecords hard cap.
 	RemovedByPressure int
 	// Reinsertions counts flows classified more than once because their
@@ -241,6 +250,8 @@ func (a *CDBStats) add(s CDBStats) {
 	a.Insertions += s.Insertions
 	a.RemovedByClose += s.RemovedByClose
 	a.RemovedByIdle += s.RemovedByIdle
+	a.Imported += s.Imported
+	a.ImportDropped += s.ImportDropped
 	a.RemovedByPressure += s.RemovedByPressure
 	a.Reinsertions += s.Reinsertions
 	a.Expired += s.Expired
@@ -255,6 +266,8 @@ func (c *CDB) Stats() CDBStats {
 		Insertions:        c.insertions,
 		RemovedByClose:    c.removedByClose,
 		RemovedByIdle:     c.removedByIdle,
+		Imported:          c.imported,
+		ImportDropped:     c.importDropped,
 		RemovedByPressure: c.removedByPressure,
 		Reinsertions:      c.reinsertions,
 		Expired:           c.expired,
@@ -262,5 +275,6 @@ func (c *CDB) Stats() CDBStats {
 }
 
 // ApproxBits returns the CDB's live size in paper-accounted bits
-// (RecordBits per record).
+// (RecordBits per record). The count is the live record map, so records
+// restored by Import are included the moment they land.
 func (c *CDB) ApproxBits() int { return c.Size() * RecordBits }

@@ -1,0 +1,226 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+	"iustitia/internal/persist"
+)
+
+// classifyFlows pushes n distinct single-packet-fillable flows through
+// the engine, labelled round-robin over the classes.
+func classifyFlows(t *testing.T, e *Engine, n, portBase int, base time.Duration) {
+	t.Helper()
+	letters := []string{"TTTTTTTT", "BBBBBBBB", "EEEEEEEE"}
+	for i := 0; i < n; i++ {
+		tp := tuple(uint16(portBase+i), packet.TCP)
+		at := base + time.Duration(i)*time.Millisecond
+		v, err := e.Process(dataPacket(tp, at, letters[i%len(letters)]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Classified {
+			t.Fatalf("flow %d not classified by one packet", i)
+		}
+	}
+}
+
+// TestCheckpointRoundTrip: a fresh engine restored from a checkpoint
+// continues the classification counts and answers already-classified
+// flows from the CDB without re-classifying them.
+func TestCheckpointRoundTrip(t *testing.T) {
+	calls := 0
+	counting := ClassifierFunc(func(p []byte) (corpus.Class, error) {
+		calls++
+		return firstByteClassifier().Classify(p)
+	})
+	e1 := newTestEngine(t, EngineConfig{Classifier: counting})
+	classifyFlows(t, e1, 30, 1000, 0)
+	s1 := e1.Stats()
+	blob := e1.ExportCheckpoint()
+
+	e2 := newTestEngine(t, EngineConfig{Classifier: counting})
+	if err := e2.ImportCheckpoint(blob); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e2.Stats()
+	if s2.Classified != s1.Classified {
+		t.Errorf("restored Classified = %d, want %d", s2.Classified, s1.Classified)
+	}
+	if s2.QueueCounts != s1.QueueCounts {
+		t.Errorf("restored QueueCounts = %v, want %v", s2.QueueCounts, s1.QueueCounts)
+	}
+	if s2.CDB.Size != s1.CDB.Size {
+		t.Errorf("restored CDB size = %d, want %d", s2.CDB.Size, s1.CDB.Size)
+	}
+
+	// Replaying the same flows must be answered entirely by the restored
+	// CDB: zero classifier calls, counts advance only via the CDB path.
+	callsBefore := calls
+	for i := 0; i < 30; i++ {
+		tp := tuple(uint16(1000+i), packet.TCP)
+		v, err := e2.Process(dataPacket(tp, time.Duration(100+i)*time.Millisecond, "XXXXXXXX"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.FromCDB {
+			t.Fatalf("flow %d not answered from restored CDB", i)
+		}
+	}
+	if calls != callsBefore {
+		t.Errorf("classifier ran %d times on restored flows, want 0", calls-callsBefore)
+	}
+}
+
+// TestCheckpointConservationAcrossRestart: the PR-1 accounting invariant
+// Admitted == Classified + Fallback + Dropped + Pending holds on an
+// engine restored mid-life, including with flows pending at export.
+func TestCheckpointConservationAcrossRestart(t *testing.T) {
+	e1 := newTestEngine(t, EngineConfig{})
+	classifyFlows(t, e1, 20, 1000, 0)
+	// Leave some flows pending (half-filled buffers) at export time.
+	for i := 0; i < 5; i++ {
+		tp := tuple(uint16(4000+i), packet.TCP)
+		if _, err := e1.Process(dataPacket(tp, time.Second, "TT")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob := e1.ExportCheckpoint()
+
+	e2 := newTestEngine(t, EngineConfig{})
+	if err := e2.ImportCheckpoint(blob); err != nil {
+		t.Fatal(err)
+	}
+	classifyFlows(t, e2, 10, 2000, 2*time.Second)
+	s := e2.Stats()
+	if got := s.Classified + s.Fallback + s.Dropped + s.Pending; s.Admitted != got {
+		t.Errorf("Admitted %d != Classified %d + Fallback %d + Dropped %d + Pending %d",
+			s.Admitted, s.Classified, s.Fallback, s.Dropped, s.Pending)
+	}
+	if s.Classified != 30 {
+		t.Errorf("Classified = %d, want 30 (20 restored + 10 new)", s.Classified)
+	}
+}
+
+// TestCheckpointPeriodicHook: OnCheckpoint fires once per
+// CheckpointEvery classified flows and the payload is loadable.
+func TestCheckpointPeriodicHook(t *testing.T) {
+	var snaps [][]byte
+	e := newTestEngine(t, EngineConfig{
+		CheckpointEvery: 10,
+		OnCheckpoint:    func(b []byte) { snaps = append(snaps, b) },
+	})
+	classifyFlows(t, e, 35, 1000, 0)
+	if len(snaps) != 3 {
+		t.Fatalf("hook fired %d times for 35 flows at every=10, want 3", len(snaps))
+	}
+	// Every emitted snapshot restores cleanly.
+	for i, b := range snaps {
+		fresh := newTestEngine(t, EngineConfig{})
+		if err := fresh.ImportCheckpoint(b); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if got, want := fresh.Stats().Classified, (i+1)*10; got != want {
+			t.Errorf("snapshot %d restores %d classified, want %d", i, got, want)
+		}
+	}
+	// FlushAll also triggers a due checkpoint.
+	for i := 0; i < 5; i++ {
+		tp := tuple(uint16(6000+i), packet.TCP)
+		if _, err := e.Process(dataPacket(tp, time.Second, "TT")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.FlushAll(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 4 {
+		t.Errorf("hook fired %d times after flush, want 4", len(snaps))
+	}
+}
+
+// TestCheckpointHookMayCallEngine: the hook runs outside the engine
+// lock, so calling back into the engine must not deadlock.
+func TestCheckpointHookMayCallEngine(t *testing.T) {
+	var e *Engine
+	done := make(chan struct{}, 1)
+	e = newTestEngine(t, EngineConfig{
+		CheckpointEvery: 1,
+		OnCheckpoint: func([]byte) {
+			_ = e.Stats()
+			_ = e.ExportCheckpoint()
+			select {
+			case done <- struct{}{}:
+			default:
+			}
+		},
+	})
+	classifyFlows(t, e, 2, 1000, 0)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("checkpoint hook deadlocked")
+	}
+}
+
+// TestCheckpointImportTruncation clips a valid checkpoint at every byte
+// offset: always a clean typed error, and the engine stays cold.
+func TestCheckpointImportTruncation(t *testing.T) {
+	e := newTestEngine(t, EngineConfig{})
+	classifyFlows(t, e, 12, 1000, 0)
+	blob := e.ExportCheckpoint()
+	for i := 0; i < len(blob); i++ {
+		fresh := newTestEngine(t, EngineConfig{})
+		if err := fresh.ImportCheckpoint(blob[:i]); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("ImportCheckpoint(blob[:%d]) = %v, want ErrCorrupt", i, err)
+		}
+		s := fresh.Stats()
+		if s.Classified != 0 || s.CDB.Size != 0 {
+			t.Fatalf("truncated import at %d mutated the engine: %+v", i, s)
+		}
+	}
+}
+
+// TestCheckpointImportRejectsNegativeCounter: a bit-flipped counter that
+// goes negative is corruption, not a silently wrong baseline.
+func TestCheckpointImportRejectsNegativeCounter(t *testing.T) {
+	var enc persist.Encoder
+	enc.U32(uint32(corpus.NumClasses))
+	for i := 0; i < corpus.NumClasses+7; i++ {
+		enc.I64(-1)
+	}
+	enc.Blob(NewCDB(CDBConfig{}).Export())
+	e := newTestEngine(t, EngineConfig{})
+	if err := e.ImportCheckpoint(enc.Bytes()); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("negative counters: err = %v, want ErrCorrupt", err)
+	}
+
+	var enc2 persist.Encoder
+	enc2.U32(uint32(corpus.NumClasses) + 1)
+	if err := e.ImportCheckpoint(enc2.Bytes()); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("wrong class count: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCheckpointCDBCapOnImport: restoring a big checkpoint into a
+// smaller deployment honours the new MaxRecords and accounts the drops.
+func TestCheckpointCDBCapOnImport(t *testing.T) {
+	e1 := newTestEngine(t, EngineConfig{})
+	classifyFlows(t, e1, 40, 1000, 0)
+	blob := e1.ExportCheckpoint()
+
+	e2 := newTestEngine(t, EngineConfig{CDB: CDBConfig{MaxRecords: 15}})
+	if err := e2.ImportCheckpoint(blob); err != nil {
+		t.Fatal(err)
+	}
+	s := e2.Stats()
+	if s.CDB.Size != 15 {
+		t.Errorf("capped import size = %d, want 15", s.CDB.Size)
+	}
+	if s.CDB.ImportDropped != 25 {
+		t.Errorf("ImportDropped = %d, want 25", s.CDB.ImportDropped)
+	}
+}

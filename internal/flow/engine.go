@@ -77,6 +77,14 @@ type EngineConfig struct {
 	// only the n most recently labelled flows, negative disables label
 	// tracking entirely.
 	LabelCap int
+	// CheckpointEvery, with OnCheckpoint, fires a durable snapshot after
+	// every N classified flows. Zero disables periodic checkpoints;
+	// ExportCheckpoint is always available on demand.
+	CheckpointEvery int
+	// OnCheckpoint receives a fresh ExportCheckpoint payload. It is
+	// invoked outside the engine lock (so it may call engine methods) and
+	// synchronously on the packet path — hand the bytes off quickly.
+	OnCheckpoint func(snapshot []byte)
 }
 
 // Verdict reports what the engine did with one packet.
@@ -160,6 +168,13 @@ type Engine struct {
 	consecFails int  // consecutive classifier failures
 	degraded    bool // short-circuiting to fallback; probing for recovery
 	sinceProbe  int  // classify attempts since the last degraded-mode probe
+
+	// Checkpoint state (guarded by mu): classifications since the last
+	// periodic snapshot, and the counter baselines restored by
+	// ImportCheckpoint (folded into Stats so counts continue across a
+	// restart).
+	sinceCkpt int
+	restored  EngineStats
 }
 
 // NewEngine validates cfg and builds an engine.
@@ -232,6 +247,14 @@ func (e *Engine) Process(p *packet.Packet) (Verdict, error) {
 		return Verdict{}, nil
 	}
 
+	v, err := e.processData(id, p)
+	e.maybeCheckpoint()
+	return v, err
+}
+
+// processData admits/buffers one data packet under the engine lock and
+// classifies the flow if this packet filled its buffer.
+func (e *Engine) processData(id ID, p *packet.Packet) (Verdict, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -359,6 +382,7 @@ func (e *Engine) classifyLocked(id ID, fl *pending, now time.Duration) (Verdict,
 	e.cdb.Insert(id, label, now)
 	e.recordLabelLocked(id, label)
 	e.queued[label]++
+	e.sinceCkpt++
 	if fellBack {
 		e.fallback++
 	} else {
@@ -378,13 +402,17 @@ func (e *Engine) FlushIdle(now time.Duration) (int, error) {
 	if e.cfg.IdleFlush <= 0 {
 		return 0, nil
 	}
-	return e.flush(func(fl *pending) bool { return now-fl.lastSeen >= e.cfg.IdleFlush }, now)
+	n, err := e.flush(func(fl *pending) bool { return now-fl.lastSeen >= e.cfg.IdleFlush }, now)
+	e.maybeCheckpoint()
+	return n, err
 }
 
 // FlushAll classifies every pending flow regardless of idle time — the end
 // of a trace replay.
 func (e *Engine) FlushAll(now time.Duration) (int, error) {
-	return e.flush(func(*pending) bool { return true }, now)
+	n, err := e.flush(func(*pending) bool { return true }, now)
+	e.maybeCheckpoint()
+	return n, err
 }
 
 // flush classifies every due pending flow. A classification failure on
@@ -479,15 +507,18 @@ func (e *Engine) Stats() EngineStats {
 	defer e.mu.Unlock()
 	s := EngineStats{
 		Pending:     len(e.pend),
-		Classified:  len(e.fills),
+		Classified:  len(e.fills) + e.restored.Classified,
 		QueueCounts: e.queued,
 		CDB:         e.cdb.Stats(),
-		Admitted:    e.admitted,
-		Shed:        e.shed,
-		Evicted:     e.evicted,
-		Dropped:     e.dropped,
-		Failed:      e.failed,
-		Fallback:    e.fallback,
+		Admitted:    e.admitted + e.restored.Admitted,
+		Shed:        e.shed + e.restored.Shed,
+		Evicted:     e.evicted + e.restored.Evicted,
+		Dropped:     e.dropped + e.restored.Dropped,
+		Failed:      e.failed + e.restored.Failed,
+		Fallback:    e.fallback + e.restored.Fallback,
+	}
+	for i := range s.QueueCounts {
+		s.QueueCounts[i] += e.restored.QueueCounts[i]
 	}
 	if e.degraded {
 		s.Degraded = 1

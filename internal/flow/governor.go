@@ -177,6 +177,7 @@ func (e *Engine) shedLocked(id ID, now time.Duration) Verdict {
 	e.cdb.Insert(id, e.cfg.FallbackClass, now)
 	e.recordLabelLocked(id, e.cfg.FallbackClass)
 	e.queued[e.cfg.FallbackClass]++
+	e.sinceCkpt++
 	return Verdict{Queue: e.cfg.FallbackClass, Routed: true, Fallback: true}
 }
 

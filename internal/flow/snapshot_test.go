@@ -1,0 +1,214 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/persist"
+)
+
+// idN builds a distinct flow ID from an integer.
+func idN(n int) ID {
+	var id ID
+	id[0] = byte(n)
+	id[1] = byte(n >> 8)
+	id[2] = byte(n >> 16)
+	return id
+}
+
+// populatedCDB builds a CDB with n records inserted at 1-second strides,
+// refreshing every third record later so λ values differ.
+func populatedCDB(t *testing.T, cfg CDBConfig, n int) *CDB {
+	t.Helper()
+	cdb := NewCDB(cfg)
+	for i := 0; i < n; i++ {
+		cdb.Insert(idN(i), corpus.Class(i%int(corpus.NumClasses)), time.Duration(i)*time.Second)
+	}
+	for i := 0; i < n; i += 3 {
+		if _, ok := cdb.Lookup(idN(i), time.Duration(n+i)*time.Second); !ok {
+			t.Fatalf("record %d vanished while populating", i)
+		}
+	}
+	return cdb
+}
+
+// TestCDBExportImportRoundTrip is the round-trip property: an
+// exported-then-imported CDB must preserve lookup results, sizes, and
+// sweep behavior.
+func TestCDBExportImportRoundTrip(t *testing.T) {
+	const n = 50
+	src := populatedCDB(t, CDBConfig{PurgeOnClose: true, PurgeInactive: true}, n)
+	blob := src.Export()
+
+	dst := NewCDB(CDBConfig{PurgeOnClose: true, PurgeInactive: true})
+	if err := dst.Import(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dst.Size(), src.Size(); got != want {
+		t.Fatalf("imported size %d, want %d", got, want)
+	}
+	if got, want := dst.ApproxBits(), src.ApproxBits(); got != want {
+		t.Fatalf("imported ApproxBits %d, want %d", got, want)
+	}
+	if got := dst.Stats().Imported; got != n {
+		t.Errorf("Stats.Imported = %d, want %d", got, n)
+	}
+
+	// Lookup results match record for record. Use a fresh probe time far
+	// enough not to matter and compare labels.
+	for i := 0; i < n; i++ {
+		now := time.Duration(10*n+i) * time.Second
+		wantLabel, wantOK := src.Lookup(idN(i), now)
+		gotLabel, gotOK := dst.Lookup(idN(i), now)
+		if gotOK != wantOK || gotLabel != wantLabel {
+			t.Fatalf("record %d: imported lookup (%v,%v), original (%v,%v)",
+				i, gotLabel, gotOK, wantLabel, wantOK)
+		}
+	}
+
+	// Sweep behavior matches: both copies purge the same records at the
+	// same deadline. (Lookups above refreshed both equally.)
+	deadline := time.Duration(20*n) * time.Second
+	if got, want := dst.Sweep(deadline), src.Sweep(deadline); got != want {
+		t.Fatalf("imported sweep removed %d, original %d", got, want)
+	}
+	if got, want := dst.Size(), src.Size(); got != want {
+		t.Fatalf("post-sweep size %d, want %d", got, want)
+	}
+}
+
+// TestCDBExportDeterministic: two exports of the same database are
+// byte-identical (map order must not leak into the snapshot).
+func TestCDBExportDeterministic(t *testing.T) {
+	cdb := populatedCDB(t, CDBConfig{}, 40)
+	a, b := cdb.Export(), cdb.Export()
+	if string(a) != string(b) {
+		t.Fatal("two exports of the same CDB differ")
+	}
+}
+
+// TestCDBImportHonorsMaxRecords: importing into a capped database keeps
+// the newest records and counts the dropped ones.
+func TestCDBImportHonorsMaxRecords(t *testing.T) {
+	const n, cap = 60, 25
+	src := populatedCDB(t, CDBConfig{}, n)
+	blob := src.Export()
+
+	dst := NewCDB(CDBConfig{MaxRecords: cap})
+	if err := dst.Import(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Size(); got != cap {
+		t.Fatalf("imported size %d, want cap %d", got, cap)
+	}
+	st := dst.Stats()
+	if st.ImportDropped != n-cap {
+		t.Errorf("ImportDropped = %d, want %d", st.ImportDropped, n-cap)
+	}
+	if st.Imported != cap {
+		t.Errorf("Imported = %d, want %d", st.Imported, cap)
+	}
+	// The newest records (largest lastSeen) must be the survivors. The
+	// most recently refreshed records are multiples of 3 (see
+	// populatedCDB); the single newest insert is id n-1 unless refreshed
+	// later. Just assert: every record the source would rank newest is
+	// present.
+	if _, ok := dst.Lookup(idN(57), time.Duration(1000)*time.Second); !ok {
+		t.Error("a newest-by-last-seen record was dropped at import")
+	}
+}
+
+// TestCDBImportReplacesExisting: a record already present for the same
+// flow ID is overwritten, not duplicated.
+func TestCDBImportReplacesExisting(t *testing.T) {
+	src := NewCDB(CDBConfig{})
+	src.Insert(idN(1), corpus.Encrypted, 5*time.Second)
+	blob := src.Export()
+
+	dst := NewCDB(CDBConfig{})
+	dst.Insert(idN(1), corpus.Text, 1*time.Second)
+	if err := dst.Import(blob); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Size() != 1 {
+		t.Fatalf("size %d, want 1", dst.Size())
+	}
+	if label, ok := dst.Lookup(idN(1), 6*time.Second); !ok || label != corpus.Encrypted {
+		t.Fatalf("label = (%v,%v), want (encrypted,true)", label, ok)
+	}
+}
+
+// TestCDBImportTruncation clips a valid export at every byte offset:
+// each prefix must fail cleanly and leave the database unchanged.
+func TestCDBImportTruncation(t *testing.T) {
+	src := populatedCDB(t, CDBConfig{}, 20)
+	blob := src.Export()
+	for i := 0; i < len(blob); i++ {
+		dst := NewCDB(CDBConfig{})
+		if err := dst.Import(blob[:i]); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("Import(blob[:%d]) = %v, want ErrCorrupt", i, err)
+		}
+		if dst.Size() != 0 {
+			t.Fatalf("Import(blob[:%d]) left %d records behind", i, dst.Size())
+		}
+	}
+}
+
+// TestCDBImportRejectsInvalid: bad labels and negative times are
+// corruption, and a failed import leaves the database untouched.
+func TestCDBImportRejectsInvalid(t *testing.T) {
+	record := func(label uint8, lastSeen int64) []byte {
+		var e persist.Encoder
+		e.U32(1)
+		id := idN(9)
+		e.Raw(id[:])
+		e.U8(label)
+		e.I64(lastSeen)
+		e.I64(int64(time.Second))
+		e.I64(lastSeen)
+		return e.Bytes()
+	}
+	cases := map[string][]byte{
+		"label out of range": record(uint8(corpus.NumClasses), 5),
+		"negative time":      record(0, -5),
+		"trailing garbage":   append(record(0, 5), 0xAB),
+	}
+	for name, blob := range cases {
+		dst := NewCDB(CDBConfig{})
+		dst.Insert(idN(1), corpus.Text, time.Second)
+		if err := dst.Import(blob); !errors.Is(err, persist.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+		if dst.Size() != 1 {
+			t.Errorf("%s: failed import changed the database", name)
+		}
+	}
+	// The valid form of the same record imports fine.
+	dst := NewCDB(CDBConfig{})
+	if err := dst.Import(record(0, 5)); err != nil {
+		t.Fatalf("valid record: %v", err)
+	}
+}
+
+// TestCDBImportedRecordReinsertionCounts: a flow restored by Import and
+// later re-classified counts as a reinsertion, exactly as it would have
+// without the restart.
+func TestCDBImportedRecordReinsertionCounts(t *testing.T) {
+	src := NewCDB(CDBConfig{})
+	src.Insert(idN(1), corpus.Binary, time.Second)
+	blob := src.Export()
+
+	dst := NewCDB(CDBConfig{PurgeOnClose: true})
+	if err := dst.Import(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Close(idN(1)) {
+		t.Fatal("imported record not found by Close")
+	}
+	dst.Insert(idN(1), corpus.Binary, 2*time.Second)
+	if got := dst.Stats().Reinsertions; got != 1 {
+		t.Errorf("Reinsertions = %d, want 1", got)
+	}
+}

@@ -1,0 +1,143 @@
+package cart
+
+import (
+	"fmt"
+
+	"iustitia/internal/persist"
+)
+
+// This file is the tree's durable binary codec. The layout is a small
+// header (classes, width) followed by the nodes in preorder; every field
+// is validated on decode — feature indices against the width, labels and
+// count vectors against the class count, recursion against a depth cap —
+// so a hostile payload yields persist.ErrCorrupt, never a panic or a tree
+// that silently misroutes feature vectors.
+
+// Caps enforced while decoding. Real Iustitia trees have 3 classes, a
+// handful of features, and depth well under 100; the caps exist only to
+// bound hostile input.
+const (
+	maxDecodeClasses = 1 << 10
+	maxDecodeWidth   = 1 << 16
+	maxDecodeDepth   = 1 << 12
+)
+
+// Node tags on the wire.
+const (
+	tagLeaf     = 0
+	tagInternal = 1
+)
+
+// Encode serializes the tree to the persist wire format.
+func (t *Tree) Encode() ([]byte, error) {
+	if t == nil || t.Root == nil {
+		return nil, ErrNotTrained
+	}
+	if t.Classes < 1 || t.Width < 1 {
+		return nil, fmt.Errorf("cart: cannot encode tree with %d classes, width %d", t.Classes, t.Width)
+	}
+	var e persist.Encoder
+	e.U32(uint32(t.Classes))
+	e.U32(uint32(t.Width))
+	encodeNode(&e, t.Root)
+	return e.Bytes(), nil
+}
+
+func encodeNode(e *persist.Encoder, n *Node) {
+	if n.IsLeaf() {
+		e.U8(tagLeaf)
+	} else {
+		e.U8(tagInternal)
+	}
+	e.U32(uint32(n.Label))
+	e.U32(uint32(len(n.Counts)))
+	for _, c := range n.Counts {
+		e.I64(int64(c))
+	}
+	if !n.IsLeaf() {
+		e.U32(uint32(n.Feature))
+		e.F64(n.Threshold)
+		encodeNode(e, n.Left)
+		encodeNode(e, n.Right)
+	}
+}
+
+// Decode restores a tree written by Encode. Any truncated, bit-flipped,
+// or semantically invalid payload returns an error wrapping
+// persist.ErrCorrupt.
+func Decode(data []byte) (*Tree, error) {
+	d := persist.NewDecoder(data)
+	classes := int(d.U32())
+	width := int(d.U32())
+	if d.Err() == nil {
+		if classes < 1 || classes > maxDecodeClasses {
+			d.Fail("class count %d out of range", classes)
+		}
+		if width < 1 || width > maxDecodeWidth {
+			d.Fail("feature width %d out of range", width)
+		}
+	}
+	root := decodeNode(d, classes, width, 1)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("cart: decode: %w", err)
+	}
+	return &Tree{Root: root, Classes: classes, Width: width}, nil
+}
+
+func decodeNode(d *persist.Decoder, classes, width, depth int) *Node {
+	if d.Err() != nil {
+		return nil
+	}
+	if depth > maxDecodeDepth {
+		d.Fail("tree deeper than %d", maxDecodeDepth)
+		return nil
+	}
+	tag := d.U8()
+	label := int(d.U32())
+	nCounts := d.Count(8)
+	if d.Err() != nil {
+		return nil
+	}
+	if tag != tagLeaf && tag != tagInternal {
+		d.Fail("unknown node tag %d", tag)
+		return nil
+	}
+	if label < 0 || label >= classes {
+		d.Fail("label %d out of range for %d classes", label, classes)
+		return nil
+	}
+	if nCounts != 0 && nCounts != classes {
+		d.Fail("count vector has %d entries for %d classes", nCounts, classes)
+		return nil
+	}
+	n := &Node{Label: label}
+	if nCounts > 0 {
+		n.Counts = make([]int, nCounts)
+		for i := range n.Counts {
+			c := d.I64()
+			if c < 0 {
+				d.Fail("negative class count %d", c)
+				return nil
+			}
+			n.Counts[i] = int(c)
+		}
+	}
+	if tag == tagLeaf {
+		return n
+	}
+	n.Feature = int(d.U32())
+	n.Threshold = d.F64()
+	if d.Err() != nil {
+		return nil
+	}
+	if n.Feature < 0 || n.Feature >= width {
+		d.Fail("split feature %d out of range for width %d", n.Feature, width)
+		return nil
+	}
+	n.Left = decodeNode(d, classes, width, depth+1)
+	n.Right = decodeNode(d, classes, width, depth+1)
+	if d.Err() != nil {
+		return nil
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package cart
+
+import (
+	"errors"
+	"testing"
+
+	"iustitia/internal/persist"
+)
+
+// encodeBands trains a tree on the bands dataset and returns it with its
+// encoding.
+func encodeBands(t *testing.T) (*Tree, []byte) {
+	t.Helper()
+	tree, err := Train(bandsDataset(t, 80, 7), Config{MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := tree.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, blob
+}
+
+// TestCodecRoundTripPredictions is the round-trip property: a
+// saved-then-loaded tree must produce byte-identical predictions to the
+// original across the full evaluation dataset.
+func TestCodecRoundTripPredictions(t *testing.T) {
+	tree, blob := encodeBands(t)
+	loaded, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Classes != tree.Classes || loaded.Width != tree.Width {
+		t.Fatalf("loaded (classes=%d,width=%d), want (%d,%d)",
+			loaded.Classes, loaded.Width, tree.Classes, tree.Width)
+	}
+	if loaded.Depth() != tree.Depth() || loaded.LeafCount() != tree.LeafCount() {
+		t.Errorf("loaded shape depth=%d leaves=%d, want depth=%d leaves=%d",
+			loaded.Depth(), loaded.LeafCount(), tree.Depth(), tree.LeafCount())
+	}
+	eval := bandsDataset(t, 120, 99)
+	for i, s := range eval.Samples {
+		want, err := tree.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("sample %d: loaded predicts %d, original %d", i, got, want)
+		}
+	}
+	// Re-encoding the loaded tree must reproduce the bytes (the counts
+	// vectors round-trip too, so pruning still works on a loaded tree).
+	blob2, err := loaded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob2) != string(blob) {
+		t.Error("re-encoded tree differs from original encoding")
+	}
+}
+
+// TestCodecTruncation clips a valid encoding at every byte offset: each
+// prefix must fail cleanly with ErrCorrupt, never panic.
+func TestCodecTruncation(t *testing.T) {
+	_, blob := encodeBands(t)
+	for i := 0; i < len(blob); i++ {
+		if _, err := Decode(blob[:i]); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("Decode(blob[:%d]) = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestCodecRejectsInvalid(t *testing.T) {
+	leaf := func(label int) []byte {
+		var e persist.Encoder
+		e.U32(3) // classes
+		e.U32(2) // width
+		e.U8(tagLeaf)
+		e.U32(uint32(label))
+		e.U32(0) // no counts
+		return e.Bytes()
+	}
+	if tree, err := Decode(leaf(1)); err != nil || tree.Root.Label != 1 {
+		t.Fatalf("valid single leaf: tree=%v err=%v", tree, err)
+	}
+
+	cases := map[string][]byte{
+		"label out of range": leaf(3),
+		"empty":              {},
+		"trailing garbage":   append(leaf(0), 0xFF),
+	}
+	{
+		var e persist.Encoder
+		e.U32(0) // zero classes
+		e.U32(2)
+		e.U8(tagLeaf)
+		e.U32(0)
+		e.U32(0)
+		cases["zero classes"] = e.Bytes()
+	}
+	{
+		var e persist.Encoder
+		e.U32(3)
+		e.U32(2)
+		e.U8(tagInternal)
+		e.U32(0)
+		e.U32(0)
+		e.U32(7) // split feature out of range for width 2
+		e.F64(0.5)
+		cases["feature out of range"] = e.Bytes()
+	}
+	{
+		var e persist.Encoder
+		e.U32(3)
+		e.U32(2)
+		e.U8(tagLeaf)
+		e.U32(0)
+		e.U32(2) // counts length != classes
+		e.I64(1)
+		e.I64(1)
+		cases["count vector wrong length"] = e.Bytes()
+	}
+	for name, blob := range cases {
+		if _, err := Decode(blob); !errors.Is(err, persist.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestCodecDepthCap builds a pathologically deep chain of internal nodes
+// on the wire and checks the decoder refuses it instead of exhausting
+// the stack.
+func TestCodecDepthCap(t *testing.T) {
+	var e persist.Encoder
+	e.U32(2) // classes
+	e.U32(1) // width
+	depth := maxDecodeDepth + 10
+	for i := 0; i < depth; i++ {
+		e.U8(tagInternal)
+		e.U32(0)   // label
+		e.U32(0)   // no counts
+		e.U32(0)   // feature
+		e.F64(0.5) // threshold
+		// left child is the next internal node; right children come after,
+		// but the decoder must bail on depth long before needing them.
+	}
+	if _, err := Decode(e.Bytes()); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("deep chain: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncodeUntrained(t *testing.T) {
+	var tr *Tree
+	if _, err := tr.Encode(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("nil tree: err = %v, want ErrNotTrained", err)
+	}
+	if _, err := (&Tree{}).Encode(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("empty tree: err = %v, want ErrNotTrained", err)
+	}
+}

@@ -1,0 +1,157 @@
+package svm
+
+import (
+	"fmt"
+
+	"iustitia/internal/persist"
+)
+
+// This file is the model's durable binary codec: a header (classes,
+// width, multi-class mode) followed by every pairwise machine — kernel
+// spec, support vectors, coefficients, bias. Decoding validates every
+// field (pair indices, machine count, vector widths, kernel parameters)
+// so a hostile payload yields persist.ErrCorrupt, never a panic or a
+// model that silently accepts mismatched feature vectors.
+
+// Caps enforced while decoding, far above any real Iustitia model.
+const (
+	maxDecodeClasses = 1 << 8
+	maxDecodeWidth   = 1 << 16
+)
+
+// Kernel tags on the wire.
+const (
+	tagLinear = 0
+	tagRBF    = 1
+)
+
+// Encode serializes the model to the persist wire format. Machines are
+// written in (i, j) lexicographic order so encoding is deterministic.
+func (m *Model) Encode() ([]byte, error) {
+	if m == nil || len(m.machines) == 0 {
+		return nil, ErrNotTrained
+	}
+	var e persist.Encoder
+	e.U32(uint32(m.classes))
+	e.U32(uint32(m.width))
+	e.U8(uint8(m.mode))
+	e.U32(uint32(len(m.machines)))
+	for i := 0; i < m.classes; i++ {
+		for j := i + 1; j < m.classes; j++ {
+			mach, ok := m.machines[[2]int{i, j}]
+			if !ok {
+				return nil, fmt.Errorf("svm: encode: machine (%d,%d) missing", i, j)
+			}
+			e.U32(uint32(i))
+			e.U32(uint32(j))
+			switch k := mach.kernel.(type) {
+			case Linear:
+				e.U8(tagLinear)
+				e.F64(0)
+			case RBF:
+				e.U8(tagRBF)
+				e.F64(k.Gamma)
+			default:
+				return nil, fmt.Errorf("svm: unserializable kernel %T", mach.kernel)
+			}
+			e.F64(mach.b)
+			e.F64s(mach.coef)
+			e.U32(uint32(len(mach.svs)))
+			for _, sv := range mach.svs {
+				if len(sv) != m.width {
+					return nil, fmt.Errorf("svm: encode: support vector width %d, model width %d",
+						len(sv), m.width)
+				}
+				for _, v := range sv {
+					e.F64(v)
+				}
+			}
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// Decode restores a model written by Encode. Any truncated, bit-flipped,
+// or semantically invalid payload returns an error wrapping
+// persist.ErrCorrupt.
+func Decode(data []byte) (*Model, error) {
+	d := persist.NewDecoder(data)
+	classes := int(d.U32())
+	width := int(d.U32())
+	mode := MultiClass(d.U8())
+	nMachines := d.Count(1)
+	if d.Err() == nil {
+		if classes < 2 || classes > maxDecodeClasses {
+			d.Fail("class count %d out of range", classes)
+		}
+		if width < 1 || width > maxDecodeWidth {
+			d.Fail("feature width %d out of range", width)
+		}
+		if mode != DAG && mode != Vote {
+			d.Fail("unknown multi-class mode %d", mode)
+		}
+		if nMachines != classes*(classes-1)/2 {
+			d.Fail("%d machines for %d classes, want %d", nMachines, classes, classes*(classes-1)/2)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("svm: decode: %w", err)
+	}
+	m := &Model{
+		classes:  classes,
+		width:    width,
+		mode:     mode,
+		machines: make(map[[2]int]*binary, nMachines),
+	}
+	for k := 0; k < nMachines; k++ {
+		i := int(d.U32())
+		j := int(d.U32())
+		ktag := d.U8()
+		gamma := d.F64()
+		b := d.F64()
+		coef := d.F64s()
+		nSVs := d.Count(8 * width)
+		if d.Err() != nil {
+			break
+		}
+		if i < 0 || j <= i || j >= classes {
+			d.Fail("machine pair (%d,%d) out of range for %d classes", i, j, classes)
+			break
+		}
+		if _, dup := m.machines[[2]int{i, j}]; dup {
+			d.Fail("duplicate machine (%d,%d)", i, j)
+			break
+		}
+		var kernel Kernel
+		switch ktag {
+		case tagLinear:
+			kernel = Linear{}
+		case tagRBF:
+			if !(gamma > 0) {
+				d.Fail("rbf gamma %v out of range", gamma)
+			}
+			kernel = RBF{Gamma: gamma}
+		default:
+			d.Fail("unknown kernel tag %d", ktag)
+		}
+		if len(coef) != nSVs {
+			d.Fail("machine (%d,%d) has %d coefs for %d SVs", i, j, len(coef), nSVs)
+		}
+		if d.Err() != nil {
+			break
+		}
+		svs := make([][]float64, nSVs)
+		for s := range svs {
+			sv := make([]float64, width)
+			for x := range sv {
+				sv[x] = d.F64()
+			}
+			svs[s] = sv
+		}
+		m.machines[[2]int{i, j}] = &binary{kernel: kernel, coef: coef, svs: svs, b: b}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("svm: decode: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,139 @@
+package svm
+
+import (
+	"errors"
+	"testing"
+
+	"iustitia/internal/persist"
+)
+
+// encodeMultiClass trains a 4-class model and returns it with its
+// encoding.
+func encodeMultiClass(t *testing.T, mode MultiClass) (*Model, []byte) {
+	t.Helper()
+	m, err := Train(fourCorners(t, 30, 11), Config{
+		C: 10, Kernel: RBF{Gamma: 5}, MultiClass: mode, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, blob
+}
+
+// TestCodecRoundTripPredictions is the round-trip property: a
+// saved-then-loaded model must produce byte-identical predictions to the
+// original across the full evaluation dataset, in both multi-class
+// modes.
+func TestCodecRoundTripPredictions(t *testing.T) {
+	for _, mode := range []MultiClass{DAG, Vote} {
+		m, blob := encodeMultiClass(t, mode)
+		loaded, err := Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Classes() != m.Classes() || loaded.Width() != m.Width() {
+			t.Fatalf("loaded (classes=%d,width=%d), want (%d,%d)",
+				loaded.Classes(), loaded.Width(), m.Classes(), m.Width())
+		}
+		if loaded.SupportVectors() != m.SupportVectors() {
+			t.Errorf("loaded has %d SVs, want %d", loaded.SupportVectors(), m.SupportVectors())
+		}
+		eval := fourCorners(t, 40, 77)
+		for i, s := range eval.Samples {
+			want, err := m.Predict(s.Features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Predict(s.Features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("mode %d sample %d: loaded predicts %d, original %d", mode, i, got, want)
+			}
+		}
+		// Deterministic encoding: re-encoding reproduces the bytes.
+		blob2, err := loaded.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob2) != string(blob) {
+			t.Errorf("mode %d: re-encoded model differs from original encoding", mode)
+		}
+	}
+}
+
+// TestCodecWidthGuard confirms a loaded model still refuses mismatched
+// feature vectors.
+func TestCodecWidthGuard(t *testing.T) {
+	_, blob := encodeMultiClass(t, DAG)
+	loaded, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Predict([]float64{0.1}); !errors.Is(err, ErrFeatureWidth) {
+		t.Errorf("short vector: err = %v, want ErrFeatureWidth", err)
+	}
+}
+
+// TestCodecTruncation clips a valid encoding at every byte offset: each
+// prefix must fail cleanly with ErrCorrupt, never panic.
+func TestCodecTruncation(t *testing.T) {
+	_, blob := encodeMultiClass(t, DAG)
+	for i := 0; i < len(blob); i++ {
+		if _, err := Decode(blob[:i]); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("Decode(blob[:%d]) = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestCodecRejectsInvalid(t *testing.T) {
+	_, blob := encodeMultiClass(t, DAG)
+
+	flip := func(off int) []byte {
+		b := append([]byte(nil), blob...)
+		b[off] ^= 0xFF
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"trailing garbage": append(append([]byte(nil), blob...), 1, 2, 3),
+		"classes flipped":  flip(0),
+		"width flipped":    flip(4),
+		"mode flipped":     flip(8),
+	}
+	for name, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, persist.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	// A machine pair out of range must be rejected even when counts are
+	// plausible.
+	var e persist.Encoder
+	e.U32(2)         // classes
+	e.U32(1)         // width
+	e.U8(uint8(DAG)) // mode
+	e.U32(1)         // machines
+	e.U32(1)         // i
+	e.U32(1)         // j == i: invalid
+	e.U8(tagLinear)  // kernel
+	e.F64(0)         // gamma
+	e.F64(0)         // b
+	e.U32(0)         // coefs
+	e.U32(0)         // svs
+	if _, err := Decode(e.Bytes()); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("bad pair: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncodeUntrained(t *testing.T) {
+	var m *Model
+	if _, err := m.Encode(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("nil model: err = %v, want ErrNotTrained", err)
+	}
+}

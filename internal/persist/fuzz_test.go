@@ -1,0 +1,223 @@
+package persist_test
+
+// Fuzz targets for every decoder that consumes snapshot bytes. The
+// invariant under test is uniform: arbitrary input must produce either a
+// successful decode or a typed error (persist.ErrCorrupt / ErrVersion /
+// ErrKind) — never a panic, never an unbounded allocation. Each target
+// is seeded with a valid artifact so coverage starts inside the happy
+// path. The targets live in an external test package so they can reach
+// the artifact packages (flow, core) that themselves import persist.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/ml/cart"
+	"iustitia/internal/ml/dataset"
+	"iustitia/internal/ml/svm"
+	"iustitia/internal/persist"
+)
+
+// typedDecodeError reports whether err is one of the sanctioned decode
+// failures.
+func typedDecodeError(err error) bool {
+	return errors.Is(err, persist.ErrCorrupt) ||
+		errors.Is(err, persist.ErrVersion) ||
+		errors.Is(err, persist.ErrKind)
+}
+
+// fuzzSeedTree builds a small deterministic tree without training.
+func fuzzSeedTree() *cart.Tree {
+	return &cart.Tree{
+		Classes: int(corpus.NumClasses),
+		Width:   2,
+		Root: &cart.Node{
+			Feature:   0,
+			Threshold: 0.5,
+			Left:      &cart.Node{Label: int(corpus.Text), Counts: []int{3, 1, 0}},
+			Right:     &cart.Node{Label: int(corpus.Encrypted), Counts: []int{0, 1, 4}},
+		},
+	}
+}
+
+func fuzzSeedCDB() []byte {
+	cdb := flow.NewCDB(flow.CDBConfig{})
+	for i := 0; i < 5; i++ {
+		var id flow.ID
+		id[0] = byte(i)
+		cdb.Insert(id, corpus.Class(i%int(corpus.NumClasses)), time.Duration(i)*time.Second)
+	}
+	return cdb.Export()
+}
+
+// FuzzDecodeSnapshot exercises the outer frame decoder.
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(persist.Encode(persist.KindClassifier, []byte("model")))
+	f.Add(persist.Encode(persist.KindCDB, nil))
+	f.Add(persist.Encode(persist.KindCheckpoint, fuzzSeedCDB()))
+	f.Add([]byte("IUSN"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := persist.Decode(data)
+		if err != nil {
+			if !typedDecodeError(err) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		// A successful decode must re-encode to the identical frame.
+		if got := persist.Encode(kind, payload); string(got) != string(data) {
+			t.Fatalf("decode/encode not a fixpoint for %d-byte frame", len(data))
+		}
+	})
+}
+
+// FuzzDecodeTree exercises the CART payload decoder.
+func FuzzDecodeTree(f *testing.F) {
+	seed, err := fuzzSeedTree().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := cart.Decode(data)
+		if err != nil {
+			if !typedDecodeError(err) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		// Any tree that decodes must be usable.
+		if _, err := tree.Predict(make([]float64, tree.Width)); err != nil {
+			t.Fatalf("decoded tree cannot predict: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeSVMModel exercises the SVM payload decoder.
+func FuzzDecodeSVMModel(f *testing.F) {
+	m, err := svm.Train(svmFuzzDataset(f), svm.Config{C: 1, MultiClass: svm.DAG, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := m.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		model, err := svm.Decode(data)
+		if err != nil {
+			if !typedDecodeError(err) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if _, err := model.Predict(make([]float64, model.Width())); err != nil {
+			t.Fatalf("decoded model cannot predict: %v", err)
+		}
+	})
+}
+
+func svmFuzzDataset(f *testing.F) *dataset.Dataset {
+	var samples []dataset.Sample
+	for i := 0; i < 8; i++ {
+		x := float64(i%2)*2 - 1
+		label := 0
+		if x > 0 {
+			label = 1
+		}
+		samples = append(samples, dataset.Sample{
+			Features: []float64{x, float64(i) / 8},
+			Label:    label,
+		})
+	}
+	ds, err := dataset.New(samples, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return ds
+}
+
+// FuzzDecodeClassifier exercises the combined classifier snapshot
+// decoder (kind + widths + model blob).
+func FuzzDecodeClassifier(f *testing.F) {
+	tree := fuzzSeedTree()
+	treeBlob, err := tree.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var e persist.Encoder
+	e.U8(uint8(core.KindCART))
+	e.U32(2)
+	e.U32(8)
+	e.U32(8)
+	e.Blob(treeBlob)
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := core.DecodeSnapshot(data); err != nil && !typedDecodeError(err) {
+			t.Fatalf("untyped error: %v", err)
+		}
+	})
+}
+
+// FuzzImportCDB exercises CDB.Import on a fresh database, both
+// unbounded and capped.
+func FuzzImportCDB(f *testing.F) {
+	f.Add(fuzzSeedCDB())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, cfg := range []flow.CDBConfig{{}, {MaxRecords: 3}} {
+			cdb := flow.NewCDB(cfg)
+			if err := cdb.Import(data); err != nil {
+				if !typedDecodeError(err) {
+					t.Fatalf("untyped error: %v", err)
+				}
+				if cdb.Size() != 0 {
+					t.Fatalf("failed import left %d records", cdb.Size())
+				}
+				continue
+			}
+			if cfg.MaxRecords > 0 && cdb.Size() > cfg.MaxRecords {
+				t.Fatalf("import overflowed MaxRecords: %d > %d", cdb.Size(), cfg.MaxRecords)
+			}
+		}
+	})
+}
+
+// FuzzImportCheckpoint exercises the full engine checkpoint decoder.
+func FuzzImportCheckpoint(f *testing.F) {
+	cfg := flow.EngineConfig{
+		BufferSize: 8,
+		Classifier: flow.ClassifierFunc(func([]byte) (corpus.Class, error) {
+			return corpus.Text, nil
+		}),
+	}
+	e, err := flow.NewEngine(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(e.ExportCheckpoint())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh, err := flow.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.ImportCheckpoint(data); err != nil {
+			if !typedDecodeError(err) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			if s := fresh.Stats(); s.Classified != 0 || s.CDB.Size != 0 {
+				t.Fatalf("failed import mutated the engine: %+v", s)
+			}
+		}
+	})
+}

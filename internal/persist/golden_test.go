@@ -1,0 +1,183 @@
+package persist_test
+
+// Golden snapshot-compatibility tests. The fixtures under testdata/ are
+// version-1 snapshots built from hand-constructed (untrained, fully
+// deterministic) artifacts; the tests prove that today's decoders still
+// read yesterday's bytes and that today's encoders still produce them.
+// A failure here means the wire format changed without a version bump.
+//
+// Regenerate after an INTENTIONAL format change (bump snapshot version
+// first) with:
+//
+//	go test ./internal/persist -run TestGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/persist"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden snapshot fixtures")
+
+// goldenClassifierPayload builds the classifier-snapshot payload for a
+// hand-built CART tree: kind, feature widths, model blob.
+func goldenClassifierPayload(t testing.TB) []byte {
+	tree := fuzzSeedTree()
+	blob, err := tree.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e persist.Encoder
+	e.U8(uint8(core.KindCART))
+	e.U32(2) // two entropy features
+	e.U32(16)
+	e.U32(16)
+	e.Blob(blob)
+	return e.Bytes()
+}
+
+// goldenCDBPayload builds a CDB export with three records at fixed
+// timestamps.
+func goldenCDBPayload(t testing.TB) []byte {
+	cdb := flow.NewCDB(flow.CDBConfig{})
+	for i := 0; i < 3; i++ {
+		var id flow.ID
+		id[0] = byte(i + 1)
+		cdb.Insert(id, corpus.Class(i%int(corpus.NumClasses)), time.Duration(i+1)*time.Second)
+	}
+	return cdb.Export()
+}
+
+// goldenCheckpointPayload builds an engine checkpoint: fixed counters
+// plus the golden CDB.
+func goldenCheckpointPayload(t testing.TB) []byte {
+	var e persist.Encoder
+	e.U32(uint32(corpus.NumClasses))
+	for i := 0; i < int(corpus.NumClasses); i++ {
+		e.I64(int64(i + 1)) // queued per class
+	}
+	e.I64(3) // classified
+	e.I64(3) // admitted
+	e.I64(0) // shed
+	e.I64(0) // evicted
+	e.I64(0) // dropped
+	e.I64(0) // failed
+	e.I64(0) // fallback
+	e.Blob(goldenCDBPayload(t))
+	return e.Bytes()
+}
+
+func goldenFixtures(t testing.TB) map[string]struct {
+	kind    persist.Kind
+	payload []byte
+} {
+	return map[string]struct {
+		kind    persist.Kind
+		payload []byte
+	}{
+		"classifier_v1.snap": {persist.KindClassifier, goldenClassifierPayload(t)},
+		"cdb_v1.snap":        {persist.KindCDB, goldenCDBPayload(t)},
+		"checkpoint_v1.snap": {persist.KindCheckpoint, goldenCheckpointPayload(t)},
+	}
+}
+
+// TestGoldenSnapshotBytes proves encoder stability: regenerating each
+// artifact reproduces the checked-in fixture byte for byte.
+func TestGoldenSnapshotBytes(t *testing.T) {
+	for name, want := range goldenFixtures(t) {
+		path := filepath.Join("testdata", name)
+		frame := persist.Encode(want.kind, want.payload)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, frame, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s (%d bytes)", path, len(frame))
+			continue
+		}
+		fixture, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s missing (run with -update to generate): %v", path, err)
+		}
+		if string(fixture) != string(frame) {
+			t.Errorf("%s: regenerated frame differs from fixture — wire format changed without a version bump", name)
+		}
+	}
+}
+
+// TestGoldenSnapshotDecodes proves decoder compatibility: every fixture
+// still decodes into a usable artifact with the expected semantics.
+func TestGoldenSnapshotDecodes(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixtures being rewritten")
+	}
+	load := func(name string, kind persist.Kind) []byte {
+		payload, err := persist.LoadFile(filepath.Join("testdata", name), kind)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return payload
+	}
+
+	c, err := core.DecodeSnapshot(load("classifier_v1.snap", persist.KindClassifier))
+	if err != nil {
+		t.Fatalf("classifier: %v", err)
+	}
+	tree := fuzzSeedTree()
+	for _, features := range [][]float64{{0.2, 0.9}, {0.8, 0.1}} {
+		want, err := tree.Predict(features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ClassifyVector(features)
+		if err != nil {
+			t.Fatalf("classifier predict: %v", err)
+		}
+		if int(got) != want {
+			t.Errorf("golden classifier predicts %v for %v, want %v", got, features, want)
+		}
+	}
+
+	cdb := flow.NewCDB(flow.CDBConfig{})
+	if err := cdb.Import(load("cdb_v1.snap", persist.KindCDB)); err != nil {
+		t.Fatalf("cdb: %v", err)
+	}
+	if cdb.Size() != 3 {
+		t.Errorf("golden CDB has %d records, want 3", cdb.Size())
+	}
+	for i := 0; i < 3; i++ {
+		var id flow.ID
+		id[0] = byte(i + 1)
+		label, ok := cdb.Lookup(id, 10*time.Second)
+		if !ok || label != corpus.Class(i%int(corpus.NumClasses)) {
+			t.Errorf("golden CDB record %d: (%v,%v)", i, label, ok)
+		}
+	}
+
+	engine, err := flow.NewEngine(flow.EngineConfig{
+		BufferSize: 8,
+		Classifier: flow.ClassifierFunc(func([]byte) (corpus.Class, error) {
+			return corpus.Text, nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.ImportCheckpoint(load("checkpoint_v1.snap", persist.KindCheckpoint)); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	s := engine.Stats()
+	if s.Classified != 3 || s.Admitted != 3 || s.CDB.Size != 3 {
+		t.Errorf("golden checkpoint restores Classified=%d Admitted=%d CDB=%d, want 3/3/3",
+			s.Classified, s.Admitted, s.CDB.Size)
+	}
+}

@@ -1,0 +1,191 @@
+// Package persist is Iustitia's durability layer: a versioned,
+// CRC-checksummed binary snapshot format for trained models and the live
+// classification database, written atomically so a crash mid-write can
+// never corrupt the active snapshot.
+//
+// A snapshot file is a single frame:
+//
+//	offset 0   magic   "IUSN" (4 bytes)
+//	offset 4   version uint16 LE (currently 1)
+//	offset 6   kind    uint16 LE (artifact kind, see Kind)
+//	offset 8   length  uint64 LE (payload bytes)
+//	offset 16  payload
+//	...        crc32   uint32 LE, IEEE, over everything before it
+//
+// Decoding is hostile-input safe: truncated, bit-flipped, oversized,
+// wrong-magic, or wrong-version inputs return typed errors (ErrCorrupt,
+// ErrVersion) — never a panic, never a silently wrong artifact. Writers
+// use write-temp-then-rename with fsync, so the active snapshot path
+// always holds either the previous complete snapshot or the new one.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Kind identifies the artifact a snapshot frame carries, so a CDB
+// snapshot can never be loaded where a model was expected.
+type Kind uint16
+
+// Artifact kinds.
+const (
+	// KindClassifier is a trained classifier (CART or SVM with its
+	// feature widths) as encoded by internal/core.
+	KindClassifier Kind = 1
+	// KindCDB is a classification-database export from internal/flow.
+	KindCDB Kind = 2
+	// KindCheckpoint is a full engine checkpoint (counters + CDB).
+	KindCheckpoint Kind = 3
+)
+
+// String names the kind for errors and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindClassifier:
+		return "classifier"
+	case KindCDB:
+		return "cdb"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint16(k))
+	}
+}
+
+// Typed decode errors. Callers that fall back to a cold start match on
+// these with errors.Is.
+var (
+	// ErrCorrupt reports a snapshot that is truncated, bit-flipped,
+	// wrong-magic, or otherwise not a well-formed frame/payload.
+	ErrCorrupt = errors.New("persist: corrupt snapshot")
+	// ErrVersion reports a well-framed snapshot written by an
+	// incompatible format version.
+	ErrVersion = errors.New("persist: unsupported snapshot version")
+	// ErrKind reports a valid snapshot holding a different artifact than
+	// the caller asked for.
+	ErrKind = errors.New("persist: unexpected snapshot kind")
+)
+
+const (
+	// Version is the current snapshot format version.
+	Version = 1
+
+	headerSize  = 16
+	trailerSize = 4 // crc32
+
+	// maxPayload caps the declared payload length so a hostile header
+	// cannot drive an unbounded allocation. 1 GiB is orders of magnitude
+	// above any real model or CDB export.
+	maxPayload = 1 << 30
+)
+
+var magic = [4]byte{'I', 'U', 'S', 'N'}
+
+// Encode frames a payload as a snapshot: header, payload, CRC.
+func Encode(kind Kind, payload []byte) []byte {
+	out := make([]byte, headerSize, headerSize+len(payload)+trailerSize)
+	copy(out[0:4], magic[:])
+	binary.LittleEndian.PutUint16(out[4:6], Version)
+	binary.LittleEndian.PutUint16(out[6:8], uint16(kind))
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// Decode validates a snapshot frame and returns its kind and payload.
+// The returned payload aliases data.
+func Decode(data []byte) (Kind, []byte, error) {
+	if len(data) < headerSize+trailerSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes is shorter than a frame", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[0:4]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return 0, nil, fmt.Errorf("%w: got version %d, support %d", ErrVersion, v, Version)
+	}
+	kind := Kind(binary.LittleEndian.Uint16(data[6:8]))
+	length := binary.LittleEndian.Uint64(data[8:16])
+	if length > maxPayload {
+		return 0, nil, fmt.Errorf("%w: declared payload %d exceeds cap", ErrCorrupt, length)
+	}
+	if uint64(len(data)) != headerSize+length+trailerSize {
+		return 0, nil, fmt.Errorf("%w: declared payload %d, frame holds %d bytes",
+			ErrCorrupt, length, len(data))
+	}
+	body := data[:len(data)-trailerSize]
+	want := binary.LittleEndian.Uint32(data[len(data)-trailerSize:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return 0, nil, fmt.Errorf("%w: crc mismatch (got %08x, frame says %08x)", ErrCorrupt, got, want)
+	}
+	return kind, body[headerSize:], nil
+}
+
+// DecodeKind decodes a frame and additionally enforces its artifact kind.
+func DecodeKind(data []byte, want Kind) ([]byte, error) {
+	kind, payload, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind != want {
+		return nil, fmt.Errorf("%w: got %s, want %s", ErrKind, kind, want)
+	}
+	return payload, nil
+}
+
+// SaveFile atomically writes a framed snapshot to path: the frame goes to
+// a temporary file in the same directory, is fsynced, and is renamed over
+// path. A crash — even kill -9 — at any point leaves path holding either
+// the previous complete snapshot or the new one, never a torn write.
+func SaveFile(path string, kind Kind, payload []byte) (err error) {
+	frame := Encode(kind, payload)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(frame); err != nil {
+		return fmt.Errorf("persist: write %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("persist: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: rename into %s: %w", path, err)
+	}
+	// Best-effort directory sync so the rename itself is durable; some
+	// filesystems do not support syncing directories.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// LoadFile reads and validates the snapshot at path, enforcing its
+// artifact kind.
+func LoadFile(path string, want Kind) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	payload, err := DecodeKind(data, want)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return payload, nil
+}

@@ -1,0 +1,253 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x42},
+		bytes.Repeat([]byte("snapshot"), 1000),
+	}
+	for _, payload := range payloads {
+		frame := Encode(KindCDB, payload)
+		kind, got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("payload %d bytes: %v", len(payload), err)
+		}
+		if kind != KindCDB {
+			t.Errorf("kind = %v, want KindCDB", kind)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("payload mismatch: got %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+// TestDecodeTruncationEveryOffset is the systematic truncation test: a
+// valid snapshot clipped at every byte offset must return a clean typed
+// error, never a panic.
+func TestDecodeTruncationEveryOffset(t *testing.T) {
+	frame := Encode(KindCheckpoint, bytes.Repeat([]byte{0xA5}, 257))
+	for i := 0; i < len(frame); i++ {
+		_, _, err := Decode(frame[:i])
+		if err == nil {
+			t.Fatalf("Decode(frame[:%d]) succeeded on truncated input", i)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("Decode(frame[:%d]) = %v, want ErrCorrupt/ErrVersion", i, err)
+		}
+	}
+}
+
+// TestDecodeBitFlipEveryOffset flips one bit at every byte offset: the
+// CRC (or a stricter header check) must catch all of them.
+func TestDecodeBitFlipEveryOffset(t *testing.T) {
+	frame := Encode(KindClassifier, []byte("model bytes here"))
+	for i := 0; i < len(frame); i++ {
+		mutated := append([]byte(nil), frame...)
+		mutated[i] ^= 0x10
+		_, _, err := Decode(mutated)
+		if err == nil {
+			t.Fatalf("Decode with bit flipped at offset %d succeeded", i)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("offset %d: err = %v, want ErrCorrupt/ErrVersion", i, err)
+		}
+	}
+}
+
+func TestDecodeErrorTaxonomy(t *testing.T) {
+	valid := Encode(KindCDB, []byte("payload"))
+
+	wrongMagic := append([]byte(nil), valid...)
+	copy(wrongMagic, "NOPE")
+	if _, _, err := Decode(wrongMagic); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong magic: err = %v, want ErrCorrupt", err)
+	}
+
+	wrongVersion := append([]byte(nil), valid...)
+	wrongVersion[4] = 0xFF
+	if _, _, err := Decode(wrongVersion); !errors.Is(err, ErrVersion) {
+		t.Errorf("wrong version: err = %v, want ErrVersion", err)
+	}
+
+	if _, err := DecodeKind(valid, KindClassifier); !errors.Is(err, ErrKind) {
+		t.Errorf("wrong kind: err = %v, want ErrKind", err)
+	}
+	if _, err := DecodeKind(valid, KindCDB); err != nil {
+		t.Errorf("right kind: err = %v", err)
+	}
+
+	huge := append([]byte(nil), valid...)
+	for i := 8; i < 16; i++ {
+		huge[i] = 0xFF // declared length ~2^64
+	}
+	if _, _, err := Decode(huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge declared length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	payload := []byte("the snapshot payload")
+	if err := SaveFile(path, KindCheckpoint, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, KindCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("loaded %q, want %q", got, payload)
+	}
+	if _, err := LoadFile(path, KindCDB); !errors.Is(err, ErrKind) {
+		t.Errorf("wrong kind: err = %v, want ErrKind", err)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing"), KindCDB); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+// TestSaveFileAtomicReplace hammers SaveFile with alternating payloads
+// while concurrent readers LoadFile the same path: every successful read
+// must see one of the two complete payloads — a torn or mixed read means
+// the write-temp-then-rename contract is broken.
+func TestSaveFileAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	a := bytes.Repeat([]byte{0xAA}, 64<<10)
+	b := bytes.Repeat([]byte{0xBB}, 64<<10)
+	if err := SaveFile(path, KindCDB, a); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				payload, err := LoadFile(path, KindCDB)
+				if err != nil {
+					// A read can race the rename on some filesystems and
+					// miss the file entirely, but it must never see a
+					// torn frame (CRC failure).
+					if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion) {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				if !bytes.Equal(payload, a) && !bytes.Equal(payload, b) {
+					errCh <- errors.New("read a payload that was never written")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		payload := a
+		if i%2 == 1 {
+			payload = b
+		}
+		if err := SaveFile(path, KindCDB, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("atomicity violated: %v", err)
+	default:
+	}
+}
+
+// TestSaveFileSurvivesStaleTemp: garbage left behind by a crashed writer
+// (a kill -9 between temp write and rename) must not break the active
+// snapshot or subsequent saves.
+func TestSaveFileSurvivesStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := SaveFile(path, KindCDB, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash artifact.
+	if err := os.WriteFile(path+".tmp-crashed", []byte("gar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadFile(path, KindCDB); err != nil || string(got) != "good" {
+		t.Fatalf("active snapshot unreadable after stale temp: %q, %v", got, err)
+	}
+	if err := SaveFile(path, KindCDB, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadFile(path, KindCDB); err != nil || string(got) != "newer" {
+		t.Fatalf("overwrite with stale temp present: %q, %v", got, err)
+	}
+}
+
+// TestSaveFileCleansTempOnError: a failed save (unwritable directory)
+// must not leave temp files behind.
+func TestSaveFileCleansTempOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-subdir", "state.snap")
+	if err := SaveFile(path, KindCDB, []byte("x")); err == nil {
+		t.Fatal("save into missing directory: want error")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestSaveFileLeavesNoTempOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveFile(filepath.Join(dir, "s.snap"), KindCDB, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "s.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory holds %v, want only s.snap", names)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		KindClassifier: "classifier",
+		KindCDB:        "cdb",
+		KindCheckpoint: "checkpoint",
+		Kind(99):       "Kind(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint16(kind), got, want)
+		}
+	}
+}

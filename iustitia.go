@@ -40,6 +40,7 @@ import (
 	"iustitia/internal/ml/cart"
 	"iustitia/internal/ml/svm"
 	"iustitia/internal/packet"
+	"iustitia/internal/persist"
 )
 
 // Class is the content nature of a payload or flow.
@@ -293,6 +294,33 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 	return &Classifier{inner: inner}, nil
 }
 
+// SaveSnapshot persists the classifier as a versioned, CRC-checksummed
+// binary snapshot, written atomically (write-temp-then-rename): a crash
+// mid-write can never corrupt an existing snapshot at path.
+func (c *Classifier) SaveSnapshot(path string) error {
+	payload, err := c.inner.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
+	return persist.SaveFile(path, persist.KindClassifier, payload)
+}
+
+// LoadClassifierSnapshot restores a classifier written by SaveSnapshot.
+// A truncated, bit-flipped, wrong-version, or wrong-kind snapshot
+// returns a typed error (persist.ErrCorrupt, persist.ErrVersion,
+// persist.ErrKind) — never a silently wrong model.
+func LoadClassifierSnapshot(path string) (*Classifier, error) {
+	payload, err := persist.LoadFile(path, persist.KindClassifier)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.DecodeSnapshot(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{inner: inner}, nil
+}
+
 // EvictionPolicy selects what a capped monitor does when a new flow
 // arrives at a full pending table.
 type EvictionPolicy = flow.EvictPolicy
@@ -328,6 +356,8 @@ type monitorOptions struct {
 	probeEvery      int
 	labelCap        int
 	cdbCap          int
+	checkpointEvery int
+	onCheckpoint    func([]byte)
 }
 
 // MonitorOption configures NewMonitor.
@@ -429,6 +459,19 @@ func WithCDBCap(n int) MonitorOption {
 	return func(o *monitorOptions) { o.cdbCap = n }
 }
 
+// WithCheckpoint fires fn with a durable snapshot of the monitor's state
+// (counters + classification database) after every n classified flows.
+// The snapshot bytes are a checkpoint payload: persist them with
+// persist.SaveFile(path, persist.KindCheckpoint, snapshot) or feed them
+// back through Restore after a restart. fn runs synchronously on the
+// packet path — hand the bytes off quickly.
+func WithCheckpoint(n int, fn func(snapshot []byte)) MonitorOption {
+	return func(o *monitorOptions) {
+		o.checkpointEvery = n
+		o.onCheckpoint = fn
+	}
+}
+
 // Monitor is the online flow-classification pipeline of the paper's
 // Figure 1: it hashes packet headers to flow IDs, answers repeat packets
 // from the classification database, buffers new flows up to b bytes,
@@ -458,6 +501,8 @@ func NewMonitor(c *Classifier, opts ...MonitorOption) (*Monitor, error) {
 		Eviction:          o.eviction,
 		FallbackClass:     o.fallback,
 		LabelCap:          o.labelCap,
+		CheckpointEvery:   o.checkpointEvery,
+		OnCheckpoint:      o.onCheckpoint,
 		Faults: flow.FaultPolicy{
 			Tolerate:   o.tolerate,
 			TripAfter:  o.tripAfter,
@@ -489,6 +534,17 @@ func (m *Monitor) FlushAll(now time.Duration) (int, error) { return m.engine.Flu
 
 // Label returns the monitor's decision for a flow, if it has one.
 func (m *Monitor) Label(t FiveTuple) (Class, bool) { return m.engine.Label(t) }
+
+// Checkpoint returns an on-demand durable snapshot of the monitor's
+// state (counters + classification database).
+func (m *Monitor) Checkpoint() []byte { return m.engine.ExportCheckpoint() }
+
+// Restore folds a snapshot produced by Checkpoint (or a WithCheckpoint
+// hook) into this monitor: classification counts continue and flows in
+// the restored database are answered without re-classification. A
+// corrupt snapshot returns an error wrapping persist.ErrCorrupt and
+// leaves the monitor unchanged.
+func (m *Monitor) Restore(snapshot []byte) error { return m.engine.ImportCheckpoint(snapshot) }
 
 // Stats summarizes monitor activity.
 type Stats struct {
