@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench experiments examples fuzz snapshot-compat clean
+.PHONY: all build test race check bench bench-json experiments examples fuzz snapshot-compat clean
 
 all: build test
 
@@ -16,12 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The pre-merge gate: static checks, the race detector, and a short fuzz
-# smoke over the byte-level parsers and snapshot decoders. Slower than
-# `test`, run before pushing.
+# The pre-merge gate: static checks, the race detector, the hot-path
+# allocation-regression gate (run without -race, which skews allocation
+# counts), and a short fuzz smoke over the byte-level parsers and snapshot
+# decoders. Slower than `test`, run before pushing.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run 'TestVectorAllocRegression|TestStreamWriteAllocFree' -count=1 ./internal/entropy ./internal/entest
 	$(GO) test -fuzz=FuzzStrip -fuzztime=5s ./internal/appheader
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=5s ./internal/packet
 	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/pcap
@@ -31,6 +33,13 @@ check:
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable hot-path numbers (BENCH_entropy.json): entropy-vector
+# extraction ns/op, B/op, allocs/op at 256B/1KiB/4KiB against the legacy
+# string-keyed baseline, plus flow.ParallelEngine flows/sec. The committed
+# file is the perf trajectory tracked across PRs.
+bench-json:
+	$(GO) run ./cmd/iustitia-benchjson -out BENCH_entropy.json
 
 # Print every evaluation table/figure as text (see EXPERIMENTS.md).
 experiments:

@@ -1,0 +1,207 @@
+// Command iustitia-benchjson measures the entropy hot path and the
+// flow-engine throughput and writes the results as machine-readable JSON
+// (BENCH_entropy.json by default). The file is the perf trajectory tracked
+// across PRs: vector-extraction ns/op, B/op, and allocs/op over the
+// paper's payload scales (256 B, 1 KiB, 4 KiB), the legacy string-keyed
+// baseline for comparison, and end-to-end flows/sec through the sharded
+// flow.ParallelEngine.
+//
+// Usage:
+//
+//	iustitia-benchjson -out BENCH_entropy.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/entropy"
+	"iustitia/internal/flow"
+	"iustitia/internal/packet"
+)
+
+// benchResult is one benchmark entry of the output file.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	FlowsPerSec float64 `json:"flows_per_sec,omitempty"`
+}
+
+// benchFile is the full output document.
+type benchFile struct {
+	Generated            string        `json:"schema"`
+	GoVersion            string        `json:"go_version"`
+	GOMAXPROCS           int           `json:"gomaxprocs"`
+	AllocImprovement1KiB float64       `json:"alloc_improvement_1kib"`
+	Results              []benchResult `json:"results"`
+}
+
+// deterministicPayload fills a payload with the corpus generator's
+// encrypted-class bytes so runs are comparable across machines and PRs.
+func deterministicPayload(size int) ([]byte, error) {
+	f, err := corpus.NewGenerator(1).File(corpus.Encrypted, size)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Data) < size {
+		return nil, fmt.Errorf("generator returned %d bytes, want %d", len(f.Data), size)
+	}
+	return f.Data[:size], nil
+}
+
+// vectorEntry benchmarks one extraction path over one payload size.
+func vectorEntry(name string, data []byte, legacy bool) benchResult {
+	widths := core.AllWidths
+	r := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			var err error
+			if legacy {
+				_, err = entropy.LegacyVectorAt(data, widths)
+			} else {
+				_, err = entropy.VectorAt(data, widths)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		MBPerSec:    float64(len(data)) * 1e3 / float64(r.NsPerOp()),
+	}
+}
+
+// engineEntry pumps a synthetic trace through a sharded engine and reports
+// per-packet cost plus end-to-end flows/sec (best of three fresh runs).
+func engineEntry(shards int) (benchResult, error) {
+	gen := corpus.NewGenerator(9)
+	files, err := gen.Pool(30, 1<<10, 4<<10)
+	if err != nil {
+		return benchResult{}, err
+	}
+	clf, err := core.Train(files, core.TrainConfig{
+		Kind: core.KindCART,
+		Dataset: core.DatasetConfig{
+			Widths: core.PhiPrimeCART, Method: core.MethodPrefix, BufferSize: 32,
+		},
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	trace, err := packet.Generate(packet.TraceConfig{
+		Flows: 2000, Duration: 60 * time.Second, UDPFraction: 0.2,
+		CleanCloseFraction: 0.4, RSTFraction: 0.1,
+		MinFlowBytes: 256, MaxFlowBytes: 4 << 10,
+		MeanPacketGap: 50 * time.Millisecond, Seed: 9,
+	}, corpus.NewGenerator(9))
+	if err != nil {
+		return benchResult{}, err
+	}
+	nFlows := len(trace.Flows)
+	nPackets := len(trace.Packets)
+
+	best := benchResult{Name: fmt.Sprintf("flow.ParallelEngine/shards-%d/trace-2000flows", shards)}
+	for rep := 0; rep < 3; rep++ {
+		pe, err := flow.NewParallelEngine(flow.EngineConfig{
+			BufferSize: 32, Classifier: clf,
+			CDB: flow.CDBConfig{PurgeOnClose: true},
+		}, shards, nil)
+		if err != nil {
+			return benchResult{}, err
+		}
+		start := time.Now()
+		for i := range trace.Packets {
+			if _, err := pe.Process(&trace.Packets[i]); err != nil {
+				return benchResult{}, err
+			}
+		}
+		if _, err := pe.FlushAll(trace.Packets[nPackets-1].Time + time.Hour); err != nil {
+			return benchResult{}, err
+		}
+		elapsed := time.Since(start)
+		fps := float64(nFlows) / elapsed.Seconds()
+		if fps > best.FlowsPerSec {
+			best.FlowsPerSec = fps
+			best.NsPerOp = float64(elapsed.Nanoseconds()) / float64(nPackets)
+		}
+	}
+	return best, nil
+}
+
+func run(out string) error {
+	sizes := []struct {
+		label string
+		bytes int
+	}{{"256B", 256}, {"1KiB", 1 << 10}, {"4KiB", 4 << 10}}
+
+	doc := benchFile{
+		Generated:  "iustitia-bench-v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var fast1k, legacy1k benchResult
+	for _, s := range sizes {
+		data, err := deterministicPayload(s.bytes)
+		if err != nil {
+			return err
+		}
+		fast := vectorEntry("entropy.VectorAt/"+s.label+"/w1-10/packed", data, false)
+		doc.Results = append(doc.Results, fast)
+		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			fast.Name, fast.NsPerOp, fast.BytesPerOp, fast.AllocsPerOp)
+		legacy := vectorEntry("entropy.VectorAt/"+s.label+"/w1-10/legacy", data, true)
+		doc.Results = append(doc.Results, legacy)
+		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			legacy.Name, legacy.NsPerOp, legacy.BytesPerOp, legacy.AllocsPerOp)
+		if s.bytes == 1<<10 {
+			fast1k, legacy1k = fast, legacy
+		}
+	}
+	if fast1k.AllocsPerOp > 0 {
+		doc.AllocImprovement1KiB = float64(legacy1k.AllocsPerOp) / float64(fast1k.AllocsPerOp)
+	}
+	for _, shards := range []int{1, 4} {
+		entry, err := engineEntry(shards)
+		if err != nil {
+			return err
+		}
+		doc.Results = append(doc.Results, entry)
+		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/pkt %14.0f flows/sec\n",
+			entry.Name, entry.NsPerOp, entry.FlowsPerSec)
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (alloc improvement at 1 KiB: %.0fx)\n",
+		out, doc.AllocImprovement1KiB)
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_entropy.json", "output JSON path")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "iustitia-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -85,7 +85,7 @@ func DecodeSnapshot(data []byte) (*Classifier, error) {
 		return nil, fmt.Errorf("core: decode classifier: %w", err)
 	}
 
-	c := &Classifier{kind: kind, widths: widths}
+	c := &Classifier{kind: kind, widths: widths, maxWidth: widestOf(widths)}
 	var modelWidth int
 	switch kind {
 	case KindCART:

@@ -114,14 +114,40 @@ type DatasetConfig struct {
 	Seed int64
 }
 
-func (c DatasetConfig) validate() error {
-	if len(c.Widths) == 0 {
+// validateWidths applies the feature-width rules shared by every path
+// that accepts widths from outside — dataset configs and persisted
+// classifiers alike: non-empty, every width positive, no duplicates.
+func validateWidths(widths []int) error {
+	if len(widths) == 0 {
 		return fmt.Errorf("%w: empty", ErrBadWidths)
 	}
-	for _, k := range c.Widths {
+	seen := make(map[int]bool, len(widths))
+	for _, k := range widths {
 		if k < 1 {
 			return fmt.Errorf("%w: width %d", ErrBadWidths, k)
 		}
+		if seen[k] {
+			return fmt.Errorf("%w: duplicate width %d", ErrBadWidths, k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// widestOf returns the largest width in widths (0 for an empty set).
+func widestOf(widths []int) int {
+	w := 0
+	for _, k := range widths {
+		if k > w {
+			w = k
+		}
+	}
+	return w
+}
+
+func (c DatasetConfig) validate() error {
+	if err := validateWidths(c.Widths); err != nil {
+		return err
 	}
 	switch c.Method {
 	case MethodWholeFile:
@@ -180,12 +206,7 @@ func BuildDataset(files []corpus.File, cfg DatasetConfig) (*dataset.Dataset, err
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	maxWidth := 0
-	for _, k := range cfg.Widths {
-		if k > maxWidth {
-			maxWidth = k
-		}
-	}
+	maxWidth := widestOf(cfg.Widths)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	samples := make([]dataset.Sample, 0, len(files))
 	for _, f := range files {
@@ -241,6 +262,7 @@ func TrainOnDataset(ds *dataset.Dataset, cfg TrainConfig) (*Classifier, error) {
 	c := &Classifier{
 		kind:      cfg.Kind,
 		widths:    append([]int{}, cfg.Dataset.Widths...),
+		maxWidth:  widestOf(cfg.Dataset.Widths),
 		estimator: cfg.Dataset.Estimator,
 	}
 	switch cfg.Kind {
@@ -267,6 +289,7 @@ func TrainOnDataset(ds *dataset.Dataset, cfg TrainConfig) (*Classifier, error) {
 type Classifier struct {
 	kind      ModelKind
 	widths    []int
+	maxWidth  int // widest entry of widths, hoisted off the per-call path
 	tree      *cart.Tree
 	svm       *svm.Model
 	estimator *entest.Estimator
@@ -284,14 +307,8 @@ func (c *Classifier) UseEstimator(e *entest.Estimator) { c.estimator = e }
 
 // Features computes the classifier's entropy vector for a payload buffer.
 func (c *Classifier) Features(payload []byte) ([]float64, error) {
-	maxWidth := 0
-	for _, k := range c.widths {
-		if k > maxWidth {
-			maxWidth = k
-		}
-	}
-	if len(payload) < maxWidth {
-		return nil, fmt.Errorf("%w: %d < %d", ErrShortPayload, len(payload), maxWidth)
+	if len(payload) < c.maxWidth {
+		return nil, fmt.Errorf("%w: %d < %d", ErrShortPayload, len(payload), c.maxWidth)
 	}
 	if c.estimator != nil {
 		return c.estimator.Vector(payload, c.widths)
@@ -372,10 +389,18 @@ func Load(r io.Reader) (*Classifier, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: decode classifier: %w", err)
 	}
-	if len(in.Widths) == 0 {
-		return nil, fmt.Errorf("%w: missing widths", ErrBadWidths)
+	// Persisted widths get the same scrutiny as a training config: a saved
+	// model with zero, negative, or duplicated widths would otherwise
+	// misextract features on every classify. The slice is defensively
+	// copied so the classifier never aliases decoder-owned memory.
+	if err := validateWidths(in.Widths); err != nil {
+		return nil, err
 	}
-	c := &Classifier{kind: in.Kind, widths: in.Widths}
+	c := &Classifier{
+		kind:     in.Kind,
+		widths:   append([]int{}, in.Widths...),
+		maxWidth: widestOf(in.Widths),
+	}
 	switch in.Kind {
 	case KindCART:
 		if in.Tree == nil {

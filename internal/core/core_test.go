@@ -261,3 +261,44 @@ func TestLoadInvalid(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadRejectsBadWidths(t *testing.T) {
+	// The load path must apply the same width rules as training configs:
+	// a persisted model with non-positive or duplicated widths would
+	// misextract features on every classify.
+	cases := []string{
+		`{"kind":1,"widths":[0]}`,
+		`{"kind":1,"widths":[-3]}`,
+		`{"kind":1,"widths":[1,3,3]}`,
+		`{"kind":2,"widths":[2,0,5]}`,
+	}
+	for _, blob := range cases {
+		_, err := Load(bytes.NewReader([]byte(blob)))
+		if !errors.Is(err, ErrBadWidths) {
+			t.Errorf("Load(%q): err = %v, want ErrBadWidths", blob, err)
+		}
+	}
+}
+
+func TestDatasetConfigRejectsDuplicateWidths(t *testing.T) {
+	files := pool(t, 3, 512, 512, 4)
+	_, err := BuildDataset(files, DatasetConfig{
+		Widths: []int{1, 2, 2}, Method: MethodWholeFile,
+	})
+	if !errors.Is(err, ErrBadWidths) {
+		t.Errorf("BuildDataset(duplicate widths): err = %v, want ErrBadWidths", err)
+	}
+}
+
+func TestFeaturesUsesHoistedMaxWidth(t *testing.T) {
+	c := trainSmall(t, KindCART)
+	widest := widestOf(c.Widths())
+	short := make([]byte, widest-1)
+	if _, err := c.Features(short); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("Features(short): err = %v, want ErrShortPayload", err)
+	}
+	long := make([]byte, widest)
+	if _, err := c.Features(long); err != nil {
+		t.Errorf("Features(exact widest): %v", err)
+	}
+}

@@ -27,14 +27,27 @@ type StreamEstimator struct {
 	g, z  int
 	slots []streamSlot
 
-	n      int    // elements seen so far
+	n int // elements seen so far
+
+	// Packed-window state for k <= entropy.MaxPackedWidth: the trailing
+	// bytes live in a rolling shift-and-mask register, so forming the next
+	// element is two ALU ops and zero allocations per byte.
+	packed bool
+	reg    uint64
+	mask   uint64
+	filled int // bytes folded into reg so far, capped at k-1
+
+	// String-window fallback for wider elements.
 	window []byte // trailing k-1 bytes, to form k-grams across Write calls
-	rng    *rand.Rand
+
+	rng *rand.Rand
 }
 
 // streamSlot is one reservoir sample: the element adopted at the sampled
-// position and the count of its occurrences since.
+// position (a packed key or a string, per the estimator's mode) and the
+// count of its occurrences since.
 type streamSlot struct {
+	key   uint64
 	elem  string
 	count int
 }
@@ -56,14 +69,24 @@ func NewStream(epsilon, delta float64, k, expectedLen int, seed int64) (*StreamE
 	}
 	g := base.Groups()
 	z := base.CountersPerGroup(k, expectedLen)
-	return &StreamEstimator{
-		k:      k,
-		g:      g,
-		z:      z,
-		slots:  make([]streamSlot, g*z),
-		window: make([]byte, 0, k-1),
-		rng:    rand.New(rand.NewSource(seed)),
-	}, nil
+	s := &StreamEstimator{
+		k:     k,
+		g:     g,
+		z:     z,
+		slots: make([]streamSlot, g*z),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	if k <= entropy.MaxPackedWidth {
+		s.packed = true
+		if k == 8 {
+			s.mask = ^uint64(0)
+		} else {
+			s.mask = 1<<(8*k) - 1
+		}
+	} else {
+		s.window = make([]byte, 0, k-1)
+	}
+	return s, nil
 }
 
 // Counters returns the number of sampled counters (g·z) the estimator
@@ -76,6 +99,17 @@ func (s *StreamEstimator) Elements() int { return s.n }
 // Write consumes the next chunk of the stream. It implements io.Writer and
 // never fails.
 func (s *StreamEstimator) Write(p []byte) (int, error) {
+	if s.packed {
+		for _, b := range p {
+			s.reg = (s.reg<<8 | uint64(b)) & s.mask
+			if s.filled < s.k-1 {
+				s.filled++
+				continue
+			}
+			s.consumePacked(s.reg)
+		}
+		return len(p), nil
+	}
 	for _, b := range p {
 		s.window = append(s.window, b)
 		if len(s.window) < s.k {
@@ -89,7 +123,27 @@ func (s *StreamEstimator) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// consume feeds one element to every reservoir slot.
+// consumePacked feeds one packed element to every reservoir slot. It is
+// the allocation-free twin of consume; the reservoir decisions draw from
+// the same rng sequence, so packed and string modes produce identical
+// estimates for identical streams.
+func (s *StreamEstimator) consumePacked(key uint64) {
+	s.n++
+	for i := range s.slots {
+		// Reservoir: adopt the current position with probability 1/n.
+		if s.rng.Intn(s.n) == 0 {
+			s.slots[i] = streamSlot{key: key, count: 1}
+			continue
+		}
+		// count > 0 distinguishes an adopted zero key from an empty slot.
+		if s.slots[i].count > 0 && s.slots[i].key == key {
+			s.slots[i].count++
+		}
+	}
+}
+
+// consume feeds one element to every reservoir slot (string-window mode,
+// k > entropy.MaxPackedWidth).
 func (s *StreamEstimator) consume(elem string) {
 	s.n++
 	for i := range s.slots {
@@ -98,7 +152,7 @@ func (s *StreamEstimator) consume(elem string) {
 			s.slots[i] = streamSlot{elem: elem, count: 1}
 			continue
 		}
-		if s.slots[i].elem == elem {
+		if s.slots[i].count > 0 && s.slots[i].elem == elem {
 			s.slots[i].count++
 		}
 	}
@@ -133,6 +187,8 @@ func (s *StreamEstimator) Reset() {
 		s.slots[i] = streamSlot{}
 	}
 	s.n = 0
+	s.reg = 0
+	s.filled = 0
 	s.window = s.window[:0]
 }
 
@@ -171,16 +227,16 @@ func NewStreamVector(epsilon, delta float64, widths []int, expectedLen int, seed
 }
 
 // Write consumes the next chunk of the flow. It implements io.Writer and
-// never fails.
+// never fails: StreamEstimator.Write cannot return an error, so every
+// estimator and the h_1 histogram always advance together over all of p
+// (the io.Writer contract — n == len(p) with a nil error).
 func (v *StreamVector) Write(p []byte) (int, error) {
 	for _, b := range p {
 		v.h1[b]++
 	}
 	v.n1 += len(p)
 	for _, est := range v.wide {
-		if _, err := est.Write(p); err != nil {
-			return 0, err
-		}
+		est.Write(p)
 	}
 	return len(p), nil
 }

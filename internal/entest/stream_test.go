@@ -221,3 +221,127 @@ func TestStreamVectorValidation(t *testing.T) {
 		t.Error("expectedLen too small: want error")
 	}
 }
+
+// TestStreamPackedBoundary runs the chunked-equals-whole invariant at the
+// packed-register boundary widths: k=8 (the widest single-word register)
+// and k=9 (the string-window fallback).
+func TestStreamPackedBoundary(t *testing.T) {
+	data := make([]byte, 512)
+	rand.New(rand.NewSource(21)).Read(data)
+	for _, k := range []int{2, 8, 9} {
+		whole, err := NewStream(0.3, 0.5, k, len(data), 13)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if _, err := whole.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		chunked, err := NewStream(0.3, 0.5, k, len(data), 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(data); i += 11 {
+			end := i + 11
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := chunked.Write(data[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want := len(data) - k + 1; whole.Elements() != want {
+			t.Errorf("k=%d: whole consumed %d elements, want %d", k, whole.Elements(), want)
+		}
+		if whole.Elements() != chunked.Elements() {
+			t.Errorf("k=%d: element counts differ: %d vs %d", k, whole.Elements(), chunked.Elements())
+		}
+		if whole.EstimateS() != chunked.EstimateS() {
+			t.Errorf("k=%d: estimates differ: %v vs %v", k, whole.EstimateS(), chunked.EstimateS())
+		}
+	}
+}
+
+// TestStreamPackedZeroElement guards the empty-slot vs zero-key
+// distinction: a stream of zero bytes packs to key 0, which must not be
+// confused with never-adopted slots.
+func TestStreamPackedZeroElement(t *testing.T) {
+	s, err := NewStream(0.3, 0.5, 4, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]byte, 64)
+	if _, err := s.Write(zeros); err != nil {
+		t.Fatal(err)
+	}
+	// A constant stream has S = n*log2(n) exactly; the estimator is
+	// unbiased and every sampled element is the same, so the estimate is
+	// exact and h must be 0... S_hat = n*(c log c - (c-1) log (c-1))
+	// averaged over downstream counts. Just require a sane h in [0, 1]
+	// and n correct.
+	if want := len(zeros) - 4 + 1; s.Elements() != want {
+		t.Fatalf("Elements = %d, want %d", s.Elements(), want)
+	}
+	h := s.EstimateH()
+	if h < 0 || h > 1 {
+		t.Errorf("EstimateH(zeros) = %v outside [0,1]", h)
+	}
+	if h > 0.05 {
+		t.Errorf("EstimateH(constant stream) = %v, want near 0", h)
+	}
+}
+
+// TestStreamVectorWriteContract pins the io.Writer contract fix: Write
+// always reports the full chunk consumed with a nil error, and byte
+// accounting stays consistent across mixed widths (including a fallback
+// width > 8).
+func TestStreamVectorWriteContract(t *testing.T) {
+	v, err := NewStreamVector(0.3, 0.5, []int{1, 3, 9}, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300)
+	rand.New(rand.NewSource(2)).Read(data)
+	for i := 0; i < len(data); i += 17 {
+		end := i + 17
+		if end > len(data) {
+			end = len(data)
+		}
+		n, err := v.Write(data[i:end])
+		if err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if n != end-i {
+			t.Fatalf("Write returned %d, want %d", n, end-i)
+		}
+	}
+	if v.n1 != len(data) {
+		t.Errorf("h_1 byte accounting = %d, want %d", v.n1, len(data))
+	}
+	for _, est := range v.wide {
+		if want := len(data) - est.k + 1; est.Elements() != want {
+			t.Errorf("k=%d estimator consumed %d elements, want %d", est.k, est.Elements(), want)
+		}
+	}
+}
+
+// TestStreamWriteAllocFree asserts the packed hot path allocates nothing
+// per Write call.
+func TestStreamWriteAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	s, err := NewStream(0.3, 0.5, 5, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 256)
+	rand.New(rand.NewSource(4)).Read(chunk)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("packed StreamEstimator.Write allocs/op = %v, want 0", allocs)
+	}
+}

@@ -22,6 +22,10 @@ import (
 // single element of the requested width.
 var ErrShortSequence = errors.New("entropy: sequence shorter than element width")
 
+// ErrBadWidths is returned when a requested feature-width set is empty or
+// contains a non-positive width.
+var ErrBadWidths = errors.New("entropy: invalid feature widths")
+
 // bitsPerByte is the log2 of the byte alphabet size.
 const bitsPerByte = 8
 
@@ -68,7 +72,26 @@ func countBytes(data []byte) *[256]int {
 // The result is in [0, 1]. H returns ErrShortSequence when len(data) < k.
 func H(data []byte, k int) (float64, error) {
 	if k <= 0 {
-		return 0, fmt.Errorf("entropy: element width %d is not positive", k)
+		return 0, fmt.Errorf("%w: element width %d is not positive", ErrBadWidths, k)
+	}
+	if len(data) < k {
+		return 0, ErrShortSequence
+	}
+	widths := [1]int{k}
+	var vec [1]float64
+	if err := vectorInto(vec[:], data, widths[:]); err != nil {
+		return 0, err
+	}
+	return vec[0], nil
+}
+
+// legacyH is the pre-packed-key reference implementation of H: one scan
+// per width, string-keyed counting for k >= 2. It is retained as the
+// differential-test oracle and the allocation baseline for the benchmark
+// harness; the hot path never calls it for k <= 16.
+func legacyH(data []byte, k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: element width %d is not positive", ErrBadWidths, k)
 	}
 	if len(data) < k {
 		return 0, ErrShortSequence
@@ -139,18 +162,18 @@ func NormalizeS(sumMLogM float64, n, k int) float64 {
 // feature would be undefined.
 func Vector(data []byte, width int) ([]float64, error) {
 	if width <= 0 {
-		return nil, fmt.Errorf("entropy: vector width %d is not positive", width)
+		return nil, fmt.Errorf("%w: vector width %d is not positive", ErrBadWidths, width)
 	}
 	if len(data) < width {
 		return nil, ErrShortSequence
 	}
-	vec := make([]float64, width)
+	widths := make([]int, width)
 	for k := 1; k <= width; k++ {
-		h, err := H(data, k)
-		if err != nil {
-			return nil, err
-		}
-		vec[k-1] = h
+		widths[k-1] = k
+	}
+	vec := make([]float64, width)
+	if err := vectorInto(vec, data, widths); err != nil {
+		return nil, err
 	}
 	return vec, nil
 }
@@ -158,11 +181,40 @@ func Vector(data []byte, width int) ([]float64, error) {
 // VectorAt computes only the features named in widths (1-based element
 // widths, e.g. {1, 3, 4, 5}) and returns them in the same order. This is
 // the form used after feature selection, when only a sparse subset of
-// h_1..h_10 is needed per flow.
+// h_1..h_10 is needed per flow. The widths must be non-empty and positive
+// (ErrBadWidths otherwise), and data must be at least as long as each
+// width (ErrShortSequence otherwise).
 func VectorAt(data []byte, widths []int) ([]float64, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("%w: empty width set", ErrBadWidths)
+	}
+	for _, k := range widths {
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: element width %d is not positive", ErrBadWidths, k)
+		}
+		if len(data) < k {
+			return nil, ErrShortSequence
+		}
+	}
+	vec := make([]float64, len(widths))
+	if err := vectorInto(vec, data, widths); err != nil {
+		return nil, err
+	}
+	return vec, nil
+}
+
+// LegacyVectorAt is the pre-packed-key reference implementation of
+// VectorAt: one full payload scan per width, string-keyed k-gram maps. It
+// exists so the differential tests and the benchmark harness can compare
+// the hot path against the original algorithm; production code should call
+// VectorAt.
+func LegacyVectorAt(data []byte, widths []int) ([]float64, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("%w: empty width set", ErrBadWidths)
+	}
 	vec := make([]float64, len(widths))
 	for i, k := range widths {
-		h, err := H(data, k)
+		h, err := legacyH(data, k)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,226 @@
+package entropy
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file is the allocation-free exact-counting hot path. A k-gram of
+// width k <= 8 fits a single uint64, and one of width k <= 16 fits a
+// [2]uint64, so instead of interning every element as a string the scanner
+// packs each element into an integer key with a rolling shift-and-mask and
+// counts into pooled integer-keyed maps. One pass over the payload feeds
+// every requested width at once via per-width rolling registers; only
+// widths beyond maxWidePackedWidth fall back to the string-keyed
+// CountKGrams path.
+//
+// Determinism invariant: the per-width sums are folded through the same
+// ascending count-of-counts summation as sumCLogC, so the packed path
+// produces bit-identical h_k to the legacy string-keyed path (the
+// differential tests in packed_test.go prove it).
+
+// MaxPackedWidth is the widest element width whose k-grams fit a single
+// uint64 rolling register. Widths up to maxWidePackedWidth use a two-word
+// register; anything wider falls back to string-keyed counting.
+const MaxPackedWidth = 8
+
+// maxWidePackedWidth is the widest element width covered by the [2]uint64
+// rolling register.
+const maxWidePackedWidth = 16
+
+// maxScanWidths bounds how many distinct packed widths one scan tracks;
+// there is one possible register per width in [2, maxWidePackedWidth].
+const maxScanWidths = maxWidePackedWidth - 1
+
+// counterState is the pooled per-call scratch for exact k-gram counting.
+// Maps are allocated lazily per width on first use and cleared (not freed)
+// after every call, so a warm state counts without allocating.
+type counterState struct {
+	bytes   [256]int                              // k == 1
+	narrow  [MaxPackedWidth + 1]map[uint64]int    // 2 <= k <= 8, indexed by k
+	wide    [maxWidePackedWidth + 1]map[[2]uint64]int // 9 <= k <= 16, indexed by k
+	scratch []int                                 // count fold buffer
+}
+
+var counterPool = sync.Pool{New: func() any { return new(counterState) }}
+
+// narrowMap returns the (lazily created) counter map for width k <= 8.
+func (st *counterState) narrowMap(k int) map[uint64]int {
+	if st.narrow[k] == nil {
+		st.narrow[k] = make(map[uint64]int, 1<<10)
+	}
+	return st.narrow[k]
+}
+
+// wideMap returns the (lazily created) counter map for 8 < k <= 16.
+func (st *counterState) wideMap(k int) map[[2]uint64]int {
+	if st.wide[k] == nil {
+		st.wide[k] = make(map[[2]uint64]int, 1<<10)
+	}
+	return st.wide[k]
+}
+
+// reset clears exactly the counters the given widths touched, leaving map
+// capacity in place for the next caller.
+func (st *counterState) reset(widths []int) {
+	for _, k := range widths {
+		switch {
+		case k == 1:
+			st.bytes = [256]int{}
+		case k <= MaxPackedWidth:
+			clear(st.narrow[k])
+		case k <= maxWidePackedWidth:
+			clear(st.wide[k])
+		}
+	}
+}
+
+// narrowMask keeps the low 8k bits of the single-word register.
+func narrowMask(k int) uint64 {
+	if k >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(8*k) - 1
+}
+
+// wideHiMask keeps the k-8 high bytes of the two-word register.
+func wideHiMask(k int) uint64 {
+	if k >= 16 {
+		return ^uint64(0)
+	}
+	return 1<<(8*(k-8)) - 1
+}
+
+// scan counts the k-grams of every requested packed width in a single pass
+// over data, using one rolling register per distinct width. Widths must be
+// positive; widths wider than maxWidePackedWidth are ignored here (the
+// caller handles them through the string fallback).
+func (st *counterState) scan(data []byte, widths []int) {
+	var (
+		wantBytes bool
+		seen      [maxWidePackedWidth + 1]bool
+
+		narrowKs    [maxScanWidths]int
+		narrowRegs  [maxScanWidths]uint64
+		narrowMasks [maxScanWidths]uint64
+		narrowCnt   [maxScanWidths]map[uint64]int
+		nNarrow     int
+
+		wideKs    [maxScanWidths]int
+		wideRegs  [maxScanWidths][2]uint64
+		wideMasks [maxScanWidths]uint64
+		wideCnt   [maxScanWidths]map[[2]uint64]int
+		nWide     int
+	)
+	for _, k := range widths {
+		switch {
+		case k == 1:
+			wantBytes = true
+		case k <= MaxPackedWidth && !seen[k]:
+			seen[k] = true
+			narrowKs[nNarrow] = k
+			narrowMasks[nNarrow] = narrowMask(k)
+			narrowCnt[nNarrow] = st.narrowMap(k)
+			nNarrow++
+		case k > MaxPackedWidth && k <= maxWidePackedWidth && !seen[k]:
+			seen[k] = true
+			wideKs[nWide] = k
+			wideMasks[nWide] = wideHiMask(k)
+			wideCnt[nWide] = st.wideMap(k)
+			nWide++
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		b := uint64(data[i])
+		if wantBytes {
+			st.bytes[data[i]]++
+		}
+		for j := 0; j < nNarrow; j++ {
+			narrowRegs[j] = (narrowRegs[j]<<8 | b) & narrowMasks[j]
+			if i >= narrowKs[j]-1 {
+				narrowCnt[j][narrowRegs[j]]++
+			}
+		}
+		for j := 0; j < nWide; j++ {
+			hi := (wideRegs[j][0]<<8 | wideRegs[j][1]>>56) & wideMasks[j]
+			lo := wideRegs[j][1]<<8 | b
+			wideRegs[j] = [2]uint64{hi, lo}
+			if i >= wideKs[j]-1 {
+				wideCnt[j][wideRegs[j]]++
+			}
+		}
+	}
+}
+
+// sumCLogCBytes replicates the legacy k=1 summation: array index order,
+// counts above one only.
+func sumCLogCBytes(counts *[256]int) float64 {
+	var sum float64
+	for _, c := range counts {
+		if c > 1 {
+			sum += float64(c) * math.Log2(float64(c))
+		}
+	}
+	return sum
+}
+
+// sumCLogCCounts returns Σ c·log2(c) over the values of counts, folded in
+// ascending-count order with per-count multiplicities so the float sum is
+// bit-identical to sumCLogC's count-of-counts fold regardless of key type
+// or map iteration order. It reuses (and returns) scratch to stay
+// allocation-free.
+func sumCLogCCounts[K comparable](counts map[K]int, scratch []int) (float64, []int) {
+	scratch = scratch[:0]
+	for _, c := range counts {
+		if c > 1 {
+			scratch = append(scratch, c)
+		}
+	}
+	sort.Ints(scratch)
+	var sum float64
+	for i := 0; i < len(scratch); {
+		c := scratch[i]
+		j := i + 1
+		for j < len(scratch) && scratch[j] == c {
+			j++
+		}
+		sum += float64(j-i) * float64(c) * math.Log2(float64(c))
+		i = j
+	}
+	return sum, scratch
+}
+
+// vectorInto computes h_k for each width into vec (len(vec) must equal
+// len(widths)). Widths must already be validated positive and no longer
+// than data. It performs the packed single-pass scan, falls back to
+// string-keyed counting for widths beyond maxWidePackedWidth, and returns
+// the pooled state cleared.
+func vectorInto(vec []float64, data []byte, widths []int) error {
+	st := counterPool.Get().(*counterState)
+	st.scan(data, widths)
+	for i, k := range widths {
+		n := len(data) - k + 1
+		var sum float64
+		switch {
+		case k == 1:
+			sum = sumCLogCBytes(&st.bytes)
+		case k <= MaxPackedWidth:
+			sum, st.scratch = sumCLogCCounts(st.narrow[k], st.scratch)
+		case k <= maxWidePackedWidth:
+			sum, st.scratch = sumCLogCCounts(st.wide[k], st.scratch)
+		default:
+			counts, err := CountKGrams(data, k)
+			if err != nil {
+				st.reset(widths)
+				counterPool.Put(st)
+				return err
+			}
+			sum = sumCLogC(counts)
+		}
+		vec[i] = NormalizeS(sum, n, k)
+	}
+	st.reset(widths)
+	counterPool.Put(st)
+	return nil
+}

@@ -1,0 +1,191 @@
+package entropy
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// payloadsFor builds a diverse set of payloads of length n: uniform random
+// (mostly unique k-grams), low-diversity periodic data (heavy counts > 1),
+// constant bytes, and text-like bytes.
+func payloadsFor(rng *rand.Rand, n int) [][]byte {
+	random := make([]byte, n)
+	rng.Read(random)
+
+	periodic := make([]byte, n)
+	for i := range periodic {
+		periodic[i] = byte(i % 7)
+	}
+
+	constant := bytes.Repeat([]byte{0xAB}, n)
+
+	text := make([]byte, n)
+	src := []byte("the quick brown fox jumps over the lazy dog ")
+	for i := range text {
+		text[i] = src[i%len(src)]
+	}
+	return [][]byte{random, periodic, constant, text}
+}
+
+// TestDifferentialPackedVsLegacy proves the determinism invariant: the
+// packed-key single-scan path produces bit-identical h_k to the legacy
+// string-keyed path for every width 1..10 across payload lengths 1..4096.
+func TestDifferentialPackedVsLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lengths := []int{}
+	for n := 1; n <= 64; n++ {
+		lengths = append(lengths, n)
+	}
+	lengths = append(lengths, 100, 255, 256, 257, 512, 1000, 1024, 2048, 4095, 4096)
+
+	allWidths := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, n := range lengths {
+		for _, data := range payloadsFor(rng, n) {
+			// Keep only widths the payload can support.
+			widths := allWidths[:0:0]
+			for _, k := range allWidths {
+				if k <= n {
+					widths = append(widths, k)
+				}
+			}
+			fast, err := VectorAt(data, widths)
+			if err != nil {
+				t.Fatalf("VectorAt(n=%d, widths=%v): %v", n, widths, err)
+			}
+			legacy, err := LegacyVectorAt(data, widths)
+			if err != nil {
+				t.Fatalf("LegacyVectorAt(n=%d): %v", n, err)
+			}
+			for i, k := range widths {
+				if math.Float64bits(fast[i]) != math.Float64bits(legacy[i]) {
+					t.Errorf("n=%d k=%d: packed h=%v (%#x) != legacy h=%v (%#x)",
+						n, k, fast[i], math.Float64bits(fast[i]),
+						legacy[i], math.Float64bits(legacy[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialHMatchesLegacy checks the scalar entry point too,
+// including a width past the wide-packed limit (string fallback).
+func TestDifferentialHMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{20, 300, 2048} {
+		for _, data := range payloadsFor(rng, n) {
+			for k := 1; k <= 18 && k <= n; k++ {
+				fast, err := H(data, k)
+				if err != nil {
+					t.Fatalf("H(n=%d, k=%d): %v", n, k, err)
+				}
+				legacy, err := legacyH(data, k)
+				if err != nil {
+					t.Fatalf("legacyH(n=%d, k=%d): %v", n, k, err)
+				}
+				if math.Float64bits(fast) != math.Float64bits(legacy) {
+					t.Errorf("n=%d k=%d: H=%v != legacy=%v", n, k, fast, legacy)
+				}
+			}
+		}
+	}
+}
+
+// TestVectorMatchesVectorAt pins Vector to the same values as VectorAt
+// over 1..width.
+func TestVectorMatchesVectorAt(t *testing.T) {
+	data := make([]byte, 512)
+	rand.New(rand.NewSource(3)).Read(data)
+	vec, err := Vector(data, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := VectorAt(data, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vec {
+		if math.Float64bits(vec[i]) != math.Float64bits(at[i]) {
+			t.Errorf("k=%d: Vector=%v VectorAt=%v", i+1, vec[i], at[i])
+		}
+	}
+}
+
+// TestVectorAtEmptyWidths pins the contract fix: an empty width set is an
+// error, not a silently empty vector.
+func TestVectorAtEmptyWidths(t *testing.T) {
+	if _, err := VectorAt([]byte("data"), nil); !errors.Is(err, ErrBadWidths) {
+		t.Errorf("VectorAt(empty widths): err = %v, want ErrBadWidths", err)
+	}
+	if _, err := VectorAt([]byte("data"), []int{}); !errors.Is(err, ErrBadWidths) {
+		t.Errorf("VectorAt([]): err = %v, want ErrBadWidths", err)
+	}
+	if _, err := VectorAt([]byte("data"), []int{1, 0}); !errors.Is(err, ErrBadWidths) {
+		t.Errorf("VectorAt(width 0): err = %v, want ErrBadWidths", err)
+	}
+	if _, err := VectorAt([]byte("ab"), []int{1, 3}); err != ErrShortSequence {
+		t.Errorf("VectorAt(short data): err = %v, want ErrShortSequence", err)
+	}
+}
+
+// TestNormalizeSEdgeCases re-pins the degenerate stream lengths the
+// streaming estimator depends on: zero elements and a single element both
+// carry zero diversity.
+func TestNormalizeSEdgeCases(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		if got := NormalizeS(0, 0, k); got != 0 {
+			t.Errorf("NormalizeS(n=0, k=%d) = %v, want 0", k, got)
+		}
+		if got := NormalizeS(123.45, 0, k); got != 0 {
+			t.Errorf("NormalizeS(S>0, n=0, k=%d) = %v, want 0", k, got)
+		}
+		if got := NormalizeS(0, 1, k); got != 0 {
+			t.Errorf("NormalizeS(n=1, k=%d) = %v, want 0", k, got)
+		}
+		if got := NormalizeS(-10, 1, k); got != 0 {
+			t.Errorf("NormalizeS(S<0, n=1, k=%d) = %v, want 0", k, got)
+		}
+	}
+}
+
+// TestVectorAllocRegression is the alloc budget gate for the hot path: a
+// warm pooled counter must extract a k <= 8 entropy vector from a 1 KiB
+// payload with only the result-slice allocations, and the legacy
+// string-keyed path must cost at least 5x more allocations (the PR's
+// acceptance ratio).
+func TestVectorAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(9)).Read(data)
+	widths := []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+	// Warm the pool so map capacity is in steady state.
+	for i := 0; i < 4; i++ {
+		if _, err := VectorAt(data, widths); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fast := testing.AllocsPerRun(50, func() {
+		if _, err := VectorAt(data, widths); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One alloc for the result slice; a little headroom for pool churn
+	// under GC pressure.
+	if fast > 4 {
+		t.Errorf("packed VectorAt allocs/op = %v, want <= 4", fast)
+	}
+	legacy := testing.AllocsPerRun(10, func() {
+		if _, err := LegacyVectorAt(data, widths); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if legacy < 5*fast {
+		t.Errorf("legacy allocs/op = %v, packed = %v: want >= 5x reduction", legacy, fast)
+	}
+	t.Logf("allocs/op: packed=%v legacy=%v (%.0fx)", fast, legacy, legacy/math.Max(fast, 1))
+}
