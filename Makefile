@@ -18,15 +18,18 @@ race:
 
 # The pre-merge gate: static checks, the race detector, the hot-path
 # allocation-regression gate (run without -race, which skews allocation
-# counts), and a short fuzz smoke over the byte-level parsers and snapshot
-# decoders. Slower than `test`, run before pushing.
+# counts), the networked-ingest chaos soak, and a short fuzz smoke over
+# the byte-level parsers and snapshot decoders. Slower than `test`, run
+# before pushing.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'TestVectorAllocRegression|TestStreamWriteAllocFree' -count=1 ./internal/entropy ./internal/entest
+	$(GO) test -run 'TestChaosConnSoak' -count=1 ./internal/ingest
 	$(GO) test -fuzz=FuzzStrip -fuzztime=5s ./internal/appheader
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=5s ./internal/packet
 	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/pcap
+	$(GO) test -fuzz=FuzzFrame -fuzztime=5s ./internal/ingest
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=5s ./internal/persist
 	$(GO) test -fuzz=FuzzImportCheckpoint -fuzztime=5s ./internal/persist
 
@@ -58,6 +61,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzStrip -fuzztime=30s ./internal/appheader
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/packet
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/pcap
+	$(GO) test -fuzz=FuzzFrame -fuzztime=30s ./internal/ingest
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=30s ./internal/persist
 	$(GO) test -fuzz=FuzzDecodeTree -fuzztime=30s ./internal/persist
 	$(GO) test -fuzz=FuzzDecodeSVMModel -fuzztime=30s ./internal/persist

@@ -300,6 +300,14 @@ func replay(clf *iustitia.Classifier, buffer int, eng engineSetup, tr *packet.Tr
 		p := &tr.Packets[i]
 		select {
 		case sig := <-sigCh:
+			// A second signal while the final checkpoint is being flushed
+			// means the operator wants out now: exit immediately and say
+			// what was skipped.
+			go func() {
+				sig2 := <-sigCh
+				fmt.Fprintf(os.Stderr, "iustitia-classify: second %v: forcing immediate exit; final checkpoint skipped\n", sig2)
+				os.Exit(130)
+			}()
 			if err := finalCheckpoint(lastTime); err != nil {
 				return fmt.Errorf("final checkpoint on %v: %w", sig, err)
 			}

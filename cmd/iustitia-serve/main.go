@@ -1,0 +1,289 @@
+// Command iustitia-serve runs the networked ingest daemon: a framed
+// packet server (TCP and/or unix socket) feeding a sharded online
+// classification engine, with backpressure, supervised workers, a
+// plain-text status endpoint, and checkpointed durable state.
+//
+// Serve on TCP with a status endpoint and periodic checkpoints:
+//
+//	iustitia-serve -model model.json -listen 127.0.0.1:9301 \
+//	    -status 127.0.0.1:9302 -checkpoint state.ckpt
+//
+// Stream a trace into it from another host (or the same one):
+//
+//	iustitia-trace -flows 2000 -connect 127.0.0.1:9301
+//
+// The first SIGINT/SIGTERM drains gracefully: stop accepting, flush
+// pending flows, write a final checkpoint. A second signal forces
+// immediate exit, skipping the final checkpoint. -resume restores a
+// previous run's checkpoint (same -shards), falling back to a cold
+// start, with a warning, if the checkpoint is unusable.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iustitia"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/ingest"
+	"iustitia/internal/persist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iustitia-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "", "TCP listen address for framed packet ingest (e.g. 127.0.0.1:9301)")
+		unixSock  = flag.String("unix", "", "unix socket path for framed packet ingest")
+		status    = flag.String("status", "", "TCP listen address for the plain-text status endpoint")
+		modelPath = flag.String("model", "model.json", "trained model path (JSON)")
+		loadModel = flag.String("load-model", "", "load the model from a binary snapshot instead of -model JSON")
+		buffer    = flag.Int("b", 32, "payload bytes buffered per flow before classification")
+		shards    = flag.Int("shards", 4, "engine shards (flow-parallel classification)")
+		workers   = flag.Int("workers", 2, "supervised ingest workers")
+
+		queueDepth  = flag.Int("ingest-queue", 1024, "total packets queued between readers and workers")
+		connQueue   = flag.Int("conn-queue", 256, "unprocessed packets one connection may hold")
+		overflow    = flag.String("overflow", "block", "backpressure policy at full queues: block|shed|disconnect")
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-read deadline inside a frame (0 = none)")
+		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "deadline between frames on a connection (0 = none)")
+		maxFrame    = flag.Int("max-frame", 0, "max frame payload bytes a header may declare (0 = default)")
+
+		maxPending = flag.Int("max-pending", 0, "cap on concurrently buffered flows per shard (0 = unbounded)")
+		evict      = flag.String("evict", "oldest", "policy at the pending cap: oldest|partial|shed")
+		fallback   = flag.String("fallback", "text", "fallback class for shed flows and tolerated failures: text|binary|encrypted")
+		tolerate   = flag.Bool("tolerate", true, "route classifier failures to the fallback class instead of surfacing errors")
+		cdbCap     = flag.Int("cdb-cap", 0, "hard cap on classification-database records per shard (0 = unbounded)")
+
+		checkpoint = flag.String("checkpoint", "", "write engine checkpoints to this path (periodic and at drain)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "wall-clock interval between periodic checkpoints (with -checkpoint)")
+		resume     = flag.String("resume", "", "restore engine state from this checkpoint before serving (cold start if unusable)")
+		drainTime  = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain waits for connected clients")
+	)
+	flag.Parse()
+
+	if *listen == "" && *unixSock == "" {
+		return fmt.Errorf("no listener: pass -listen and/or -unix")
+	}
+	overflowPolicy, err := ingest.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		return err
+	}
+	evictPolicy, err := flow.ParseEvictPolicy(*evict)
+	if err != nil {
+		return err
+	}
+	fbClass, err := parseClass(*fallback)
+	if err != nil {
+		return err
+	}
+
+	var clf *iustitia.Classifier
+	if *loadModel != "" {
+		clf, err = iustitia.LoadClassifierSnapshot(*loadModel)
+		if err != nil {
+			return err
+		}
+	} else {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		clf, err = iustitia.LoadClassifier(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	engineCfg := flow.EngineConfig{
+		BufferSize:    *buffer,
+		Classifier:    clf,
+		IdleFlush:     2 * time.Second,
+		MaxPending:    *maxPending,
+		Eviction:      evictPolicy,
+		FallbackClass: fbClass,
+		Faults:        flow.FaultPolicy{Tolerate: *tolerate},
+		CDB: flow.CDBConfig{
+			PurgeOnClose:  true,
+			PurgeInactive: true,
+			N:             4,
+			MaxRecords:    *cdbCap,
+		},
+	}
+	engine, err := flow.NewParallelEngine(engineCfg, *shards, nil)
+	if err != nil {
+		return err
+	}
+
+	// Resume from a prior checkpoint when asked. Restore into a throwaway
+	// engine first so a checkpoint that fails half-way through its shards
+	// cannot leave the serving engine partially restored: any unusable
+	// checkpoint is a logged warning and a clean cold start.
+	if *resume != "" {
+		if restored, err := resumeEngine(engineCfg, *shards, *resume); err != nil {
+			fmt.Fprintf(os.Stderr,
+				"iustitia-serve: warning: cannot resume from %s (%v); cold start\n",
+				*resume, err)
+		} else {
+			engine = restored
+			s := engine.Stats()
+			fmt.Printf("resumed from %s: %d classified flows, %d CDB records\n",
+				*resume, s.Classified, s.CDB.Size)
+		}
+	}
+
+	var listeners []net.Listener
+	if *listen != "" {
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("listening on %s\n", l.Addr())
+		listeners = append(listeners, l)
+	}
+	if *unixSock != "" {
+		// A previous unclean exit may have left the socket file behind; a
+		// fresh listen would fail on it.
+		os.Remove(*unixSock)
+		l, err := net.Listen("unix", *unixSock)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("listening on unix socket %s\n", *unixSock)
+		listeners = append(listeners, l)
+	}
+	var statusLn net.Listener
+	if *status != "" {
+		statusLn, err = net.Listen("tcp", *status)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status on %s\n", statusLn.Addr())
+	}
+
+	srvCfg := ingest.Config{
+		Engine:         engine,
+		Listeners:      listeners,
+		StatusListener: statusLn,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		PerConnQueue:   *connQueue,
+		Overflow:       overflowPolicy,
+		FallbackClass:  fbClass,
+		ReadTimeout:    *readTimeout,
+		IdleTimeout:    *idleTimeout,
+		MaxFrame:       *maxFrame,
+	}
+	if *checkpoint != "" {
+		srvCfg.OnFinalCheckpoint = func(snapshot []byte) {
+			if err := persist.SaveFile(*checkpoint, persist.KindParallelCheckpoint, snapshot); err != nil {
+				fmt.Fprintln(os.Stderr, "iustitia-serve: final checkpoint:", err)
+				return
+			}
+			fmt.Printf("final checkpoint saved to %s\n", *checkpoint)
+		}
+	}
+	srv, err := ingest.NewServer(srvCfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+
+	// Periodic wall-clock checkpoints, so a crash between drains loses at
+	// most one interval of classification state.
+	ckptStop := make(chan struct{})
+	if *checkpoint != "" && *ckptEvery > 0 {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := persist.SaveFile(*checkpoint, persist.KindParallelCheckpoint, engine.ExportCheckpoint()); err != nil {
+						fmt.Fprintln(os.Stderr, "iustitia-serve: checkpoint:", err)
+					}
+				case <-ckptStop:
+					return
+				}
+			}
+		}()
+	}
+
+	// First signal: graceful drain (flush + final checkpoint). Second
+	// signal: the operator wants out NOW — exit immediately and say what
+	// was skipped.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigCh
+	fmt.Printf("received %v: draining (second signal forces immediate exit)\n", sig)
+	go func() {
+		sig2 := <-sigCh
+		fmt.Fprintf(os.Stderr, "iustitia-serve: second %v: forcing immediate exit; final checkpoint skipped\n", sig2)
+		os.Exit(130)
+	}()
+
+	close(ckptStop)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if *unixSock != "" {
+		os.Remove(*unixSock)
+	}
+
+	st := srv.Stats()
+	es := engine.Stats()
+	fmt.Printf("drained: received %d, admitted %d, quarantined %d, shed %d over %d connections\n",
+		st.Received, st.Admitted, st.Quarantined, st.Shed, st.TotalConns)
+	fmt.Printf("engine: classified %d flows, fallback %d, dropped %d; queues: text=%d binary=%d encrypted=%d; CDB size %d\n",
+		es.Classified, es.Fallback, es.Dropped,
+		es.QueueCounts[corpus.Text], es.QueueCounts[corpus.Binary],
+		es.QueueCounts[corpus.Encrypted], es.CDB.Size)
+	if st.Supervisor.Panics > 0 {
+		fmt.Printf("supervision: %d worker panics, %d restarts\n",
+			st.Supervisor.Panics, st.Supervisor.Restarts)
+	}
+	return drainErr
+}
+
+// resumeEngine builds a fresh engine and restores a parallel checkpoint
+// into it, so the caller's serving engine is replaced only on full
+// success.
+func resumeEngine(cfg flow.EngineConfig, shards int, path string) (*flow.ParallelEngine, error) {
+	payload, err := persist.LoadFile(path, persist.KindParallelCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := flow.NewParallelEngine(cfg, shards, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.ImportCheckpoint(payload); err != nil {
+		return nil, err
+	}
+	return engine, nil
+}
+
+// parseClass maps a flag value to its class.
+func parseClass(s string) (corpus.Class, error) {
+	for c, name := range corpus.ClassNames() {
+		if s == name {
+			return corpus.Class(c), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown class %q (want text|binary|encrypted)", s)
+}

@@ -1,0 +1,311 @@
+package main
+
+// Integration tests for the ingest daemon: a SIGTERM mid-serve must
+// drain and write a resumable final checkpoint, and a second signal
+// must force immediate exit, skipping it.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"iustitia"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/ingest"
+	"iustitia/internal/packet"
+	"iustitia/internal/persist"
+)
+
+// buildBinary compiles iustitia-serve into dir.
+func buildBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "iustitia-serve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// trainModelSnapshot trains a small classifier on the synthetic corpus
+// and saves it as a binary snapshot.
+func trainModelSnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := iustitia.SyntheticCorpus(1, 30, 2048, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := iustitia.Train(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "model.snap")
+	if err := clf.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// syncBuf collects a subprocess's combined output safely across the
+// goroutines exec.Cmd writes from.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitForOutput polls the collected output until substr appears,
+// returning the full output seen so far.
+func waitForOutput(t *testing.T, cmd *exec.Cmd, out *syncBuf, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got := out.String()
+		if strings.Contains(got, substr) {
+			return got
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("output never contained %q:\n%s", substr, got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// extractAddr pulls the address printed after prefix on its own line.
+func extractAddr(t *testing.T, output, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(output, "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	t.Fatalf("no %q line in output:\n%s", prefix, output)
+	return ""
+}
+
+// statusText fetches one dump from the status endpoint.
+func statusText(addr string) (string, error) {
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	b, err := io.ReadAll(c)
+	return string(b), err
+}
+
+// waitForStatus polls the status endpoint until substr appears in a dump.
+func waitForStatus(t *testing.T, cmd *exec.Cmd, addr, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last string
+	for {
+		if got, err := statusText(addr); err == nil {
+			last = got
+			if strings.Contains(got, substr) {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("status never contained %q; last dump:\n%s", substr, last)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServeDrainWritesResumableCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+	model := trainModelSnapshot(t, dir)
+	ckpt := filepath.Join(dir, "serve.ckpt")
+
+	cmd := exec.Command(bin,
+		"-load-model", model, "-listen", "127.0.0.1:0", "-status", "127.0.0.1:0",
+		"-shards", "2", "-checkpoint", ckpt)
+	var out syncBuf
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	banner := waitForOutput(t, cmd, &out, "status on ")
+	addr := extractAddr(t, banner, "listening on ")
+	statusAddr := extractAddr(t, banner, "status on ")
+
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = 40
+	cfg.Seed = 11
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(cfg.Seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ingest.NewClient(ingest.ClientConfig{
+		Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace.Packets {
+		if err := client.Send(&trace.Packets[i]); err != nil {
+			t.Fatalf("Send(%d): %v", i, err)
+		}
+	}
+	client.Close()
+
+	// Wait for the workers to clear the queues, then drain via SIGTERM.
+	waitForStatus(t, cmd, statusAddr, fmt.Sprintf("admitted: %d\n", len(trace.Packets)))
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drained run exited with %v\n%s", err, out.String())
+	}
+	output := out.String()
+	if !strings.Contains(output, "draining") {
+		t.Errorf("no drain banner in output:\n%s", output)
+	}
+	if !strings.Contains(output, "final checkpoint saved to "+ckpt) {
+		t.Errorf("no final-checkpoint line in output:\n%s", output)
+	}
+
+	// The checkpoint restores into a fresh engine with the same shard
+	// layout and carries the replay's progress.
+	payload, err := persist.LoadFile(ckpt, persist.KindParallelCheckpoint)
+	if err != nil {
+		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+	engine, err := flow.NewParallelEngine(flow.EngineConfig{
+		BufferSize: 32,
+		Classifier: flow.ClassifierFunc(func([]byte) (corpus.Class, error) {
+			return corpus.Text, nil
+		}),
+	}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.ImportCheckpoint(payload); err != nil {
+		t.Fatalf("final checkpoint does not restore: %v", err)
+	}
+	st := engine.Stats()
+	if st.Admitted != len(trace.Flows) {
+		t.Errorf("restored checkpoint admitted %d flows, trace has %d", st.Admitted, len(trace.Flows))
+	}
+	if st.Classified == 0 {
+		t.Errorf("restored checkpoint classified nothing: %+v", st)
+	}
+	if st.Pending != 0 {
+		t.Errorf("drain left %d flows pending in the checkpoint", st.Pending)
+	}
+}
+
+func TestServeSecondSignalForcesExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+	model := trainModelSnapshot(t, dir)
+	ckpt := filepath.Join(dir, "skipped.ckpt")
+
+	cmd := exec.Command(bin,
+		"-load-model", model, "-listen", "127.0.0.1:0", "-status", "127.0.0.1:0",
+		"-checkpoint", ckpt, "-drain-timeout", "60s")
+	var out syncBuf
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	banner := waitForOutput(t, cmd, &out, "status on ")
+	addr := extractAddr(t, banner, "listening on ")
+	statusAddr := extractAddr(t, banner, "status on ")
+
+	// Hold a connection open so the graceful drain cannot finish on its
+	// own: send one frame, keep the socket up.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	p := trainPacket()
+	frame, err := ingest.AppendFrame(nil, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitForStatus(t, cmd, statusAddr, "admitted: 1\n")
+
+	// First signal starts the drain, which now blocks on the open
+	// connection; the second must force an immediate exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitForOutput(t, cmd, &out, "draining")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("second signal did not force exit:\n%s", out.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 130 {
+		t.Errorf("exit code %d, want 130\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "final checkpoint skipped") {
+		t.Errorf("no skip notice in output:\n%s", out.String())
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("forced exit still wrote the checkpoint (stat err %v)", err)
+	}
+}
+
+// trainPacket is one minimal data packet for hand-rolled frames.
+func trainPacket() packet.Packet {
+	return packet.Packet{
+		Tuple: packet.FiveTuple{
+			SrcIP:     [4]byte{10, 0, 0, 1},
+			DstIP:     [4]byte{10, 0, 0, 2},
+			SrcPort:   40000,
+			DstPort:   443,
+			Transport: packet.TCP,
+		},
+		Time:    time.Millisecond,
+		Payload: []byte("hello"),
+	}
+}

@@ -11,16 +11,24 @@
 // workloads for overload and fault-tolerance testing:
 //
 //	iustitia-trace -flows 5000 -chaos-drop 0.02 -chaos-reorder 0.1 -out stress.trace
+//
+// With -connect (TCP) or -connect-unix the trace is streamed as framed
+// packets to a running iustitia-serve daemon, reconnecting and resending
+// on transport failures:
+//
+//	iustitia-trace -flows 2000 -connect 127.0.0.1:9301 -pace 100us
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
 	"iustitia/internal/corpus"
 	"iustitia/internal/flow"
+	"iustitia/internal/ingest"
 	"iustitia/internal/packet"
 	"iustitia/internal/pcap"
 	"iustitia/internal/stats"
@@ -48,6 +56,12 @@ func run() error {
 		chaosDup     = flag.Float64("chaos-dup", 0, "duplicate this fraction of packets")
 		chaosReorder = flag.Float64("chaos-reorder", 0, "displace this fraction of packets out of timestamp order")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "fault-injection seed")
+
+		connect     = flag.String("connect", "", "stream the trace as framed packets to this iustitia-serve TCP address")
+		connectUnix = flag.String("connect-unix", "", "stream the trace to this iustitia-serve unix socket")
+		pace        = flag.Duration("pace", 0, "sleep between streamed packets (0 = as fast as possible)")
+		retryMax    = flag.Int("retry-max", 8, "reconnect attempts per packet before giving up")
+		retryWait   = flag.Duration("retry-backoff", 10*time.Millisecond, "base reconnect backoff (doubles per retry)")
 	)
 	flag.Parse()
 
@@ -119,6 +133,11 @@ func run() error {
 		}
 		fmt.Printf("pcap capture written to %s\n", *pcapOut)
 	}
+	if *connect != "" || *connectUnix != "" {
+		if err := streamTrace(trace, *connect, *connectUnix, *pace, *retryMax, *retryWait); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("generated %d packets (%d data) across %d flows in %s\n",
 		len(trace.Packets), trace.DataPackets(), len(trace.Flows),
 		time.Since(start).Round(time.Millisecond))
@@ -164,5 +183,42 @@ func run() error {
 	for _, x := range []float64{64, 140, 512, 1024, 1480} {
 		fmt.Printf("  P(size <= %4.0f) = %.2f\n", x, cdf.At(x))
 	}
+	return nil
+}
+
+// streamTrace replays the trace's packets into a running ingest daemon
+// through the reconnecting frame client: transient transport failures
+// (resets, daemon restarts within the retry budget) cost a resend, not
+// the replay.
+func streamTrace(trace *packet.Trace, tcpAddr, unixPath string, pace time.Duration, retryMax int, backoff time.Duration) error {
+	if tcpAddr != "" && unixPath != "" {
+		return fmt.Errorf("pass -connect or -connect-unix, not both")
+	}
+	network, addr := "tcp", tcpAddr
+	if unixPath != "" {
+		network, addr = "unix", unixPath
+	}
+	client, err := ingest.NewClient(ingest.ClientConfig{
+		Dial:        func() (net.Conn, error) { return net.Dial(network, addr) },
+		MaxRetries:  retryMax,
+		BackoffBase: backoff,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	start := time.Now()
+	for i := range trace.Packets {
+		if err := client.Send(&trace.Packets[i]); err != nil {
+			return fmt.Errorf("streaming packet %d/%d to %s: %w", i+1, len(trace.Packets), addr, err)
+		}
+		if pace > 0 {
+			time.Sleep(pace)
+		}
+	}
+	cs := client.Stats()
+	fmt.Printf("streamed %d packets to %s in %s (resent %d, reconnects %d, dial failures %d)\n",
+		len(trace.Packets), addr, time.Since(start).Round(time.Millisecond),
+		cs.Resent, cs.Reconnects, cs.DialFailures)
 	return nil
 }

@@ -1,0 +1,97 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+// TestFlushAllRacesProcessUnderChaos drives a sharded engine from
+// concurrent producers while another goroutine repeatedly drains it with
+// FlushAll, with a ChaosClassifier injecting errors and panics the whole
+// time. It asserts the drain path is safe under concurrency: no panic
+// leaks past safeClassify, and the §6 conservation invariant
+// (Admitted == Classified + Fallback + Dropped + Pending) holds once the
+// engine is quiescent.
+func TestFlushAllRacesProcessUnderChaos(t *testing.T) {
+	base := ClassifierFunc(func(payload []byte) (corpus.Class, error) {
+		return corpus.Class(int(payload[0]) % corpus.NumClasses), nil
+	})
+	chaos := NewChaosClassifier(base, ChaosConfig{
+		Seed:      11,
+		ErrorRate: 0.2,
+		PanicRate: 0.2,
+	})
+	pe, err := NewParallelEngine(EngineConfig{
+		BufferSize:    16,
+		Classifier:    chaos,
+		MaxPending:    64,
+		Eviction:      EvictClassifyPartial,
+		FallbackClass: corpus.Binary,
+		Faults:        FaultPolicy{Tolerate: true, TripAfter: 16, ProbeEvery: 4},
+	}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = 300
+	cfg.Duration = 5 * time.Second
+	cfg.MaxFlowBytes = 2 << 10
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTime := trace.Packets[len(trace.Packets)-1].Time
+
+	const producers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(trace.Packets); i += producers {
+				// Tolerate mode: Process must never surface an error or a
+				// panic, even while FlushAll races it.
+				if _, err := pe.Process(&trace.Packets[i]); err != nil {
+					t.Errorf("Process: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		for i := 0; i < 50; i++ {
+			if _, err := pe.FlushAll(maxTime + time.Minute); err != nil {
+				t.Errorf("concurrent FlushAll: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-drainDone
+
+	if _, err := pe.FlushAll(maxTime + 2*time.Minute); err != nil {
+		t.Fatalf("final FlushAll: %v", err)
+	}
+	s := pe.Stats()
+	if s.Pending != 0 {
+		t.Errorf("flows still pending after final FlushAll: %d", s.Pending)
+	}
+	if got := s.Classified + s.Fallback + s.Dropped + s.Pending; got != s.Admitted {
+		t.Errorf("conservation violated under drain race: Classified(%d)+Fallback(%d)+Dropped(%d)+Pending(%d) = %d, want Admitted %d",
+			s.Classified, s.Fallback, s.Dropped, s.Pending, got, s.Admitted)
+	}
+	cs := chaos.Stats()
+	if cs.InjectedPanics == 0 || cs.InjectedErrors == 0 {
+		t.Errorf("chaos injected nothing (errors %d, panics %d); test exercised nothing", cs.InjectedErrors, cs.InjectedPanics)
+	}
+	if cs.Calls > s.Admitted+s.Shed {
+		t.Errorf("classifier called %d times for %d admissions: flows retried", cs.Calls, s.Admitted)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"iustitia/internal/corpus"
 	"iustitia/internal/packet"
+	"iustitia/internal/persist"
 )
 
 // ParallelEngine shards flows across independent engines by flow ID, so a
@@ -111,4 +112,49 @@ func (pe *ParallelEngine) Stats() EngineStats {
 		agg.add(shard.Stats())
 	}
 	return agg
+}
+
+// ExportCheckpoint serializes every shard's checkpoint into one payload.
+// Frame it with persist.SaveFile under persist.KindParallelCheckpoint.
+// The shard count is pinned in the payload: flow→shard routing depends on
+// it, so a checkpoint can only be restored into an engine with the same
+// shard count.
+func (pe *ParallelEngine) ExportCheckpoint() []byte {
+	var enc persist.Encoder
+	enc.U32(uint32(len(pe.shards)))
+	for _, shard := range pe.shards {
+		enc.Blob(shard.ExportCheckpoint())
+	}
+	return enc.Bytes()
+}
+
+// ImportCheckpoint restores a checkpoint written by ExportCheckpoint. The
+// shard count must match exactly — a CDB record restored into the wrong
+// shard would never be hit by shardFor. The payload is fully validated
+// before any shard is touched, but a semantic failure inside shard i can
+// leave shards 0..i-1 restored; callers that need all-or-nothing should
+// import into a fresh engine and discard it on error (what
+// iustitia-serve's cold-start fallback does).
+func (pe *ParallelEngine) ImportCheckpoint(data []byte) error {
+	d := persist.NewDecoder(data)
+	n := d.U32()
+	if d.Err() == nil && int(n) != len(pe.shards) {
+		d.Fail("checkpoint has %d shards, engine has %d", n, len(pe.shards))
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("flow: parallel checkpoint import: %w", err)
+	}
+	blobs := make([][]byte, len(pe.shards))
+	for i := range blobs {
+		blobs[i] = d.Blob()
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("flow: parallel checkpoint import: %w", err)
+	}
+	for i, shard := range pe.shards {
+		if err := shard.ImportCheckpoint(blobs[i]); err != nil {
+			return fmt.Errorf("flow: shard %d: %w", i, err)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,150 @@
+package ingest
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"iustitia/internal/packet"
+)
+
+// ClientConfig assembles a replay client.
+type ClientConfig struct {
+	// Dial opens a connection to the server. Required. It is re-invoked on
+	// every reconnect, so chaos wrappers and address rotation both live
+	// here.
+	Dial func() (net.Conn, error)
+	// MaxRetries bounds how many consecutive failed delivery attempts
+	// (write error or failed redial) one frame survives before Send gives
+	// up. Zero defaults to 8; negative means a single attempt.
+	MaxRetries int
+	// BackoffBase is the reconnect delay after the first failure; each
+	// consecutive failure doubles it, capped at BackoffMax. Zero defaults
+	// to 10ms / 1s.
+	BackoffBase time.Duration
+	// BackoffMax caps the reconnect delay.
+	BackoffMax time.Duration
+	// Seed drives the reconnect jitter.
+	Seed int64
+}
+
+// ClientStats summarizes a client's delivery activity.
+type ClientStats struct {
+	// Sent counts frames delivered exactly once (from the client's view:
+	// the full frame was written without error).
+	Sent int
+	// Resent counts whole-frame retransmissions after a failed write. A
+	// frame torn mid-write is resent in full on a fresh connection; the
+	// server quarantines the torn prefix, so the packet is still
+	// processed exactly once.
+	Resent int
+	// Reconnects counts successful redials after a broken connection.
+	Reconnects int
+	// DialFailures counts failed dial attempts.
+	DialFailures int
+}
+
+// Client streams framed packets to an ingest server, transparently
+// reconnecting and retransmitting across connection failures. It is safe
+// for concurrent use, though frames interleave in call order.
+type Client struct {
+	cfg ClientConfig
+	rng *rand.Rand
+
+	mu    sync.Mutex
+	conn  net.Conn
+	buf   []byte
+	stats ClientStats
+}
+
+// NewClient validates cfg and builds a client. The first connection is
+// dialed lazily on the first Send.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("ingest: client needs a Dial function")
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Send delivers one packet as a single frame. Exactly one Write call
+// carries the whole frame, so a mid-frame connection reset tears at most
+// this frame — which is then resent in full on a fresh connection, and
+// the server's resync quarantines the torn prefix. On persistent failure
+// (MaxRetries consecutive broken attempts) the last error is returned.
+func (c *Client) Send(p *packet.Packet) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	frame, err := AppendFrame(c.buf[:0], p)
+	if err != nil {
+		return err
+	}
+	c.buf = frame[:0] // keep the grown buffer for reuse
+
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.sleepBackoff(attempt)
+		}
+		if c.conn == nil {
+			conn, err := c.cfg.Dial()
+			if err != nil {
+				c.stats.DialFailures++
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+			if attempt > 0 || c.stats.Sent > 0 || c.stats.Resent > 0 {
+				c.stats.Reconnects++
+			}
+		}
+		if _, err := c.conn.Write(frame); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			c.stats.Resent++
+			lastErr = err
+			continue
+		}
+		c.stats.Sent++
+		return nil
+	}
+	return fmt.Errorf("ingest: frame undeliverable after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+}
+
+// sleepBackoff sleeps the exponential reconnect delay for the n-th
+// consecutive failed attempt (n >= 1). Called with c.mu held: delivery is
+// strictly ordered, so stalling subsequent Sends is the point.
+func (c *Client) sleepBackoff(n int) {
+	time.Sleep(backoffFor(c.cfg.BackoffBase, c.cfg.BackoffMax, n, c.rng))
+}
+
+// Stats returns a snapshot of the client's delivery counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close closes the current connection, if any. The client can still be
+// reused: the next Send redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,0 +1,161 @@
+// Package ingest is Iustitia's network boundary: a framed packet-ingest
+// server that feeds flow.ParallelEngine from TCP or unix-socket clients,
+// engineered for the failure modes a real deployment hits — slow clients,
+// torn frames, disconnects, overload, and crash-looping workers. It
+// extends the DESIGN.md §6 overload model across the wire: every frame a
+// client sends is accounted exactly once, so
+//
+//	Received == Admitted + Quarantined + Shed
+//
+// holds at all times, the transport-level twin of the engine's
+// Admitted == Classified + Fallback + Dropped + Pending invariant.
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+
+	"iustitia/internal/packet"
+)
+
+// Frame format: a fixed self-delimiting header so a reader that lands in
+// the middle of garbage can resynchronize by scanning for the magic:
+//
+//	[0] 'I'  [1] 'G'  [2] version (1)
+//	[3:7]  payload length, uint32 BE
+//	[7:11] crc32-IEEE of the payload, uint32 BE
+//	[11:]  payload: one packet in the internal/packet wire encoding
+//
+// A malformed frame — bad magic, bad version, implausible length, CRC
+// mismatch, undecodable packet — is *quarantined*: the reader counts one
+// event per contiguous run of bad bytes, skips forward to the next
+// plausible header, and keeps the connection alive. One corrupt frame
+// must cost one counter increment, not the whole connection.
+const (
+	frameMagic0     = 'I'
+	frameMagic1     = 'G'
+	frameVersion    = 1
+	frameHeaderSize = 11
+)
+
+// DefaultMaxFrame is the default bound on a frame's payload length: a
+// maximum wire-encoded packet plus header slack. Headers declaring more
+// are treated as garbage, so a hostile 4-byte length field cannot stall
+// the reader waiting for gigabytes.
+const DefaultMaxFrame = packet.MaxWirePayload + 64
+
+// AppendFrame appends one framed packet to dst and returns the extended
+// slice. The same buffer can be reused across calls to avoid allocation.
+func AppendFrame(dst []byte, p *packet.Packet) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, frameMagic0, frameMagic1, frameVersion, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst, err := packet.AppendWire(dst, p)
+	if err != nil {
+		return dst[:start], err
+	}
+	body := dst[start+frameHeaderSize:]
+	binary.BigEndian.PutUint32(dst[start+3:start+7], uint32(len(body)))
+	binary.BigEndian.PutUint32(dst[start+7:start+11], crc32.ChecksumIEEE(body))
+	return dst, nil
+}
+
+// FrameReader decodes framed packets from a byte stream with resync: bad
+// bytes are quarantined and skipped instead of killing the stream.
+type FrameReader struct {
+	br           *bufio.Reader
+	max          int
+	onQuarantine func()
+	inGarbage    bool
+	quarantined  int
+}
+
+// NewFrameReader wraps r. maxFrame bounds the payload length a header may
+// declare (<= 0 selects DefaultMaxFrame); onQuarantine, when non-nil, is
+// invoked once per quarantine event.
+func NewFrameReader(r io.Reader, maxFrame int, onQuarantine func()) *FrameReader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &FrameReader{
+		br:           bufio.NewReaderSize(r, frameHeaderSize+maxFrame),
+		max:          maxFrame,
+		onQuarantine: onQuarantine,
+	}
+}
+
+// Quarantined returns how many quarantine events the reader has recorded:
+// contiguous runs of garbage, torn frames, CRC mismatches, undecodable
+// packets.
+func (fr *FrameReader) Quarantined() int { return fr.quarantined }
+
+// quarantine records one event per contiguous run of bad bytes. The run
+// ends when the next valid frame decodes.
+func (fr *FrameReader) quarantine() {
+	if fr.inGarbage {
+		return
+	}
+	fr.inGarbage = true
+	fr.quarantined++
+	if fr.onQuarantine != nil {
+		fr.onQuarantine()
+	}
+}
+
+// Next returns the next valid packet, quarantining and skipping any
+// malformed bytes in between. It returns an error only when the stream
+// itself ends or fails (io.EOF, deadline expiry, reset); a torn frame at
+// the end of the stream is quarantined before the error is returned.
+func (fr *FrameReader) Next() (packet.Packet, error) {
+	for {
+		hdr, err := fr.br.Peek(frameHeaderSize)
+		if err != nil {
+			// Stream over with a partial header buffered: a torn frame.
+			if len(hdr) > 0 {
+				fr.quarantine()
+				_, _ = fr.br.Discard(len(hdr))
+			}
+			return packet.Packet{}, err
+		}
+		if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 || hdr[2] != frameVersion {
+			fr.quarantine()
+			_, _ = fr.br.Discard(1)
+			continue
+		}
+		length := int(binary.BigEndian.Uint32(hdr[3:7]))
+		if length == 0 || length > fr.max {
+			// Never trust a hostile length: skip one byte and rescan
+			// rather than discarding what might be valid frames.
+			fr.quarantine()
+			_, _ = fr.br.Discard(1)
+			continue
+		}
+		// hdr is only valid until the next Peek: growing the window may
+		// slide the buffer and shift the bytes hdr points at. Everything
+		// needed from the header must be extracted before peeking again.
+		wantCRC := binary.BigEndian.Uint32(hdr[7:11])
+		full, err := fr.br.Peek(frameHeaderSize + length)
+		if err != nil {
+			// Stream over mid-payload: a torn frame.
+			fr.quarantine()
+			_, _ = fr.br.Discard(fr.br.Buffered())
+			return packet.Packet{}, err
+		}
+		body := full[frameHeaderSize:]
+		if crc32.ChecksumIEEE(body) != wantCRC {
+			fr.quarantine()
+			_, _ = fr.br.Discard(1)
+			continue
+		}
+		pkt, err := packet.DecodeWire(body)
+		if err != nil {
+			fr.quarantine()
+			_, _ = fr.br.Discard(1)
+			continue
+		}
+		_, _ = fr.br.Discard(frameHeaderSize + length)
+		fr.inGarbage = false
+		return pkt, nil
+	}
+}

@@ -1,0 +1,78 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+)
+
+// State is the server's lifecycle/health state. The machine is strictly
+// ordered around the drain path:
+//
+//	starting → healthy ⇄ degraded
+//	    any of those → draining → stopped
+//
+// healthy ⇄ degraded flips with the worker crash-loop breaker; draining
+// is entered exactly once by Shutdown and always terminates in stopped.
+type State int32
+
+// Server lifecycle states.
+const (
+	StateStarting State = iota
+	StateHealthy
+	StateDegraded
+	StateDraining
+	StateStopped
+)
+
+// String names the state for the status listener and logs.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// healthFSM guards the state transitions: illegal moves (e.g. a late
+// breaker trip during drain) are ignored rather than corrupting the
+// lifecycle.
+type healthFSM struct {
+	mu sync.Mutex
+	s  State
+}
+
+func (h *healthFSM) state() State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.s
+}
+
+// to attempts a transition and reports whether it was legal.
+func (h *healthFSM) to(next State) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ok := false
+	switch next {
+	case StateHealthy:
+		ok = h.s == StateStarting || h.s == StateDegraded
+	case StateDegraded:
+		ok = h.s == StateHealthy
+	case StateDraining:
+		ok = h.s == StateStarting || h.s == StateHealthy || h.s == StateDegraded
+	case StateStopped:
+		ok = h.s == StateDraining
+	}
+	if ok {
+		h.s = next
+	}
+	return ok
+}

@@ -1,0 +1,621 @@
+package ingest
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/packet"
+)
+
+// OverflowPolicy selects what a connection reader does when its queue
+// budget is exhausted — the transport-level twin of flow.EvictPolicy.
+type OverflowPolicy int
+
+const (
+	// OverflowBlock stalls the reader until queue space frees up. The
+	// stall propagates to the client through TCP flow control, so a slow
+	// engine slows senders instead of dropping their packets.
+	OverflowBlock OverflowPolicy = iota
+	// OverflowShed drops the packet with a synthetic fallback verdict
+	// (the analogue of flow.EvictShed): the packet is accounted to the
+	// server's FallbackClass queue, counted in Shed, and the connection
+	// keeps going.
+	OverflowShed
+	// OverflowDisconnect sheds the packet and closes the connection: a
+	// client outrunning the engine is cut off rather than throttled.
+	OverflowDisconnect
+)
+
+// String names the policy for flags and logs.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowBlock:
+		return "block"
+	case OverflowShed:
+		return "shed"
+	case OverflowDisconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverflowPolicy maps a flag value to its policy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block":
+		return OverflowBlock, nil
+	case "shed":
+		return OverflowShed, nil
+	case "disconnect":
+		return OverflowDisconnect, nil
+	default:
+		return 0, fmt.Errorf("ingest: unknown overflow policy %q (want block|shed|disconnect)", s)
+	}
+}
+
+// Config assembles an ingest server.
+type Config struct {
+	// Engine receives every admitted packet. Required.
+	Engine *flow.ParallelEngine
+	// Listeners accept framed-packet connections (TCP, unix socket, or
+	// anything else implementing net.Listener). At least one is required.
+	Listeners []net.Listener
+	// StatusListener, when non-nil, serves a plain-text health/stats dump
+	// to every connection it accepts (one dump per connection, then
+	// close) — curl-able operational visibility.
+	StatusListener net.Listener
+	// Workers is how many supervised goroutines drain the queues into the
+	// engine. Packets are routed to workers by flow ID, so all packets of
+	// one flow are processed in arrival order. Zero defaults to 2.
+	Workers int
+	// QueueDepth bounds the total packets queued between readers and
+	// workers (split evenly across workers). Zero defaults to 1024.
+	QueueDepth int
+	// PerConnQueue bounds how many queued packets one connection may hold
+	// unprocessed, so a single firehose client cannot monopolize the
+	// global queue. Zero defaults to 256.
+	PerConnQueue int
+	// Overflow selects the backpressure behaviour when a bound is hit.
+	Overflow OverflowPolicy
+	// FallbackClass is the queue shed packets are accounted to.
+	FallbackClass corpus.Class
+	// IdleTimeout bounds how long a connection may sit between frames
+	// before it is closed. Zero disables it.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds the gap between consecutive reads inside one
+	// frame, so a client stalling mid-frame cannot pin a connection
+	// forever. Zero disables it.
+	ReadTimeout time.Duration
+	// MaxFrame bounds the payload length a frame header may declare
+	// (<= 0 selects DefaultMaxFrame).
+	MaxFrame int
+	// Supervision tunes worker restart backoff and the crash-loop
+	// breaker.
+	Supervision SupervisorConfig
+	// PreProcess, when non-nil, runs on every packet before it reaches
+	// the engine. It is the fault-injection surface for supervision
+	// tests: a panic here crashes the worker and exercises the
+	// supervisor, exactly like a panic in engine code would.
+	PreProcess func(*packet.Packet)
+	// OnFinalCheckpoint, when non-nil, receives the engine's parallel
+	// checkpoint at the end of a drain, after all pending flows are
+	// flushed. Hand it to persist.SaveFile under
+	// persist.KindParallelCheckpoint.
+	OnFinalCheckpoint func(snapshot []byte)
+}
+
+// Stats is a point-in-time summary of ingest activity. The frame counters
+// obey the transport conservation law asserted by the chaos soak test:
+// Received == Admitted + Quarantined + Shed.
+type Stats struct {
+	// State is the current lifecycle state.
+	State State
+	// ActiveConns and TotalConns count data connections.
+	ActiveConns, TotalConns int
+	// TimedOut counts connections closed by read/idle deadline expiry.
+	TimedOut int
+	// Disconnected counts connections closed by OverflowDisconnect.
+	Disconnected int
+	// Received counts frame events: every valid frame plus every
+	// quarantine event.
+	Received int
+	// Admitted counts packets handed to the worker queues (and therefore
+	// to the engine, panics aside).
+	Admitted int
+	// Quarantined counts malformed-frame events survived by resync.
+	Quarantined int
+	// Shed counts packets dropped by backpressure, each accounted to the
+	// fallback queue.
+	Shed int
+	// EngineErrors counts engine.Process errors (strict-mode
+	// classification failures surfaced through the packet path).
+	EngineErrors int
+	// Supervisor summarizes worker supervision.
+	Supervisor SupervisorStats
+}
+
+// item is one queued packet plus the credit it holds on its connection.
+type item struct {
+	pkt     packet.Packet
+	credits chan struct{}
+}
+
+// Server is the framed packet-ingest server.
+type Server struct {
+	cfg     Config
+	health  healthFSM
+	sup     *supervisor
+	queues  []chan item
+	maxSeen atomic.Int64 // highest packet virtual time, for FlushAll
+
+	// force is closed when a drain deadline expires: blocked enqueues
+	// abort and restart timers fire early.
+	force     chan struct{}
+	forceOnce sync.Once
+	// done is closed when the first Shutdown finishes; later callers wait
+	// on it and share the first call's error.
+	done chan struct{}
+
+	readerWG sync.WaitGroup // connection readers
+	acceptWG sync.WaitGroup // accept loops
+	workerWG sync.WaitGroup // worker slots (spans restarts)
+	statusWG sync.WaitGroup
+
+	mu           sync.Mutex
+	conns        map[net.Conn]struct{}
+	totalConns   int
+	timedOut     int
+	disconnected int
+	received     int
+	admitted     int
+	quarantined  int
+	shed         int
+	engineErrors int
+	shutdownErr  error
+	started      bool
+	shutdown     bool
+}
+
+// NewServer validates cfg and builds a server. Call Start to begin
+// accepting.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("ingest: engine is required")
+	}
+	if len(cfg.Listeners) == 0 {
+		return nil, errors.New("ingest: at least one listener is required")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("ingest: negative worker count %d", cfg.Workers)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("ingest: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.PerConnQueue == 0 {
+		cfg.PerConnQueue = 256
+	}
+	if cfg.PerConnQueue < 0 {
+		return nil, fmt.Errorf("ingest: negative per-connection queue %d", cfg.PerConnQueue)
+	}
+	if cfg.Overflow < OverflowBlock || cfg.Overflow > OverflowDisconnect {
+		return nil, fmt.Errorf("ingest: unknown overflow policy %d", int(cfg.Overflow))
+	}
+	if cfg.FallbackClass < 0 || cfg.FallbackClass >= corpus.NumClasses {
+		return nil, fmt.Errorf("ingest: fallback class %d out of range", int(cfg.FallbackClass))
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	s := &Server{
+		cfg:    cfg,
+		queues: make([]chan item, cfg.Workers),
+		force:  make(chan struct{}),
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	per := cfg.QueueDepth / cfg.Workers
+	if per < 1 {
+		per = 1
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan item, per)
+	}
+	s.sup = newSupervisor(cfg.Supervision, cfg.Workers,
+		func() { s.health.to(StateDegraded) },
+		func() { s.health.to(StateHealthy) })
+	return s, nil
+}
+
+// State returns the server's lifecycle state.
+func (s *Server) State() State { return s.health.state() }
+
+// Start spawns the accept loops, the supervised workers, and the status
+// listener, then marks the server healthy. It does not block.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("ingest: server already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.workerRun(i)
+	}
+	for _, l := range s.cfg.Listeners {
+		s.acceptWG.Add(1)
+		go s.acceptLoop(l)
+	}
+	if s.cfg.StatusListener != nil {
+		s.statusWG.Add(1)
+		go s.statusLoop(s.cfg.StatusListener)
+	}
+	s.health.to(StateHealthy)
+	return nil
+}
+
+// acceptLoop accepts data connections until its listener is closed.
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed (drain) or fatal
+		}
+		s.mu.Lock()
+		draining := s.shutdown
+		if !draining {
+			s.conns[c] = struct{}{}
+			s.totalConns++
+		}
+		s.mu.Unlock()
+		if draining {
+			c.Close()
+			continue
+		}
+		s.readerWG.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// deadlineConn applies the per-connection deadlines: the first read of
+// every frame gets the idle deadline (time allowed between frames), each
+// subsequent read the read deadline (progress required mid-frame).
+type deadlineConn struct {
+	net.Conn
+	idle, read time.Duration
+	atBoundary bool
+}
+
+func (d *deadlineConn) Read(p []byte) (int, error) {
+	timeout := d.read
+	if d.atBoundary {
+		timeout = d.idle
+		d.atBoundary = false
+	}
+	if timeout > 0 {
+		if err := d.Conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return d.Conn.Read(p)
+}
+
+// serveConn reads frames off one connection until EOF, error, deadline
+// expiry, or a disconnect-policy trigger.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.readerWG.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	credits := make(chan struct{}, s.cfg.PerConnQueue)
+	dc := &deadlineConn{Conn: c, idle: s.cfg.IdleTimeout, read: s.cfg.ReadTimeout}
+	fr := NewFrameReader(dc, s.cfg.MaxFrame, func() {
+		s.mu.Lock()
+		s.received++
+		s.quarantined++
+		s.mu.Unlock()
+	})
+	for {
+		dc.atBoundary = true
+		pkt, err := fr.Next()
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				s.mu.Lock()
+				s.timedOut++
+				s.mu.Unlock()
+			}
+			return
+		}
+		s.mu.Lock()
+		s.received++
+		s.mu.Unlock()
+		if !s.enqueue(pkt, credits) {
+			return
+		}
+	}
+}
+
+// workerFor routes a packet to its worker by flow ID — the same
+// full-word reduction ParallelEngine uses for shards — so one flow's
+// packets are always processed by one worker, in order.
+func (s *Server) workerFor(p *packet.Packet) chan item {
+	id := flow.IDOf(p.Tuple)
+	return s.queues[binary.BigEndian.Uint64(id[:8])%uint64(len(s.queues))]
+}
+
+// enqueue applies the backpressure policy. It reports whether the
+// connection should stay open. Every packet that enters here is counted
+// exactly once: Admitted when queued, Shed otherwise.
+func (s *Server) enqueue(pkt packet.Packet, credits chan struct{}) bool {
+	q := s.workerFor(&pkt)
+	it := item{pkt: pkt, credits: credits}
+	switch s.cfg.Overflow {
+	case OverflowBlock:
+		select {
+		case credits <- struct{}{}:
+		case <-s.force:
+			s.countShed()
+			return false
+		}
+		select {
+		case q <- it:
+			s.countAdmitted()
+			return true
+		case <-s.force:
+			<-credits
+			s.countShed()
+			return false
+		}
+	default: // OverflowShed, OverflowDisconnect
+		select {
+		case credits <- struct{}{}:
+		default:
+			return s.shedOne()
+		}
+		select {
+		case q <- it:
+			s.countAdmitted()
+			return true
+		default:
+			<-credits
+			return s.shedOne()
+		}
+	}
+}
+
+// shedOne accounts one packet dropped by backpressure with its synthetic
+// fallback verdict, and reports whether the connection survives the
+// policy.
+func (s *Server) shedOne() bool {
+	s.mu.Lock()
+	s.shed++
+	disconnect := s.cfg.Overflow == OverflowDisconnect
+	if disconnect {
+		s.disconnected++
+	}
+	s.mu.Unlock()
+	return !disconnect
+}
+
+func (s *Server) countAdmitted() {
+	s.mu.Lock()
+	s.admitted++
+	s.mu.Unlock()
+}
+
+func (s *Server) countShed() {
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+}
+
+// workerRun is one supervised worker slot. A panic while processing a
+// packet is recovered, counted, and answered with a delayed restart of
+// the same slot; the WaitGroup is released only when the slot exits
+// normally (its queue closed and drained).
+func (s *Server) workerRun(id int) {
+	defer func() {
+		if r := recover(); r != nil {
+			backoff := s.sup.recordPanic()
+			go func() {
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+				case <-s.force:
+					t.Stop()
+				}
+				s.workerRun(id)
+			}()
+			return
+		}
+		s.workerWG.Done()
+	}()
+	for it := range s.queues[id] {
+		s.processItem(it)
+	}
+}
+
+// processItem hands one packet to the engine. The connection credit is
+// released even when the hook or engine panics (the panic then unwinds
+// into workerRun's supervisor).
+func (s *Server) processItem(it item) {
+	defer func() { <-it.credits }()
+	if t := int64(it.pkt.Time); t > s.maxSeen.Load() {
+		s.maxSeen.Store(t)
+	}
+	if s.cfg.PreProcess != nil {
+		s.cfg.PreProcess(&it.pkt)
+	}
+	if _, err := s.cfg.Engine.Process(&it.pkt); err != nil {
+		s.mu.Lock()
+		s.engineErrors++
+		s.mu.Unlock()
+	}
+	s.sup.recordSuccess()
+}
+
+// Shutdown drains the server: stop accepting, let connected clients
+// finish (until ctx expires, then force-close them), drain the queues
+// through the workers, flush every pending flow, and hand the final
+// checkpoint to OnFinalCheckpoint. The health state walks
+// draining → stopped. Shutdown is idempotent; concurrent calls share the
+// first invocation's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		// Wait for the first Shutdown to finish, then share its error.
+		<-s.done
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.shutdownErr
+	}
+	s.shutdown = true
+	s.mu.Unlock()
+
+	s.health.to(StateDraining)
+	var errs []error
+
+	// 1. Stop accepting.
+	for _, l := range s.cfg.Listeners {
+		if err := l.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("ingest: close listener: %w", err))
+		}
+	}
+	s.acceptWG.Wait()
+
+	// 2. Let connected clients finish naturally; force-close stragglers
+	// when the drain deadline expires (their unread frames are lost, and
+	// blocked enqueues abort into Shed so the accounting stays exact).
+	readersDone := make(chan struct{})
+	go func() { s.readerWG.Wait(); close(readersDone) }()
+	select {
+	case <-readersDone:
+	case <-ctx.Done():
+		errs = append(errs, fmt.Errorf("ingest: drain deadline: %w", ctx.Err()))
+		s.forceOnce.Do(func() { close(s.force) })
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-readersDone
+	}
+
+	// 3. No reader can enqueue anymore: close the queues and wait for the
+	// workers (including any mid-backoff restart) to drain them.
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.workerWG.Wait()
+
+	// 4. Flush every still-pending flow at a virtual time safely past the
+	// last packet, then persist the final checkpoint.
+	now := time.Duration(s.maxSeen.Load()) + time.Minute
+	if _, err := s.cfg.Engine.FlushAll(now); err != nil {
+		errs = append(errs, fmt.Errorf("ingest: drain flush: %w", err))
+	}
+	if s.cfg.OnFinalCheckpoint != nil {
+		s.cfg.OnFinalCheckpoint(s.cfg.Engine.ExportCheckpoint())
+	}
+
+	if s.cfg.StatusListener != nil {
+		if err := s.cfg.StatusListener.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("ingest: close status listener: %w", err))
+		}
+	}
+	s.statusWG.Wait()
+	s.health.to(StateStopped)
+
+	err := errors.Join(errs...)
+	s.mu.Lock()
+	s.shutdownErr = err
+	s.mu.Unlock()
+	close(s.done)
+	return err
+}
+
+// Stats returns a snapshot of the ingest counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		ActiveConns:  len(s.conns),
+		TotalConns:   s.totalConns,
+		TimedOut:     s.timedOut,
+		Disconnected: s.disconnected,
+		Received:     s.received,
+		Admitted:     s.admitted,
+		Quarantined:  s.quarantined,
+		Shed:         s.shed,
+		EngineErrors: s.engineErrors,
+	}
+	s.mu.Unlock()
+	st.State = s.health.state()
+	st.Supervisor = s.sup.stats()
+	return st
+}
+
+// statusLoop serves one plain-text status dump per accepted connection.
+func (s *Server) statusLoop(l net.Listener) {
+	defer s.statusWG.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+		_, _ = c.Write([]byte(s.StatusText()))
+		c.Close()
+	}
+}
+
+// StatusText renders the health state and counters as the plain-text
+// document the status listener serves.
+func (s *Server) StatusText() string {
+	st := s.Stats()
+	es := s.cfg.Engine.Stats()
+	breaker := "closed"
+	if st.Supervisor.BreakerOpen {
+		breaker = "open"
+	}
+	return fmt.Sprintf(
+		"state: %s\n"+
+			"conns: %d active / %d total (timed-out %d, disconnected %d)\n"+
+			"received: %d\nadmitted: %d\nquarantined: %d\nshed: %d\n"+
+			"engine-errors: %d\n"+
+			"workers: %d (panics %d, restarts %d, crash-streak %d, breaker %s)\n"+
+			"engine: classified %d, pending %d, fallback %d, shed %d, dropped %d, degraded-shards %d/%d\n"+
+			"fallback-class: %s\n",
+		st.State,
+		st.ActiveConns, st.TotalConns, st.TimedOut, st.Disconnected,
+		st.Received, st.Admitted, st.Quarantined, st.Shed,
+		st.EngineErrors,
+		st.Supervisor.Workers, st.Supervisor.Panics, st.Supervisor.Restarts,
+		st.Supervisor.ConsecutiveCrashes, breaker,
+		es.Classified, es.Pending, es.Fallback, es.Shed, es.Dropped,
+		es.Degraded, s.cfg.Engine.Shards(),
+		corpus.ClassNames()[s.cfg.FallbackClass])
+}

@@ -1,0 +1,171 @@
+package ingest
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SupervisorConfig tunes worker supervision: how crashed ingest workers
+// are restarted and when a crash loop trips the breaker into degraded
+// mode.
+type SupervisorConfig struct {
+	// BackoffBase is the restart delay after the first crash; each
+	// consecutive crash doubles it. Zero defaults to 10ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the restart delay. Zero defaults to 2s.
+	BackoffMax time.Duration
+	// TripAfter is how many consecutive worker crashes (with no
+	// successfully processed packet in between) trip the crash-loop
+	// breaker, flipping server health to degraded. Zero defaults to 8;
+	// negative disables the breaker.
+	TripAfter int
+	// Seed drives the restart jitter. The jitter decorrelates restart
+	// storms when several workers crash on the same poisoned input.
+	Seed int64
+}
+
+const (
+	defaultBackoffBase = 10 * time.Millisecond
+	defaultBackoffMax  = 2 * time.Second
+	defaultTripAfter   = 8
+)
+
+func (c SupervisorConfig) backoffBase() time.Duration {
+	if c.BackoffBase <= 0 {
+		return defaultBackoffBase
+	}
+	return c.BackoffBase
+}
+
+func (c SupervisorConfig) backoffMax() time.Duration {
+	if c.BackoffMax <= 0 {
+		return defaultBackoffMax
+	}
+	return c.BackoffMax
+}
+
+func (c SupervisorConfig) tripAfter() int {
+	if c.TripAfter == 0 {
+		return defaultTripAfter
+	}
+	return c.TripAfter
+}
+
+// SupervisorStats is a snapshot of worker supervision activity.
+type SupervisorStats struct {
+	// Workers is the configured worker count.
+	Workers int
+	// Panics counts worker panics recovered by the supervisor.
+	Panics int
+	// Restarts counts worker restarts scheduled (equals Panics: every
+	// recovered panic schedules exactly one restart).
+	Restarts int
+	// ConsecutiveCrashes is the current crash streak; a processed packet
+	// resets it.
+	ConsecutiveCrashes int
+	// BreakerOpen is true while the crash-loop breaker holds the server
+	// degraded.
+	BreakerOpen bool
+}
+
+// supervisor tracks worker crashes, computes restart backoff, and drives
+// the crash-loop breaker. The health transitions themselves are delegated
+// through onTrip/onRecover so the supervisor stays testable in isolation.
+type supervisor struct {
+	cfg       SupervisorConfig
+	onTrip    func()
+	onRecover func()
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	workers     int
+	panics      int
+	restarts    int
+	consecutive int
+	breakerOpen bool
+}
+
+func newSupervisor(cfg SupervisorConfig, workers int, onTrip, onRecover func()) *supervisor {
+	return &supervisor{
+		cfg:       cfg,
+		onTrip:    onTrip,
+		onRecover: onRecover,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		workers:   workers,
+	}
+}
+
+// recordPanic accounts one recovered worker panic and returns the backoff
+// to sleep before restarting that worker. Crossing TripAfter consecutive
+// crashes opens the breaker and fires onTrip.
+func (s *supervisor) recordPanic() time.Duration {
+	s.mu.Lock()
+	s.panics++
+	s.restarts++
+	s.consecutive++
+	trip := false
+	if ta := s.cfg.tripAfter(); ta > 0 && s.consecutive >= ta && !s.breakerOpen {
+		s.breakerOpen = true
+		trip = true
+	}
+	backoff := backoffFor(s.cfg.backoffBase(), s.cfg.backoffMax(), s.consecutive, s.rng)
+	s.mu.Unlock()
+	if trip && s.onTrip != nil {
+		s.onTrip()
+	}
+	return backoff
+}
+
+// recordSuccess marks one packet fully processed: the crash streak resets
+// and, if the breaker was open, it closes and fires onRecover — the
+// supervision twin of the engine's degraded-mode probe recovery.
+func (s *supervisor) recordSuccess() {
+	s.mu.Lock()
+	if s.consecutive == 0 && !s.breakerOpen {
+		s.mu.Unlock()
+		return
+	}
+	s.consecutive = 0
+	recovered := s.breakerOpen
+	s.breakerOpen = false
+	s.mu.Unlock()
+	if recovered && s.onRecover != nil {
+		s.onRecover()
+	}
+}
+
+func (s *supervisor) stats() SupervisorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SupervisorStats{
+		Workers:            s.workers,
+		Panics:             s.panics,
+		Restarts:           s.restarts,
+		ConsecutiveCrashes: s.consecutive,
+		BreakerOpen:        s.breakerOpen,
+	}
+}
+
+// backoffFor computes the restart delay for the n-th consecutive crash
+// (n >= 1): base·2^(n-1) capped at max, plus a uniform jitter of up to
+// half the delay. rng may be nil for a jitter-free value (unit tests).
+func backoffFor(base, max time.Duration, n int, rng *rand.Rand) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if rng != nil && d > 0 {
+		d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}

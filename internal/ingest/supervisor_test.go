@@ -1,0 +1,126 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffFor(t *testing.T) {
+	base, max := 10*time.Millisecond, 2*time.Second
+	cases := []struct {
+		n    int
+		want time.Duration
+	}{
+		{0, 10 * time.Millisecond}, // clamped to n=1
+		{1, 10 * time.Millisecond},
+		{2, 20 * time.Millisecond},
+		{3, 40 * time.Millisecond},
+		{8, 1280 * time.Millisecond},
+		{9, 2 * time.Second}, // capped
+		{50, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := backoffFor(base, max, tc.n, nil); got != tc.want {
+			t.Errorf("backoffFor(n=%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	s := newSupervisor(SupervisorConfig{BackoffBase: 10 * time.Millisecond, BackoffMax: 100 * time.Millisecond, Seed: 1}, 1, nil, nil)
+	for i := 0; i < 200; i++ {
+		d := backoffFor(10*time.Millisecond, 100*time.Millisecond, i+1, s.rng)
+		if d < 10*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("crash %d: backoff %v outside [base, max]", i+1, d)
+		}
+	}
+}
+
+// TestSupervisorBreaker drives the crash-streak/recovery cycle: TripAfter
+// consecutive panics open the breaker and fire onTrip exactly once; one
+// success closes it and fires onRecover.
+func TestSupervisorBreaker(t *testing.T) {
+	trips, recovers := 0, 0
+	s := newSupervisor(SupervisorConfig{TripAfter: 3, Seed: 1}, 2,
+		func() { trips++ }, func() { recovers++ })
+
+	s.recordPanic()
+	s.recordPanic()
+	if st := s.stats(); st.BreakerOpen || trips != 0 {
+		t.Fatalf("breaker open after 2/3 crashes: %+v", st)
+	}
+	s.recordPanic()
+	if st := s.stats(); !st.BreakerOpen || trips != 1 {
+		t.Fatalf("breaker not open after 3 crashes: %+v (trips %d)", st, trips)
+	}
+	s.recordPanic() // deeper into the loop: no second trip
+	if trips != 1 {
+		t.Fatalf("breaker re-tripped while open: trips = %d", trips)
+	}
+
+	s.recordSuccess()
+	st := s.stats()
+	if st.BreakerOpen || st.ConsecutiveCrashes != 0 {
+		t.Fatalf("breaker still open after success: %+v", st)
+	}
+	if recovers != 1 {
+		t.Fatalf("onRecover fired %d times, want 1", recovers)
+	}
+	if st.Panics != 4 || st.Restarts != 4 {
+		t.Fatalf("panics/restarts = %d/%d, want 4/4", st.Panics, st.Restarts)
+	}
+
+	s.recordSuccess() // idempotent on the fast path
+	if recovers != 1 {
+		t.Fatalf("onRecover refired on steady-state success")
+	}
+}
+
+// TestSupervisorBackoffGrowsWithStreak checks each consecutive crash
+// backs off at least as long (modulo jitter, which only adds).
+func TestSupervisorBackoffGrowsWithStreak(t *testing.T) {
+	s := newSupervisor(SupervisorConfig{BackoffBase: time.Millisecond, BackoffMax: time.Second, TripAfter: -1}, 1, nil, nil)
+	floor := time.Duration(0)
+	for i := 1; i <= 8; i++ {
+		d := s.recordPanic()
+		want := backoffFor(time.Millisecond, time.Second, i, nil)
+		if d < want {
+			t.Fatalf("crash %d: backoff %v below deterministic floor %v", i, d, want)
+		}
+		if want < floor {
+			t.Fatalf("deterministic floor shrank: %v after %v", want, floor)
+		}
+		floor = want
+	}
+}
+
+func TestHealthFSM(t *testing.T) {
+	var h healthFSM
+	if h.state() != StateStarting {
+		t.Fatalf("zero state = %v, want starting", h.state())
+	}
+	if h.to(StateStopped) {
+		t.Error("starting → stopped allowed")
+	}
+	if h.to(StateDegraded) {
+		t.Error("starting → degraded allowed")
+	}
+	if !h.to(StateHealthy) || h.state() != StateHealthy {
+		t.Fatal("starting → healthy refused")
+	}
+	if !h.to(StateDegraded) || !h.to(StateHealthy) {
+		t.Fatal("healthy ⇄ degraded refused")
+	}
+	if !h.to(StateDegraded) || !h.to(StateDraining) {
+		t.Fatal("degraded → draining refused")
+	}
+	if h.to(StateHealthy) || h.to(StateDegraded) {
+		t.Error("draining allowed a transition back")
+	}
+	if !h.to(StateStopped) {
+		t.Fatal("draining → stopped refused")
+	}
+	if h.to(StateDraining) || h.to(StateHealthy) {
+		t.Error("stopped allowed a transition out")
+	}
+}

@@ -2,6 +2,7 @@ package packet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"time"
 
@@ -28,6 +29,10 @@ func FuzzReadTrace(f *testing.F) {
 	f.Add([]byte{})
 	truncated := valid.Bytes()[:valid.Len()/2]
 	f.Add(truncated)
+	// A hostile header: the flow count claims the 1<<26 maximum but the
+	// input ends right after it. The parser must fail cleanly without
+	// pre-allocating for the declared count.
+	f.Add(hugeCountHeader())
 
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		restored, err := ReadTrace(bytes.NewReader(blob))
@@ -41,4 +46,13 @@ func FuzzReadTrace(f *testing.F) {
 			t.Fatalf("parsed trace failed to re-serialize: %v", err)
 		}
 	})
+}
+
+// hugeCountHeader builds a syntactically valid trace header whose flow
+// count claims the maximum the parser accepts, followed by nothing.
+func hugeCountHeader() []byte {
+	blob := []byte("IUTR\x01")
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], 1<<26)
+	return append(blob, tmp[:n]...)
 }

@@ -166,9 +166,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("%w: implausible flow count %d", ErrBadTrace, flowCount)
 	}
 
-	trace := &Trace{Flows: make(map[FiveTuple]*FlowInfo, flowCount)}
-	tuples := make([]FiveTuple, flowCount)
-	for i := range tuples {
+	// The counts above are attacker-supplied: a 20-byte input declaring
+	// 1<<26 flows must not pre-allocate ~1 GiB before the first read
+	// fails. Seed the containers with a bounded hint and let them grow
+	// only as real records actually parse.
+	trace := &Trace{Flows: make(map[FiveTuple]*FlowInfo, preallocHint(flowCount))}
+	tuples := make([]FiveTuple, 0, preallocHint(flowCount))
+	for i := uint64(0); i < flowCount; i++ {
 		var wire [13]byte
 		if _, err := io.ReadFull(br, wire[:]); err != nil {
 			return nil, fmt.Errorf("%w: flow %d tuple: %v", ErrBadTrace, i, err)
@@ -204,7 +208,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("%w: flow %d start: %v", ErrBadTrace, i, err)
 		}
 		info.Start = time.Duration(start)
-		tuples[i] = tuple
+		tuples = append(tuples, tuple)
 		trace.Flows[tuple] = info
 	}
 
@@ -216,7 +220,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if packetCount > maxPackets {
 		return nil, fmt.Errorf("%w: implausible packet count %d", ErrBadTrace, packetCount)
 	}
-	trace.Packets = make([]Packet, 0, packetCount)
+	trace.Packets = make([]Packet, 0, preallocHint(packetCount))
 	var now time.Duration
 	for i := uint64(0); i < packetCount; i++ {
 		idx, err := binary.ReadUvarint(br)
@@ -258,6 +262,19 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		})
 	}
 	return trace, nil
+}
+
+// maxPrealloc bounds how many elements a declared-but-unverified count may
+// pre-allocate: larger collections grow incrementally as records parse.
+const maxPrealloc = 64 << 10
+
+// preallocHint clamps an attacker-supplied element count to a safe
+// initial-capacity hint.
+func preallocHint(declared uint64) int {
+	if declared > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(declared)
 }
 
 // unmarshalTuple reverses FiveTuple.Marshal.

@@ -41,6 +41,9 @@ const (
 	KindCDB Kind = 2
 	// KindCheckpoint is a full engine checkpoint (counters + CDB).
 	KindCheckpoint Kind = 3
+	// KindParallelCheckpoint is a sharded-engine checkpoint: one
+	// KindCheckpoint payload per shard, shard count pinned.
+	KindParallelCheckpoint Kind = 4
 )
 
 // String names the kind for errors and logs.
@@ -52,6 +55,8 @@ func (k Kind) String() string {
 		return "cdb"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindParallelCheckpoint:
+		return "parallel-checkpoint"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint16(k))
 	}
