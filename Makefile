@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench bench-json experiments examples fuzz snapshot-compat clean
+.PHONY: all build test race check bench bench-json bench-smoke experiments examples fuzz snapshot-compat clean
 
 all: build test
 
@@ -24,12 +24,13 @@ race:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run 'TestVectorAllocRegression|TestStreamWriteAllocFree' -count=1 ./internal/entropy ./internal/entest
+	$(GO) test -run 'TestVectorAllocRegression|TestStreamWriteAllocFree|TestBatchAllocRegression' -count=1 ./internal/entropy ./internal/entest ./internal/flow
 	$(GO) test -run 'TestChaosConnSoak' -count=1 ./internal/ingest
 	$(GO) test -fuzz=FuzzStrip -fuzztime=5s ./internal/appheader
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=5s ./internal/packet
 	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/pcap
 	$(GO) test -fuzz=FuzzFrame -fuzztime=5s ./internal/ingest
+	$(GO) test -fuzz=FuzzDifferentialPackedVsLegacy -fuzztime=5s ./internal/entropy
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=5s ./internal/persist
 	$(GO) test -fuzz=FuzzImportCheckpoint -fuzztime=5s ./internal/persist
 
@@ -43,6 +44,12 @@ bench:
 # file is the perf trajectory tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/iustitia-benchjson -out BENCH_entropy.json
+
+# CI smoke: compile and run every benchmark exactly once, so a benchmark
+# that panics or regresses into an error fails the pipeline without
+# paying for full measurement runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Print every evaluation table/figure as text (see EXPERIMENTS.md).
 experiments:

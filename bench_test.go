@@ -269,6 +269,70 @@ func BenchmarkParallelEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkProcessBatch measures the batched submission path against
+// per-packet Process: one SHA-1 and one shard-routing pass per packet
+// either way, but the batch amortizes call and locking overhead.
+func BenchmarkProcessBatch(b *testing.B) {
+	files, err := SyntheticCorpus(1, 30, 1<<10, 4<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := make([]corpus.File, len(files))
+	for i, f := range files {
+		pool[i] = corpus.File{Class: f.Class, Data: f.Data}
+	}
+	clf, err := core.Train(pool, core.TrainConfig{
+		Kind: core.KindCART,
+		Dataset: core.DatasetConfig{
+			Widths: core.PhiPrimeCART, Method: core.MethodPrefix, BufferSize: 32,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace, err := packet.Generate(packet.TraceConfig{
+		Flows: 500, Duration: 30 * time.Second, UDPFraction: 0.2,
+		MinFlowBytes: 256, MaxFlowBytes: 2 << 10,
+		MeanPacketGap: 50 * time.Millisecond, Seed: 11,
+	}, corpus.NewGenerator(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	newEngine := func() *flow.ParallelEngine {
+		pe, err := flow.NewParallelEngine(flow.EngineConfig{
+			BufferSize: 32, Classifier: clf,
+			CDB: flow.CDBConfig{PurgeOnClose: true},
+		}, 4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pe
+	}
+	b.Run("single", func(b *testing.B) {
+		pe := newEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pe.Process(&trace.Packets[i%len(trace.Packets)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-64", func(b *testing.B) {
+		pe := newEngine()
+		batch := make([]*packet.Packet, 0, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch = append(batch, &trace.Packets[i%len(trace.Packets)])
+			if len(batch) == cap(batch) || i == b.N-1 {
+				if _, err := pe.ProcessBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+	})
+}
+
 // BenchmarkStreamEstimator measures the one-pass estimator's per-byte cost
 // against buffering plus offline estimation.
 func BenchmarkStreamEstimator(b *testing.B) {

@@ -1,18 +1,21 @@
 // Command iustitia-benchjson measures the entropy hot path and the
-// flow-engine throughput and writes the results as machine-readable JSON
+// flow-engine throughput and appends the results as machine-readable JSON
 // (BENCH_entropy.json by default). The file is the perf trajectory tracked
-// across PRs: vector-extraction ns/op, B/op, and allocs/op over the
-// paper's payload scales (256 B, 1 KiB, 4 KiB), the legacy string-keyed
-// baseline for comparison, and end-to-end flows/sec through the sharded
-// flow.ParallelEngine.
+// across PRs — each invocation appends one run instead of overwriting, so
+// the document accumulates before/after evidence: vector-extraction
+// ns/op, B/op, and allocs/op over the paper's payload scales (256 B,
+// 1 KiB, 4 KiB), the legacy string-keyed baseline for comparison, and the
+// engine scaling curve (shards 1/2/4/8, per-packet vs batched vs
+// pipelined submission) through the sharded flow.ParallelEngine.
 //
 // Usage:
 //
-//	iustitia-benchjson -out BENCH_entropy.json
+//	iustitia-benchjson -out BENCH_entropy.json [-procs N]
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +30,11 @@ import (
 	"iustitia/internal/packet"
 )
 
-// benchResult is one benchmark entry of the output file.
+// engineBatchSize is the ProcessBatch chunk used by the batched and
+// pipelined engine benchmarks — the ingest server's default batch bound.
+const engineBatchSize = 64
+
+// benchResult is one benchmark entry of a run.
 type benchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -35,15 +42,75 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	FlowsPerSec float64 `json:"flows_per_sec,omitempty"`
+	// Procs is the GOMAXPROCS the entry actually ran under.
+	Procs int `json:"procs,omitempty"`
 }
 
-// benchFile is the full output document.
+// benchRun is one invocation's worth of measurements.
+type benchRun struct {
+	Timestamp            string             `json:"timestamp,omitempty"`
+	GoVersion            string             `json:"go_version"`
+	NumCPU               int                `json:"num_cpu,omitempty"`
+	GOMAXPROCS           int                `json:"gomaxprocs"`
+	Note                 string             `json:"note,omitempty"`
+	AllocImprovement1KiB float64            `json:"alloc_improvement_1kib,omitempty"`
+	Speedups             map[string]float64 `json:"speedups,omitempty"`
+	Results              []benchResult      `json:"results"`
+}
+
+// benchFile is the append-only output document (schema v2).
 type benchFile struct {
-	Generated            string        `json:"schema"`
+	Schema string     `json:"schema"`
+	Runs   []benchRun `json:"runs"`
+}
+
+// legacyFile is the v1 single-run document, migrated on first append.
+type legacyFile struct {
+	Schema               string        `json:"schema"`
 	GoVersion            string        `json:"go_version"`
 	GOMAXPROCS           int           `json:"gomaxprocs"`
 	AllocImprovement1KiB float64       `json:"alloc_improvement_1kib"`
 	Results              []benchResult `json:"results"`
+}
+
+// loadTrajectory reads the existing output file, migrating a v1 document
+// into the first run of a v2 trajectory. A missing file starts fresh.
+func loadTrajectory(path string) (benchFile, error) {
+	doc := benchFile{Schema: "iustitia-bench-v2"}
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return doc, nil
+	}
+	if err != nil {
+		return doc, err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	switch probe.Schema {
+	case "iustitia-bench-v2":
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			return doc, fmt.Errorf("parse %s: %w", path, err)
+		}
+	case "iustitia-bench-v1":
+		var v1 legacyFile
+		if err := json.Unmarshal(blob, &v1); err != nil {
+			return doc, fmt.Errorf("parse %s: %w", path, err)
+		}
+		doc.Runs = append(doc.Runs, benchRun{
+			GoVersion:            v1.GoVersion,
+			GOMAXPROCS:           v1.GOMAXPROCS,
+			Note:                 "migrated from iustitia-bench-v1",
+			AllocImprovement1KiB: v1.AllocImprovement1KiB,
+			Results:              v1.Results,
+		})
+	default:
+		return doc, fmt.Errorf("%s: unknown schema %q", path, probe.Schema)
+	}
+	return doc, nil
 }
 
 // deterministicPayload fills a payload with the corpus generator's
@@ -82,16 +149,42 @@ func vectorEntry(name string, data []byte, legacy bool) benchResult {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 		MBPerSec:    float64(len(data)) * 1e3 / float64(r.NsPerOp()),
+		Procs:       runtime.GOMAXPROCS(0),
 	}
 }
 
-// engineEntry pumps a synthetic trace through a sharded engine and reports
-// per-packet cost plus end-to-end flows/sec (best of three fresh runs).
-func engineEntry(shards int) (benchResult, error) {
+// engineMode selects how a benchmark replay submits packets.
+type engineMode int
+
+const (
+	modeSingle engineMode = iota // per-packet Process
+	modeBatch                    // synchronous ProcessBatch
+	modePipelined                // ProcessBatch into shard workers
+)
+
+func (m engineMode) String() string {
+	switch m {
+	case modeSingle:
+		return "single"
+	case modeBatch:
+		return "batch"
+	default:
+		return "pipelined"
+	}
+}
+
+// benchEnv is the trained classifier and trace shared by every engine
+// benchmark, so classifier training happens once.
+type benchEnv struct {
+	clf   flow.Classifier
+	trace *packet.Trace
+}
+
+func newBenchEnv() (*benchEnv, error) {
 	gen := corpus.NewGenerator(9)
 	files, err := gen.Pool(30, 1<<10, 4<<10)
 	if err != nil {
-		return benchResult{}, err
+		return nil, err
 	}
 	clf, err := core.Train(files, core.TrainConfig{
 		Kind: core.KindCART,
@@ -100,7 +193,7 @@ func engineEntry(shards int) (benchResult, error) {
 		},
 	})
 	if err != nil {
-		return benchResult{}, err
+		return nil, err
 	}
 	trace, err := packet.Generate(packet.TraceConfig{
 		Flows: 2000, Duration: 60 * time.Second, UDPFraction: 0.2,
@@ -109,30 +202,100 @@ func engineEntry(shards int) (benchResult, error) {
 		MeanPacketGap: 50 * time.Millisecond, Seed: 9,
 	}, corpus.NewGenerator(9))
 	if err != nil {
-		return benchResult{}, err
+		return nil, err
 	}
-	nFlows := len(trace.Flows)
-	nPackets := len(trace.Packets)
+	return &benchEnv{clf: clf, trace: trace}, nil
+}
 
-	best := benchResult{Name: fmt.Sprintf("flow.ParallelEngine/shards-%d/trace-2000flows", shards)}
+// replay pumps the trace through a fresh engine in the given mode and
+// returns the wall time. The §6 conservation law is asserted after the
+// final flush: a batched path that loses or duplicates a packet is a
+// wrong answer, not a fast one.
+func (env *benchEnv) replay(shards int, mode engineMode) (time.Duration, error) {
+	pe, err := flow.NewParallelEngine(flow.EngineConfig{
+		BufferSize: 32, Classifier: env.clf,
+		CDB: flow.CDBConfig{PurgeOnClose: true},
+	}, shards, nil)
+	if err != nil {
+		return 0, err
+	}
+	pkts := env.trace.Packets
+	start := time.Now()
+	switch mode {
+	case modeSingle:
+		for i := range pkts {
+			if _, err := pe.Process(&pkts[i]); err != nil {
+				return 0, err
+			}
+		}
+	default:
+		if mode == modePipelined {
+			if err := pe.StartPipeline(0); err != nil {
+				return 0, err
+			}
+		}
+		batch := make([]*packet.Packet, 0, engineBatchSize)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			failed, err := pe.ProcessBatch(batch)
+			if err != nil || failed != 0 {
+				return fmt.Errorf("ProcessBatch: failed=%d err=%w", failed, err)
+			}
+			batch = batch[:0]
+			return nil
+		}
+		for i := range pkts {
+			batch = append(batch, &pkts[i])
+			if len(batch) == engineBatchSize {
+				if err := flush(); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return 0, err
+		}
+		if mode == modePipelined {
+			pe.Barrier()
+		}
+	}
+	if _, err := pe.FlushAll(pkts[len(pkts)-1].Time + time.Hour); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if mode == modePipelined {
+		ps := pe.PipelineStats()
+		if err := pe.StopPipeline(); err != nil {
+			return 0, err
+		}
+		if ps.Errors != 0 {
+			return 0, fmt.Errorf("pipelined replay: %d errors, first: %v", ps.Errors, ps.FirstErr)
+		}
+	}
+	st := pe.Stats()
+	if total := st.Classified + st.Fallback + st.Dropped + st.Pending; st.Admitted != total {
+		return 0, fmt.Errorf("conservation violated (shards=%d mode=%s): Admitted %d != %d",
+			shards, mode, st.Admitted, total)
+	}
+	return elapsed, nil
+}
+
+// engineEntry reports end-to-end flows/sec for one (shards, mode) point of
+// the scaling curve (best of three fresh runs).
+func (env *benchEnv) engineEntry(shards int, mode engineMode) (benchResult, error) {
+	nFlows := len(env.trace.Flows)
+	nPackets := len(env.trace.Packets)
+	best := benchResult{
+		Name:  fmt.Sprintf("flow.ParallelEngine/shards-%d/%s/trace-2000flows", shards, mode),
+		Procs: runtime.GOMAXPROCS(0),
+	}
 	for rep := 0; rep < 3; rep++ {
-		pe, err := flow.NewParallelEngine(flow.EngineConfig{
-			BufferSize: 32, Classifier: clf,
-			CDB: flow.CDBConfig{PurgeOnClose: true},
-		}, shards, nil)
+		elapsed, err := env.replay(shards, mode)
 		if err != nil {
 			return benchResult{}, err
 		}
-		start := time.Now()
-		for i := range trace.Packets {
-			if _, err := pe.Process(&trace.Packets[i]); err != nil {
-				return benchResult{}, err
-			}
-		}
-		if _, err := pe.FlushAll(trace.Packets[nPackets-1].Time + time.Hour); err != nil {
-			return benchResult{}, err
-		}
-		elapsed := time.Since(start)
 		fps := float64(nFlows) / elapsed.Seconds()
 		if fps > best.FlowsPerSec {
 			best.FlowsPerSec = fps
@@ -142,17 +305,24 @@ func engineEntry(shards int) (benchResult, error) {
 	return best, nil
 }
 
-func run(out string) error {
+func run(out string, procs int) error {
+	runtime.GOMAXPROCS(procs)
+	doc, err := loadTrajectory(out)
+	if err != nil {
+		return err
+	}
+	cur := benchRun{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Speedups:   map[string]float64{},
+	}
+
 	sizes := []struct {
 		label string
 		bytes int
 	}{{"256B", 256}, {"1KiB", 1 << 10}, {"4KiB", 4 << 10}}
-
-	doc := benchFile{
-		Generated:  "iustitia-bench-v1",
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
 	var fast1k, legacy1k benchResult
 	for _, s := range sizes {
 		data, err := deterministicPayload(s.bytes)
@@ -160,30 +330,55 @@ func run(out string) error {
 			return err
 		}
 		fast := vectorEntry("entropy.VectorAt/"+s.label+"/w1-10/packed", data, false)
-		doc.Results = append(doc.Results, fast)
-		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %8d B/op %6d allocs/op\n",
+		cur.Results = append(cur.Results, fast)
+		fmt.Fprintf(os.Stderr, "%-56s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			fast.Name, fast.NsPerOp, fast.BytesPerOp, fast.AllocsPerOp)
 		legacy := vectorEntry("entropy.VectorAt/"+s.label+"/w1-10/legacy", data, true)
-		doc.Results = append(doc.Results, legacy)
-		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %8d B/op %6d allocs/op\n",
+		cur.Results = append(cur.Results, legacy)
+		fmt.Fprintf(os.Stderr, "%-56s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			legacy.Name, legacy.NsPerOp, legacy.BytesPerOp, legacy.AllocsPerOp)
 		if s.bytes == 1<<10 {
 			fast1k, legacy1k = fast, legacy
 		}
 	}
 	if fast1k.AllocsPerOp > 0 {
-		doc.AllocImprovement1KiB = float64(legacy1k.AllocsPerOp) / float64(fast1k.AllocsPerOp)
+		cur.AllocImprovement1KiB = float64(legacy1k.AllocsPerOp) / float64(fast1k.AllocsPerOp)
 	}
-	for _, shards := range []int{1, 4} {
-		entry, err := engineEntry(shards)
-		if err != nil {
-			return err
-		}
-		doc.Results = append(doc.Results, entry)
-		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/pkt %14.0f flows/sec\n",
-			entry.Name, entry.NsPerOp, entry.FlowsPerSec)
+	if fast1k.NsPerOp > 0 {
+		cur.Speedups["vector_1kib_legacy_over_packed"] = legacy1k.NsPerOp / fast1k.NsPerOp
 	}
 
+	env, err := newBenchEnv()
+	if err != nil {
+		return err
+	}
+	fps := map[string]float64{}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, mode := range []engineMode{modeSingle, modeBatch, modePipelined} {
+			entry, err := env.engineEntry(shards, mode)
+			if err != nil {
+				return err
+			}
+			cur.Results = append(cur.Results, entry)
+			fps[fmt.Sprintf("shards-%d/%s", shards, mode)] = entry.FlowsPerSec
+			fmt.Fprintf(os.Stderr, "%-56s %12.0f ns/pkt %14.0f flows/sec\n",
+				entry.Name, entry.NsPerOp, entry.FlowsPerSec)
+		}
+	}
+	// The scaling and batching ratios the trajectory tracks: how much the
+	// batched submission buys over per-packet at one shard, and how the
+	// pipelined path scales with shard count.
+	if base := fps["shards-1/single"]; base > 0 {
+		cur.Speedups["engine_batch_over_single_shards1"] = fps["shards-1/batch"] / base
+	}
+	if base := fps["shards-1/pipelined"]; base > 0 {
+		for _, shards := range []int{2, 4, 8} {
+			key := fmt.Sprintf("engine_pipelined_shards%d_over_shards1", shards)
+			cur.Speedups[key] = fps[fmt.Sprintf("shards-%d/pipelined", shards)] / base
+		}
+	}
+
+	doc.Runs = append(doc.Runs, cur)
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -192,15 +387,20 @@ func run(out string) error {
 	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (alloc improvement at 1 KiB: %.0fx)\n",
-		out, doc.AllocImprovement1KiB)
+	fmt.Fprintf(os.Stderr, "appended run %d to %s (alloc improvement at 1 KiB: %.0fx, GOMAXPROCS %d of %d CPUs)\n",
+		len(doc.Runs), out, cur.AllocImprovement1KiB, cur.GOMAXPROCS, cur.NumCPU)
 	return nil
 }
 
 func main() {
-	out := flag.String("out", "BENCH_entropy.json", "output JSON path")
+	out := flag.String("out", "BENCH_entropy.json", "output JSON path (appended to, not overwritten)")
+	procs := flag.Int("procs", runtime.NumCPU(), "GOMAXPROCS for the run (recorded per result)")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if *procs < 1 {
+		fmt.Fprintln(os.Stderr, "iustitia-benchjson: -procs must be >= 1")
+		os.Exit(1)
+	}
+	if err := run(*out, *procs); err != nil {
 		fmt.Fprintln(os.Stderr, "iustitia-benchjson:", err)
 		os.Exit(1)
 	}

@@ -53,6 +53,8 @@ func run() error {
 		buffer    = flag.Int("b", 32, "payload bytes buffered per flow before classification")
 		shards    = flag.Int("shards", 4, "engine shards (flow-parallel classification)")
 		workers   = flag.Int("workers", 2, "supervised ingest workers")
+		batch     = flag.Int("batch", 0, "packets per engine submission batch (1 = per-packet, 0 = default)")
+		pipeline  = flag.Bool("pipeline", false, "run the engine in pipelined mode: one worker goroutine per shard behind bounded queues")
 
 		queueDepth  = flag.Int("ingest-queue", 1024, "total packets queued between readers and workers")
 		connQueue   = flag.Int("conn-queue", 256, "unprocessed packets one connection may hold")
@@ -145,6 +147,15 @@ func run() error {
 		}
 	}
 
+	// Pipelined mode is started on the serving engine (after any resume
+	// swap) and stopped after the drain barrier has flushed its queues.
+	if *pipeline {
+		if err := engine.StartPipeline(0); err != nil {
+			return err
+		}
+		fmt.Printf("engine pipeline: %d shard workers\n", *shards)
+	}
+
 	var listeners []net.Listener
 	if *listen != "" {
 		l, err := net.Listen("tcp", *listen)
@@ -179,6 +190,7 @@ func run() error {
 		Listeners:      listeners,
 		StatusListener: statusLn,
 		Workers:        *workers,
+		Batch:          *batch,
 		QueueDepth:     *queueDepth,
 		PerConnQueue:   *connQueue,
 		Overflow:       overflowPolicy,
@@ -241,6 +253,18 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
 	defer cancel()
 	drainErr := srv.Shutdown(ctx)
+	if *pipeline {
+		// Shutdown already barriered the shard workers; surface their
+		// counters before tearing the pipeline down.
+		ps := engine.PipelineStats()
+		if stopErr := engine.StopPipeline(); stopErr != nil && drainErr == nil {
+			drainErr = stopErr
+		}
+		if ps.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "iustitia-serve: pipeline: %d errors, first: %v\n",
+				ps.Errors, ps.FirstErr)
+		}
+	}
 	if *unixSock != "" {
 		os.Remove(*unixSock)
 	}

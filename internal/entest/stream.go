@@ -31,11 +31,17 @@ type StreamEstimator struct {
 
 	// Packed-window state for k <= entropy.MaxPackedWidth: the trailing
 	// bytes live in a rolling shift-and-mask register, so forming the next
-	// element is two ALU ops and zero allocations per byte.
-	packed bool
-	reg    uint64
-	mask   uint64
-	filled int // bytes folded into reg so far, capped at k-1
+	// element is two ALU ops and zero allocations per byte. Widths up to
+	// entropy.MaxWidePackedWidth keep the trailing bytes in a two-word
+	// register instead (regHi holds the oldest k-8 bytes): still
+	// allocation-free, a couple more ALU ops per byte.
+	packed     bool
+	widePacked bool
+	reg        uint64
+	regHi      uint64
+	mask       uint64
+	hiMask     uint64
+	filled     int // bytes folded into the register so far, capped at k-1
 
 	// String-window fallback for wider elements.
 	window []byte // trailing k-1 bytes, to form k-grams across Write calls
@@ -44,10 +50,11 @@ type StreamEstimator struct {
 }
 
 // streamSlot is one reservoir sample: the element adopted at the sampled
-// position (a packed key or a string, per the estimator's mode) and the
-// count of its occurrences since.
+// position (a one- or two-word packed key or a string, per the estimator's
+// mode) and the count of its occurrences since.
 type streamSlot struct {
 	key   uint64
+	hi    uint64
 	elem  string
 	count int
 }
@@ -76,14 +83,22 @@ func NewStream(epsilon, delta float64, k, expectedLen int, seed int64) (*StreamE
 		slots: make([]streamSlot, g*z),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
-	if k <= entropy.MaxPackedWidth {
+	switch {
+	case k <= entropy.MaxPackedWidth:
 		s.packed = true
 		if k == 8 {
 			s.mask = ^uint64(0)
 		} else {
 			s.mask = 1<<(8*k) - 1
 		}
-	} else {
+	case k <= entropy.MaxWidePackedWidth:
+		s.widePacked = true
+		if k == 16 {
+			s.hiMask = ^uint64(0)
+		} else {
+			s.hiMask = 1<<(8*(k-8)) - 1
+		}
+	default:
 		s.window = make([]byte, 0, k-1)
 	}
 	return s, nil
@@ -107,6 +122,20 @@ func (s *StreamEstimator) Write(p []byte) (int, error) {
 				continue
 			}
 			s.consumePacked(s.reg)
+		}
+		return len(p), nil
+	}
+	if s.widePacked {
+		for _, b := range p {
+			// The byte leaving the low word becomes the youngest byte of
+			// the high word; the low word needs no mask at full width.
+			s.regHi = (s.regHi<<8 | s.reg>>56) & s.hiMask
+			s.reg = s.reg<<8 | uint64(b)
+			if s.filled < s.k-1 {
+				s.filled++
+				continue
+			}
+			s.consumeWide(s.regHi, s.reg)
 		}
 		return len(p), nil
 	}
@@ -142,8 +171,26 @@ func (s *StreamEstimator) consumePacked(key uint64) {
 	}
 }
 
+// consumeWide feeds one two-word packed element to every reservoir slot.
+// It draws from the same rng sequence as the other consume variants, so
+// all three modes produce identical estimates for identical streams.
+func (s *StreamEstimator) consumeWide(hi, lo uint64) {
+	s.n++
+	for i := range s.slots {
+		// Reservoir: adopt the current position with probability 1/n.
+		if s.rng.Intn(s.n) == 0 {
+			s.slots[i] = streamSlot{key: lo, hi: hi, count: 1}
+			continue
+		}
+		sl := &s.slots[i]
+		if sl.count > 0 && sl.key == lo && sl.hi == hi {
+			sl.count++
+		}
+	}
+}
+
 // consume feeds one element to every reservoir slot (string-window mode,
-// k > entropy.MaxPackedWidth).
+// k > entropy.MaxWidePackedWidth).
 func (s *StreamEstimator) consume(elem string) {
 	s.n++
 	for i := range s.slots {
@@ -188,6 +235,7 @@ func (s *StreamEstimator) Reset() {
 	}
 	s.n = 0
 	s.reg = 0
+	s.regHi = 0
 	s.filled = 0
 	s.window = s.window[:0]
 }

@@ -223,12 +223,13 @@ func TestStreamVectorValidation(t *testing.T) {
 }
 
 // TestStreamPackedBoundary runs the chunked-equals-whole invariant at the
-// packed-register boundary widths: k=8 (the widest single-word register)
-// and k=9 (the string-window fallback).
+// packed-register boundary widths: k=8 (the widest single-word register),
+// k=9 (the narrowest two-word register), k=16 (the widest), and k=17 (the
+// string-window fallback).
 func TestStreamPackedBoundary(t *testing.T) {
 	data := make([]byte, 512)
 	rand.New(rand.NewSource(21)).Read(data)
-	for _, k := range []int{2, 8, 9} {
+	for _, k := range []int{2, 8, 9, 12, 16, 17} {
 		whole, err := NewStream(0.3, 0.5, k, len(data), 13)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
@@ -324,24 +325,69 @@ func TestStreamVectorWriteContract(t *testing.T) {
 	}
 }
 
-// TestStreamWriteAllocFree asserts the packed hot path allocates nothing
-// per Write call.
+// TestStreamWidePackedMatchesStringWindow proves the two-word register is
+// a pure representation change: a wide-packed estimator and a forced
+// string-window estimator with the same seed draw the same reservoir
+// decisions and report identical estimates.
+func TestStreamWidePackedMatchesStringWindow(t *testing.T) {
+	data := make([]byte, 768)
+	rand.New(rand.NewSource(33)).Read(data)
+	// Low diversity in the tail so slots accumulate counts > 1.
+	for i := 512; i < len(data); i++ {
+		data[i] = data[i%64]
+	}
+	for k := 9; k <= 16; k++ {
+		wide, err := NewStream(0.3, 0.5, k, len(data), 77)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !wide.widePacked {
+			t.Fatalf("k=%d estimator not wide-packed", k)
+		}
+		str, err := NewStream(0.3, 0.5, k, len(data), 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force the string-window fallback to serve as the oracle.
+		str.packed, str.widePacked = false, false
+		str.window = make([]byte, 0, k-1)
+		for i := 0; i < len(data); i += 13 {
+			end := i + 13
+			if end > len(data) {
+				end = len(data)
+			}
+			wide.Write(data[i:end])
+			str.Write(data[i:end])
+		}
+		if wide.Elements() != str.Elements() {
+			t.Errorf("k=%d: element counts differ: %d vs %d", k, wide.Elements(), str.Elements())
+		}
+		if ws, ss := wide.EstimateS(), str.EstimateS(); ws != ss {
+			t.Errorf("k=%d: wide-packed estimate %v != string-window %v", k, ws, ss)
+		}
+	}
+}
+
+// TestStreamWriteAllocFree asserts the packed hot paths — single-word and
+// two-word registers — allocate nothing per Write call.
 func TestStreamWriteAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are skewed under the race detector")
 	}
-	s, err := NewStream(0.3, 0.5, 5, 4096, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
 	chunk := make([]byte, 256)
 	rand.New(rand.NewSource(4)).Read(chunk)
-	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := s.Write(chunk); err != nil {
+	for _, k := range []int{5, 9, 12, 16} {
+		s, err := NewStream(0.3, 0.5, k, 4096, 3)
+		if err != nil {
 			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Errorf("packed StreamEstimator.Write allocs/op = %v, want 0", allocs)
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := s.Write(chunk); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("k=%d: packed StreamEstimator.Write allocs/op = %v, want 0", k, allocs)
+		}
 	}
 }

@@ -2,76 +2,462 @@ package entropy
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the allocation-free exact-counting hot path. A k-gram of
 // width k <= 8 fits a single uint64, and one of width k <= 16 fits a
 // [2]uint64, so instead of interning every element as a string the scanner
 // packs each element into an integer key with a rolling shift-and-mask and
-// counts into pooled integer-keyed maps. One pass over the payload feeds
-// every requested width at once via per-width rolling registers; only
-// widths beyond maxWidePackedWidth fall back to the string-keyed
-// CountKGrams path.
+// counts into pooled open-addressing flat tables (k = 2 gets a dense
+// 65536-entry array, k = 1 a 256-entry array). Only widths beyond
+// MaxWidePackedWidth fall back to the string-keyed CountKGrams path.
 //
 // Determinism invariant: the per-width sums are folded through the same
-// ascending count-of-counts summation as sumCLogC, so the packed path
-// produces bit-identical h_k to the legacy string-keyed path (the
-// differential tests in packed_test.go prove it).
+// ascending count-of-counts summation as sumCLogC, with every float
+// multiplication in the same order, so the packed path produces
+// bit-identical h_k to the legacy string-keyed path (the differential and
+// fuzz tests in packed_test.go prove it, including across mid-scan table
+// growth).
 
 // MaxPackedWidth is the widest element width whose k-grams fit a single
-// uint64 rolling register. Widths up to maxWidePackedWidth use a two-word
+// uint64 rolling register. Widths up to MaxWidePackedWidth use a two-word
 // register; anything wider falls back to string-keyed counting.
 const MaxPackedWidth = 8
 
-// maxWidePackedWidth is the widest element width covered by the [2]uint64
+// MaxWidePackedWidth is the widest element width covered by the [2]uint64
 // rolling register.
-const maxWidePackedWidth = 16
+const MaxWidePackedWidth = 16
 
-// maxScanWidths bounds how many distinct packed widths one scan tracks;
-// there is one possible register per width in [2, maxWidePackedWidth].
-const maxScanWidths = maxWidePackedWidth - 1
+// flatInitialSlots is the starting capacity of a flat counting table:
+// large enough that a 1 KiB payload of unique k-grams fits under the load
+// factor without growing, small enough that a cold table is cheap.
+const flatInitialSlots = 1 << 11
+
+// maxFlatCount is the largest payload length whose per-element counts are
+// guaranteed to fit the tables' uint32 counters. Anything longer (a >4 GiB
+// payload — far beyond any flow buffer) takes the string-keyed fallback.
+const maxFlatCount = 1<<32 - 1
+
+// fibMul is the 64-bit Fibonacci hashing multiplier (2^64/φ): it spreads
+// the low-entropy packed keys across the table's high index bits.
+const fibMul = 0x9E3779B97F4A7C15
+
+// wideMul is a second odd multiplier (from splitmix64) mixed into the high
+// word of two-word keys so hi and lo contribute independently.
+const wideMul = 0x94D049BB133111EB
+
+// ---------------------------------------------------------------------------
+// Memoized c·log2(c)
+//
+// Every fold term needs log2(c) for a count c <= payload length. The counts
+// repeat endlessly across flows, so the logs are computed once into a
+// shared read-only table instead of calling math.Log2 per distinct count
+// per flow. Two arrays are kept because float multiplication is not
+// associative and the two fold shapes multiply in different orders:
+// clogc[c] = c·log2(c) is the exact single-occurrence term, while the
+// multiplicity term (m·c)·log2(c) must multiply m·c first and so needs the
+// bare log2[c]. Using the wrong one would break bit-identity with the
+// legacy path.
+
+// logTable is an immutable memo of log2(c) and c·log2(c) for c < len. It
+// is replaced wholesale (never mutated) when a longer payload needs more
+// entries, so readers can use a loaded snapshot without locking.
+type logTable struct {
+	log2  []float64
+	clogc []float64
+}
+
+var (
+	logTab   atomic.Pointer[logTable]
+	logTabMu sync.Mutex
+)
+
+// logTableInitial covers counts from payloads up to 4 KiB; logTableMax
+// bounds the memo's memory at 16 MiB — counts beyond it (payloads over a
+// megabyte of a single repeated k-gram) compute math.Log2 inline.
+const (
+	logTableInitial = 1 << 12
+	logTableMax     = 1 << 20
+)
+
+// logsFor returns a memo table covering counts up to min(maxCount,
+// logTableMax), growing the shared table by doubling when needed. The
+// returned table is read-only.
+func logsFor(maxCount int) *logTable {
+	if lt := logTab.Load(); lt != nil && (len(lt.log2) > maxCount || len(lt.log2) > logTableMax) {
+		return lt
+	}
+	logTabMu.Lock()
+	defer logTabMu.Unlock()
+	if lt := logTab.Load(); lt != nil && (len(lt.log2) > maxCount || len(lt.log2) > logTableMax) {
+		return lt
+	}
+	size := logTableInitial
+	for size <= maxCount && size < logTableMax {
+		size <<= 1
+	}
+	nt := &logTable{
+		log2:  make([]float64, size+1),
+		clogc: make([]float64, size+1),
+	}
+	for c := 2; c <= size; c++ {
+		l := math.Log2(float64(c))
+		nt.log2[c] = l
+		nt.clogc[c] = float64(c) * l
+	}
+	logTab.Store(nt)
+	return nt
+}
+
+// term returns m·c·log2(c) exactly as the legacy fold computes it:
+// (float64(m)·float64(c))·log2(c), with the single-occurrence case taking
+// the memoized c·log2(c) directly (multiplying by 1.0 is exact, so the two
+// forms are bit-identical).
+func (lt *logTable) term(mult, c int) float64 {
+	if c < len(lt.log2) {
+		if mult == 1 {
+			return lt.clogc[c]
+		}
+		return float64(mult) * float64(c) * lt.log2[c]
+	}
+	return float64(mult) * float64(c) * math.Log2(float64(c))
+}
+
+// ---------------------------------------------------------------------------
+// Flat counting tables
+
+// flatSlot is one open-addressing slot: cnt == 0 marks it empty (a count
+// never stays at zero once a key is inserted).
+type flatSlot struct {
+	key uint64
+	cnt uint32
+}
+
+// flatTable counts single-word packed keys by linear probing over a
+// power-of-two slot array, growing by doubling at 3/4 load.
+type flatTable struct {
+	slots  []flatSlot
+	size   int
+	growAt int
+	shift  uint // 64 - log2(len(slots)); Fibonacci hash keeps the top bits
+}
+
+// initSlots (re)allocates the slot array at a power-of-two capacity.
+func (t *flatTable) initSlots(capacity int) {
+	t.slots = make([]flatSlot, capacity)
+	t.size = 0
+	t.growAt = capacity / 4 * 3
+	t.shift = 64 - uint(trailingLog2(capacity))
+}
+
+// trailingLog2 returns log2 of a power-of-two capacity.
+func trailingLog2(c int) int {
+	return bits.TrailingZeros64(uint64(c))
+}
+
+// grow doubles the table and rehashes every occupied slot. Counts carry
+// over verbatim, so growth mid-scan cannot change any final count.
+func (t *flatTable) grow() {
+	old := t.slots
+	t.initSlots(2 * len(old))
+	mask := uint64(len(t.slots) - 1)
+	for _, s := range old {
+		if s.cnt == 0 {
+			continue
+		}
+		i := (s.key * fibMul) >> t.shift
+		for t.slots[i&mask].cnt != 0 {
+			i++
+		}
+		t.slots[i&mask] = s
+		t.size++
+	}
+}
+
+// scan counts every k-gram of data (3 <= k <= 8) with a rolling
+// shift-and-mask register. The probe loop is written inline — a call per
+// element is measurable at this frequency — with the table fields held in
+// locals and refreshed after any growth.
+func (t *flatTable) scan(data []byte, k int) {
+	regMask := narrowMask(k)
+	var reg uint64
+	for _, b := range data[:k-1] {
+		reg = reg<<8 | uint64(b)
+	}
+	slots, shift := t.slots, t.shift
+	mask := uint64(len(slots) - 1)
+	size, growAt := t.size, t.growAt
+	for _, b := range data[k-1:] {
+		reg = (reg<<8 | uint64(b)) & regMask
+		i := (reg * fibMul) >> shift
+		for {
+			s := &slots[i&mask]
+			if s.cnt == 0 {
+				s.key = reg
+				s.cnt = 1
+				size++
+				if size >= growAt {
+					t.size = size
+					t.grow()
+					slots, shift = t.slots, t.shift
+					mask = uint64(len(slots) - 1)
+					size, growAt = t.size, t.growAt
+				}
+				break
+			}
+			if s.key == reg {
+				s.cnt++
+				break
+			}
+			i++
+		}
+	}
+	t.size = size
+}
+
+// fold drains the table: it collects every count above one, zeroes the
+// slots as it goes (leaving the table empty for the next scan), and
+// returns the ascending count-of-counts sum Σ c·log2(c).
+func (t *flatTable) fold(scratch []int, lt *logTable) (float64, []int) {
+	scratch = scratch[:0]
+	for i := range t.slots {
+		if c := t.slots[i].cnt; c != 0 {
+			if c > 1 {
+				scratch = append(scratch, int(c))
+			}
+			t.slots[i].cnt = 0
+		}
+	}
+	t.size = 0
+	return foldCounts(scratch, lt)
+}
+
+// resetHard clears the table without folding (the error path).
+func (t *flatTable) resetHard() {
+	if t.slots == nil {
+		return
+	}
+	clear(t.slots)
+	t.size = 0
+}
+
+// wideSlot is one two-word-key slot; cnt == 0 marks it empty.
+type wideSlot struct {
+	hi, lo uint64
+	cnt    uint32
+}
+
+// wideTable is the [2]uint64-keyed twin of flatTable for 9 <= k <= 16.
+type wideTable struct {
+	slots  []wideSlot
+	size   int
+	growAt int
+	shift  uint
+}
+
+func (t *wideTable) initSlots(capacity int) {
+	t.slots = make([]wideSlot, capacity)
+	t.size = 0
+	t.growAt = capacity / 4 * 3
+	t.shift = 64 - uint(trailingLog2(capacity))
+}
+
+func (t *wideTable) grow() {
+	old := t.slots
+	t.initSlots(2 * len(old))
+	mask := uint64(len(t.slots) - 1)
+	for _, s := range old {
+		if s.cnt == 0 {
+			continue
+		}
+		i := (s.lo*fibMul ^ s.hi*wideMul) >> t.shift
+		for t.slots[i&mask].cnt != 0 {
+			i++
+		}
+		t.slots[i&mask] = s
+		t.size++
+	}
+}
+
+// scan counts every k-gram of data (9 <= k <= 16) with a two-word rolling
+// register and the same inlined probe loop as flatTable.scan.
+func (t *wideTable) scan(data []byte, k int) {
+	hiMask := wideHiMask(k)
+	var hi, lo uint64
+	for _, b := range data[:k-1] {
+		hi = hi<<8 | lo>>56
+		lo = lo<<8 | uint64(b)
+	}
+	slots, shift := t.slots, t.shift
+	mask := uint64(len(slots) - 1)
+	size, growAt := t.size, t.growAt
+	for _, b := range data[k-1:] {
+		hi = (hi<<8 | lo>>56) & hiMask
+		lo = lo<<8 | uint64(b)
+		i := (lo*fibMul ^ hi*wideMul) >> shift
+		for {
+			s := &slots[i&mask]
+			if s.cnt == 0 {
+				s.hi, s.lo = hi, lo
+				s.cnt = 1
+				size++
+				if size >= growAt {
+					t.size = size
+					t.grow()
+					slots, shift = t.slots, t.shift
+					mask = uint64(len(slots) - 1)
+					size, growAt = t.size, t.growAt
+				}
+				break
+			}
+			if s.lo == lo && s.hi == hi {
+				s.cnt++
+				break
+			}
+			i++
+		}
+	}
+	t.size = size
+}
+
+func (t *wideTable) fold(scratch []int, lt *logTable) (float64, []int) {
+	scratch = scratch[:0]
+	for i := range t.slots {
+		if c := t.slots[i].cnt; c != 0 {
+			if c > 1 {
+				scratch = append(scratch, int(c))
+			}
+			t.slots[i].cnt = 0
+		}
+	}
+	t.size = 0
+	return foldCounts(scratch, lt)
+}
+
+func (t *wideTable) resetHard() {
+	if t.slots == nil {
+		return
+	}
+	clear(t.slots)
+	t.size = 0
+}
+
+// bigramTable counts k = 2 into a dense 65536-entry array: no hashing, no
+// probing, no growth. A touched list records each index the first time its
+// count leaves zero, so folding and clearing cost O(distinct bigrams)
+// instead of O(65536).
+type bigramTable struct {
+	counts  []uint32 // len 65536, allocated on first use
+	touched []uint16
+}
+
+func (t *bigramTable) scan(data []byte) {
+	if t.counts == nil {
+		t.counts = make([]uint32, 1<<16)
+	}
+	reg := uint64(data[0])
+	for _, b := range data[1:] {
+		reg = (reg<<8 | uint64(b)) & 0xFFFF
+		if t.counts[reg] == 0 {
+			t.touched = append(t.touched, uint16(reg))
+		}
+		t.counts[reg]++
+	}
+}
+
+func (t *bigramTable) fold(scratch []int, lt *logTable) (float64, []int) {
+	scratch = scratch[:0]
+	for _, idx := range t.touched {
+		if c := t.counts[idx]; c > 1 {
+			scratch = append(scratch, int(c))
+		}
+		t.counts[idx] = 0
+	}
+	t.touched = t.touched[:0]
+	return foldCounts(scratch, lt)
+}
+
+func (t *bigramTable) resetHard() {
+	for _, idx := range t.touched {
+		t.counts[idx] = 0
+	}
+	t.touched = t.touched[:0]
+}
+
+// foldCounts sorts the collected counts ascending and sums m·c·log2(c)
+// over the grouped multiplicities — the exact fold shape (and float
+// multiplication order) of the legacy sumCLogC, so the result is
+// bit-identical regardless of key type or table iteration order.
+func foldCounts(scratch []int, lt *logTable) (float64, []int) {
+	sort.Ints(scratch)
+	var sum float64
+	for i := 0; i < len(scratch); {
+		c := scratch[i]
+		j := i + 1
+		for j < len(scratch) && scratch[j] == c {
+			j++
+		}
+		sum += lt.term(j-i, c)
+		i = j
+	}
+	return sum, scratch
+}
+
+// ---------------------------------------------------------------------------
+// Pooled per-call state
 
 // counterState is the pooled per-call scratch for exact k-gram counting.
-// Maps are allocated lazily per width on first use and cleared (not freed)
-// after every call, so a warm state counts without allocating.
+// Tables are allocated lazily per width on first use and drained (not
+// freed) by their folds, so a warm state counts without allocating.
 type counterState struct {
-	bytes   [256]int                              // k == 1
-	narrow  [MaxPackedWidth + 1]map[uint64]int    // 2 <= k <= 8, indexed by k
-	wide    [maxWidePackedWidth + 1]map[[2]uint64]int // 9 <= k <= 16, indexed by k
-	scratch []int                                 // count fold buffer
+	bytes   [256]int // k == 1
+	bigrams bigramTable
+	narrow  [MaxPackedWidth + 1]*flatTable     // 3 <= k <= 8, indexed by k
+	wide    [MaxWidePackedWidth + 1]*wideTable // 9 <= k <= 16, indexed by k
+	scratch []int
 }
 
 var counterPool = sync.Pool{New: func() any { return new(counterState) }}
 
-// narrowMap returns the (lazily created) counter map for width k <= 8.
-func (st *counterState) narrowMap(k int) map[uint64]int {
+// narrowTable returns the (lazily created) flat table for 3 <= k <= 8.
+func (st *counterState) narrowTable(k int) *flatTable {
 	if st.narrow[k] == nil {
-		st.narrow[k] = make(map[uint64]int, 1<<10)
+		st.narrow[k] = new(flatTable)
+		st.narrow[k].initSlots(flatInitialSlots)
 	}
 	return st.narrow[k]
 }
 
-// wideMap returns the (lazily created) counter map for 8 < k <= 16.
-func (st *counterState) wideMap(k int) map[[2]uint64]int {
+// wideTableFor returns the (lazily created) flat table for 8 < k <= 16.
+func (st *counterState) wideTableFor(k int) *wideTable {
 	if st.wide[k] == nil {
-		st.wide[k] = make(map[[2]uint64]int, 1<<10)
+		st.wide[k] = new(wideTable)
+		st.wide[k].initSlots(flatInitialSlots)
 	}
 	return st.wide[k]
 }
 
-// reset clears exactly the counters the given widths touched, leaving map
-// capacity in place for the next caller.
-func (st *counterState) reset(widths []int) {
+// resetHard clears every table a partially completed call may have left
+// populated (the error path; the happy path drains tables in the folds).
+func (st *counterState) resetHard(widths []int) {
 	for _, k := range widths {
 		switch {
 		case k == 1:
 			st.bytes = [256]int{}
+		case k == 2:
+			st.bigrams.resetHard()
 		case k <= MaxPackedWidth:
-			clear(st.narrow[k])
-		case k <= maxWidePackedWidth:
-			clear(st.wide[k])
+			if st.narrow[k] != nil {
+				st.narrow[k].resetHard()
+			}
+		case k <= MaxWidePackedWidth:
+			if st.wide[k] != nil {
+				st.wide[k].resetHard()
+			}
 		}
 	}
 }
@@ -92,135 +478,70 @@ func wideHiMask(k int) uint64 {
 	return 1<<(8*(k-8)) - 1
 }
 
-// scan counts the k-grams of every requested packed width in a single pass
-// over data, using one rolling register per distinct width. Widths must be
-// positive; widths wider than maxWidePackedWidth are ignored here (the
-// caller handles them through the string fallback).
-func (st *counterState) scan(data []byte, widths []int) {
-	var (
-		wantBytes bool
-		seen      [maxWidePackedWidth + 1]bool
-
-		narrowKs    [maxScanWidths]int
-		narrowRegs  [maxScanWidths]uint64
-		narrowMasks [maxScanWidths]uint64
-		narrowCnt   [maxScanWidths]map[uint64]int
-		nNarrow     int
-
-		wideKs    [maxScanWidths]int
-		wideRegs  [maxScanWidths][2]uint64
-		wideMasks [maxScanWidths]uint64
-		wideCnt   [maxScanWidths]map[[2]uint64]int
-		nWide     int
-	)
-	for _, k := range widths {
-		switch {
-		case k == 1:
-			wantBytes = true
-		case k <= MaxPackedWidth && !seen[k]:
-			seen[k] = true
-			narrowKs[nNarrow] = k
-			narrowMasks[nNarrow] = narrowMask(k)
-			narrowCnt[nNarrow] = st.narrowMap(k)
-			nNarrow++
-		case k > MaxPackedWidth && k <= maxWidePackedWidth && !seen[k]:
-			seen[k] = true
-			wideKs[nWide] = k
-			wideMasks[nWide] = wideHiMask(k)
-			wideCnt[nWide] = st.wideMap(k)
-			nWide++
-		}
-	}
-	for i := 0; i < len(data); i++ {
-		b := uint64(data[i])
-		if wantBytes {
-			st.bytes[data[i]]++
-		}
-		for j := 0; j < nNarrow; j++ {
-			narrowRegs[j] = (narrowRegs[j]<<8 | b) & narrowMasks[j]
-			if i >= narrowKs[j]-1 {
-				narrowCnt[j][narrowRegs[j]]++
-			}
-		}
-		for j := 0; j < nWide; j++ {
-			hi := (wideRegs[j][0]<<8 | wideRegs[j][1]>>56) & wideMasks[j]
-			lo := wideRegs[j][1]<<8 | b
-			wideRegs[j] = [2]uint64{hi, lo}
-			if i >= wideKs[j]-1 {
-				wideCnt[j][wideRegs[j]]++
-			}
-		}
-	}
-}
-
 // sumCLogCBytes replicates the legacy k=1 summation: array index order,
-// counts above one only.
-func sumCLogCBytes(counts *[256]int) float64 {
+// counts above one only, each term the memoized c·log2(c). It zeroes the
+// histogram as it goes.
+func sumCLogCBytes(counts *[256]int, lt *logTable) float64 {
 	var sum float64
-	for _, c := range counts {
+	for i, c := range counts {
 		if c > 1 {
-			sum += float64(c) * math.Log2(float64(c))
+			sum += lt.term(1, c)
 		}
+		counts[i] = 0
 	}
 	return sum
 }
 
-// sumCLogCCounts returns Σ c·log2(c) over the values of counts, folded in
-// ascending-count order with per-count multiplicities so the float sum is
-// bit-identical to sumCLogC's count-of-counts fold regardless of key type
-// or map iteration order. It reuses (and returns) scratch to stay
-// allocation-free.
-func sumCLogCCounts[K comparable](counts map[K]int, scratch []int) (float64, []int) {
-	scratch = scratch[:0]
-	for _, c := range counts {
-		if c > 1 {
-			scratch = append(scratch, c)
-		}
-	}
-	sort.Ints(scratch)
-	var sum float64
-	for i := 0; i < len(scratch); {
-		c := scratch[i]
-		j := i + 1
-		for j < len(scratch) && scratch[j] == c {
-			j++
-		}
-		sum += float64(j-i) * float64(c) * math.Log2(float64(c))
-		i = j
-	}
-	return sum, scratch
-}
-
 // vectorInto computes h_k for each width into vec (len(vec) must equal
 // len(widths)). Widths must already be validated positive and no longer
-// than data. It performs the packed single-pass scan, falls back to
-// string-keyed counting for widths beyond maxWidePackedWidth, and returns
-// the pooled state cleared.
+// than data. Each distinct width is scanned and folded once (duplicate
+// widths reuse the folded sum), the folds drain the pooled tables, and the
+// state goes back to the pool clean.
 func vectorInto(vec []float64, data []byte, widths []int) error {
+	lt := logsFor(len(data))
 	st := counterPool.Get().(*counterState)
-	st.scan(data, widths)
+	var (
+		folded [MaxWidePackedWidth + 1]bool
+		sums   [MaxWidePackedWidth + 1]float64
+	)
+	flatOK := len(data) <= maxFlatCount
 	for i, k := range widths {
 		n := len(data) - k + 1
 		var sum float64
 		switch {
+		case k <= MaxWidePackedWidth && folded[k]:
+			sum = sums[k]
 		case k == 1:
-			sum = sumCLogCBytes(&st.bytes)
-		case k <= MaxPackedWidth:
-			sum, st.scratch = sumCLogCCounts(st.narrow[k], st.scratch)
-		case k <= maxWidePackedWidth:
-			sum, st.scratch = sumCLogCCounts(st.wide[k], st.scratch)
+			for _, b := range data {
+				st.bytes[b]++
+			}
+			sum = sumCLogCBytes(&st.bytes, lt)
+		case k == 2 && flatOK:
+			st.bigrams.scan(data)
+			sum, st.scratch = st.bigrams.fold(st.scratch, lt)
+		case k <= MaxPackedWidth && flatOK:
+			t := st.narrowTable(k)
+			t.scan(data, k)
+			sum, st.scratch = t.fold(st.scratch, lt)
+		case k <= MaxWidePackedWidth && flatOK:
+			t := st.wideTableFor(k)
+			t.scan(data, k)
+			sum, st.scratch = t.fold(st.scratch, lt)
 		default:
 			counts, err := CountKGrams(data, k)
 			if err != nil {
-				st.reset(widths)
+				st.resetHard(widths[:i])
 				counterPool.Put(st)
 				return err
 			}
 			sum = sumCLogC(counts)
 		}
+		if k <= MaxWidePackedWidth {
+			folded[k] = true
+			sums[k] = sum
+		}
 		vec[i] = NormalizeS(sum, n, k)
 	}
-	st.reset(widths)
 	counterPool.Put(st)
 	return nil
 }

@@ -27,12 +27,26 @@ func payloadsFor(rng *rand.Rand, n int) [][]byte {
 	for i := range text {
 		text[i] = src[i%len(src)]
 	}
-	return [][]byte{random, periodic, constant, text}
+
+	// Adversarial for the flat tables: a low-diversity prefix piles up
+	// counts > 1 in a small table, then a uniform-random suffix floods in
+	// distinct keys and forces grow-by-doubling mid-scan, while the
+	// prefix counts must survive the rehash.
+	growth := make([]byte, n)
+	for i := range growth[:n/2] {
+		growth[i] = byte(i % 3)
+	}
+	rng.Read(growth[n/2:])
+
+	return [][]byte{random, periodic, constant, text, growth}
 }
 
 // TestDifferentialPackedVsLegacy proves the determinism invariant: the
 // packed-key single-scan path produces bit-identical h_k to the legacy
-// string-keyed path for every width 1..10 across payload lengths 1..4096.
+// string-keyed path for every width 1..16 across payload lengths 1..4096.
+// The 4 KiB random payloads exceed the initial flat-table capacity, so the
+// sweep covers grow-by-doubling mid-scan in both the one- and two-word
+// tables.
 func TestDifferentialPackedVsLegacy(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	lengths := []int{}
@@ -41,7 +55,7 @@ func TestDifferentialPackedVsLegacy(t *testing.T) {
 	}
 	lengths = append(lengths, 100, 255, 256, 257, 512, 1000, 1024, 2048, 4095, 4096)
 
-	allWidths := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	allWidths := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
 	for _, n := range lengths {
 		for _, data := range payloadsFor(rng, n) {
 			// Keep only widths the payload can support.
@@ -91,6 +105,40 @@ func TestDifferentialHMatchesLegacy(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzDifferentialPackedVsLegacy fuzzes the bit-identity invariant: for
+// any payload and any width (including the string-fallback region past
+// the wide-packed limit), the flat-table path and the legacy string-keyed
+// path must agree on every bit of h_k.
+func FuzzDifferentialPackedVsLegacy(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), uint8(3))
+	f.Add(bytes.Repeat([]byte{0}, 64), uint8(4))
+	f.Add(bytes.Repeat([]byte{0xAB, 0xCD}, 512), uint8(9))
+	big := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(big)
+	f.Add(big, uint8(16))
+	f.Add(big[:2048], uint8(11))
+	f.Add(append(bytes.Repeat([]byte{1, 2, 3}, 600), big[:1024]...), uint8(10))
+	f.Fuzz(func(t *testing.T, data []byte, width uint8) {
+		k := int(width)
+		if k < 1 || k > 18 || k > len(data) {
+			t.Skip()
+		}
+		fast, err := H(data, k)
+		if err != nil {
+			t.Fatalf("H(n=%d, k=%d): %v", len(data), k, err)
+		}
+		legacy, err := legacyH(data, k)
+		if err != nil {
+			t.Fatalf("legacyH(n=%d, k=%d): %v", len(data), k, err)
+		}
+		if math.Float64bits(fast) != math.Float64bits(legacy) {
+			t.Errorf("n=%d k=%d: packed h=%v (%#x) != legacy h=%v (%#x)",
+				len(data), k, fast, math.Float64bits(fast),
+				legacy, math.Float64bits(legacy))
+		}
+	})
 }
 
 // TestVectorMatchesVectorAt pins Vector to the same values as VectorAt

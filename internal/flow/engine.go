@@ -222,8 +222,17 @@ func (e *Engine) Process(p *packet.Packet) (Verdict, error) {
 	if p == nil {
 		return Verdict{}, errors.New("flow: nil packet")
 	}
-	id := IDOf(p.Tuple)
+	return e.ProcessID(IDOf(p.Tuple), p)
+}
 
+// ProcessID is Process with the flow ID already computed. The batch path
+// hashes each tuple exactly once while partitioning a batch across shards,
+// then hands the id through here instead of re-running SHA-1 per packet.
+// id must be IDOf(p.Tuple).
+func (e *Engine) ProcessID(id ID, p *packet.Packet) (Verdict, error) {
+	if p == nil {
+		return Verdict{}, errors.New("flow: nil packet")
+	}
 	// TCP teardown: purge the CDB record; the packet itself carries no
 	// payload to route.
 	if p.Flags.Has(packet.FlagFIN) || p.Flags.Has(packet.FlagRST) {

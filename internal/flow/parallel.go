@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"iustitia/internal/corpus"
@@ -18,6 +20,12 @@ import (
 // purging behaves exactly like a single engine's.
 type ParallelEngine struct {
 	shards []*Engine
+
+	// pl is the optional pipelined-mode worker set (see batch.go); nil
+	// while the engine is synchronous. scratch pools the batch partition
+	// buffers.
+	pl      atomic.Pointer[pipeline]
+	scratch sync.Pool
 }
 
 // NewParallelEngine builds shards engines from cfg. When classifiers is

@@ -1,0 +1,7 @@
+//go:build !race
+
+package flow
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions are skipped under it because instrumentation changes counts.
+const raceEnabled = false

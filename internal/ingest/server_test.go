@@ -184,6 +184,77 @@ func TestServerEndToEnd(t *testing.T) {
 	assertEnginesMatch(t, trace, engine, replayReference(t, trace, 2))
 }
 
+// replayThrough replays a trace through a server built from cfg and
+// returns the final stats after a clean drain.
+func replayThrough(t *testing.T, trace *packet.Trace, cfg Config, addr string, s *Server) Stats {
+	t.Helper()
+	client, err := NewClient(ClientConfig{Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace.Packets {
+		if err := client.Send(&trace.Packets[i]); err != nil {
+			t.Fatalf("Send(%d): %v", i, err)
+		}
+	}
+	client.Close()
+	waitFor(t, 10*time.Second, "frames received", func() bool {
+		return s.Stats().Received == len(trace.Packets)
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	return s.Stats()
+}
+
+// TestServerPerPacketMode pins Batch: 1 as the legacy per-packet worker
+// path, equivalent to the batched default.
+func TestServerPerPacketMode(t *testing.T) {
+	trace := testTrace(t, 60, 21)
+	engine := newTestEngine(t, 2)
+	l := listenLocal(t)
+	cfg := Config{Engine: engine, Listeners: []net.Listener{l}, Workers: 2, Batch: 1}
+	s := startServer(t, cfg)
+	st := replayThrough(t, trace, cfg, l.Addr().String(), s)
+	assertConservation(t, st)
+	if st.Admitted != len(trace.Packets) {
+		t.Errorf("admitted %d packets, sent %d", st.Admitted, len(trace.Packets))
+	}
+	assertEnginesMatch(t, trace, engine, replayReference(t, trace, 2))
+}
+
+// TestServerPipelinedEngine runs the server against an engine in
+// pipelined mode: ingest workers enqueue batches to the shard workers, and
+// Shutdown's barrier guarantees the drain flush sees every packet.
+func TestServerPipelinedEngine(t *testing.T) {
+	trace := testTrace(t, 60, 23)
+	engine := newTestEngine(t, 2)
+	if err := engine.StartPipeline(0); err != nil {
+		t.Fatal(err)
+	}
+	l := listenLocal(t)
+	cfg := Config{Engine: engine, Listeners: []net.Listener{l}, Workers: 2}
+	s := startServer(t, cfg)
+	st := replayThrough(t, trace, cfg, l.Addr().String(), s)
+	ps := engine.PipelineStats()
+	if err := engine.StopPipeline(); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Errors != 0 {
+		t.Fatalf("pipeline errors: %+v", ps)
+	}
+	if ps.Processed != len(trace.Packets) {
+		t.Errorf("pipeline processed %d packets, sent %d", ps.Processed, len(trace.Packets))
+	}
+	assertConservation(t, st)
+	if st.Admitted != len(trace.Packets) {
+		t.Errorf("admitted %d packets, sent %d", st.Admitted, len(trace.Packets))
+	}
+	assertEnginesMatch(t, trace, engine, replayReference(t, trace, 2))
+}
+
 // TestServerUnixSocket checks the same framing works over a unix socket
 // listener.
 func TestServerUnixSocket(t *testing.T) {
@@ -581,6 +652,7 @@ func TestNewServerValidation(t *testing.T) {
 		"neg conn queue": {Engine: engine, Listeners: []net.Listener{l}, PerConnQueue: -1},
 		"bad overflow":   {Engine: engine, Listeners: []net.Listener{l}, Overflow: OverflowPolicy(9)},
 		"bad fallback":   {Engine: engine, Listeners: []net.Listener{l}, FallbackClass: corpus.Class(99)},
+		"neg batch":      {Engine: engine, Listeners: []net.Listener{l}, Batch: -1},
 	}
 	for name, cfg := range cases {
 		if _, err := NewServer(cfg); err == nil {
