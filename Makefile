@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench bench-json bench-smoke experiments examples fuzz snapshot-compat clean
+.PHONY: all build test race check cluster-soak bench bench-json bench-smoke experiments examples fuzz snapshot-compat clean
 
 all: build test
 
@@ -18,14 +18,15 @@ race:
 
 # The pre-merge gate: static checks, the race detector, the hot-path
 # allocation-regression gate (run without -race, which skews allocation
-# counts), the networked-ingest chaos soak, and a short fuzz smoke over
-# the byte-level parsers and snapshot decoders. Slower than `test`, run
-# before pushing.
+# counts), the networked-ingest chaos soak, the cluster chaos soak, and
+# a short fuzz smoke over the byte-level parsers and snapshot decoders.
+# Slower than `test`, run before pushing.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'TestVectorAllocRegression|TestStreamWriteAllocFree|TestBatchAllocRegression' -count=1 ./internal/entropy ./internal/entest ./internal/flow
 	$(GO) test -run 'TestChaosConnSoak' -count=1 ./internal/ingest
+	$(MAKE) cluster-soak
 	$(GO) test -fuzz=FuzzStrip -fuzztime=5s ./internal/appheader
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=5s ./internal/packet
 	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/pcap
@@ -33,6 +34,13 @@ check:
 	$(GO) test -fuzz=FuzzDifferentialPackedVsLegacy -fuzztime=5s ./internal/entropy
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=5s ./internal/persist
 	$(GO) test -fuzz=FuzzImportCheckpoint -fuzztime=5s ./internal/persist
+
+# The cluster chaos soak (DESIGN.md §12): real router + serve binaries,
+# deterministic seeds, a SIGKILL crash-loop and a rolling checkpoint
+# handoff under a frame-tearing transport, asserting the cluster-wide
+# conservation law and zero verdict loss. Skipped under -short.
+cluster-soak:
+	$(GO) test -run 'TestClusterSoak' -count=1 ./cmd/iustitia-router
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:

@@ -1,0 +1,177 @@
+// Command iustitia-router fronts a cluster of iustitia-serve instances:
+// it accepts framed-packet connections, assigns every flow to a node by
+// consistent hashing, probes each node's status endpoint for health, and
+// fails over per the routing policy when a node is unreachable, degraded,
+// or draining. Its status endpoint federates the per-node STATUS lines
+// and asserts the cluster-wide conservation law
+// Σ Received == Σ Admitted + Σ Quarantined + Σ Shed.
+//
+// Route across two nodes, requeueing for absent owners (the rolling
+// restart policy):
+//
+//	iustitia-router -listen 127.0.0.1:9300 -status 127.0.0.1:9310 \
+//	    -node a=127.0.0.1:9301,127.0.0.1:9302 \
+//	    -node b=127.0.0.1:9303,127.0.0.1:9304 \
+//	    -policy requeue
+//
+// The first SIGINT/SIGTERM drains gracefully; a second signal forces
+// immediate exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"iustitia/internal/cluster"
+)
+
+// nodeFlags collects repeated -node values of the form
+// name=ingestAddr,statusAddr.
+type nodeFlags []cluster.NodeConfig
+
+func (n *nodeFlags) String() string {
+	parts := make([]string, 0, len(*n))
+	for _, c := range *n {
+		parts = append(parts, fmt.Sprintf("%s=%s,%s", c.Name, c.Addr, c.StatusAddr))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (n *nodeFlags) Set(v string) error {
+	name, addrs, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=ingestAddr,statusAddr, got %q", v)
+	}
+	ingestAddr, statusAddr, ok := strings.Cut(addrs, ",")
+	if !ok {
+		return fmt.Errorf("node %s: want ingestAddr,statusAddr after '=', got %q", name, addrs)
+	}
+	*n = append(*n, cluster.NodeConfig{Name: name, Addr: ingestAddr, StatusAddr: statusAddr})
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iustitia-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var nodes nodeFlags
+	flag.Var(&nodes, "node", "serve instance as name=ingestAddr,statusAddr (repeatable)")
+	var (
+		listen   = flag.String("listen", "", "TCP listen address for framed packet ingest (e.g. 127.0.0.1:9300)")
+		status   = flag.String("status", "", "TCP listen address for the cluster status endpoint")
+		policy   = flag.String("policy", "requeue", "routing policy when a flow's owner is unavailable: next|shed|requeue")
+		requeue  = flag.Duration("requeue-timeout", 10*time.Second, "how long a packet waits for a node before falling through (0 = until drain)")
+		replicas = flag.Int("replicas", 0, "virtual nodes per instance on the hash ring (0 = default)")
+
+		probeEvery   = flag.Duration("probe-interval", 500*time.Millisecond, "health probe period per node")
+		probeTimeout = flag.Duration("probe-timeout", 2*time.Second, "deadline for one health probe")
+
+		dialTimeout = flag.Duration("dial-timeout", 2*time.Second, "deadline for one upstream dial")
+		sendRetries = flag.Int("send-retries", 3, "consecutive upstream delivery attempts before rerouting")
+
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-read deadline inside a frame (0 = none)")
+		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "deadline between frames on a connection (0 = none)")
+		maxFrame    = flag.Int("max-frame", 0, "max frame payload bytes a header may declare (0 = default)")
+		drainTime   = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain waits for connected clients")
+	)
+	flag.Parse()
+
+	if *listen == "" {
+		return fmt.Errorf("no listener: pass -listen")
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("no nodes: pass at least one -node name=ingestAddr,statusAddr")
+	}
+	routePolicy, err := cluster.ParseRoutePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s\n", l.Addr())
+	var statusLn net.Listener
+	if *status != "" {
+		statusLn, err = net.Listen("tcp", *status)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status on %s\n", statusLn.Addr())
+	}
+
+	r, err := cluster.NewRouter(cluster.RouterConfig{
+		Nodes:          nodes,
+		Listeners:      []net.Listener{l},
+		StatusListener: statusLn,
+		Replicas:       *replicas,
+		Policy:         routePolicy,
+		RequeueTimeout: *requeue,
+		Probe: cluster.ProbeConfig{
+			Interval: *probeEvery,
+			Timeout:  *probeTimeout,
+			Seed:     time.Now().UnixNano(),
+		},
+		DialTimeout: *dialTimeout,
+		SendRetries: *sendRetries,
+		Seed:        time.Now().UnixNano(),
+		MaxFrame:    *maxFrame,
+		ReadTimeout: *readTimeout,
+		IdleTimeout: *idleTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	if err := r.Start(); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		names = append(names, n.Name)
+	}
+	fmt.Printf("routing to %d nodes (%s), policy %s\n", len(nodes), strings.Join(names, ", "), routePolicy)
+
+	// First signal: graceful drain. Second signal: immediate exit.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigCh
+	fmt.Printf("received %v: draining (second signal forces immediate exit)\n", sig)
+	go func() {
+		sig2 := <-sigCh
+		fmt.Fprintf(os.Stderr, "iustitia-router: second %v: forcing immediate exit\n", sig2)
+		os.Exit(130)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	drainErr := r.Shutdown(ctx)
+
+	st := r.Stats()
+	cs := r.ClusterStats()
+	fmt.Printf("drained: received %d, forwarded %d, quarantined %d, shed %d over %d connections\n",
+		st.Received, st.Forwarded, st.Quarantined, st.Shed, st.TotalConns)
+	fmt.Printf("routing: rerouted %d, requeued %d, send-failures %d\n",
+		st.Rerouted, st.Requeued, st.SendFailures)
+	perNode := make([]string, 0, len(st.PerNode))
+	for name, count := range st.PerNode {
+		perNode = append(perNode, fmt.Sprintf("%s=%d", name, count))
+	}
+	sort.Strings(perNode)
+	fmt.Printf("per-node forwarded: %s\n", strings.Join(perNode, " "))
+	fmt.Printf("cluster: sum_received=%d sum_admitted=%d sum_quarantined=%d sum_shed=%d gap=%d violations=%d\n",
+		cs.SumReceived, cs.SumAdmitted, cs.SumQuarantined, cs.SumShed, cs.Gap(), st.ConservationViolations)
+	return drainErr
+}

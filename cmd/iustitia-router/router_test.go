@@ -1,0 +1,540 @@
+package main
+
+// End-to-end cluster soak: real iustitia-router and iustitia-serve
+// binaries under chaos — mid-frame connection tears, a SIGKILL crash-loop
+// on one node, and a rolling restart with checkpoint handoff on the
+// other — proving the cluster-wide conservation law, exact verdict
+// equality against an in-process replay for the handoff node, and zero
+// verdict loss across the checkpoint handoff.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"iustitia"
+	"iustitia/internal/cluster"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/ingest"
+	"iustitia/internal/packet"
+)
+
+// buildBinary compiles the package at srcDir into dir.
+func buildBinary(t *testing.T, dir, name, srcDir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, srcDir)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", srcDir, err, out)
+	}
+	return bin
+}
+
+// trainModelSnapshot trains a small classifier on the synthetic corpus
+// and saves it as a binary snapshot.
+func trainModelSnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := iustitia.SyntheticCorpus(1, 30, 2048, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := iustitia.Train(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "model.snap")
+	if err := clf.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// syncBuf collects a subprocess's combined output safely across the
+// goroutines exec.Cmd writes from.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// proc is one running binary under test.
+type proc struct {
+	cmd *exec.Cmd
+	out *syncBuf
+}
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out := &syncBuf{}
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, out: out}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	return p
+}
+
+// waitOutput polls the collected output until substr appears.
+func (p *proc) waitOutput(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got := p.out.String()
+		if strings.Contains(got, substr) {
+			return got
+		}
+		if time.Now().After(deadline) {
+			_ = p.cmd.Process.Kill()
+			t.Fatalf("output never contained %q:\n%s", substr, got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sigterm sends SIGTERM and waits for a clean exit, returning the full
+// output.
+func (p *proc) sigterm(t *testing.T) string {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("process exited with %v\n%s", err, p.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		_ = p.cmd.Process.Kill()
+		t.Fatalf("drain never finished:\n%s", p.out.String())
+	}
+	return p.out.String()
+}
+
+// sigkill kills the process without ceremony and reaps it.
+func (p *proc) sigkill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.cmd.Wait()
+}
+
+// extractAddr pulls the address printed after prefix on its own line.
+func extractAddr(t *testing.T, output, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(output, "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	t.Fatalf("no %q line in output:\n%s", prefix, output)
+	return ""
+}
+
+// serveNode wraps one iustitia-serve process and its addresses.
+type serveNode struct {
+	proc       *proc
+	addr       string
+	statusAddr string
+}
+
+// startServe launches a serve node. listen/status may be "127.0.0.1:0"
+// (fresh node) or a predecessor's concrete addresses (rolling restart —
+// Go listeners set SO_REUSEADDR, so rebinding is immediate).
+func startServe(t *testing.T, bin, model, name, listen, status string, extra ...string) *serveNode {
+	t.Helper()
+	args := append([]string{
+		"-load-model", model, "-listen", listen, "-status", status,
+		"-shards", "2", "-b", "32", "-idle-flush", "0", "-node-name", name,
+	}, extra...)
+	p := startProc(t, bin, args...)
+	banner := p.waitOutput(t, "status on ")
+	return &serveNode{
+		proc:       p,
+		addr:       extractAddr(t, banner, "listening on "),
+		statusAddr: extractAddr(t, banner, "status on "),
+	}
+}
+
+// quiesceCluster polls the router's status endpoint until no packets are
+// in flight (router law balances exactly) and the counters are stable
+// across consecutive polls.
+func quiesceCluster(t *testing.T, statusAddr string) cluster.ClusterSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var prev cluster.ClusterLine
+	stable := 0
+	for time.Now().Before(deadline) {
+		snap, err := cluster.ProbeCluster(statusAddr, 2*time.Second)
+		if err == nil {
+			cl := snap.Cluster
+			inFlight := cl.Received - cl.Forwarded - cl.Quarantined - cl.Shed
+			if inFlight == 0 && cl == prev {
+				stable++
+				if stable >= 2 {
+					return snap
+				}
+			} else {
+				stable = 0
+			}
+			prev = cl
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("cluster never quiesced; last: %+v", prev)
+	return cluster.ClusterSnapshot{}
+}
+
+// waitAvailable polls until the router reports every node routable.
+func waitClusterAvailable(t *testing.T, statusAddr string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last cluster.ClusterLine
+	for time.Now().Before(deadline) {
+		if snap, err := cluster.ProbeCluster(statusAddr, 2*time.Second); err == nil {
+			last = snap.Cluster
+			if snap.Cluster.Available == want {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("cluster never reached %d available nodes; last: %+v", want, last)
+}
+
+// soakTrace generates one replayable trace with a distinct flow
+// population per seed.
+func soakTrace(t *testing.T, flows int, seed int64) *packet.Trace {
+	t.Helper()
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = flows
+	cfg.Duration = 5 * time.Second
+	cfg.MaxFlowBytes = 2 << 10
+	cfg.Seed = seed
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// streamTrace replays a trace into the router, optionally through chaos
+// connections that tear frames mid-write and with a per-packet pacing
+// delay (so faults injected mid-stream actually land mid-stream). It
+// returns an error instead of failing the test: callers stream from
+// goroutines.
+func streamTrace(addr string, trace *packet.Trace, chaos *ingest.ConnChaos, pace time.Duration) error {
+	client, err := ingest.NewClient(ingest.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil || chaos == nil {
+				return c, err
+			}
+			return chaos.Wrap(c), nil
+		},
+		MaxRetries: 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	for i := range trace.Packets {
+		if err := client.Send(&trace.Packets[i]); err != nil {
+			return fmt.Errorf("send packet %d: %w", i, err)
+		}
+		if pace > 0 && i%16 == 0 {
+			time.Sleep(pace)
+		}
+	}
+	return nil
+}
+
+// engineSummary is the parsed per-node exit line.
+type engineSummary struct {
+	classified, fallback, dropped   int
+	qText, qBinary, qEncrypted, cdb int
+}
+
+// parseEngineSummary extracts the drain summary a serve process prints on
+// exit.
+func parseEngineSummary(t *testing.T, output string) engineSummary {
+	t.Helper()
+	for _, line := range strings.Split(output, "\n") {
+		var s engineSummary
+		if _, err := fmt.Sscanf(line,
+			"engine: classified %d flows, fallback %d, dropped %d; queues: text=%d binary=%d encrypted=%d; CDB size %d",
+			&s.classified, &s.fallback, &s.dropped, &s.qText, &s.qBinary, &s.qEncrypted, &s.cdb); err == nil {
+			return s
+		}
+	}
+	t.Fatalf("no engine summary in output:\n%s", output)
+	return engineSummary{}
+}
+
+// parseDrainLine extracts the transport counters a serve process prints
+// on exit and asserts its conservation law.
+func parseDrainLine(t *testing.T, name, output string) (received, admitted, quarantined, shed int) {
+	t.Helper()
+	var conns int
+	for _, line := range strings.Split(output, "\n") {
+		if _, err := fmt.Sscanf(line,
+			"drained: received %d, admitted %d, quarantined %d, shed %d over %d connections",
+			&received, &admitted, &quarantined, &shed, &conns); err == nil {
+			if admitted+quarantined+shed != received {
+				t.Errorf("node %s conservation violated at exit: received %d != admitted %d + quarantined %d + shed %d",
+					name, received, admitted, quarantined, shed)
+			}
+			return received, admitted, quarantined, shed
+		}
+	}
+	t.Fatalf("no drain line in %s output:\n%s", name, output)
+	return 0, 0, 0, 0
+}
+
+// referenceEngine replays packet sequences in-process with the exact
+// engine configuration the serve binaries run, returning the ground-truth
+// stats for one node's share of the workload.
+func referenceEngine(t *testing.T, model string, seqs ...[]packet.Packet) flow.EngineStats {
+	t.Helper()
+	clf, err := iustitia.LoadClassifierSnapshot(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := flow.NewParallelEngine(flow.EngineConfig{
+		BufferSize:    32,
+		Classifier:    clf,
+		FallbackClass: corpus.Text,
+		Faults:        flow.FaultPolicy{Tolerate: true},
+		CDB: flow.CDBConfig{
+			PurgeOnClose:  true,
+			PurgeInactive: true,
+			N:             4,
+		},
+	}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSeen := time.Duration(0)
+	for _, seq := range seqs {
+		for i := range seq {
+			if seq[i].Time > maxSeen {
+				maxSeen = seq[i].Time
+			}
+			if _, err := engine.Process(&seq[i]); err != nil {
+				t.Fatalf("reference Process: %v", err)
+			}
+		}
+	}
+	if _, err := engine.FlushAll(maxSeen + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return engine.Stats()
+}
+
+// ownedBy splits a trace into the packets the ring assigns to one node —
+// the same DefaultReplicas ring the router builds, so the split is exact.
+func ownedBy(ring *cluster.Ring, trace *packet.Trace, node string) []packet.Packet {
+	var out []packet.Packet
+	for i := range trace.Packets {
+		if owner, ok := ring.Owner(cluster.PointOfTuple(trace.Packets[i].Tuple)); ok && owner == node {
+			out = append(out, trace.Packets[i])
+		}
+	}
+	return out
+}
+
+// TestClusterSoak is the chaos soak from the roadmap's cluster-mode item:
+//
+//  1. Two serve nodes behind a router under the requeue policy.
+//  2. Chaos phase: node b SIGKILLed into a crash-loop (killed again right
+//     after coming back) and restarted on the same addresses, while a
+//     trace streams through connections that tear frames mid-write.
+//  3. Rolling restart: node a drains to a final checkpoint, a successor
+//     resumes it under the same node name, and the remaining trace
+//     streams on.
+//
+// Proven at the end: the cluster-wide conservation law (per node and
+// federated), zero verdict loss across the checkpoint handoff, and exact
+// verdict equality between the handoff node and an in-process replay of
+// its share of both traces.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	routerBin := buildBinary(t, dir, "iustitia-router", ".")
+	serveBin := buildBinary(t, dir, "iustitia-serve", "../iustitia-serve")
+	model := trainModelSnapshot(t, dir)
+	ckptA := filepath.Join(dir, "node-a.ckpt")
+
+	a := startServe(t, serveBin, model, "a", "127.0.0.1:0", "127.0.0.1:0", "-checkpoint", ckptA)
+	b := startServe(t, serveBin, model, "b", "127.0.0.1:0", "127.0.0.1:0")
+
+	router := startProc(t, routerBin,
+		"-listen", "127.0.0.1:0", "-status", "127.0.0.1:0",
+		"-node", "a="+a.addr+","+a.statusAddr,
+		"-node", "b="+b.addr+","+b.statusAddr,
+		"-policy", "requeue", "-requeue-timeout", "60s",
+		"-probe-interval", "50ms", "-drain-timeout", "30s")
+	banner := router.waitOutput(t, "routing to 2 nodes")
+	routerAddr := extractAddr(t, banner, "listening on ")
+	routerStatus := extractAddr(t, banner, "status on ")
+	waitClusterAvailable(t, routerStatus, 2)
+
+	trace0 := soakTrace(t, 50, 31)
+	trace1 := soakTrace(t, 50, 32)
+
+	// --- Chaos phase: stream trace0 through tearing connections while
+	// node b is SIGKILLed mid-stream and crash-looped back up.
+	chaos := ingest.NewConnChaos(ingest.ConnChaosConfig{
+		Seed:       7,
+		ChunkRate:  0.3,
+		ResetEvery: 16 << 10,
+		MaxResets:  6,
+	})
+	streamErr := make(chan error, 1)
+	go func() { streamErr <- streamTrace(routerAddr, trace0, chaos, 2*time.Millisecond) }()
+
+	// Kill b once some traffic has flowed, then crash-loop it: the first
+	// successor is killed the moment it reports in, the second stays.
+	time.Sleep(150 * time.Millisecond)
+	bAddr, bStatus := b.addr, b.statusAddr
+	b.proc.sigkill(t)
+	b1 := startServe(t, serveBin, model, "b", bAddr, bStatus)
+	b1.proc.sigkill(t)
+	b2 := startServe(t, serveBin, model, "b", bAddr, bStatus)
+	if err := <-streamErr; err != nil {
+		t.Fatalf("chaos stream: %v", err)
+	}
+	waitClusterAvailable(t, routerStatus, 2)
+	snap := quiesceCluster(t, routerStatus)
+
+	if chaos.Stats().Resets == 0 {
+		t.Error("chaos injected no mid-frame tears; soak is vacuous")
+	}
+	if snap.Cluster.Quarantined == 0 {
+		t.Error("router quarantined nothing though frames were torn")
+	}
+	if snap.Cluster.Gap != 0 || snap.Cluster.Violations != 0 {
+		t.Errorf("cluster conservation under chaos: gap=%d violations=%d, want 0/0\n%+v",
+			snap.Cluster.Gap, snap.Cluster.Violations, snap.Cluster)
+	}
+
+	// --- Rolling restart with checkpoint handoff: drain a, resume its
+	// final checkpoint under the same name and addresses.
+	aAddr, aStatus := a.addr, a.statusAddr
+	aOut := a.proc.sigterm(t)
+	if !strings.Contains(aOut, "final checkpoint saved to "+ckptA) {
+		t.Fatalf("node a drained without a final checkpoint:\n%s", aOut)
+	}
+	aSummary := parseEngineSummary(t, aOut)
+	parseDrainLine(t, "a", aOut)
+
+	a2 := startServe(t, serveBin, model, "a", aAddr, aStatus, "-checkpoint", ckptA, "-resume", ckptA)
+	resumeBanner := a2.proc.waitOutput(t, "resumed from ")
+	var resumedClassified, resumedCDB int
+	if _, err := fmt.Sscanf(extractLine(t, resumeBanner, "resumed from "),
+		"resumed from %s %d classified flows, %d CDB records",
+		new(string), &resumedClassified, &resumedCDB); err != nil {
+		t.Fatalf("cannot parse resume banner: %v\n%s", err, resumeBanner)
+	}
+	// Zero verdict loss across the handoff: every verdict the
+	// predecessor accumulated is present in the successor before it
+	// serves a single packet.
+	if resumedClassified != aSummary.classified {
+		t.Errorf("handoff lost verdicts: predecessor classified %d, successor resumed %d",
+			aSummary.classified, resumedClassified)
+	}
+	waitClusterAvailable(t, routerStatus, 2)
+
+	// --- Post-handoff phase: the second trace (distinct flows) streams
+	// clean; requeue policy has preserved flow→node affinity throughout.
+	if err := streamTrace(routerAddr, trace1, nil, 0); err != nil {
+		t.Fatalf("post-handoff stream: %v", err)
+	}
+	quiesceCluster(t, routerStatus)
+
+	routerOut := router.sigterm(t)
+	var rReceived, rForwarded, rQuarantined, rShed, rConns int
+	if _, err := fmt.Sscanf(extractLine(t, routerOut, "drained: "),
+		"drained: received %d, forwarded %d, quarantined %d, shed %d over %d connections",
+		&rReceived, &rForwarded, &rQuarantined, &rShed, &rConns); err != nil {
+		t.Fatalf("cannot parse router drain line: %v\n%s", err, routerOut)
+	}
+	if rForwarded+rQuarantined+rShed != rReceived {
+		t.Errorf("router conservation violated: %d != %d+%d+%d", rReceived, rForwarded, rQuarantined, rShed)
+	}
+	if rShed != 0 {
+		t.Errorf("router shed %d packets under the requeue policy", rShed)
+	}
+	if !strings.Contains(routerOut, "gap=0") || !strings.Contains(routerOut, "violations=0") {
+		t.Errorf("router exit summary reports a conservation problem:\n%s", routerOut)
+	}
+
+	a2Out := a2.proc.sigterm(t)
+	b2Out := b2.proc.sigterm(t)
+	a2Summary := parseEngineSummary(t, a2Out)
+	parseDrainLine(t, "a2", a2Out)
+	parseDrainLine(t, "b2", b2Out)
+
+	// --- Verdict equality for the handoff node: node a was never killed,
+	// only drained and resumed, so its final counters must exactly match
+	// an in-process replay of its ring share of both traces. (Node b was
+	// SIGKILLed with in-memory state — the cluster stays conserved, but
+	// its lost verdicts are exactly why the rolling-restart path exists.)
+	ring := cluster.NewRing(0)
+	if err := ring.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Add("b"); err != nil {
+		t.Fatal(err)
+	}
+	want := referenceEngine(t, model, ownedBy(ring, trace0, "a"), ownedBy(ring, trace1, "a"))
+	if a2Summary.classified != want.Classified || a2Summary.fallback != want.Fallback ||
+		a2Summary.dropped != want.Dropped ||
+		a2Summary.qText != want.QueueCounts[corpus.Text] ||
+		a2Summary.qBinary != want.QueueCounts[corpus.Binary] ||
+		a2Summary.qEncrypted != want.QueueCounts[corpus.Encrypted] {
+		t.Errorf("handoff node verdicts diverge from in-process replay:\n  node:      %+v\n  reference: classified=%d fallback=%d dropped=%d queues=%v",
+			a2Summary, want.Classified, want.Fallback, want.Dropped, want.QueueCounts)
+	}
+	if a2Summary.classified <= aSummary.classified {
+		t.Errorf("successor classified %d flows, no more than the predecessor's %d — phase-2 traffic vanished",
+			a2Summary.classified, aSummary.classified)
+	}
+}
+
+// extractLine returns the first line starting with prefix.
+func extractLine(t *testing.T, output, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(output, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	t.Fatalf("no %q line in output:\n%s", prefix, output)
+	return ""
+}

@@ -26,6 +26,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -51,6 +52,7 @@ func run() error {
 		modelPath = flag.String("model", "model.json", "trained model path (JSON)")
 		loadModel = flag.String("load-model", "", "load the model from a binary snapshot instead of -model JSON")
 		buffer    = flag.Int("b", 32, "payload bytes buffered per flow before classification")
+		idleFlush = flag.Duration("idle-flush", 2*time.Second, "classify flows idle this long in packet time (0 = only at drain)")
 		shards    = flag.Int("shards", 4, "engine shards (flow-parallel classification)")
 		workers   = flag.Int("workers", 2, "supervised ingest workers")
 		batch     = flag.Int("batch", 0, "packets per engine submission batch (1 = per-packet, 0 = default)")
@@ -69,6 +71,7 @@ func run() error {
 		tolerate   = flag.Bool("tolerate", true, "route classifier failures to the fallback class instead of surfacing errors")
 		cdbCap     = flag.Int("cdb-cap", 0, "hard cap on classification-database records per shard (0 = unbounded)")
 
+		nodeName   = flag.String("node-name", "", "cluster node name on the machine-readable STATUS line (default \"node\")")
 		checkpoint = flag.String("checkpoint", "", "write engine checkpoints to this path (periodic and at drain)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "wall-clock interval between periodic checkpoints (with -checkpoint)")
 		resume     = flag.String("resume", "", "restore engine state from this checkpoint before serving (cold start if unusable)")
@@ -113,7 +116,7 @@ func run() error {
 	engineCfg := flow.EngineConfig{
 		BufferSize:    *buffer,
 		Classifier:    clf,
-		IdleFlush:     2 * time.Second,
+		IdleFlush:     *idleFlush,
 		MaxPending:    *maxPending,
 		Eviction:      evictPolicy,
 		FallbackClass: fbClass,
@@ -185,6 +188,21 @@ func run() error {
 		fmt.Printf("status on %s\n", statusLn.Addr())
 	}
 
+	// Track when the last checkpoint landed so the STATUS line can carry
+	// its age: a cluster router flags a node whose durability has stalled.
+	var ckptMu sync.Mutex
+	var lastCkpt time.Time
+	if *resume != "" {
+		if fi, err := os.Stat(*resume); err == nil {
+			lastCkpt = fi.ModTime()
+		}
+	}
+	ckptSaved := func() {
+		ckptMu.Lock()
+		lastCkpt = time.Now()
+		ckptMu.Unlock()
+	}
+
 	srvCfg := ingest.Config{
 		Engine:         engine,
 		Listeners:      listeners,
@@ -198,6 +216,12 @@ func run() error {
 		ReadTimeout:    *readTimeout,
 		IdleTimeout:    *idleTimeout,
 		MaxFrame:       *maxFrame,
+		NodeName:       *nodeName,
+		CheckpointTime: func() time.Time {
+			ckptMu.Lock()
+			defer ckptMu.Unlock()
+			return lastCkpt
+		},
 	}
 	if *checkpoint != "" {
 		srvCfg.OnFinalCheckpoint = func(snapshot []byte) {
@@ -205,6 +229,7 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "iustitia-serve: final checkpoint:", err)
 				return
 			}
+			ckptSaved()
 			fmt.Printf("final checkpoint saved to %s\n", *checkpoint)
 		}
 	}
@@ -228,6 +253,8 @@ func run() error {
 				case <-t.C:
 					if err := persist.SaveFile(*checkpoint, persist.KindParallelCheckpoint, engine.ExportCheckpoint()); err != nil {
 						fmt.Fprintln(os.Stderr, "iustitia-serve: checkpoint:", err)
+					} else {
+						ckptSaved()
 					}
 				case <-ckptStop:
 					return

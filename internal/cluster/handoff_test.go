@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"iustitia/internal/packet"
+)
+
+// TestRollingRestartCheckpointHandoff is the tentpole invariant in
+// miniature: drain node a mid-service, hand its final parallel
+// checkpoint to a successor that keeps the node name (so the ring's
+// flow→node assignment is untouched), remap the name to the successor's
+// addresses, and finish the workload — with zero verdict loss and
+// cluster-aggregate verdicts identical to a single-engine replay of the
+// whole workload.
+//
+// Traffic is split into two traces with distinct flow populations: the
+// drain's FlushAll classifies every pending flow, so no flow may span
+// the handoff with a half-filled buffer. The e2e soak makes the same
+// split for the same reason.
+func TestRollingRestartCheckpointHandoff(t *testing.T) {
+	var checkpoint []byte
+	a := startNode(t, "a", nil, func(snapshot []byte) { checkpoint = snapshot })
+	b := startNode(t, "b", nil, nil)
+	r, addr := startRouter(t, RouterConfig{
+		Policy:         PolicyRequeue,
+		RequeueTimeout: 30 * time.Second,
+	}, a, b)
+	waitAvailable(t, r, "a", "b")
+
+	trace1 := testTrace(t, 40, 21)
+	trace2 := testTrace(t, 40, 22)
+
+	// Phase 1: stream the first trace against the original pair.
+	streamTrace(t, addr, trace1)
+	waitFor(t, "phase-1 frames to land", func() bool {
+		return a.srv.Stats().Received+b.srv.Stats().Received == len(trace1.Packets)
+	})
+
+	// Rolling restart of a: drain (flushes every pending flow into the
+	// final checkpoint), bring up a successor under the SAME name on new
+	// addresses, resume the checkpoint, remap the ring name.
+	aStats := a.drain(t)
+	if checkpoint == nil {
+		t.Fatal("drain produced no final checkpoint")
+	}
+	aClassified := a.engine.Stats().Classified
+
+	succEngine := newTestEngine(t)
+	if err := succEngine.ImportCheckpoint(checkpoint); err != nil {
+		t.Fatalf("successor resume: %v", err)
+	}
+	a2 := startNode(t, "a", succEngine, nil)
+	if err := r.UpdateNode(a2.cfg); err != nil {
+		t.Fatalf("UpdateNode: %v", err)
+	}
+
+	// The successor starts with its predecessor's verdicts intact.
+	if got := succEngine.Stats().Classified; got != aClassified {
+		t.Fatalf("successor resumed %d classified flows, predecessor had %d", got, aClassified)
+	}
+
+	// Phase 2: stream the second trace; flows owned by "a" land on the
+	// successor (requeue policy holds them until it is probed healthy).
+	streamTrace(t, addr, trace2)
+	waitFor(t, "phase-2 frames to land", func() bool {
+		total := aStats.Received + a2.srv.Stats().Received + b.srv.Stats().Received
+		return total == len(trace1.Packets)+len(trace2.Packets)
+	})
+
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Shed != 0 || rst.Quarantined != 0 || rst.Rerouted != 0 {
+		t.Errorf("handoff shed=%d quarantined=%d rerouted=%d, want all zero (no verdict loss, affinity kept)",
+			rst.Shed, rst.Quarantined, rst.Rerouted)
+	}
+	a2Stats := a2.drain(t)
+	bStats := b.drain(t)
+
+	// Cluster-wide conservation across the whole run, including the
+	// killed-and-replaced node: each process's law holds from its own
+	// start, so the federation balances too.
+	sumReceived := aStats.Received + a2Stats.Received + bStats.Received
+	sumAccounted := (aStats.Admitted + aStats.Quarantined + aStats.Shed) +
+		(a2Stats.Admitted + a2Stats.Quarantined + a2Stats.Shed) +
+		(bStats.Admitted + bStats.Quarantined + bStats.Shed)
+	if sumReceived != sumAccounted || sumReceived != len(trace1.Packets)+len(trace2.Packets) {
+		t.Errorf("cluster law: Σreceived=%d Σaccounted=%d, want both %d",
+			sumReceived, sumAccounted, len(trace1.Packets)+len(trace2.Packets))
+	}
+
+	// Zero verdict loss: the successor+survivor pair carries every
+	// verdict, identical to a single engine fed both traces.
+	ref := replayReference(t, trace1, trace2)
+	assertClusterMatchesReference(t, ref, []*packet.Trace{trace1, trace2}, a2, b)
+}

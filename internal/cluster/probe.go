@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"iustitia/internal/ingest"
+)
+
+// NodeConfig names one serve instance: its cluster-unique ring name, the
+// framed-packet ingest address, and the status-listener address the
+// prober polls.
+type NodeConfig struct {
+	Name       string
+	Addr       string
+	StatusAddr string
+}
+
+// NodeHealth is the router's current view of one node: the last parsed
+// STATUS snapshot plus reachability bookkeeping.
+type NodeHealth struct {
+	Config NodeConfig
+	// Reachable is true while status probes succeed. A node whose probe
+	// fails — or whose packet connection dies under the router — is
+	// unreachable until the next successful probe.
+	Reachable bool
+	// Status is the last successfully parsed STATUS snapshot; zero until
+	// the first probe lands.
+	Status ingest.NodeStatus
+	// LastSeen is when Status was captured.
+	LastSeen time.Time
+	// ConsecutiveFailures counts probe failures since the last success;
+	// it drives the probe backoff.
+	ConsecutiveFailures int
+	// LastErr is the most recent probe error, nil after a success.
+	LastErr error
+}
+
+// Available reports whether the router may route new packets to the node:
+// it must be reachable and its ingest FSM healthy. Degraded, draining,
+// and stopped nodes all fall to the routing policy.
+func (h NodeHealth) Available() bool {
+	return h.Reachable && h.Status.State == ingest.StateHealthy
+}
+
+// ProbeConfig tunes health probing.
+type ProbeConfig struct {
+	// Interval is the poll period per node while probes succeed. Zero
+	// defaults to 500ms.
+	Interval time.Duration
+	// Timeout bounds one probe's dial+read. Zero defaults to 2s.
+	Timeout time.Duration
+	// BackoffBase is the extra delay after the first consecutive probe
+	// failure, doubling per failure up to BackoffMax — an unreachable
+	// node is polled more gently than a healthy one. Zero defaults to
+	// Interval (so the first retry waits ~2 intervals); BackoffMax zero
+	// defaults to 8s.
+	BackoffBase time.Duration
+	// BackoffMax caps the failure backoff.
+	BackoffMax time.Duration
+	// Seed drives the backoff jitter that decorrelates probe storms when
+	// several nodes vanish at once.
+	Seed int64
+}
+
+func (c ProbeConfig) interval() time.Duration {
+	if c.Interval <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.Interval
+}
+
+func (c ProbeConfig) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.Timeout
+}
+
+func (c ProbeConfig) backoffBase() time.Duration {
+	if c.BackoffBase <= 0 {
+		return c.interval()
+	}
+	return c.BackoffBase
+}
+
+func (c ProbeConfig) backoffMax() time.Duration {
+	if c.BackoffMax <= 0 {
+		return 8 * time.Second
+	}
+	return c.BackoffMax
+}
+
+// ProbeStatus fetches and parses one STATUS snapshot from a node's status
+// listener.
+func ProbeStatus(statusAddr string, timeout time.Duration) (ingest.NodeStatus, error) {
+	c, err := net.DialTimeout("tcp", statusAddr, timeout)
+	if err != nil {
+		return ingest.NodeStatus{}, err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	doc, err := io.ReadAll(c)
+	if err != nil {
+		return ingest.NodeStatus{}, err
+	}
+	return ingest.ParseStatusLine(string(doc))
+}
+
+// prober polls every node's status listener on its own goroutine,
+// maintaining the shared health table and waking routing waiters whenever
+// a node's availability may have changed.
+type prober struct {
+	cfg ProbeConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	health  map[string]*NodeHealth
+	changed chan struct{} // closed and replaced on every update
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newProber(cfg ProbeConfig, nodes []NodeConfig) *prober {
+	p := &prober{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		health:  make(map[string]*NodeHealth, len(nodes)),
+		changed: make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	for _, n := range nodes {
+		p.health[n.Name] = &NodeHealth{Config: n}
+	}
+	return p
+}
+
+func (p *prober) start() {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.health))
+	for name := range p.health {
+		names = append(names, name)
+	}
+	p.mu.Unlock()
+	for _, name := range names {
+		p.wg.Add(1)
+		go p.run(name)
+	}
+}
+
+func (p *prober) close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// run is one node's probe loop: poll, record, sleep the interval (plus
+// failure backoff with jitter), repeat until the prober closes.
+func (p *prober) run(name string) {
+	defer p.wg.Done()
+	for {
+		p.probeOnce(name)
+		p.mu.Lock()
+		h := p.health[name]
+		delay := p.cfg.interval()
+		if h != nil && h.ConsecutiveFailures > 0 {
+			b := p.cfg.backoffBase()
+			for i := 1; i < h.ConsecutiveFailures && b < p.cfg.backoffMax(); i++ {
+				b *= 2
+			}
+			if b > p.cfg.backoffMax() {
+				b = p.cfg.backoffMax()
+			}
+			// Jitter up to half the backoff so recovering nodes are not
+			// hammered by synchronized probes.
+			b += time.Duration(p.rng.Int63n(int64(b)/2 + 1))
+			delay += b
+		}
+		p.mu.Unlock()
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-p.stop:
+			t.Stop()
+			return
+		}
+	}
+}
+
+// probeOnce polls one node and folds the result into the health table.
+func (p *prober) probeOnce(name string) {
+	p.mu.Lock()
+	h, ok := p.health[name]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	cfg := h.Config
+	p.mu.Unlock()
+
+	status, err := ProbeStatus(cfg.StatusAddr, p.cfg.timeout())
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok = p.health[name]
+	if !ok || h.Config != cfg {
+		return // node replaced mid-probe (UpdateNode); discard the stale result
+	}
+	if err != nil {
+		h.Reachable = false
+		h.ConsecutiveFailures++
+		h.LastErr = err
+	} else {
+		h.Reachable = true
+		h.ConsecutiveFailures = 0
+		h.LastErr = nil
+		h.Status = status
+		h.LastSeen = time.Now()
+	}
+	p.wake()
+}
+
+// wake broadcasts a health change to routing waiters. Called with mu held.
+func (p *prober) wake() {
+	close(p.changed)
+	p.changed = make(chan struct{})
+}
+
+// snapshot returns a copy of one node's health.
+func (p *prober) snapshot(name string) (NodeHealth, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.health[name]
+	if !ok {
+		return NodeHealth{}, false
+	}
+	return *h, true
+}
+
+// snapshotAll returns a copy of the whole health table.
+func (p *prober) snapshotAll() map[string]NodeHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]NodeHealth, len(p.health))
+	for name, h := range p.health {
+		out[name] = *h
+	}
+	return out
+}
+
+// changeCh returns the channel closed at the next health change.
+func (p *prober) changeCh() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.changed
+}
+
+// markUnreachable flags a node down immediately (a failed packet Send is
+// fresher evidence than the last probe) and wakes waiters. The next
+// successful probe restores it.
+func (p *prober) markUnreachable(name string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.health[name]
+	if !ok || !h.Reachable {
+		return
+	}
+	h.Reachable = false
+	h.LastErr = fmt.Errorf("cluster: send to %s failed: %w", name, err)
+	p.wake()
+}
+
+// updateNode swaps a node's addresses (checkpoint handoff to a successor
+// process): health resets to unreachable-until-probed and waiters wake so
+// requeued packets retry promptly.
+func (p *prober) updateNode(cfg NodeConfig) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.health[cfg.Name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", cfg.Name)
+	}
+	h.Config = cfg
+	h.Reachable = false
+	h.Status = ingest.NodeStatus{}
+	h.ConsecutiveFailures = 0
+	h.LastErr = nil
+	p.wake()
+	return nil
+}

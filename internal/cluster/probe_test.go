@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"iustitia/internal/ingest"
+)
+
+// fakeStatusNode serves a configurable STATUS document, standing in for a
+// serve instance's status listener.
+type fakeStatusNode struct {
+	t *testing.T
+	l net.Listener
+
+	mu     sync.Mutex
+	status ingest.NodeStatus
+}
+
+func newFakeStatusNode(t *testing.T, name string) *fakeStatusNode {
+	t.Helper()
+	f := &fakeStatusNode{t: t, status: ingest.NodeStatus{
+		Node:          name,
+		State:         ingest.StateHealthy,
+		CheckpointAge: ingest.NoCheckpoint,
+	}}
+	f.listen("127.0.0.1:0")
+	return f
+}
+
+func (f *fakeStatusNode) listen(addr string) {
+	f.t.Helper()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.l = l
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			f.mu.Lock()
+			doc := "some prose header\n" + f.status.StatusLine() + "\n"
+			f.mu.Unlock()
+			_, _ = c.Write([]byte(doc))
+			c.Close()
+		}
+	}()
+}
+
+func (f *fakeStatusNode) addr() string { return f.l.Addr().String() }
+
+func (f *fakeStatusNode) setState(s ingest.State) {
+	f.mu.Lock()
+	f.status.State = s
+	f.mu.Unlock()
+}
+
+func (f *fakeStatusNode) setCounts(received, admitted, quarantined, shed int) {
+	f.mu.Lock()
+	f.status.Received = received
+	f.status.Admitted = admitted
+	f.status.Quarantined = quarantined
+	f.status.Shed = shed
+	f.mu.Unlock()
+}
+
+func (f *fakeStatusNode) close() { f.l.Close() }
+
+func testProbeConfig() ProbeConfig {
+	return ProbeConfig{
+		Interval:    10 * time.Millisecond,
+		Timeout:     500 * time.Millisecond,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  40 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// waitHealth polls one node's health until cond holds.
+func waitHealth(t *testing.T, p *prober, name string, what string, cond func(NodeHealth) bool) NodeHealth {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		h, ok := p.snapshot(name)
+		if ok && cond(h) {
+			return h
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h, _ := p.snapshot(name)
+	t.Fatalf("timeout waiting for %s; last health: %+v", what, h)
+	return NodeHealth{}
+}
+
+// TestProbeStatusParsesLiveDocument checks the probe → parse path against
+// a served STATUS document.
+func TestProbeStatusParsesLiveDocument(t *testing.T) {
+	f := newFakeStatusNode(t, "alpha")
+	defer f.close()
+	f.setCounts(10, 7, 2, 1)
+
+	st, err := ProbeStatus(f.addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "alpha" || st.State != ingest.StateHealthy {
+		t.Errorf("parsed %+v, want node alpha healthy", st)
+	}
+	if st.Received != 10 || st.Admitted != 7 || st.Quarantined != 2 || st.Shed != 1 {
+		t.Errorf("counters %+v did not round-trip", st)
+	}
+	if gap := st.ConservationGap(); gap != 0 {
+		t.Errorf("conservation gap %d on a balanced snapshot", gap)
+	}
+}
+
+// TestProberTracksStateTransitions drives one node healthy → degraded →
+// unreachable → healthy and watches the prober follow.
+func TestProberTracksStateTransitions(t *testing.T) {
+	f := newFakeStatusNode(t, "alpha")
+	p := newProber(testProbeConfig(), []NodeConfig{{Name: "alpha", Addr: "127.0.0.1:1", StatusAddr: f.addr()}})
+	p.start()
+	defer p.close()
+
+	waitHealth(t, p, "alpha", "first healthy probe", func(h NodeHealth) bool { return h.Available() })
+
+	f.setState(ingest.StateDegraded)
+	h := waitHealth(t, p, "alpha", "degraded visible", func(h NodeHealth) bool {
+		return h.Reachable && h.Status.State == ingest.StateDegraded
+	})
+	if h.Available() {
+		t.Error("degraded node reported available")
+	}
+
+	addr := f.addr()
+	f.close()
+	h = waitHealth(t, p, "alpha", "unreachable after close", func(h NodeHealth) bool { return !h.Reachable })
+	if h.LastErr == nil || h.ConsecutiveFailures == 0 {
+		t.Errorf("unreachable node lacks error evidence: %+v", h)
+	}
+
+	// Same-address restart, as a rolling restart does: Go listeners set
+	// SO_REUSEADDR, so the successor can rebind immediately.
+	f2 := &fakeStatusNode{t: t, status: ingest.NodeStatus{Node: "alpha", State: ingest.StateHealthy, CheckpointAge: ingest.NoCheckpoint}}
+	f2.listen(addr)
+	defer f2.close()
+	waitHealth(t, p, "alpha", "recovery after rebind", func(h NodeHealth) bool { return h.Available() })
+}
+
+// TestProberBackoffSlowsFailedProbes checks that an unreachable node is
+// probed more gently than a healthy one: with backoff active, failures
+// accumulate slower than interval-rate polling would produce.
+func TestProberBackoffSlowsFailedProbes(t *testing.T) {
+	cfg := testProbeConfig()
+	cfg.Interval = 5 * time.Millisecond
+	cfg.BackoffBase = 30 * time.Millisecond
+	cfg.BackoffMax = 60 * time.Millisecond
+	// Nothing listens on this address: every probe fails fast.
+	p := newProber(cfg, []NodeConfig{{Name: "gone", Addr: "127.0.0.1:1", StatusAddr: "127.0.0.1:1"}})
+	p.start()
+	defer p.close()
+
+	time.Sleep(150 * time.Millisecond)
+	h, _ := p.snapshot("gone")
+	// Interval-rate polling would land ~30 probes in 150ms; with 30–90ms
+	// backoff per failure the count stays well under that.
+	if h.ConsecutiveFailures == 0 || h.ConsecutiveFailures > 15 {
+		t.Errorf("ConsecutiveFailures = %d, want 1..15 (backoff not applied?)", h.ConsecutiveFailures)
+	}
+}
+
+// TestProberMarkUnreachable checks that failed packet sends flip a node
+// down without waiting for the next probe, and that waiters are woken.
+func TestProberMarkUnreachable(t *testing.T) {
+	f := newFakeStatusNode(t, "alpha")
+	defer f.close()
+	p := newProber(testProbeConfig(), []NodeConfig{{Name: "alpha", Addr: "127.0.0.1:1", StatusAddr: f.addr()}})
+	p.start()
+	defer p.close()
+
+	waitHealth(t, p, "alpha", "healthy", func(h NodeHealth) bool { return h.Available() })
+	ch := p.changeCh()
+	p.markUnreachable("alpha", errors.New("connection refused"))
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("markUnreachable did not wake waiters")
+	}
+	h, _ := p.snapshot("alpha")
+	if h.Reachable {
+		// The next probe may already have restored it; only fail if the
+		// mark itself was a no-op (no error recorded either).
+		if h.LastErr == nil && h.LastSeen.IsZero() {
+			t.Errorf("markUnreachable had no effect: %+v", h)
+		}
+	}
+	if err := p.updateNode(NodeConfig{Name: "nope"}); err == nil {
+		t.Error("updateNode accepted an unknown node")
+	}
+}
+
+// TestProberUpdateNodeSwapsAddress points a name at a successor instance
+// and checks health is rebuilt from the new address.
+func TestProberUpdateNodeSwapsAddress(t *testing.T) {
+	old := newFakeStatusNode(t, "alpha")
+	p := newProber(testProbeConfig(), []NodeConfig{{Name: "alpha", Addr: "127.0.0.1:1", StatusAddr: old.addr()}})
+	p.start()
+	defer p.close()
+	waitHealth(t, p, "alpha", "predecessor healthy", func(h NodeHealth) bool { return h.Available() })
+
+	succ := newFakeStatusNode(t, "alpha")
+	defer succ.close()
+	succ.setCounts(99, 99, 0, 0)
+	if err := p.updateNode(NodeConfig{Name: "alpha", Addr: "127.0.0.1:2", StatusAddr: succ.addr()}); err != nil {
+		t.Fatal(err)
+	}
+	old.close()
+
+	h := waitHealth(t, p, "alpha", "successor probed", func(h NodeHealth) bool {
+		return h.Available() && h.Status.Received == 99
+	})
+	if h.Config.Addr != "127.0.0.1:2" {
+		t.Errorf("config not swapped: %+v", h.Config)
+	}
+}

@@ -1,0 +1,172 @@
+// Package cluster turns N independent iustitia-serve instances into one
+// federated classification service: a consistent-hash ring assigns every
+// flow to a node, a status prober tracks each node's ingest health FSM
+// through the machine-readable STATUS line, and a frame-level router
+// spreads framed-packet traffic across the healthy nodes while asserting
+// the cluster-wide conservation law
+//
+//	Σ Received == Σ Admitted + Σ Quarantined + Σ Shed   (across nodes)
+//
+// — the federation of the per-node transport law from internal/ingest.
+// Rolling restarts hand a drained node's final KindParallelCheckpoint to
+// its successor (same node name, resumed state), so the ring's flow→node
+// assignment survives the restart and no verdict is lost.
+package cluster
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"iustitia/internal/flow"
+	"iustitia/internal/packet"
+)
+
+// DefaultReplicas is the virtual-node count per physical node. 64 points
+// per node keeps the largest/smallest ownership ratio low without making
+// ring rebuilds expensive.
+const DefaultReplicas = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle and
+// the physical node that owns the arc ending there.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over node names. Flow IDs map to points
+// with PointOf; each point is owned by the first virtual node at or after
+// it (wrapping). Adding or removing a node moves only the arcs adjacent
+// to that node's virtual points — every other flow keeps its owner, which
+// is what makes health-driven failover and rolling restarts cheap.
+//
+// Ring is not safe for concurrent mutation; the router guards it with its
+// own lock.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by (hash, node)
+	nodes    map[string]struct{}
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// physical node (<= 0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}
+}
+
+// pointHash positions virtual node i of a node on the circle: the same
+// SHA-1 family as flow IDs, so placement is deterministic across
+// processes (a router restart rebuilds the identical ring).
+func pointHash(node string, i int) uint64 {
+	sum := sha1.Sum([]byte(node + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// PointOf maps a flow ID to its position on the circle: the same full
+// 64-bit word flow.ParallelEngine reduces for shard routing.
+func PointOf(id flow.ID) uint64 {
+	return binary.BigEndian.Uint64(id[:8])
+}
+
+// PointOfTuple maps a packet 5-tuple to its ring position.
+func PointOfTuple(t packet.FiveTuple) uint64 {
+	return PointOf(flow.IDOf(t))
+}
+
+// Add inserts a node's virtual points. Adding a present node is an error
+// (names are cluster-unique identities).
+func (r *Ring) Add(node string) error {
+	if node == "" {
+		return fmt.Errorf("cluster: empty node name")
+	}
+	if _, ok := r.nodes[node]; ok {
+		return fmt.Errorf("cluster: node %q already on the ring", node)
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return nil
+}
+
+// Remove deletes a node's virtual points; its arcs fall to the next
+// nodes on the circle. Removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the ring membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the physical node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// firstAt returns the index of the first virtual point at or after p,
+// wrapping to 0 past the last point.
+func (r *Ring) firstAt(p uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= p })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the node owning point p, or false on an empty ring.
+func (r *Ring) Owner(p uint64) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.firstAt(p)].node, true
+}
+
+// Candidates returns up to max distinct nodes in ring order starting at
+// p's owner — the failover order health-aware routing walks when the
+// owner is unavailable.
+func (r *Ring) Candidates(p uint64, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]struct{}, max)
+	start := r.firstAt(p)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if _, ok := seen[n]; ok {
+			continue
+		}
+		seen[n] = struct{}{}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"iustitia/internal/flow"
+	"iustitia/internal/packet"
+)
+
+func ringOf(t *testing.T, replicas int, nodes ...string) *Ring {
+	t.Helper()
+	r := NewRing(replicas)
+	for _, n := range nodes {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestRingDeterministic pins that ownership depends only on membership:
+// two rings built in different insertion orders agree on every point, so
+// a restarted router rebuilds the identical flow→node map.
+func TestRingDeterministic(t *testing.T) {
+	a := ringOf(t, 0, "alpha", "beta", "gamma")
+	b := ringOf(t, 0, "gamma", "alpha", "beta")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		p := rng.Uint64()
+		oa, ok := a.Owner(p)
+		ob, _ := b.Owner(p)
+		if !ok || oa != ob {
+			t.Fatalf("point %#x: owner %q vs %q (insertion order changed ownership)", p, oa, ob)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyVictimArcs is the consistent-hashing property:
+// removing one node must not move any flow owned by a surviving node.
+func TestRingRemoveMovesOnlyVictimArcs(t *testing.T) {
+	r := ringOf(t, 0, "alpha", "beta", "gamma")
+	rng := rand.New(rand.NewSource(2))
+	points := make([]uint64, 5000)
+	owners := make([]string, len(points))
+	for i := range points {
+		points[i] = rng.Uint64()
+		owners[i], _ = r.Owner(points[i])
+	}
+	r.Remove("beta")
+	moved := 0
+	for i, p := range points {
+		now, ok := r.Owner(p)
+		if !ok {
+			t.Fatal("ring emptied unexpectedly")
+		}
+		switch {
+		case owners[i] == "beta":
+			moved++
+			if now == "beta" {
+				t.Fatalf("point %#x still owned by removed node", p)
+			}
+		case now != owners[i]:
+			t.Fatalf("point %#x moved %q → %q though %q survives", p, owners[i], now, owners[i])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no points owned by the removed node; test is vacuous")
+	}
+}
+
+// TestRingBalance checks that 64 virtual nodes keep ownership reasonably
+// even: no node above twice or below half its fair share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r := ringOf(t, 0, nodes...)
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[string]int)
+	const samples = 40000
+	for i := 0; i < samples; i++ {
+		o, _ := r.Owner(rng.Uint64())
+		counts[o]++
+	}
+	fair := samples / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/2 || c > fair*2 {
+			t.Errorf("node %s owns %d of %d points (fair share %d): imbalance beyond 2x", n, c, samples, fair)
+		}
+	}
+}
+
+// TestRingCandidates pins the failover order contract: first candidate is
+// the owner, candidates are distinct, and the list covers the whole
+// membership when asked.
+func TestRingCandidates(t *testing.T) {
+	r := ringOf(t, 0, "a", "b", "c")
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		p := rng.Uint64()
+		owner, _ := r.Owner(p)
+		cands := r.Candidates(p, 10)
+		if len(cands) != 3 {
+			t.Fatalf("Candidates returned %d nodes, want 3", len(cands))
+		}
+		if cands[0] != owner {
+			t.Fatalf("first candidate %q is not the owner %q", cands[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("duplicate candidate %q", c)
+			}
+			seen[c] = true
+		}
+		if got := r.Candidates(p, 2); len(got) != 2 || got[0] != owner {
+			t.Fatalf("Candidates(p, 2) = %v, want owner-first pair", got)
+		}
+	}
+	if r.Candidates(0, 0) != nil {
+		t.Error("Candidates with max 0 should be nil")
+	}
+}
+
+// TestRingAddErrors pins membership invariants: names are non-empty and
+// cluster-unique.
+func TestRingAddErrors(t *testing.T) {
+	r := NewRing(0)
+	if err := r.Add(""); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if err := r.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("a"); err == nil {
+		t.Error("duplicate node name accepted")
+	}
+	r.Remove("missing") // no-op, must not panic
+	if got := r.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	if got := r.Nodes(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Nodes = %v, want [a]", got)
+	}
+}
+
+// TestPointOfTupleMatchesFlowID pins that ring placement uses the same
+// hash word the parallel engine uses for shard routing.
+func TestPointOfTupleMatchesFlowID(t *testing.T) {
+	tuple := packet.FiveTuple{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 1234, DstPort: 80, Transport: packet.TCP}
+	if PointOfTuple(tuple) != PointOf(flow.IDOf(tuple)) {
+		t.Error("PointOfTuple diverges from PointOf(flow.IDOf)")
+	}
+}
+
+// TestOwnerEmptyRing pins the empty-ring contract.
+func TestOwnerEmptyRing(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner(42); ok {
+		t.Error("empty ring reported an owner")
+	}
+	if r.Candidates(42, 3) != nil {
+		t.Error("empty ring returned candidates")
+	}
+}

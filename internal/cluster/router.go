@@ -1,0 +1,746 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iustitia/internal/ingest"
+	"iustitia/internal/packet"
+)
+
+// RoutePolicy selects what the router does with a packet whose owner node
+// is unavailable (unreachable, degraded, draining, or stopped).
+type RoutePolicy int
+
+const (
+	// PolicyNext reroutes the packet to the next available node on the
+	// ring (counted in Rerouted). The flow's per-node state splits across
+	// nodes, so verdicts for rerouted flows may diverge from a
+	// single-node replay — availability bought with accuracy.
+	PolicyNext RoutePolicy = iota
+	// PolicyShed drops the packet and counts it in Shed: strict flow
+	// affinity, no cross-node state, bounded memory.
+	PolicyShed
+	// PolicyRequeue holds the packet (stalling its connection) until the
+	// owner is available again — the rolling-restart policy: the drained
+	// node's successor resumes its checkpoint and the held packets land
+	// on the same per-flow state, losing nothing. After RequeueTimeout
+	// the packet falls to the next available node (or is shed when none
+	// is).
+	PolicyRequeue
+)
+
+// String names the policy for flags and logs.
+func (p RoutePolicy) String() string {
+	switch p {
+	case PolicyNext:
+		return "next"
+	case PolicyShed:
+		return "shed"
+	case PolicyRequeue:
+		return "requeue"
+	default:
+		return fmt.Sprintf("RoutePolicy(%d)", int(p))
+	}
+}
+
+// ParseRoutePolicy maps a flag value to its policy.
+func ParseRoutePolicy(s string) (RoutePolicy, error) {
+	switch s {
+	case "next":
+		return PolicyNext, nil
+	case "shed":
+		return PolicyShed, nil
+	case "requeue":
+		return PolicyRequeue, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown route policy %q (want next|shed|requeue)", s)
+	}
+}
+
+// RouterConfig assembles a cluster router.
+type RouterConfig struct {
+	// Nodes lists the serve instances; at least one is required, names
+	// must be unique.
+	Nodes []NodeConfig
+	// Listeners accept framed-packet client connections. At least one is
+	// required.
+	Listeners []net.Listener
+	// StatusListener, when non-nil, serves the cluster status document
+	// (router counters, per-node health, the conservation law, and the
+	// machine-readable CLUSTER line) one dump per connection.
+	StatusListener net.Listener
+	// Replicas is the virtual-node count per node (<= 0 selects
+	// DefaultReplicas).
+	Replicas int
+	// Policy selects the behaviour when a packet's owner is unavailable.
+	Policy RoutePolicy
+	// RequeueTimeout bounds how long one packet waits for a node before
+	// falling through (PolicyRequeue: for its owner; any policy: for any
+	// available node). Zero waits until the router itself drains.
+	RequeueTimeout time.Duration
+	// Probe tunes health polling.
+	Probe ProbeConfig
+	// DialTimeout bounds one upstream dial. Zero defaults to 2s.
+	DialTimeout time.Duration
+	// SendRetries bounds one ingest.Client's consecutive delivery
+	// attempts before the router treats the node as down and re-routes.
+	// Zero defaults to 3; negative means a single attempt.
+	SendRetries int
+	// SendBackoffBase / SendBackoffMax tune the client's reconnect
+	// backoff (exponential with jitter). Zeroes take the client
+	// defaults.
+	SendBackoffBase time.Duration
+	SendBackoffMax  time.Duration
+	// Seed drives client reconnect jitter.
+	Seed int64
+	// MaxFrame bounds the payload length a frame header may declare
+	// (<= 0 selects ingest.DefaultMaxFrame).
+	MaxFrame int
+	// ReadTimeout / IdleTimeout are the per-connection deadlines, as on
+	// the ingest server. Zero disables.
+	ReadTimeout time.Duration
+	IdleTimeout time.Duration
+}
+
+// RouterStats is a point-in-time summary of router activity. The frame
+// counters obey the router-level conservation law
+// Received == Forwarded + Quarantined + Shed.
+type RouterStats struct {
+	// State is the router lifecycle state (reusing the ingest FSM
+	// vocabulary): healthy flips to degraded while any node is
+	// unavailable.
+	State ingest.State
+	// ActiveConns and TotalConns count client connections.
+	ActiveConns, TotalConns int
+	// Received counts frame events read from clients: every valid frame
+	// plus every quarantine event.
+	Received int
+	// Forwarded counts packets delivered to some node.
+	Forwarded int
+	// Quarantined counts malformed-frame events survived by resync.
+	Quarantined int
+	// Shed counts packets dropped by policy (owner unavailable under
+	// PolicyShed, or no node available within RequeueTimeout / at drain).
+	Shed int
+	// Rerouted counts forwarded packets that went to a non-owner node.
+	Rerouted int
+	// Requeued counts wait episodes: packets that had to block for a
+	// node to become available before being forwarded or shed.
+	Requeued int
+	// SendFailures counts upstream deliveries that exhausted the
+	// client's retries (each marks the node unreachable and re-routes).
+	SendFailures int
+	// PerNode counts forwarded packets per node name.
+	PerNode map[string]int
+	// ConservationViolations counts probe snapshots whose per-node
+	// transport law did not balance — always zero against healthy serve
+	// instances.
+	ConservationViolations int
+}
+
+// ClusterStats aggregates the last-known node snapshots under the
+// cluster-wide conservation law.
+type ClusterStats struct {
+	// Nodes is the number of configured nodes; Available how many are
+	// currently routable.
+	Nodes, Available int
+	// SumReceived etc. are sums over every node with a parsed snapshot.
+	SumReceived, SumAdmitted, SumQuarantined, SumShed int
+	// SumClassified and SumQueue aggregate the engine verdict counters.
+	SumClassified int
+	SumQueue      [3]int
+}
+
+// Gap returns ΣReceived - (ΣAdmitted + ΣQuarantined + ΣShed): zero when
+// the cluster-wide conservation law holds.
+func (cs ClusterStats) Gap() int {
+	return cs.SumReceived - (cs.SumAdmitted + cs.SumQuarantined + cs.SumShed)
+}
+
+// Router spreads framed-packet connections across serve nodes by
+// consistent hashing over flow IDs, with health-aware failover.
+type Router struct {
+	cfg    RouterConfig
+	ring   *Ring
+	probes *prober
+
+	force     chan struct{} // closed at drain deadline: aborts waits
+	forceOnce sync.Once
+	done      chan struct{}
+	watchStop chan struct{}
+
+	readerWG sync.WaitGroup
+	acceptWG sync.WaitGroup
+	statusWG sync.WaitGroup
+	watchWG  sync.WaitGroup
+
+	mu           sync.Mutex
+	conns        map[net.Conn]struct{}
+	clients      map[string]map[*ingest.Client]struct{} // node → live clients
+	totalConns   int
+	received     int
+	forwarded    int
+	quarantined  int
+	shed         int
+	rerouted     int
+	requeued     int
+	sendFailures int
+	perNode      map[string]int
+	violations   int
+	lifecycle    ingest.State
+	started      bool
+	shutdown     bool
+	shutdownErr  error
+}
+
+// NewRouter validates cfg and builds a router. Call Start to begin
+// accepting.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: at least one node is required")
+	}
+	if len(cfg.Listeners) == 0 {
+		return nil, errors.New("cluster: at least one listener is required")
+	}
+	if cfg.Policy < PolicyNext || cfg.Policy > PolicyRequeue {
+		return nil, fmt.Errorf("cluster: unknown route policy %d", int(cfg.Policy))
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.SendRetries == 0 {
+		cfg.SendRetries = 3
+	}
+	ring := NewRing(cfg.Replicas)
+	for _, n := range cfg.Nodes {
+		if n.Name == "" || n.Addr == "" || n.StatusAddr == "" {
+			return nil, fmt.Errorf("cluster: node %+v needs name, addr, and status addr", n)
+		}
+		if err := ring.Add(n.Name); err != nil {
+			return nil, err
+		}
+	}
+	r := &Router{
+		cfg:       cfg,
+		ring:      ring,
+		probes:    newProber(cfg.Probe, cfg.Nodes),
+		force:     make(chan struct{}),
+		done:      make(chan struct{}),
+		watchStop: make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		clients:   make(map[string]map[*ingest.Client]struct{}),
+		perNode:   make(map[string]int),
+		lifecycle: ingest.StateStarting,
+	}
+	return r, nil
+}
+
+// Start spawns the probers, accept loops, and status listener.
+func (r *Router) Start() error {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return errors.New("cluster: router already started")
+	}
+	r.started = true
+	r.lifecycle = ingest.StateHealthy
+	r.mu.Unlock()
+
+	r.probes.start()
+	r.watchWG.Add(1)
+	go r.watchHealth()
+	for _, l := range r.cfg.Listeners {
+		r.acceptWG.Add(1)
+		go r.acceptLoop(l)
+	}
+	if r.cfg.StatusListener != nil {
+		r.statusWG.Add(1)
+		go r.statusLoop(r.cfg.StatusListener)
+	}
+	return nil
+}
+
+// UpdateNode redirects a ring name to a successor instance (checkpoint
+// handoff): the node keeps its name — and therefore its hash arcs — but
+// its ingest and status addresses move to the restarted process. Existing
+// upstream connections to the old instance are closed.
+func (r *Router) UpdateNode(cfg NodeConfig) error {
+	if err := r.probes.updateNode(cfg); err != nil {
+		return err
+	}
+	r.closeNodeClients(cfg.Name)
+	return nil
+}
+
+// Health returns the router's current view of one node.
+func (r *Router) Health(name string) (NodeHealth, bool) {
+	return r.probes.snapshot(name)
+}
+
+// acceptLoop accepts client connections until its listener closes.
+func (r *Router) acceptLoop(l net.Listener) {
+	defer r.acceptWG.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		draining := r.shutdown
+		if !draining {
+			r.conns[c] = struct{}{}
+			r.totalConns++
+		}
+		r.mu.Unlock()
+		if draining {
+			c.Close()
+			continue
+		}
+		r.readerWG.Add(1)
+		go r.serveConn(c)
+	}
+}
+
+// routerConn applies the idle/read deadlines, mirroring the ingest
+// server's frame-boundary semantics.
+type routerConn struct {
+	net.Conn
+	idle, read time.Duration
+	atBoundary bool
+}
+
+func (d *routerConn) Read(p []byte) (int, error) {
+	timeout := d.read
+	if d.atBoundary {
+		timeout = d.idle
+		d.atBoundary = false
+	}
+	if timeout > 0 {
+		if err := d.Conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return d.Conn.Read(p)
+}
+
+// serveConn reads frames off one client connection and routes each packet
+// to its owner node. Packets of one connection are forwarded strictly in
+// order, so per-flow order is preserved end to end.
+func (r *Router) serveConn(c net.Conn) {
+	defer r.readerWG.Done()
+	clients := make(map[string]*ingest.Client)
+	defer func() {
+		c.Close()
+		r.mu.Lock()
+		delete(r.conns, c)
+		for name, cl := range clients {
+			delete(r.clients[name], cl)
+		}
+		r.mu.Unlock()
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	dc := &routerConn{Conn: c, idle: r.cfg.IdleTimeout, read: r.cfg.ReadTimeout}
+	fr := ingest.NewFrameReader(dc, r.cfg.MaxFrame, func() {
+		r.mu.Lock()
+		r.received++
+		r.quarantined++
+		r.mu.Unlock()
+	})
+	for {
+		dc.atBoundary = true
+		pkt, err := fr.Next()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		r.received++
+		r.mu.Unlock()
+		r.route(&pkt, clients)
+	}
+}
+
+// clientFor returns (creating on first use) this connection's client for
+// a node, registered so health transitions can close it.
+func (r *Router) clientFor(name string, clients map[string]*ingest.Client) *ingest.Client {
+	if cl, ok := clients[name]; ok {
+		return cl
+	}
+	cl, _ := ingest.NewClient(ingest.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			// Re-resolve on every dial: UpdateNode may have moved the
+			// node to a successor address since the client was built.
+			nh, ok := r.probes.snapshot(name)
+			if !ok {
+				return nil, fmt.Errorf("cluster: unknown node %q", name)
+			}
+			return net.DialTimeout("tcp", nh.Config.Addr, r.cfg.DialTimeout)
+		},
+		MaxRetries:  r.cfg.SendRetries,
+		BackoffBase: r.cfg.SendBackoffBase,
+		BackoffMax:  r.cfg.SendBackoffMax,
+		Seed:        r.cfg.Seed,
+	})
+	clients[name] = cl
+	r.mu.Lock()
+	if r.clients[name] == nil {
+		r.clients[name] = make(map[*ingest.Client]struct{})
+	}
+	r.clients[name][cl] = struct{}{}
+	r.mu.Unlock()
+	return cl
+}
+
+// watchHealth closes a node's upstream connections whenever the node
+// leaves availability. This is what lets a draining node finish: its
+// listeners are closed but established connections are read until EOF, so
+// a router holding them open would pin the drain against its deadline.
+// Closing on the available→unavailable edge gives the drain its EOFs;
+// in-flight bytes are flushed first (close follows a whole-frame write),
+// so nothing tears.
+func (r *Router) watchHealth() {
+	defer r.watchWG.Done()
+	last := make(map[string]bool)
+	for {
+		ch := r.probes.changeCh()
+		for name, h := range r.probes.snapshotAll() {
+			avail := h.Available()
+			if last[name] && !avail {
+				r.closeNodeClients(name)
+			}
+			last[name] = avail
+		}
+		select {
+		case <-ch:
+		case <-r.watchStop:
+			return
+		}
+	}
+}
+
+// closeNodeClients closes every live upstream connection to a node. The
+// clients stay usable: their next Send redials (the fresh address, via
+// the prober snapshot).
+func (r *Router) closeNodeClients(name string) {
+	r.mu.Lock()
+	cls := make([]*ingest.Client, 0, len(r.clients[name]))
+	for cl := range r.clients[name] {
+		cls = append(cls, cl)
+	}
+	r.mu.Unlock()
+	for _, cl := range cls {
+		cl.Close()
+	}
+}
+
+// route delivers one packet per the policy. Every packet entering here is
+// accounted exactly once: Forwarded on delivery, Shed otherwise.
+func (r *Router) route(pkt *packet.Packet, clients map[string]*ingest.Client) {
+	point := PointOfTuple(pkt.Tuple)
+	r.mu.Lock()
+	candidates := r.ring.Candidates(point, r.ring.Len())
+	r.mu.Unlock()
+	if len(candidates) == 0 {
+		r.countShed()
+		return
+	}
+	owner := candidates[0]
+
+	var deadline <-chan time.Time
+	waited, expired := false, false
+	for {
+		health := r.probes.snapshotAll()
+		target := ""
+		rerouted := false
+		if health[owner].Available() {
+			target = owner
+		} else {
+			switch r.cfg.Policy {
+			case PolicyShed:
+				r.countShed()
+				return
+			case PolicyNext:
+				for _, n := range candidates[1:] {
+					if health[n].Available() {
+						target, rerouted = n, true
+						break
+					}
+				}
+			case PolicyRequeue:
+				// Hold for the owner; only a requeue timeout falls
+				// through to the successor candidates (handled below).
+			}
+		}
+		if target == "" && expired {
+			// Requeue window exhausted: any available candidate, else shed.
+			for _, n := range candidates {
+				if health[n].Available() {
+					target = n
+					rerouted = n != owner
+					break
+				}
+			}
+			if target == "" {
+				r.countShed()
+				return
+			}
+		}
+		if target != "" {
+			err := r.clientFor(target, clients).Send(pkt)
+			if err == nil {
+				r.countForwarded(target, rerouted)
+				return
+			}
+			r.mu.Lock()
+			r.sendFailures++
+			r.mu.Unlock()
+			r.probes.markUnreachable(target, err)
+			continue // re-route under the fresh health view
+		}
+
+		// No routable target yet: wait for a health change, the requeue
+		// deadline, or the router's own drain force.
+		if !waited {
+			waited = true
+			r.mu.Lock()
+			r.requeued++
+			r.mu.Unlock()
+			if r.cfg.RequeueTimeout > 0 {
+				t := time.NewTimer(r.cfg.RequeueTimeout)
+				defer t.Stop()
+				deadline = t.C
+			}
+		}
+		ch := r.probes.changeCh()
+		select {
+		case <-ch:
+		case <-deadline: // nil when no RequeueTimeout: never fires
+			// One more pass: the expired branch picks any candidate or sheds.
+			expired = true
+			deadline = nil
+		case <-r.force:
+			r.countShed()
+			return
+		}
+	}
+}
+
+func (r *Router) countForwarded(node string, rerouted bool) {
+	r.mu.Lock()
+	r.forwarded++
+	r.perNode[node]++
+	if rerouted {
+		r.rerouted++
+	}
+	r.mu.Unlock()
+}
+
+func (r *Router) countShed() {
+	r.mu.Lock()
+	r.shed++
+	r.mu.Unlock()
+}
+
+// Stats returns a snapshot of the router counters.
+func (r *Router) Stats() RouterStats {
+	health := r.probes.snapshotAll()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RouterStats{
+		State:                  r.lifecycle,
+		ActiveConns:            len(r.conns),
+		TotalConns:             r.totalConns,
+		Received:               r.received,
+		Forwarded:              r.forwarded,
+		Quarantined:            r.quarantined,
+		Shed:                   r.shed,
+		Rerouted:               r.rerouted,
+		Requeued:               r.requeued,
+		SendFailures:           r.sendFailures,
+		PerNode:                make(map[string]int, len(r.perNode)),
+		ConservationViolations: r.violations,
+	}
+	for n, c := range r.perNode {
+		st.PerNode[n] = c
+	}
+	if st.State == ingest.StateHealthy {
+		for _, h := range health {
+			if !h.Available() {
+				st.State = ingest.StateDegraded
+				break
+			}
+		}
+	}
+	return st
+}
+
+// ClusterStats sums the last-known node snapshots and records any
+// per-node conservation violation.
+func (r *Router) ClusterStats() ClusterStats {
+	health := r.probes.snapshotAll()
+	var cs ClusterStats
+	cs.Nodes = len(health)
+	for _, h := range health {
+		if h.Available() {
+			cs.Available++
+		}
+		if h.LastSeen.IsZero() {
+			continue
+		}
+		s := h.Status
+		cs.SumReceived += s.Received
+		cs.SumAdmitted += s.Admitted
+		cs.SumQuarantined += s.Quarantined
+		cs.SumShed += s.Shed
+		cs.SumClassified += s.EngineClassified
+		for i := range s.Queue {
+			cs.SumQueue[i] += s.Queue[i]
+		}
+		if s.ConservationGap() != 0 {
+			r.mu.Lock()
+			r.violations++
+			r.mu.Unlock()
+		}
+	}
+	return cs
+}
+
+// Shutdown drains the router: stop accepting, let client connections
+// finish (force-closing them and shedding waiting packets when ctx
+// expires), close upstream clients, stop probing. Idempotent; concurrent
+// calls share the first invocation's result.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if r.shutdown {
+		r.mu.Unlock()
+		<-r.done
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.shutdownErr
+	}
+	r.shutdown = true
+	r.lifecycle = ingest.StateDraining
+	r.mu.Unlock()
+
+	var errs []error
+	for _, l := range r.cfg.Listeners {
+		if err := l.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: close listener: %w", err))
+		}
+	}
+	r.acceptWG.Wait()
+
+	readersDone := make(chan struct{})
+	go func() { r.readerWG.Wait(); close(readersDone) }()
+	select {
+	case <-readersDone:
+	case <-ctx.Done():
+		errs = append(errs, fmt.Errorf("cluster: drain deadline: %w", ctx.Err()))
+		r.forceOnce.Do(func() { close(r.force) })
+		r.mu.Lock()
+		for c := range r.conns {
+			c.Close()
+		}
+		r.mu.Unlock()
+		<-readersDone
+	}
+
+	close(r.watchStop)
+	r.watchWG.Wait()
+	r.probes.close()
+	if r.cfg.StatusListener != nil {
+		if err := r.cfg.StatusListener.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: close status listener: %w", err))
+		}
+	}
+	r.statusWG.Wait()
+
+	r.mu.Lock()
+	r.lifecycle = ingest.StateStopped
+	err := errors.Join(errs...)
+	r.shutdownErr = err
+	r.mu.Unlock()
+	close(r.done)
+	return err
+}
+
+// statusLoop serves one cluster status document per accepted connection.
+func (r *Router) statusLoop(l net.Listener) {
+	defer r.statusWG.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+		_, _ = c.Write([]byte(r.StatusText()))
+		c.Close()
+	}
+}
+
+// clusterLinePrefix marks the machine-readable cluster summary line.
+const clusterLinePrefix = "CLUSTER "
+
+// StatusText renders the cluster status document: router counters,
+// per-node health, the conservation sums, one machine-readable CLUSTER
+// line, and every node's last-known STATUS line relayed verbatim.
+func (r *Router) StatusText() string {
+	st := r.Stats()
+	cs := r.ClusterStats()
+	health := r.probes.snapshotAll()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: state=%s nodes=%d available=%d policy=%s\n",
+		st.State, cs.Nodes, cs.Available, r.cfg.Policy)
+	fmt.Fprintf(&b, "router: received %d, forwarded %d, quarantined %d, shed %d, rerouted %d, requeued %d, send-failures %d\n",
+		st.Received, st.Forwarded, st.Quarantined, st.Shed, st.Rerouted, st.Requeued, st.SendFailures)
+	fmt.Fprintf(&b, "conns: %d active / %d total\n", st.ActiveConns, st.TotalConns)
+
+	names := make([]string, 0, len(health))
+	for n := range health {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := health[n]
+		reach := "down"
+		if h.Reachable {
+			reach = "up"
+		}
+		detail := "never probed"
+		if !h.LastSeen.IsZero() {
+			detail = fmt.Sprintf("state=%s received=%d admitted=%d forwarded-to=%d",
+				h.Status.State, h.Status.Received, h.Status.Admitted, st.PerNode[n])
+		}
+		if h.LastErr != nil {
+			detail += fmt.Sprintf(" err=%q", h.LastErr)
+		}
+		fmt.Fprintf(&b, "node %s (%s): %s %s\n", n, h.Config.Addr, reach, detail)
+	}
+	fmt.Fprintf(&b, "conservation: sum_received=%d sum_admitted=%d sum_quarantined=%d sum_shed=%d gap=%d violations=%d\n",
+		cs.SumReceived, cs.SumAdmitted, cs.SumQuarantined, cs.SumShed, cs.Gap(), st.ConservationViolations)
+
+	fmt.Fprintf(&b, clusterLinePrefix+
+		"state=%s nodes=%d available=%d received=%d forwarded=%d quarantined=%d shed=%d "+
+		"rerouted=%d requeued=%d send_failures=%d sum_received=%d sum_admitted=%d "+
+		"sum_quarantined=%d sum_shed=%d sum_classified=%d conservation_gap=%d violations=%d\n",
+		st.State, cs.Nodes, cs.Available, st.Received, st.Forwarded, st.Quarantined, st.Shed,
+		st.Rerouted, st.Requeued, st.SendFailures, cs.SumReceived, cs.SumAdmitted,
+		cs.SumQuarantined, cs.SumShed, cs.SumClassified, cs.Gap(), st.ConservationViolations)
+
+	for _, n := range names {
+		if h := health[n]; !h.LastSeen.IsZero() {
+			fmt.Fprintf(&b, "%s\n", h.Status.StatusLine())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,550 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/ingest"
+	"iustitia/internal/packet"
+)
+
+// pureClassifier labels deterministically from the buffer's first byte,
+// so networked, clustered, and in-process replays are comparable verdict
+// by verdict.
+func pureClassifier() flow.Classifier {
+	return flow.ClassifierFunc(func(payload []byte) (corpus.Class, error) {
+		return corpus.Class(int(payload[0]) % corpus.NumClasses), nil
+	})
+}
+
+const testShards = 2
+
+func newTestEngine(t *testing.T) *flow.ParallelEngine {
+	t.Helper()
+	pe, err := flow.NewParallelEngine(flow.EngineConfig{
+		BufferSize: 256,
+		Classifier: pureClassifier(),
+	}, testShards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pe
+}
+
+func listenLocal(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// testNode is one in-process serve instance under the router.
+type testNode struct {
+	cfg    NodeConfig
+	srv    *ingest.Server
+	engine *flow.ParallelEngine
+}
+
+// startNode brings up an ingest server with a status listener under the
+// given cluster name, optionally with an engine resumed from a
+// checkpoint.
+func startNode(t *testing.T, name string, engine *flow.ParallelEngine, onCheckpoint func([]byte)) *testNode {
+	t.Helper()
+	if engine == nil {
+		engine = newTestEngine(t)
+	}
+	data, status := listenLocal(t), listenLocal(t)
+	srv, err := ingest.NewServer(ingest.Config{
+		Engine:            engine,
+		Listeners:         []net.Listener{data},
+		StatusListener:    status,
+		Workers:           2,
+		NodeName:          name,
+		OnFinalCheckpoint: onCheckpoint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &testNode{
+		cfg:    NodeConfig{Name: name, Addr: data.Addr().String(), StatusAddr: status.Addr().String()},
+		srv:    srv,
+		engine: engine,
+	}
+}
+
+func (n *testNode) drain(t *testing.T) ingest.Stats {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := n.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain %s: %v", n.cfg.Name, err)
+	}
+	return n.srv.Stats()
+}
+
+// startRouter builds and starts a router over the nodes, registering
+// cleanup.
+func startRouter(t *testing.T, cfg RouterConfig, nodes ...*testNode) (*Router, string) {
+	t.Helper()
+	for _, n := range nodes {
+		cfg.Nodes = append(cfg.Nodes, n.cfg)
+	}
+	l := listenLocal(t)
+	cfg.Listeners = []net.Listener{l}
+	if cfg.Probe.Interval == 0 {
+		cfg.Probe = testProbeConfig()
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return r, l.Addr().String()
+}
+
+func drainRouter(t *testing.T, r *Router) RouterStats {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Shutdown(ctx); err != nil {
+		t.Fatalf("router drain: %v", err)
+	}
+	return r.Stats()
+}
+
+// waitAvailable blocks until the router's probes see every node healthy.
+func waitAvailable(t *testing.T, r *Router, names ...string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for _, name := range names {
+		for {
+			h, ok := r.Health(name)
+			if ok && h.Available() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never became available: %+v", name, h)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func testTrace(t *testing.T, flows int, seed int64) *packet.Trace {
+	t.Helper()
+	cfg := packet.DefaultTraceConfig()
+	cfg.Flows = flows
+	cfg.Duration = 5 * time.Second
+	cfg.MaxFlowBytes = 2 << 10
+	cfg.Seed = seed
+	trace, err := packet.Generate(cfg, corpus.NewGenerator(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// streamTrace replays a trace through the router's framed-packet
+// endpoint.
+func streamTrace(t *testing.T, addr string, trace *packet.Trace) {
+	t.Helper()
+	cl, err := ingest.NewClient(ingest.ClientConfig{
+		Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := range trace.Packets {
+		if err := cl.Send(&trace.Packets[i]); err != nil {
+			t.Fatalf("send packet %d: %v", i, err)
+		}
+	}
+}
+
+// replayReference replays traces sequentially into a fresh engine — the
+// single-node ground truth the cluster must match in aggregate.
+func replayReference(t *testing.T, traces ...*packet.Trace) *flow.ParallelEngine {
+	t.Helper()
+	ref := newTestEngine(t)
+	maxSeen := time.Duration(0)
+	for _, trace := range traces {
+		for i := range trace.Packets {
+			if trace.Packets[i].Time > maxSeen {
+				maxSeen = trace.Packets[i].Time
+			}
+			if _, err := ref.Process(&trace.Packets[i]); err != nil {
+				t.Fatalf("reference Process: %v", err)
+			}
+		}
+	}
+	if _, err := ref.FlushAll(maxSeen + time.Minute); err != nil {
+		t.Fatalf("reference FlushAll: %v", err)
+	}
+	return ref
+}
+
+// assertRouterConservation checks the router-level law.
+func assertRouterConservation(t *testing.T, st RouterStats) {
+	t.Helper()
+	if got := st.Forwarded + st.Quarantined + st.Shed; got != st.Received {
+		t.Errorf("router conservation violated: Forwarded(%d)+Quarantined(%d)+Shed(%d) = %d, want Received %d",
+			st.Forwarded, st.Quarantined, st.Shed, got, st.Received)
+	}
+}
+
+// assertClusterMatchesReference checks aggregate verdict equality and
+// per-flow labels: every flow labelled on exactly one node, identically
+// to the single-engine reference.
+func assertClusterMatchesReference(t *testing.T, ref *flow.ParallelEngine, traces []*packet.Trace, nodes ...*testNode) {
+	t.Helper()
+	rs := ref.Stats()
+	var classified, admitted, dropped, fallback, shed int
+	for _, n := range nodes {
+		es := n.engine.Stats()
+		classified += es.Classified
+		admitted += es.Admitted
+		dropped += es.Dropped
+		fallback += es.Fallback
+		shed += es.Shed
+	}
+	if classified != rs.Classified || admitted != rs.Admitted || dropped != rs.Dropped ||
+		fallback != rs.Fallback || shed != rs.Shed {
+		t.Errorf("aggregate engine stats diverge from reference:\n  cluster: classified=%d admitted=%d dropped=%d fallback=%d shed=%d\n  reference: classified=%d admitted=%d dropped=%d fallback=%d shed=%d",
+			classified, admitted, dropped, fallback, shed,
+			rs.Classified, rs.Admitted, rs.Dropped, rs.Fallback, rs.Shed)
+	}
+	for _, trace := range traces {
+		for tuple := range trace.Flows {
+			wantLabel, wantOK := ref.Label(tuple)
+			found := 0
+			for _, n := range nodes {
+				// RecordedLabel, not Label: a successor node's verdicts
+				// for pre-handoff flows live only in its restored CDB.
+				if label, ok := n.engine.RecordedLabel(tuple); ok {
+					found++
+					if !wantOK || label != wantLabel {
+						t.Errorf("flow %v: node %s label %v, reference (%v,%v)", tuple, n.cfg.Name, label, wantLabel, wantOK)
+					}
+				}
+			}
+			if wantOK && found != 1 {
+				t.Errorf("flow %v labelled on %d nodes, want exactly 1", tuple, found)
+			}
+		}
+	}
+}
+
+// TestRouterSpreadsAndConserves is the base case: two healthy nodes, a
+// full trace through the router, conservation at every level, and
+// cluster verdicts identical to a single-engine replay.
+func TestRouterSpreadsAndConserves(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	b := startNode(t, "b", nil, nil)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyShed}, a, b)
+
+	waitAvailable(t, r, "a", "b")
+	trace := testTrace(t, 60, 11)
+	streamTrace(t, addr, trace)
+
+	waitFor(t, "all frames to land on nodes", func() bool {
+		return a.srv.Stats().Received+b.srv.Stats().Received == len(trace.Packets)
+	})
+
+	// The federated law over live probe snapshots must balance too.
+	waitFor(t, "probe snapshots to catch up", func() bool {
+		cs := r.ClusterStats()
+		return cs.SumReceived == len(trace.Packets) && cs.Gap() == 0
+	})
+
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Shed != 0 || rst.Quarantined != 0 || rst.Rerouted != 0 {
+		t.Errorf("clean run shed=%d quarantined=%d rerouted=%d, want all zero", rst.Shed, rst.Quarantined, rst.Rerouted)
+	}
+	if rst.Forwarded != len(trace.Packets) {
+		t.Errorf("forwarded %d, want %d", rst.Forwarded, len(trace.Packets))
+	}
+	if rst.PerNode["a"] == 0 || rst.PerNode["b"] == 0 {
+		t.Errorf("traffic not spread: per-node %v", rst.PerNode)
+	}
+	if rst.PerNode["a"]+rst.PerNode["b"] != rst.Forwarded {
+		t.Errorf("per-node counts %v do not sum to forwarded %d", rst.PerNode, rst.Forwarded)
+	}
+
+	sa, sb := a.drain(t), b.drain(t)
+	if got := sa.Received + sb.Received; got != rst.Forwarded {
+		t.Errorf("nodes received %d, router forwarded %d", got, rst.Forwarded)
+	}
+	for _, st := range []ingest.Stats{sa, sb} {
+		if st.Admitted+st.Quarantined+st.Shed != st.Received {
+			t.Errorf("node conservation violated: %+v", st)
+		}
+	}
+
+	ref := replayReference(t, trace)
+	assertClusterMatchesReference(t, ref, []*packet.Trace{trace}, a, b)
+}
+
+// TestRouterStatusDocument checks the status listener serves the CLUSTER
+// line and relayed per-node STATUS lines.
+func TestRouterStatusDocument(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	b := startNode(t, "b", nil, nil)
+	status := listenLocal(t)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyRequeue, StatusListener: status}, a, b)
+
+	waitAvailable(t, r, "a", "b")
+	trace := testTrace(t, 20, 12)
+	streamTrace(t, addr, trace)
+	waitFor(t, "frames to land", func() bool {
+		return a.srv.Stats().Received+b.srv.Stats().Received == len(trace.Packets)
+	})
+	waitFor(t, "probes to catch up", func() bool {
+		return r.ClusterStats().SumReceived == len(trace.Packets)
+	})
+
+	cs, err := ProbeCluster(status.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Cluster.Nodes != 2 || cs.Cluster.Available != 2 {
+		t.Errorf("cluster line: %+v, want 2 nodes available", cs.Cluster)
+	}
+	if cs.Cluster.SumReceived != len(trace.Packets) || cs.Cluster.Gap != 0 {
+		t.Errorf("cluster line sums: %+v, want sum_received=%d gap=0", cs.Cluster, len(trace.Packets))
+	}
+	if len(cs.Nodes) != 2 {
+		t.Errorf("relayed %d node STATUS lines, want 2", len(cs.Nodes))
+	}
+
+	drainRouter(t, r)
+	a.drain(t)
+	b.drain(t)
+}
+
+// TestRouterQuarantinesGarbage sends junk bytes on a raw connection: the
+// router's frame reader must quarantine and keep the law balanced.
+func TestRouterQuarantinesGarbage(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyShed}, a)
+	waitAvailable(t, r, "a")
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 256)
+	for i := range junk {
+		junk[i] = byte(i*7 + 1)
+	}
+	if _, err := c.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	waitFor(t, "quarantine counted", func() bool { return r.Stats().Quarantined > 0 })
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Forwarded != 0 {
+		t.Errorf("junk produced %d forwarded packets", rst.Forwarded)
+	}
+	a.drain(t)
+}
+
+// TestRouterShedPolicy pins PolicyShed: with the only node stopped,
+// packets are shed — counted, conserved, and never blocking.
+func TestRouterShedPolicy(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyShed}, a)
+	waitAvailable(t, r, "a")
+	a.drain(t) // node gone; probes will notice
+
+	waitFor(t, "node marked unavailable", func() bool {
+		h, _ := r.Health("a")
+		return !h.Available()
+	})
+	trace := testTrace(t, 10, 13)
+	streamTrace(t, addr, trace)
+
+	waitFor(t, "packets shed", func() bool { return r.Stats().Shed == len(trace.Packets) })
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Forwarded != 0 {
+		t.Errorf("forwarded %d to a stopped node", rst.Forwarded)
+	}
+}
+
+// TestRouterNextPolicyFailsOver pins PolicyNext: when the owner is down,
+// packets reroute to the next ring candidate and are counted Rerouted.
+func TestRouterNextPolicyFailsOver(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	b := startNode(t, "b", nil, nil)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyNext}, a, b)
+	waitAvailable(t, r, "a", "b")
+
+	b.drain(t) // take b down; its arcs fail over to a
+	waitFor(t, "b marked unavailable", func() bool {
+		h, _ := r.Health("b")
+		return !h.Available()
+	})
+
+	trace := testTrace(t, 40, 14)
+	streamTrace(t, addr, trace)
+	waitFor(t, "all frames on node a", func() bool {
+		return a.srv.Stats().Received == len(trace.Packets)
+	})
+
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Shed != 0 {
+		t.Errorf("shed %d with a healthy failover target", rst.Shed)
+	}
+	if rst.Rerouted == 0 {
+		t.Error("no packets counted Rerouted though the owner of some flows was down")
+	}
+	if rst.PerNode["b"] != 0 {
+		t.Errorf("forwarded %d packets to the stopped node", rst.PerNode["b"])
+	}
+	a.drain(t)
+}
+
+// TestRouterRequeueWaitsForOwner pins PolicyRequeue: packets for a
+// temporarily absent owner wait (stalling, not shedding) and deliver once
+// the node returns — the property checkpoint handoff is built on.
+func TestRouterRequeueWaitsForOwner(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	b := startNode(t, "b", nil, nil)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyRequeue, RequeueTimeout: 30 * time.Second}, a, b)
+	waitAvailable(t, r, "a", "b")
+
+	// Drain b and restart it on the SAME addresses with a fresh engine,
+	// as a rolling restart would.
+	dataAddr, statusAddr := b.cfg.Addr, b.cfg.StatusAddr
+	b.drain(t)
+	waitFor(t, "b marked unavailable", func() bool {
+		h, _ := r.Health("b")
+		return !h.Available()
+	})
+
+	trace := testTrace(t, 30, 15)
+	done := make(chan struct{})
+	go func() { defer close(done); streamTrace(t, addr, trace) }()
+
+	// Wait until at least one packet is held for b.
+	waitFor(t, "a packet to requeue", func() bool { return r.Stats().Requeued > 0 })
+
+	b2 := restartNodeAt(t, "b", dataAddr, statusAddr, nil, nil)
+	<-done
+	waitFor(t, "all frames to land", func() bool {
+		return a.srv.Stats().Received+b2.srv.Stats().Received == len(trace.Packets)
+	})
+
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Shed != 0 || rst.Rerouted != 0 {
+		t.Errorf("requeue run shed=%d rerouted=%d, want zero (flow affinity preserved)", rst.Shed, rst.Rerouted)
+	}
+	if rst.Requeued == 0 {
+		t.Error("no wait episodes counted")
+	}
+	a.drain(t)
+	b2.drain(t)
+}
+
+// restartNodeAt brings up a successor instance on explicit addresses
+// (the same ones its predecessor used, unless the test moves it).
+func restartNodeAt(t *testing.T, name, dataAddr, statusAddr string, engine *flow.ParallelEngine, onCheckpoint func([]byte)) *testNode {
+	t.Helper()
+	if engine == nil {
+		engine = newTestEngine(t)
+	}
+	var data, status net.Listener
+	// The predecessor's sockets may take a moment to fully release even
+	// with SO_REUSEADDR; retry briefly.
+	waitFor(t, "rebind "+dataAddr, func() bool {
+		var err error
+		data, err = net.Listen("tcp", dataAddr)
+		return err == nil
+	})
+	waitFor(t, "rebind "+statusAddr, func() bool {
+		var err error
+		status, err = net.Listen("tcp", statusAddr)
+		return err == nil
+	})
+	srv, err := ingest.NewServer(ingest.Config{
+		Engine:            engine,
+		Listeners:         []net.Listener{data},
+		StatusListener:    status,
+		Workers:           2,
+		NodeName:          name,
+		OnFinalCheckpoint: onCheckpoint,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &testNode{
+		cfg:    NodeConfig{Name: name, Addr: dataAddr, StatusAddr: statusAddr},
+		srv:    srv,
+		engine: engine,
+	}
+}
+
+// TestParseRoutePolicy pins the flag round trip.
+func TestParseRoutePolicy(t *testing.T) {
+	for _, p := range []RoutePolicy{PolicyNext, PolicyShed, PolicyRequeue} {
+		got, err := ParseRoutePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := ParseRoutePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+// TestNewRouterValidation pins config validation.
+func TestNewRouterValidation(t *testing.T) {
+	l := listenLocal(t)
+	defer l.Close()
+	node := NodeConfig{Name: "a", Addr: "x", StatusAddr: "y"}
+	cases := []RouterConfig{
+		{},
+		{Nodes: []NodeConfig{node}},
+		{Nodes: []NodeConfig{{Name: "a"}}, Listeners: []net.Listener{l}},
+		{Nodes: []NodeConfig{node, node}, Listeners: []net.Listener{l}},
+		{Nodes: []NodeConfig{node}, Listeners: []net.Listener{l}, Policy: RoutePolicy(9)},
+	}
+	for i, cfg := range cases {
+		if _, err := NewRouter(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

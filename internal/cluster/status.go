@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"iustitia/internal/ingest"
+)
+
+// ClusterLine is the parsed machine-readable CLUSTER summary a router
+// emits: its own frame counters plus the federated sums over node
+// snapshots.
+type ClusterLine struct {
+	State            ingest.State
+	Nodes, Available int
+
+	Received, Forwarded, Quarantined, Shed int
+	Rerouted, Requeued, SendFailures       int
+
+	SumReceived, SumAdmitted, SumQuarantined, SumShed int
+	SumClassified                                     int
+	// Gap is ΣReceived - (ΣAdmitted + ΣQuarantined + ΣShed) as computed
+	// by the router; zero when the cluster-wide law holds.
+	Gap int
+	// Violations counts per-node snapshots whose own law did not balance.
+	Violations int
+}
+
+// ClusterSnapshot is one parsed cluster status document: the CLUSTER
+// line plus every relayed per-node STATUS line.
+type ClusterSnapshot struct {
+	Cluster ClusterLine
+	Nodes   []ingest.NodeStatus
+}
+
+// ParseClusterDoc extracts the CLUSTER line and the relayed STATUS lines
+// from a status document, ignoring prose and unknown keys so the format
+// can grow fields without breaking old parsers.
+func ParseClusterDoc(doc string) (ClusterSnapshot, error) {
+	var snap ClusterSnapshot
+	foundCluster := false
+	for _, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, clusterLinePrefix):
+			if foundCluster {
+				return snap, fmt.Errorf("cluster: multiple CLUSTER lines in document")
+			}
+			cl, err := parseClusterLine(line)
+			if err != nil {
+				return snap, err
+			}
+			snap.Cluster = cl
+			foundCluster = true
+		case strings.HasPrefix(line, "STATUS "):
+			st, err := ingest.ParseStatusLine(line)
+			if err != nil {
+				return snap, fmt.Errorf("cluster: relayed status line: %w", err)
+			}
+			snap.Nodes = append(snap.Nodes, st)
+		}
+	}
+	if !foundCluster {
+		return snap, fmt.Errorf("cluster: no CLUSTER line in document")
+	}
+	return snap, nil
+}
+
+// parseClusterLine parses one CLUSTER k=v line.
+func parseClusterLine(line string) (ClusterLine, error) {
+	var cl ClusterLine
+	sawState := false
+	for _, field := range strings.Fields(strings.TrimPrefix(line, clusterLinePrefix)) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return cl, fmt.Errorf("cluster: malformed field %q", field)
+		}
+		if key == "state" {
+			st, err := ingest.ParseState(val)
+			if err != nil {
+				return cl, err
+			}
+			cl.State = st
+			sawState = true
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			// Unknown non-numeric keys are tolerated, numeric keys must
+			// parse.
+			if dst := clusterIntField(&cl, key); dst != nil {
+				return cl, fmt.Errorf("cluster: field %s=%q: %w", key, val, err)
+			}
+			continue
+		}
+		if dst := clusterIntField(&cl, key); dst != nil {
+			*dst = n
+		}
+	}
+	if !sawState {
+		return cl, fmt.Errorf("cluster: CLUSTER line missing state")
+	}
+	return cl, nil
+}
+
+// clusterIntField maps a CLUSTER key to its struct field, nil for unknown
+// keys.
+func clusterIntField(cl *ClusterLine, key string) *int {
+	switch key {
+	case "nodes":
+		return &cl.Nodes
+	case "available":
+		return &cl.Available
+	case "received":
+		return &cl.Received
+	case "forwarded":
+		return &cl.Forwarded
+	case "quarantined":
+		return &cl.Quarantined
+	case "shed":
+		return &cl.Shed
+	case "rerouted":
+		return &cl.Rerouted
+	case "requeued":
+		return &cl.Requeued
+	case "send_failures":
+		return &cl.SendFailures
+	case "sum_received":
+		return &cl.SumReceived
+	case "sum_admitted":
+		return &cl.SumAdmitted
+	case "sum_quarantined":
+		return &cl.SumQuarantined
+	case "sum_shed":
+		return &cl.SumShed
+	case "sum_classified":
+		return &cl.SumClassified
+	case "conservation_gap":
+		return &cl.Gap
+	case "violations":
+		return &cl.Violations
+	default:
+		return nil
+	}
+}
+
+// ProbeCluster fetches and parses one cluster status document from a
+// router's status listener.
+func ProbeCluster(statusAddr string, timeout time.Duration) (ClusterSnapshot, error) {
+	c, err := net.DialTimeout("tcp", statusAddr, timeout)
+	if err != nil {
+		return ClusterSnapshot{}, err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	doc, err := io.ReadAll(c)
+	if err != nil {
+		return ClusterSnapshot{}, err
+	}
+	return ParseClusterDoc(string(doc))
+}

@@ -37,6 +37,25 @@ const MaxWidePackedWidth = 16
 // factor without growing, small enough that a cold table is cheap.
 const flatInitialSlots = 1 << 11
 
+// maxPresizedSlots caps the capacity flatSlotsFor will pre-size to
+// (payloads up to ~48 KiB scan growth-free; anything larger grows the old
+// way rather than pinning huge tables in the pool).
+const maxPresizedSlots = 1 << 16
+
+// flatSlotsFor returns the power-of-two slot count whose grow-at-3/4-load
+// threshold clears n distinct keys, so a payload with at most n k-grams
+// scans without growing mid-scan. Payload length classes up to 1 KiB keep
+// flatInitialSlots; a 4 KiB payload gets 8192 slots up front instead of
+// growing 2048→4096→8192 inside the scan loop (the regression ROADMAP
+// item 4 measured: 4 KiB vectors slower per byte than 1 KiB).
+func flatSlotsFor(n int) int {
+	capacity := flatInitialSlots
+	for capacity/4*3 <= n && capacity < maxPresizedSlots {
+		capacity <<= 1
+	}
+	return capacity
+}
+
 // maxFlatCount is the largest payload length whose per-element counts are
 // guaranteed to fit the tables' uint32 counters. Anything longer (a >4 GiB
 // payload — far beyond any flow buffer) takes the string-keyed fallback.
@@ -423,20 +442,30 @@ type counterState struct {
 
 var counterPool = sync.Pool{New: func() any { return new(counterState) }}
 
-// narrowTable returns the (lazily created) flat table for 3 <= k <= 8.
-func (st *counterState) narrowTable(k int) *flatTable {
+// narrowTable returns the (lazily created) flat table for 3 <= k <= 8,
+// pre-sized so a scan counting up to grams keys will not grow mid-scan.
+// The table is empty here (folds drain it), so re-sizing is a plain
+// reallocation, never a rehash.
+func (st *counterState) narrowTable(k, grams int) *flatTable {
+	want := flatSlotsFor(grams)
 	if st.narrow[k] == nil {
 		st.narrow[k] = new(flatTable)
-		st.narrow[k].initSlots(flatInitialSlots)
+		st.narrow[k].initSlots(want)
+	} else if len(st.narrow[k].slots) < want {
+		st.narrow[k].initSlots(want)
 	}
 	return st.narrow[k]
 }
 
-// wideTableFor returns the (lazily created) flat table for 8 < k <= 16.
-func (st *counterState) wideTableFor(k int) *wideTable {
+// wideTableFor returns the (lazily created) flat table for 8 < k <= 16,
+// pre-sized like narrowTable.
+func (st *counterState) wideTableFor(k, grams int) *wideTable {
+	want := flatSlotsFor(grams)
 	if st.wide[k] == nil {
 		st.wide[k] = new(wideTable)
-		st.wide[k].initSlots(flatInitialSlots)
+		st.wide[k].initSlots(want)
+	} else if len(st.wide[k].slots) < want {
+		st.wide[k].initSlots(want)
 	}
 	return st.wide[k]
 }
@@ -520,11 +549,11 @@ func vectorInto(vec []float64, data []byte, widths []int) error {
 			st.bigrams.scan(data)
 			sum, st.scratch = st.bigrams.fold(st.scratch, lt)
 		case k <= MaxPackedWidth && flatOK:
-			t := st.narrowTable(k)
+			t := st.narrowTable(k, n)
 			t.scan(data, k)
 			sum, st.scratch = t.fold(st.scratch, lt)
 		case k <= MaxWidePackedWidth && flatOK:
-			t := st.wideTableFor(k)
+			t := st.wideTableFor(k, n)
 			t.scan(data, k)
 			sum, st.scratch = t.fold(st.scratch, lt)
 		default:

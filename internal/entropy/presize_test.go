@@ -1,0 +1,89 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFlatSlotsForClasses pins the payload-length → capacity classes: the
+// 1 KiB class keeps the historical default, 4 KiB payloads get the 8192
+// slots they need to scan growth-free, and the cap bounds pool memory.
+func TestFlatSlotsForClasses(t *testing.T) {
+	cases := []struct{ grams, want int }{
+		{0, flatInitialSlots},
+		{256, flatInitialSlots},
+		{1024, flatInitialSlots},
+		{1535, flatInitialSlots},     // 3/4·2048 - 1: last size that fits
+		{1536, 2 * flatInitialSlots}, // hits the grow threshold exactly
+		{4096, 1 << 13},              // the 4 KiB payload class
+		{1 << 20, maxPresizedSlots},  // capped, not unbounded
+	}
+	for _, c := range cases {
+		if got := flatSlotsFor(c.grams); got != c.want {
+			t.Errorf("flatSlotsFor(%d) = %d, want %d", c.grams, got, c.want)
+		}
+		if got := flatSlotsFor(c.grams); got <= maxPresizedSlots && c.grams < maxPresizedSlots/4*3 && got/4*3 <= c.grams {
+			t.Errorf("flatSlotsFor(%d) = %d still grows mid-scan (growAt %d)", c.grams, got, got/4*3)
+		}
+	}
+}
+
+// TestNoMidScanGrowthAt4KiB scans a worst-case high-entropy 4 KiB payload
+// (every k-gram distinct, maximum distinct keys) through pre-sized narrow
+// and wide tables and asserts the slot array never grew mid-scan — the
+// ROADMAP item 4 regression where 4 KiB packed vectors paid 2048→4096→8192
+// rehashes per width.
+func TestNoMidScanGrowthAt4KiB(t *testing.T) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(99)).Read(data)
+
+	for k := 3; k <= MaxPackedWidth; k++ {
+		grams := len(data) - k + 1
+		tb := new(flatTable)
+		tb.initSlots(flatSlotsFor(grams))
+		before := len(tb.slots)
+		tb.scan(data, k)
+		if len(tb.slots) != before {
+			t.Errorf("k=%d: narrow table grew mid-scan %d → %d slots", k, before, len(tb.slots))
+		}
+		if tb.size == 0 {
+			t.Fatalf("k=%d: scan counted nothing", k)
+		}
+	}
+	for k := MaxPackedWidth + 1; k <= MaxWidePackedWidth; k++ {
+		grams := len(data) - k + 1
+		tb := new(wideTable)
+		tb.initSlots(flatSlotsFor(grams))
+		before := len(tb.slots)
+		tb.scan(data, k)
+		if len(tb.slots) != before {
+			t.Errorf("k=%d: wide table grew mid-scan %d → %d slots", k, before, len(tb.slots))
+		}
+	}
+}
+
+// TestPresizedVectorMatchesLegacy re-runs the bit-identity check at the 4
+// KiB length class specifically, so the pre-sizing path (fresh initSlots at
+// 8192, and a pooled smaller table being re-sized) cannot drift from the
+// legacy fold.
+func TestPresizedVectorMatchesLegacy(t *testing.T) {
+	widths := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1024, 2048, 4096} {
+		data := make([]byte, n)
+		rng.Read(data)
+		got, err := VectorAt(data, widths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := LegacyVectorAt(data, widths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("len %d width %d: packed %v != legacy %v", n, widths[i], got[i], want[i])
+			}
+		}
+	}
+}

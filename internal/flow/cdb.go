@@ -177,6 +177,20 @@ func (c *CDB) relieveLocked(now time.Duration) {
 	}
 }
 
+// Peek returns the class of a known flow without refreshing its activity
+// clock or expiring stale records — a read-only query for operational
+// tooling (verdict audits, status endpoints) that must not perturb λ
+// estimates the way Lookup does.
+func (c *CDB) Peek(id ID) (corpus.Class, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.records[id]
+	if !ok {
+		return 0, false
+	}
+	return rec.label, true
+}
+
 // Close removes a flow on FIN/RST when PurgeOnClose is enabled. It reports
 // whether a record was removed.
 func (c *CDB) Close(id ID) bool {

@@ -460,6 +460,23 @@ func (e *Engine) Label(t packet.FiveTuple) (corpus.Class, bool) {
 	return label, ok
 }
 
+// RecordedLabel returns a flow's durable verdict: the label assigned this
+// process lifetime, or the CDB record carried across a checkpoint
+// restore. Unlike Label it survives a rolling restart (the labelled map
+// is rebuilt lazily from CDB hits, so restored verdicts would otherwise
+// be invisible until the flow's next packet); unlike CDB.Lookup it does
+// not perturb the record's activity clock.
+func (e *Engine) RecordedLabel(t packet.FiveTuple) (corpus.Class, bool) {
+	id := IDOf(t)
+	e.mu.Lock()
+	label, ok := e.labelled[id]
+	e.mu.Unlock()
+	if ok {
+		return label, true
+	}
+	return e.cdb.Peek(id)
+}
+
 // EngineStats is a point-in-time summary of engine activity. The
 // governor counters obey a conservation law the fault-injection tests
 // assert: Admitted == Classified + Fallback + Dropped + Pending, and

@@ -112,6 +112,12 @@ func (pe *ParallelEngine) Label(t packet.FiveTuple) (corpus.Class, bool) {
 	return pe.shardFor(IDOf(t)).Label(t)
 }
 
+// RecordedLabel returns a flow's durable verdict, surviving a checkpoint
+// restore (see Engine.RecordedLabel).
+func (pe *ParallelEngine) RecordedLabel(t packet.FiveTuple) (corpus.Class, bool) {
+	return pe.shardFor(IDOf(t)).RecordedLabel(t)
+}
+
 // Stats aggregates counters across shards. Degraded is the number of
 // shards currently in degraded mode.
 func (pe *ParallelEngine) Stats() EngineStats {

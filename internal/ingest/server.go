@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,6 +119,14 @@ type Config struct {
 	// flushed. Hand it to persist.SaveFile under
 	// persist.KindParallelCheckpoint.
 	OnFinalCheckpoint func(snapshot []byte)
+	// NodeName identifies this instance on the machine-readable STATUS
+	// line a cluster router consumes. Empty defaults to "node"; the name
+	// must not contain whitespace or '=' (it must survive k=v parsing).
+	NodeName string
+	// CheckpointTime, when non-nil, reports when the last checkpoint was
+	// written (the zero time means never); the STATUS line carries its
+	// age so a router can spot a node whose durability has stalled.
+	CheckpointTime func() time.Time
 }
 
 // Stats is a point-in-time summary of ingest activity. The frame counters
@@ -251,6 +260,12 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.Batch < 0 {
 		return nil, fmt.Errorf("ingest: negative batch size %d", cfg.Batch)
+	}
+	if cfg.NodeName == "" {
+		cfg.NodeName = "node"
+	}
+	if strings.ContainsAny(cfg.NodeName, " \t\n=") {
+		return nil, fmt.Errorf("ingest: node name %q contains whitespace or '='", cfg.NodeName)
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -706,7 +721,8 @@ func (s *Server) statusLoop(l net.Listener) {
 }
 
 // StatusText renders the health state and counters as the plain-text
-// document the status listener serves.
+// document the status listener serves: the human-oriented dump followed
+// by one machine-readable STATUS line (see status.go).
 func (s *Server) StatusText() string {
 	st := s.Stats()
 	es := s.cfg.Engine.Stats()
@@ -721,7 +737,8 @@ func (s *Server) StatusText() string {
 			"engine-errors: %d\n"+
 			"workers: %d (panics %d, restarts %d, crash-streak %d, breaker %s)\n"+
 			"engine: classified %d, pending %d, fallback %d, shed %d, dropped %d, degraded-shards %d/%d\n"+
-			"fallback-class: %s\n",
+			"fallback-class: %s\n"+
+			"%s\n",
 		st.State,
 		st.ActiveConns, st.TotalConns, st.TimedOut, st.Disconnected,
 		st.Received, st.Admitted, st.Quarantined, st.Shed,
@@ -730,5 +747,6 @@ func (s *Server) StatusText() string {
 		st.Supervisor.ConsecutiveCrashes, breaker,
 		es.Classified, es.Pending, es.Fallback, es.Shed, es.Dropped,
 		es.Degraded, s.cfg.Engine.Shards(),
-		corpus.ClassNames()[s.cfg.FallbackClass])
+		corpus.ClassNames()[s.cfg.FallbackClass],
+		s.nodeStatusFrom(st, es).StatusLine())
 }

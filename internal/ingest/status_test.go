@@ -1,0 +1,188 @@
+package ingest
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+)
+
+// TestStatusLineRoundTrip renders and re-parses a fully populated
+// snapshot, field for field.
+func TestStatusLineRoundTrip(t *testing.T) {
+	ns := NodeStatus{
+		Node:             "node-a",
+		State:            StateDegraded,
+		Received:         101,
+		Admitted:         90,
+		Quarantined:      7,
+		Shed:             4,
+		EngineAdmitted:   80,
+		EngineClassified: 70,
+		EnginePending:    10,
+		EngineFallback:   3,
+		EngineShed:       2,
+		EngineDropped:    5,
+		Queue:            [corpus.NumClasses]int{40, 20, 10},
+		CheckpointAge:    1500 * time.Millisecond,
+	}
+	got, err := ParseStatusLine(ns.StatusLine())
+	if err != nil {
+		t.Fatalf("ParseStatusLine: %v", err)
+	}
+	if got != ns {
+		t.Errorf("round trip diverged:\n  in:  %+v\n  out: %+v", ns, got)
+	}
+	if gap := got.ConservationGap(); gap != 0 {
+		t.Errorf("conservation gap %d on a balanced snapshot", gap)
+	}
+}
+
+// TestStatusLineNoCheckpoint pins the -1 encoding for "never
+// checkpointed".
+func TestStatusLineNoCheckpoint(t *testing.T) {
+	ns := NodeStatus{Node: "n", State: StateHealthy, CheckpointAge: NoCheckpoint}
+	line := ns.StatusLine()
+	if !strings.Contains(line, "checkpoint_age_ms=-1") {
+		t.Errorf("no-checkpoint line = %q", line)
+	}
+	got, err := ParseStatusLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CheckpointAge != NoCheckpoint {
+		t.Errorf("CheckpointAge = %v, want NoCheckpoint", got.CheckpointAge)
+	}
+}
+
+// TestParseStatusLineFromDocument extracts the STATUS line out of a full
+// human-oriented dump, tolerates unknown keys, and rejects documents
+// without one.
+func TestParseStatusLineFromDocument(t *testing.T) {
+	doc := "state: healthy\nconns: 0 active / 0 total\n" +
+		"STATUS node=x state=healthy received=3 admitted=3 quarantined=0 shed=0 " +
+		"engine_admitted=1 engine_classified=1 engine_pending=0 engine_fallback=0 " +
+		"engine_shed=0 engine_dropped=0 q_text=1 q_binary=0 q_encrypted=0 " +
+		"checkpoint_age_ms=42 future_key=ignored\n" +
+		"fallback-class: text\n"
+	ns, err := ParseStatusLine(doc)
+	if err != nil {
+		t.Fatalf("ParseStatusLine: %v", err)
+	}
+	if ns.Node != "x" || ns.Received != 3 || ns.CheckpointAge != 42*time.Millisecond {
+		t.Errorf("parsed %+v", ns)
+	}
+
+	if _, err := ParseStatusLine("state: healthy\nno machine line\n"); err == nil {
+		t.Error("document without a STATUS line parsed")
+	}
+	if _, err := ParseStatusLine("STATUS node=x state=wat"); err == nil {
+		t.Error("unknown state parsed")
+	}
+	if _, err := ParseStatusLine("STATUS state=healthy received=1"); err == nil {
+		t.Error("line without node key parsed")
+	}
+	if _, err := ParseStatusLine("STATUS node=x state=healthy received=abc"); err == nil {
+		t.Error("non-numeric counter parsed")
+	}
+}
+
+// TestParseState round-trips every state and rejects garbage.
+func TestParseState(t *testing.T) {
+	for st := StateStarting; st <= StateStopped; st++ {
+		got, err := ParseState(st.String())
+		if err != nil || got != st {
+			t.Errorf("ParseState(%q) = %v, %v", st.String(), got, err)
+		}
+	}
+	if _, err := ParseState("zombie"); err == nil {
+		t.Error("ParseState accepted garbage")
+	}
+}
+
+// TestServerStatusLineEmitted checks the live status listener serves a
+// parseable STATUS line that agrees with the server's counters, including
+// the checkpoint age hook.
+func TestServerStatusLineEmitted(t *testing.T) {
+	ckptAt := time.Now().Add(-2 * time.Second)
+	status := listenLocal(t)
+	l := listenLocal(t)
+	s := startServer(t, Config{
+		Engine:         newTestEngine(t, 2),
+		Listeners:      []net.Listener{l},
+		StatusListener: status,
+		Workers:        1,
+		NodeName:       "alpha",
+		CheckpointTime: func() time.Time { return ckptAt },
+	})
+
+	client, err := NewClient(ClientConfig{Dial: func() (net.Conn, error) {
+		return net.Dial("tcp", l.Addr().String())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := testTrace(t, 10, 31)
+	for i := range trace.Packets {
+		if err := client.Send(&trace.Packets[i]); err != nil {
+			t.Fatalf("Send(%d): %v", i, err)
+		}
+	}
+	client.Close()
+	waitFor(t, 10*time.Second, "packets admitted", func() bool {
+		return s.Stats().Admitted == len(trace.Packets)
+	})
+
+	ns, err := ParseStatusLine(statusDump(t, status.Addr().String()))
+	if err != nil {
+		t.Fatalf("status dump has no parseable STATUS line: %v", err)
+	}
+	if ns.Node != "alpha" {
+		t.Errorf("node = %q, want alpha", ns.Node)
+	}
+	if ns.State != StateHealthy {
+		t.Errorf("state = %v, want healthy", ns.State)
+	}
+	if ns.Admitted != len(trace.Packets) || ns.ConservationGap() != 0 {
+		t.Errorf("counters off: %+v", ns)
+	}
+	if ns.EngineAdmitted == 0 {
+		t.Error("engine counters missing from STATUS line")
+	}
+	if ns.CheckpointAge < 2*time.Second || ns.CheckpointAge > time.Minute {
+		t.Errorf("checkpoint age = %v, want ~2s", ns.CheckpointAge)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ns2, err := ParseStatusLine(s.StatusText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns2.State != StateStopped {
+		t.Errorf("post-drain STATUS state = %v, want stopped", ns2.State)
+	}
+}
+
+// TestNewServerRejectsBadNodeName checks names that would break k=v
+// parsing are refused up front.
+func TestNewServerRejectsBadNodeName(t *testing.T) {
+	l := listenLocal(t)
+	defer l.Close()
+	for _, name := range []string{"has space", "has=eq", "has\ttab"} {
+		_, err := NewServer(Config{
+			Engine:    newTestEngine(t, 1),
+			Listeners: []net.Listener{l},
+			NodeName:  name,
+		})
+		if err == nil {
+			t.Errorf("NewServer accepted node name %q", name)
+		}
+	}
+}
