@@ -35,12 +35,15 @@ check:
 	$(GO) test -fuzz=FuzzDecodeSnapshot -fuzztime=5s ./internal/persist
 	$(GO) test -fuzz=FuzzImportCheckpoint -fuzztime=5s ./internal/persist
 
-# The cluster chaos soak (DESIGN.md §12): real router + serve binaries,
-# deterministic seeds, a SIGKILL crash-loop and a rolling checkpoint
-# handoff under a frame-tearing transport, asserting the cluster-wide
+# The cluster chaos soaks (DESIGN.md §12): real router + serve binaries,
+# deterministic seeds. TestClusterSoak runs a SIGKILL crash-loop and a
+# rolling checkpoint handoff under a frame-tearing transport;
+# TestMembershipChurnSoak streams load while live-adding a node,
+# SIGKILLing another mid-stream (journal replay recovers the unacked
+# packets), and removing the newcomer. Both assert the cluster-wide
 # conservation law and zero verdict loss. Skipped under -short.
 cluster-soak:
-	$(GO) test -run 'TestClusterSoak' -count=1 ./cmd/iustitia-router
+	$(GO) test -run 'TestClusterSoak|TestMembershipChurnSoak' -count=1 ./cmd/iustitia-router
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:

@@ -46,15 +46,11 @@ func (n *nodeFlags) String() string {
 }
 
 func (n *nodeFlags) Set(v string) error {
-	name, addrs, ok := strings.Cut(v, "=")
-	if !ok {
-		return fmt.Errorf("want name=ingestAddr,statusAddr, got %q", v)
+	cfg, err := cluster.ParseNodeSpec(v)
+	if err != nil {
+		return err
 	}
-	ingestAddr, statusAddr, ok := strings.Cut(addrs, ",")
-	if !ok {
-		return fmt.Errorf("node %s: want ingestAddr,statusAddr after '=', got %q", name, addrs)
-	}
-	*n = append(*n, cluster.NodeConfig{Name: name, Addr: ingestAddr, StatusAddr: statusAddr})
+	*n = append(*n, cfg)
 	return nil
 }
 
@@ -80,6 +76,10 @@ func run() error {
 
 		dialTimeout = flag.Duration("dial-timeout", 2*time.Second, "deadline for one upstream dial")
 		sendRetries = flag.Int("send-retries", 3, "consecutive upstream delivery attempts before rerouting")
+		backoffBase = flag.Duration("send-backoff-base", 0, "initial delivery-retry backoff toward a failing node (0 = default)")
+		backoffMax  = flag.Duration("send-backoff-max", 0, "delivery-retry backoff cap (0 = default)")
+		journalCap  = flag.Int("journal", cluster.DefaultJournalCap, "sent-but-unacked packets journaled per node for crash replay (0 = disabled)")
+		adminWait   = flag.Duration("admin-timeout", 10*time.Second, "deadline for one ADD/REMOVE membership operation")
 
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-read deadline inside a frame (0 = none)")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "deadline between frames on a connection (0 = none)")
@@ -125,12 +125,16 @@ func run() error {
 			Timeout:  *probeTimeout,
 			Seed:     time.Now().UnixNano(),
 		},
-		DialTimeout: *dialTimeout,
-		SendRetries: *sendRetries,
-		Seed:        time.Now().UnixNano(),
-		MaxFrame:    *maxFrame,
-		ReadTimeout: *readTimeout,
-		IdleTimeout: *idleTimeout,
+		DialTimeout:     *dialTimeout,
+		SendRetries:     *sendRetries,
+		SendBackoffBase: *backoffBase,
+		SendBackoffMax:  *backoffMax,
+		JournalCap:      ringJournalCap(*journalCap),
+		AdminTimeout:    *adminWait,
+		Seed:            time.Now().UnixNano(),
+		MaxFrame:        *maxFrame,
+		ReadTimeout:     *readTimeout,
+		IdleTimeout:     *idleTimeout,
 	})
 	if err != nil {
 		return err
@@ -165,6 +169,10 @@ func run() error {
 		st.Received, st.Forwarded, st.Quarantined, st.Shed, st.TotalConns)
 	fmt.Printf("routing: rerouted %d, requeued %d, send-failures %d\n",
 		st.Rerouted, st.Requeued, st.SendFailures)
+	fmt.Printf("replication: replayed %d, replay-dropped %d, journal-dropped %d, journaled %d\n",
+		st.Replayed, st.ReplayDropped, st.JournalDropped, st.Journaled)
+	fmt.Printf("membership: nodes-added %d, nodes-removed %d, migrated-flows %d, migrations-skipped %d\n",
+		st.NodesAdded, st.NodesRemoved, st.MigratedFlows, st.MigrationsSkipped)
 	perNode := make([]string, 0, len(st.PerNode))
 	for name, count := range st.PerNode {
 		perNode = append(perNode, fmt.Sprintf("%s=%d", name, count))
@@ -174,4 +182,13 @@ func run() error {
 	fmt.Printf("cluster: sum_received=%d sum_admitted=%d sum_quarantined=%d sum_shed=%d gap=%d violations=%d\n",
 		cs.SumReceived, cs.SumAdmitted, cs.SumQuarantined, cs.SumShed, cs.Gap(), st.ConservationViolations)
 	return drainErr
+}
+
+// ringJournalCap maps the flag convention (0 disables) to the config
+// convention (negative disables, 0 selects the default).
+func ringJournalCap(flagVal int) int {
+	if flagVal == 0 {
+		return -1
+	}
+	return flagVal
 }

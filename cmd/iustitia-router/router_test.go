@@ -10,6 +10,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
 	"os/exec"
 	"path/filepath"
@@ -524,6 +525,239 @@ func TestClusterSoak(t *testing.T) {
 	if a2Summary.classified <= aSummary.classified {
 		t.Errorf("successor classified %d flows, no more than the predecessor's %d — phase-2 traffic vanished",
 			a2Summary.classified, aSummary.classified)
+	}
+}
+
+// adminCmd sends one admin verb to the router's status endpoint and
+// returns the full reply (one line for ADD/REMOVE, several for LIST).
+func adminCmd(t *testing.T, statusAddr, cmd string) string {
+	t.Helper()
+	c, err := net.Dial("tcp", statusAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// ADD blocks on node availability plus a migration; be generous.
+	_ = c.SetDeadline(time.Now().Add(60 * time.Second))
+	if _, err := fmt.Fprintf(c, "%s\n", cmd); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("admin %q: %v", cmd, err)
+	}
+	return strings.TrimSpace(string(reply))
+}
+
+// TestMembershipChurnSoak extends the cluster soak with live membership
+// churn on real binaries:
+//
+//  1. A node is ADDed through the router's admin endpoint mid-stream:
+//     the ring change migrates the arcs it gains, flow state included.
+//  2. A node is SIGKILLed mid-stream and resumed from its periodic node
+//     checkpoint; the router's replay journal re-delivers everything
+//     past the checkpoint's watermark with original sequences.
+//  3. The added node is REMOVEd live; its flows migrate out before it
+//     leaves the ring.
+//
+// Proven at the end: gap 0 and zero violations at every quiesce point,
+// the admin/membership/replication exit counters, and aggregate verdict
+// equality — classified/fallback/dropped/queue counts summed across all
+// three engines exactly match one uninterrupted in-process replay of all
+// three traces, i.e. no verdict was lost or double-counted across an
+// add, a crash, and a remove.
+func TestMembershipChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("membership churn soak builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	routerBin := buildBinary(t, dir, "iustitia-router", ".")
+	serveBin := buildBinary(t, dir, "iustitia-serve", "../iustitia-serve")
+	model := trainModelSnapshot(t, dir)
+	ckptB := filepath.Join(dir, "node-b.ckpt")
+
+	a := startServe(t, serveBin, model, "a", "127.0.0.1:0", "127.0.0.1:0")
+	// b checkpoints on a cadence slow enough that the SIGKILL below lands
+	// with sequenced traffic delivered past the last durable watermark —
+	// the journaled tail the router must replay.
+	b := startServe(t, serveBin, model, "b", "127.0.0.1:0", "127.0.0.1:0",
+		"-checkpoint", ckptB, "-checkpoint-interval", "2s")
+
+	router := startProc(t, routerBin,
+		"-listen", "127.0.0.1:0", "-status", "127.0.0.1:0",
+		"-node", "a="+a.addr+","+a.statusAddr,
+		"-node", "b="+b.addr+","+b.statusAddr,
+		"-policy", "requeue", "-requeue-timeout", "60s",
+		"-probe-interval", "50ms", "-admin-timeout", "15s",
+		"-drain-timeout", "30s")
+	banner := router.waitOutput(t, "routing to 2 nodes")
+	routerAddr := extractAddr(t, banner, "listening on ")
+	routerStatus := extractAddr(t, banner, "status on ")
+	waitClusterAvailable(t, routerStatus, 2)
+
+	trace0 := soakTrace(t, 50, 41)
+	trace1 := soakTrace(t, 50, 42)
+	trace2 := soakTrace(t, 50, 43)
+
+	// --- Phase 1: node c joins through the admin endpoint while trace0
+	// streams. Routing pauses under the membership gate during the arc
+	// migration; the client just feels backpressure.
+	c := startServe(t, serveBin, model, "c", "127.0.0.1:0", "127.0.0.1:0")
+	streamErr := make(chan error, 1)
+	go func() { streamErr <- streamTrace(routerAddr, trace0, nil, 2*time.Millisecond) }()
+	time.Sleep(100 * time.Millisecond)
+	if reply := adminCmd(t, routerStatus, "ADD c="+c.addr+","+c.statusAddr); reply != "OK added c" {
+		t.Fatalf("ADD reply %q", reply)
+	}
+	if reply := adminCmd(t, routerStatus, "ADD c="+c.addr+","+c.statusAddr); !strings.Contains(reply, "already on the ring") {
+		t.Errorf("duplicate ADD reply %q, want the ErrNodeExists message", reply)
+	}
+	if err := <-streamErr; err != nil {
+		t.Fatalf("phase-1 stream: %v", err)
+	}
+	waitClusterAvailable(t, routerStatus, 3)
+	snap := quiesceCluster(t, routerStatus)
+	if snap.Cluster.Gap != 0 || snap.Cluster.Violations != 0 {
+		t.Errorf("conservation after live add: gap=%d violations=%d, want 0/0", snap.Cluster.Gap, snap.Cluster.Violations)
+	}
+	if list := adminCmd(t, routerStatus, "LIST"); !strings.Contains(list, "NODE c") ||
+		!strings.Contains(list, "OK 3 nodes") {
+		t.Errorf("LIST after add:\n%s", list)
+	}
+
+	// Make sure b's periodic node checkpoint has covered sequenced traffic
+	// before the crash — the resume watermark must be meaningful.
+	ackDeadline := time.Now().Add(10 * time.Second)
+	for {
+		ns, err := cluster.ProbeStatus(b.statusAddr, 2*time.Second)
+		if err == nil && ns.AckedSeq > 0 {
+			break
+		}
+		if time.Now().After(ackDeadline) {
+			t.Fatalf("node b never acked a checkpoint; last: %+v err=%v", ns, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// --- Phase 2: SIGKILL b mid-stream. Its in-memory state dies with it;
+	// the successor resumes from the periodic checkpoint and the router
+	// replays the journaled tail.
+	go func() { streamErr <- streamTrace(routerAddr, trace1, nil, 2*time.Millisecond) }()
+	time.Sleep(150 * time.Millisecond)
+	bAddr, bStatus := b.addr, b.statusAddr
+	// Kill only once b holds sequenced traffic past its durable watermark,
+	// so the crash provably loses in-memory state the journal must replay.
+	killDeadline := time.Now().Add(10 * time.Second)
+	for {
+		ns, err := cluster.ProbeStatus(bStatus, time.Second)
+		if err == nil && ns.SeenSeq > ns.AckedSeq {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("node b never ran ahead of its checkpoint; last err=%v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.proc.sigkill(t)
+	// Let the router observe the loss edge before the successor rebinds:
+	// that is what arms the journal replay. (A restart faster than one
+	// probe interval can mask a crash entirely — and with it, the replay
+	// this soak exists to exercise.)
+	waitClusterAvailable(t, routerStatus, 2)
+	b2 := startServe(t, serveBin, model, "b", bAddr, bStatus,
+		"-checkpoint", ckptB, "-checkpoint-interval", "2s", "-resume", ckptB)
+	b2.proc.waitOutput(t, "resume watermark: seq ")
+	if err := <-streamErr; err != nil {
+		t.Fatalf("phase-2 stream: %v", err)
+	}
+	waitClusterAvailable(t, routerStatus, 3)
+	snap = quiesceCluster(t, routerStatus)
+	if snap.Cluster.Gap != 0 || snap.Cluster.Violations != 0 {
+		t.Errorf("conservation after crash replay: gap=%d violations=%d, want 0/0", snap.Cluster.Gap, snap.Cluster.Violations)
+	}
+
+	// --- Phase 3: c leaves live — its flow state migrates to the nodes
+	// gaining its arcs — then a clean trace proves the 2-node ring routes.
+	if reply := adminCmd(t, routerStatus, "REMOVE c"); reply != "OK removed c" {
+		t.Fatalf("REMOVE reply %q", reply)
+	}
+	if err := streamTrace(routerAddr, trace2, nil, 0); err != nil {
+		t.Fatalf("phase-3 stream: %v", err)
+	}
+	snap = quiesceCluster(t, routerStatus)
+	if snap.Cluster.Nodes != 2 {
+		t.Errorf("cluster reports %d nodes after remove, want 2", snap.Cluster.Nodes)
+	}
+	if snap.Cluster.Gap != 0 || snap.Cluster.Violations != 0 {
+		t.Errorf("conservation after live remove: gap=%d violations=%d, want 0/0", snap.Cluster.Gap, snap.Cluster.Violations)
+	}
+
+	routerOut := router.sigterm(t)
+	var rReceived, rForwarded, rQuarantined, rShed, rConns int
+	if _, err := fmt.Sscanf(extractLine(t, routerOut, "drained: "),
+		"drained: received %d, forwarded %d, quarantined %d, shed %d over %d connections",
+		&rReceived, &rForwarded, &rQuarantined, &rShed, &rConns); err != nil {
+		t.Fatalf("cannot parse router drain line: %v\n%s", err, routerOut)
+	}
+	if rForwarded+rQuarantined+rShed != rReceived {
+		t.Errorf("router conservation violated: %d != %d+%d+%d", rReceived, rForwarded, rQuarantined, rShed)
+	}
+	if rShed != 0 {
+		t.Errorf("router shed %d packets across the churn", rShed)
+	}
+	var replayed, replayDropped, journalDropped, journaled int
+	if _, err := fmt.Sscanf(extractLine(t, routerOut, "replication: "),
+		"replication: replayed %d, replay-dropped %d, journal-dropped %d, journaled %d",
+		&replayed, &replayDropped, &journalDropped, &journaled); err != nil {
+		t.Fatalf("cannot parse replication line: %v\n%s", err, routerOut)
+	}
+	if replayed == 0 {
+		t.Error("crash produced no journal replays; the soak did not exercise in-flight replication")
+	}
+	if replayDropped != 0 || journalDropped != 0 {
+		t.Errorf("replication lost packets: replay-dropped=%d journal-dropped=%d", replayDropped, journalDropped)
+	}
+	var added, removed, migrated, skipped int
+	if _, err := fmt.Sscanf(extractLine(t, routerOut, "membership: "),
+		"membership: nodes-added %d, nodes-removed %d, migrated-flows %d, migrations-skipped %d",
+		&added, &removed, &migrated, &skipped); err != nil {
+		t.Fatalf("cannot parse membership line: %v\n%s", err, routerOut)
+	}
+	if added != 1 || removed != 1 {
+		t.Errorf("membership counters added=%d removed=%d, want 1/1", added, removed)
+	}
+	if migrated == 0 {
+		t.Error("membership churn migrated no flows")
+	}
+
+	aOut := a.proc.sigterm(t)
+	b2Out := b2.proc.sigterm(t)
+	cOut := c.proc.sigterm(t)
+	parseDrainLine(t, "a", aOut)
+	parseDrainLine(t, "b2", b2Out)
+	parseDrainLine(t, "c", cOut)
+	aSum := parseEngineSummary(t, aOut)
+	b2Sum := parseEngineSummary(t, b2Out)
+	cSum := parseEngineSummary(t, cOut)
+
+	// Aggregate verdict equality: verdicts land on whichever node owned
+	// the flow when it classified, but summed across all engines they must
+	// exactly match one uninterrupted replay — the add, the crash, and the
+	// remove neither lost nor double-counted a single flow.
+	want := referenceEngine(t, model, trace0.Packets, trace1.Packets, trace2.Packets)
+	gotClassified := aSum.classified + b2Sum.classified + cSum.classified
+	gotFallback := aSum.fallback + b2Sum.fallback + cSum.fallback
+	gotDropped := aSum.dropped + b2Sum.dropped + cSum.dropped
+	gotText := aSum.qText + b2Sum.qText + cSum.qText
+	gotBinary := aSum.qBinary + b2Sum.qBinary + cSum.qBinary
+	gotEncrypted := aSum.qEncrypted + b2Sum.qEncrypted + cSum.qEncrypted
+	if gotClassified != want.Classified || gotFallback != want.Fallback || gotDropped != want.Dropped ||
+		gotText != want.QueueCounts[corpus.Text] ||
+		gotBinary != want.QueueCounts[corpus.Binary] ||
+		gotEncrypted != want.QueueCounts[corpus.Encrypted] {
+		t.Errorf("cluster verdicts diverge from uninterrupted replay:\n  cluster:   classified=%d fallback=%d dropped=%d queues=[%d %d %d]\n  reference: classified=%d fallback=%d dropped=%d queues=%v",
+			gotClassified, gotFallback, gotDropped, gotText, gotBinary, gotEncrypted,
+			want.Classified, want.Fallback, want.Dropped, want.QueueCounts)
 	}
 }
 

@@ -137,16 +137,23 @@ func run() error {
 	// engine first so a checkpoint that fails half-way through its shards
 	// cannot leave the serving engine partially restored: any unusable
 	// checkpoint is a logged warning and a clean cold start.
+	var resumeSeq uint64
 	if *resume != "" {
-		if restored, err := resumeEngine(engineCfg, *shards, *resume); err != nil {
+		if restored, seq, err := resumeEngine(engineCfg, *shards, *resume); err != nil {
 			fmt.Fprintf(os.Stderr,
 				"iustitia-serve: warning: cannot resume from %s (%v); cold start\n",
 				*resume, err)
 		} else {
 			engine = restored
+			resumeSeq = seq
 			s := engine.Stats()
 			fmt.Printf("resumed from %s: %d classified flows, %d CDB records\n",
 				*resume, s.Classified, s.CDB.Size)
+			if seq > 0 {
+				// A node checkpoint carries the router's delivery watermark:
+				// replayed frames at or below it will be deduplicated.
+				fmt.Printf("resume watermark: seq %d\n", seq)
+			}
 		}
 	}
 
@@ -217,6 +224,7 @@ func run() error {
 		IdleTimeout:    *idleTimeout,
 		MaxFrame:       *maxFrame,
 		NodeName:       *nodeName,
+		ResumeSeq:      resumeSeq,
 		CheckpointTime: func() time.Time {
 			ckptMu.Lock()
 			defer ckptMu.Unlock()
@@ -224,12 +232,25 @@ func run() error {
 		},
 	}
 	if *checkpoint != "" {
-		srvCfg.OnFinalCheckpoint = func(snapshot []byte) {
-			if err := persist.SaveFile(*checkpoint, persist.KindParallelCheckpoint, snapshot); err != nil {
-				fmt.Fprintln(os.Stderr, "iustitia-serve: final checkpoint:", err)
-				return
+		// Periodic and final durability both flow through the server's
+		// quiesced node-checkpoint path, so every checkpoint on disk is a
+		// consistent (watermark, engine, pending) triple — never an engine
+		// snapshot torn mid-batch. A successful save advances acked_seq on
+		// the STATUS line, telling a cluster router it may trim its replay
+		// journal.
+		srvCfg.NodeCheckpoint = func(payload []byte) error {
+			if err := persist.SaveFile(*checkpoint, persist.KindNodeCheckpoint, payload); err != nil {
+				fmt.Fprintln(os.Stderr, "iustitia-serve: checkpoint:", err)
+				return err
 			}
 			ckptSaved()
+			return nil
+		}
+		srvCfg.NodeCheckpointEvery = *ckptEvery
+		srvCfg.OnFinalCheckpoint = func(snapshot []byte) {
+			// The final node checkpoint (written right after this hook)
+			// overwrites the path with the drain-complete state; this
+			// message is the operator-visible drain marker.
 			fmt.Printf("final checkpoint saved to %s\n", *checkpoint)
 		}
 	}
@@ -239,28 +260,6 @@ func run() error {
 	}
 	if err := srv.Start(); err != nil {
 		return err
-	}
-
-	// Periodic wall-clock checkpoints, so a crash between drains loses at
-	// most one interval of classification state.
-	ckptStop := make(chan struct{})
-	if *checkpoint != "" && *ckptEvery > 0 {
-		go func() {
-			t := time.NewTicker(*ckptEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					if err := persist.SaveFile(*checkpoint, persist.KindParallelCheckpoint, engine.ExportCheckpoint()); err != nil {
-						fmt.Fprintln(os.Stderr, "iustitia-serve: checkpoint:", err)
-					} else {
-						ckptSaved()
-					}
-				case <-ckptStop:
-					return
-				}
-			}
-		}()
 	}
 
 	// First signal: graceful drain (flush + final checkpoint). Second
@@ -276,7 +275,6 @@ func run() error {
 		os.Exit(130)
 	}()
 
-	close(ckptStop)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
 	defer cancel()
 	drainErr := srv.Shutdown(ctx)
@@ -311,22 +309,46 @@ func run() error {
 	return drainErr
 }
 
-// resumeEngine builds a fresh engine and restores a parallel checkpoint
-// into it, so the caller's serving engine is replaced only on full
-// success.
-func resumeEngine(cfg flow.EngineConfig, shards int, path string) (*flow.ParallelEngine, error) {
-	payload, err := persist.LoadFile(path, persist.KindParallelCheckpoint)
+// resumeEngine builds a fresh engine and restores a checkpoint into it,
+// so the caller's serving engine is replaced only on full success. Both
+// checkpoint kinds resume: a bare engine snapshot
+// (KindParallelCheckpoint) restores classified state only, while a node
+// checkpoint (KindNodeCheckpoint) also restores the in-flight pending
+// flows and returns the delivery-sequence watermark to prime dedup with.
+func resumeEngine(cfg flow.EngineConfig, shards int, path string) (*flow.ParallelEngine, uint64, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	kind, payload, err := persist.Decode(data)
+	if err != nil {
+		return nil, 0, err
 	}
 	engine, err := flow.NewParallelEngine(cfg, shards, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if err := engine.ImportCheckpoint(payload); err != nil {
-		return nil, err
+	switch kind {
+	case persist.KindParallelCheckpoint:
+		if err := engine.ImportCheckpoint(payload); err != nil {
+			return nil, 0, err
+		}
+		return engine, 0, nil
+	case persist.KindNodeCheckpoint:
+		seq, ckpt, pending, err := ingest.DecodeNodeCheckpoint(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := engine.ImportCheckpoint(ckpt); err != nil {
+			return nil, 0, err
+		}
+		if _, err := engine.ImportPending(pending); err != nil {
+			return nil, 0, err
+		}
+		return engine, seq, nil
+	default:
+		return nil, 0, fmt.Errorf("checkpoint kind %d is not resumable", kind)
 	}
-	return engine, nil
 }
 
 // parseClass maps a flag value to its class.

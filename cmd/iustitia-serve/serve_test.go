@@ -196,11 +196,17 @@ func TestServeDrainWritesResumableCheckpoint(t *testing.T) {
 		t.Errorf("no final-checkpoint line in output:\n%s", output)
 	}
 
-	// The checkpoint restores into a fresh engine with the same shard
-	// layout and carries the replay's progress.
-	payload, err := persist.LoadFile(ckpt, persist.KindParallelCheckpoint)
+	// Every on-disk checkpoint is a node checkpoint (quiesced engine
+	// snapshot + delivery watermark + pending flows); it restores into a
+	// fresh engine with the same shard layout and carries the replay's
+	// progress.
+	wrapped, err := persist.LoadFile(ckpt, persist.KindNodeCheckpoint)
 	if err != nil {
 		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+	_, payload, pending, err := ingest.DecodeNodeCheckpoint(wrapped)
+	if err != nil {
+		t.Fatalf("final node checkpoint does not decode: %v", err)
 	}
 	engine, err := flow.NewParallelEngine(flow.EngineConfig{
 		BufferSize: 32,
@@ -213,6 +219,9 @@ func TestServeDrainWritesResumableCheckpoint(t *testing.T) {
 	}
 	if err := engine.ImportCheckpoint(payload); err != nil {
 		t.Fatalf("final checkpoint does not restore: %v", err)
+	}
+	if n, err := engine.ImportPending(pending); err != nil || n != 0 {
+		t.Errorf("drain left pending-flow state in the checkpoint: imported %d flows, err %v", n, err)
 	}
 	st := engine.Stats()
 	if st.Admitted != len(trace.Flows) {

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"iustitia/internal/ingest"
+	"iustitia/internal/packet"
+)
+
+// TestRequeueExpiredShedExactlyOnce pins the requeue-timeout contract
+// with no failover target: an expired held packet is shed exactly once —
+// never forwarded as well, never shed twice — so the router law stays an
+// equality, not an inequality.
+func TestRequeueExpiredShedExactlyOnce(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyRequeue, RequeueTimeout: 20 * time.Millisecond}, a)
+	waitAvailable(t, r, "a")
+	a.drain(t)
+	waitFor(t, "a marked unavailable", func() bool {
+		h, _ := r.Health("a")
+		return !h.Available()
+	})
+
+	trace := testTrace(t, 5, 31)
+	streamTrace(t, addr, trace)
+	waitFor(t, "every packet to expire and shed", func() bool {
+		return r.Stats().Shed == len(trace.Packets)
+	})
+
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Shed != len(trace.Packets) {
+		t.Errorf("shed %d, want exactly %d (no double shed)", rst.Shed, len(trace.Packets))
+	}
+	if rst.Forwarded != 0 || rst.Rerouted != 0 {
+		t.Errorf("expired packets also delivered: forwarded=%d rerouted=%d, want zero", rst.Forwarded, rst.Rerouted)
+	}
+	if rst.Requeued == 0 {
+		t.Error("no wait episodes counted before the sheds")
+	}
+}
+
+// TestRequeueExpiredReroutesWhenSurvivorUp is the complementary half:
+// with a healthy failover candidate, an expired packet reroutes instead
+// of shedding — the timeout bounds the wait, it does not discard work.
+func TestRequeueExpiredReroutesWhenSurvivorUp(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	b := startNode(t, "b", nil, nil)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyRequeue, RequeueTimeout: 20 * time.Millisecond}, a, b)
+	waitAvailable(t, r, "a", "b")
+	b.drain(t)
+	waitFor(t, "b marked unavailable", func() bool {
+		h, _ := r.Health("b")
+		return !h.Available()
+	})
+
+	trace := testTrace(t, 30, 32)
+	streamTrace(t, addr, trace)
+	waitFor(t, "all frames to land on the survivor", func() bool {
+		return a.srv.Stats().Received == len(trace.Packets)
+	})
+
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Shed != 0 {
+		t.Errorf("shed %d with a healthy failover target", rst.Shed)
+	}
+	if rst.Rerouted == 0 {
+		t.Error("no expired packet counted Rerouted though b owned some flows")
+	}
+	if rst.Forwarded != len(trace.Packets) {
+		t.Errorf("forwarded %d, want %d", rst.Forwarded, len(trace.Packets))
+	}
+	a.drain(t)
+}
+
+// trackingListener wraps a listener so a test can sever it and every
+// connection it accepted at once — the in-process equivalent of SIGKILL:
+// no drain, no final checkpoint, the TCP buffers simply vanish.
+type trackingListener struct {
+	net.Listener
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	killed bool
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if l.killed {
+		l.mu.Unlock()
+		c.Close()
+		return nil, net.ErrClosed
+	}
+	l.conns = append(l.conns, c)
+	l.mu.Unlock()
+	return c, nil
+}
+
+func (l *trackingListener) kill() {
+	l.mu.Lock()
+	l.killed = true
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	l.Listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestJournalReplayAfterNodeCrash is the in-flight replication tentpole
+// in miniature: a node is killed without drain after taking traffic past
+// its last checkpoint; the router's journal replays the unacked packets
+// into the restored successor with their original sequences, the
+// successor's watermark discards everything its checkpoint already
+// covers, and the cluster ends verdict-identical to an uninterrupted
+// single-engine replay.
+func TestJournalReplayAfterNodeCrash(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+
+	// Node b checkpoints only on demand: its acked watermark freezes at
+	// the last CheckpointNow, so everything sent after it stays journaled.
+	var ckptMu sync.Mutex
+	var captured []byte
+	bEngine := newTestEngine(t)
+	bData := &trackingListener{Listener: listenLocal(t)}
+	bStatus := &trackingListener{Listener: listenLocal(t)}
+	bSrv, err := ingest.NewServer(ingest.Config{
+		Engine:         bEngine,
+		Listeners:      []net.Listener{bData},
+		StatusListener: bStatus,
+		Workers:        2,
+		NodeName:       "b",
+		NodeCheckpoint: func(payload []byte) error {
+			ckptMu.Lock()
+			captured = append(captured[:0], payload...)
+			ckptMu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bSrv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b := &testNode{
+		cfg:    NodeConfig{Name: "b", Addr: bData.Addr().String(), StatusAddr: bStatus.Addr().String()},
+		srv:    bSrv,
+		engine: bEngine,
+	}
+
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyRequeue, RequeueTimeout: 30 * time.Second}, a, b)
+	waitAvailable(t, r, "a", "b")
+
+	// Phase A lands everywhere, then becomes durable on b.
+	traceA := testTrace(t, 40, 33)
+	streamTrace(t, addr, traceA)
+	waitFor(t, "phase A to land", func() bool {
+		return a.srv.Stats().Received+b.srv.Stats().Received == len(traceA.Packets)
+	})
+	if err := bSrv.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase B lands but is never checkpointed on b: from b's perspective
+	// these packets exist only in memory — and in the router's journal.
+	traceB := testTrace(t, 40, 34)
+	streamTrace(t, addr, traceB)
+	waitFor(t, "phase B to land", func() bool {
+		return a.srv.Stats().Received+b.srv.Stats().Received == len(traceA.Packets)+len(traceB.Packets)
+	})
+
+	r.member.RLock()
+	s := r.senders["b"]
+	r.member.RUnlock()
+	if s == nil {
+		t.Fatal("no sender for b")
+	}
+
+	// Kill b: listeners and live connections sever at once, its engine
+	// state (everything past the checkpoint) is abandoned.
+	bData.kill()
+	bStatus.kill()
+	waitFor(t, "loss edge to arm the replay", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.pendingReplay
+	})
+
+	// Restore the successor from the captured checkpoint: engine state and
+	// watermark as of the end of phase A.
+	ckptMu.Lock()
+	payload := append([]byte(nil), captured...)
+	ckptMu.Unlock()
+	seq, engineCkpt, pending, err := ingest.DecodeNodeCheckpoint(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == 0 {
+		t.Fatal("checkpoint watermark is zero; b took no sequenced traffic")
+	}
+	restored := newTestEngine(t)
+	if err := restored.ImportCheckpoint(engineCkpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.ImportPending(pending); err != nil {
+		t.Fatal(err)
+	}
+	var data2, status2 net.Listener
+	waitFor(t, "rebind b's addresses", func() bool {
+		var derr, serr error
+		data2, derr = net.Listen("tcp", b.cfg.Addr)
+		if derr != nil {
+			return false
+		}
+		status2, serr = net.Listen("tcp", b.cfg.StatusAddr)
+		if serr != nil {
+			data2.Close()
+			return false
+		}
+		return true
+	})
+	srv2, err := ingest.NewServer(ingest.Config{
+		Engine:         restored,
+		Listeners:      []net.Listener{data2},
+		StatusListener: status2,
+		Workers:        2,
+		NodeName:       "b",
+		ResumeSeq:      seq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := &testNode{cfg: b.cfg, srv: srv2, engine: restored}
+	waitAvailable(t, r, "b")
+
+	// Phase C proves the stream continues seamlessly after the replay.
+	traceC := testTrace(t, 40, 35)
+	streamTrace(t, addr, traceC)
+
+	total := len(traceA.Packets) + len(traceB.Packets) + len(traceC.Packets)
+	waitFor(t, "all phases forwarded", func() bool { return r.Stats().Forwarded == total })
+	waitFor(t, "journal replay to complete", func() bool {
+		s.mu.Lock()
+		pending := s.pendingReplay
+		want := s.lastDelivered
+		s.mu.Unlock()
+		return !pending && b2.srv.Stats().SeenSeq >= want
+	})
+
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.Replayed == 0 {
+		t.Error("no journal entries replayed across the crash")
+	}
+	if rst.Shed != 0 {
+		t.Errorf("shed %d packets across the crash, want zero", rst.Shed)
+	}
+
+	sa, sb2 := a.drain(t), b2.drain(t)
+	for _, st := range []ingest.Stats{sa, sb2} {
+		if st.Admitted+st.Quarantined+st.Shed != st.Received {
+			t.Errorf("node conservation violated: %+v", st)
+		}
+	}
+
+	// The replayed successor must agree with an uninterrupted single-node
+	// replay of all three phases — no lost packet, no double count.
+	traces := []*packet.Trace{traceA, traceB, traceC}
+	ref := replayReference(t, traces...)
+	assertClusterMatchesReference(t, ref, traces, a, b2)
+}
+
+// TestLiveAddRemoveMigratesFlows drives membership changes through the
+// direct API under sequential load: a node joins mid-stream and gains
+// arcs (with their flow state), another leaves live and its flows travel
+// on — mid-flow verdicts survive both moves, and every flow ends labelled
+// on exactly one node.
+func TestLiveAddRemoveMigratesFlows(t *testing.T) {
+	a := startNode(t, "a", nil, nil)
+	b := startNode(t, "b", nil, nil)
+	r, addr := startRouter(t, RouterConfig{Policy: PolicyRequeue, RequeueTimeout: 30 * time.Second}, a, b)
+	waitAvailable(t, r, "a", "b")
+
+	trace1 := testTrace(t, 50, 36)
+	streamTrace(t, addr, trace1)
+	waitFor(t, "phase 1 to land", func() bool {
+		return a.srv.Stats().Received+b.srv.Stats().Received == len(trace1.Packets)
+	})
+
+	// c joins live: AddNode waits for it to probe healthy, then migrates
+	// the arcs it gains from a and b.
+	c := startNode(t, "c", nil, nil)
+	if err := r.AddNode(c.cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddNode(c.cfg); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("second AddNode returned %v, want ErrNodeExists", err)
+	}
+
+	trace2 := testTrace(t, 50, 37)
+	streamTrace(t, addr, trace2)
+	received := func() int {
+		return a.srv.Stats().Received + b.srv.Stats().Received + c.srv.Stats().Received
+	}
+	waitFor(t, "phase 2 to land", func() bool {
+		return received() == len(trace1.Packets)+len(trace2.Packets)
+	})
+
+	// a leaves live: every flow it holds — including mid-buffer ones whose
+	// packets are still arriving — must travel to the nodes gaining its
+	// arcs. Removing an unknown name stays a no-op.
+	if err := r.RemoveNode("ghost"); err != nil {
+		t.Errorf("RemoveNode of unknown node returned %v, want nil no-op", err)
+	}
+	if err := r.RemoveNode("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	trace3 := testTrace(t, 50, 38)
+	streamTrace(t, addr, trace3)
+	total := len(trace1.Packets) + len(trace2.Packets) + len(trace3.Packets)
+	waitFor(t, "phase 3 to land", func() bool { return received() == total })
+
+	rst := drainRouter(t, r)
+	assertRouterConservation(t, rst)
+	if rst.NodesAdded != 1 || rst.NodesRemoved != 1 {
+		t.Errorf("membership counters added=%d removed=%d, want 1/1", rst.NodesAdded, rst.NodesRemoved)
+	}
+	if rst.MigratedFlows == 0 {
+		t.Error("no flows migrated across two membership changes")
+	}
+	if rst.Shed != 0 || rst.Quarantined != 0 {
+		t.Errorf("membership changes lost traffic: shed=%d quarantined=%d", rst.Shed, rst.Quarantined)
+	}
+
+	sa, sb, sc := a.drain(t), b.drain(t), c.drain(t)
+	for _, st := range []ingest.Stats{sa, sb, sc} {
+		if st.Admitted+st.Quarantined+st.Shed != st.Received {
+			t.Errorf("node conservation violated: %+v", st)
+		}
+	}
+
+	// The removed node exported everything: no verdict may remain readable
+	// there, and the cluster aggregate must still match the single-engine
+	// reference with every flow labelled exactly once.
+	for tuple := range trace1.Flows {
+		if _, ok := a.engine.RecordedLabel(tuple); ok {
+			t.Errorf("flow %v still readable on removed node a", tuple)
+		}
+	}
+	traces := []*packet.Trace{trace1, trace2, trace3}
+	ref := replayReference(t, traces...)
+	assertClusterMatchesReference(t, ref, traces, a, b, c)
+}

@@ -104,6 +104,10 @@ func ProbeStatus(statusAddr string, timeout time.Duration) (ingest.NodeStatus, e
 	}
 	defer c.Close()
 	_ = c.SetDeadline(time.Now().Add(timeout))
+	// Ask explicitly: a server speaking the command protocol answers
+	// immediately instead of waiting out its legacy-probe grace period.
+	// Old servers dump regardless of what arrives, so this is harmless.
+	_, _ = c.Write([]byte("STATUS\n"))
 	doc, err := io.ReadAll(c)
 	if err != nil {
 		return ingest.NodeStatus{}, err
@@ -165,8 +169,13 @@ func (p *prober) run(name string) {
 		p.probeOnce(name)
 		p.mu.Lock()
 		h := p.health[name]
+		if h == nil {
+			// Node removed from the cluster: this loop is done.
+			p.mu.Unlock()
+			return
+		}
 		delay := p.cfg.interval()
-		if h != nil && h.ConsecutiveFailures > 0 {
+		if h.ConsecutiveFailures > 0 {
 			b := p.cfg.backoffBase()
 			for i := 1; i < h.ConsecutiveFailures && b < p.cfg.backoffMax(); i++ {
 				b *= 2
@@ -270,6 +279,36 @@ func (p *prober) markUnreachable(name string, err error) {
 	}
 	h.Reachable = false
 	h.LastErr = fmt.Errorf("cluster: send to %s failed: %w", name, err)
+	p.wake()
+}
+
+// addNode registers a new node and, when started is true, spawns its
+// probe loop. Registering a present name is an error.
+func (p *prober) addNode(cfg NodeConfig, started bool) error {
+	p.mu.Lock()
+	if _, ok := p.health[cfg.Name]; ok {
+		p.mu.Unlock()
+		return fmt.Errorf("cluster: node %q already probed", cfg.Name)
+	}
+	p.health[cfg.Name] = &NodeHealth{Config: cfg}
+	p.wake()
+	p.mu.Unlock()
+	if started {
+		p.wg.Add(1)
+		go p.run(cfg.Name)
+	}
+	return nil
+}
+
+// removeNode drops a node from the health table; its probe loop exits at
+// its next iteration. Removing an absent node is a no-op.
+func (p *prober) removeNode(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.health[name]; !ok {
+		return
+	}
+	delete(p.health, name)
 	p.wake()
 }
 

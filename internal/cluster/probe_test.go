@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"errors"
 	"net"
 	"sync"
@@ -44,6 +45,10 @@ func (f *fakeStatusNode) listen(addr string) {
 			if err != nil {
 				return
 			}
+			// Drain the probe's command line before answering (closing with
+			// unread data would reset the connection under the probe's read).
+			_ = c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+			_, _ = bufio.NewReader(c).ReadString('\n')
 			f.mu.Lock()
 			doc := "some prose header\n" + f.status.StatusLine() + "\n"
 			f.mu.Unlock()

@@ -16,6 +16,7 @@ package cluster
 import (
 	"crypto/sha1"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -23,6 +24,11 @@ import (
 	"iustitia/internal/flow"
 	"iustitia/internal/packet"
 )
+
+// ErrNodeExists is returned (wrapped) by Ring.Add when the node name is
+// already on the ring — node names are cluster-unique identities, so a
+// duplicate ADD is an operator error, not an idempotent no-op.
+var ErrNodeExists = errors.New("cluster: node already on the ring")
 
 // DefaultReplicas is the virtual-node count per physical node. 64 points
 // per node keeps the largest/smallest ownership ratio low without making
@@ -85,7 +91,7 @@ func (r *Ring) Add(node string) error {
 		return fmt.Errorf("cluster: empty node name")
 	}
 	if _, ok := r.nodes[node]; ok {
-		return fmt.Errorf("cluster: node %q already on the ring", node)
+		return fmt.Errorf("%w: %q", ErrNodeExists, node)
 	}
 	r.nodes[node] = struct{}{}
 	for i := 0; i < r.replicas; i++ {
@@ -114,6 +120,20 @@ func (r *Ring) Remove(node string) {
 		}
 	}
 	r.points = kept
+}
+
+// Clone returns an independent copy of the ring, so a membership change
+// can be staged (and its moved arcs computed) before it is published.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		replicas: r.replicas,
+		points:   append([]ringPoint(nil), r.points...),
+		nodes:    make(map[string]struct{}, len(r.nodes)),
+	}
+	for n := range r.nodes {
+		c.nodes[n] = struct{}{}
+	}
+	return c
 }
 
 // Nodes returns the ring membership, sorted.
@@ -169,4 +189,74 @@ func (r *Ring) Candidates(p uint64, max int) []string {
 		out = append(out, n)
 	}
 	return out
+}
+
+// MovedArc is one contiguous hash segment whose owner differs between two
+// rings: every flow whose PointOf falls in [Lo, Hi] (inclusive) moves
+// From one node To another.
+type MovedArc struct {
+	Lo, Hi   uint64
+	From, To string
+}
+
+// ArcsMoved diffs ownership between two rings and returns the segments
+// that changed hands, ordered by Lo. Consistent hashing bounds the result:
+// each segment is adjacent to a virtual point of the added or removed
+// node, so a single-node membership change moves at most that node's
+// replica count worth of arcs (possibly split by the other nodes' points)
+// — never the whole keyspace. The router feeds these to the flow-table
+// migration so only the affected flows travel.
+func ArcsMoved(before, after *Ring) []MovedArc {
+	if len(before.points) == 0 || len(after.points) == 0 {
+		return nil
+	}
+	// Ownership is constant on the segments between consecutive boundary
+	// hashes of the union of both rings: walk those segments, compare each
+	// ring's owner of the segment, and merge adjacent segments that moved
+	// the same way.
+	bounds := make([]uint64, 0, len(before.points)+len(after.points))
+	for _, p := range before.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range after.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for _, b := range bounds {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != b {
+			uniq = append(uniq, b)
+		}
+	}
+	var moved []MovedArc
+	emit := func(lo, hi uint64) {
+		fromOwner, _ := before.Owner(hi)
+		toOwner, _ := after.Owner(hi)
+		if fromOwner == toOwner {
+			return
+		}
+		if n := len(moved); n > 0 && moved[n-1].Hi+1 == lo &&
+			moved[n-1].From == fromOwner && moved[n-1].To == toOwner {
+			moved[n-1].Hi = hi
+			return
+		}
+		moved = append(moved, MovedArc{Lo: lo, Hi: hi, From: fromOwner, To: toOwner})
+	}
+	// [0, uniq[0]] is owned by the owner of the first boundary; each
+	// segment (uniq[i-1], uniq[i]] by the owner of its upper bound; and
+	// the wrap segment (last, Max] again by the owner of the first
+	// boundary (no points lie above last, so ownership wraps).
+	emit(0, uniq[0])
+	for i := 1; i < len(uniq); i++ {
+		emit(uniq[i-1]+1, uniq[i])
+	}
+	if last := uniq[len(uniq)-1]; last != ^uint64(0) {
+		fromOwner, _ := before.Owner(uniq[0])
+		toOwner, _ := after.Owner(uniq[0])
+		if fromOwner != toOwner {
+			moved = append(moved, MovedArc{Lo: last + 1, Hi: ^uint64(0), From: fromOwner, To: toOwner})
+		}
+	}
+	sort.Slice(moved, func(i, j int) bool { return moved[i].Lo < moved[j].Lo })
+	return moved
 }

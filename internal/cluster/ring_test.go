@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -131,8 +132,8 @@ func TestRingAddErrors(t *testing.T) {
 	if err := r.Add("a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Add("a"); err == nil {
-		t.Error("duplicate node name accepted")
+	if err := r.Add("a"); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate Add returned %v, want ErrNodeExists", err)
 	}
 	r.Remove("missing") // no-op, must not panic
 	if got := r.Len(); got != 1 {
@@ -149,6 +150,130 @@ func TestPointOfTupleMatchesFlowID(t *testing.T) {
 	tuple := packet.FiveTuple{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 1234, DstPort: 80, Transport: packet.TCP}
 	if PointOfTuple(tuple) != PointOf(flow.IDOf(tuple)) {
 		t.Error("PointOfTuple diverges from PointOf(flow.IDOf)")
+	}
+}
+
+// TestRingCloneIsIndependent pins that staged membership changes on a
+// clone never leak into the published ring.
+func TestRingCloneIsIndependent(t *testing.T) {
+	r := ringOf(t, 8, "a", "b")
+	c := r.Clone()
+	if err := c.Add("c"); err != nil {
+		t.Fatal(err)
+	}
+	c.Remove("a")
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("clone mutation leaked into original: %v", got)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		p := rng.Uint64()
+		if o, _ := r.Owner(p); o == "c" {
+			t.Fatalf("original ring routes point %#x to a node added on the clone", p)
+		}
+	}
+}
+
+// checkArcsExact cross-checks ArcsMoved against brute-force point
+// sampling: a sampled point changes owner iff it falls inside a moved arc
+// whose From/To match the observed change.
+func checkArcsExact(t *testing.T, before, after *Ring, arcs []MovedArc, rng *rand.Rand) {
+	t.Helper()
+	inArc := func(p uint64) (MovedArc, bool) {
+		for _, a := range arcs {
+			if p >= a.Lo && p <= a.Hi {
+				return a, true
+			}
+		}
+		return MovedArc{}, false
+	}
+	for i := 0; i < 4000; i++ {
+		p := rng.Uint64()
+		was, _ := before.Owner(p)
+		now, _ := after.Owner(p)
+		a, ok := inArc(p)
+		if (was != now) != ok {
+			t.Fatalf("point %#x: owner %q→%q but arc membership %v", p, was, now, ok)
+		}
+		if ok && (a.From != was || a.To != now) {
+			t.Fatalf("point %#x: moved %q→%q but arc says %q→%q", p, was, now, a.From, a.To)
+		}
+	}
+	// Arc endpoints themselves are the exact boundaries.
+	for _, a := range arcs {
+		for _, p := range []uint64{a.Lo, a.Hi} {
+			was, _ := before.Owner(p)
+			now, _ := after.Owner(p)
+			if was != a.From || now != a.To {
+				t.Fatalf("arc %+v endpoint %#x: owners %q→%q", a, p, was, now)
+			}
+		}
+	}
+}
+
+// TestArcsMovedBoundedByReplicas is the consistent-hashing migration
+// bound over a live add/remove sequence: every single-node membership
+// change moves at most replicas+1 contiguous arcs (the +1 from a region
+// split by the 0/max wrap), and every arc involves the changed node —
+// flows between two surviving nodes never travel.
+func TestArcsMovedBoundedByReplicas(t *testing.T) {
+	const replicas = 16
+	rng := rand.New(rand.NewSource(8))
+	r := ringOf(t, replicas, "a", "b")
+	steps := []struct {
+		add  bool
+		node string
+	}{
+		{true, "c"}, {true, "d"}, {false, "a"}, {true, "e"}, {false, "c"}, {false, "d"},
+	}
+	for _, step := range steps {
+		next := r.Clone()
+		if step.add {
+			if err := next.Add(step.node); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			next.Remove(step.node)
+		}
+		arcs := ArcsMoved(r, next)
+		if len(arcs) == 0 {
+			t.Fatalf("step %+v moved no arcs; test is vacuous", step)
+		}
+		if len(arcs) > replicas+1 {
+			t.Errorf("step %+v moved %d arcs, want <= %d", step, len(arcs), replicas+1)
+		}
+		for _, a := range arcs {
+			if step.add && a.To != step.node {
+				t.Errorf("step %+v: arc %+v gained by an uninvolved node", step, a)
+			}
+			if !step.add && a.From != step.node {
+				t.Errorf("step %+v: arc %+v lost by an uninvolved node", step, a)
+			}
+			if a.Lo > a.Hi {
+				t.Errorf("step %+v: inverted arc %+v", step, a)
+			}
+		}
+		for i := 1; i < len(arcs); i++ {
+			if arcs[i].Lo <= arcs[i-1].Hi {
+				t.Errorf("step %+v: arcs %d and %d overlap or are unsorted", step, i-1, i)
+			}
+		}
+		checkArcsExact(t, r, next, arcs, rng)
+		r = next
+	}
+}
+
+// TestArcsMovedEmptyAndIdentical pins the degenerate diffs.
+func TestArcsMovedEmptyAndIdentical(t *testing.T) {
+	r := ringOf(t, 0, "a", "b")
+	if arcs := ArcsMoved(r, r.Clone()); len(arcs) != 0 {
+		t.Errorf("identical rings moved %d arcs", len(arcs))
+	}
+	if arcs := ArcsMoved(NewRing(0), r); arcs != nil {
+		t.Error("empty before-ring produced arcs")
+	}
+	if arcs := ArcsMoved(r, NewRing(0)); arcs != nil {
+		t.Error("empty after-ring produced arcs")
 	}
 }
 

@@ -107,7 +107,19 @@ type RouterConfig struct {
 	// the ingest server. Zero disables.
 	ReadTimeout time.Duration
 	IdleTimeout time.Duration
+	// JournalCap bounds the per-node replay journal of sent-but-unacked
+	// packets (see sender.go). Zero selects DefaultJournalCap; negative
+	// disables journaling (and with it crash replay).
+	JournalCap int
+	// AdminTimeout bounds one membership operation: how long ADD waits
+	// for the new node to become available, and how long a migration may
+	// wait for the losing node's watermark. Zero defaults to 10s.
+	AdminTimeout time.Duration
 }
+
+// DefaultJournalCap is the per-node replay journal bound when
+// RouterConfig.JournalCap is zero.
+const DefaultJournalCap = 4096
 
 // RouterStats is a point-in-time summary of router activity. The frame
 // counters obey the router-level conservation law
@@ -137,6 +149,27 @@ type RouterStats struct {
 	// SendFailures counts upstream deliveries that exhausted the
 	// client's retries (each marks the node unreachable and re-routes).
 	SendFailures int
+	// Replayed counts journal entries resent after a node's availability
+	// loss (same node, original sequence — deduped by the node when its
+	// state already covers them) or re-routed from a removed dead node
+	// (fresh sequence on the new owner's stream).
+	Replayed int
+	// ReplayDropped counts a removed dead node's journal entries that no
+	// surviving node would accept.
+	ReplayDropped int
+	// JournalDropped counts journal entries evicted past JournalCap —
+	// packets that can no longer be replayed after a crash.
+	JournalDropped int
+	// Journaled is the current total of sent-but-unacked journal entries
+	// across nodes (a gauge, not a counter).
+	Journaled int
+	// MigratedFlows counts flows (pending + CDB records) moved by
+	// flow-table migrations; MigrationsSkipped counts (loser, gainer)
+	// pairs whose migration was skipped because the loser was dead.
+	MigratedFlows     int
+	MigrationsSkipped int
+	// NodesAdded and NodesRemoved count live membership changes.
+	NodesAdded, NodesRemoved int
 	// PerNode counts forwarded packets per node name.
 	PerNode map[string]int
 	// ConservationViolations counts probe snapshots whose per-node
@@ -165,11 +198,20 @@ func (cs ClusterStats) Gap() int {
 }
 
 // Router spreads framed-packet connections across serve nodes by
-// consistent hashing over flow IDs, with health-aware failover.
+// consistent hashing over flow IDs, with health-aware failover and live
+// membership (see admin.go).
 type Router struct {
 	cfg    RouterConfig
-	ring   *Ring
 	probes *prober
+
+	// member is the membership gate: routing holds it shared across one
+	// packet's target selection and send; AddNode/RemoveNode hold it
+	// exclusively across the ring swap and flow-table migration, so no
+	// packet lands on a losing node after its state is exported. ring and
+	// senders are guarded by it.
+	member  sync.RWMutex
+	ring    *Ring
+	senders map[string]*nodeSender
 
 	force     chan struct{} // closed at drain deadline: aborts waits
 	forceOnce sync.Once
@@ -181,23 +223,29 @@ type Router struct {
 	statusWG sync.WaitGroup
 	watchWG  sync.WaitGroup
 
-	mu           sync.Mutex
-	conns        map[net.Conn]struct{}
-	clients      map[string]map[*ingest.Client]struct{} // node → live clients
-	totalConns   int
-	received     int
-	forwarded    int
-	quarantined  int
-	shed         int
-	rerouted     int
-	requeued     int
-	sendFailures int
-	perNode      map[string]int
-	violations   int
-	lifecycle    ingest.State
-	started      bool
-	shutdown     bool
-	shutdownErr  error
+	mu                sync.Mutex
+	conns             map[net.Conn]struct{}
+	totalConns        int
+	received          int
+	forwarded         int
+	quarantined       int
+	shed              int
+	rerouted          int
+	requeued          int
+	sendFailures      int
+	replayed          int
+	replayDropped     int
+	journalDropped    int
+	migratedFlows     int
+	migrationsSkipped int
+	nodesAdded        int
+	nodesRemoved      int
+	perNode           map[string]int
+	violations        int
+	lifecycle         ingest.State
+	started           bool
+	shutdown          bool
+	shutdownErr       error
 }
 
 // NewRouter validates cfg and builds a router. Call Start to begin
@@ -231,13 +279,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		cfg:       cfg,
 		ring:      ring,
 		probes:    newProber(cfg.Probe, cfg.Nodes),
+		senders:   make(map[string]*nodeSender, len(cfg.Nodes)),
 		force:     make(chan struct{}),
 		done:      make(chan struct{}),
 		watchStop: make(chan struct{}),
 		conns:     make(map[net.Conn]struct{}),
-		clients:   make(map[string]map[*ingest.Client]struct{}),
 		perNode:   make(map[string]int),
 		lifecycle: ingest.StateStarting,
+	}
+	for _, n := range cfg.Nodes {
+		r.senders[n.Name] = r.newSender(n.Name)
 	}
 	return r, nil
 }
@@ -269,13 +320,25 @@ func (r *Router) Start() error {
 
 // UpdateNode redirects a ring name to a successor instance (checkpoint
 // handoff): the node keeps its name — and therefore its hash arcs — but
-// its ingest and status addresses move to the restarted process. Existing
-// upstream connections to the old instance are closed.
+// its ingest and status addresses move to the restarted process. The
+// upstream connection to the old instance is closed and the replay
+// journal dropped: an orchestrated handoff means the predecessor drained
+// and checkpointed everything it was sent, so replaying into the
+// successor (whose watermark restarts) would double-count.
 func (r *Router) UpdateNode(cfg NodeConfig) error {
 	if err := r.probes.updateNode(cfg); err != nil {
 		return err
 	}
-	r.closeNodeClients(cfg.Name)
+	r.member.RLock()
+	s := r.senders[cfg.Name]
+	r.member.RUnlock()
+	if s != nil {
+		s.mu.Lock()
+		s.journal = nil
+		s.pendingReplay = false
+		s.mu.Unlock()
+		s.client.Close()
+	}
 	return nil
 }
 
@@ -335,18 +398,11 @@ func (d *routerConn) Read(p []byte) (int, error) {
 // order, so per-flow order is preserved end to end.
 func (r *Router) serveConn(c net.Conn) {
 	defer r.readerWG.Done()
-	clients := make(map[string]*ingest.Client)
 	defer func() {
 		c.Close()
 		r.mu.Lock()
 		delete(r.conns, c)
-		for name, cl := range clients {
-			delete(r.clients[name], cl)
-		}
 		r.mu.Unlock()
-		for _, cl := range clients {
-			cl.Close()
-		}
 	}()
 
 	dc := &routerConn{Conn: c, idle: r.cfg.IdleTimeout, read: r.cfg.ReadTimeout}
@@ -365,59 +421,35 @@ func (r *Router) serveConn(c net.Conn) {
 		r.mu.Lock()
 		r.received++
 		r.mu.Unlock()
-		r.route(&pkt, clients)
+		r.route(&pkt)
 	}
 }
 
-// clientFor returns (creating on first use) this connection's client for
-// a node, registered so health transitions can close it.
-func (r *Router) clientFor(name string, clients map[string]*ingest.Client) *ingest.Client {
-	if cl, ok := clients[name]; ok {
-		return cl
-	}
-	cl, _ := ingest.NewClient(ingest.ClientConfig{
-		Dial: func() (net.Conn, error) {
-			// Re-resolve on every dial: UpdateNode may have moved the
-			// node to a successor address since the client was built.
-			nh, ok := r.probes.snapshot(name)
-			if !ok {
-				return nil, fmt.Errorf("cluster: unknown node %q", name)
-			}
-			return net.DialTimeout("tcp", nh.Config.Addr, r.cfg.DialTimeout)
-		},
-		MaxRetries:  r.cfg.SendRetries,
-		BackoffBase: r.cfg.SendBackoffBase,
-		BackoffMax:  r.cfg.SendBackoffMax,
-		Seed:        r.cfg.Seed,
-	})
-	clients[name] = cl
-	r.mu.Lock()
-	if r.clients[name] == nil {
-		r.clients[name] = make(map[*ingest.Client]struct{})
-	}
-	r.clients[name][cl] = struct{}{}
-	r.mu.Unlock()
-	return cl
-}
-
-// watchHealth closes a node's upstream connections whenever the node
-// leaves availability. This is what lets a draining node finish: its
-// listeners are closed but established connections are read until EOF, so
-// a router holding them open would pin the drain against its deadline.
-// Closing on the available→unavailable edge gives the drain its EOFs;
-// in-flight bytes are flushed first (close follows a whole-frame write),
-// so nothing tears.
+// watchHealth reacts to availability edges. On loss the node's upstream
+// connection is closed (a draining node's established connections are
+// read until EOF, so a router holding them open would pin the drain
+// against its deadline) and its journal is marked for replay. On regain
+// the journal is replayed ahead of any new send.
 func (r *Router) watchHealth() {
 	defer r.watchWG.Done()
 	last := make(map[string]bool)
 	for {
 		ch := r.probes.changeCh()
-		for name, h := range r.probes.snapshotAll() {
+		seen := r.probes.snapshotAll()
+		for name, h := range seen {
 			avail := h.Available()
 			if last[name] && !avail {
-				r.closeNodeClients(name)
+				r.onNodeLost(name)
+			}
+			if !last[name] && avail {
+				r.onNodeRegained(name)
 			}
 			last[name] = avail
+		}
+		for name := range last {
+			if _, ok := seen[name]; !ok {
+				delete(last, name) // node removed from the cluster
+			}
 		}
 		select {
 		case <-ch:
@@ -427,37 +459,57 @@ func (r *Router) watchHealth() {
 	}
 }
 
-// closeNodeClients closes every live upstream connection to a node. The
-// clients stay usable: their next Send redials (the fresh address, via
-// the prober snapshot).
-func (r *Router) closeNodeClients(name string) {
-	r.mu.Lock()
-	cls := make([]*ingest.Client, 0, len(r.clients[name]))
-	for cl := range r.clients[name] {
-		cls = append(cls, cl)
+// onNodeLost closes the node's upstream connection and arms journal
+// replay for its return.
+func (r *Router) onNodeLost(name string) {
+	r.member.RLock()
+	s := r.senders[name]
+	r.member.RUnlock()
+	if s == nil {
+		return
 	}
-	r.mu.Unlock()
-	for _, cl := range cls {
-		cl.Close()
+	s.mu.Lock()
+	s.pendingReplay = true
+	s.mu.Unlock()
+	s.client.Close()
+}
+
+// onNodeRegained replays the node's unacked journal proactively, so held
+// requeues that wake on the same health change find the stream already
+// caught up.
+func (r *Router) onNodeRegained(name string) {
+	r.member.RLock()
+	s := r.senders[name]
+	r.member.RUnlock()
+	if s == nil {
+		return
 	}
+	s.mu.Lock()
+	if s.pendingReplay {
+		_ = r.replayLocked(s) // a failure re-arms via the next loss edge
+	}
+	s.mu.Unlock()
 }
 
 // route delivers one packet per the policy. Every packet entering here is
-// accounted exactly once: Forwarded on delivery, Shed otherwise.
-func (r *Router) route(pkt *packet.Packet, clients map[string]*ingest.Client) {
+// accounted exactly once: Forwarded on delivery, Shed otherwise. The
+// candidate list is recomputed on every pass under the membership gate —
+// a membership change between passes simply re-targets the packet on the
+// new ring — and the gate is released across requeue waits so a held
+// packet never blocks an ADD/REMOVE.
+func (r *Router) route(pkt *packet.Packet) {
 	point := PointOfTuple(pkt.Tuple)
-	r.mu.Lock()
-	candidates := r.ring.Candidates(point, r.ring.Len())
-	r.mu.Unlock()
-	if len(candidates) == 0 {
-		r.countShed()
-		return
-	}
-	owner := candidates[0]
-
 	var deadline <-chan time.Time
 	waited, expired := false, false
 	for {
+		r.member.RLock()
+		candidates := r.ring.Candidates(point, r.ring.Len())
+		if len(candidates) == 0 {
+			r.member.RUnlock()
+			r.countShed()
+			return
+		}
+		owner := candidates[0]
 		health := r.probes.snapshotAll()
 		target := ""
 		rerouted := false
@@ -466,6 +518,7 @@ func (r *Router) route(pkt *packet.Packet, clients map[string]*ingest.Client) {
 		} else {
 			switch r.cfg.Policy {
 			case PolicyShed:
+				r.member.RUnlock()
 				r.countShed()
 				return
 			case PolicyNext:
@@ -490,12 +543,20 @@ func (r *Router) route(pkt *packet.Packet, clients map[string]*ingest.Client) {
 				}
 			}
 			if target == "" {
+				r.member.RUnlock()
 				r.countShed()
 				return
 			}
 		}
 		if target != "" {
-			err := r.clientFor(target, clients).Send(pkt)
+			s := r.senders[target]
+			var err error
+			if s == nil {
+				err = fmt.Errorf("cluster: no sender for node %q", target)
+			} else {
+				err = r.sendToNode(s, pkt)
+			}
+			r.member.RUnlock()
 			if err == nil {
 				r.countForwarded(target, rerouted)
 				return
@@ -506,6 +567,7 @@ func (r *Router) route(pkt *packet.Packet, clients map[string]*ingest.Client) {
 			r.probes.markUnreachable(target, err)
 			continue // re-route under the fresh health view
 		}
+		r.member.RUnlock()
 
 		// No routable target yet: wait for a health change, the requeue
 		// deadline, or the router's own drain force.
@@ -553,6 +615,14 @@ func (r *Router) countShed() {
 // Stats returns a snapshot of the router counters.
 func (r *Router) Stats() RouterStats {
 	health := r.probes.snapshotAll()
+	journaled := 0
+	r.member.RLock()
+	for _, s := range r.senders {
+		s.mu.Lock()
+		journaled += len(s.journal)
+		s.mu.Unlock()
+	}
+	r.member.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := RouterStats{
@@ -566,6 +636,14 @@ func (r *Router) Stats() RouterStats {
 		Rerouted:               r.rerouted,
 		Requeued:               r.requeued,
 		SendFailures:           r.sendFailures,
+		Replayed:               r.replayed,
+		ReplayDropped:          r.replayDropped,
+		JournalDropped:         r.journalDropped,
+		Journaled:              journaled,
+		MigratedFlows:          r.migratedFlows,
+		MigrationsSkipped:      r.migrationsSkipped,
+		NodesAdded:             r.nodesAdded,
+		NodesRemoved:           r.nodesRemoved,
 		PerNode:                make(map[string]int, len(r.perNode)),
 		ConservationViolations: r.violations,
 	}
@@ -656,6 +734,11 @@ func (r *Router) Shutdown(ctx context.Context) error {
 
 	close(r.watchStop)
 	r.watchWG.Wait()
+	r.member.RLock()
+	for _, s := range r.senders {
+		s.client.Close()
+	}
+	r.member.RUnlock()
 	r.probes.close()
 	if r.cfg.StatusListener != nil {
 		if err := r.cfg.StatusListener.Close(); err != nil {
@@ -673,7 +756,8 @@ func (r *Router) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// statusLoop serves one cluster status document per accepted connection.
+// statusLoop accepts status/admin connections; each is served on its own
+// goroutine because an ADD or REMOVE command can block on a migration.
 func (r *Router) statusLoop(l net.Listener) {
 	defer r.statusWG.Done()
 	for {
@@ -681,9 +765,11 @@ func (r *Router) statusLoop(l net.Listener) {
 		if err != nil {
 			return
 		}
-		_ = c.SetDeadline(time.Now().Add(5 * time.Second))
-		_, _ = c.Write([]byte(r.StatusText()))
-		c.Close()
+		r.statusWG.Add(1)
+		go func() {
+			defer r.statusWG.Done()
+			r.serveStatusConn(c)
+		}()
 	}
 }
 
@@ -731,10 +817,14 @@ func (r *Router) StatusText() string {
 
 	fmt.Fprintf(&b, clusterLinePrefix+
 		"state=%s nodes=%d available=%d received=%d forwarded=%d quarantined=%d shed=%d "+
-		"rerouted=%d requeued=%d send_failures=%d sum_received=%d sum_admitted=%d "+
+		"rerouted=%d requeued=%d send_failures=%d replayed=%d replay_dropped=%d "+
+		"journal_dropped=%d journaled=%d migrated_flows=%d migrations_skipped=%d "+
+		"nodes_added=%d nodes_removed=%d sum_received=%d sum_admitted=%d "+
 		"sum_quarantined=%d sum_shed=%d sum_classified=%d conservation_gap=%d violations=%d\n",
 		st.State, cs.Nodes, cs.Available, st.Received, st.Forwarded, st.Quarantined, st.Shed,
-		st.Rerouted, st.Requeued, st.SendFailures, cs.SumReceived, cs.SumAdmitted,
+		st.Rerouted, st.Requeued, st.SendFailures, st.Replayed, st.ReplayDropped,
+		st.JournalDropped, st.Journaled, st.MigratedFlows, st.MigrationsSkipped,
+		st.NodesAdded, st.NodesRemoved, cs.SumReceived, cs.SumAdmitted,
 		cs.SumQuarantined, cs.SumShed, cs.SumClassified, cs.Gap(), st.ConservationViolations)
 
 	for _, n := range names {

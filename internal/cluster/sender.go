@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"iustitia/internal/ingest"
+	"iustitia/internal/packet"
+)
+
+// This file is the router's delivery stream to one node: a single shared
+// ingest.Client per node, a per-node delivery sequence space, and a
+// bounded replay journal of packets sent but not yet covered by the
+// node's durable ack watermark. Together they close the SIGKILL hole: a
+// packet the router counted Forwarded but the node lost with its TCP
+// buffers (or processed but never checkpointed) is still in the journal,
+// and is replayed — with its original sequence, so the node's dedup
+// watermark discards anything whose effects survived — when the node
+// comes back.
+
+// journalEntry is one sent-but-unacked packet.
+type journalEntry struct {
+	seq uint64
+	pkt packet.Packet
+}
+
+// nodeSender serializes all deliveries to one node. Sequence assignment
+// and the send happen under one mutex, so the node observes sequences in
+// increasing order — which is what makes its high-watermark dedup sound.
+type nodeSender struct {
+	name string
+
+	mu     sync.Mutex
+	client *ingest.Client
+	rng    *rand.Rand
+	// nextSeq is the next sequence to assign. It advances even when the
+	// send fails: a torn-but-delivered attempt must never share a
+	// sequence with a different packet.
+	nextSeq uint64
+	// lastDelivered is the highest sequence successfully written — the
+	// watermark a migration waits for the node to reach before exporting.
+	lastDelivered uint64
+	// journal holds sent packets newer than the node's last durable ack,
+	// oldest first.
+	journal []journalEntry
+	// failStreak counts consecutive failed sends; it drives the
+	// exponential backoff that keeps held requeues from hammering a
+	// recovering node.
+	failStreak int
+	// pendingReplay is set on the node's availability-loss edge: the next
+	// send (or the regain edge, whichever comes first) replays the
+	// journal before any new packet, keeping the sequence stream ordered.
+	pendingReplay bool
+}
+
+// newSender builds the delivery stream for one node. The dial re-resolves
+// the node's address on every connect, so UpdateNode handoffs take effect
+// without rebuilding the sender.
+func (r *Router) newSender(name string) *nodeSender {
+	s := &nodeSender{
+		name:    name,
+		nextSeq: 1,
+		rng:     rand.New(rand.NewSource(r.cfg.Seed ^ int64(pointHash(name, 0)))),
+	}
+	s.client, _ = ingest.NewClient(ingest.ClientConfig{
+		Dial: func() (net.Conn, error) {
+			nh, ok := r.probes.snapshot(name)
+			if !ok {
+				return nil, fmt.Errorf("cluster: unknown node %q", name)
+			}
+			return net.DialTimeout("tcp", nh.Config.Addr, r.cfg.DialTimeout)
+		},
+		MaxRetries:  r.cfg.SendRetries,
+		BackoffBase: r.cfg.SendBackoffBase,
+		BackoffMax:  r.cfg.SendBackoffMax,
+		Seed:        r.cfg.Seed ^ int64(pointHash(name, 1)),
+	})
+	return s
+}
+
+// journalCap resolves the configured per-node journal bound: zero selects
+// the default, negative disables journaling.
+func (r *Router) journalCap() int {
+	if r.cfg.JournalCap < 0 {
+		return 0
+	}
+	if r.cfg.JournalCap == 0 {
+		return DefaultJournalCap
+	}
+	return r.cfg.JournalCap
+}
+
+// sendToNode delivers one packet on the node's sequence stream. Callers
+// hold the membership gate (shared or exclusive).
+func (r *Router) sendToNode(s *nodeSender, pkt *packet.Packet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pendingReplay {
+		if err := r.replayLocked(s); err != nil {
+			return err
+		}
+	}
+	if s.failStreak > 0 {
+		r.sleepStreak(s)
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	if err := s.client.SendSeq(pkt, seq); err != nil {
+		s.failStreak++
+		return err
+	}
+	s.failStreak = 0
+	s.lastDelivered = seq
+	r.journalLocked(s, journalEntry{seq: seq, pkt: *pkt})
+	return nil
+}
+
+// journalLocked appends one delivered packet, trimming acked entries and
+// dropping the oldest past the cap. Called with s.mu held.
+func (r *Router) journalLocked(s *nodeSender, e journalEntry) {
+	limit := r.journalCap()
+	if limit <= 0 {
+		return
+	}
+	r.trimLocked(s)
+	if len(s.journal) >= limit {
+		drop := len(s.journal) - limit + 1
+		s.journal = append(s.journal[:0], s.journal[drop:]...)
+		r.mu.Lock()
+		r.journalDropped += drop
+		r.mu.Unlock()
+	}
+	s.journal = append(s.journal, e)
+}
+
+// trimLocked discards journal entries at or below the node's last
+// observed durable ack watermark. Called with s.mu held.
+func (r *Router) trimLocked(s *nodeSender) {
+	h, ok := r.probes.snapshot(s.name)
+	if !ok || h.LastSeen.IsZero() {
+		return
+	}
+	acked := h.Status.AckedSeq
+	i := 0
+	for i < len(s.journal) && s.journal[i].seq <= acked {
+		i++
+	}
+	if i > 0 {
+		s.journal = append(s.journal[:0], s.journal[i:]...)
+	}
+}
+
+// replayLocked resends every unacked journal entry with its original
+// sequence, in order, before any newer send — so the node's watermark
+// stays monotone and dedup stays sound. Entries whose effects the node
+// still holds are discarded there; entries it lost are reprocessed.
+// Called with s.mu held.
+func (r *Router) replayLocked(s *nodeSender) error {
+	r.trimLocked(s)
+	for i := range s.journal {
+		e := &s.journal[i]
+		if err := s.client.SendSeq(&e.pkt, e.seq); err != nil {
+			s.failStreak++
+			return err
+		}
+		r.mu.Lock()
+		r.replayed++
+		r.mu.Unlock()
+	}
+	s.pendingReplay = false
+	s.failStreak = 0
+	return nil
+}
+
+// sleepStreak backs off before retrying a node that just failed:
+// exponential in the streak, capped, with jitter so concurrent held
+// packets do not stampede a recovering node. Aborts early at drain
+// force. Called with s.mu held — serializing the waiters is the point.
+func (r *Router) sleepStreak(s *nodeSender) {
+	base, max := r.cfg.SendBackoffBase, r.cfg.SendBackoffMax
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base
+	for i := 1; i < s.failStreak && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	d += time.Duration(s.rng.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+	case <-r.force:
+		t.Stop()
+	}
+}
+
+// replayAcross re-routes a dead node's orphaned journal through the
+// current ring with fresh sequences in the new owners' streams. The
+// packets were already counted Forwarded when first sent, so no router
+// conservation counters move; undeliverable entries count ReplayDropped.
+// Called with the membership gate held exclusively.
+func (r *Router) replayAcross(entries []journalEntry) {
+	for i := range entries {
+		pkt := &entries[i].pkt
+		point := PointOfTuple(pkt.Tuple)
+		candidates := r.ring.Candidates(point, r.ring.Len())
+		health := r.probes.snapshotAll()
+		delivered := false
+		for _, n := range candidates {
+			if !health[n].Available() {
+				continue
+			}
+			s := r.senders[n]
+			if s == nil {
+				continue
+			}
+			if err := r.sendToNode(s, pkt); err == nil {
+				r.mu.Lock()
+				r.replayed++
+				r.mu.Unlock()
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			r.mu.Lock()
+			r.replayDropped++
+			r.mu.Unlock()
+		}
+	}
+}

@@ -165,6 +165,8 @@ type Engine struct {
 	dropped     int  // flows retired without any label (evict/teardown/empty)
 	failed      int  // classifier errors + recovered panics
 	fallback    int  // flows labelled FallbackClass by failure or degraded mode
+	migratedIn  int  // flows (pending + CDB records) installed by migration
+	migratedOut int  // flows (pending + CDB records) removed by migration
 	consecFails int  // consecutive classifier failures
 	degraded    bool // short-circuiting to fallback; probing for recovery
 	sinceProbe  int  // classify attempts since the last degraded-mode probe
@@ -508,6 +510,12 @@ type EngineStats struct {
 	// Degraded counts engines currently in degraded mode: 0 or 1 for an
 	// Engine, up to the shard count for a ParallelEngine.
 	Degraded int
+	// MigratedIn counts pending flows and CDB records installed by a
+	// flow-table migration (ImportFlows).
+	MigratedIn int
+	// MigratedOut counts pending flows and CDB records removed by a
+	// flow-table migration (ExportFlows).
+	MigratedOut int
 }
 
 // add accumulates s into the receiver (used by ParallelEngine).
@@ -525,6 +533,8 @@ func (a *EngineStats) add(s EngineStats) {
 	a.Failed += s.Failed
 	a.Fallback += s.Fallback
 	a.Degraded += s.Degraded
+	a.MigratedIn += s.MigratedIn
+	a.MigratedOut += s.MigratedOut
 }
 
 // Stats returns a snapshot of engine counters.
@@ -542,6 +552,8 @@ func (e *Engine) Stats() EngineStats {
 		Dropped:     e.dropped + e.restored.Dropped,
 		Failed:      e.failed + e.restored.Failed,
 		Fallback:    e.fallback + e.restored.Fallback,
+		MigratedIn:  e.migratedIn,
+		MigratedOut: e.migratedOut,
 	}
 	for i := range s.QueueCounts {
 		s.QueueCounts[i] += e.restored.QueueCounts[i]

@@ -64,8 +64,12 @@ func (pe *ParallelEngine) Shards() int { return len(pe.shards) }
 // 65536 distinct values, which mod a non-power-of-two shard count skews
 // the residue classes and unbalances shard load.
 func (pe *ParallelEngine) shardFor(id ID) *Engine {
-	idx := binary.BigEndian.Uint64(id[:8]) % uint64(len(pe.shards))
-	return pe.shards[idx]
+	return pe.shards[pe.shardIndex(id)]
+}
+
+// shardIndex is shardFor returning the index, for migration dispatch.
+func (pe *ParallelEngine) shardIndex(id ID) int {
+	return int(binary.BigEndian.Uint64(id[:8]) % uint64(len(pe.shards)))
 }
 
 // Process routes a packet to its flow's shard. Safe for concurrent use;

@@ -91,7 +91,28 @@ func (c *Client) Send(p *packet.Packet) error {
 		return err
 	}
 	c.buf = frame[:0] // keep the grown buffer for reuse
+	return c.deliver(frame)
+}
 
+// SendSeq delivers one packet as a version-2 frame carrying a delivery
+// sequence number (see AppendFrameSeq). Retries resend the identical
+// frame — same sequence — so the receiver's dedup watermark treats a
+// torn-but-delivered attempt and its retransmission as one packet.
+func (c *Client) SendSeq(p *packet.Packet, seq uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	frame, err := AppendFrameSeq(c.buf[:0], p, seq)
+	if err != nil {
+		return err
+	}
+	c.buf = frame[:0]
+	return c.deliver(frame)
+}
+
+// deliver writes one prebuilt frame with redial + backoff. Called with
+// c.mu held.
+func (c *Client) deliver(frame []byte) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {

@@ -14,6 +14,7 @@ package ingest
 import (
 	"bufio"
 	"encoding/binary"
+	"fmt"
 	"hash/crc32"
 	"io"
 
@@ -23,10 +24,18 @@ import (
 // Frame format: a fixed self-delimiting header so a reader that lands in
 // the middle of garbage can resynchronize by scanning for the magic:
 //
-//	[0] 'I'  [1] 'G'  [2] version (1)
+//	[0] 'I'  [1] 'G'  [2] version (1 or 2)
 //	[3:7]  payload length, uint32 BE
 //	[7:11] crc32-IEEE of the payload, uint32 BE
-//	[11:]  payload: one packet in the internal/packet wire encoding
+//	[11:19] delivery sequence, uint64 BE   (version 2 only)
+//	then   payload: one packet in the internal/packet wire encoding
+//
+// Version 2 frames carry a per-sender delivery sequence number used by
+// the cluster router's replay journal: the receiver keeps a high-water
+// mark and treats a frame at or below it as a duplicate, so replaying a
+// journaled frame after a node crash can never double-count a packet.
+// Version 1 frames (sequence 0) bypass deduplication entirely, keeping
+// plain clients unchanged.
 //
 // A malformed frame — bad magic, bad version, implausible length, CRC
 // mismatch, undecodable packet — is *quarantined*: the reader counts one
@@ -34,10 +43,12 @@ import (
 // plausible header, and keeps the connection alive. One corrupt frame
 // must cost one counter increment, not the whole connection.
 const (
-	frameMagic0     = 'I'
-	frameMagic1     = 'G'
-	frameVersion    = 1
-	frameHeaderSize = 11
+	frameMagic0       = 'I'
+	frameMagic1       = 'G'
+	frameVersion      = 1
+	frameVersionSeq   = 2
+	frameHeaderSize   = 11
+	frameHeaderSeqLen = 8
 )
 
 // DefaultMaxFrame is the default bound on a frame's payload length: a
@@ -61,6 +72,28 @@ func AppendFrame(dst []byte, p *packet.Packet) ([]byte, error) {
 	return dst, nil
 }
 
+// AppendFrameSeq appends one version-2 framed packet carrying a delivery
+// sequence number. seq must be non-zero: zero is the "no sequence"
+// sentinel a version-1 frame reports.
+func AppendFrameSeq(dst []byte, p *packet.Packet, seq uint64) ([]byte, error) {
+	if seq == 0 {
+		return dst, fmt.Errorf("ingest: sequence 0 is reserved for unsequenced frames")
+	}
+	start := len(dst)
+	dst = append(dst, frameMagic0, frameMagic1, frameVersionSeq,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst, err := packet.AppendWire(dst, p)
+	if err != nil {
+		return dst[:start], err
+	}
+	hdrLen := frameHeaderSize + frameHeaderSeqLen
+	body := dst[start+hdrLen:]
+	binary.BigEndian.PutUint32(dst[start+3:start+7], uint32(len(body)))
+	binary.BigEndian.PutUint32(dst[start+7:start+11], crc32.ChecksumIEEE(body))
+	binary.BigEndian.PutUint64(dst[start+11:start+hdrLen], seq)
+	return dst, nil
+}
+
 // FrameReader decodes framed packets from a byte stream with resync: bad
 // bytes are quarantined and skipped instead of killing the stream.
 type FrameReader struct {
@@ -69,6 +102,7 @@ type FrameReader struct {
 	onQuarantine func()
 	inGarbage    bool
 	quarantined  int
+	lastSeq      uint64
 }
 
 // NewFrameReader wraps r. maxFrame bounds the payload length a header may
@@ -79,11 +113,15 @@ func NewFrameReader(r io.Reader, maxFrame int, onQuarantine func()) *FrameReader
 		maxFrame = DefaultMaxFrame
 	}
 	return &FrameReader{
-		br:           bufio.NewReaderSize(r, frameHeaderSize+maxFrame),
+		br:           bufio.NewReaderSize(r, frameHeaderSize+frameHeaderSeqLen+maxFrame),
 		max:          maxFrame,
 		onQuarantine: onQuarantine,
 	}
 }
+
+// LastSeq returns the delivery sequence carried by the most recent frame
+// Next returned: zero for a version-1 frame, non-zero for version 2.
+func (fr *FrameReader) LastSeq() uint64 { return fr.lastSeq }
 
 // Quarantined returns how many quarantine events the reader has recorded:
 // contiguous runs of garbage, torn frames, CRC mismatches, undecodable
@@ -118,10 +156,15 @@ func (fr *FrameReader) Next() (packet.Packet, error) {
 			}
 			return packet.Packet{}, err
 		}
-		if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 || hdr[2] != frameVersion {
+		if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 ||
+			(hdr[2] != frameVersion && hdr[2] != frameVersionSeq) {
 			fr.quarantine()
 			_, _ = fr.br.Discard(1)
 			continue
+		}
+		hdrLen := frameHeaderSize
+		if hdr[2] == frameVersionSeq {
+			hdrLen += frameHeaderSeqLen
 		}
 		length := int(binary.BigEndian.Uint32(hdr[3:7]))
 		if length == 0 || length > fr.max {
@@ -135,14 +178,25 @@ func (fr *FrameReader) Next() (packet.Packet, error) {
 		// slide the buffer and shift the bytes hdr points at. Everything
 		// needed from the header must be extracted before peeking again.
 		wantCRC := binary.BigEndian.Uint32(hdr[7:11])
-		full, err := fr.br.Peek(frameHeaderSize + length)
+		full, err := fr.br.Peek(hdrLen + length)
 		if err != nil {
 			// Stream over mid-payload: a torn frame.
 			fr.quarantine()
 			_, _ = fr.br.Discard(fr.br.Buffered())
 			return packet.Packet{}, err
 		}
-		body := full[frameHeaderSize:]
+		var seq uint64
+		if hdrLen > frameHeaderSize {
+			seq = binary.BigEndian.Uint64(full[frameHeaderSize:hdrLen])
+			if seq == 0 {
+				// A sequenced frame must carry a real sequence; zero is
+				// the unsequenced sentinel and would corrupt dedup state.
+				fr.quarantine()
+				_, _ = fr.br.Discard(1)
+				continue
+			}
+		}
+		body := full[hdrLen:]
 		if crc32.ChecksumIEEE(body) != wantCRC {
 			fr.quarantine()
 			_, _ = fr.br.Discard(1)
@@ -154,8 +208,9 @@ func (fr *FrameReader) Next() (packet.Packet, error) {
 			_, _ = fr.br.Discard(1)
 			continue
 		}
-		_, _ = fr.br.Discard(frameHeaderSize + length)
+		_, _ = fr.br.Discard(hdrLen + length)
 		fr.inGarbage = false
+		fr.lastSeq = seq
 		return pkt, nil
 	}
 }

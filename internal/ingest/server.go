@@ -119,6 +119,26 @@ type Config struct {
 	// flushed. Hand it to persist.SaveFile under
 	// persist.KindParallelCheckpoint.
 	OnFinalCheckpoint func(snapshot []byte)
+	// NodeCheckpoint, when non-nil, receives quiesced node checkpoints (the
+	// persist.KindNodeCheckpoint payload: delivery-sequence watermark,
+	// engine checkpoint, and pending flows — see EncodeNodeCheckpoint). The
+	// server pauses frame intake, drains admitted packets through the
+	// engine, captures the payload atomically, then calls the hook outside
+	// the pause. A nil return advances the durable ack watermark the STATUS
+	// line reports as acked_seq, which tells a cluster router it may trim
+	// its replay journal up to that sequence.
+	NodeCheckpoint func(payload []byte) error
+	// NodeCheckpointEvery is the interval between periodic node
+	// checkpoints. Zero with NodeCheckpoint set means checkpoints happen
+	// only on demand (CheckpointNow) and at the end of a drain.
+	NodeCheckpointEvery time.Duration
+	// QuiesceTimeout bounds how long a checkpoint or flow export may wait
+	// for in-flight packets to drain before giving up. Zero defaults to 5s.
+	QuiesceTimeout time.Duration
+	// ResumeSeq primes the delivery-sequence dedup watermark from a
+	// restored node checkpoint: replayed frames at or below it are
+	// duplicates whose effects the restored state already contains.
+	ResumeSeq uint64
 	// NodeName identifies this instance on the machine-readable STATUS
 	// line a cluster router consumes. Empty defaults to "node"; the name
 	// must not contain whitespace or '=' (it must survive k=v parsing).
@@ -152,6 +172,15 @@ type Stats struct {
 	// Shed counts packets dropped by backpressure, each accounted to the
 	// fallback queue.
 	Shed int
+	// Deduped counts duplicate sequenced frames (delivery sequence at or
+	// below the watermark) discarded before the engine. Each one is also
+	// counted in Received and Shed, so the conservation law holds.
+	Deduped int
+	// SeenSeq is the highest delivery sequence observed on any frame;
+	// AckedSeq is the watermark covered by the last successful node
+	// checkpoint (equal to SeenSeq when no NodeCheckpoint hook is set —
+	// with nothing to persist, observation is as durable as it gets).
+	SeenSeq, AckedSeq uint64
 	// EngineErrors counts engine.Process errors (strict-mode
 	// classification failures surfaced through the packet path).
 	EngineErrors int
@@ -199,6 +228,20 @@ type Server struct {
 	// on it and share the first call's error.
 	done chan struct{}
 
+	// gate pauses frame intake for a quiesced checkpoint or flow export:
+	// readers hold it shared across the count-dedup-enqueue window of one
+	// frame (never across the blocking frame read), a checkpoint holds it
+	// exclusively while it drains the queues and captures state. processed
+	// counts packets that have fully left the worker queues, so
+	// processed == admitted under the write lock means the engine has seen
+	// everything that was ever enqueued.
+	gate      sync.RWMutex
+	processed atomic.Int64
+
+	// ckptStop ends the periodic checkpoint loop at the start of a drain.
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
+
 	readerWG sync.WaitGroup // connection readers
 	acceptWG sync.WaitGroup // accept loops
 	workerWG sync.WaitGroup // worker slots (spans restarts)
@@ -213,6 +256,9 @@ type Server struct {
 	admitted     int
 	quarantined  int
 	shed         int
+	deduped      int
+	seenSeq      uint64
+	ackedSeq     uint64
 	engineErrors int
 	shutdownErr  error
 	started      bool
@@ -267,13 +313,22 @@ func NewServer(cfg Config) (*Server, error) {
 	if strings.ContainsAny(cfg.NodeName, " \t\n=") {
 		return nil, fmt.Errorf("ingest: node name %q contains whitespace or '='", cfg.NodeName)
 	}
+	if cfg.QuiesceTimeout == 0 {
+		cfg.QuiesceTimeout = 5 * time.Second
+	}
+	if cfg.QuiesceTimeout < 0 {
+		return nil, fmt.Errorf("ingest: negative quiesce timeout %s", cfg.QuiesceTimeout)
+	}
 	s := &Server{
-		cfg:     cfg,
-		queues:  make([]chan item, cfg.Workers),
-		batches: make([]*batchState, cfg.Workers),
-		force:   make(chan struct{}),
-		done:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		queues:   make([]chan item, cfg.Workers),
+		batches:  make([]*batchState, cfg.Workers),
+		force:    make(chan struct{}),
+		done:     make(chan struct{}),
+		ckptStop: make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		seenSeq:  cfg.ResumeSeq,
+		ackedSeq: cfg.ResumeSeq,
 	}
 	for i := range s.batches {
 		s.batches[i] = &batchState{
@@ -319,6 +374,10 @@ func (s *Server) Start() error {
 	if s.cfg.StatusListener != nil {
 		s.statusWG.Add(1)
 		go s.statusLoop(s.cfg.StatusListener)
+	}
+	if s.cfg.NodeCheckpoint != nil && s.cfg.NodeCheckpointEvery > 0 {
+		s.ckptWG.Add(1)
+		go s.checkpointLoop()
 	}
 	s.health.to(StateHealthy)
 	return nil
@@ -402,10 +461,30 @@ func (s *Server) serveConn(c net.Conn) {
 			}
 			return
 		}
+		// The shared gate covers the count-dedup-enqueue window of this one
+		// frame (not the blocking read above), so a quiesced checkpoint sees
+		// every received packet either fully enqueued or not at all.
+		seq := fr.LastSeq()
+		s.gate.RLock()
 		s.mu.Lock()
 		s.received++
+		dup := seq != 0 && seq <= s.seenSeq
+		if dup {
+			// A replayed frame whose effects are already in the node's state:
+			// discard before the engine, accounted as shed so the transport
+			// law (Received == Admitted + Quarantined + Shed) stays exact.
+			s.shed++
+			s.deduped++
+		} else if seq != 0 {
+			s.seenSeq = seq
+		}
 		s.mu.Unlock()
-		if !s.enqueue(pkt, credits) {
+		ok := true
+		if !dup {
+			ok = s.enqueue(pkt, credits)
+		}
+		s.gate.RUnlock()
+		if !ok {
 			return
 		}
 	}
@@ -579,6 +658,7 @@ func (s *Server) runBatch(bs *batchState) {
 	for i := range bs.items {
 		<-bs.items[i].credits
 	}
+	s.processed.Add(int64(len(bs.items)))
 	bs.items = bs.items[:0]
 	bs.next = 0
 }
@@ -587,7 +667,7 @@ func (s *Server) runBatch(bs *batchState) {
 // released even when the hook or engine panics (the panic then unwinds
 // into workerRun's supervisor).
 func (s *Server) processItem(it item) {
-	defer func() { <-it.credits }()
+	defer func() { <-it.credits; s.processed.Add(1) }()
 	if t := int64(it.pkt.Time); t > s.maxSeen.Load() {
 		s.maxSeen.Store(t)
 	}
@@ -623,6 +703,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	s.health.to(StateDraining)
 	var errs []error
+
+	// 0. Stop periodic checkpoints: the drain writes its own final one,
+	// and a quiesce racing the queue close would deadlock.
+	close(s.ckptStop)
+	s.ckptWG.Wait()
 
 	// 1. Stop accepting.
 	for _, l := range s.cfg.Listeners {
@@ -669,6 +754,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.cfg.OnFinalCheckpoint != nil {
 		s.cfg.OnFinalCheckpoint(s.cfg.Engine.ExportCheckpoint())
 	}
+	if s.cfg.NodeCheckpoint != nil {
+		s.mu.Lock()
+		seq := s.seenSeq
+		s.mu.Unlock()
+		payload := EncodeNodeCheckpoint(seq, s.cfg.Engine.ExportCheckpoint(), s.cfg.Engine.ExportPending())
+		if err := s.cfg.NodeCheckpoint(payload); err != nil {
+			errs = append(errs, fmt.Errorf("ingest: final node checkpoint: %w", err))
+		} else {
+			s.mu.Lock()
+			if seq > s.ackedSeq {
+				s.ackedSeq = seq
+			}
+			s.mu.Unlock()
+		}
+	}
 
 	if s.cfg.StatusListener != nil {
 		if err := s.cfg.StatusListener.Close(); err != nil {
@@ -698,7 +798,13 @@ func (s *Server) Stats() Stats {
 		Admitted:     s.admitted,
 		Quarantined:  s.quarantined,
 		Shed:         s.shed,
+		Deduped:      s.deduped,
+		SeenSeq:      s.seenSeq,
+		AckedSeq:     s.ackedSeq,
 		EngineErrors: s.engineErrors,
+	}
+	if s.cfg.NodeCheckpoint == nil {
+		st.AckedSeq = st.SeenSeq
 	}
 	s.mu.Unlock()
 	st.State = s.health.state()
@@ -706,7 +812,9 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// statusLoop serves one plain-text status dump per accepted connection.
+// statusLoop accepts status connections and serves each in its own
+// goroutine (see statusconn.go): a slow flow export must not make health
+// probes queue behind it.
 func (s *Server) statusLoop(l net.Listener) {
 	defer s.statusWG.Done()
 	for {
@@ -714,9 +822,8 @@ func (s *Server) statusLoop(l net.Listener) {
 		if err != nil {
 			return
 		}
-		_ = c.SetDeadline(time.Now().Add(5 * time.Second))
-		_, _ = c.Write([]byte(s.StatusText()))
-		c.Close()
+		s.statusWG.Add(1)
+		go s.serveStatusConn(c)
 	}
 }
 

@@ -46,6 +46,17 @@ type NodeStatus struct {
 	// corpus.Class — the verdict distribution a cluster-wide replay
 	// comparison sums across nodes.
 	Queue [corpus.NumClasses]int
+	// SeenSeq is the highest delivery sequence observed; AckedSeq is the
+	// watermark covered by the last durable node checkpoint. A router
+	// trims its replay journal up to AckedSeq and quiesces a migration
+	// source by waiting for SeenSeq to reach its last sent sequence.
+	SeenSeq, AckedSeq uint64
+	// Deduped counts duplicate sequenced frames discarded before the
+	// engine (also counted in Received and Shed).
+	Deduped int
+	// MigratedIn/MigratedOut count flows that arrived or left via
+	// flow-table migration.
+	MigratedIn, MigratedOut int
 	// CheckpointAge is how long ago the last checkpoint was written, or
 	// NoCheckpoint if none has been.
 	CheckpointAge time.Duration
@@ -68,12 +79,15 @@ func (ns NodeStatus) StatusLine() string {
 		"node=%s state=%s received=%d admitted=%d quarantined=%d shed=%d "+
 		"engine_admitted=%d engine_classified=%d engine_pending=%d "+
 		"engine_fallback=%d engine_shed=%d engine_dropped=%d "+
-		"q_text=%d q_binary=%d q_encrypted=%d checkpoint_age_ms=%d",
+		"q_text=%d q_binary=%d q_encrypted=%d "+
+		"seen_seq=%d acked_seq=%d deduped=%d migrated_in=%d migrated_out=%d "+
+		"checkpoint_age_ms=%d",
 		ns.Node, ns.State,
 		ns.Received, ns.Admitted, ns.Quarantined, ns.Shed,
 		ns.EngineAdmitted, ns.EngineClassified, ns.EnginePending,
 		ns.EngineFallback, ns.EngineShed, ns.EngineDropped,
 		ns.Queue[corpus.Text], ns.Queue[corpus.Binary], ns.Queue[corpus.Encrypted],
+		ns.SeenSeq, ns.AckedSeq, ns.Deduped, ns.MigratedIn, ns.MigratedOut,
 		age)
 }
 
@@ -142,6 +156,16 @@ func ParseStatusLine(doc string) (NodeStatus, error) {
 			ns.Queue[corpus.Binary], err = strconv.Atoi(val)
 		case "q_encrypted":
 			ns.Queue[corpus.Encrypted], err = strconv.Atoi(val)
+		case "seen_seq":
+			ns.SeenSeq, err = strconv.ParseUint(val, 10, 64)
+		case "acked_seq":
+			ns.AckedSeq, err = strconv.ParseUint(val, 10, 64)
+		case "deduped":
+			ns.Deduped, err = strconv.Atoi(val)
+		case "migrated_in":
+			ns.MigratedIn, err = strconv.Atoi(val)
+		case "migrated_out":
+			ns.MigratedOut, err = strconv.Atoi(val)
 		case "checkpoint_age_ms":
 			var ms int64
 			ms, err = strconv.ParseInt(val, 10, 64)
@@ -186,6 +210,11 @@ func (s *Server) nodeStatusFrom(st Stats, es flow.EngineStats) NodeStatus {
 		EngineShed:       es.Shed,
 		EngineDropped:    es.Dropped,
 		Queue:            es.QueueCounts,
+		SeenSeq:          st.SeenSeq,
+		AckedSeq:         st.AckedSeq,
+		Deduped:          st.Deduped,
+		MigratedIn:       es.MigratedIn,
+		MigratedOut:      es.MigratedOut,
 		CheckpointAge:    NoCheckpoint,
 	}
 	if s.cfg.CheckpointTime != nil {

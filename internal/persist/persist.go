@@ -44,6 +44,16 @@ const (
 	// KindParallelCheckpoint is a sharded-engine checkpoint: one
 	// KindCheckpoint payload per shard, shard count pinned.
 	KindParallelCheckpoint Kind = 4
+	// KindNodeCheckpoint is an ingest-node checkpoint: the delivery
+	// sequence watermark covered by the snapshot, the engine's parallel
+	// checkpoint, and the in-flight (pending) flow table, captured under
+	// quiesce so replaying every frame above the watermark reconstructs
+	// the node exactly.
+	KindNodeCheckpoint Kind = 5
+	// KindMigration is a filtered flow-table export (pending flows plus
+	// their classification-database records) moved between live nodes on
+	// a ring rebalance.
+	KindMigration Kind = 6
 )
 
 // String names the kind for errors and logs.
@@ -57,6 +67,10 @@ func (k Kind) String() string {
 		return "checkpoint"
 	case KindParallelCheckpoint:
 		return "parallel-checkpoint"
+	case KindNodeCheckpoint:
+		return "node-checkpoint"
+	case KindMigration:
+		return "migration"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint16(k))
 	}
