@@ -55,7 +55,10 @@ type benchRun struct {
 	Note                 string             `json:"note,omitempty"`
 	AllocImprovement1KiB float64            `json:"alloc_improvement_1kib,omitempty"`
 	Speedups             map[string]float64 `json:"speedups,omitempty"`
-	Results              []benchResult      `json:"results"`
+	// Stream holds the constant-memory mode's footprint and accuracy
+	// measurements (see stream.go); absent in runs that predate it.
+	Stream  *streamReport `json:"stream,omitempty"`
+	Results []benchResult `json:"results"`
 }
 
 // benchFile is the append-only output document (schema v2).
@@ -157,9 +160,9 @@ func vectorEntry(name string, data []byte, legacy bool) benchResult {
 type engineMode int
 
 const (
-	modeSingle engineMode = iota // per-packet Process
-	modeBatch                    // synchronous ProcessBatch
-	modePipelined                // ProcessBatch into shard workers
+	modeSingle    engineMode = iota // per-packet Process
+	modeBatch                       // synchronous ProcessBatch
+	modePipelined                   // ProcessBatch into shard workers
 )
 
 func (m engineMode) String() string {
@@ -204,17 +207,20 @@ func newBenchEnv() (*benchEnv, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &benchEnv{clf: clf, trace: trace}, nil
+	// vectorClf exposes the model's widths so the same environment drives
+	// both the buffered engine and stream mode (which needs a
+	// flow.VectorClassifier).
+	return &benchEnv{clf: vectorClf{clf}, trace: trace}, nil
 }
 
 // replay pumps the trace through a fresh engine in the given mode and
 // returns the wall time. The §6 conservation law is asserted after the
 // final flush: a batched path that loses or duplicates a packet is a
 // wrong answer, not a fast one.
-func (env *benchEnv) replay(shards int, mode engineMode) (time.Duration, error) {
+func (env *benchEnv) replay(shards int, mode engineMode, stream *flow.StreamConfig) (time.Duration, error) {
 	pe, err := flow.NewParallelEngine(flow.EngineConfig{
 		BufferSize: 32, Classifier: env.clf,
-		CDB: flow.CDBConfig{PurgeOnClose: true},
+		CDB: flow.CDBConfig{PurgeOnClose: true}, Stream: stream,
 	}, shards, nil)
 	if err != nil {
 		return 0, err
@@ -284,15 +290,15 @@ func (env *benchEnv) replay(shards int, mode engineMode) (time.Duration, error) 
 
 // engineEntry reports end-to-end flows/sec for one (shards, mode) point of
 // the scaling curve (best of three fresh runs).
-func (env *benchEnv) engineEntry(shards int, mode engineMode) (benchResult, error) {
+func (env *benchEnv) engineEntry(name string, shards int, mode engineMode, stream *flow.StreamConfig) (benchResult, error) {
 	nFlows := len(env.trace.Flows)
 	nPackets := len(env.trace.Packets)
 	best := benchResult{
-		Name:  fmt.Sprintf("flow.ParallelEngine/shards-%d/%s/trace-2000flows", shards, mode),
+		Name:  name,
 		Procs: runtime.GOMAXPROCS(0),
 	}
 	for rep := 0; rep < 3; rep++ {
-		elapsed, err := env.replay(shards, mode)
+		elapsed, err := env.replay(shards, mode, stream)
 		if err != nil {
 			return benchResult{}, err
 		}
@@ -355,7 +361,8 @@ func run(out string, procs int) error {
 	fps := map[string]float64{}
 	for _, shards := range []int{1, 2, 4, 8} {
 		for _, mode := range []engineMode{modeSingle, modeBatch, modePipelined} {
-			entry, err := env.engineEntry(shards, mode)
+			name := fmt.Sprintf("flow.ParallelEngine/shards-%d/%s/trace-2000flows", shards, mode)
+			entry, err := env.engineEntry(name, shards, mode, nil)
 			if err != nil {
 				return err
 			}
@@ -376,6 +383,10 @@ func run(out string, procs int) error {
 			key := fmt.Sprintf("engine_pipelined_shards%d_over_shards1", shards)
 			cur.Speedups[key] = fps[fmt.Sprintf("shards-%d/pipelined", shards)] / base
 		}
+	}
+
+	if err := streamSection(env, &cur, fps["shards-1/single"]); err != nil {
+		return err
 	}
 
 	doc.Runs = append(doc.Runs, cur)

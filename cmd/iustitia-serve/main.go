@@ -32,6 +32,7 @@ import (
 
 	"iustitia"
 	"iustitia/internal/corpus"
+	"iustitia/internal/entest"
 	"iustitia/internal/flow"
 	"iustitia/internal/ingest"
 	"iustitia/internal/persist"
@@ -64,6 +65,11 @@ func run() error {
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-read deadline inside a frame (0 = none)")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "deadline between frames on a connection (0 = none)")
 		maxFrame    = flag.Int("max-frame", 0, "max frame payload bytes a header may declare (0 = default)")
+
+		stream  = flag.Bool("stream", false, "constant-memory stream mode: sketch per-flow entropy instead of buffering b payload bytes")
+		sketch  = flag.String("sketch", "lall", "stream-mode sketch backend: lall (reservoir AMS) | cc (compressed counting)")
+		epsilon = flag.Float64("epsilon", 0.25, "stream-mode relative error bound ε in (0,1)")
+		delta   = flag.Float64("delta", 0.25, "stream-mode failure probability δ in (0,1)")
 
 		maxPending = flag.Int("max-pending", 0, "cap on concurrently buffered flows per shard (0 = unbounded)")
 		evict      = flag.String("evict", "oldest", "policy at the pending cap: oldest|partial|shed")
@@ -128,9 +134,26 @@ func run() error {
 			MaxRecords:    *cdbCap,
 		},
 	}
+	var streamMode string
+	if *stream {
+		kind, err := entest.ParseSketchKind(*sketch)
+		if err != nil {
+			return err
+		}
+		engineCfg.Stream = &flow.StreamConfig{
+			Epsilon: *epsilon,
+			Delta:   *delta,
+			Sketch:  kind,
+		}
+		streamMode = kind.String()
+	}
 	engine, err := flow.NewParallelEngine(engineCfg, *shards, nil)
 	if err != nil {
 		return err
+	}
+	if *stream {
+		fmt.Printf("stream mode: %s sketch, ε=%v δ=%v, %d counters per flow (vs %d buffered bytes)\n",
+			streamMode, *epsilon, *delta, engine.StreamCounters(), *buffer)
 	}
 
 	// Resume from a prior checkpoint when asked. Restore into a throwaway
@@ -224,6 +247,7 @@ func run() error {
 		IdleTimeout:    *idleTimeout,
 		MaxFrame:       *maxFrame,
 		NodeName:       *nodeName,
+		StreamMode:     streamMode,
 		ResumeSeq:      resumeSeq,
 		CheckpointTime: func() time.Time {
 			ckptMu.Lock()

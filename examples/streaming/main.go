@@ -71,23 +71,34 @@ func main() {
 	const budget = 1024
 	const maxActive = 6
 	type flowState struct {
-		vec   *entest.StreamVector
-		seen  int
-		done  bool
-		label iustitia.Class
+		vec     *entest.StreamVector
+		seen    int
+		done    bool
+		labeled bool
+		label   iustitia.Class
 	}
 	flows := make(map[packet.FiveTuple]*flowState)
 	var active []packet.FiveTuple // admission order; oldest first
 	evictions := 0
+	tooShort := 0
 	counters := 0 // per-flow counter cost, sampled from the first vector
 	settle := func(st *flowState) {
-		label, err := clf.ClassifyVector(st.vec.Vector())
+		st.done = true
+		vec, err := st.vec.Vector()
+		st.vec = nil // release the counters: done flows keep only a label
+		if err != nil {
+			// Too few bytes for the widest feature: no honest vector
+			// exists, so the flow stays unlabeled (the buffered path
+			// reports the same entropy.ErrShortSequence here).
+			tooShort++
+			return
+		}
+		label, err := clf.ClassifyVector(vec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		st.label = label
-		st.done = true
-		st.vec = nil // release the counters: done flows keep only a label
+		st.labeled = true
 	}
 	dropDone := func() {
 		kept := active[:0]
@@ -144,7 +155,7 @@ func main() {
 
 	correct, classified := 0, 0
 	for tuple, st := range flows {
-		if !st.done {
+		if !st.labeled {
 			continue
 		}
 		classified++
@@ -152,8 +163,8 @@ func main() {
 			correct++
 		}
 	}
-	fmt.Printf("streamed classification: %d flows labeled, %.1f%% ground-truth accuracy\n",
-		classified, 100*float64(correct)/float64(max(1, classified)))
+	fmt.Printf("streamed classification: %d flows labeled (%d too short to vector), %.1f%% ground-truth accuracy\n",
+		classified, tooShort, 100*float64(correct)/float64(max(1, classified)))
 	fmt.Printf("per-flow state: %d counters (vs %d bytes of buffered payload)\n",
 		counters, budget)
 	fmt.Printf("bounded state: ≤%d concurrent flows held counters; %d flows early-classified at the cap\n",

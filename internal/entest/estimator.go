@@ -27,13 +27,20 @@ import (
 )
 
 // Estimator estimates entropy vectors with the (δ,ε)-approximation
-// algorithm. An Estimator owns a deterministic random source for its
-// sampled buffer locations and is therefore not safe for concurrent use;
-// create one per goroutine (they are cheap).
+// algorithm. An Estimator derives a deterministic random stream per
+// (call, width) pair for its sampled buffer locations — so the same width
+// samples the same locations no matter what other widths were estimated
+// before it — and is not safe for concurrent use; create one per
+// goroutine (they are cheap).
 type Estimator struct {
 	epsilon float64
 	delta   float64
-	rng     *rand.Rand
+	seed    int64
+	// calls counts EstimateS invocations per width: the i-th call for
+	// width k always draws from the stream derived from (seed, k, i),
+	// independent of interleaved calls for other widths. Repeated calls
+	// for one width still get fresh independent samples.
+	calls map[int]uint64
 }
 
 // New returns an Estimator with relative error at most epsilon with
@@ -49,7 +56,8 @@ func New(epsilon, delta float64, seed int64) (*Estimator, error) {
 	return &Estimator{
 		epsilon: epsilon,
 		delta:   delta,
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		calls:   make(map[int]uint64),
 	}, nil
 }
 
@@ -100,7 +108,10 @@ func (e *Estimator) Counters(widths []int, b int) int {
 }
 
 // EstimateS estimates S_k = Σ m_ik·log2(m_ik) over the k-gram stream of
-// data using g·z sampled locations. len(data) must be at least k.
+// data using g·z sampled locations. len(data) must be at least k. The
+// sampled locations come from a stream derived per (call, width), so
+// Vector([2,3]) and Vector([3,2]) agree width for width, and repeated
+// calls for one width draw fresh independent samples.
 func (e *Estimator) EstimateS(data []byte, k int) (float64, error) {
 	if k <= 0 {
 		return 0, fmt.Errorf("entest: element width %d is not positive", k)
@@ -108,6 +119,9 @@ func (e *Estimator) EstimateS(data []byte, k int) (float64, error) {
 	if len(data) < k {
 		return 0, entropy.ErrShortSequence
 	}
+	call := e.calls[k]
+	e.calls[k] = call + 1
+	rng := rand.New(rand.NewSource(deriveSeed(e.seed, k, call)))
 	n := len(data) - k + 1 // number of k-gram elements in the stream
 	g := e.Groups()
 	z := e.CountersPerGroup(k, len(data))
@@ -119,7 +133,7 @@ func (e *Estimator) EstimateS(data []byte, k int) (float64, error) {
 			// Pick a random location, take the element there, and count
 			// its occurrences from that location to the end of the
 			// stream (AMS downstream counting).
-			loc := e.rng.Intn(n)
+			loc := rng.Intn(n)
 			elem := data[loc : loc+k]
 			c := 0
 			for i := loc; i < n; i++ {

@@ -1,0 +1,40 @@
+package entest
+
+// prng is a tiny splitmix64 generator. The sketches use it instead of
+// math/rand because its entire state is one word, so a mid-flow sketch —
+// generator included — can round-trip through a checkpoint byte for byte
+// and resume with exactly the reservoir decisions it would have made
+// uninterrupted.
+type prng struct{ state uint64 }
+
+// newPRNG seeds a generator. Equal seeds produce equal sequences.
+func newPRNG(seed int64) prng { return prng{state: uint64(seed)} }
+
+// next returns the next 64 random bits (splitmix64).
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	return mix64(p.state)
+}
+
+// float64 returns a uniform value in [0, 1) with 53 random bits.
+func (p *prng) float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap stateless bijective mixer,
+// also used to derive hash-row seeds and per-width sampling streams.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// deriveSeed folds (seed, width, call) into an independent stream seed, so
+// the buffered Estimator can give every (call, width) pair its own
+// deterministic sampling sequence regardless of call order.
+func deriveSeed(seed int64, k int, call uint64) int64 {
+	p := prng{state: uint64(seed)}
+	p.state += uint64(k) * 0xBF58476D1CE4E5B9
+	p.state += call * 0x94D049BB133111EB
+	return int64(p.next())
+}

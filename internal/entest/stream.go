@@ -3,11 +3,100 @@ package entest
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"iustitia/internal/entropy"
 	"iustitia/internal/stats"
 )
+
+// winMode selects how a kgramWin represents the trailing k-1 bytes.
+type winMode uint8
+
+const (
+	winPacked winMode = iota // k <= entropy.MaxPackedWidth: one-word register
+	winWide                  // k <= entropy.MaxWidePackedWidth: two-word register
+	winString                // wider: explicit byte window
+)
+
+// kgramWin is the rolling k-gram window shared by every sketch backend:
+// it folds one byte at a time and reports when a full element has formed.
+// For packed modes the element is the (regHi, reg) pair; for string mode
+// it is buf, and the caller must slide() after consuming it.
+type kgramWin struct {
+	k      int
+	mode   winMode
+	reg    uint64
+	regHi  uint64
+	mask   uint64
+	hiMask uint64
+	filled int // bytes folded so far, capped at k-1
+	buf    []byte
+}
+
+// newKgramWin builds a window for element width k (k >= 2).
+func newKgramWin(k int) kgramWin {
+	w := kgramWin{k: k}
+	switch {
+	case k <= entropy.MaxPackedWidth:
+		w.mode = winPacked
+		if k == 8 {
+			w.mask = ^uint64(0)
+		} else {
+			w.mask = 1<<(8*k) - 1
+		}
+	case k <= entropy.MaxWidePackedWidth:
+		w.mode = winWide
+		if k == 16 {
+			w.hiMask = ^uint64(0)
+		} else {
+			w.hiMask = 1<<(8*(k-8)) - 1
+		}
+	default:
+		w.mode = winString
+		w.buf = make([]byte, 0, k-1)
+	}
+	return w
+}
+
+// push folds one byte and reports whether a full element is now formed.
+func (w *kgramWin) push(b byte) bool {
+	switch w.mode {
+	case winPacked:
+		w.reg = (w.reg<<8 | uint64(b)) & w.mask
+		if w.filled < w.k-1 {
+			w.filled++
+			return false
+		}
+		return true
+	case winWide:
+		// The byte leaving the low word becomes the youngest byte of the
+		// high word; the low word needs no mask at full width.
+		w.regHi = (w.regHi<<8 | w.reg>>56) & w.hiMask
+		w.reg = w.reg<<8 | uint64(b)
+		if w.filled < w.k-1 {
+			w.filled++
+			return false
+		}
+		return true
+	default:
+		w.buf = append(w.buf, b)
+		return len(w.buf) == w.k
+	}
+}
+
+// slide drops the oldest byte of a string-mode window after its element
+// has been consumed.
+func (w *kgramWin) slide() {
+	copy(w.buf, w.buf[1:])
+	w.buf = w.buf[:w.k-1]
+}
+
+// reset clears the window for a new stream.
+func (w *kgramWin) reset() {
+	w.reg = 0
+	w.regHi = 0
+	w.filled = 0
+	w.buf = w.buf[:0]
+}
 
 // StreamEstimator is the one-pass form of the (δ,ε)-approximation: it
 // consumes a byte stream incrementally — packet by packet, the way a
@@ -15,11 +104,17 @@ import (
 // point without ever buffering the stream.
 //
 // Each of its g·z slots independently samples a uniform stream position by
-// reservoir sampling (when the m-th element arrives, a slot adopts it with
-// probability 1/m) and counts occurrences of its sampled element from that
-// position onward; b·(c·log c − (c−1)·log(c−1)) is then the standard AMS
-// unbiased estimator, combined by mean-within-group and median-of-groups,
-// exactly as in the buffered Estimator.
+// reservoir sampling and counts occurrences of its sampled element from
+// that position onward; n·(c·log c − (c−1)·log(c−1)) is then the standard
+// AMS unbiased estimator, combined by mean-within-group and
+// median-of-groups, exactly as in the buffered Estimator.
+//
+// Rather than drawing a random number per slot per element (g·z draws per
+// byte), each slot draws its next adoption position geometrically: after
+// adopting at position n, the slot next adopts at ⌊n/u⌋+1 with u uniform
+// on (0,1], which satisfies the reservoir law P(next > m) = n/m exactly.
+// The expected number of draws over a whole stream is g·z·ln(n) total,
+// not g·z·n.
 //
 // A StreamEstimator is not safe for concurrent use.
 type StreamEstimator struct {
@@ -29,35 +124,26 @@ type StreamEstimator struct {
 
 	n int // elements seen so far
 
-	// Packed-window state for k <= entropy.MaxPackedWidth: the trailing
-	// bytes live in a rolling shift-and-mask register, so forming the next
-	// element is two ALU ops and zero allocations per byte. Widths up to
-	// entropy.MaxWidePackedWidth keep the trailing bytes in a two-word
-	// register instead (regHi holds the oldest k-8 bytes): still
-	// allocation-free, a couple more ALU ops per byte.
-	packed     bool
-	widePacked bool
-	reg        uint64
-	regHi      uint64
-	mask       uint64
-	hiMask     uint64
-	filled     int // bytes folded into the register so far, capped at k-1
-
-	// String-window fallback for wider elements.
-	window []byte // trailing k-1 bytes, to form k-grams across Write calls
-
-	rng *rand.Rand
+	win  kgramWin
+	seed int64
+	rng  prng
 }
 
 // streamSlot is one reservoir sample: the element adopted at the sampled
-// position (a one- or two-word packed key or a string, per the estimator's
-// mode) and the count of its occurrences since.
+// position (a one- or two-word packed key or a string, per the window
+// mode), the count of its occurrences since, and the element index at
+// which the slot will next adopt.
 type streamSlot struct {
 	key   uint64
 	hi    uint64
 	elem  string
 	count int
+	next  int
 }
+
+// maxSkip caps a slot's next-adoption index so the ⌊n/u⌋ draw cannot
+// overflow when u is vanishingly small.
+const maxSkip = 1 << 62
 
 // NewStream builds a one-pass estimator for element width k. The counter
 // budget z is sized from expectedLen (the anticipated stream length, e.g.
@@ -81,28 +167,18 @@ func NewStream(epsilon, delta float64, k, expectedLen int, seed int64) (*StreamE
 		g:     g,
 		z:     z,
 		slots: make([]streamSlot, g*z),
-		rng:   rand.New(rand.NewSource(seed)),
+		win:   newKgramWin(k),
+		seed:  seed,
+		rng:   newPRNG(seed),
 	}
-	switch {
-	case k <= entropy.MaxPackedWidth:
-		s.packed = true
-		if k == 8 {
-			s.mask = ^uint64(0)
-		} else {
-			s.mask = 1<<(8*k) - 1
-		}
-	case k <= entropy.MaxWidePackedWidth:
-		s.widePacked = true
-		if k == 16 {
-			s.hiMask = ^uint64(0)
-		} else {
-			s.hiMask = 1<<(8*(k-8)) - 1
-		}
-	default:
-		s.window = make([]byte, 0, k-1)
+	for i := range s.slots {
+		s.slots[i].next = 1 // every slot adopts the first element
 	}
 	return s, nil
 }
+
+// Width returns the element width k.
+func (s *StreamEstimator) Width() int { return s.k }
 
 // Counters returns the number of sampled counters (g·z) the estimator
 // maintains — its memory footprint in counter units.
@@ -111,98 +187,68 @@ func (s *StreamEstimator) Counters() int { return len(s.slots) }
 // Elements returns how many k-gram elements have been consumed.
 func (s *StreamEstimator) Elements() int { return s.n }
 
+// Ready reports whether at least one full element has been consumed, i.e.
+// whether EstimateS/EstimateH are meaningful yet. A k-wide estimator is
+// unready until k bytes have streamed.
+func (s *StreamEstimator) Ready() bool { return s.n > 0 }
+
 // Write consumes the next chunk of the stream. It implements io.Writer and
 // never fails.
 func (s *StreamEstimator) Write(p []byte) (int, error) {
-	if s.packed {
+	if s.win.mode == winString {
 		for _, b := range p {
-			s.reg = (s.reg<<8 | uint64(b)) & s.mask
-			if s.filled < s.k-1 {
-				s.filled++
+			if !s.win.push(b) {
 				continue
 			}
-			s.consumePacked(s.reg)
-		}
-		return len(p), nil
-	}
-	if s.widePacked {
-		for _, b := range p {
-			// The byte leaving the low word becomes the youngest byte of
-			// the high word; the low word needs no mask at full width.
-			s.regHi = (s.regHi<<8 | s.reg>>56) & s.hiMask
-			s.reg = s.reg<<8 | uint64(b)
-			if s.filled < s.k-1 {
-				s.filled++
-				continue
-			}
-			s.consumeWide(s.regHi, s.reg)
+			s.consumeKey(0, 0, string(s.win.buf))
+			s.win.slide()
 		}
 		return len(p), nil
 	}
 	for _, b := range p {
-		s.window = append(s.window, b)
-		if len(s.window) < s.k {
+		if !s.win.push(b) {
 			continue
 		}
-		s.consume(string(s.window))
-		// Slide the window by one byte.
-		copy(s.window, s.window[1:])
-		s.window = s.window[:s.k-1]
+		// regHi is always 0 in single-word mode, so one consume path
+		// serves both packed representations.
+		s.consumeKey(s.win.regHi, s.win.reg, "")
 	}
 	return len(p), nil
 }
 
-// consumePacked feeds one packed element to every reservoir slot. It is
-// the allocation-free twin of consume; the reservoir decisions draw from
-// the same rng sequence, so packed and string modes produce identical
-// estimates for identical streams.
-func (s *StreamEstimator) consumePacked(key uint64) {
+// consumeKey feeds one element to every reservoir slot. All window modes
+// funnel through here: packed modes pass the register pair with an empty
+// elem, string mode passes (0, 0, elem), so a single equality test works
+// for every representation and all modes draw identical reservoir
+// decisions for identical streams.
+func (s *StreamEstimator) consumeKey(hi, lo uint64, elem string) {
 	s.n++
+	n := s.n
 	for i := range s.slots {
-		// Reservoir: adopt the current position with probability 1/n.
-		if s.rng.Intn(s.n) == 0 {
-			s.slots[i] = streamSlot{key: key, count: 1}
+		sl := &s.slots[i]
+		if n >= sl.next {
+			sl.key, sl.hi, sl.elem, sl.count = lo, hi, elem, 1
+			sl.next = s.nextAdoption(n)
 			continue
 		}
 		// count > 0 distinguishes an adopted zero key from an empty slot.
-		if s.slots[i].count > 0 && s.slots[i].key == key {
-			s.slots[i].count++
-		}
-	}
-}
-
-// consumeWide feeds one two-word packed element to every reservoir slot.
-// It draws from the same rng sequence as the other consume variants, so
-// all three modes produce identical estimates for identical streams.
-func (s *StreamEstimator) consumeWide(hi, lo uint64) {
-	s.n++
-	for i := range s.slots {
-		// Reservoir: adopt the current position with probability 1/n.
-		if s.rng.Intn(s.n) == 0 {
-			s.slots[i] = streamSlot{key: lo, hi: hi, count: 1}
-			continue
-		}
-		sl := &s.slots[i]
-		if sl.count > 0 && sl.key == lo && sl.hi == hi {
+		if sl.count > 0 && sl.key == lo && sl.hi == hi && sl.elem == elem {
 			sl.count++
 		}
 	}
 }
 
-// consume feeds one element to every reservoir slot (string-window mode,
-// k > entropy.MaxWidePackedWidth).
-func (s *StreamEstimator) consume(elem string) {
-	s.n++
-	for i := range s.slots {
-		// Reservoir: adopt the current position with probability 1/n.
-		if s.rng.Intn(s.n) == 0 {
-			s.slots[i] = streamSlot{elem: elem, count: 1}
-			continue
-		}
-		if s.slots[i].count > 0 && s.slots[i].elem == elem {
-			s.slots[i].count++
-		}
+// nextAdoption draws the element index at which a slot adopts again, given
+// it just adopted at index n. The reservoir law requires P(next > m) = n/m
+// for every m >= n; next = ⌊n/u⌋+1 with u uniform on (0,1] satisfies it by
+// inverse-transform sampling: P(⌊n/u⌋+1 > m) = P(u <= n/m) = n/m.
+func (s *StreamEstimator) nextAdoption(n int) int {
+	u := 1 - s.rng.float64() // uniform on (0, 1]
+	next := math.Floor(float64(n)/u) + 1
+	if next > maxSkip {
+		return maxSkip
 	}
+	return int(next)
 }
 
 // EstimateS returns the current estimate of S_k = Σ m_ik·log2(m_ik) over
@@ -227,44 +273,56 @@ func (s *StreamEstimator) EstimateH() float64 {
 	return entropy.NormalizeS(s.EstimateS(), s.n, s.k)
 }
 
-// Reset clears all state so the estimator can be reused for a new flow
-// without reallocating its counters.
+// Reset clears all state — generator included — so the estimator can be
+// reused for a new flow without reallocating its counters. A reset
+// estimator produces bit-identical estimates to a freshly constructed one.
 func (s *StreamEstimator) Reset() {
 	for i := range s.slots {
-		s.slots[i] = streamSlot{}
+		s.slots[i] = streamSlot{next: 1}
 	}
 	s.n = 0
-	s.reg = 0
-	s.regHi = 0
-	s.filled = 0
-	s.window = s.window[:0]
+	s.win.reset()
+	s.rng = newPRNG(s.seed)
 }
 
 // StreamVector tracks a full entropy vector online: an exact byte
-// histogram for h_1 (estimation is invalid at |f_1| = 256) plus one
-// StreamEstimator per wider feature. It is the classification-module front
-// end a router would run per flow when even the b-byte buffer is too much
-// state.
+// histogram for h_1 (estimation is invalid at |f_1| = 256) plus one Sketch
+// per wider feature. It is the classification-module front end a router
+// runs per flow when even the b-byte buffer is too much state.
 type StreamVector struct {
+	kind    SketchKind
 	widths  []int
 	h1      [256]int
-	n1      int
-	wide    []*StreamEstimator
+	n1      int // total bytes consumed
+	wide    []Sketch
 	wideIdx []int // positions of estimated widths within widths
 }
 
 // NewStreamVector builds an online entropy-vector tracker for the given
-// feature widths (width 1 is tracked exactly).
+// feature widths (width 1 is tracked exactly) using the default Lall
+// reservoir backend. Use NewStreamVectorConfig to select a backend.
 func NewStreamVector(epsilon, delta float64, widths []int, expectedLen int, seed int64) (*StreamVector, error) {
-	if len(widths) == 0 {
+	return NewStreamVectorConfig(StreamConfig{
+		Epsilon:     epsilon,
+		Delta:       delta,
+		Widths:      widths,
+		ExpectedLen: expectedLen,
+		Seed:        seed,
+	})
+}
+
+// NewStreamVectorConfig builds an online entropy-vector tracker from a
+// full configuration, including the sketch backend.
+func NewStreamVectorConfig(cfg StreamConfig) (*StreamVector, error) {
+	if len(cfg.Widths) == 0 {
 		return nil, fmt.Errorf("entest: no feature widths")
 	}
-	v := &StreamVector{widths: append([]int{}, widths...)}
-	for i, k := range widths {
+	v := &StreamVector{kind: cfg.Kind, widths: append([]int{}, cfg.Widths...)}
+	for i, k := range cfg.Widths {
 		if k == 1 {
 			continue
 		}
-		est, err := NewStream(epsilon, delta, k, expectedLen, seed+int64(i))
+		est, err := NewSketch(cfg.Kind, cfg.Epsilon, cfg.Delta, k, cfg.ExpectedLen, cfg.Seed+int64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -274,10 +332,19 @@ func NewStreamVector(epsilon, delta float64, widths []int, expectedLen int, seed
 	return v, nil
 }
 
+// Kind returns the sketch backend the vector's wide widths use.
+func (v *StreamVector) Kind() SketchKind { return v.kind }
+
+// Widths returns a copy of the construction widths.
+func (v *StreamVector) Widths() []int { return append([]int{}, v.widths...) }
+
+// Bytes returns how many payload bytes have been consumed.
+func (v *StreamVector) Bytes() int { return v.n1 }
+
 // Write consumes the next chunk of the flow. It implements io.Writer and
-// never fails: StreamEstimator.Write cannot return an error, so every
-// estimator and the h_1 histogram always advance together over all of p
-// (the io.Writer contract — n == len(p) with a nil error).
+// never fails: Sketch writes cannot return an error, so every sketch and
+// the h_1 histogram always advance together over all of p (the io.Writer
+// contract — n == len(p) with a nil error).
 func (v *StreamVector) Write(p []byte) (int, error) {
 	for _, b := range p {
 		v.h1[b]++
@@ -289,9 +356,30 @@ func (v *StreamVector) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// Ready reports whether every width has consumed at least one element —
+// i.e. whether Vector can produce a meaningful estimate. A k-wide feature
+// is unready until k bytes have streamed.
+func (v *StreamVector) Ready() bool {
+	if v.n1 == 0 {
+		return false
+	}
+	for _, est := range v.wide {
+		if !est.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
 // Vector returns the current entropy-vector estimate, ordered like the
-// construction widths.
-func (v *StreamVector) Vector() []float64 {
+// construction widths. If any width has not yet consumed a full element it
+// returns entropy.ErrShortSequence, matching the exact path's behaviour on
+// short payloads — a silent all-zero h_k for an unready width would feed
+// fabricated features to a classifier.
+func (v *StreamVector) Vector() ([]float64, error) {
+	if !v.Ready() {
+		return nil, entropy.ErrShortSequence
+	}
 	out := make([]float64, len(v.widths))
 	for i, k := range v.widths {
 		if k == 1 {
@@ -301,7 +389,7 @@ func (v *StreamVector) Vector() []float64 {
 	for j, est := range v.wide {
 		out[v.wideIdx[j]] = est.EstimateH()
 	}
-	return out
+	return out, nil
 }
 
 // exactH1 computes h_1 from the running byte histogram.
@@ -333,7 +421,8 @@ func (v *StreamVector) Counters() int {
 	return total
 }
 
-// Reset clears all state for reuse on a new flow.
+// Reset clears all state for reuse on a new flow. Like the sketches' own
+// Reset, a reset vector is bit-identical to a freshly constructed one.
 func (v *StreamVector) Reset() {
 	v.h1 = [256]int{}
 	v.n1 = 0

@@ -1,6 +1,7 @@
 package entest
 
 import (
+	"errors"
 	"io"
 	"math"
 	"math/rand"
@@ -174,7 +175,10 @@ func TestStreamVector(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	vec := v.Vector()
+	vec, err := v.Vector()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(vec) != len(widths) {
 		t.Fatalf("vector length = %d, want %d", len(vec), len(widths))
 	}
@@ -205,11 +209,17 @@ func TestStreamVectorReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	v.Reset()
-	vec := v.Vector()
-	for i, h := range vec {
-		if h != 0 {
-			t.Errorf("vec[%d] after Reset = %v", i, h)
-		}
+	if v.Ready() {
+		t.Error("Ready after Reset = true, want false")
+	}
+	if _, err := v.Vector(); !errors.Is(err, entropy.ErrShortSequence) {
+		t.Errorf("Vector after Reset: err = %v, want ErrShortSequence", err)
+	}
+	if _, err := v.Write([]byte("abcabcabc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Vector(); err != nil {
+		t.Errorf("Vector after reuse: %v", err)
 	}
 }
 
@@ -319,8 +329,8 @@ func TestStreamVectorWriteContract(t *testing.T) {
 		t.Errorf("h_1 byte accounting = %d, want %d", v.n1, len(data))
 	}
 	for _, est := range v.wide {
-		if want := len(data) - est.k + 1; est.Elements() != want {
-			t.Errorf("k=%d estimator consumed %d elements, want %d", est.k, est.Elements(), want)
+		if want := len(data) - est.Width() + 1; est.Elements() != want {
+			t.Errorf("k=%d estimator consumed %d elements, want %d", est.Width(), est.Elements(), want)
 		}
 	}
 }
@@ -341,7 +351,7 @@ func TestStreamWidePackedMatchesStringWindow(t *testing.T) {
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
-		if !wide.widePacked {
+		if wide.win.mode != winWide {
 			t.Fatalf("k=%d estimator not wide-packed", k)
 		}
 		str, err := NewStream(0.3, 0.5, k, len(data), 77)
@@ -349,8 +359,7 @@ func TestStreamWidePackedMatchesStringWindow(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Force the string-window fallback to serve as the oracle.
-		str.packed, str.widePacked = false, false
-		str.window = make([]byte, 0, k-1)
+		str.win = kgramWin{k: k, mode: winString, buf: make([]byte, 0, k-1)}
 		for i := 0; i < len(data); i += 13 {
 			end := i + 13
 			if end > len(data) {
@@ -369,25 +378,28 @@ func TestStreamWidePackedMatchesStringWindow(t *testing.T) {
 }
 
 // TestStreamWriteAllocFree asserts the packed hot paths — single-word and
-// two-word registers — allocate nothing per Write call.
+// two-word registers, on both sketch backends — allocate nothing per Write
+// call. This is the alloc-regression gate `make check` runs without -race.
 func TestStreamWriteAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are skewed under the race detector")
 	}
 	chunk := make([]byte, 256)
 	rand.New(rand.NewSource(4)).Read(chunk)
-	for _, k := range []int{5, 9, 12, 16} {
-		s, err := NewStream(0.3, 0.5, k, 4096, 3)
-		if err != nil {
-			t.Fatal(err)
-		}
-		allocs := testing.AllocsPerRun(20, func() {
-			if _, err := s.Write(chunk); err != nil {
+	for _, kind := range []SketchKind{SketchLall, SketchCC} {
+		for _, k := range []int{5, 9, 12, 16} {
+			s, err := NewSketch(kind, 0.3, 0.5, k, 4096, 3)
+			if err != nil {
 				t.Fatal(err)
 			}
-		})
-		if allocs != 0 {
-			t.Errorf("k=%d: packed StreamEstimator.Write allocs/op = %v, want 0", k, allocs)
+			allocs := testing.AllocsPerRun(20, func() {
+				if _, err := s.Write(chunk); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s k=%d: packed Write allocs/op = %v, want 0", kind, k, allocs)
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"iustitia/internal/appheader"
 	"iustitia/internal/corpus"
+	"iustitia/internal/entest"
 	"iustitia/internal/packet"
 )
 
@@ -27,6 +28,39 @@ type ClassifierFunc func(payload []byte) (corpus.Class, error)
 // Classify implements Classifier.
 func (f ClassifierFunc) Classify(payload []byte) (corpus.Class, error) { return f(payload) }
 
+// VectorClassifier is the classifier surface stream mode needs: besides
+// labelling raw payloads it can label an already-computed entropy vector
+// and declares which feature widths that vector must carry.
+// *iustitia.Classifier implements it.
+type VectorClassifier interface {
+	Classifier
+	// FeatureWidths returns the element widths of the model's feature
+	// vector, in feature order.
+	FeatureWidths() []int
+	// ClassifyVector labels an entropy vector laid out per FeatureWidths.
+	ClassifyVector(vec []float64) (corpus.Class, error)
+}
+
+// StreamConfig switches the engine to constant-memory stream
+// classification: per-flow state becomes an entest.StreamVector sketch
+// (g·z counters) instead of the b-byte payload buffer. Classification
+// fires on the same triggers — b payload bytes consumed, idle flush, or
+// teardown — but from the sketch's entropy vector, so resident bytes per
+// pending flow are bounded by the counter budget no matter how large b is.
+// The engine's Classifier must implement VectorClassifier.
+type StreamConfig struct {
+	// Epsilon and Delta are the (δ,ε)-approximation parameters sizing the
+	// per-flow counter budget.
+	Epsilon float64
+	Delta   float64
+	// Sketch selects the per-width backend (default entest.SketchLall).
+	Sketch entest.SketchKind
+	// Seed drives the sketches' sampling streams. It is engine-wide — every
+	// shard of a ParallelEngine uses the same value — so a sketch exported
+	// by one shard restores bit-exactly on any other.
+	Seed int64
+}
+
 // EngineConfig assembles an online flow-classification engine.
 type EngineConfig struct {
 	// BufferSize is b: payload bytes buffered per new flow before its
@@ -36,6 +70,10 @@ type EngineConfig struct {
 	Classifier Classifier
 	// CDB tunes the classification database.
 	CDB CDBConfig
+	// Stream, when non-nil, replaces per-flow payload buffering with
+	// constant-memory sketching (see StreamConfig). Requires Classifier to
+	// implement VectorClassifier.
+	Stream *StreamConfig
 	// StripKnownHeaders removes recognized application-layer headers
 	// (HTTP/SMTP/POP3/IMAP/FTP) from the head of a flow before buffering.
 	StripKnownHeaders bool
@@ -104,9 +142,16 @@ type Verdict struct {
 	Fallback bool
 }
 
-// pending is a flow still filling its buffer.
+// pending is a flow still filling its buffer — or, in stream mode, still
+// feeding its sketch (buf stays nil; sv and seen carry the flow's state).
 type pending struct {
-	buf        []byte
+	buf []byte
+	// sv is the flow's constant-memory sketch (stream mode only),
+	// allocated lazily on the first buffered payload byte.
+	sv *entest.StreamVector
+	// seen counts payload bytes consumed into sv, playing buf's length
+	// role for the classification trigger.
+	seen       int
 	skipLeft   int
 	checkedHdr bool
 	// headerCont is set when a recognized HTTP header did not finish
@@ -123,6 +168,11 @@ type pending struct {
 	// O(1) eviction of the least-recently-active flow at MaxPending.
 	elem *list.Element
 }
+
+// hasData reports whether the flow has consumed any payload — buffered
+// bytes in exact mode, sketched bytes in stream mode. Flows without data
+// are dropped rather than classified at flush and eviction.
+func (fl *pending) hasData() bool { return len(fl.buf) > 0 || fl.seen > 0 }
 
 // maxHeaderSpan caps how many bytes a multi-packet application header may
 // consume before the engine gives up and buffers raw payload.
@@ -143,6 +193,11 @@ type FillStats struct {
 type Engine struct {
 	cfg EngineConfig
 	cdb *CDB
+
+	// Stream mode (immutable after NewEngine): the vector-capable view of
+	// cfg.Classifier and the assembled per-flow sketch configuration.
+	vclf VectorClassifier
+	scfg entest.StreamConfig
 
 	mu       sync.Mutex
 	rng      *rand.Rand // guarded by mu; drives random-skip draws
@@ -209,10 +264,46 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		pend: make(map[ID]*pending),
 		lru:  list.New(),
 	}
+	if cfg.Stream != nil {
+		vclf, ok := cfg.Classifier.(VectorClassifier)
+		if !ok {
+			return nil, fmt.Errorf("flow: stream mode needs a VectorClassifier, %T does not implement it", cfg.Classifier)
+		}
+		e.vclf = vclf
+		e.scfg = entest.StreamConfig{
+			Epsilon:     cfg.Stream.Epsilon,
+			Delta:       cfg.Stream.Delta,
+			Widths:      vclf.FeatureWidths(),
+			ExpectedLen: cfg.BufferSize,
+			Seed:        cfg.Stream.Seed,
+			Kind:        cfg.Stream.Sketch,
+		}
+		// Probe the configuration now so a bad (ε, δ, widths) combination
+		// fails at construction, not on the first flow's packet.
+		if _, err := entest.NewStreamVectorConfig(e.scfg); err != nil {
+			return nil, fmt.Errorf("flow: stream mode: %w", err)
+		}
+	}
 	if cfg.LabelCap >= 0 {
 		e.labelled = make(map[ID]corpus.Class)
 	}
 	return e, nil
+}
+
+// streaming reports whether the engine runs in constant-memory stream mode.
+func (e *Engine) streaming() bool { return e.cfg.Stream != nil }
+
+// StreamCounters returns the per-flow counter budget of stream mode (the
+// resident state replacing the b-byte buffer), or 0 for a buffered engine.
+func (e *Engine) StreamCounters() int {
+	if !e.streaming() {
+		return 0
+	}
+	sv, err := entest.NewStreamVectorConfig(e.scfg)
+	if err != nil {
+		return 0
+	}
+	return sv.Counters()
 }
 
 // CDB exposes the engine's classification database for inspection.
@@ -323,6 +414,31 @@ func (e *Engine) processData(id ID, p *packet.Packet) (Verdict, error) {
 		fl.skipLeft = 0
 	}
 
+	if e.streaming() {
+		// Constant-memory path: payload streams into the sketch and is
+		// gone — only the counters and the byte tally persist.
+		need := e.cfg.BufferSize - fl.seen
+		if len(payload) > need {
+			payload = payload[:need]
+		}
+		if len(payload) > 0 {
+			if fl.sv == nil {
+				sv, err := entest.NewStreamVectorConfig(e.scfg)
+				if err != nil {
+					// Unreachable: the config was probed at NewEngine.
+					return Verdict{}, fmt.Errorf("flow: stream sketch: %w", err)
+				}
+				fl.sv = sv
+			}
+			fl.sv.Write(payload)
+			fl.seen += len(payload)
+		}
+		if fl.seen < e.cfg.BufferSize {
+			return Verdict{}, nil
+		}
+		return e.classifyLocked(id, fl, p.Time)
+	}
+
 	need := e.cfg.BufferSize - len(fl.buf)
 	if len(payload) > need {
 		payload = payload[:need]
@@ -385,7 +501,14 @@ func (e *Engine) retireLocked(id ID, fl *pending) {
 // re-classified on each subsequent packet. Caller holds e.mu.
 func (e *Engine) classifyLocked(id ID, fl *pending, now time.Duration) (Verdict, error) {
 	e.retireLocked(id, fl)
-	label, fellBack, err := e.decideLocked(fl.buf)
+	var label corpus.Class
+	var fellBack bool
+	var err error
+	if e.streaming() {
+		label, fellBack, err = e.decideStreamLocked(fl.sv)
+	} else {
+		label, fellBack, err = e.decideLocked(fl.buf)
+	}
 	if err != nil {
 		e.dropped++
 		return Verdict{}, fmt.Errorf("flow: classify: %w", err)
@@ -439,7 +562,7 @@ func (e *Engine) flush(due func(*pending) bool, now time.Duration) (int, error) 
 		if !due(fl) {
 			continue
 		}
-		if len(fl.buf) == 0 {
+		if !fl.hasData() {
 			e.retireLocked(id, fl)
 			e.dropped++
 			continue

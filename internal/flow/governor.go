@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"iustitia/internal/corpus"
+	"iustitia/internal/entest"
 )
 
 // This file is the engine's resource governor: the policies that keep
@@ -100,28 +101,57 @@ func (f FaultPolicy) probeEvery() int {
 	return f.ProbeEvery
 }
 
-// safeClassify invokes the pluggable classifier with panic containment:
+// safeCall invokes a pluggable classification step with panic containment:
 // an escaping panic on the packet path would take the whole inline engine
 // down, so it is converted into an ordinary classification error.
-func safeClassify(c Classifier, buf []byte) (label corpus.Class, err error) {
+func safeCall(classify func() (corpus.Class, error)) (label corpus.Class, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("classifier panic: %v", r)
 		}
 	}()
-	label, err = c.Classify(buf)
+	label, err = classify()
 	if err == nil && (label < 0 || label >= corpus.NumClasses) {
 		return 0, fmt.Errorf("classifier returned out-of-range class %d", int(label))
 	}
 	return label, err
 }
 
-// decideLocked produces the label for a filled (or flushed) buffer,
-// applying the fault policy: panic recovery, consecutive-failure counting,
-// degraded-mode short-circuiting, and probing recovery. It reports whether
-// the label is a fallback (failure or degraded short-circuit) rather than
-// a real classification. Caller holds e.mu.
+// safeClassify is safeCall over the engine's payload classifier.
+func safeClassify(c Classifier, buf []byte) (corpus.Class, error) {
+	return safeCall(func() (corpus.Class, error) { return c.Classify(buf) })
+}
+
+// decideLocked produces the label for a filled (or flushed) buffer. Caller
+// holds e.mu.
 func (e *Engine) decideLocked(buf []byte) (label corpus.Class, fellBack bool, err error) {
+	return e.decideWithLocked(func() (corpus.Class, error) { return e.cfg.Classifier.Classify(buf) })
+}
+
+// decideStreamLocked produces the label for a stream-mode flow from its
+// sketch's entropy vector. A sketch that never saw payload, or whose widest
+// feature has not yet formed one element (entropy.ErrShortSequence from
+// Vector), is a classification failure like any other — it flows through
+// the fault policy rather than fabricating a zero vector. Caller holds e.mu.
+func (e *Engine) decideStreamLocked(sv *entest.StreamVector) (label corpus.Class, fellBack bool, err error) {
+	return e.decideWithLocked(func() (corpus.Class, error) {
+		if sv == nil {
+			return 0, fmt.Errorf("stream flow has no sketched payload")
+		}
+		vec, err := sv.Vector()
+		if err != nil {
+			return 0, fmt.Errorf("stream vector: %w", err)
+		}
+		return e.vclf.ClassifyVector(vec)
+	})
+}
+
+// decideWithLocked runs one classification step under the fault policy:
+// panic recovery, consecutive-failure counting, degraded-mode
+// short-circuiting, and probing recovery. It reports whether the label is
+// a fallback (failure or degraded short-circuit) rather than a real
+// classification. Caller holds e.mu.
+func (e *Engine) decideWithLocked(classify func() (corpus.Class, error)) (label corpus.Class, fellBack bool, err error) {
 	f := e.cfg.Faults
 	if e.degraded {
 		e.sinceProbe++
@@ -130,7 +160,7 @@ func (e *Engine) decideLocked(buf []byte) (label corpus.Class, fellBack bool, er
 		}
 		e.sinceProbe = 0 // fall through: probe the real classifier
 	}
-	label, err = safeClassify(e.cfg.Classifier, buf)
+	label, err = safeCall(classify)
 	if err != nil {
 		e.failed++
 		e.consecFails++
@@ -161,7 +191,7 @@ func (e *Engine) evictOneLocked(now time.Duration) {
 	id := front.Value.(ID)
 	fl := e.pend[id]
 	e.evicted++
-	if e.cfg.Eviction == EvictClassifyPartial && len(fl.buf) > 0 {
+	if e.cfg.Eviction == EvictClassifyPartial && fl.hasData() {
 		_, _ = e.classifyLocked(id, fl, now)
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"iustitia/internal/corpus"
+	"iustitia/internal/entest"
 	"iustitia/internal/persist"
 )
 
@@ -26,18 +27,23 @@ import (
 // holds on both engines throughout. MigratedIn/MigratedOut count the
 // moved flows for the cluster soak's assertions.
 
-// pendingExport is one mid-buffer flow in wire-portable form.
+// pendingExport is one mid-buffer flow in wire-portable form. Exactly one
+// of buf (exact mode) and sketch (stream mode) is non-empty; seen carries
+// the stream-mode byte tally so the classification trigger survives the
+// move.
 type pendingExport struct {
 	id          ID
 	firstSeen   time.Duration
 	lastSeen    time.Duration
 	packets     int
 	skipLeft    int
+	seen        int
 	checkedHdr  bool
 	headerCont  bool
 	headerSpent int
 	buf         []byte
 	headerTail  []byte
+	sketch      []byte
 }
 
 // flowExport is a decoded migration payload: pending flows plus CDB
@@ -73,8 +79,10 @@ func encodeFlowExport(fx flowExport) []byte {
 		}
 		enc.U8(flags)
 		enc.I64(int64(p.headerSpent))
+		enc.I64(int64(p.seen))
 		enc.Blob(p.buf)
 		enc.Blob(p.headerTail)
+		enc.Blob(p.sketch)
 	}
 	enc.Blob(encodeCDBEntries(fx.records))
 	return enc.Bytes()
@@ -82,7 +90,7 @@ func encodeFlowExport(fx flowExport) []byte {
 
 // pendingExportWire is the fixed-size portion of one encoded pending
 // flow, used to validate the declared count before allocating.
-const pendingExportWire = 20 + 4*8 + 1 + 8 + 4 + 4
+const pendingExportWire = 20 + 5*8 + 1 + 8 + 3*4
 
 // decodeFlowExport parses a migration payload. Hostile input returns an
 // error wrapping persist.ErrCorrupt — never a panic.
@@ -107,12 +115,14 @@ func decodeFlowExport(data []byte) (flowExport, error) {
 			p.checkedHdr = flags&pendFlagCheckedHdr != 0
 			p.headerCont = flags&pendFlagHeaderCont != 0
 			p.headerSpent = int(d.I64())
+			p.seen = int(d.I64())
 			p.buf = append([]byte(nil), d.Blob()...)
 			p.headerTail = append([]byte(nil), d.Blob()...)
+			p.sketch = append([]byte(nil), d.Blob()...)
 			if d.Err() != nil {
 				break
 			}
-			if p.firstSeen < 0 || p.lastSeen < 0 || p.packets < 0 || p.headerSpent < 0 {
+			if p.firstSeen < 0 || p.lastSeen < 0 || p.packets < 0 || p.headerSpent < 0 || p.seen < 0 {
 				d.Fail("pending flow %d has negative time or count", i)
 				break
 			}
@@ -162,18 +172,23 @@ func (e *Engine) takeFlows(pred func(ID) bool) flowExport {
 }
 
 func exportPending(id ID, fl *pending) pendingExport {
-	return pendingExport{
+	p := pendingExport{
 		id:          id,
 		firstSeen:   fl.firstSeen,
 		lastSeen:    fl.lastSeen,
 		packets:     fl.packets,
 		skipLeft:    fl.skipLeft,
+		seen:        fl.seen,
 		checkedHdr:  fl.checkedHdr,
 		headerCont:  fl.headerCont,
 		headerSpent: fl.headerSpent,
 		buf:         append([]byte(nil), fl.buf...),
 		headerTail:  append([]byte(nil), fl.headerTail...),
 	}
+	if fl.sv != nil {
+		p.sketch = fl.sv.ExportState()
+	}
+	return p
 }
 
 func sortPendings(ps []pendingExport) {
@@ -195,6 +210,43 @@ func (e *Engine) snapshotPendings() []pendingExport {
 	return ps
 }
 
+// convertModeLocked reconciles an imported flow's payload state with this
+// engine's mode. Same-mode imports restore directly: a sketch blob decodes
+// into a fresh StreamVector, a buffer is kept as-is. Cross-mode imports
+// convert what is convertible — a buffered prefix replays into a fresh
+// sketch (exact → stream), while a sketch arriving at a buffered engine is
+// discarded (payload bytes are unrecoverable from counters) and the flow
+// resumes buffering from zero. A sketch blob that fails to decode (foreign
+// counter geometry, corruption) likewise resets the flow's stream state
+// rather than poisoning estimates. Caller holds e.mu.
+func (e *Engine) convertModeLocked(fl *pending, sketch []byte) {
+	if !e.streaming() {
+		fl.seen = 0
+		return
+	}
+	if len(sketch) > 0 {
+		if sv, err := entest.NewStreamVectorConfig(e.scfg); err == nil {
+			if err := sv.ImportState(sketch); err == nil {
+				fl.sv = sv
+				fl.buf = nil
+				return
+			}
+		}
+	}
+	if len(fl.buf) > 0 {
+		if sv, err := entest.NewStreamVectorConfig(e.scfg); err == nil {
+			sv.Write(fl.buf)
+			fl.sv = sv
+			fl.seen = len(fl.buf)
+			fl.buf = nil
+			return
+		}
+	}
+	fl.sv = nil
+	fl.buf = nil
+	fl.seen = 0
+}
+
 // installFlows adds a decoded export to this engine. Installed pending
 // flows increment admitted (balancing takeFlows/checkpoint accounting);
 // when migration is true they also count as MigratedIn. A pending flow
@@ -212,6 +264,7 @@ func (e *Engine) installFlows(fx flowExport, migration bool) int {
 		}
 		fl := &pending{
 			buf:         p.buf,
+			seen:        p.seen,
 			skipLeft:    p.skipLeft,
 			checkedHdr:  p.checkedHdr,
 			headerCont:  p.headerCont,
@@ -221,6 +274,7 @@ func (e *Engine) installFlows(fx flowExport, migration bool) int {
 			lastSeen:    p.lastSeen,
 			packets:     p.packets,
 		}
+		e.convertModeLocked(fl, p.sketch)
 		fl.elem = e.lru.PushBack(p.id)
 		e.pend[p.id] = fl
 		e.admitted++
@@ -228,11 +282,11 @@ func (e *Engine) installFlows(fx flowExport, migration bool) int {
 			e.migratedIn++
 		}
 		moved++
-		// Guard against a buffer-size mismatch between nodes: a buffer
+		// Guard against a buffer-size mismatch between nodes: a flow
 		// already at or over this engine's b classifies immediately, since
-		// processData would otherwise never trigger it (and would slice
-		// out of bounds).
-		if len(fl.buf) >= e.cfg.BufferSize {
+		// processData would otherwise never trigger it (and the exact path
+		// would slice out of bounds).
+		if len(fl.buf) >= e.cfg.BufferSize || (e.streaming() && fl.seen >= e.cfg.BufferSize) {
 			_, _ = e.classifyLocked(p.id, fl, p.lastSeen)
 		}
 	}

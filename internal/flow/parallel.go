@@ -122,6 +122,12 @@ func (pe *ParallelEngine) RecordedLabel(t packet.FiveTuple) (corpus.Class, bool)
 	return pe.shardFor(IDOf(t)).RecordedLabel(t)
 }
 
+// StreamCounters returns the per-flow counter budget of stream mode (the
+// same on every shard), or 0 for a buffered engine.
+func (pe *ParallelEngine) StreamCounters() int {
+	return pe.shards[0].StreamCounters()
+}
+
 // Stats aggregates counters across shards. Degraded is the number of
 // shards currently in degraded mode.
 func (pe *ParallelEngine) Stats() EngineStats {

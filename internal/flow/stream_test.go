@@ -1,0 +1,443 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/entest"
+	"iustitia/internal/entropy"
+	"iustitia/internal/packet"
+)
+
+// entropyVecClassifier is a VectorClassifier whose label depends only on
+// the exact h_1 feature — which stream mode also computes exactly — so a
+// stream engine and a buffered engine must agree flow for flow.
+type entropyVecClassifier struct {
+	widths       []int
+	vectorCalls  int
+	payloadCalls int
+}
+
+func newVecClassifier() *entropyVecClassifier {
+	return &entropyVecClassifier{widths: []int{1, 3}}
+}
+
+func (c *entropyVecClassifier) FeatureWidths() []int { return c.widths }
+
+func (c *entropyVecClassifier) Classify(p []byte) (corpus.Class, error) {
+	c.payloadCalls++
+	vec, err := entropy.VectorAt(p, c.widths)
+	if err != nil {
+		return 0, err
+	}
+	return c.label(vec), nil
+}
+
+func (c *entropyVecClassifier) ClassifyVector(vec []float64) (corpus.Class, error) {
+	c.vectorCalls++
+	return c.label(vec), nil
+}
+
+func (c *entropyVecClassifier) label(vec []float64) corpus.Class {
+	switch h := vec[0]; {
+	case h < 0.45:
+		return corpus.Text
+	case h < 0.92:
+		return corpus.Binary
+	default:
+		return corpus.Encrypted
+	}
+}
+
+func streamEngineConfig(clf Classifier, b int) EngineConfig {
+	return EngineConfig{
+		BufferSize: b,
+		Classifier: clf,
+		Stream:     &StreamConfig{Epsilon: 0.3, Delta: 0.3, Seed: 11},
+	}
+}
+
+func assertConservation(t *testing.T, s EngineStats) {
+	t.Helper()
+	if s.Admitted != s.Classified+s.Fallback+s.Dropped+s.Pending {
+		t.Fatalf("conservation violated: admitted %d != classified %d + fallback %d + dropped %d + pending %d",
+			s.Admitted, s.Classified, s.Fallback, s.Dropped, s.Pending)
+	}
+}
+
+func TestStreamModeRequiresVectorClassifier(t *testing.T) {
+	plain := ClassifierFunc(func([]byte) (corpus.Class, error) { return corpus.Text, nil })
+	if _, err := NewEngine(streamEngineConfig(plain, 64)); err == nil {
+		t.Fatal("stream mode accepted a payload-only classifier")
+	}
+}
+
+func TestStreamModeRejectsBadParams(t *testing.T) {
+	cfg := streamEngineConfig(newVecClassifier(), 64)
+	cfg.Stream.Epsilon = 1.5
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("stream mode accepted epsilon outside (0, 1)")
+	}
+}
+
+// The tentpole behaviour: a stream engine classifies flows on the same
+// trigger as a buffered one — through ClassifyVector, with no payload
+// buffer ever held — and agrees with the buffered engine whenever the
+// deciding features are exact in both modes.
+func TestStreamEngineClassifiesWithoutBuffering(t *testing.T) {
+	const b = 256
+	vclf := newVecClassifier()
+	stream, err := NewEngine(streamEngineConfig(vclf, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactClf := newVecClassifier()
+	exact, err := NewEngine(EngineConfig{BufferSize: b, Classifier: exactClf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := corpus.NewGenerator(21)
+	for i, class := range []corpus.Class{corpus.Text, corpus.Binary, corpus.Encrypted} {
+		f, err := gen.File(class, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := tuple(uint16(3000+i), packet.TCP)
+		var streamV, exactV Verdict
+		for off := 0; off < b; off += 64 {
+			chunk := string(f.Data[off : off+64])
+			at := time.Duration(off) * time.Millisecond
+			if streamV, err = stream.Process(dataPacket(tp, at, chunk)); err != nil {
+				t.Fatal(err)
+			}
+			if exactV, err = exact.Process(dataPacket(tp, at, chunk)); err != nil {
+				t.Fatal(err)
+			}
+			if off+64 < b {
+				if streamV.Routed {
+					t.Fatalf("flow %d routed before its %d bytes streamed", i, b)
+				}
+				// White box: mid-flow state is the sketch, never a buffer.
+				fl := stream.pend[IDOf(tp)]
+				if fl == nil || fl.buf != nil || fl.sv == nil || fl.seen != off+64 {
+					t.Fatalf("flow %d pending state: buf=%v sv=%v seen=%d, want nil buffer, live sketch, %d bytes",
+						i, fl.buf, fl.sv, fl.seen, off+64)
+				}
+			}
+		}
+		if !streamV.Classified || !streamV.Routed {
+			t.Fatalf("flow %d: stream verdict %+v, want classified+routed", i, streamV)
+		}
+		if streamV.Queue != exactV.Queue {
+			t.Fatalf("flow %d (%s): stream labelled %v, buffered engine %v",
+				i, class, streamV.Queue, exactV.Queue)
+		}
+	}
+	if vclf.vectorCalls == 0 || vclf.payloadCalls != 0 {
+		t.Fatalf("stream engine made %d vector and %d payload classifications, want only vector calls",
+			vclf.vectorCalls, vclf.payloadCalls)
+	}
+	assertConservation(t, stream.Stats())
+	if got := stream.StreamCounters(); got <= 0 {
+		t.Fatalf("StreamCounters = %d, want positive counter budget", got)
+	}
+	if got := exact.StreamCounters(); got != 0 {
+		t.Fatalf("buffered engine StreamCounters = %d, want 0", got)
+	}
+}
+
+// Satellite: a flow shorter than the widest feature has no honest vector.
+// At flush the readiness error must flow through the fault policy — strict
+// engines surface entropy.ErrShortSequence, tolerant engines route the
+// flow to the fallback queue — never a silently fabricated h_k = 0 label.
+func TestStreamShortFlowFlush(t *testing.T) {
+	strictClf := &entropyVecClassifier{widths: []int{1, 5}}
+	strict, err := NewEngine(streamEngineConfig(strictClf, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple(4000, packet.TCP)
+	if _, err := strict.Process(dataPacket(tp, 0, "abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strict.FlushAll(time.Second); !errors.Is(err, entropy.ErrShortSequence) {
+		t.Fatalf("strict flush of a 3-byte flow against a 5-wide feature: err = %v, want ErrShortSequence", err)
+	}
+	assertConservation(t, strict.Stats())
+
+	tolerantCfg := streamEngineConfig(&entropyVecClassifier{widths: []int{1, 5}}, 64)
+	tolerantCfg.Faults = FaultPolicy{Tolerate: true}
+	tolerantCfg.FallbackClass = corpus.Binary
+	tolerant, err := NewEngine(tolerantCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tolerant.Process(dataPacket(tp, 0, "abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tolerant.FlushAll(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := tolerant.Stats()
+	if s.Fallback != 1 || s.QueueCounts[corpus.Binary] != 1 {
+		t.Fatalf("tolerant flush: fallback %d, binary queue %d, want 1 and 1", s.Fallback, s.QueueCounts[corpus.Binary])
+	}
+	assertConservation(t, s)
+}
+
+// Mid-flow sketches must survive a node checkpoint: export pending state
+// half-way through every flow, restore into a fresh engine, finish the
+// flows on both — labels and verdicts must match exactly.
+func TestStreamCheckpointRoundTrip(t *testing.T) {
+	const b = 256
+	build := func() *ParallelEngine {
+		cfg := streamEngineConfig(nil, b)
+		pe, err := NewParallelEngine(cfg, 2, []Classifier{newVecClassifier(), newVecClassifier()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pe
+	}
+	orig := build()
+	gen := corpus.NewGenerator(31)
+	flows := make(map[int][]byte)
+	for i := 0; i < 6; i++ {
+		f, err := gen.File(corpus.Class(i%corpus.NumClasses), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows[i] = f.Data
+		tp := tuple(uint16(5000+i), packet.TCP)
+		if _, err := orig.Process(dataPacket(tp, 0, string(f.Data[:b/2]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	blob := orig.ExportPending()
+	restored := build()
+	if n, err := restored.ImportPending(blob); err != nil || n != 6 {
+		t.Fatalf("ImportPending = (%d, %v), want (6, nil)", n, err)
+	}
+
+	for i, data := range flows {
+		tp := tuple(uint16(5000+i), packet.TCP)
+		at := time.Second
+		vo, err := orig.Process(dataPacket(tp, at, string(data[b/2:])))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vr, err := restored.Process(dataPacket(tp, at, string(data[b/2:])))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vr.Classified || vo != vr {
+			t.Fatalf("flow %d: original verdict %+v, restored %+v", i, vo, vr)
+		}
+	}
+	so, sr := orig.Stats(), restored.Stats()
+	if so.Classified != sr.Classified || so.QueueCounts != sr.QueueCounts {
+		t.Fatalf("stats diverged: original %+v, restored %+v", so, sr)
+	}
+}
+
+// A flow-table migration carries the sketch: the gaining stream engine
+// resumes the flow mid-stream and classifies at the same byte it would
+// have on the losing node.
+func TestStreamMigrationMovesSketch(t *testing.T) {
+	const b = 256
+	src, err := NewEngine(streamEngineConfig(newVecClassifier(), b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewEngine(streamEngineConfig(newVecClassifier(), b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := corpus.NewGenerator(7)
+	f, err := gen.File(corpus.Encrypted, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple(6000, packet.TCP)
+	if _, err := src.Process(dataPacket(tp, 0, string(f.Data[:100]))); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := src.ExportFlows(func(ID) bool { return true })
+	if n, err := dst.ImportFlows(payload); err != nil || n != 1 {
+		t.Fatalf("ImportFlows = (%d, %v), want (1, nil)", n, err)
+	}
+	fl := dst.pend[IDOf(tp)]
+	if fl == nil || fl.sv == nil || fl.seen != 100 || fl.buf != nil {
+		t.Fatalf("migrated flow state: %+v, want a live sketch with 100 bytes seen", fl)
+	}
+	v, err := dst.Process(dataPacket(tp, time.Second, string(f.Data[100:])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified {
+		t.Fatalf("verdict after migration %+v, want classified", v)
+	}
+	assertConservation(t, src.Stats())
+	assertConservation(t, dst.Stats())
+	if src.Stats().MigratedOut != 1 || dst.Stats().MigratedIn != 1 {
+		t.Fatalf("migration counters: out %d, in %d", src.Stats().MigratedOut, dst.Stats().MigratedIn)
+	}
+}
+
+// Cross-mode migration, buffered source: the buffered prefix replays into
+// a fresh sketch on the stream-mode gaining node.
+func TestStreamMigrationConvertsExactBuffer(t *testing.T) {
+	const b = 256
+	src, err := NewEngine(EngineConfig{BufferSize: b, Classifier: newVecClassifier()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewEngine(streamEngineConfig(newVecClassifier(), b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := corpus.NewGenerator(9)
+	f, err := gen.File(corpus.Binary, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple(6100, packet.TCP)
+	if _, err := src.Process(dataPacket(tp, 0, string(f.Data[:128]))); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := dst.ImportFlows(src.ExportFlows(func(ID) bool { return true })); err != nil || n != 1 {
+		t.Fatalf("ImportFlows = (%d, %v), want (1, nil)", n, err)
+	}
+	fl := dst.pend[IDOf(tp)]
+	if fl == nil || fl.sv == nil || fl.seen != 128 || fl.buf != nil {
+		t.Fatalf("converted flow state: %+v, want sketch seeded from the 128-byte buffer", fl)
+	}
+	v, err := dst.Process(dataPacket(tp, time.Second, string(f.Data[128:])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified {
+		t.Fatalf("verdict after conversion %+v, want classified", v)
+	}
+	assertConservation(t, dst.Stats())
+}
+
+// Cross-mode migration, stream source: payload bytes are unrecoverable
+// from counters, so the buffered gaining node restarts the flow's buffer —
+// the flow survives, it just buffers from zero.
+func TestStreamMigrationToExactRestartsBuffer(t *testing.T) {
+	const b = 64
+	src, err := NewEngine(streamEngineConfig(newVecClassifier(), b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewEngine(EngineConfig{BufferSize: b, Classifier: newVecClassifier()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := corpus.NewGenerator(13)
+	f, err := gen.File(corpus.Text, 2*b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple(6200, packet.TCP)
+	if _, err := src.Process(dataPacket(tp, 0, string(f.Data[:32]))); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := dst.ImportFlows(src.ExportFlows(func(ID) bool { return true })); err != nil || n != 1 {
+		t.Fatalf("ImportFlows = (%d, %v), want (1, nil)", n, err)
+	}
+	fl := dst.pend[IDOf(tp)]
+	if fl == nil || fl.sv != nil || fl.seen != 0 || len(fl.buf) != 0 {
+		t.Fatalf("stream→exact flow state: %+v, want an empty restarted buffer", fl)
+	}
+	v, err := dst.Process(dataPacket(tp, time.Second, string(f.Data[:b])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Classified {
+		t.Fatalf("verdict after buffering restart %+v, want classified", v)
+	}
+	assertConservation(t, dst.Stats())
+}
+
+// Eviction under MaxPending classifies the victim on its partial sketch,
+// mirroring EvictClassifyPartial's buffered behaviour.
+func TestStreamEvictClassifyPartial(t *testing.T) {
+	cfg := streamEngineConfig(newVecClassifier(), 256)
+	cfg.MaxPending = 1
+	cfg.Eviction = EvictClassifyPartial
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := corpus.NewGenerator(17)
+	f, err := gen.File(corpus.Encrypted, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Process(dataPacket(tuple(7000, packet.TCP), 0, string(f.Data))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Process(dataPacket(tuple(7001, packet.TCP), time.Second, "x")); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Evicted != 1 || s.Classified != 1 || s.Pending != 1 {
+		t.Fatalf("stats after eviction: %+v, want 1 evicted, 1 classified on its partial sketch, 1 pending", s)
+	}
+	assertConservation(t, s)
+}
+
+// A hostile sketch blob inside a migration payload must not poison the
+// gaining engine: the flow is installed with restarted stream state.
+func TestStreamMigrationCorruptSketchRestarts(t *testing.T) {
+	const b = 64
+	e, err := NewEngine(streamEngineConfig(newVecClassifier(), b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := flowExport{pendings: []pendingExport{{
+		id:         IDOf(tuple(7100, packet.TCP)),
+		lastSeen:   time.Second,
+		packets:    1,
+		seen:       32,
+		checkedHdr: true,
+		sketch:     []byte{0xde, 0xad, 0xbe, 0xef},
+	}}}
+	if n, err := e.ImportFlows(encodeFlowExport(fx)); err != nil || n != 1 {
+		t.Fatalf("ImportFlows = (%d, %v), want (1, nil)", n, err)
+	}
+	fl := e.pend[IDOf(tuple(7100, packet.TCP))]
+	if fl == nil || fl.sv != nil || fl.seen != 0 {
+		t.Fatalf("corrupt-sketch flow state: %+v, want restarted stream state", fl)
+	}
+	assertConservation(t, e.Stats())
+}
+
+// The sketch seed is engine-wide, not per-shard: a sketch exported by one
+// shard must restore bit-exactly on a shard with a different engine seed.
+func TestStreamShardSeedUniform(t *testing.T) {
+	cfgA := streamEngineConfig(newVecClassifier(), 128)
+	cfgA.Seed = 1
+	cfgB := streamEngineConfig(newVecClassifier(), 128)
+	cfgB.Seed = 99 // different engine seed, same Stream.Seed
+	a, err := NewEngine(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.scfg.Seed != b.scfg.Seed || a.scfg.Kind != b.scfg.Kind {
+		t.Fatalf("sketch configs diverged across engine seeds: %+v vs %+v", a.scfg, b.scfg)
+	}
+	if _, err := entest.NewStreamVectorConfig(a.scfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -96,6 +96,11 @@ type Config struct {
 	Overflow OverflowPolicy
 	// FallbackClass is the queue shed packets are accounted to.
 	FallbackClass corpus.Class
+	// StreamMode names the engine's sketch backend when it runs in
+	// constant-memory stream mode (e.g. "lall", "cc"); empty for a
+	// buffered engine. Informational: surfaced in the status dump and the
+	// STATUS line's stream= key.
+	StreamMode string
 	// IdleTimeout bounds how long a connection may sit between frames
 	// before it is closed. Zero disables it.
 	IdleTimeout time.Duration

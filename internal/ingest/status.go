@@ -60,6 +60,10 @@ type NodeStatus struct {
 	// CheckpointAge is how long ago the last checkpoint was written, or
 	// NoCheckpoint if none has been.
 	CheckpointAge time.Duration
+	// Stream names the engine's sketch backend when it runs in
+	// constant-memory stream mode ("lall", "cc"), empty for a buffered
+	// engine. A router uses it to spot mixed-mode clusters.
+	Stream string
 }
 
 // ConservationGap returns Received - (Admitted + Quarantined + Shed); a
@@ -75,20 +79,26 @@ func (ns NodeStatus) StatusLine() string {
 	if ns.CheckpointAge >= 0 {
 		age = ns.CheckpointAge.Milliseconds()
 	}
+	// stream= is appended only in stream mode so buffered nodes render the
+	// exact line older parsers were built against.
+	var stream string
+	if ns.Stream != "" {
+		stream = " stream=" + ns.Stream
+	}
 	return fmt.Sprintf(statusLinePrefix+
 		"node=%s state=%s received=%d admitted=%d quarantined=%d shed=%d "+
 		"engine_admitted=%d engine_classified=%d engine_pending=%d "+
 		"engine_fallback=%d engine_shed=%d engine_dropped=%d "+
 		"q_text=%d q_binary=%d q_encrypted=%d "+
 		"seen_seq=%d acked_seq=%d deduped=%d migrated_in=%d migrated_out=%d "+
-		"checkpoint_age_ms=%d",
+		"checkpoint_age_ms=%d%s",
 		ns.Node, ns.State,
 		ns.Received, ns.Admitted, ns.Quarantined, ns.Shed,
 		ns.EngineAdmitted, ns.EngineClassified, ns.EnginePending,
 		ns.EngineFallback, ns.EngineShed, ns.EngineDropped,
 		ns.Queue[corpus.Text], ns.Queue[corpus.Binary], ns.Queue[corpus.Encrypted],
 		ns.SeenSeq, ns.AckedSeq, ns.Deduped, ns.MigratedIn, ns.MigratedOut,
-		age)
+		age, stream)
 }
 
 // ParseState maps a State.String() value back to its State.
@@ -166,6 +176,8 @@ func ParseStatusLine(doc string) (NodeStatus, error) {
 			ns.MigratedIn, err = strconv.Atoi(val)
 		case "migrated_out":
 			ns.MigratedOut, err = strconv.Atoi(val)
+		case "stream":
+			ns.Stream = val
 		case "checkpoint_age_ms":
 			var ms int64
 			ms, err = strconv.ParseInt(val, 10, 64)
@@ -216,6 +228,7 @@ func (s *Server) nodeStatusFrom(st Stats, es flow.EngineStats) NodeStatus {
 		MigratedIn:       es.MigratedIn,
 		MigratedOut:      es.MigratedOut,
 		CheckpointAge:    NoCheckpoint,
+		Stream:           s.cfg.StreamMode,
 	}
 	if s.cfg.CheckpointTime != nil {
 		if t := s.cfg.CheckpointTime(); !t.IsZero() {

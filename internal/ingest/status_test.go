@@ -28,6 +28,7 @@ func TestStatusLineRoundTrip(t *testing.T) {
 		EngineDropped:    5,
 		Queue:            [corpus.NumClasses]int{40, 20, 10},
 		CheckpointAge:    1500 * time.Millisecond,
+		Stream:           "lall",
 	}
 	got, err := ParseStatusLine(ns.StatusLine())
 	if err != nil {
@@ -55,6 +56,27 @@ func TestStatusLineNoCheckpoint(t *testing.T) {
 	}
 	if got.CheckpointAge != NoCheckpoint {
 		t.Errorf("CheckpointAge = %v, want NoCheckpoint", got.CheckpointAge)
+	}
+}
+
+// TestStatusLineStreamKey pins the stream= encoding: absent for buffered
+// engines (older parsers see their exact line), present in stream mode.
+func TestStatusLineStreamKey(t *testing.T) {
+	buffered := NodeStatus{Node: "n", State: StateHealthy, CheckpointAge: NoCheckpoint}
+	if line := buffered.StatusLine(); strings.Contains(line, "stream=") {
+		t.Errorf("buffered line carries a stream key: %q", line)
+	}
+	streaming := NodeStatus{Node: "n", State: StateHealthy, CheckpointAge: NoCheckpoint, Stream: "cc"}
+	line := streaming.StatusLine()
+	if !strings.Contains(line, " stream=cc") {
+		t.Errorf("stream-mode line missing stream key: %q", line)
+	}
+	got, err := ParseStatusLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != "cc" {
+		t.Errorf("Stream = %q, want cc", got.Stream)
 	}
 }
 
