@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check cluster-soak bench bench-json bench-smoke experiments examples fuzz snapshot-compat clean
+.PHONY: all build test race check cluster-soak ops-soak bench bench-json bench-smoke experiments examples fuzz snapshot-compat clean
 
 all: build test
 
@@ -27,6 +27,7 @@ check:
 	$(GO) test -run 'TestVectorAllocRegression|TestStreamWriteAllocFree|TestBatchAllocRegression' -count=1 ./internal/entropy ./internal/entest ./internal/flow
 	$(GO) test -run 'TestChaosConnSoak' -count=1 ./internal/ingest
 	$(MAKE) cluster-soak
+	$(MAKE) ops-soak
 	$(GO) test -fuzz=FuzzStrip -fuzztime=5s ./internal/appheader
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=5s ./internal/packet
 	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/pcap
@@ -44,6 +45,17 @@ check:
 # conservation law and zero verdict loss. Skipped under -short.
 cluster-soak:
 	$(GO) test -run 'TestClusterSoak|TestMembershipChurnSoak' -count=1 ./cmd/iustitia-router
+
+# The ops-chaos soak (DESIGN.md §14): one real serve node behind a real
+# router, operated under fire — live reconfig over SET/RELOAD/SIGHUP
+# mid-burst, an atomic model hot-swap proven verdict-for-verdict against
+# an in-process replay that swaps at the same boundary, rejected swaps
+# (corrupt blob, metadata mismatch) that leave the old model serving, a
+# breaker-tripping candidate auto-rolled-back during probation, and a
+# SIGKILL mid-swap-upload followed by a checkpoint resume. Skipped under
+# -short.
+ops-soak:
+	$(GO) test -run 'TestOpsChaosSoak' -count=1 ./cmd/iustitia-router
 
 # One benchmark per paper table/figure plus ablations and micro-benches.
 bench:

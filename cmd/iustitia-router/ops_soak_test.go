@@ -1,0 +1,529 @@
+package main
+
+// Ops-chaos soak: a real iustitia-serve node behind a real
+// iustitia-router, operated under fire — live reconfig (SET, RELOAD,
+// SIGHUP) mid-burst, an atomic model hot-swap with exact verdict
+// equality against an in-process replay that swaps at the same boundary,
+// rejected swaps (corrupt blob, metadata mismatch) that leave the old
+// model serving, a breaker-tripping candidate that is auto-rolled-back
+// during probation, and a SIGKILL landing mid-swap-upload followed by a
+// checkpoint resume. The cluster conservation law holds at every quiesce
+// point and through the final drain.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"iustitia"
+	"iustitia/internal/cluster"
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/ml/cart"
+	"iustitia/internal/ops"
+	"iustitia/internal/packet"
+	"iustitia/internal/persist"
+)
+
+// trainSnapshotSeed trains a classifier on a seed-specific corpus and
+// saves it as a binary snapshot under name.
+func trainSnapshotSeed(t *testing.T, dir, name string, seed int64) string {
+	t.Helper()
+	files, err := iustitia.SyntheticCorpus(seed, 30, 2048, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := iustitia.Train(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := clf.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// loadCoreSnapshot loads a model snapshot as the bare core classifier the
+// hot-swap machinery (and the reference replay) operates on.
+func loadCoreSnapshot(t *testing.T, path string) *core.Classifier {
+	t.Helper()
+	payload, err := persist.LoadFile(path, persist.KindClassifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := core.DecodeSnapshot(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// opsRefEngine builds an in-process engine with the exact configuration
+// the serve binary runs in this soak (-b 32, -shards 2, tolerate).
+func opsRefEngine(t *testing.T, clf *core.Classifier) *flow.ParallelEngine {
+	t.Helper()
+	engine, err := flow.NewParallelEngine(flow.EngineConfig{
+		BufferSize:    32,
+		Classifier:    clf,
+		FallbackClass: corpus.Text,
+		Faults:        flow.FaultPolicy{Tolerate: true},
+		CDB: flow.CDBConfig{
+			PurgeOnClose:  true,
+			PurgeInactive: true,
+			N:             4,
+		},
+	}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+// feedTrace replays a trace into an in-process engine without flushing —
+// the state a quiesced (but undrained) node holds.
+func feedTrace(t *testing.T, engine *flow.ParallelEngine, trace *packet.Trace) {
+	t.Helper()
+	for i := range trace.Packets {
+		if _, err := engine.Process(&trace.Packets[i]); err != nil {
+			t.Fatalf("reference Process: %v", err)
+		}
+	}
+}
+
+// labelDivergence counts trace flows the two models label differently.
+func labelDivergence(t *testing.T, a, b *core.Classifier, trace *packet.Trace) int {
+	t.Helper()
+	ea, eb := opsRefEngine(t, a), opsRefEngine(t, b)
+	feedTrace(t, ea, trace)
+	feedTrace(t, eb, trace)
+	if _, err := ea.FlushAll(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eb.FlushAll(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for tuple := range trace.Flows {
+		la, oka := ea.Label(tuple)
+		lb, okb := eb.Label(tuple)
+		if oka != okb || la != lb {
+			n++
+		}
+	}
+	return n
+}
+
+// constantModelJSON hand-crafts a degenerate but valid CART model that
+// labels everything Binary — guaranteed to diverge from any accurate
+// model on a mixed trace.
+func constantModelJSON(t *testing.T) []byte {
+	t.Helper()
+	blob, err := json.Marshal(struct {
+		Kind   core.ModelKind `json:"kind"`
+		Widths []int          `json:"widths"`
+		Tree   *cart.Tree     `json:"tree"`
+	}{core.KindCART, []int{1}, &cart.Tree{
+		Classes: corpus.NumClasses,
+		Width:   1,
+		Root:    &cart.Node{Label: int(corpus.Binary)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// breakerTripModelJSON is the ops package's hostile candidate: behaves on
+// low-entropy payloads, emits the out-of-range class 99 once the width-1
+// entropy exceeds 0.3 — it passes shadow verification over a low-entropy
+// sample ring and detonates on high-entropy live traffic.
+func breakerTripModelJSON(t *testing.T) []byte {
+	t.Helper()
+	blob, err := json.Marshal(struct {
+		Kind   core.ModelKind `json:"kind"`
+		Widths []int          `json:"widths"`
+		Tree   *cart.Tree     `json:"tree"`
+	}{core.KindCART, []int{1}, &cart.Tree{
+		Classes: corpus.NumClasses,
+		Width:   1,
+		Root: &cart.Node{
+			Feature:   0,
+			Threshold: 0.3,
+			Left:      &cart.Node{Label: int(corpus.Text)},
+			Right:     &cart.Node{Label: 99},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// chooseModelB picks the swap candidate: a retrained snapshot whose
+// verdicts provably diverge from model A on the phase-2 trace, falling
+// back to the constant model if retraining happens to converge to
+// identical behaviour. Returns the wire blob and the core classifier the
+// reference replay swaps in.
+func chooseModelB(t *testing.T, dir, modelA string, trace *packet.Trace) ([]byte, *core.Classifier) {
+	t.Helper()
+	a := loadCoreSnapshot(t, modelA)
+	for seed := int64(2); seed <= 5; seed++ {
+		path := trainSnapshotSeed(t, dir, fmt.Sprintf("model-b-%d.snap", seed), seed)
+		b := loadCoreSnapshot(t, path)
+		if n := labelDivergence(t, a, b, trace); n > 0 {
+			t.Logf("model B (seed %d) diverges from A on %d phase-2 flows", seed, n)
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return blob, b
+		}
+	}
+	blob := constantModelJSON(t)
+	b, err := core.Load(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := labelDivergence(t, a, b, trace); n == 0 {
+		t.Fatal("even the constant model agrees with A on every phase-2 flow; divergence assertion is impossible")
+	}
+	t.Log("retrained candidates converged; swapping the constant model instead")
+	return blob, b
+}
+
+// burstTrace hand-builds a trace of n single-packet flows carrying the
+// same full-buffer payload, so every flow classifies immediately and
+// lands in the shadow-sample ring.
+func burstTrace(base uint16, n int, payload []byte) *packet.Trace {
+	tr := &packet.Trace{}
+	for i := 0; i < n; i++ {
+		tr.Packets = append(tr.Packets, packet.Packet{
+			Tuple: packet.FiveTuple{
+				SrcIP: [4]byte{10, 9, 0, 1}, DstIP: [4]byte{192, 168, 9, 1},
+				SrcPort: base + uint16(i), DstPort: 443, Transport: packet.TCP,
+			},
+			Time:    time.Duration(i) * time.Millisecond,
+			Flags:   packet.FlagACK,
+			Payload: payload,
+		})
+	}
+	return tr
+}
+
+// swapModel performs one SWAP-MODEL round trip against a node's admin
+// listener and returns the trimmed reply line.
+func swapModel(t *testing.T, statusAddr string, blob []byte) string {
+	t.Helper()
+	c, err := net.Dial("tcp", statusAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(60 * time.Second))
+	if _, err := fmt.Fprintf(c, "SWAP-MODEL %d\n", len(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(blob); err != nil {
+		t.Fatal(err)
+	}
+	var reply bytes.Buffer
+	if _, err := reply.ReadFrom(c); err != nil {
+		t.Fatalf("SWAP-MODEL reply: %v", err)
+	}
+	return strings.TrimSpace(reply.String())
+}
+
+// waitNodeMetrics polls a node's METRICS endpoint until cond holds.
+func waitNodeMetrics(t *testing.T, statusAddr, what string, cond func(*ops.NodeMetrics) bool) *ops.NodeMetrics {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var last *ops.NodeMetrics
+	for time.Now().Before(deadline) {
+		if nm, err := ops.ProbeMetrics(statusAddr, 2*time.Second); err == nil {
+			last = nm
+			if cond(nm) {
+				return nm
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("metrics never showed %s; last: %+v", what, last)
+	return nil
+}
+
+// TestOpsChaosSoak is the live-operations soak from the roadmap's ops
+// item:
+//
+//  1. Load + live reconfig: a trace streams through the router while the
+//     node's overflow policy and batch bound are retuned over the SET
+//     verb, restored through a RELOAD of the -config file, and reloaded
+//     again via SIGHUP — all mid-burst, under the frame gate.
+//  2. Hot-swap: after a quiesce, a retrained model B (proven to disagree
+//     with A on at least one phase-2 flow) is installed over SWAP-MODEL
+//     with zero drain; a second trace streams through the new model. The
+//     node's engine counters and verdict distribution exactly match an
+//     in-process replay that swaps classifiers at the same boundary.
+//  3. Rejections: a corrupt blob and a metadata-mismatched model are both
+//     refused, and METRICS proves the live model kept serving.
+//  4. Probation rollback: a breaker-tripping candidate passes shadow
+//     verification over a low-entropy sample ring, detonates on
+//     high-entropy traffic, and is rolled back automatically.
+//  5. Crash mid-swap: the node is SIGKILLed while a swap blob is mid
+//     upload, resumes from its periodic checkpoint, and serves a final
+//     clean trace from the on-disk model.
+//
+// Conservation (gap 0, zero violations) is asserted at every quiesce
+// point and at the router's drain; the swap counters federate into the
+// router's CLUSTER metrics.
+func TestOpsChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ops chaos soak builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	routerBin := buildBinary(t, dir, "iustitia-router", ".")
+	serveBin := buildBinary(t, dir, "iustitia-serve", "../iustitia-serve")
+	modelA := trainSnapshotSeed(t, dir, "model-a.snap", 1)
+	ckpt := filepath.Join(dir, "node-a.ckpt")
+	conf := filepath.Join(dir, "serve.conf")
+	if err := os.WriteFile(conf, []byte("# ops soak live config\noverflow=block\nbatch=64\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	serveExtra := []string{"-config", conf, "-checkpoint", ckpt, "-checkpoint-interval", "2s"}
+	a := startServe(t, serveBin, modelA, "a", "127.0.0.1:0", "127.0.0.1:0", serveExtra...)
+
+	router := startProc(t, routerBin,
+		"-listen", "127.0.0.1:0", "-status", "127.0.0.1:0",
+		"-node", "a="+a.addr+","+a.statusAddr,
+		"-policy", "requeue", "-requeue-timeout", "60s",
+		"-probe-interval", "50ms", "-drain-timeout", "30s")
+	banner := router.waitOutput(t, "routing to 1 nodes")
+	routerAddr := extractAddr(t, banner, "listening on ")
+	routerStatus := extractAddr(t, banner, "status on ")
+	waitClusterAvailable(t, routerStatus, 1)
+	kindA := waitNodeMetrics(t, a.statusAddr, "a model kind", func(nm *ops.NodeMetrics) bool {
+		return nm.Swap.ModelKind != ""
+	}).Swap.ModelKind
+
+	trace0 := soakTrace(t, 50, 61)
+	trace1 := soakTrace(t, 50, 62)
+	trace2 := soakTrace(t, 50, 63)
+	modelBBlob, coreB := chooseModelB(t, dir, modelA, trace1)
+
+	// --- Phase 1: load with live reconfig mid-burst. The policies flip
+	// under the frame gate, so admission accounting never straddles a
+	// transition; nothing here may shed or the phase-2 equality check
+	// would be vacuous.
+	streamErr := make(chan error, 1)
+	go func() { streamErr <- streamTrace(routerAddr, trace0, nil, 2*time.Millisecond) }()
+	time.Sleep(100 * time.Millisecond)
+	if reply := adminCmd(t, a.statusAddr, "SET overflow=shed batch=8"); reply != "OK v1 applied=overflow,batch" {
+		t.Fatalf("SET reply %q", reply)
+	}
+	if reply := adminCmd(t, a.statusAddr, "RELOAD"); !strings.HasPrefix(reply, "OK v1 reloaded=") {
+		t.Fatalf("RELOAD reply %q", reply)
+	}
+	if err := a.proc.cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	a.proc.waitOutput(t, "reloaded "+conf)
+	if err := <-streamErr; err != nil {
+		t.Fatalf("phase-1 stream: %v", err)
+	}
+	snap := quiesceCluster(t, routerStatus)
+	if snap.Cluster.Gap != 0 || snap.Cluster.Violations != 0 {
+		t.Errorf("conservation after live reconfig: gap=%d violations=%d, want 0/0", snap.Cluster.Gap, snap.Cluster.Violations)
+	}
+	if reply := adminCmd(t, a.statusAddr, "SET overflow=sideways"); !strings.HasPrefix(reply, "ERR") {
+		t.Errorf("bad SET reply %q, want ERR", reply)
+	}
+
+	// --- Phase 2: atomic hot-swap to model B at a quiesced boundary, then
+	// stream the second trace through it. No drain, no restart.
+	if reply := swapModel(t, a.statusAddr, modelBBlob); !strings.HasPrefix(reply, "OK v1 swapped") {
+		t.Fatalf("SWAP-MODEL reply %q", reply)
+	}
+	kindB := waitNodeMetrics(t, a.statusAddr, "probation to pass", func(nm *ops.NodeMetrics) bool {
+		return nm.Swap.Swaps == 1 && !nm.Swap.InProgress && nm.Swap.Rollbacks == 0
+	}).Swap.ModelKind
+	if err := streamTrace(routerAddr, trace1, nil, 0); err != nil {
+		t.Fatalf("phase-2 stream: %v", err)
+	}
+	quiesceCluster(t, routerStatus)
+
+	// The in-process reference replays both traces with the classifier
+	// swapped at the same boundary; the node must match it exactly —
+	// the §6 conservation argument, per verdict, across a live swap.
+	refClf := loadCoreSnapshot(t, modelA)
+	ref := opsRefEngine(t, refClf)
+	feedTrace(t, ref, trace0)
+	refClf.Swap(coreB)
+	feedTrace(t, ref, trace1)
+	want := ref.Stats()
+	nm := waitNodeMetrics(t, a.statusAddr, "engine counters to settle", func(nm *ops.NodeMetrics) bool {
+		return nm.Engine.Admitted == want.Admitted && nm.Engine.Classified == want.Classified
+	})
+	if nm.Transport.Shed != 0 || nm.Transport.Quarantined != 0 {
+		t.Fatalf("clean load lost packets: %+v", nm.Transport)
+	}
+	if nm.Engine.Pending != want.Pending || nm.Engine.Fallback != want.Fallback ||
+		nm.Engine.Dropped != want.Dropped || nm.Engine.Shed != want.Shed {
+		t.Errorf("post-swap engine counters diverge from swapped replay:\n  node:      %+v\n  reference: %+v", nm.Engine, want)
+	}
+	for i, v := range nm.Verdicts {
+		if v.Packets != want.QueueCounts[i] {
+			t.Errorf("verdict class %s: node %d packets, reference %d", v.Class, v.Packets, want.QueueCounts[i])
+		}
+	}
+
+	// The swap federates into the router's cluster metrics and its
+	// CLUSTER line.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cm, err := cluster.ProbeClusterMetrics(routerStatus, 2*time.Second)
+		if err == nil && cm.SumSwaps == 1 && cm.PerNode["a"] != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("swap never federated: %+v err=%v", cm, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// --- Phase 3: rejected swaps leave the live model serving. A corrupt
+	// blob fails decode; a two-class model fails metadata verification.
+	if reply := swapModel(t, a.statusAddr, []byte("not a model, not even close")); !strings.HasPrefix(reply, "ERR") {
+		t.Fatalf("corrupt swap reply %q, want ERR", reply)
+	}
+	twoClass, err := json.Marshal(struct {
+		Kind   core.ModelKind `json:"kind"`
+		Widths []int          `json:"widths"`
+		Tree   *cart.Tree     `json:"tree"`
+	}{core.KindCART, []int{1}, &cart.Tree{Classes: 2, Width: 1, Root: &cart.Node{Label: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := swapModel(t, a.statusAddr, twoClass)
+	if !strings.HasPrefix(reply, "ERR") || !strings.Contains(reply, "classes") {
+		t.Fatalf("metadata-mismatch swap reply %q, want ERR about classes", reply)
+	}
+	nm = waitNodeMetrics(t, a.statusAddr, "two rejections", func(nm *ops.NodeMetrics) bool {
+		return nm.Swap.Rejected == 2
+	})
+	if nm.Swap.Swaps != 1 || nm.Swap.Rollbacks != 0 || nm.Swap.ModelKind != kindB {
+		t.Errorf("rejections disturbed the live model (want kind %q): %+v", kindB, nm.Swap)
+	}
+
+	// --- Phase 4: probation rollback. A low-entropy burst fills the
+	// shadow-sample ring so the breaker-trip candidate passes shadow
+	// verification; the high-entropy burst that follows detonates it and
+	// the probation watcher restores model B.
+	lowBurst := burstTrace(40000, 100, bytes.Repeat([]byte{'s'}, 32))
+	high := make([]byte, 32)
+	for i := range high {
+		high[i] = byte(i)
+	}
+	highBurst := burstTrace(41000, 100, high)
+	if err := streamTrace(routerAddr, lowBurst, nil, 0); err != nil {
+		t.Fatalf("low-entropy burst: %v", err)
+	}
+	quiesceCluster(t, routerStatus)
+	if reply := swapModel(t, a.statusAddr, breakerTripModelJSON(t)); !strings.HasPrefix(reply, "OK v1 swapped") {
+		t.Fatalf("trip-model swap reply %q — shadow verification should not catch it on a low-entropy ring", reply)
+	}
+	if err := streamTrace(routerAddr, highBurst, nil, 0); err != nil {
+		t.Fatalf("high-entropy burst: %v", err)
+	}
+	nm = waitNodeMetrics(t, a.statusAddr, "probation rollback", func(nm *ops.NodeMetrics) bool {
+		return nm.Swap.Rollbacks == 1 && !nm.Swap.InProgress
+	})
+	if nm.Swap.Swaps != 2 || !strings.Contains(nm.Swap.Last, "restored") {
+		t.Errorf("rollback state = %+v", nm.Swap)
+	}
+	snap = quiesceCluster(t, routerStatus)
+	if snap.Cluster.Gap != 0 || snap.Cluster.Violations != 0 {
+		t.Errorf("conservation after rollback: gap=%d violations=%d, want 0/0", snap.Cluster.Gap, snap.Cluster.Violations)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		cm, err := cluster.ProbeClusterMetrics(routerStatus, 2*time.Second)
+		if err == nil && cm.SumSwaps == 2 && cm.SumRollbacks == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rollback never federated: %+v err=%v", cm, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// --- Phase 5: SIGKILL lands while a swap blob is mid-upload; the
+	// successor resumes from the periodic checkpoint and serves the
+	// on-disk model A (hot-swaps are deliberately memory-only).
+	ackDeadline := time.Now().Add(15 * time.Second)
+	for {
+		ns, err := cluster.ProbeStatus(a.statusAddr, 2*time.Second)
+		if err == nil && ns.AckedSeq > 0 {
+			break
+		}
+		if time.Now().After(ackDeadline) {
+			t.Fatalf("node never acked a checkpoint; last: %+v err=%v", ns, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	midSwap, err := net.Dial("tcp", a.statusAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(midSwap, "SWAP-MODEL %d\n", len(modelBBlob))
+	if _, err := midSwap.Write(modelBBlob[:len(modelBBlob)/2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	aAddr, aStatus := a.addr, a.statusAddr
+	a.proc.sigkill(t)
+	midSwap.Close()
+	waitClusterAvailable(t, routerStatus, 0)
+
+	a2 := startServe(t, serveBin, modelA, "a", aAddr, aStatus, append(serveExtra, "-resume", ckpt)...)
+	a2.proc.waitOutput(t, "resume watermark: seq ")
+	waitClusterAvailable(t, routerStatus, 1)
+	nm = waitNodeMetrics(t, aStatus, "a fresh swap surface", func(nm *ops.NodeMetrics) bool {
+		return nm.Swap.Swaps == 0 && nm.Swap.Rejected == 0
+	})
+	if nm.Swap.ModelKind != kindA {
+		t.Errorf("resumed node model kind %q, want the on-disk model's %q", nm.Swap.ModelKind, kindA)
+	}
+	if err := streamTrace(routerAddr, trace2, nil, 0); err != nil {
+		t.Fatalf("post-resume stream: %v", err)
+	}
+	snap = quiesceCluster(t, routerStatus)
+	if snap.Cluster.Gap != 0 || snap.Cluster.Violations != 0 {
+		t.Errorf("conservation after crash resume: gap=%d violations=%d, want 0/0", snap.Cluster.Gap, snap.Cluster.Violations)
+	}
+
+	// --- Drain everything; the laws must hold at exit too.
+	routerOut := router.sigterm(t)
+	var rReceived, rForwarded, rQuarantined, rShed, rConns int
+	if _, err := fmt.Sscanf(extractLine(t, routerOut, "drained: "),
+		"drained: received %d, forwarded %d, quarantined %d, shed %d over %d connections",
+		&rReceived, &rForwarded, &rQuarantined, &rShed, &rConns); err != nil {
+		t.Fatalf("cannot parse router drain line: %v\n%s", err, routerOut)
+	}
+	if rForwarded+rQuarantined+rShed != rReceived {
+		t.Errorf("router conservation violated: %d != %d+%d+%d", rReceived, rForwarded, rQuarantined, rShed)
+	}
+	if !strings.Contains(routerOut, "gap=0") || !strings.Contains(routerOut, "violations=0") {
+		t.Errorf("router exit summary reports a conservation problem:\n%s", routerOut)
+	}
+	a2Out := a2.proc.sigterm(t)
+	parseDrainLine(t, "a2", a2Out)
+}

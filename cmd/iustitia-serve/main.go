@@ -26,15 +26,17 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
-	"iustitia"
+	"iustitia/internal/core"
 	"iustitia/internal/corpus"
 	"iustitia/internal/entest"
 	"iustitia/internal/flow"
 	"iustitia/internal/ingest"
+	"iustitia/internal/ops"
 	"iustitia/internal/persist"
 )
 
@@ -78,6 +80,7 @@ func run() error {
 		cdbCap     = flag.Int("cdb-cap", 0, "hard cap on classification-database records per shard (0 = unbounded)")
 
 		nodeName   = flag.String("node-name", "", "cluster node name on the machine-readable STATUS line (default \"node\")")
+		config     = flag.String("config", "", "live-reconfig file re-read on SIGHUP or the RELOAD admin verb (k=v lines: overflow, batch, max_pending, evict, idle_flush)")
 		checkpoint = flag.String("checkpoint", "", "write engine checkpoints to this path (periodic and at drain)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "wall-clock interval between periodic checkpoints (with -checkpoint)")
 		resume     = flag.String("resume", "", "restore engine state from this checkpoint before serving (cold start if unusable)")
@@ -101,9 +104,16 @@ func run() error {
 		return err
 	}
 
-	var clf *iustitia.Classifier
+	// The model is loaded as a bare core.Classifier: the ops manager flips
+	// its atomic model payload on SWAP-MODEL, and the engine classifies
+	// through the same pointer, so a hot-swap needs no engine rebuild.
+	var clf *core.Classifier
 	if *loadModel != "" {
-		clf, err = iustitia.LoadClassifierSnapshot(*loadModel)
+		payload, err := persist.LoadFile(*loadModel, persist.KindClassifier)
+		if err != nil {
+			return err
+		}
+		clf, err = core.DecodeSnapshot(payload)
 		if err != nil {
 			return err
 		}
@@ -112,7 +122,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		clf, err = iustitia.LoadClassifier(mf)
+		clf, err = core.Load(mf)
 		mf.Close()
 		if err != nil {
 			return err
@@ -189,6 +199,37 @@ func run() error {
 		fmt.Printf("engine pipeline: %d shard workers\n", *shards)
 	}
 
+	// Signals are armed early so the ops DRAIN verb can inject a SIGTERM:
+	// an admin-driven drain and an operator ^C share one shutdown path.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+
+	mgr, err := ops.NewManager(ops.Config{
+		Engine:     engine,
+		Classifier: clf,
+		Classes:    corpus.NumClasses,
+		BufferSize: *buffer,
+		Stream:     *stream,
+		ConfigPath: *config,
+		Drain: func() {
+			select {
+			case sigCh <- syscall.SIGTERM:
+			default: // a drain is already in flight
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	reload := func() {
+		st, err := mgr.ReloadConfig()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iustitia-serve: reload:", err)
+			return
+		}
+		fmt.Printf("reloaded %s: applied %s\n", *config, strings.Join(st.Keys(), ","))
+	}
+
 	var listeners []net.Listener
 	if *listen != "" {
 		l, err := net.Listen("tcp", *listen)
@@ -249,6 +290,7 @@ func run() error {
 		NodeName:       *nodeName,
 		StreamMode:     streamMode,
 		ResumeSeq:      resumeSeq,
+		AdminHandler:   mgr.HandleAdmin,
 		CheckpointTime: func() time.Time {
 			ckptMu.Lock()
 			defer ckptMu.Unlock()
@@ -282,26 +324,44 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Attach before Start so an admin SET arriving with the first packets
+	// never races the wiring.
+	mgr.AttachServer(srv)
 	if err := srv.Start(); err != nil {
 		return err
 	}
 
-	// First signal: graceful drain (flush + final checkpoint). Second
-	// signal: the operator wants out NOW — exit immediately and say what
-	// was skipped.
-	sigCh := make(chan os.Signal, 2)
-	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	sig := <-sigCh
+	// SIGHUP re-reads the -config file and keeps serving. The first
+	// INT/TERM starts a graceful drain (flush + final checkpoint); a second
+	// forces immediate exit and says what was skipped.
+	var sig os.Signal
+	for {
+		sig = <-sigCh
+		if sig == syscall.SIGHUP {
+			reload()
+			continue
+		}
+		break
+	}
 	fmt.Printf("received %v: draining (second signal forces immediate exit)\n", sig)
 	go func() {
-		sig2 := <-sigCh
-		fmt.Fprintf(os.Stderr, "iustitia-serve: second %v: forcing immediate exit; final checkpoint skipped\n", sig2)
-		os.Exit(130)
+		for {
+			sig2 := <-sigCh
+			if sig2 == syscall.SIGHUP {
+				// Too late to retune, but not a reason to die mid-drain.
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "iustitia-serve: second %v: forcing immediate exit; final checkpoint skipped\n", sig2)
+			os.Exit(130)
+		}
 	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
 	defer cancel()
 	drainErr := srv.Shutdown(ctx)
+	// An in-flight swap probation must settle before exit, so a rollback
+	// decision is never lost to process teardown.
+	mgr.Close()
 	if *pipeline {
 		// Shutdown already barriered the shard workers; surface their
 		// counters before tearing the pipeline down.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -396,6 +397,13 @@ func (r *Router) serveStatusConn(c net.Conn) {
 			return
 		}
 		fmt.Fprintf(c, "OK removed %s\n", fields[1])
+	case "METRICS":
+		blob, err := json.Marshal(r.ClusterMetrics())
+		if err != nil {
+			fmt.Fprintf(c, "ERR metrics: %v\n", err)
+			return
+		}
+		_, _ = c.Write(append(blob, '\n'))
 	case "LIST":
 		r.member.RLock()
 		onRing := make(map[string]bool, r.ring.Len())

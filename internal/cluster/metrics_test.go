@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/ingest"
+	"iustitia/internal/ml/cart"
+	"iustitia/internal/ops"
+)
+
+// trainSmallModel trains the minimal CART model the federation tests
+// serve and hot-swap.
+func trainSmallModel(t *testing.T, seed int64) *core.Classifier {
+	t.Helper()
+	pool, err := corpus.NewGenerator(seed).Pool(12, 256, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := core.Train(pool, core.TrainConfig{
+		Kind: core.KindCART,
+		Dataset: core.DatasetConfig{
+			Widths:     []int{1, 2},
+			Method:     core.MethodPrefix,
+			BufferSize: 8,
+			Seed:       seed,
+		},
+		CART: cart.Config{MinLeaf: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// startOpsNode is startNode with a real trained classifier and the ops
+// admin surface wired in — the full serve-side stack the prober federates.
+func startOpsNode(t *testing.T, name string, seed int64) *testNode {
+	t.Helper()
+	clf := trainSmallModel(t, seed)
+	engine, err := flow.NewParallelEngine(flow.EngineConfig{
+		BufferSize: 256,
+		Classifier: clf,
+	}, testShards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := ops.NewManager(ops.Config{
+		Engine:          engine,
+		Classifier:      clf,
+		Classes:         corpus.NumClasses,
+		BufferSize:      256,
+		ProbationWindow: 50 * time.Millisecond,
+		ProbationPoll:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, status := listenLocal(t), listenLocal(t)
+	srv, err := ingest.NewServer(ingest.Config{
+		Engine:         engine,
+		Listeners:      []net.Listener{data},
+		StatusListener: status,
+		Workers:        2,
+		NodeName:       name,
+		AdminHandler:   mgr.HandleAdmin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mgr.AttachServer(srv)
+	t.Cleanup(mgr.Close)
+	return &testNode{
+		cfg:    NodeConfig{Name: name, Addr: data.Addr().String(), StatusAddr: status.Addr().String()},
+		srv:    srv,
+		engine: engine,
+	}
+}
+
+func TestRouterFederatesNodeMetrics(t *testing.T) {
+	n1 := startOpsNode(t, "m1", 1)
+	n2 := startOpsNode(t, "m2", 2)
+	status := listenLocal(t)
+	r, _ := startRouter(t, RouterConfig{StatusListener: status}, n1, n2)
+	addr := status.Addr().String()
+	defer drainRouter(t, r)
+	defer n1.drain(t)
+	defer n2.drain(t)
+	waitAvailable(t, r, "m1", "m2")
+
+	// The probe that reported availability also fetched metrics, but give
+	// the table a moment in case availability landed on an earlier probe.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(r.ClusterMetrics().PerNode) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("federated metrics never completed: %+v", r.ClusterMetrics())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cm, err := ProbeClusterMetrics(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("ProbeClusterMetrics: %v", err)
+	}
+	if cm.Version != ops.Version || cm.Nodes != 2 || cm.Available != 2 {
+		t.Errorf("cluster metrics = version %d nodes %d available %d", cm.Version, cm.Nodes, cm.Available)
+	}
+	for _, name := range []string{"m1", "m2"} {
+		nm := cm.PerNode[name]
+		if nm == nil {
+			t.Fatalf("node %s missing from federated metrics", name)
+		}
+		if nm.Node != name || nm.Swap.ModelKind != "cart" {
+			t.Errorf("node %s metrics = node %q model %q", name, nm.Node, nm.Swap.ModelKind)
+		}
+	}
+
+	// Hot-swap a retrained model on one node through its admin listener and
+	// watch the swap surface in the router's federated view.
+	var blob bytes.Buffer
+	if err := trainSmallModel(t, 3).Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", n1.cfg.StatusAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(c, "SWAP-MODEL %d\n", blob.Len())
+	c.Write(blob.Bytes())
+	var reply bytes.Buffer
+	reply.ReadFrom(c)
+	c.Close()
+	if !strings.HasPrefix(reply.String(), "OK v1 swapped") {
+		t.Fatalf("SWAP-MODEL reply = %q", strings.TrimSpace(reply.String()))
+	}
+
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		cm, err := ProbeClusterMetrics(addr, 5*time.Second)
+		if err == nil && cm.SumSwaps == 1 && cm.SumRollbacks == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("swap never federated: %+v, err %v", cm, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The same sums ride the CLUSTER line for plain STATUS scrapers.
+	snap, err := ProbeCluster(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cluster.SumSwaps != 1 || snap.Cluster.SumRollbacks != 0 {
+		t.Errorf("CLUSTER line sums = swaps %d rollbacks %d, want 1/0", snap.Cluster.SumSwaps, snap.Cluster.SumRollbacks)
+	}
+}
+
+func TestClusterLineOpsKeysForwardCompat(t *testing.T) {
+	// A line from a router predating the ops keys still parses (zeros)...
+	old := clusterLinePrefix + "state=healthy nodes=2 available=2 received=5 conservation_gap=0 violations=0"
+	cl, err := parseClusterLine(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.JournalDepth != 0 || cl.SumSwaps != 0 {
+		t.Errorf("old line parsed ops keys = %+v", cl)
+	}
+	// ...a current line carries them...
+	cur := old + " journal_depth=3 sum_degraded=1 sum_swaps=4 sum_rollbacks=2"
+	cl, err = parseClusterLine(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.JournalDepth != 3 || cl.SumDegraded != 1 || cl.SumSwaps != 4 || cl.SumRollbacks != 2 {
+		t.Errorf("ops keys = %+v", cl)
+	}
+	// ...and keys from the future are skipped, numeric or not.
+	if _, err := parseClusterLine(cur + " sum_frobs=9 flavor=vanilla"); err != nil {
+		t.Errorf("future keys rejected: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"iustitia/internal/ingest"
+	"iustitia/internal/ops"
 )
 
 // NodeConfig names one serve instance: its cluster-unique ring name, the
@@ -38,6 +39,11 @@ type NodeHealth struct {
 	ConsecutiveFailures int
 	// LastErr is the most recent probe error, nil after a success.
 	LastErr error
+	// Metrics is the node's last structured metrics snapshot, fetched
+	// alongside each successful status probe. Nil until one lands — and
+	// forever nil for nodes that predate the METRICS admin verb, which is
+	// why probing tolerates its absence.
+	Metrics *ops.NodeMetrics
 }
 
 // Available reports whether the router may route new packets to the node:
@@ -211,6 +217,13 @@ func (p *prober) probeOnce(name string) {
 	p.mu.Unlock()
 
 	status, err := ProbeStatus(cfg.StatusAddr, p.cfg.timeout())
+	// Piggyback a metrics fetch on a healthy probe. Failure is tolerated —
+	// an old node answers METRICS with an error line — and leaves the last
+	// snapshot standing rather than blanking the federated view.
+	var metrics *ops.NodeMetrics
+	if err == nil {
+		metrics, _ = ops.ProbeMetrics(cfg.StatusAddr, p.cfg.timeout())
+	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -228,6 +241,9 @@ func (p *prober) probeOnce(name string) {
 		h.LastErr = nil
 		h.Status = status
 		h.LastSeen = time.Now()
+		if metrics != nil {
+			h.Metrics = metrics
+		}
 	}
 	p.wake()
 }
@@ -327,6 +343,7 @@ func (p *prober) updateNode(cfg NodeConfig) error {
 	h.Status = ingest.NodeStatus{}
 	h.ConsecutiveFailures = 0
 	h.LastErr = nil
+	h.Metrics = nil
 	p.wake()
 	return nil
 }

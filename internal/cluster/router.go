@@ -815,17 +815,32 @@ func (r *Router) StatusText() string {
 	fmt.Fprintf(&b, "conservation: sum_received=%d sum_admitted=%d sum_quarantined=%d sum_shed=%d gap=%d violations=%d\n",
 		cs.SumReceived, cs.SumAdmitted, cs.SumQuarantined, cs.SumShed, cs.Gap(), st.ConservationViolations)
 
+	// The federated ops sums ride the CLUSTER line too, so a plain STATUS
+	// scrape shows fleet-wide swap/rollback/degradation state without a
+	// second METRICS round trip. Parsers skip unknown keys, so old readers
+	// are unaffected.
+	depth, sumDegraded, sumSwaps, sumRollbacks := 0, 0, 0, 0
+	depth = r.JournalDepth()
+	for _, h := range health {
+		if h.Metrics != nil {
+			sumDegraded += h.Metrics.Engine.DegradedShards
+			sumSwaps += h.Metrics.Swap.Swaps
+			sumRollbacks += h.Metrics.Swap.Rollbacks
+		}
+	}
 	fmt.Fprintf(&b, clusterLinePrefix+
 		"state=%s nodes=%d available=%d received=%d forwarded=%d quarantined=%d shed=%d "+
 		"rerouted=%d requeued=%d send_failures=%d replayed=%d replay_dropped=%d "+
 		"journal_dropped=%d journaled=%d migrated_flows=%d migrations_skipped=%d "+
 		"nodes_added=%d nodes_removed=%d sum_received=%d sum_admitted=%d "+
-		"sum_quarantined=%d sum_shed=%d sum_classified=%d conservation_gap=%d violations=%d\n",
+		"sum_quarantined=%d sum_shed=%d sum_classified=%d conservation_gap=%d violations=%d "+
+		"journal_depth=%d sum_degraded=%d sum_swaps=%d sum_rollbacks=%d\n",
 		st.State, cs.Nodes, cs.Available, st.Received, st.Forwarded, st.Quarantined, st.Shed,
 		st.Rerouted, st.Requeued, st.SendFailures, st.Replayed, st.ReplayDropped,
 		st.JournalDropped, st.Journaled, st.MigratedFlows, st.MigrationsSkipped,
 		st.NodesAdded, st.NodesRemoved, cs.SumReceived, cs.SumAdmitted,
-		cs.SumQuarantined, cs.SumShed, cs.SumClassified, cs.Gap(), st.ConservationViolations)
+		cs.SumQuarantined, cs.SumShed, cs.SumClassified, cs.Gap(), st.ConservationViolations,
+		depth, sumDegraded, sumSwaps, sumRollbacks)
 
 	for _, n := range names {
 		if h := health[n]; !h.LastSeen.IsZero() {

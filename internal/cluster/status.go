@@ -28,6 +28,15 @@ type ClusterLine struct {
 	Gap int
 	// Violations counts per-node snapshots whose own law did not balance.
 	Violations int
+
+	// JournalDepth is the router's current count of sent-but-unacked
+	// packets across replay journals; SumDegraded, SumSwaps, and
+	// SumRollbacks federate the nodes' ops counters. All zero when the
+	// line came from a router predating these keys.
+	JournalDepth int
+	SumDegraded  int
+	SumSwaps     int
+	SumRollbacks int
 }
 
 // ClusterSnapshot is one parsed cluster status document: the CLUSTER
@@ -143,6 +152,14 @@ func clusterIntField(cl *ClusterLine, key string) *int {
 		return &cl.Gap
 	case "violations":
 		return &cl.Violations
+	case "journal_depth":
+		return &cl.JournalDepth
+	case "sum_degraded":
+		return &cl.SumDegraded
+	case "sum_swaps":
+		return &cl.SumSwaps
+	case "sum_rollbacks":
+		return &cl.SumRollbacks
 	default:
 		return nil
 	}

@@ -24,33 +24,34 @@ const (
 // EncodeSnapshot serializes the classifier as a persist.KindClassifier
 // payload (frame it with persist.Encode / persist.SaveFile).
 func (c *Classifier) EncodeSnapshot() ([]byte, error) {
+	m := c.m.Load()
 	var e persist.Encoder
-	e.U8(uint8(c.kind))
-	e.U32(uint32(len(c.widths)))
-	for _, w := range c.widths {
+	e.U8(uint8(m.kind))
+	e.U32(uint32(len(m.widths)))
+	for _, w := range m.widths {
 		e.U32(uint32(w))
 	}
-	switch c.kind {
+	switch m.kind {
 	case KindCART:
-		if c.tree == nil {
+		if m.tree == nil {
 			return nil, fmt.Errorf("core: cart classifier missing tree")
 		}
-		blob, err := c.tree.Encode()
+		blob, err := m.tree.Encode()
 		if err != nil {
 			return nil, err
 		}
 		e.Blob(blob)
 	case KindSVM:
-		if c.svm == nil {
+		if m.svm == nil {
 			return nil, fmt.Errorf("core: svm classifier missing model")
 		}
-		blob, err := c.svm.Encode()
+		blob, err := m.svm.Encode()
 		if err != nil {
 			return nil, err
 		}
 		e.Blob(blob)
 	default:
-		return nil, fmt.Errorf("core: unknown model kind %d", int(c.kind))
+		return nil, fmt.Errorf("core: unknown model kind %d", int(m.kind))
 	}
 	return e.Bytes(), nil
 }
@@ -85,7 +86,7 @@ func DecodeSnapshot(data []byte) (*Classifier, error) {
 		return nil, fmt.Errorf("core: decode classifier: %w", err)
 	}
 
-	c := &Classifier{kind: kind, widths: widths, maxWidth: widestOf(widths)}
+	m := &model{kind: kind, widths: widths, maxWidth: widestOf(widths)}
 	var modelWidth int
 	switch kind {
 	case KindCART:
@@ -93,15 +94,15 @@ func DecodeSnapshot(data []byte) (*Classifier, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.tree = tree
+		m.tree = tree
 		modelWidth = tree.Width
 	case KindSVM:
-		model, err := svm.Decode(blob)
+		mdl, err := svm.Decode(blob)
 		if err != nil {
 			return nil, err
 		}
-		c.svm = model
-		modelWidth = model.Width()
+		m.svm = mdl
+		modelWidth = mdl.Width()
 	}
 	// The feature widths drive extraction; the model's width is how many
 	// features it consumes. A mismatch means the snapshot was assembled
@@ -110,5 +111,5 @@ func DecodeSnapshot(data []byte) (*Classifier, error) {
 		return nil, fmt.Errorf("%w: model consumes %d features, snapshot lists %d widths",
 			persist.ErrCorrupt, modelWidth, len(widths))
 	}
-	return c, nil
+	return newClassifier(m), nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"iustitia/internal/corpus"
 	"iustitia/internal/entest"
@@ -259,11 +260,10 @@ func TrainOnDataset(ds *dataset.Dataset, cfg TrainConfig) (*Classifier, error) {
 		return nil, fmt.Errorf("core: dataset width %d does not match %d feature widths",
 			ds.Width(), len(cfg.Dataset.Widths))
 	}
-	c := &Classifier{
-		kind:      cfg.Kind,
-		widths:    append([]int{}, cfg.Dataset.Widths...),
-		maxWidth:  widestOf(cfg.Dataset.Widths),
-		estimator: cfg.Dataset.Estimator,
+	m := &model{
+		kind:     cfg.Kind,
+		widths:   append([]int{}, cfg.Dataset.Widths...),
+		maxWidth: widestOf(cfg.Dataset.Widths),
 	}
 	switch cfg.Kind {
 	case KindCART:
@@ -271,35 +271,94 @@ func TrainOnDataset(ds *dataset.Dataset, cfg TrainConfig) (*Classifier, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.tree = tree
+		m.tree = tree
 	case KindSVM:
-		model, err := svm.Train(ds, cfg.SVM)
+		mdl, err := svm.Train(ds, cfg.SVM)
 		if err != nil {
 			return nil, err
 		}
-		c.svm = model
+		m.svm = mdl
 	default:
 		return nil, fmt.Errorf("core: unknown model kind %d", int(cfg.Kind))
 	}
+	c := newClassifier(m)
+	c.estimator = cfg.Dataset.Estimator
 	return c, nil
 }
 
+// model is the swappable payload of a Classifier: the trained predictor
+// plus the feature geometry it was trained with. Every field that must
+// stay mutually consistent during a hot-swap lives here, so replacing the
+// whole payload is one atomic pointer store.
+type model struct {
+	kind     ModelKind
+	widths   []int
+	maxWidth int // widest entry of widths, hoisted off the per-call path
+	tree     *cart.Tree
+	svm      *svm.Model
+}
+
 // Classifier is a trained Iustitia classification module. It satisfies the
-// flow engine's Classifier interface.
+// flow engine's Classifier interface, and supports atomic model hot-swap:
+// Swap replaces the model payload under concurrent Classify calls without
+// a drain. Each classify path loads the payload pointer exactly once, so
+// an in-flight classification finishes entirely on the model it started
+// with — widths and predictor never mix across a swap.
 type Classifier struct {
-	kind      ModelKind
-	widths    []int
-	maxWidth  int // widest entry of widths, hoisted off the per-call path
-	tree      *cart.Tree
-	svm       *svm.Model
+	m atomic.Pointer[model]
+	// estimator is a runtime feature-extraction choice, deliberately not
+	// part of the swapped payload: it belongs to the deployment, not the
+	// trained model, and survives hot-swaps.
 	estimator *entest.Estimator
 }
 
+// newClassifier wraps a model payload in a Classifier.
+func newClassifier(m *model) *Classifier {
+	c := &Classifier{}
+	c.m.Store(m)
+	return c
+}
+
 // Kind returns the underlying model family.
-func (c *Classifier) Kind() ModelKind { return c.kind }
+func (c *Classifier) Kind() ModelKind { return c.m.Load().kind }
 
 // Widths returns the entropy feature widths the classifier consumes.
-func (c *Classifier) Widths() []int { return append([]int{}, c.widths...) }
+func (c *Classifier) Widths() []int {
+	m := c.m.Load()
+	return append([]int{}, m.widths...)
+}
+
+// FeatureWidths is Widths under the name the flow engine's
+// VectorClassifier interface uses.
+func (c *Classifier) FeatureWidths() []int { return c.Widths() }
+
+// Classes returns the number of output classes the model predicts over,
+// or 0 if the model does not expose it. Hot-swap verification compares
+// this against the live corpus before flipping the model in.
+func (c *Classifier) Classes() int { return c.m.Load().classes() }
+
+func (m *model) classes() int {
+	switch m.kind {
+	case KindCART:
+		if m.tree != nil {
+			return m.tree.Classes
+		}
+	case KindSVM:
+		if m.svm != nil {
+			return m.svm.Classes()
+		}
+	}
+	return 0
+}
+
+// Swap atomically installs next's model payload as c's, returning a
+// classifier that holds the previous payload so the caller can swap back
+// (rollback). Safe under concurrent Classify calls: in-flight
+// classifications complete on whichever model they loaded. The estimator
+// is not swapped — it is a property of the deployment, not the model.
+func (c *Classifier) Swap(next *Classifier) (prev *Classifier) {
+	return newClassifier(c.m.Swap(next.m.Load()))
+}
 
 // UseEstimator switches feature extraction to the (δ,ε)-approximation
 // algorithm for widths >= 2. Passing nil reverts to exact calculation.
@@ -307,37 +366,46 @@ func (c *Classifier) UseEstimator(e *entest.Estimator) { c.estimator = e }
 
 // Features computes the classifier's entropy vector for a payload buffer.
 func (c *Classifier) Features(payload []byte) ([]float64, error) {
-	if len(payload) < c.maxWidth {
-		return nil, fmt.Errorf("%w: %d < %d", ErrShortPayload, len(payload), c.maxWidth)
+	return c.features(c.m.Load(), payload)
+}
+
+func (c *Classifier) features(m *model, payload []byte) ([]float64, error) {
+	if len(payload) < m.maxWidth {
+		return nil, fmt.Errorf("%w: %d < %d", ErrShortPayload, len(payload), m.maxWidth)
 	}
 	if c.estimator != nil {
-		return c.estimator.Vector(payload, c.widths)
+		return c.estimator.Vector(payload, m.widths)
 	}
-	return entropy.VectorAt(payload, c.widths)
+	return entropy.VectorAt(payload, m.widths)
 }
 
 // Classify labels a payload buffer with its content nature.
 func (c *Classifier) Classify(payload []byte) (corpus.Class, error) {
-	vec, err := c.Features(payload)
+	m := c.m.Load()
+	vec, err := c.features(m, payload)
 	if err != nil {
 		return 0, err
 	}
-	return c.ClassifyVector(vec)
+	return m.classifyVector(vec)
 }
 
 // ClassifyVector labels an already-computed entropy vector.
 func (c *Classifier) ClassifyVector(vec []float64) (corpus.Class, error) {
+	return c.m.Load().classifyVector(vec)
+}
+
+func (m *model) classifyVector(vec []float64) (corpus.Class, error) {
 	var (
 		label int
 		err   error
 	)
-	switch c.kind {
+	switch m.kind {
 	case KindCART:
-		label, err = c.tree.Predict(vec)
+		label, err = m.tree.Predict(vec)
 	case KindSVM:
-		label, err = c.svm.Predict(vec)
+		label, err = m.svm.Predict(vec)
 	default:
-		return 0, fmt.Errorf("core: classifier has unknown kind %d", int(c.kind))
+		return 0, fmt.Errorf("core: classifier has unknown kind %d", int(m.kind))
 	}
 	if err != nil {
 		return 0, err
@@ -371,9 +439,10 @@ type classifierJSON struct {
 
 // Save writes the classifier as JSON.
 func (c *Classifier) Save(w io.Writer) error {
-	out := classifierJSON{Kind: c.kind, Widths: c.widths, Tree: c.tree}
-	if c.svm != nil {
-		blob, err := json.Marshal(c.svm)
+	m := c.m.Load()
+	out := classifierJSON{Kind: m.kind, Widths: m.widths, Tree: m.tree}
+	if m.svm != nil {
+		blob, err := json.Marshal(m.svm)
 		if err != nil {
 			return fmt.Errorf("core: marshal svm: %w", err)
 		}
@@ -396,7 +465,7 @@ func Load(r io.Reader) (*Classifier, error) {
 	if err := validateWidths(in.Widths); err != nil {
 		return nil, err
 	}
-	c := &Classifier{
+	m := &model{
 		kind:     in.Kind,
 		widths:   append([]int{}, in.Widths...),
 		maxWidth: widestOf(in.Widths),
@@ -406,18 +475,18 @@ func Load(r io.Reader) (*Classifier, error) {
 		if in.Tree == nil {
 			return nil, errors.New("core: cart classifier missing tree")
 		}
-		c.tree = in.Tree
+		m.tree = in.Tree
 	case KindSVM:
 		if len(in.SVM) == 0 {
 			return nil, errors.New("core: svm classifier missing model")
 		}
-		var model svm.Model
-		if err := json.Unmarshal(in.SVM, &model); err != nil {
+		var mdl svm.Model
+		if err := json.Unmarshal(in.SVM, &mdl); err != nil {
 			return nil, fmt.Errorf("core: decode svm: %w", err)
 		}
-		c.svm = &model
+		m.svm = &mdl
 	default:
 		return nil, fmt.Errorf("core: unknown model kind %d", int(in.Kind))
 	}
-	return c, nil
+	return newClassifier(m), nil
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/ml/cart"
+)
+
+func trainCART(t *testing.T, files []corpus.File, widths []int, b int) *Classifier {
+	t.Helper()
+	c, err := Train(files, TrainConfig{
+		Kind: KindCART,
+		Dataset: DatasetConfig{
+			Widths: widths, Method: MethodPrefix, BufferSize: b,
+		},
+		CART: cart.Config{MinLeaf: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSwapReplacesModel(t *testing.T) {
+	files := pool(t, 10, 1024, 2048, 7)
+	a := trainCART(t, files, []int{1, 3, 4, 5}, 512)
+	b := trainCART(t, files, []int{1, 2}, 512)
+
+	wantA, wantB := a.Widths(), b.Widths()
+	prev := a.Swap(b)
+
+	if got := a.Widths(); len(got) != len(wantB) {
+		t.Errorf("after swap, widths = %v, want %v", got, wantB)
+	}
+	if got := prev.Widths(); len(got) != len(wantA) {
+		t.Errorf("prev widths = %v, want %v", got, wantA)
+	}
+
+	// The swapped-in model must actually serve: verdicts now agree with b
+	// on every corpus file.
+	for i, f := range files {
+		if len(f.Data) < 512 {
+			continue
+		}
+		got, err := a.Classify(f.Data[:512])
+		if err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		want, err := b.Classify(f.Data[:512])
+		if err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("file %d: swapped classifier disagrees with source: %v vs %v", i, got, want)
+		}
+	}
+
+	// Swapping prev back restores the original model.
+	a.Swap(prev)
+	if got := a.Widths(); len(got) != len(wantA) {
+		t.Errorf("after rollback, widths = %v, want %v", got, wantA)
+	}
+}
+
+func TestSwapUnderConcurrentClassify(t *testing.T) {
+	files := pool(t, 8, 1024, 2048, 8)
+	a := trainCART(t, files, []int{1, 3, 4, 5}, 512)
+	b := trainCART(t, files, []int{1, 2}, 512)
+
+	payloads := make([][]byte, 0, len(files))
+	for _, f := range files {
+		if len(f.Data) >= 512 {
+			payloads = append(payloads, f.Data[:512])
+		}
+	}
+	if len(payloads) == 0 {
+		t.Fatal("no payloads long enough")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cls, err := a.Classify(payloads[(w+i)%len(payloads)])
+				if err != nil {
+					// A classify must never observe a torn model: errors
+					// would mean one model's widths fed the other's
+					// predictor.
+					t.Errorf("classify during swap: %v", err)
+					return
+				}
+				if cls < 0 || int(cls) >= corpus.NumClasses {
+					t.Errorf("classify during swap: class %d out of range", int(cls))
+					return
+				}
+			}
+		}(w)
+	}
+	other := b
+	for i := 0; i < 200; i++ {
+		other = a.Swap(other)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestClassifierClasses(t *testing.T) {
+	files := pool(t, 10, 1024, 2048, 9)
+	c := trainCART(t, files, []int{1, 3}, 512)
+	if got := c.Classes(); got != corpus.NumClasses {
+		t.Errorf("Classes() = %d, want %d", got, corpus.NumClasses)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"iustitia/internal/corpus"
 	"iustitia/internal/entest"
 	"iustitia/internal/packet"
+	"iustitia/internal/stats"
 )
 
 // Classifier labels a buffered payload prefix with its content nature.
@@ -232,6 +233,15 @@ type Engine struct {
 	// restart).
 	sinceCkpt int
 	restored  EngineStats
+
+	// Live-ops instrumentation (guarded by mu): per-shard classification
+	// latency histogram (log2-microsecond bins, see latencyHistogram), and
+	// a small ring of recently classified full payload buffers used to
+	// shadow-test hot-swap candidate models against real traffic
+	// (buffered mode only; stream mode discards payload by design).
+	latency    *stats.Histogram
+	samples    [][]byte
+	sampleNext int
 }
 
 // NewEngine validates cfg and builds an engine.
@@ -258,11 +268,12 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		return nil, fmt.Errorf("flow: fallback class %d out of range", int(cfg.FallbackClass))
 	}
 	e := &Engine{
-		cfg:  cfg,
-		cdb:  NewCDB(cfg.CDB),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		pend: make(map[ID]*pending),
-		lru:  list.New(),
+		cfg:     cfg,
+		cdb:     NewCDB(cfg.CDB),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		pend:    make(map[ID]*pending),
+		lru:     list.New(),
+		latency: newLatencyHistogram(),
 	}
 	if cfg.Stream != nil {
 		vclf, ok := cfg.Classifier.(VectorClassifier)
@@ -504,14 +515,19 @@ func (e *Engine) classifyLocked(id ID, fl *pending, now time.Duration) (Verdict,
 	var label corpus.Class
 	var fellBack bool
 	var err error
+	start := time.Now()
 	if e.streaming() {
 		label, fellBack, err = e.decideStreamLocked(fl.sv)
 	} else {
 		label, fellBack, err = e.decideLocked(fl.buf)
 	}
+	e.latency.Observe(latencyBinValue(time.Since(start)))
 	if err != nil {
 		e.dropped++
 		return Verdict{}, fmt.Errorf("flow: classify: %w", err)
+	}
+	if !fellBack && !e.streaming() && len(fl.buf) >= e.cfg.BufferSize {
+		e.recordSampleLocked(fl.buf)
 	}
 	e.cdb.Insert(id, label, now)
 	e.recordLabelLocked(id, label)
@@ -533,10 +549,12 @@ func (e *Engine) classifyLocked(id ID, fl *pending, now time.Duration) (Verdict,
 // flushed. Flows whose buffers are still empty (e.g. all bytes consumed by
 // header skipping) are dropped unclassified.
 func (e *Engine) FlushIdle(now time.Duration) (int, error) {
-	if e.cfg.IdleFlush <= 0 {
-		return 0, nil
-	}
-	n, err := e.flush(func(fl *pending) bool { return now-fl.lastSeen >= e.cfg.IdleFlush }, now)
+	// The predicate runs under e.mu (flush holds it), which is what makes
+	// IdleFlush safe to retune live via SetIdleFlush.
+	n, err := e.flush(func(fl *pending) bool {
+		idle := e.cfg.IdleFlush
+		return idle > 0 && now-fl.lastSeen >= idle
+	}, now)
 	e.maybeCheckpoint()
 	return n, err
 }

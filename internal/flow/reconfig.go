@@ -1,0 +1,166 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"iustitia/internal/stats"
+)
+
+// This file is the engine's live-operations surface: governor knobs that
+// can be retuned on a serving engine without a drain, and the
+// instrumentation (classification latency histograms, a shadow-sample
+// ring) the ops layer reads for metrics and hot-swap verification.
+// Everything here takes e.mu, so a reconfig serializes against the packet
+// path the same way any classify does — no packet ever observes a
+// half-applied setting.
+
+// Latency histogram geometry: classification cost spans four orders of
+// magnitude (a 32-byte buffer decides in ~1 µs, a 1 MiB one in
+// milliseconds), so samples are recorded as log2(1 + microseconds) into
+// one-unit-wide bins — bin i covers [2^i - 1, 2^(i+1) - 1) µs, and 24
+// bins reach ~16 s.
+const latencyBins = 24
+
+func newLatencyHistogram() *stats.Histogram {
+	h, err := stats.NewEmptyHistogram(latencyBins, 0, latencyBins)
+	if err != nil {
+		// Unreachable: the geometry is a compile-time constant.
+		panic(err)
+	}
+	return h
+}
+
+// latencyBinValue maps a classify duration onto the histogram's log2 axis.
+func latencyBinValue(d time.Duration) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return math.Log2(1 + float64(d.Microseconds()))
+}
+
+// sampleRingSize bounds the shadow-sample ring. A handful of recent
+// buffers is enough to smoke-test a candidate model against live traffic
+// without holding onto payload history.
+const sampleRingSize = 16
+
+// recordSampleLocked retains a classified full buffer in the shadow ring.
+// The buffer is owned by the retired flow, so no copy is needed — nothing
+// mutates it after classification. Caller holds e.mu.
+func (e *Engine) recordSampleLocked(buf []byte) {
+	if len(e.samples) < sampleRingSize {
+		e.samples = append(e.samples, buf)
+		return
+	}
+	e.samples[e.sampleNext] = buf
+	e.sampleNext = (e.sampleNext + 1) % sampleRingSize
+}
+
+// SampleBuffers returns the engine's ring of recently classified payload
+// buffers (newest-last is not guaranteed; order is unspecified). Buffered
+// mode only — a stream engine never retains payload and returns nil.
+func (e *Engine) SampleBuffers() [][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([][]byte(nil), e.samples...)
+}
+
+// LatencyHistogram returns a snapshot of the engine's classification
+// latency histogram (log2-microsecond bins, see latencyBins).
+func (e *Engine) LatencyHistogram() *stats.Histogram {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.latency.Clone()
+}
+
+// SetMaxPending retunes the pending-table cap live. The new cap governs
+// admissions from the next packet on; a table already above a lowered cap
+// shrinks one eviction per new-flow arrival rather than being drained,
+// so conservation counters are never disturbed in bulk.
+func (e *Engine) SetMaxPending(n int) error {
+	if n < 0 {
+		return fmt.Errorf("flow: negative pending cap %d", n)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.MaxPending = n
+	return nil
+}
+
+// SetEviction retunes the full-table admission policy live.
+func (e *Engine) SetEviction(p EvictPolicy) error {
+	if p < EvictOldest || p > EvictShed {
+		return fmt.Errorf("flow: unknown eviction policy %d", int(p))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.Eviction = p
+	return nil
+}
+
+// SetIdleFlush retunes the idle-flush window live. Zero disables idle
+// flushing.
+func (e *Engine) SetIdleFlush(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("flow: negative idle-flush window %v", d)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.IdleFlush = d
+	return nil
+}
+
+// SetMaxPending applies the cap to every shard. The cap is per shard,
+// matching how EngineConfig.MaxPending is interpreted at construction.
+func (pe *ParallelEngine) SetMaxPending(n int) error {
+	var errs []error
+	for i, shard := range pe.shards {
+		if err := shard.SetMaxPending(n); err != nil {
+			errs = append(errs, fmt.Errorf("flow: shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SetEviction applies the eviction policy to every shard.
+func (pe *ParallelEngine) SetEviction(p EvictPolicy) error {
+	var errs []error
+	for i, shard := range pe.shards {
+		if err := shard.SetEviction(p); err != nil {
+			errs = append(errs, fmt.Errorf("flow: shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SetIdleFlush applies the idle-flush window to every shard.
+func (pe *ParallelEngine) SetIdleFlush(d time.Duration) error {
+	var errs []error
+	for i, shard := range pe.shards {
+		if err := shard.SetIdleFlush(d); err != nil {
+			errs = append(errs, fmt.Errorf("flow: shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SampleBuffers pools every shard's shadow-sample ring.
+func (pe *ParallelEngine) SampleBuffers() [][]byte {
+	var all [][]byte
+	for _, shard := range pe.shards {
+		all = append(all, shard.SampleBuffers()...)
+	}
+	return all
+}
+
+// LatencyHistograms returns one latency snapshot per shard, in shard
+// order.
+func (pe *ParallelEngine) LatencyHistograms() []*stats.Histogram {
+	hs := make([]*stats.Histogram, len(pe.shards))
+	for i, shard := range pe.shards {
+		hs[i] = shard.LatencyHistogram()
+	}
+	return hs
+}

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -152,6 +153,15 @@ type Config struct {
 	// written (the zero time means never); the STATUS line carries its
 	// age so a router can spot a node whose durability has stalled.
 	CheckpointTime func() time.Time
+	// AdminHandler, when non-nil, receives status-listener commands the
+	// server itself does not recognize — the hook the ops admin protocol
+	// (internal/ops) dispatches through. It gets the upper-cased verb, its
+	// arguments, the connection's buffered reader (for verbs that carry a
+	// body, e.g. a model blob), and the connection for replies; it reports
+	// whether it handled the verb. The handler runs on the status
+	// connection's goroutine with the standard status deadlines already
+	// armed; verbs that need more time must extend them on c.
+	AdminHandler func(verb string, args []string, body *bufio.Reader, c net.Conn) bool
 }
 
 // Stats is a point-in-time summary of ingest activity. The frame counters
@@ -224,6 +234,15 @@ type Server struct {
 	queues  []chan item
 	batches []*batchState
 	maxSeen atomic.Int64 // highest packet virtual time, for FlushAll
+
+	// Live-reconfigurable knobs (see reconfig.go). The atomics shadow
+	// cfg.Overflow and cfg.Batch so SET/SIGHUP can retune them while
+	// readers and workers run; everything else in cfg stays immutable
+	// after NewServer.
+	overflow atomic.Int32
+	batchN   atomic.Int32
+
+	startTime time.Time // set once in Start, guarded by mu
 
 	// force is closed when a drain deadline expires: blocked enqueues
 	// abort and restart timers fire early.
@@ -335,6 +354,8 @@ func NewServer(cfg Config) (*Server, error) {
 		seenSeq:  cfg.ResumeSeq,
 		ackedSeq: cfg.ResumeSeq,
 	}
+	s.overflow.Store(int32(cfg.Overflow))
+	s.batchN.Store(int32(cfg.Batch))
 	for i := range s.batches {
 		s.batches[i] = &batchState{
 			items: make([]item, 0, cfg.Batch),
@@ -366,6 +387,7 @@ func (s *Server) Start() error {
 		return errors.New("ingest: server already started")
 	}
 	s.started = true
+	s.startTime = time.Now()
 	s.mu.Unlock()
 
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -509,7 +531,7 @@ func (s *Server) workerFor(p *packet.Packet) chan item {
 func (s *Server) enqueue(pkt packet.Packet, credits chan struct{}) bool {
 	q := s.workerFor(&pkt)
 	it := item{pkt: pkt, credits: credits}
-	switch s.cfg.Overflow {
+	switch s.OverflowPolicy() {
 	case OverflowBlock:
 		select {
 		case credits <- struct{}{}:
@@ -549,7 +571,7 @@ func (s *Server) enqueue(pkt packet.Packet, credits chan struct{}) bool {
 func (s *Server) shedOne() bool {
 	s.mu.Lock()
 	s.shed++
-	disconnect := s.cfg.Overflow == OverflowDisconnect
+	disconnect := s.OverflowPolicy() == OverflowDisconnect
 	if disconnect {
 		s.disconnected++
 	}
@@ -613,7 +635,7 @@ func (s *Server) gatherBatch(bs *batchState, q chan item) bool {
 		return false
 	}
 	bs.items = append(bs.items, it)
-	for len(bs.items) < s.cfg.Batch {
+	for len(bs.items) < s.Batch() {
 		select {
 		case it, ok := <-q:
 			if !ok {

@@ -60,6 +60,9 @@ type NodeStatus struct {
 	// CheckpointAge is how long ago the last checkpoint was written, or
 	// NoCheckpoint if none has been.
 	CheckpointAge time.Duration
+	// Uptime is how long the node has been started. Zero when the line
+	// came from a server that predates the uptime_ms key.
+	Uptime time.Duration
 	// Stream names the engine's sketch backend when it runs in
 	// constant-memory stream mode ("lall", "cc"), empty for a buffered
 	// engine. A router uses it to spot mixed-mode clusters.
@@ -91,14 +94,14 @@ func (ns NodeStatus) StatusLine() string {
 		"engine_fallback=%d engine_shed=%d engine_dropped=%d "+
 		"q_text=%d q_binary=%d q_encrypted=%d "+
 		"seen_seq=%d acked_seq=%d deduped=%d migrated_in=%d migrated_out=%d "+
-		"checkpoint_age_ms=%d%s",
+		"uptime_ms=%d checkpoint_age_ms=%d%s",
 		ns.Node, ns.State,
 		ns.Received, ns.Admitted, ns.Quarantined, ns.Shed,
 		ns.EngineAdmitted, ns.EngineClassified, ns.EnginePending,
 		ns.EngineFallback, ns.EngineShed, ns.EngineDropped,
 		ns.Queue[corpus.Text], ns.Queue[corpus.Binary], ns.Queue[corpus.Encrypted],
 		ns.SeenSeq, ns.AckedSeq, ns.Deduped, ns.MigratedIn, ns.MigratedOut,
-		age, stream)
+		ns.Uptime.Milliseconds(), age, stream)
 }
 
 // ParseState maps a State.String() value back to its State.
@@ -178,6 +181,10 @@ func ParseStatusLine(doc string) (NodeStatus, error) {
 			ns.MigratedOut, err = strconv.Atoi(val)
 		case "stream":
 			ns.Stream = val
+		case "uptime_ms":
+			var ms int64
+			ms, err = strconv.ParseInt(val, 10, 64)
+			ns.Uptime = time.Duration(ms) * time.Millisecond
 		case "checkpoint_age_ms":
 			var ms int64
 			ms, err = strconv.ParseInt(val, 10, 64)
@@ -228,6 +235,7 @@ func (s *Server) nodeStatusFrom(st Stats, es flow.EngineStats) NodeStatus {
 		MigratedIn:       es.MigratedIn,
 		MigratedOut:      es.MigratedOut,
 		CheckpointAge:    NoCheckpoint,
+		Uptime:           s.Uptime(),
 		Stream:           s.cfg.StreamMode,
 	}
 	if s.cfg.CheckpointTime != nil {

@@ -154,12 +154,16 @@ func (s *Server) serveStatusConn(c net.Conn) {
 		_, _ = c.Write([]byte(s.StatusText()))
 		return
 	}
-	switch strings.ToUpper(fields[0]) {
+	verb := strings.ToUpper(fields[0])
+	switch verb {
 	case "EXPORT":
 		s.handleExport(c, fields[1:])
 	case "IMPORT":
 		s.handleImport(br, c, fields[1:])
 	default:
+		if s.cfg.AdminHandler != nil && s.cfg.AdminHandler(verb, fields[1:], br, c) {
+			return
+		}
 		fmt.Fprintf(c, "ERR unknown command %q\n", fields[0])
 	}
 }
@@ -210,7 +214,12 @@ func (s *Server) handleImport(br *bufio.Reader, c net.Conn, args []string) {
 	}
 	_ = c.SetReadDeadline(time.Now().Add(statusBlobTimeout))
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(br, buf); err != nil {
+	_, err = io.ReadFull(br, buf)
+	// Re-arm the write deadline: the one set at connection start may have
+	// lapsed while a large blob streamed in, and replies written against an
+	// expired deadline fail silently.
+	_ = c.SetWriteDeadline(time.Now().Add(statusIOTimeout))
+	if err != nil {
 		fmt.Fprintf(c, "ERR read blob: %v\n", err)
 		return
 	}

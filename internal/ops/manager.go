@@ -1,0 +1,277 @@
+// Package ops is the operational control plane of a serving node: a
+// versioned admin protocol (RELOAD / SWAP-MODEL / SET / METRICS / DRAIN)
+// dispatched through the ingest status listener, live reconfiguration of
+// the overflow, batch, and governor knobs, atomic model hot-swap with
+// verification, shadow classification, and breaker-watched rollback, and
+// the structured metrics snapshot a cluster router federates.
+package ops
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/flow"
+	"iustitia/internal/ingest"
+)
+
+// Version is the admin protocol version. Every OK reply is prefixed
+// "OK v<Version>", so a client can refuse to drive a node it does not
+// understand.
+const Version = 1
+
+// Verbs lists the admin verbs this protocol version serves.
+var Verbs = []string{"METRICS", "SET", "RELOAD", "SWAP-MODEL", "DRAIN", "OPS"}
+
+const (
+	// maxModelBlob bounds the declared SWAP-MODEL length.
+	maxModelBlob = 256 << 20
+	// swapBlobTimeout bounds one model blob transfer.
+	swapBlobTimeout = 30 * time.Second
+	// replyTimeout bounds a verb reply write.
+	replyTimeout = 5 * time.Second
+
+	defaultProbationWindow = 3 * time.Second
+	defaultProbationPoll   = 25 * time.Millisecond
+)
+
+// Config assembles a Manager.
+type Config struct {
+	// Engine is the serving engine: reconfig fans out to its shards, and
+	// the hot-swap probation watches its degraded-shard count.
+	Engine *flow.ParallelEngine
+	// Classifier is the live model every shard classifies through;
+	// SWAP-MODEL flips its atomic model payload.
+	Classifier *core.Classifier
+	// Classes is the number of output classes the deployment serves
+	// (corpus.NumClasses); a candidate model predicting over a different
+	// class set is refused.
+	Classes int
+	// BufferSize is the engine's b. In buffered mode a candidate whose
+	// widest feature exceeds it could never see a full vector, so it is
+	// refused.
+	BufferSize int
+	// Stream marks a constant-memory engine: sketch layout is baked to
+	// the feature-width sequence at engine construction, so a candidate
+	// must match the live widths exactly.
+	Stream bool
+	// ConfigPath is the file RELOAD and SIGHUP re-read (empty disables
+	// RELOAD).
+	ConfigPath string
+	// Drain, when non-nil, triggers a graceful drain (the DRAIN verb).
+	Drain func()
+	// ProbationWindow is how long a freshly swapped model is watched for
+	// breaker trips before the previous model is released; ProbationPoll
+	// is the check interval. Zero selects the defaults.
+	ProbationWindow, ProbationPoll time.Duration
+}
+
+// Manager serves the admin protocol for one node. Wire HandleAdmin into
+// ingest.Config.AdminHandler, then AttachServer once the server exists.
+type Manager struct {
+	cfg Config
+	srv *ingest.Server
+
+	mu        sync.Mutex
+	swapping  bool // a swap is mid-flight or in probation
+	swaps     int
+	rejected  int
+	rollbacks int
+	reconfigs int
+	lastSwap  string // last swap outcome, for METRICS
+
+	probation sync.WaitGroup
+}
+
+// NewManager validates cfg and builds a manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("ops: engine is required")
+	}
+	if cfg.Classifier == nil {
+		return nil, errors.New("ops: classifier is required")
+	}
+	if cfg.Classes < 1 {
+		return nil, fmt.Errorf("ops: class count %d is not positive", cfg.Classes)
+	}
+	if cfg.BufferSize < 1 {
+		return nil, fmt.Errorf("ops: buffer size %d is not positive", cfg.BufferSize)
+	}
+	if cfg.ProbationWindow == 0 {
+		cfg.ProbationWindow = defaultProbationWindow
+	}
+	if cfg.ProbationPoll == 0 {
+		cfg.ProbationPoll = defaultProbationPoll
+	}
+	if cfg.ProbationWindow < 0 || cfg.ProbationPoll < 0 {
+		return nil, errors.New("ops: negative probation window or poll")
+	}
+	return &Manager{cfg: cfg}, nil
+}
+
+// AttachServer hands the manager the ingest server it reconfigures and
+// reads metrics through. Separate from NewManager because the server's
+// Config needs HandleAdmin before the server can be built.
+func (m *Manager) AttachServer(s *ingest.Server) { m.srv = s }
+
+// Close waits for an in-flight probation watcher to finish. Call during
+// shutdown so a rollback never races process exit.
+func (m *Manager) Close() { m.probation.Wait() }
+
+// HandleAdmin dispatches one admin verb; it is the
+// ingest.Config.AdminHandler implementation. Unknown verbs report false
+// so the server's own error path answers.
+func (m *Manager) HandleAdmin(verb string, args []string, body *bufio.Reader, c net.Conn) bool {
+	switch verb {
+	case "OPS":
+		m.reply(c, "OK v%d verbs=%s", Version, strings.Join(Verbs, ","))
+	case "METRICS":
+		blob, err := json.Marshal(m.NodeMetrics())
+		if err != nil {
+			m.reply(c, "ERR metrics: %v", err)
+			return true
+		}
+		_ = c.SetWriteDeadline(time.Now().Add(replyTimeout))
+		_, _ = c.Write(append(blob, '\n'))
+	case "SET":
+		st, err := ParseSettings(args)
+		if err != nil {
+			m.reply(c, "ERR %v", err)
+			return true
+		}
+		if err := m.Apply(st); err != nil {
+			m.reply(c, "ERR %v", err)
+			return true
+		}
+		m.reply(c, "OK v%d applied=%s", Version, strings.Join(st.Keys(), ","))
+	case "RELOAD":
+		st, err := m.ReloadConfig()
+		if err != nil {
+			m.reply(c, "ERR %v", err)
+			return true
+		}
+		m.reply(c, "OK v%d reloaded=%s applied=%s", Version, m.cfg.ConfigPath, strings.Join(st.Keys(), ","))
+	case "SWAP-MODEL":
+		m.handleSwap(args, body, c)
+	case "DRAIN":
+		if m.cfg.Drain == nil {
+			m.reply(c, "ERR drain is not wired on this node")
+			return true
+		}
+		m.reply(c, "OK v%d draining", Version)
+		m.cfg.Drain()
+	default:
+		return false
+	}
+	return true
+}
+
+// reply writes one line under a fresh write deadline.
+func (m *Manager) reply(c net.Conn, format string, args ...any) {
+	_ = c.SetWriteDeadline(time.Now().Add(replyTimeout))
+	fmt.Fprintf(c, format+"\n", args...)
+}
+
+// handleSwap reads the declared model blob and runs the swap pipeline.
+func (m *Manager) handleSwap(args []string, body *bufio.Reader, c net.Conn) {
+	if len(args) != 1 {
+		m.reply(c, "ERR SWAP-MODEL wants exactly one length")
+		return
+	}
+	n, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil || n < 1 || n > maxModelBlob {
+		m.reply(c, "ERR bad SWAP-MODEL length %q", args[0])
+		return
+	}
+	_ = c.SetReadDeadline(time.Now().Add(swapBlobTimeout))
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(body, blob); err != nil {
+		m.reply(c, "ERR read model blob: %v", err)
+		return
+	}
+	res, err := m.SwapModel(blob)
+	if err != nil {
+		m.reply(c, "ERR %v", err)
+		return
+	}
+	m.reply(c, "OK v%d swapped kind=%s widths=%d shadow=%d probation_ms=%d",
+		Version, res.Kind, len(res.Widths), res.ShadowSamples, m.cfg.ProbationWindow.Milliseconds())
+}
+
+// Apply installs a settings bundle under the server's reconfig gate, so
+// no frame is mid-admission while the knobs turn. Engine knobs fan out to
+// every shard. All-or-nothing per knob: a bad value errors without
+// touching the rest only if it fails validation first, so callers should
+// treat an error as "re-check the node's state".
+func (m *Manager) Apply(st Settings) error {
+	var errs []error
+	apply := func() {
+		if st.Overflow != nil {
+			if err := m.srv.SetOverflow(*st.Overflow); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if st.Batch != nil {
+			if err := m.srv.SetBatch(*st.Batch); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if st.MaxPending != nil {
+			if err := m.cfg.Engine.SetMaxPending(*st.MaxPending); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if st.Evict != nil {
+			if err := m.cfg.Engine.SetEviction(*st.Evict); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if st.IdleFlush != nil {
+			if err := m.cfg.Engine.SetIdleFlush(*st.IdleFlush); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if m.srv == nil {
+		return errors.New("ops: no server attached")
+	}
+	m.srv.Reconfigure(apply)
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	if len(st.Keys()) > 0 {
+		m.mu.Lock()
+		m.reconfigs++
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// ReloadConfig re-reads the config file (the SIGHUP and RELOAD path) and
+// applies it, returning what was applied.
+func (m *Manager) ReloadConfig() (Settings, error) {
+	if m.cfg.ConfigPath == "" {
+		return Settings{}, errors.New("ops: no config file configured (-config)")
+	}
+	data, err := os.ReadFile(m.cfg.ConfigPath)
+	if err != nil {
+		return Settings{}, fmt.Errorf("ops: read config: %w", err)
+	}
+	st, err := ParseConfigFile(data)
+	if err != nil {
+		return Settings{}, err
+	}
+	if err := m.Apply(st); err != nil {
+		return Settings{}, err
+	}
+	return st, nil
+}

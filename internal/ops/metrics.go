@@ -1,0 +1,217 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"iustitia/internal/corpus"
+)
+
+// NodeMetrics is the structured metrics snapshot of one serving node,
+// served as a single JSON line by the METRICS admin verb. It is the
+// machine half of the ops story: where the STATUS line carries the
+// conservation counters a router needs every probe, this document
+// carries everything else — queue depths, verdict rates, latency
+// histograms, swap history — in a schema that can grow keys without
+// breaking consumers (decode with json.Unmarshal; unknown fields are
+// skipped by construction).
+type NodeMetrics struct {
+	// Version is the admin protocol version that produced the snapshot.
+	Version int `json:"version"`
+	// Node and State mirror the STATUS line's identity and health FSM.
+	Node  string `json:"node,omitempty"`
+	State string `json:"state,omitempty"`
+	// UptimeMS is milliseconds since Start; CheckpointAgeMS is
+	// milliseconds since the last durable node checkpoint, -1 if none.
+	UptimeMS        int64 `json:"uptime_ms"`
+	CheckpointAgeMS int64 `json:"checkpoint_age_ms"`
+
+	Transport TransportMetrics `json:"transport"`
+	Engine    EngineMetrics    `json:"engine"`
+	Queue     QueueMetrics     `json:"queue"`
+	// Verdicts holds one entry per corpus class, in class order.
+	Verdicts []VerdictMetrics `json:"verdicts"`
+	// ShardLatency holds one classification-latency histogram per engine
+	// shard.
+	ShardLatency []LatencyMetrics `json:"shard_latency"`
+	Swap         SwapMetrics      `json:"swap"`
+	Settings     SettingsMetrics  `json:"settings"`
+}
+
+// TransportMetrics are the ingest-side counters (§9 law: received ==
+// admitted + quarantined + shed).
+type TransportMetrics struct {
+	Received    int    `json:"received"`
+	Admitted    int    `json:"admitted"`
+	Quarantined int    `json:"quarantined"`
+	Shed        int    `json:"shed"`
+	Deduped     int    `json:"deduped"`
+	SeenSeq     uint64 `json:"seen_seq"`
+	AckedSeq    uint64 `json:"acked_seq"`
+}
+
+// EngineMetrics are the flow-engine verdict counters (§6 law: admitted ==
+// classified + fallback + dropped + pending).
+type EngineMetrics struct {
+	Admitted       int `json:"admitted"`
+	Classified     int `json:"classified"`
+	Pending        int `json:"pending"`
+	Fallback       int `json:"fallback"`
+	Shed           int `json:"shed"`
+	Dropped        int `json:"dropped"`
+	Evicted        int `json:"evicted"`
+	Failed         int `json:"failed"`
+	DegradedShards int `json:"degraded_shards"`
+	MigratedIn     int `json:"migrated_in"`
+	MigratedOut    int `json:"migrated_out"`
+}
+
+// QueueMetrics is the ingest frame-queue occupancy, summed over workers.
+type QueueMetrics struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+// VerdictMetrics is one class's routed-packet count and its share of all
+// routed packets (0 when nothing has been routed).
+type VerdictMetrics struct {
+	Class   string  `json:"class"`
+	Packets int     `json:"packets"`
+	Rate    float64 `json:"rate"`
+}
+
+// LatencyMetrics is one shard's classification-latency histogram. Bin i
+// counts decides whose log2(1+µs) fell in [i, i+1) — so bin 0 is
+// sub-microsecond, bin 10 is ~1ms, bin 20 is ~1s.
+type LatencyMetrics struct {
+	Shard int   `json:"shard"`
+	Total int   `json:"total"`
+	Bins  []int `json:"bins"`
+}
+
+// SwapMetrics is the hot-swap and reconfig history.
+type SwapMetrics struct {
+	// Swaps counts models flipped in; Rejected counts candidates refused
+	// before the flip; Rollbacks counts probation reversals. InProgress
+	// is true while a swap is mid-flight or in probation.
+	Swaps      int    `json:"swaps"`
+	Rejected   int    `json:"rejected"`
+	Rollbacks  int    `json:"rollbacks"`
+	Reconfigs  int    `json:"reconfigs"`
+	InProgress bool   `json:"in_progress"`
+	Last       string `json:"last,omitempty"`
+	// ModelKind names the currently serving model.
+	ModelKind string `json:"model_kind"`
+}
+
+// SettingsMetrics echoes the live-tunable knob values, so an operator can
+// confirm a SET/RELOAD landed.
+type SettingsMetrics struct {
+	Overflow string `json:"overflow"`
+	Batch    int    `json:"batch"`
+}
+
+// NodeMetrics assembles the snapshot. Safe without an attached server
+// (engine- and swap-side fields only), so it can be built mid-bootstrap.
+func (m *Manager) NodeMetrics() NodeMetrics {
+	nm := NodeMetrics{Version: Version, CheckpointAgeMS: -1}
+
+	es := m.cfg.Engine.Stats()
+	nm.Engine = EngineMetrics{
+		Admitted:       es.Admitted,
+		Classified:     es.Classified,
+		Pending:        es.Pending,
+		Fallback:       es.Fallback,
+		Shed:           es.Shed,
+		Dropped:        es.Dropped,
+		Evicted:        es.Evicted,
+		Failed:         es.Failed,
+		DegradedShards: es.Degraded,
+		MigratedIn:     es.MigratedIn,
+		MigratedOut:    es.MigratedOut,
+	}
+
+	routed := 0
+	for _, n := range es.QueueCounts {
+		routed += n
+	}
+	names := corpus.ClassNames()
+	for cls, n := range es.QueueCounts {
+		v := VerdictMetrics{Class: names[cls], Packets: n}
+		if routed > 0 {
+			v.Rate = float64(n) / float64(routed)
+		}
+		nm.Verdicts = append(nm.Verdicts, v)
+	}
+
+	for shard, h := range m.cfg.Engine.LatencyHistograms() {
+		nm.ShardLatency = append(nm.ShardLatency, LatencyMetrics{
+			Shard: shard,
+			Total: h.Total,
+			Bins:  append([]int(nil), h.Counts...),
+		})
+	}
+
+	m.mu.Lock()
+	nm.Swap = SwapMetrics{
+		Swaps:      m.swaps,
+		Rejected:   m.rejected,
+		Rollbacks:  m.rollbacks,
+		Reconfigs:  m.reconfigs,
+		InProgress: m.swapping,
+		Last:       m.lastSwap,
+		ModelKind:  m.cfg.Classifier.Kind().String(),
+	}
+	m.mu.Unlock()
+
+	if m.srv != nil {
+		ns := m.srv.NodeStatus()
+		nm.Node = ns.Node
+		nm.State = ns.State.String()
+		nm.UptimeMS = ns.Uptime.Milliseconds()
+		if ns.CheckpointAge >= 0 {
+			nm.CheckpointAgeMS = ns.CheckpointAge.Milliseconds()
+		}
+		nm.Transport = TransportMetrics{
+			Received:    ns.Received,
+			Admitted:    ns.Admitted,
+			Quarantined: ns.Quarantined,
+			Shed:        ns.Shed,
+			Deduped:     ns.Deduped,
+			SeenSeq:     ns.SeenSeq,
+			AckedSeq:    ns.AckedSeq,
+		}
+		nm.Queue.Depth, nm.Queue.Capacity = m.srv.QueueDepth()
+		nm.Settings = SettingsMetrics{
+			Overflow: m.srv.OverflowPolicy().String(),
+			Batch:    m.srv.Batch(),
+		}
+	}
+	return nm
+}
+
+// ProbeMetrics fetches one node's metrics document through its status
+// listener — the cluster prober's path to federated metrics.
+func ProbeMetrics(statusAddr string, timeout time.Duration) (*NodeMetrics, error) {
+	c, err := net.DialTimeout("tcp", statusAddr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	if _, err := c.Write([]byte("METRICS\n")); err != nil {
+		return nil, err
+	}
+	doc, err := io.ReadAll(c)
+	if err != nil {
+		return nil, err
+	}
+	var nm NodeMetrics
+	if err := json.Unmarshal(doc, &nm); err != nil {
+		return nil, fmt.Errorf("ops: metrics document: %w", err)
+	}
+	return &nm, nil
+}

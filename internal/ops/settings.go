@@ -1,0 +1,128 @@
+package ops
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"iustitia/internal/flow"
+	"iustitia/internal/ingest"
+)
+
+// Settings is the live-reconfigurable key set, shared verbatim by the SET
+// verb, the RELOAD verb, and the SIGHUP config file: one parser, one
+// applier, three ways in. Nil fields are "leave unchanged".
+type Settings struct {
+	// Overflow is the ingest backpressure policy (key "overflow":
+	// block|shed|disconnect).
+	Overflow *ingest.OverflowPolicy
+	// Batch is the per-worker engine submission bound (key "batch").
+	Batch *int
+	// MaxPending is the per-shard pending-flow cap (key "max_pending").
+	MaxPending *int
+	// Evict is the full-table admission policy (key "evict":
+	// oldest|partial|shed).
+	Evict *flow.EvictPolicy
+	// IdleFlush is the idle-flush window (key "idle_flush", a Go
+	// duration; "0" disables idle flushing).
+	IdleFlush *time.Duration
+}
+
+// Keys reports which settings are present, in a fixed order — reply and
+// log material.
+func (st Settings) Keys() []string {
+	var keys []string
+	if st.Overflow != nil {
+		keys = append(keys, "overflow")
+	}
+	if st.Batch != nil {
+		keys = append(keys, "batch")
+	}
+	if st.MaxPending != nil {
+		keys = append(keys, "max_pending")
+	}
+	if st.Evict != nil {
+		keys = append(keys, "evict")
+	}
+	if st.IdleFlush != nil {
+		keys = append(keys, "idle_flush")
+	}
+	return keys
+}
+
+// ParseSettings parses k=v pairs (the SET verb's arguments). Every key
+// must be known — a typo silently ignored would leave an operator
+// believing a knob turned when it did not.
+func ParseSettings(pairs []string) (Settings, error) {
+	var st Settings
+	for _, pair := range pairs {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return Settings{}, fmt.Errorf("ops: malformed setting %q (want key=value)", pair)
+		}
+		if err := st.set(key, val); err != nil {
+			return Settings{}, err
+		}
+	}
+	return st, nil
+}
+
+// ParseConfigFile parses the SIGHUP/RELOAD config file: one k=v per
+// line, blank lines and #-comments ignored. The keys are exactly the SET
+// verb's.
+func ParseConfigFile(data []byte) (Settings, error) {
+	var st Settings
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return Settings{}, fmt.Errorf("ops: config line %d: malformed %q (want key=value)", i+1, line)
+		}
+		if err := st.set(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return Settings{}, fmt.Errorf("ops: config line %d: %w", i+1, err)
+		}
+	}
+	return st, nil
+}
+
+func (st *Settings) set(key, val string) error {
+	switch key {
+	case "overflow":
+		p, err := ingest.ParseOverflowPolicy(val)
+		if err != nil {
+			return err
+		}
+		st.Overflow = &p
+	case "batch":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("ops: batch %q is not a positive integer", val)
+		}
+		st.Batch = &n
+	case "max_pending":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("ops: max_pending %q is not a non-negative integer", val)
+		}
+		st.MaxPending = &n
+	case "evict":
+		p, err := flow.ParseEvictPolicy(val)
+		if err != nil {
+			return err
+		}
+		st.Evict = &p
+	case "idle_flush":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("ops: idle_flush %q is not a non-negative duration", val)
+		}
+		st.IdleFlush = &d
+	default:
+		return fmt.Errorf("ops: unknown setting %q", key)
+	}
+	return nil
+}

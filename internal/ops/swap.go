@@ -1,0 +1,250 @@
+package ops
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/persist"
+)
+
+// This file is the atomic model hot-swap pipeline:
+//
+//	decode → verify metadata → shadow-classify → flip → probation
+//
+// Decode accepts either a persist.KindClassifier snapshot frame or the
+// JSON form. Verification refuses a candidate whose class count or
+// feature geometry cannot serve the live engine. Shadow classification
+// runs the candidate over recently classified payload buffers (or
+// deterministic synthetic ones on a cold node) — a model that panics or
+// mislabels out of range never reaches the hot path. The flip itself is
+// core.Classifier.Swap: one atomic pointer store, no drain, in-flight
+// classifications finish on the model they started with. Probation then
+// watches the engine's degraded-shard count: a model that passes shadow
+// but trips the PR 1 breaker under real traffic is rolled back to the
+// previous model automatically.
+
+// SwapResult describes a completed (flipped) swap.
+type SwapResult struct {
+	// Kind and Widths describe the installed model.
+	Kind   string
+	Widths []int
+	// ShadowSamples is how many replay buffers the candidate classified
+	// during verification.
+	ShadowSamples int
+}
+
+// ErrSwapBusy is returned while another swap is mid-flight or in
+// probation: two overlapping swaps would make "previous model" ambiguous.
+var ErrSwapBusy = errors.New("ops: a model swap is already in progress")
+
+// SwapModel runs the full pipeline on a candidate model blob. On any
+// verification failure the live model is untouched and the error says
+// why; on success the candidate is serving when this returns, with the
+// probation watcher armed.
+func (m *Manager) SwapModel(blob []byte) (SwapResult, error) {
+	m.mu.Lock()
+	if m.swapping {
+		// A refused attempt counts as rejected, but the in-flight swap owns
+		// lastSwap.
+		m.rejected++
+		m.mu.Unlock()
+		return SwapResult{}, ErrSwapBusy
+	}
+	m.swapping = true
+	m.mu.Unlock()
+
+	res, err := m.swapLocked(blob)
+	if err != nil {
+		m.mu.Lock()
+		m.rejected++
+		m.lastSwap = err.Error()
+		m.swapping = false
+		m.mu.Unlock()
+		return SwapResult{}, err
+	}
+	return res, nil
+}
+
+// swapLocked is the pipeline body; the caller holds the swapping flag
+// (not the mutex). On success it starts the probation watcher, which is
+// what eventually clears the flag.
+func (m *Manager) swapLocked(blob []byte) (SwapResult, error) {
+	cand, err := decodeCandidate(blob)
+	if err != nil {
+		return SwapResult{}, err
+	}
+	if err := m.verifyCandidate(cand); err != nil {
+		return SwapResult{}, err
+	}
+	shadow, err := m.shadowClassify(cand)
+	if err != nil {
+		return SwapResult{}, err
+	}
+
+	baseline := m.cfg.Engine.Stats().Degraded
+	prev := m.cfg.Classifier.Swap(cand)
+
+	m.mu.Lock()
+	m.swaps++
+	m.lastSwap = fmt.Sprintf("swapped to %s model (%d widths)", cand.Kind(), len(cand.Widths()))
+	m.mu.Unlock()
+
+	m.probation.Add(1)
+	go m.watchProbation(prev, baseline)
+
+	return SwapResult{
+		Kind:          cand.Kind().String(),
+		Widths:        cand.Widths(),
+		ShadowSamples: shadow,
+	}, nil
+}
+
+// watchProbation polls the engine's degraded-shard count for the
+// probation window. A rise above the pre-swap baseline means the new
+// model is tripping the breaker under live traffic: the previous model is
+// swapped back in. (The breaker itself then recovers by probing, exactly
+// as it does after any fault burst.)
+func (m *Manager) watchProbation(prev *core.Classifier, baseline int) {
+	defer m.probation.Done()
+	deadline := time.Now().Add(m.cfg.ProbationWindow)
+	for time.Now().Before(deadline) {
+		time.Sleep(m.cfg.ProbationPoll)
+		if m.cfg.Engine.Stats().Degraded > baseline {
+			m.cfg.Classifier.Swap(prev)
+			m.mu.Lock()
+			m.rollbacks++
+			m.lastSwap = "probation: new model tripped the degraded breaker; previous model restored"
+			m.swapping = false
+			m.mu.Unlock()
+			return
+		}
+	}
+	m.mu.Lock()
+	m.lastSwap = "probation passed"
+	m.swapping = false
+	m.mu.Unlock()
+}
+
+// decodeCandidate accepts a persist snapshot frame first (the production
+// format), then the JSON form; both failing, the errors come back
+// together so the operator sees why each path refused the blob.
+func decodeCandidate(blob []byte) (*core.Classifier, error) {
+	var snapErr error
+	if payload, err := persist.DecodeKind(blob, persist.KindClassifier); err == nil {
+		cand, err := core.DecodeSnapshot(payload)
+		if err == nil {
+			return cand, nil
+		}
+		snapErr = err
+	} else {
+		snapErr = err
+	}
+	cand, jsonErr := core.Load(bytes.NewReader(blob))
+	if jsonErr == nil {
+		return cand, nil
+	}
+	return nil, fmt.Errorf("ops: candidate model rejected: snapshot: %v; json: %v", snapErr, jsonErr)
+}
+
+// verifyCandidate cross-checks the candidate's metadata against the live
+// deployment before any classification runs.
+func (m *Manager) verifyCandidate(cand *core.Classifier) error {
+	if got := cand.Classes(); got != m.cfg.Classes {
+		return fmt.Errorf("ops: candidate model predicts over %d classes, deployment serves %d", got, m.cfg.Classes)
+	}
+	widths := cand.Widths()
+	if m.cfg.Stream {
+		// Sketch layout was baked to the width sequence at engine
+		// construction: only an exact match can read the live vectors.
+		live := m.cfg.Classifier.FeatureWidths()
+		if !equalInts(widths, live) {
+			return fmt.Errorf("ops: stream mode pins feature widths to %v; candidate wants %v", live, widths)
+		}
+		return nil
+	}
+	widest := 0
+	for _, w := range widths {
+		if w > widest {
+			widest = w
+		}
+	}
+	if widest > m.cfg.BufferSize {
+		return fmt.Errorf("ops: candidate's widest feature (%d) exceeds the %d-byte buffer", widest, m.cfg.BufferSize)
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shadowClassify runs the candidate over the engine's ring of recently
+// classified payload buffers; a node that has not classified yet (or runs
+// in stream mode, which retains no payload) gets deterministic synthetic
+// buffers instead. Every sample must classify without error, panic, or an
+// out-of-range label.
+func (m *Manager) shadowClassify(cand *core.Classifier) (int, error) {
+	samples := m.cfg.Engine.SampleBuffers()
+	if len(samples) == 0 {
+		samples = syntheticSamples(m.cfg.BufferSize)
+	}
+	for i, sample := range samples {
+		cls, err := safeClassify(cand, sample)
+		if err != nil {
+			return 0, fmt.Errorf("ops: shadow classification failed on sample %d/%d: %w", i+1, len(samples), err)
+		}
+		if cls < 0 || int(cls) >= m.cfg.Classes {
+			return 0, fmt.Errorf("ops: shadow classification on sample %d/%d returned class %d, outside [0,%d)",
+				i+1, len(samples), int(cls), m.cfg.Classes)
+		}
+	}
+	return len(samples), nil
+}
+
+// safeClassify contains a panicking candidate the same way the engine's
+// fault policy would — but at verification time, before it can serve.
+func safeClassify(cand *core.Classifier, payload []byte) (cls corpus.Class, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ops: candidate panicked: %v", r)
+		}
+	}()
+	return cand.Classify(payload)
+}
+
+// syntheticSamples builds three deterministic payload textures — low
+// entropy (text-like), mid entropy (binary-like), high entropy
+// (encrypted-like) — so even a cold node smoke-tests a candidate across
+// the spectrum it will serve.
+func syntheticSamples(size int) [][]byte {
+	if size < 1 {
+		size = 1
+	}
+	text := make([]byte, size)
+	binary := make([]byte, size)
+	encrypted := make([]byte, size)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < size; i++ {
+		text[i] = 'a' + byte(i%26)
+		binary[i] = byte(i * 7)
+		// xorshift64 gives a uniform-looking stream with no runtime
+		// randomness, so verification is reproducible.
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		encrypted[i] = byte(x)
+	}
+	return [][]byte{text, binary, encrypted}
+}

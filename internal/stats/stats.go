@@ -143,26 +143,65 @@ type Histogram struct {
 
 // NewHistogram builds a histogram of xs with nbins bins over [lo, hi].
 func NewHistogram(xs []float64, nbins int, lo, hi float64) (*Histogram, error) {
+	h, err := NewEmptyHistogram(nbins, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	return h, nil
+}
+
+// NewEmptyHistogram builds a zero-count histogram with nbins bins over
+// [lo, hi], to be filled incrementally with Observe — the shape long-lived
+// collectors (e.g. per-shard latency histograms) use, where the sample is
+// never materialized as a slice.
+func NewEmptyHistogram(nbins int, lo, hi float64) (*Histogram, error) {
 	if nbins <= 0 {
 		return nil, errors.New("stats: nbins must be positive")
 	}
 	if hi <= lo {
 		return nil, errors.New("stats: hi must exceed lo")
 	}
-	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
-	width := (hi - lo) / float64(nbins)
-	for _, x := range xs {
-		idx := int((x - lo) / width)
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= nbins {
-			idx = nbins - 1
-		}
-		h.Counts[idx]++
-		h.Total++
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}, nil
+}
+
+// Observe counts one sample into its bin, clamping values outside
+// [Lo, Hi] into the edge bins like NewHistogram does.
+func (h *Histogram) Observe(x float64) {
+	nbins := len(h.Counts)
+	width := (h.Hi - h.Lo) / float64(nbins)
+	idx := int((x - h.Lo) / width)
+	if idx < 0 {
+		idx = 0
 	}
-	return h, nil
+	if idx >= nbins {
+		idx = nbins - 1
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// Merge folds other's counts into h. The histograms must share bin count
+// and range — merging shards of one measurement, not arbitrary reshaping.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if len(h.Counts) != len(other.Counts) || h.Lo != other.Lo || h.Hi != other.Hi {
+		return errors.New("stats: merging histograms with different binning")
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.Total += other.Total
+	return nil
+}
+
+// Clone returns an independent copy of h.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{Lo: h.Lo, Hi: h.Hi, Counts: append([]int(nil), h.Counts...), Total: h.Total}
 }
 
 // Fraction returns the fraction of the sample that landed in bin i.

@@ -282,6 +282,16 @@ func (c *Classifier) EnableEstimation(epsilon, delta float64, seed int64) error 
 // DisableEstimation reverts to exact entropy calculation.
 func (c *Classifier) DisableEstimation() { c.inner.UseEstimator(nil) }
 
+// Swap atomically installs next's trained model as this classifier's,
+// returning a classifier holding the previous model so the caller can
+// swap back. Safe under concurrent Classify calls — in-flight
+// classifications finish on whichever model they started with — which is
+// what lets a serving deployment hot-swap a retrained model without
+// draining the stream. The estimation setting is not swapped.
+func (c *Classifier) Swap(next *Classifier) (prev *Classifier) {
+	return &Classifier{inner: c.inner.Swap(next.inner)}
+}
+
 // Save persists the classifier as JSON.
 func (c *Classifier) Save(w io.Writer) error { return c.inner.Save(w) }
 
