@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check cluster-soak ops-soak bench bench-json bench-smoke experiments examples fuzz snapshot-compat clean
+.PHONY: all build test race check cluster-soak ops-soak bench bench-json bench-smoke bench-multicore experiments examples fuzz snapshot-compat clean
 
 all: build test
 
@@ -67,6 +67,14 @@ bench:
 # file is the perf trajectory tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/iustitia-benchjson -out BENCH_entropy.json
+
+# The multicore evidence run: the full trajectory append plus a
+# GOMAXPROCS sweep of the pipelined shards {1,4} points, gated on the
+# 4-shard pipelined speedup reaching 1.5x over 1 shard. Meant for a
+# runner with >= 4 CPUs; on fewer the gate self-skips (a 1-CPU box
+# cannot exhibit parallel speedup), so the append still lands honestly.
+bench-multicore:
+	$(GO) run ./cmd/iustitia-benchjson -out BENCH_entropy.json -procs-sweep 1,2,4 -assert-scaling 1.5
 
 # CI smoke: compile and run every benchmark exactly once, so a benchmark
 # that panics or regresses into an error fails the pipeline without

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -42,6 +44,10 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	FlowsPerSec float64 `json:"flows_per_sec,omitempty"`
+	// MaxNsPerOp and P99NsPerOp are per-operation latency tails, recorded
+	// by series whose point is the tail (the CDB purge path), not the mean.
+	MaxNsPerOp float64 `json:"max_ns_per_op,omitempty"`
+	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
 	// Procs is the GOMAXPROCS the entry actually ran under.
 	Procs int `json:"procs,omitempty"`
 }
@@ -179,7 +185,10 @@ func (m engineMode) String() string {
 // benchEnv is the trained classifier and trace shared by every engine
 // benchmark, so classifier training happens once.
 type benchEnv struct {
-	clf   flow.Classifier
+	clf flow.Classifier
+	// base is the trained core model behind clf, needed to build
+	// per-shard replica sets for the replica-vs-shared comparison.
+	base  *core.Classifier
 	trace *packet.Trace
 }
 
@@ -210,18 +219,33 @@ func newBenchEnv() (*benchEnv, error) {
 	// vectorClf exposes the model's widths so the same environment drives
 	// both the buffered engine and stream mode (which needs a
 	// flow.VectorClassifier).
-	return &benchEnv{clf: vectorClf{clf}, trace: trace}, nil
+	return &benchEnv{clf: vectorClf{clf}, base: clf, trace: trace}, nil
 }
 
 // replay pumps the trace through a fresh engine in the given mode and
 // returns the wall time. The §6 conservation law is asserted after the
 // final flush: a batched path that loses or duplicates a packet is a
 // wrong answer, not a fast one.
-func (env *benchEnv) replay(shards int, mode engineMode, stream *flow.StreamConfig) (time.Duration, error) {
+func (env *benchEnv) replay(shards int, mode engineMode, stream *flow.StreamConfig, replicate bool) (time.Duration, error) {
+	// replicate hands every shard its own classifier replica of the same
+	// model (core.ReplicaSet) instead of one shared classifier — the
+	// replica-vs-shared series isolates the cost of sharing the hot
+	// atomic model-pointer word across shards.
+	var classifiers []flow.Classifier
+	if replicate {
+		rs, err := core.NewReplicaSet(env.base, shards)
+		if err != nil {
+			return 0, err
+		}
+		classifiers = make([]flow.Classifier, shards)
+		for i := range classifiers {
+			classifiers[i] = vectorClf{rs.Replica(i)}
+		}
+	}
 	pe, err := flow.NewParallelEngine(flow.EngineConfig{
 		BufferSize: 32, Classifier: env.clf,
 		CDB: flow.CDBConfig{PurgeOnClose: true}, Stream: stream,
-	}, shards, nil)
+	}, shards, classifiers)
 	if err != nil {
 		return 0, err
 	}
@@ -290,7 +314,7 @@ func (env *benchEnv) replay(shards int, mode engineMode, stream *flow.StreamConf
 
 // engineEntry reports end-to-end flows/sec for one (shards, mode) point of
 // the scaling curve (best of three fresh runs).
-func (env *benchEnv) engineEntry(name string, shards int, mode engineMode, stream *flow.StreamConfig) (benchResult, error) {
+func (env *benchEnv) engineEntry(name string, shards int, mode engineMode, stream *flow.StreamConfig, replicate bool) (benchResult, error) {
 	nFlows := len(env.trace.Flows)
 	nPackets := len(env.trace.Packets)
 	best := benchResult{
@@ -298,7 +322,7 @@ func (env *benchEnv) engineEntry(name string, shards int, mode engineMode, strea
 		Procs: runtime.GOMAXPROCS(0),
 	}
 	for rep := 0; rep < 3; rep++ {
-		elapsed, err := env.replay(shards, mode, stream)
+		elapsed, err := env.replay(shards, mode, stream, replicate)
 		if err != nil {
 			return benchResult{}, err
 		}
@@ -311,7 +335,7 @@ func (env *benchEnv) engineEntry(name string, shards int, mode engineMode, strea
 	return best, nil
 }
 
-func run(out string, procs int) error {
+func run(out string, procs int, sweep []int, assertScaling float64) error {
 	runtime.GOMAXPROCS(procs)
 	doc, err := loadTrajectory(out)
 	if err != nil {
@@ -362,7 +386,7 @@ func run(out string, procs int) error {
 	for _, shards := range []int{1, 2, 4, 8} {
 		for _, mode := range []engineMode{modeSingle, modeBatch, modePipelined} {
 			name := fmt.Sprintf("flow.ParallelEngine/shards-%d/%s/trace-2000flows", shards, mode)
-			entry, err := env.engineEntry(name, shards, mode, nil)
+			entry, err := env.engineEntry(name, shards, mode, nil, false)
 			if err != nil {
 				return err
 			}
@@ -385,9 +409,54 @@ func run(out string, procs int) error {
 		}
 	}
 
+	// Replica-vs-shared classifier: the same pipelined shards-4 replay,
+	// the only variable being whether every shard shares one classifier
+	// (one hot atomic model-pointer word) or owns a replica. On a single
+	// core the ratio sits near 1.0; the gap is a multicore effect.
+	repl, err := env.engineEntry(
+		"flow.ParallelEngine/shards-4/pipelined/replica-classifiers/trace-2000flows",
+		4, modePipelined, nil, true)
+	if err != nil {
+		return err
+	}
+	cur.Results = append(cur.Results, repl)
+	fmt.Fprintf(os.Stderr, "%-56s %12.0f ns/pkt %14.0f flows/sec\n",
+		repl.Name, repl.NsPerOp, repl.FlowsPerSec)
+	if base := fps["shards-4/pipelined"]; base > 0 {
+		cur.Speedups["classifier_replica_over_shared"] = repl.FlowsPerSec / base
+	}
+
+	if err := purgeTailSection(&cur); err != nil {
+		return err
+	}
+
 	if err := streamSection(env, &cur, fps["shards-1/single"]); err != nil {
 		return err
 	}
+
+	// The -procs-sweep curve: the pipelined shards {1,4} points re-run
+	// under each requested GOMAXPROCS, so one run shows how the shard
+	// speedup tracks the cores actually granted. Each entry's Procs field
+	// records the setting it ran under.
+	for _, p := range sweep {
+		runtime.GOMAXPROCS(p)
+		sweepFPS := map[int]float64{}
+		for _, shards := range []int{1, 4} {
+			name := fmt.Sprintf("flow.ParallelEngine/procs-%d/shards-%d/pipelined/trace-2000flows", p, shards)
+			entry, err := env.engineEntry(name, shards, modePipelined, nil, false)
+			if err != nil {
+				return err
+			}
+			cur.Results = append(cur.Results, entry)
+			sweepFPS[shards] = entry.FlowsPerSec
+			fmt.Fprintf(os.Stderr, "%-56s %12.0f ns/pkt %14.0f flows/sec\n",
+				entry.Name, entry.NsPerOp, entry.FlowsPerSec)
+		}
+		if base := sweepFPS[1]; base > 0 {
+			cur.Speedups[fmt.Sprintf("engine_pipelined_shards4_over_shards1_procs%d", p)] = sweepFPS[4] / base
+		}
+	}
+	runtime.GOMAXPROCS(procs)
 
 	doc.Runs = append(doc.Runs, cur)
 	blob, err := json.MarshalIndent(doc, "", "  ")
@@ -400,18 +469,61 @@ func run(out string, procs int) error {
 	}
 	fmt.Fprintf(os.Stderr, "appended run %d to %s (alloc improvement at 1 KiB: %.0fx, GOMAXPROCS %d of %d CPUs)\n",
 		len(doc.Runs), out, cur.AllocImprovement1KiB, cur.GOMAXPROCS, cur.NumCPU)
+
+	// The multicore gate: on a box with enough cores, 4 pipelined shards
+	// must actually scale. The run is appended before asserting, so a
+	// failing gate still leaves its evidence in the trajectory. A 1-CPU
+	// runner cannot exhibit parallel speedup — the assertion is skipped,
+	// not faked.
+	if assertScaling > 0 {
+		key := "engine_pipelined_shards4_over_shards1"
+		got := cur.Speedups[key]
+		switch {
+		case cur.NumCPU < 4:
+			fmt.Fprintf(os.Stderr, "scaling assertion skipped: %d CPUs < 4 (%s = %.2f, unasserted)\n",
+				cur.NumCPU, key, got)
+		case got < assertScaling:
+			return fmt.Errorf("scaling assertion failed: %s = %.2f < %.2f on %d CPUs",
+				key, got, assertScaling, cur.NumCPU)
+		default:
+			fmt.Fprintf(os.Stderr, "scaling assertion passed: %s = %.2f >= %.2f\n", key, got, assertScaling)
+		}
+	}
 	return nil
+}
+
+// parseProcsSweep parses the -procs-sweep comma list.
+func parseProcsSweep(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs-sweep entry %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func main() {
 	out := flag.String("out", "BENCH_entropy.json", "output JSON path (appended to, not overwritten)")
 	procs := flag.Int("procs", runtime.NumCPU(), "GOMAXPROCS for the run (recorded per result)")
+	procsSweep := flag.String("procs-sweep", "", "comma-separated GOMAXPROCS values to re-run the pipelined shards {1,4} points under (e.g. 1,2,4)")
+	assertScaling := flag.Float64("assert-scaling", 0, "fail unless engine_pipelined_shards4_over_shards1 reaches this ratio (skipped below 4 CPUs; 0 disables)")
 	flag.Parse()
 	if *procs < 1 {
 		fmt.Fprintln(os.Stderr, "iustitia-benchjson: -procs must be >= 1")
 		os.Exit(1)
 	}
-	if err := run(*out, *procs); err != nil {
+	sweep, err := parseProcsSweep(*procsSweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iustitia-benchjson:", err)
+		os.Exit(1)
+	}
+	if err := run(*out, *procs, sweep, *assertScaling); err != nil {
 		fmt.Fprintln(os.Stderr, "iustitia-benchjson:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,92 @@
+package main
+
+// CDB purge tail-latency series. The classification database used to run
+// its whole inactivity sweep — an O(table) scan — on every PurgeEvery-th
+// insert, so one unlucky insert on the hot path absorbed the entire
+// purge. The incremental design amortizes the same scan over the window,
+// bounding per-insert work at ⌈size/PurgeEvery⌉ examined records. This
+// series records both shapes' per-insert latency tails: the full-sweep
+// column is an emulation of the pre-incremental behaviour (sweeps
+// disabled, an explicit full Sweep inside the timed region every
+// PurgeEvery inserts), so the trajectory keeps before/after evidence.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+)
+
+const (
+	purgeTailInserts = 60_000
+	purgeTailWindow  = 5_000
+)
+
+// purgeTailSection appends the incremental-vs-full-sweep tail entries and
+// the tail ratio to the run.
+func purgeTailSection(cur *benchRun) error {
+	inc, err := purgeTailEntry(
+		fmt.Sprintf("flow.CDB/purge-incremental/stale-inserts-%d", purgeTailInserts), true)
+	if err != nil {
+		return err
+	}
+	full, err := purgeTailEntry(
+		fmt.Sprintf("flow.CDB/purge-fullsweep-emulation/stale-inserts-%d", purgeTailInserts), false)
+	if err != nil {
+		return err
+	}
+	cur.Results = append(cur.Results, inc, full)
+	for _, e := range []benchResult{inc, full} {
+		fmt.Fprintf(os.Stderr, "%-56s %12.0f ns/op %10.0f p99 %12.0f max\n",
+			e.Name, e.NsPerOp, e.P99NsPerOp, e.MaxNsPerOp)
+	}
+	if inc.MaxNsPerOp > 0 {
+		cur.Speedups["cdb_purge_tail_full_over_incremental"] = full.MaxNsPerOp / inc.MaxNsPerOp
+	}
+	return nil
+}
+
+// purgeTailEntry drives stale inserts through one CDB and reports the
+// per-insert latency distribution. Time advances 10 ms per insert against
+// a 1 ms inactivity constant, so earlier records are always stale — the
+// sweep, amortized or not, never runs out of work.
+func purgeTailEntry(name string, incremental bool) (benchResult, error) {
+	cdb := flow.NewCDB(flow.CDBConfig{
+		PurgeInactive: incremental,
+		N:             4,
+		DefaultLambda: time.Millisecond,
+		PurgeEvery:    purgeTailWindow,
+	})
+	lat := make([]float64, purgeTailInserts)
+	var total float64
+	for i := 0; i < purgeTailInserts; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		var id flow.ID
+		binary.BigEndian.PutUint64(id[:8], uint64(i))
+		start := time.Now()
+		cdb.Insert(id, corpus.Text, now)
+		if !incremental && (i+1)%purgeTailWindow == 0 {
+			// The legacy design ran this scan on the insert path itself;
+			// keeping it inside the timed region is the point.
+			cdb.Sweep(now)
+		}
+		lat[i] = float64(time.Since(start).Nanoseconds())
+		total += lat[i]
+	}
+	if incremental && cdb.Stats().SweepExamined == 0 {
+		return benchResult{}, fmt.Errorf("%s: incremental sweep never ran", name)
+	}
+	sort.Float64s(lat)
+	return benchResult{
+		Name:       name,
+		NsPerOp:    total / purgeTailInserts,
+		P99NsPerOp: lat[purgeTailInserts*99/100],
+		MaxNsPerOp: lat[purgeTailInserts-1],
+		Procs:      runtime.GOMAXPROCS(0),
+	}, nil
+}

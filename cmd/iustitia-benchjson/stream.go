@@ -55,6 +55,20 @@ type streamReport struct {
 	// are compared against.
 	ExactBytesPerFlow float64         `json:"exact_resident_bytes_per_flow"`
 	Backends          []streamBackend `json:"backends"`
+	// Footprint is the buffered-vs-sketched resident-bytes curve over
+	// growing buffer budgets: the sketch footprint is constant in b, the
+	// buffered footprint linear, so the curve shows where each sketch
+	// backend overtakes the buffered path.
+	Footprint []footprintPoint `json:"footprint_crossover,omitempty"`
+}
+
+// footprintPoint is one buffer budget's resident bytes per pending flow,
+// buffered versus each sketch backend.
+type footprintPoint struct {
+	BufBytes          int                `json:"buf_bytes"`
+	Flows             int                `json:"probe_flows"`
+	ExactBytesPerFlow float64            `json:"exact_resident_bytes_per_flow"`
+	Backends          map[string]float64 `json:"resident_bytes_per_flow"`
 }
 
 // streamBackend is one sketch backend's footprint and accuracy.
@@ -82,7 +96,7 @@ type streamClassErr struct {
 // the denominator of the stream-vs-exact speedup ratios.
 func streamSection(env *benchEnv, cur *benchRun, exactFPS float64) error {
 	rep := &streamReport{Epsilon: streamEpsilon, Delta: streamDelta}
-	exactBytes, err := residentBytesPerFlow(env.clf, nil)
+	exactBytes, err := residentBytesPerFlow(env.clf, nil, residentBufBytes, residentFeed, residentFlows)
 	if err != nil {
 		return err
 	}
@@ -96,7 +110,7 @@ func streamSection(env *benchEnv, cur *benchRun, exactFPS float64) error {
 		for _, shards := range []int{1, 4} {
 			name := fmt.Sprintf("flow.ParallelEngine/stream-%s/shards-%d/single/trace-2000flows",
 				kind, shards)
-			entry, err := env.engineEntry(name, shards, modeSingle, scfg)
+			entry, err := env.engineEntry(name, shards, modeSingle, scfg, false)
 			if err != nil {
 				return err
 			}
@@ -109,7 +123,7 @@ func streamSection(env *benchEnv, cur *benchRun, exactFPS float64) error {
 			}
 		}
 
-		resident, err := residentBytesPerFlow(env.clf, scfg)
+		resident, err := residentBytesPerFlow(env.clf, scfg, residentBufBytes, residentFeed, residentFlows)
 		if err != nil {
 			return err
 		}
@@ -133,7 +147,46 @@ func streamSection(env *benchEnv, cur *benchRun, exactFPS float64) error {
 		fmt.Fprintf(os.Stderr, "stream-%-4s %6d counters/flow %10.0f resident B/flow (buffered: %.0f)\n",
 			kind, probe.Counters(), resident, exactBytes)
 	}
+	if err := footprintCrossover(env, rep); err != nil {
+		return err
+	}
 	cur.Stream = rep
+	return nil
+}
+
+// footprintCrossover probes resident bytes per pending flow at growing
+// buffer budgets. The flow count scales down with b so the probe heap
+// stays bounded (~32 MiB): per-flow attribution is unaffected.
+func footprintCrossover(env *benchEnv, rep *streamReport) error {
+	for _, b := range []int{4 << 10, 64 << 10, 1 << 20} {
+		flows := residentFlows
+		if budget := (32 << 20) / b; budget < flows {
+			flows = budget
+		}
+		feed := b / 2 // half-filled, so every probe flow stays pending
+		exact, err := residentBytesPerFlow(env.clf, nil, b, feed, flows)
+		if err != nil {
+			return err
+		}
+		point := footprintPoint{
+			BufBytes: b, Flows: flows,
+			ExactBytesPerFlow: exact,
+			Backends:          map[string]float64{},
+		}
+		for _, kind := range []entest.SketchKind{entest.SketchLall, entest.SketchCC} {
+			scfg := &flow.StreamConfig{
+				Epsilon: streamEpsilon, Delta: streamDelta, Sketch: kind, Seed: streamSeed,
+			}
+			resident, err := residentBytesPerFlow(env.clf, scfg, b, feed, flows)
+			if err != nil {
+				return err
+			}
+			point.Backends[kind.String()] = resident
+		}
+		rep.Footprint = append(rep.Footprint, point)
+		fmt.Fprintf(os.Stderr, "footprint b=%-8d buffered %10.0f B/flow  lall %10.0f  cc %10.0f (%d flows)\n",
+			b, point.ExactBytesPerFlow, point.Backends["lall"], point.Backends["cc"], flows)
+	}
 	return nil
 }
 
@@ -142,19 +195,19 @@ func streamSection(env *benchEnv, cur *benchRun, exactFPS float64) error {
 // (GC-settled HeapAlloc delta). stream == nil measures the buffered
 // baseline. The shared payload slice is allocated before the first heap
 // read, so only per-flow engine state is attributed.
-func residentBytesPerFlow(clf flow.Classifier, stream *flow.StreamConfig) (float64, error) {
-	payload, err := deterministicPayload(residentFeed)
+func residentBytesPerFlow(clf flow.Classifier, stream *flow.StreamConfig, bufBytes, feed, flows int) (float64, error) {
+	payload, err := deterministicPayload(feed)
 	if err != nil {
 		return 0, err
 	}
 	eng, err := flow.NewEngine(flow.EngineConfig{
-		BufferSize: residentBufBytes, Classifier: clf,
+		BufferSize: bufBytes, Classifier: clf,
 		CDB: flow.CDBConfig{PurgeOnClose: true}, Stream: stream,
 	})
 	if err != nil {
 		return 0, err
 	}
-	pkts := make([]packet.Packet, residentFlows)
+	pkts := make([]packet.Packet, flows)
 	for i := range pkts {
 		pkts[i] = packet.Packet{
 			Tuple: packet.FiveTuple{
@@ -177,15 +230,15 @@ func residentBytesPerFlow(clf flow.Classifier, stream *flow.StreamConfig) (float
 	runtime.GC()
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
-	if st := eng.Stats(); st.Pending != residentFlows {
-		return 0, fmt.Errorf("resident probe: %d flows pending, want %d", st.Pending, residentFlows)
+	if st := eng.Stats(); st.Pending != flows {
+		return 0, fmt.Errorf("resident probe: %d flows pending, want %d", st.Pending, flows)
 	}
 	delta := float64(after.HeapAlloc) - float64(before.HeapAlloc)
 	if delta < 0 {
 		delta = 0
 	}
 	runtime.KeepAlive(eng)
-	return delta / residentFlows, nil
+	return delta / float64(flows), nil
 }
 
 // streamErrorHarness runs the differential exact-vs-stream comparison: for

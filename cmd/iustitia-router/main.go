@@ -23,8 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof debug endpoint
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"syscall"
@@ -85,6 +88,7 @@ func run() error {
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "deadline between frames on a connection (0 = none)")
 		maxFrame    = flag.Int("max-frame", 0, "max frame payload bytes a header may declare (0 = default)")
 		drainTime   = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain waits for connected clients")
+		pprofAddr   = flag.String("pprof", "", "TCP listen address for the net/http/pprof debug endpoint (enables mutex and block profiling)")
 	)
 	flag.Parse()
 
@@ -111,6 +115,18 @@ func run() error {
 			return err
 		}
 		fmt.Printf("status on %s\n", statusLn.Addr())
+	}
+	if *pprofAddr != "" {
+		// Same contention-profiling setup as iustitia-serve: cheap enough
+		// sampling rates to leave on while the router forwards live load.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(100_000)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() { _ = http.Serve(pln, nil) }()
 	}
 
 	r, err := cluster.NewRouter(cluster.RouterConfig{

@@ -24,8 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof debug endpoint
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -60,6 +63,8 @@ func run() error {
 		workers   = flag.Int("workers", 2, "supervised ingest workers")
 		batch     = flag.Int("batch", 0, "packets per engine submission batch (1 = per-packet, 0 = default)")
 		pipeline  = flag.Bool("pipeline", false, "run the engine in pipelined mode: one worker goroutine per shard behind bounded queues")
+		replicate = flag.Bool("replicate-model", true, "give each shard its own classifier replica (no shared model-pointer word on the hot path); hot-swap flips every replica under the frame gate")
+		pprofAddr = flag.String("pprof", "", "TCP listen address for the net/http/pprof debug endpoint (enables mutex and block profiling)")
 
 		queueDepth  = flag.Int("ingest-queue", 1024, "total packets queued between readers and workers")
 		connQueue   = flag.Int("conn-queue", 256, "unprocessed packets one connection may hold")
@@ -129,6 +134,25 @@ func run() error {
 		}
 	}
 
+	// By default every shard gets its own classifier replica, so the hot
+	// path never shares the atomic model-pointer word across cores; the
+	// ReplicaSet is then the ops model surface, and SWAP-MODEL flips all
+	// replicas atomically under the ingest frame gate.
+	// -replicate-model=false restores the single shared classifier.
+	var modelSurface ops.ModelSurface = clf
+	var shardClassifiers []flow.Classifier
+	if *replicate {
+		rs, err := core.NewReplicaSet(clf, *shards)
+		if err != nil {
+			return err
+		}
+		shardClassifiers = make([]flow.Classifier, *shards)
+		for i := range shardClassifiers {
+			shardClassifiers[i] = rs.Replica(i)
+		}
+		modelSurface = rs
+	}
+
 	engineCfg := flow.EngineConfig{
 		BufferSize:    *buffer,
 		Classifier:    clf,
@@ -157,7 +181,7 @@ func run() error {
 		}
 		streamMode = kind.String()
 	}
-	engine, err := flow.NewParallelEngine(engineCfg, *shards, nil)
+	engine, err := flow.NewParallelEngine(engineCfg, *shards, shardClassifiers)
 	if err != nil {
 		return err
 	}
@@ -172,7 +196,7 @@ func run() error {
 	// checkpoint is a logged warning and a clean cold start.
 	var resumeSeq uint64
 	if *resume != "" {
-		if restored, seq, err := resumeEngine(engineCfg, *shards, *resume); err != nil {
+		if restored, seq, err := resumeEngine(engineCfg, *shards, shardClassifiers, *resume); err != nil {
 			fmt.Fprintf(os.Stderr,
 				"iustitia-serve: warning: cannot resume from %s (%v); cold start\n",
 				*resume, err)
@@ -206,7 +230,7 @@ func run() error {
 
 	mgr, err := ops.NewManager(ops.Config{
 		Engine:     engine,
-		Classifier: clf,
+		Classifier: modelSurface,
 		Classes:    corpus.NumClasses,
 		BufferSize: *buffer,
 		Stream:     *stream,
@@ -257,6 +281,19 @@ func run() error {
 			return err
 		}
 		fmt.Printf("status on %s\n", statusLn.Addr())
+	}
+	if *pprofAddr != "" {
+		// Contention profiling is off by default in the runtime; a node
+		// serving a pprof endpoint is being profiled, so sample mutex and
+		// block events at rates cheap enough to leave on under load.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(100_000)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() { _ = http.Serve(pln, nil) }()
 	}
 
 	// Track when the last checkpoint landed so the STATUS line can carry
@@ -399,7 +436,7 @@ func run() error {
 // (KindParallelCheckpoint) restores classified state only, while a node
 // checkpoint (KindNodeCheckpoint) also restores the in-flight pending
 // flows and returns the delivery-sequence watermark to prime dedup with.
-func resumeEngine(cfg flow.EngineConfig, shards int, path string) (*flow.ParallelEngine, uint64, error) {
+func resumeEngine(cfg flow.EngineConfig, shards int, classifiers []flow.Classifier, path string) (*flow.ParallelEngine, uint64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
@@ -408,7 +445,7 @@ func resumeEngine(cfg flow.EngineConfig, shards int, path string) (*flow.Paralle
 	if err != nil {
 		return nil, 0, err
 	}
-	engine, err := flow.NewParallelEngine(cfg, shards, nil)
+	engine, err := flow.NewParallelEngine(cfg, shards, classifiers)
 	if err != nil {
 		return nil, 0, err
 	}

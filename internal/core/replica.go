@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ReplicaSet gives each engine shard its own *Classifier holding the
+// same logical model. One shared Classifier means every shard's classify
+// loads the same atomic.Pointer word — on a multicore box that word's
+// cache line ping-pongs between cores (reads are cheap, but the line is
+// also invalidated by every Swap, and sits adjacent to whatever else the
+// shared struct holds). With replicas, each shard reads a pointer word
+// it exclusively owns; the only cross-core traffic left is the model
+// payload itself, which is immutable and therefore freely shared.
+//
+// Hot-swap stays atomic across the set: Swap flips every replica to the
+// same payload under an internal mutex, and the ops layer runs that flip
+// under the ingest frame gate (see internal/ops), so no packet is
+// admitted while replicas disagree. Between swaps every replica holds
+// the identical payload pointer — callers must not Swap an individual
+// replica directly (Replica exposes *Classifier, whose Swap method is
+// reachable; doing so voids the invariant and the next set-level Swap
+// silently repairs it).
+type ReplicaSet struct {
+	mu       sync.Mutex // serializes set-level swaps
+	replicas []*Classifier
+}
+
+// NewReplicaSet builds n replicas of base's current model payload. The
+// replicas share base's estimator (a deployment property, not model
+// state) but each owns its payload pointer word. base itself is not a
+// member of the set.
+func NewReplicaSet(base *Classifier, n int) (*ReplicaSet, error) {
+	if base == nil {
+		return nil, errors.New("core: replica set needs a base classifier")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: replica count %d is not positive", n)
+	}
+	m := base.m.Load()
+	rs := &ReplicaSet{replicas: make([]*Classifier, n)}
+	for i := range rs.replicas {
+		c := &Classifier{estimator: base.estimator}
+		c.m.Store(m)
+		rs.replicas[i] = c
+	}
+	return rs, nil
+}
+
+// Len returns the replica count.
+func (rs *ReplicaSet) Len() int { return len(rs.replicas) }
+
+// Replica returns replica i, the classifier to hand to shard i.
+func (rs *ReplicaSet) Replica(i int) *Classifier { return rs.replicas[i] }
+
+// Swap atomically installs next's model payload on every replica and
+// returns a classifier holding the previous payload for rollback. Each
+// individual replica flips atomically (its in-flight classifications
+// finish on whichever payload they loaded), and the set-level mutex
+// serializes concurrent Swaps; run the call under the ingest frame gate
+// when no packet may observe replicas mid-flip.
+func (rs *ReplicaSet) Swap(next *Classifier) (prev *Classifier) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	m := next.m.Load()
+	var prevM *model
+	for _, r := range rs.replicas {
+		p := r.m.Swap(m)
+		if prevM == nil {
+			prevM = p
+		}
+	}
+	return newClassifier(prevM)
+}
+
+// Kind returns the model family currently served (replica 0's view; all
+// replicas agree between swaps).
+func (rs *ReplicaSet) Kind() ModelKind { return rs.replicas[0].Kind() }
+
+// Widths returns the entropy feature widths the served model consumes.
+func (rs *ReplicaSet) Widths() []int { return rs.replicas[0].Widths() }
+
+// FeatureWidths is Widths under the flow engine's VectorClassifier name.
+func (rs *ReplicaSet) FeatureWidths() []int { return rs.replicas[0].FeatureWidths() }
+
+// Classes returns the number of output classes the served model predicts
+// over, or 0 if it does not expose it.
+func (rs *ReplicaSet) Classes() int { return rs.replicas[0].Classes() }

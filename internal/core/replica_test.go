@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewReplicaSetValidation(t *testing.T) {
+	if _, err := NewReplicaSet(nil, 2); err == nil {
+		t.Error("nil base accepted")
+	}
+	base := trainSmall(t, KindCART)
+	if _, err := NewReplicaSet(base, 0); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+// Every replica must serve the same payload as the base it was built
+// from: identical verdicts on identical input, identical metadata.
+func TestReplicaSetSharesOnePayload(t *testing.T) {
+	base := trainSmall(t, KindCART)
+	rs, err := NewReplicaSet(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", rs.Len())
+	}
+	if rs.Kind() != base.Kind() || rs.Classes() != base.Classes() {
+		t.Error("set metadata diverges from base")
+	}
+	payload := pool(t, 1, 1024, 1024, 11)[0].Data
+	want, err := base.Classify(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rs.Len(); i++ {
+		r := rs.Replica(i)
+		// Replicas share the payload pointer, not a copy: the immutable
+		// model is the one thing shards may cheaply share.
+		if r.m.Load() != base.m.Load() {
+			t.Fatalf("replica %d holds a different payload pointer", i)
+		}
+		got, err := r.Classify(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("replica %d classified %v, base says %v", i, got, want)
+		}
+	}
+}
+
+// Swap must flip every replica and return the previous payload so a
+// probation rollback restores every replica too.
+func TestReplicaSetSwapFlipsAllAndRollsBack(t *testing.T) {
+	a := trainSmall(t, KindCART)
+	b := trainSmall(t, KindSVM)
+	rs, err := NewReplicaSet(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := rs.Swap(b)
+	if prev.Kind() != KindCART {
+		t.Fatalf("Swap returned %v payload, want the previous CART", prev.Kind())
+	}
+	for i := 0; i < rs.Len(); i++ {
+		if got := rs.Replica(i).Kind(); got != KindSVM {
+			t.Fatalf("replica %d still serves %v after swap", i, got)
+		}
+	}
+	// Rollback: swap the previous payload back in; every replica reverts.
+	if back := rs.Swap(prev); back.Kind() != KindSVM {
+		t.Fatalf("rollback returned %v, want the candidate SVM", back.Kind())
+	}
+	for i := 0; i < rs.Len(); i++ {
+		if got := rs.Replica(i).Kind(); got != KindCART {
+			t.Fatalf("replica %d not restored by rollback (serves %v)", i, got)
+		}
+	}
+}
+
+// Concurrent swaps serialize: after any interleaving, all replicas hold
+// one payload (no torn set), and it is one of the swapped candidates.
+// Run under -race this also proves the set-level locking.
+func TestReplicaSetConcurrentSwapConverges(t *testing.T) {
+	a := trainSmall(t, KindCART)
+	b := trainSmall(t, KindSVM)
+	rs, err := NewReplicaSet(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := pool(t, 1, 1024, 1024, 13)[0].Data
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		cand := a
+		if w%2 == 1 {
+			cand = b
+		}
+		wg.Add(1)
+		go func(c *Classifier) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rs.Swap(c)
+			}
+		}(cand)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := rs.Replica(i % rs.Len()).Classify(payload); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	first := rs.Replica(0).m.Load()
+	for i := 1; i < rs.Len(); i++ {
+		if rs.Replica(i).m.Load() != first {
+			t.Fatalf("replica %d diverged after concurrent swaps", i)
+		}
+	}
+	if first != a.m.Load() && first != b.m.Load() {
+		t.Error("converged payload is neither candidate")
+	}
+}

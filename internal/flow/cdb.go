@@ -3,9 +3,11 @@ package flow
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iustitia/internal/corpus"
+	"iustitia/internal/stats"
 )
 
 // CDBConfig tunes the Classification Database's purge behaviour.
@@ -22,9 +24,12 @@ type CDBConfig struct {
 	// DefaultLambda is the λ assumed for flows with a single observed
 	// packet. Values <= 0 default to the paper's 0.5 s.
 	DefaultLambda time.Duration
-	// PurgeEvery triggers an inactivity sweep whenever this many new
-	// flows have been inserted since the last sweep (paper: 5,000).
-	// Values <= 0 default to 5000.
+	// PurgeEvery is the inactivity sweep's amortization window: every
+	// record is examined for idleness at least once per PurgeEvery
+	// inserts (paper: a sweep per 5,000 insertions). The work is spread
+	// incrementally — each insert examines ⌈size/PurgeEvery⌉ records at a
+	// sweep cursor — instead of the historical stop-the-shard full scan
+	// on every PurgeEvery-th insert. Values <= 0 default to 5000.
 	PurgeEvery int
 	// MaxAge, when positive, expires a record this long after its flow
 	// was classified, forcing reclassification — the paper's §4.6
@@ -54,31 +59,54 @@ func (c CDBConfig) withDefaults() CDBConfig {
 }
 
 // cdbRecord is one CDB entry. Together with its map key it corresponds to
-// the paper's 194-bit record (hash + λ + label).
+// the paper's 194-bit record (hash + λ + label). ord is bookkeeping for
+// the incremental sweep (the record's slot in CDB.order), never
+// serialized.
 type cdbRecord struct {
 	label        corpus.Class
 	lastSeen     time.Duration
 	lambda       time.Duration
 	classifiedAt time.Duration
+	ord          int
 }
 
 // CDB is the Classification Database: flow ID -> class label, with the
 // paper's two purge policies. It is safe for concurrent use.
+//
+// The inactivity purge is incremental: alongside the record map the CDB
+// keeps a dense scan ring of live IDs (order) and a cursor (sweepPos).
+// Each insert advances the cursor over a bounded quota of records —
+// ⌈size/PurgeEvery⌉, so a full pass completes within PurgeEvery inserts,
+// matching the historical full-scan cadence — removing the idle ones it
+// passes. Removal is O(1) swap-remove from the ring. The historical
+// behaviour held the lock for a whole-table scan on every PurgeEvery-th
+// insert, a tail-latency spike proportional to table size.
 type CDB struct {
 	cfg CDBConfig
 
-	mu                sync.Mutex
-	records           map[ID]cdbRecord
-	sinceLastSweep    int
-	removedByClose    int
-	removedByIdle     int
-	removedByPressure int
-	insertions        int
-	imported          int
-	importDropped     int
-	reinsertedFlows   map[ID]struct{}
-	reinsertions      int
-	expired           int
+	mu              sync.Mutex
+	records         map[ID]cdbRecord
+	order           []ID // dense ring of live IDs; records[id].ord indexes it
+	sweepPos        int  // incremental sweep cursor into order
+	reinsertedFlows map[ID]struct{}
+
+	// Counters are atomics (padded off the mutable state above) so
+	// Stats() and Size() are lock-free snapshots — a metrics scrape never
+	// serializes against the shard's insert/lookup path. Writers mutate
+	// them under mu, keeping counter updates ordered with the map state
+	// they describe.
+	_                 stats.CacheLinePad
+	size              atomic.Int64 // gauge: len(records)
+	insertions        atomic.Int64
+	removedByClose    atomic.Int64
+	removedByIdle     atomic.Int64
+	removedByPressure atomic.Int64
+	imported          atomic.Int64
+	importDropped     atomic.Int64
+	reinsertions      atomic.Int64
+	expired           atomic.Int64
+	sweepExamined     atomic.Int64 // records examined by incremental sweep steps
+	_                 stats.CacheLinePad
 }
 
 // NewCDB returns an empty CDB.
@@ -88,6 +116,43 @@ func NewCDB(cfg CDBConfig) *CDB {
 		records:         make(map[ID]cdbRecord),
 		reinsertedFlows: make(map[ID]struct{}),
 	}
+}
+
+// putLocked stores a record, keeping the scan ring consistent: an update
+// reuses the existing slot, a new record appends one. Caller holds c.mu.
+func (c *CDB) putLocked(id ID, rec cdbRecord) {
+	if old, ok := c.records[id]; ok {
+		rec.ord = old.ord
+		c.records[id] = rec
+		return
+	}
+	rec.ord = len(c.order)
+	c.order = append(c.order, id)
+	c.records[id] = rec
+	c.size.Store(int64(len(c.records)))
+}
+
+// deleteLocked removes a record and swap-fills its scan-ring slot with
+// the last entry, so the ring stays dense in O(1). Caller holds c.mu.
+func (c *CDB) deleteLocked(id ID) {
+	rec, ok := c.records[id]
+	if !ok {
+		return
+	}
+	last := len(c.order) - 1
+	moved := c.order[last]
+	c.order[rec.ord] = moved
+	if moved != id {
+		m := c.records[moved]
+		m.ord = rec.ord
+		c.records[moved] = m
+	}
+	c.order = c.order[:last]
+	delete(c.records, id)
+	if c.sweepPos >= len(c.order) {
+		c.sweepPos = 0
+	}
+	c.size.Store(int64(len(c.records)))
 }
 
 // Lookup returns the class of a known flow and refreshes its activity
@@ -102,8 +167,8 @@ func (c *CDB) Lookup(id ID, now time.Duration) (corpus.Class, bool) {
 	}
 	if c.cfg.MaxAge > 0 && now-rec.classifiedAt > c.cfg.MaxAge {
 		// Stale label: expire the record so the flow is reclassified.
-		delete(c.records, id)
-		c.expired++
+		c.deleteLocked(id)
+		c.expired.Add(1)
 		return 0, false
 	}
 	if gap := now - rec.lastSeen; gap > 0 {
@@ -114,14 +179,14 @@ func (c *CDB) Lookup(id ID, now time.Duration) (corpus.Class, bool) {
 	return rec.label, true
 }
 
-// Insert stores a newly classified flow and runs the periodic inactivity
-// sweep when due.
+// Insert stores a newly classified flow and advances the incremental
+// inactivity sweep by one bounded step.
 func (c *CDB) Insert(id ID, label corpus.Class, now time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
 	if _, seen := c.reinsertedFlows[id]; seen {
-		c.reinsertions++
+		c.reinsertions.Add(1)
 	} else {
 		// The first-insertion memory is accounting state, not routing
 		// state; under a MaxRecords cap it must stay bounded too, so it
@@ -132,21 +197,65 @@ func (c *CDB) Insert(id ID, label corpus.Class, now time.Duration) {
 		}
 		c.reinsertedFlows[id] = struct{}{}
 	}
-	c.records[id] = cdbRecord{
+	c.putLocked(id, cdbRecord{
 		label:        label,
 		lastSeen:     now,
 		lambda:       c.cfg.DefaultLambda,
 		classifiedAt: now,
-	}
-	c.insertions++
-	c.sinceLastSweep++
-	if c.cfg.PurgeInactive && c.sinceLastSweep >= c.cfg.PurgeEvery {
-		c.sweepLocked(now)
-		c.sinceLastSweep = 0
+	})
+	c.insertions.Add(1)
+	// The historical trigger fired its first (full) sweep on the
+	// PurgeEvery-th insert; the incremental sweep keeps that activation
+	// point — a database that never reaches PurgeEvery insertions never
+	// purges by idleness, exactly as before — and from then on pays the
+	// same aggregate scan rate in bounded per-insert slices.
+	if c.cfg.PurgeInactive && c.insertions.Load() >= int64(c.cfg.PurgeEvery) {
+		c.sweepStepLocked(now, c.sweepQuotaLocked())
 	}
 	if c.cfg.MaxRecords > 0 && len(c.records) > c.cfg.MaxRecords {
 		c.relieveLocked(now)
 	}
+}
+
+// sweepQuotaLocked is the per-insert incremental sweep budget:
+// ⌈size/PurgeEvery⌉, i.e. the historical one-full-scan-per-PurgeEvery-
+// inserts scan rate paid in constant-bounded slices. With MaxRecords set
+// the quota never exceeds ⌈(MaxRecords+1)/PurgeEvery⌉ (the table is
+// relieved back under the cap on the same insert that overflows it), so
+// per-insert sweep work has a hard bound — pinned by
+// TestCDBIncrementalSweepBoundedPerInsert. Caller holds c.mu.
+func (c *CDB) sweepQuotaLocked() int {
+	q := (len(c.records) + c.cfg.PurgeEvery - 1) / c.cfg.PurgeEvery
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// sweepStepLocked examines up to quota records at the sweep cursor,
+// removing those idle past n·λ, and wraps the cursor at the ring's end.
+// When a record is removed, the swap-filled slot is examined next rather
+// than skipped, so a pass misses nothing. Caller holds c.mu.
+func (c *CDB) sweepStepLocked(now time.Duration, quota int) int {
+	removed := 0
+	examined := 0
+	for examined < quota && len(c.order) > 0 {
+		if c.sweepPos >= len(c.order) {
+			c.sweepPos = 0
+		}
+		id := c.order[c.sweepPos]
+		rec := c.records[id]
+		examined++
+		if now-rec.lastSeen > time.Duration(c.cfg.N*float64(rec.lambda)) {
+			c.deleteLocked(id)
+			removed++
+		} else {
+			c.sweepPos++
+		}
+	}
+	c.sweepExamined.Add(int64(examined))
+	c.removedByIdle.Add(int64(removed))
+	return removed
 }
 
 // relieveLocked enforces MaxRecords: an inactivity sweep first, then
@@ -154,7 +263,7 @@ func (c *CDB) Insert(id ID, label corpus.Class, now time.Duration) {
 // selection runs once per MaxRecords/8 overflowing inserts rather than on
 // every one. Caller holds c.mu.
 func (c *CDB) relieveLocked(now time.Duration) {
-	c.sweepLocked(now)
+	c.fullSweepLocked(now)
 	target := c.cfg.MaxRecords - c.cfg.MaxRecords/8
 	if target < 1 {
 		target = 1
@@ -171,10 +280,12 @@ func (c *CDB) relieveLocked(now time.Duration) {
 		all = append(all, aged{id, rec.lastSeen})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].lastSeen < all[j].lastSeen })
+	evict := int64(0)
 	for _, a := range all[:len(all)-target] {
-		delete(c.records, a.id)
-		c.removedByPressure++
+		c.deleteLocked(a.id)
+		evict++
 	}
+	c.removedByPressure.Add(evict)
 }
 
 // Peek returns the class of a known flow without refreshing its activity
@@ -202,37 +313,36 @@ func (c *CDB) Close(id ID) bool {
 	if _, ok := c.records[id]; !ok {
 		return false
 	}
-	delete(c.records, id)
-	c.removedByClose++
+	c.deleteLocked(id)
+	c.removedByClose.Add(1)
 	return true
 }
 
 // Sweep removes every record idle longer than n·λ at the given time and
-// returns how many were removed. It is also invoked automatically every
-// PurgeEvery insertions.
+// returns how many were removed — the on-demand full scan. The periodic
+// purge no longer runs this whole-table form; it advances incrementally
+// on each insert (see CDB and sweepStepLocked).
 func (c *CDB) Sweep(now time.Duration) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.sweepLocked(now)
+	return c.fullSweepLocked(now)
 }
 
-func (c *CDB) sweepLocked(now time.Duration) int {
-	removed := 0
+func (c *CDB) fullSweepLocked(now time.Duration) int {
+	removed := int64(0)
 	for id, rec := range c.records {
 		if now-rec.lastSeen > time.Duration(c.cfg.N*float64(rec.lambda)) {
-			delete(c.records, id)
+			c.deleteLocked(id)
 			removed++
 		}
 	}
-	c.removedByIdle += removed
-	return removed
+	c.removedByIdle.Add(removed)
+	return int(removed)
 }
 
-// Size returns the number of live records.
+// Size returns the number of live records. Lock-free.
 func (c *CDB) Size() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.records)
+	return int(c.size.Load())
 }
 
 // CDBStats is a snapshot of CDB accounting.
@@ -256,6 +366,10 @@ type CDBStats struct {
 	Reinsertions int
 	// Expired counts records dropped by the MaxAge reclassification rule.
 	Expired int
+	// SweepExamined counts records examined by incremental inactivity
+	// sweep steps — per-insert purge work made visible, so tests (and
+	// operators) can pin the amortization bound.
+	SweepExamined int
 }
 
 // add accumulates s into the receiver (used by ParallelEngine).
@@ -269,22 +383,25 @@ func (a *CDBStats) add(s CDBStats) {
 	a.RemovedByPressure += s.RemovedByPressure
 	a.Reinsertions += s.Reinsertions
 	a.Expired += s.Expired
+	a.SweepExamined += s.SweepExamined
 }
 
-// Stats returns a snapshot of the CDB counters.
+// Stats returns a snapshot of the CDB counters. Lock-free: each counter
+// is read atomically, so a scrape concurrent with inserts may catch a
+// record counted in Insertions but not yet in Size (or vice versa);
+// counts are exact at quiescence.
 func (c *CDB) Stats() CDBStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return CDBStats{
-		Size:              len(c.records),
-		Insertions:        c.insertions,
-		RemovedByClose:    c.removedByClose,
-		RemovedByIdle:     c.removedByIdle,
-		Imported:          c.imported,
-		ImportDropped:     c.importDropped,
-		RemovedByPressure: c.removedByPressure,
-		Reinsertions:      c.reinsertions,
-		Expired:           c.expired,
+		Size:              int(c.size.Load()),
+		Insertions:        int(c.insertions.Load()),
+		RemovedByClose:    int(c.removedByClose.Load()),
+		RemovedByIdle:     int(c.removedByIdle.Load()),
+		Imported:          int(c.imported.Load()),
+		ImportDropped:     int(c.importDropped.Load()),
+		RemovedByPressure: int(c.removedByPressure.Load()),
+		Reinsertions:      int(c.reinsertions.Load()),
+		Expired:           int(c.expired.Load()),
+		SweepExamined:     int(c.sweepExamined.Load()),
 	}
 }
 

@@ -1,0 +1,209 @@
+package flow
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/packet"
+)
+
+// synthID builds a distinct flow ID without hashing a tuple — enough IDs
+// for large-table CDB tests.
+func synthID(n uint64) ID {
+	var id ID
+	binary.BigEndian.PutUint64(id[:8], n)
+	return id
+}
+
+// checkRingLocked asserts the scan ring is a dense, consistent index of
+// the record map: same cardinality, every ord slot round-trips.
+func checkRing(t *testing.T, c *CDB) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.order) != len(c.records) {
+		t.Fatalf("scan ring has %d slots for %d records", len(c.order), len(c.records))
+	}
+	for id, rec := range c.records {
+		if rec.ord < 0 || rec.ord >= len(c.order) {
+			t.Fatalf("record ord %d out of ring range %d", rec.ord, len(c.order))
+		}
+		if c.order[rec.ord] != id {
+			t.Fatalf("ring slot %d holds a different id than its record claims", rec.ord)
+		}
+	}
+}
+
+// The headline bound of the incremental purge: per-insert sweep work is
+// hard-capped at ⌈(MaxRecords+1)/PurgeEvery⌉ examined records, however
+// large the table, however stale its contents. The historical behaviour
+// examined the whole table on every PurgeEvery-th insert.
+func TestCDBIncrementalSweepBoundedPerInsert(t *testing.T) {
+	const maxRecords = 1000
+	const purgeEvery = 100
+	cdb := NewCDB(CDBConfig{
+		PurgeInactive: true,
+		N:             4,
+		DefaultLambda: time.Millisecond,
+		PurgeEvery:    purgeEvery,
+		MaxRecords:    maxRecords,
+	})
+	bound := (maxRecords + 1 + purgeEvery - 1) / purgeEvery
+	prev := 0
+	// Advance time so earlier records go stale as later ones arrive: the
+	// sweep constantly has work to do, the worst case for a purge design.
+	for i := 0; i < 5000; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		cdb.Insert(synthID(uint64(i)), corpus.Text, now)
+		examined := cdb.Stats().SweepExamined
+		if got := examined - prev; got > bound {
+			t.Fatalf("insert %d examined %d records, bound %d", i, got, bound)
+		}
+		prev = examined
+		if size := cdb.Size(); size > maxRecords {
+			t.Fatalf("insert %d left %d records, cap %d", i, size, maxRecords)
+		}
+	}
+	checkRing(t, cdb)
+}
+
+// MaxRecords stays a hard bound under the incremental purge, and the
+// record-accounting conservation law holds at quiescence:
+// Insertions + Imported == Size + every removal counter + Reinsertions'
+// replaced records... simplified here to the always-active case where
+// only pressure evicts.
+func TestCDBMaxRecordsBoundWithIncrementalPurge(t *testing.T) {
+	const maxRecords = 512
+	cdb := NewCDB(CDBConfig{
+		PurgeInactive: true,
+		DefaultLambda: time.Hour, // nothing ever goes idle
+		PurgeEvery:    50,
+		MaxRecords:    maxRecords,
+	})
+	for i := 0; i < 10_000; i++ {
+		cdb.Insert(synthID(uint64(i)), corpus.Binary, time.Duration(i)*time.Microsecond)
+		if size := cdb.Size(); size > maxRecords {
+			t.Fatalf("insert %d left %d records, cap %d", i, size, maxRecords)
+		}
+	}
+	st := cdb.Stats()
+	if st.RemovedByIdle != 0 {
+		t.Errorf("always-active records counted idle: %d", st.RemovedByIdle)
+	}
+	if st.RemovedByPressure == 0 {
+		t.Error("10000 inserts into a 512 cap evicted nothing by pressure")
+	}
+	if got := st.Size + st.RemovedByPressure; got != st.Insertions {
+		t.Errorf("Size+RemovedByPressure = %d, want Insertions = %d", got, st.Insertions)
+	}
+	checkRing(t, cdb)
+}
+
+// The scan ring must stay consistent under every mutation path: insert,
+// re-insert (slot reuse), FIN/RST close, MaxAge expiry via Lookup,
+// migration take/install, and full sweeps.
+func TestCDBScanRingConsistentUnderChurn(t *testing.T) {
+	cdb := NewCDB(CDBConfig{
+		PurgeOnClose:  true,
+		PurgeInactive: true,
+		DefaultLambda: 50 * time.Millisecond,
+		PurgeEvery:    7,
+		MaxAge:        3 * time.Second,
+		MaxRecords:    64,
+	})
+	for i := 0; i < 2000; i++ {
+		now := time.Duration(i) * 20 * time.Millisecond
+		switch i % 5 {
+		case 0, 1, 2:
+			cdb.Insert(synthID(uint64(i%97)), corpus.Class(i%int(corpus.NumClasses)), now)
+		case 3:
+			cdb.Close(synthID(uint64((i - 1) % 97)))
+		case 4:
+			cdb.Lookup(synthID(uint64((i-2)%97)), now)
+		}
+		if i%251 == 0 {
+			checkRing(t, cdb)
+		}
+	}
+	// Migration churn: take a predicate slice out, install it back.
+	taken := cdb.takeEntries(func(id ID) bool { return id[7]%2 == 0 })
+	checkRing(t, cdb)
+	cdb.installEntries(taken)
+	checkRing(t, cdb)
+	cdb.Sweep(time.Hour)
+	checkRing(t, cdb)
+}
+
+// Lock-free Stats under fire: shards classify from several goroutines
+// while observers hammer every snapshot surface. Run under -race this is
+// the data-race proof for the padded atomic counter block; at quiescence
+// the conservation law must hold exactly.
+func TestStatsLockFreeUnderLoad(t *testing.T) {
+	pe, err := NewParallelEngine(EngineConfig{
+		BufferSize: 16,
+		Classifier: firstByteClassifier(),
+		CDB:        CDBConfig{PurgeOnClose: true, PurgeInactive: true, PurgeEvery: 32, MaxRecords: 256},
+		MaxPending: 64,
+	}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const flowsPerWriter = 400
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() { // observer: every lock-free read surface, in a tight loop
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := pe.Stats()
+			if s.Admitted < 0 || s.Pending < 0 || s.CDB.Size < 0 {
+				panic("negative counter in snapshot")
+			}
+			pe.LatencyHistograms()
+			for _, shard := range pe.shards {
+				shard.Degraded()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := "TTTTTTTTTTTTTTTT" // fills b=16 in one packet
+			for i := 0; i < flowsPerWriter; i++ {
+				tp := tuple(uint16(w*flowsPerWriter+i+1), packet.TCP)
+				at := time.Duration(i) * time.Millisecond
+				if _, err := pe.Process(dataPacket(tp, at, payload)); err != nil {
+					panic(err)
+				}
+				// Revisit: exercise the lock-free CDB-hit fast path.
+				if _, err := pe.Process(dataPacket(tp, at+time.Microsecond, "x")); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	if _, err := pe.FlushAll(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := pe.Stats()
+	if got := s.Classified + s.Fallback + s.Dropped + s.Pending; got != s.Admitted {
+		t.Errorf("conservation: Classified+Fallback+Dropped+Pending = %d, want Admitted = %d", got, s.Admitted)
+	}
+	if s.Classified == 0 {
+		t.Error("no flows classified under load")
+	}
+}

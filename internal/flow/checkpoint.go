@@ -28,20 +28,23 @@ func (e *Engine) ExportCheckpoint() []byte {
 }
 
 func (e *Engine) exportCheckpointLocked() []byte {
+	// e.mu is held, so no counter moves while the snapshot is encoded —
+	// atomic loads here read a mutually consistent set.
+	r := e.restored.Load()
 	var enc persist.Encoder
 	enc.U32(uint32(corpus.NumClasses))
-	for _, q := range e.queued {
-		enc.I64(int64(q))
+	for i := range e.ec.queued {
+		enc.I64(e.ec.queued[i].Load() + int64(r.QueueCounts[i]))
 	}
-	enc.I64(int64(len(e.fills) + e.restored.Classified))
+	enc.I64(e.ec.classified.Load() + int64(r.Classified))
 	// Pending flows are not persisted, so they must not count as admitted
 	// in the snapshot or the conservation law breaks on resume.
-	enc.I64(int64(e.admitted + e.restored.Admitted - len(e.pend)))
-	enc.I64(int64(e.shed + e.restored.Shed))
-	enc.I64(int64(e.evicted + e.restored.Evicted))
-	enc.I64(int64(e.dropped + e.restored.Dropped))
-	enc.I64(int64(e.failed + e.restored.Failed))
-	enc.I64(int64(e.fallback + e.restored.Fallback))
+	enc.I64(e.ec.admitted.Load() + int64(r.Admitted) - int64(len(e.pend)))
+	enc.I64(e.ec.shed.Load() + int64(r.Shed))
+	enc.I64(e.ec.evicted.Load() + int64(r.Evicted))
+	enc.I64(e.ec.dropped.Load() + int64(r.Dropped))
+	enc.I64(e.ec.failed.Load() + int64(r.Failed))
+	enc.I64(e.ec.fallback.Load() + int64(r.Fallback))
 	enc.Blob(e.cdb.exportLocked())
 	return enc.Bytes()
 }
@@ -92,16 +95,21 @@ func (e *Engine) ImportCheckpoint(data []byte) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.restored.Classified += s.Classified
-	e.restored.Admitted += s.Admitted
-	e.restored.Shed += s.Shed
-	e.restored.Evicted += s.Evicted
-	e.restored.Dropped += s.Dropped
-	e.restored.Failed += s.Failed
-	e.restored.Fallback += s.Fallback
+	// The restored baseline is an immutable snapshot behind an atomic
+	// pointer (so the lock-free Stats can fold it in); build the updated
+	// copy and publish it whole.
+	next := *e.restored.Load()
+	next.Classified += s.Classified
+	next.Admitted += s.Admitted
+	next.Shed += s.Shed
+	next.Evicted += s.Evicted
+	next.Dropped += s.Dropped
+	next.Failed += s.Failed
+	next.Fallback += s.Fallback
 	for i := range s.QueueCounts {
-		e.restored.QueueCounts[i] += s.QueueCounts[i]
+		next.QueueCounts[i] += s.QueueCounts[i]
 	}
+	e.restored.Store(&next)
 	return nil
 }
 

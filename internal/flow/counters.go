@@ -1,0 +1,48 @@
+package flow
+
+import (
+	"sync/atomic"
+
+	"iustitia/internal/corpus"
+	"iustitia/internal/stats"
+)
+
+// engineCounters is a shard's governor accounting, kept as atomics so
+// Stats() is a lock-free snapshot: metrics endpoints, health probes, and
+// the ops probation watcher can read a serving shard without touching
+// e.mu (previously every Stats call serialized against the packet path,
+// and a ParallelEngine.Stats swept all shard locks in turn).
+//
+// Writers still hold e.mu for the state the counters describe (the
+// pending map, the LRU, the fills slice), so counter updates stay
+// ordered with respect to each other on a shard; the atomics exist for
+// the readers. One consequence: a reader can observe a conservation gap
+// of a packet in flight (admitted bumped, classified not yet) — the
+// invariant Admitted == Classified + Fallback + Dropped + Pending is
+// exact only at quiescence, which is when the tests assert it.
+//
+// The block is padded on both ends so observer reads never bounce the
+// cache line holding e.mu (immediately before it in Engine) or the
+// checkpoint fields after it. Counters within the block share lines
+// deliberately: they are written by the shard's own goroutine(s) under
+// e.mu, so intra-block sharing costs nothing, while padding each
+// counter would add ~1.5 KiB per shard for no win. The exception is
+// queued: the CDB-hit fast path bumps it without taking e.mu at all
+// (see ProcessID), which is what makes a cache-resident flow's packet
+// lock-free end to end.
+type engineCounters struct {
+	_           stats.CacheLinePad
+	admitted    atomic.Int64 // pending entries ever created
+	shed        atomic.Int64 // flows refused admission, routed to fallback
+	evicted     atomic.Int64 // pending flows force-retired to respect MaxPending
+	dropped     atomic.Int64 // flows retired without any label
+	failed      atomic.Int64 // classifier errors + recovered panics
+	fallback    atomic.Int64 // flows labelled FallbackClass by failure/degraded mode
+	classified  atomic.Int64 // real classifications (mirrors len(e.fills))
+	pending     atomic.Int64 // gauge: len(e.pend)
+	migratedIn  atomic.Int64 // flows (pending + CDB records) installed by migration
+	migratedOut atomic.Int64 // flows (pending + CDB records) removed by migration
+	degraded    atomic.Bool  // short-circuiting to fallback; probing for recovery
+	queued      [corpus.NumClasses]atomic.Int64
+	_           stats.CacheLinePad
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iustitia/internal/appheader"
@@ -204,7 +205,6 @@ type Engine struct {
 	rng      *rand.Rand // guarded by mu; drives random-skip draws
 	pend     map[ID]*pending
 	lru      *list.List // pending flow IDs, least recently active first
-	queued   [corpus.NumClasses]int
 	fills    []FillStats
 	labelled map[ID]corpus.Class // ground-truth-comparable outcomes, by flow
 
@@ -214,32 +214,30 @@ type Engine struct {
 	labelHead  int
 	labelCount int
 
-	// Governor accounting (guarded by mu).
-	admitted    int  // pending entries ever created
-	shed        int  // flows refused admission, routed to fallback
-	evicted     int  // pending flows force-retired to respect MaxPending
-	dropped     int  // flows retired without any label (evict/teardown/empty)
-	failed      int  // classifier errors + recovered panics
-	fallback    int  // flows labelled FallbackClass by failure or degraded mode
-	migratedIn  int  // flows (pending + CDB records) installed by migration
-	migratedOut int  // flows (pending + CDB records) removed by migration
-	consecFails int  // consecutive classifier failures
-	degraded    bool // short-circuiting to fallback; probing for recovery
-	sinceProbe  int  // classify attempts since the last degraded-mode probe
+	// Governor accounting: the padded atomic block Stats() snapshots
+	// lock-free (see counters.go). Mutated under e.mu except where noted.
+	ec engineCounters
 
-	// Checkpoint state (guarded by mu): classifications since the last
-	// periodic snapshot, and the counter baselines restored by
+	// Governor internals (guarded by mu); not exported by Stats, so they
+	// stay plain ints.
+	consecFails int // consecutive classifier failures
+	sinceProbe  int // classify attempts since the last degraded-mode probe
+
+	// Checkpoint state: classifications since the last periodic snapshot
+	// (guarded by mu), and the counter baselines restored by
 	// ImportCheckpoint (folded into Stats so counts continue across a
-	// restart).
+	// restart). restored is an atomic pointer to an immutable snapshot so
+	// the lock-free Stats can fold it in; ImportCheckpoint replaces the
+	// whole value under mu.
 	sinceCkpt int
-	restored  EngineStats
+	restored  atomic.Pointer[EngineStats]
 
-	// Live-ops instrumentation (guarded by mu): per-shard classification
-	// latency histogram (log2-microsecond bins, see latencyHistogram), and
-	// a small ring of recently classified full payload buffers used to
-	// shadow-test hot-swap candidate models against real traffic
-	// (buffered mode only; stream mode discards payload by design).
-	latency    *stats.Histogram
+	// Live-ops instrumentation: per-shard classification latency histogram
+	// (log2-microsecond bins, lock-free — see latencyHistogram), and a
+	// small ring of recently classified full payload buffers (guarded by
+	// mu) used to shadow-test hot-swap candidate models against real
+	// traffic (buffered mode only; stream mode discards payload by design).
+	latency    *stats.ConcurrentHistogram
 	samples    [][]byte
 	sampleNext int
 }
@@ -275,6 +273,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		lru:     list.New(),
 		latency: newLatencyHistogram(),
 	}
+	e.restored.Store(&EngineStats{})
 	if cfg.Stream != nil {
 		vclf, ok := cfg.Classifier.(VectorClassifier)
 		if !ok {
@@ -344,16 +343,16 @@ func (e *Engine) ProcessID(id ID, p *packet.Packet) (Verdict, error) {
 		e.mu.Lock()
 		if fl := e.pend[id]; fl != nil {
 			e.retireLocked(id, fl)
-			e.dropped++
+			e.ec.dropped.Add(1)
 		}
 		e.mu.Unlock()
 		return Verdict{}, nil
 	}
 
 	if label, ok := e.cdb.Lookup(id, p.Time); ok {
-		e.mu.Lock()
-		e.queued[label]++
-		e.mu.Unlock()
+		// The CDB-hit fast path — the common case once a flow is labelled —
+		// no longer takes e.mu at all: the queue counter is atomic.
+		e.ec.queued[label].Add(1)
 		return Verdict{Queue: label, Routed: true, FromCDB: true}, nil
 	}
 	if !p.IsData() {
@@ -382,7 +381,8 @@ func (e *Engine) processData(id ID, p *packet.Packet) (Verdict, error) {
 		fl = &pending{firstSeen: p.Time, skipLeft: -1}
 		fl.elem = e.lru.PushBack(id)
 		e.pend[id] = fl
-		e.admitted++
+		e.ec.admitted.Add(1)
+		e.ec.pending.Add(1)
 	} else {
 		e.lru.MoveToBack(fl.elem)
 	}
@@ -500,6 +500,7 @@ func (fl *pending) continueHeader(payload []byte) []byte {
 // list. Caller holds e.mu.
 func (e *Engine) retireLocked(id ID, fl *pending) {
 	delete(e.pend, id)
+	e.ec.pending.Add(-1)
 	if fl.elem != nil {
 		e.lru.Remove(fl.elem)
 		fl.elem = nil
@@ -523,7 +524,7 @@ func (e *Engine) classifyLocked(id ID, fl *pending, now time.Duration) (Verdict,
 	}
 	e.latency.Observe(latencyBinValue(time.Since(start)))
 	if err != nil {
-		e.dropped++
+		e.ec.dropped.Add(1)
 		return Verdict{}, fmt.Errorf("flow: classify: %w", err)
 	}
 	if !fellBack && !e.streaming() && len(fl.buf) >= e.cfg.BufferSize {
@@ -531,11 +532,12 @@ func (e *Engine) classifyLocked(id ID, fl *pending, now time.Duration) (Verdict,
 	}
 	e.cdb.Insert(id, label, now)
 	e.recordLabelLocked(id, label)
-	e.queued[label]++
+	e.ec.queued[label].Add(1)
 	e.sinceCkpt++
 	if fellBack {
-		e.fallback++
+		e.ec.fallback.Add(1)
 	} else {
+		e.ec.classified.Add(1)
 		e.fills = append(e.fills, FillStats{
 			Packets: fl.packets,
 			Delay:   now - fl.firstSeen,
@@ -582,7 +584,7 @@ func (e *Engine) flush(due func(*pending) bool, now time.Duration) (int, error) 
 		}
 		if !fl.hasData() {
 			e.retireLocked(id, fl)
-			e.dropped++
+			e.ec.dropped.Add(1)
 			continue
 		}
 		if _, err := e.classifyLocked(id, fl, now); err != nil {
@@ -678,39 +680,40 @@ func (a *EngineStats) add(s EngineStats) {
 	a.MigratedOut += s.MigratedOut
 }
 
-// Stats returns a snapshot of engine counters.
+// Stats returns a snapshot of engine counters. It is lock-free: every
+// counter is an atomic, so a metrics scrape or health probe never
+// serializes against the packet path. Counters are read one by one, so
+// a snapshot taken while packets are in flight can be transiently
+// inconsistent (e.g. Admitted bumped before Classified); the
+// conservation law is exact at quiescence.
 func (e *Engine) Stats() EngineStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	r := e.restored.Load()
 	s := EngineStats{
-		Pending:     len(e.pend),
-		Classified:  len(e.fills) + e.restored.Classified,
-		QueueCounts: e.queued,
+		Pending:     int(e.ec.pending.Load()),
+		Classified:  int(e.ec.classified.Load()) + r.Classified,
 		CDB:         e.cdb.Stats(),
-		Admitted:    e.admitted + e.restored.Admitted,
-		Shed:        e.shed + e.restored.Shed,
-		Evicted:     e.evicted + e.restored.Evicted,
-		Dropped:     e.dropped + e.restored.Dropped,
-		Failed:      e.failed + e.restored.Failed,
-		Fallback:    e.fallback + e.restored.Fallback,
-		MigratedIn:  e.migratedIn,
-		MigratedOut: e.migratedOut,
+		Admitted:    int(e.ec.admitted.Load()) + r.Admitted,
+		Shed:        int(e.ec.shed.Load()) + r.Shed,
+		Evicted:     int(e.ec.evicted.Load()) + r.Evicted,
+		Dropped:     int(e.ec.dropped.Load()) + r.Dropped,
+		Failed:      int(e.ec.failed.Load()) + r.Failed,
+		Fallback:    int(e.ec.fallback.Load()) + r.Fallback,
+		MigratedIn:  int(e.ec.migratedIn.Load()),
+		MigratedOut: int(e.ec.migratedOut.Load()),
 	}
 	for i := range s.QueueCounts {
-		s.QueueCounts[i] += e.restored.QueueCounts[i]
+		s.QueueCounts[i] = int(e.ec.queued[i].Load()) + r.QueueCounts[i]
 	}
-	if e.degraded {
+	if e.ec.degraded.Load() {
 		s.Degraded = 1
 	}
 	return s
 }
 
 // Degraded reports whether the engine is currently short-circuiting
-// classification to the fallback queue.
+// classification to the fallback queue. Lock-free.
 func (e *Engine) Degraded() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.degraded
+	return e.ec.degraded.Load()
 }
 
 // FillStats returns a copy of the per-flow buffering measurements gathered

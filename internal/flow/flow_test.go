@@ -116,6 +116,11 @@ func TestCDBLambdaUpdatesFromTraffic(t *testing.T) {
 }
 
 func TestCDBAutoSweepEveryN(t *testing.T) {
+	// The inactivity purge is incremental: each insert examines
+	// ⌈size/PurgeEvery⌉ records at a cursor, so every stale record is
+	// found within PurgeEvery inserts of going stale — the historical
+	// full-scan cadence, paid in bounded slices instead of one
+	// stop-the-shard scan.
 	cdb := NewCDB(CDBConfig{PurgeInactive: true, N: 1, DefaultLambda: time.Millisecond, PurgeEvery: 10})
 	// First 9 inserts at t=0 (they will all be stale by t=1s).
 	for i := 0; i < 9; i++ {
@@ -124,10 +129,16 @@ func TestCDBAutoSweepEveryN(t *testing.T) {
 	if cdb.Size() != 9 {
 		t.Fatalf("Size = %d, want 9", cdb.Size())
 	}
-	// The 10th insert arrives much later and triggers the sweep.
-	cdb.Insert(IDOf(tuple(200, packet.TCP)), corpus.Text, time.Second)
-	if got := cdb.Size(); got != 1 {
-		t.Errorf("auto-sweep left %d records, want 1", got)
+	// PurgeEvery more inserts at t=1s: a full incremental pass completes,
+	// purging all 9 stale records; the 10 fresh ones survive.
+	for i := 0; i < 10; i++ {
+		cdb.Insert(IDOf(tuple(uint16(200+i), packet.TCP)), corpus.Text, time.Second)
+	}
+	if got := cdb.Size(); got != 10 {
+		t.Errorf("incremental sweep left %d records, want 10 (the fresh ones)", got)
+	}
+	if got := cdb.Stats().RemovedByIdle; got != 9 {
+		t.Errorf("RemovedByIdle = %d, want 9", got)
 	}
 }
 

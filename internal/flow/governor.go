@@ -153,7 +153,7 @@ func (e *Engine) decideStreamLocked(sv *entest.StreamVector) (label corpus.Class
 // classification. Caller holds e.mu.
 func (e *Engine) decideWithLocked(classify func() (corpus.Class, error)) (label corpus.Class, fellBack bool, err error) {
 	f := e.cfg.Faults
-	if e.degraded {
+	if e.ec.degraded.Load() {
 		e.sinceProbe++
 		if e.sinceProbe < f.probeEvery() {
 			return e.cfg.FallbackClass, true, nil
@@ -162,11 +162,11 @@ func (e *Engine) decideWithLocked(classify func() (corpus.Class, error)) (label 
 	}
 	label, err = safeCall(classify)
 	if err != nil {
-		e.failed++
+		e.ec.failed.Add(1)
 		e.consecFails++
 		if f.Tolerate {
-			if f.tripAfter() > 0 && e.consecFails >= f.tripAfter() && !e.degraded {
-				e.degraded = true
+			if f.tripAfter() > 0 && e.consecFails >= f.tripAfter() && !e.ec.degraded.Load() {
+				e.ec.degraded.Store(true)
 				e.sinceProbe = 0
 			}
 			return e.cfg.FallbackClass, true, nil
@@ -174,7 +174,7 @@ func (e *Engine) decideWithLocked(classify func() (corpus.Class, error)) (label 
 		return 0, true, err
 	}
 	e.consecFails = 0
-	e.degraded = false // a successful probe (or call) restores normal mode
+	e.ec.degraded.Store(false) // a successful probe (or call) restores normal mode
 	return label, false, nil
 }
 
@@ -190,23 +190,23 @@ func (e *Engine) evictOneLocked(now time.Duration) {
 	}
 	id := front.Value.(ID)
 	fl := e.pend[id]
-	e.evicted++
+	e.ec.evicted.Add(1)
 	if e.cfg.Eviction == EvictClassifyPartial && fl.hasData() {
 		_, _ = e.classifyLocked(id, fl, now)
 		return
 	}
 	e.retireLocked(id, fl)
-	e.dropped++
+	e.ec.dropped.Add(1)
 }
 
 // shedLocked refuses admission for a new flow: it is routed to the
 // fallback queue and remembered in the CDB so its later packets are
 // answered without pending state. Caller holds e.mu.
 func (e *Engine) shedLocked(id ID, now time.Duration) Verdict {
-	e.shed++
+	e.ec.shed.Add(1)
 	e.cdb.Insert(id, e.cfg.FallbackClass, now)
 	e.recordLabelLocked(id, e.cfg.FallbackClass)
-	e.queued[e.cfg.FallbackClass]++
+	e.ec.queued[e.cfg.FallbackClass].Add(1)
 	e.sinceCkpt++
 	return Verdict{Queue: e.cfg.FallbackClass, Routed: true, Fallback: true}
 }

@@ -155,8 +155,8 @@ func (e *Engine) takeFlows(pred func(ID) bool) flowExport {
 		}
 		fx.pendings = append(fx.pendings, exportPending(id, fl))
 		e.retireLocked(id, fl)
-		e.admitted--
-		e.migratedOut++
+		e.ec.admitted.Add(-1)
+		e.ec.migratedOut.Add(1)
 	}
 	sortPendings(fx.pendings)
 	fx.records = e.cdb.takeEntries(pred)
@@ -277,9 +277,10 @@ func (e *Engine) installFlows(fx flowExport, migration bool) int {
 		e.convertModeLocked(fl, p.sketch)
 		fl.elem = e.lru.PushBack(p.id)
 		e.pend[p.id] = fl
-		e.admitted++
+		e.ec.admitted.Add(1)
+		e.ec.pending.Add(1)
 		if migration {
-			e.migratedIn++
+			e.ec.migratedIn.Add(1)
 		}
 		moved++
 		// Guard against a buffer-size mismatch between nodes: a flow
@@ -294,9 +295,7 @@ func (e *Engine) installFlows(fx flowExport, migration bool) int {
 	if len(fx.records) > 0 {
 		moved += e.cdb.installEntries(fx.records)
 		if migration {
-			e.mu.Lock()
-			e.migratedIn += len(fx.records)
-			e.mu.Unlock()
+			e.ec.migratedIn.Add(int64(len(fx.records)))
 		}
 	}
 	return moved

@@ -122,14 +122,22 @@ func (pe *ParallelEngine) RecordedLabel(t packet.FiveTuple) (corpus.Class, bool)
 	return pe.shardFor(IDOf(t)).RecordedLabel(t)
 }
 
-// StreamCounters returns the per-flow counter budget of stream mode (the
-// same on every shard), or 0 for a buffered engine.
+// StreamCounters returns the per-flow counter budget of stream mode, or
+// 0 for a buffered engine. The budget is engine-wide by construction:
+// NewParallelEngine copies one EngineConfig to every shard, varying only
+// the random-skip Seed, and the stream seed (StreamConfig.Seed) is
+// documented engine-wide so sketches migrate bit-exactly between shards.
+// Every shard therefore derives the identical (ε, δ, widths, b) counter
+// geometry, and shard 0 answers for all of them — an invariant pinned by
+// TestParallelStreamCountersUniform.
 func (pe *ParallelEngine) StreamCounters() int {
 	return pe.shards[0].StreamCounters()
 }
 
 // Stats aggregates counters across shards. Degraded is the number of
-// shards currently in degraded mode.
+// shards currently in degraded mode. The walk is lock-free: each shard's
+// Stats is an atomic snapshot (see Engine.Stats), so scraping a 16-shard
+// engine no longer acquires 16 shard locks in turn.
 func (pe *ParallelEngine) Stats() EngineStats {
 	var agg EngineStats
 	for _, shard := range pe.shards {

@@ -24,8 +24,8 @@ import (
 // bins reach ~16 s.
 const latencyBins = 24
 
-func newLatencyHistogram() *stats.Histogram {
-	h, err := stats.NewEmptyHistogram(latencyBins, 0, latencyBins)
+func newLatencyHistogram() *stats.ConcurrentHistogram {
+	h, err := stats.NewConcurrentHistogram(latencyBins, 0, latencyBins)
 	if err != nil {
 		// Unreachable: the geometry is a compile-time constant.
 		panic(err)
@@ -68,11 +68,11 @@ func (e *Engine) SampleBuffers() [][]byte {
 }
 
 // LatencyHistogram returns a snapshot of the engine's classification
-// latency histogram (log2-microsecond bins, see latencyBins).
+// latency histogram (log2-microsecond bins, see latencyBins). Lock-free:
+// the histogram's bins are atomics (stats.ConcurrentHistogram), so a
+// metrics scrape never serializes against the packet path.
 func (e *Engine) LatencyHistogram() *stats.Histogram {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.latency.Clone()
+	return e.latency.Snapshot()
 }
 
 // SetMaxPending retunes the pending-table cap live. The new cap governs

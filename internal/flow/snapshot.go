@@ -117,7 +117,7 @@ func (c *CDB) takeEntries(pred func(ID) bool) []cdbEntry {
 	for id, rec := range c.records {
 		if pred(id) {
 			taken = append(taken, cdbEntry{id, rec})
-			delete(c.records, id)
+			c.deleteLocked(id)
 		}
 	}
 	sortCDBEntries(taken)
@@ -141,13 +141,13 @@ func (c *CDB) installEntries(incoming []cdbEntry) int {
 				return incoming[i].rec.lastSeen < incoming[j].rec.lastSeen
 			})
 			dropped := len(incoming) - room
-			c.importDropped += dropped
+			c.importDropped.Add(int64(dropped))
 			incoming = incoming[dropped:]
 		}
 	}
 	for _, ent := range incoming {
-		c.records[ent.id] = ent.rec
-		c.imported++
+		c.putLocked(ent.id, ent.rec)
+		c.imported.Add(1)
 		// An imported flow has already been classified once; if its record
 		// is later purged and the flow comes back, that reclassification
 		// should count as a reinsertion, same as before the restart.

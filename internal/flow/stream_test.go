@@ -441,3 +441,36 @@ func TestStreamShardSeedUniform(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// StreamCounters on a ParallelEngine answers from shard 0 alone. That is
+// sound only if every shard derives the identical counter budget — this
+// pins the invariant: NewParallelEngine copies one EngineConfig per
+// shard, varying only the random-skip Seed, which the sketch geometry
+// must not depend on.
+func TestParallelStreamCountersUniform(t *testing.T) {
+	cfg := streamEngineConfig(newVecClassifier(), 128)
+	cfg.Seed = 42 // shard seeds become 42, 43, ... — budget must not care
+	pe, err := NewParallelEngine(cfg, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pe.StreamCounters()
+	if want <= 0 {
+		t.Fatalf("StreamCounters = %d, want positive budget in stream mode", want)
+	}
+	for i, shard := range pe.shards {
+		if got := shard.StreamCounters(); got != want {
+			t.Fatalf("shard %d budget %d diverges from shard 0's %d", i, got, want)
+		}
+	}
+	// Buffered engines answer 0 on every shard for the same reason.
+	buffered, err := NewParallelEngine(EngineConfig{BufferSize: 32, Classifier: firstByteClassifier()}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, shard := range buffered.shards {
+		if got := shard.StreamCounters(); got != 0 {
+			t.Fatalf("buffered shard %d budget %d, want 0", i, got)
+		}
+	}
+}

@@ -44,14 +44,27 @@ const (
 	defaultProbationPoll   = 25 * time.Millisecond
 )
 
+// ModelSurface is what the hot-swap pipeline needs from the serving
+// model: a single *core.Classifier shared by every shard satisfies it,
+// and so does a *core.ReplicaSet that fans one payload out to per-shard
+// replicas. Swap installs a candidate and returns the previous payload
+// for probation rollback; Kind and FeatureWidths describe what is
+// currently serving.
+type ModelSurface interface {
+	Swap(next *core.Classifier) (prev *core.Classifier)
+	Kind() core.ModelKind
+	FeatureWidths() []int
+}
+
 // Config assembles a Manager.
 type Config struct {
 	// Engine is the serving engine: reconfig fans out to its shards, and
 	// the hot-swap probation watches its degraded-shard count.
 	Engine *flow.ParallelEngine
-	// Classifier is the live model every shard classifies through;
-	// SWAP-MODEL flips its atomic model payload.
-	Classifier *core.Classifier
+	// Classifier is the live model surface every shard classifies
+	// through — a shared *core.Classifier or a *core.ReplicaSet;
+	// SWAP-MODEL flips its atomic model payload(s).
+	Classifier ModelSurface
 	// Classes is the number of output classes the deployment serves
 	// (corpus.NumClasses); a candidate model predicting over a different
 	// class set is refused.

@@ -1,0 +1,146 @@
+package ops
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"iustitia/internal/core"
+	"iustitia/internal/corpus"
+	"iustitia/internal/flow"
+	"iustitia/internal/ml/svm"
+	"iustitia/internal/packet"
+)
+
+// trainSVMClassifier trains a small SVM over the same geometry as
+// trainClassifier's CART, so the two make distinguishable swap
+// candidates (Kind differs) that both serve the deployment.
+func trainSVMClassifier(t *testing.T, seed int64) *core.Classifier {
+	t.Helper()
+	pool, err := corpus.NewGenerator(seed).Pool(12, 256, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := core.Train(pool, core.TrainConfig{
+		Kind: core.KindSVM,
+		Dataset: core.DatasetConfig{
+			Widths:     []int{1, 2},
+			Method:     core.MethodPrefix,
+			BufferSize: 8,
+			Seed:       seed,
+		},
+		SVM: svm.Config{Kernel: svm.RBF{Gamma: 50}, C: 1000, Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// The replica-swap churn proof: every shard classifies through its own
+// replica while SWAP-MODEL alternates two models through the manager.
+// Run under -race this is the data-race check for the ReplicaSet flip
+// fan-out; at quiescence the set must not be torn (every replica serves
+// the same model Kind) and flow accounting must conserve.
+func TestReplicaSwapChurnUnderLoad(t *testing.T) {
+	cart := trainClassifier(t, 1)
+	svmClf := trainSVMClassifier(t, 2)
+
+	const shards = 4
+	rs, err := core.NewReplicaSet(cart, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classifiers := make([]flow.Classifier, shards)
+	for i := range classifiers {
+		classifiers[i] = rs.Replica(i)
+	}
+	eng, err := flow.NewParallelEngine(flow.EngineConfig{
+		BufferSize: 8,
+		Classifier: cart,
+		Faults:     flow.FaultPolicy{Tolerate: true},
+	}, shards, classifiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(Config{
+		Engine:          eng,
+		Classifier:      rs,
+		Classes:         corpus.NumClasses,
+		BufferSize:      8,
+		ProbationWindow: 5 * time.Millisecond,
+		ProbationPoll:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blobs := [][]byte{jsonModel(t, cart), jsonModel(t, svmClf)}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := &packet.Packet{
+					Tuple:   opsTuple(uint16(w*10_000 + i + 1)),
+					Time:    time.Duration(i) * time.Millisecond,
+					Flags:   packet.FlagACK,
+					Payload: lowEntropy,
+				}
+				if _, err := eng.Process(p); err != nil {
+					panic(fmt.Sprintf("Process: %v", err))
+				}
+			}
+		}(w)
+	}
+
+	swaps := 0
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		_, err := m.SwapModel(blobs[swaps%2])
+		switch {
+		case err == nil:
+			swaps++
+		case errors.Is(err, ErrSwapBusy):
+			time.Sleep(time.Millisecond)
+		default:
+			close(stop)
+			wg.Wait()
+			t.Fatalf("swap %d: %v", swaps, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	waitSwapIdle(t, m)
+	if swaps < 2 {
+		t.Fatalf("only %d swaps landed in the churn window", swaps)
+	}
+
+	// Quiescent invariants: the set is not torn, and the ops surface
+	// agrees with what the shards serve.
+	want := rs.Kind()
+	for i := 0; i < rs.Len(); i++ {
+		if got := rs.Replica(i).Kind(); got != want {
+			t.Fatalf("replica %d serves %v, set reports %v: torn replica set", i, got, want)
+		}
+	}
+	if _, err := eng.FlushAll(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if got := s.Classified + s.Fallback + s.Dropped + s.Pending; got != s.Admitted {
+		t.Fatalf("conservation: %d classified+fallback+dropped+pending, %d admitted", got, s.Admitted)
+	}
+	if nm := m.NodeMetrics(); nm.Swap.Swaps != swaps {
+		t.Fatalf("manager counted %d swaps, test drove %d", nm.Swap.Swaps, swaps)
+	}
+}

@@ -41,6 +41,18 @@ type SwapResult struct {
 // probation: two overlapping swaps would make "previous model" ambiguous.
 var ErrSwapBusy = errors.New("ops: a model swap is already in progress")
 
+// gated runs fn under the ingest frame gate when a server is attached
+// (no frame mid-admission while the model surface flips); without a
+// server — tests, or a node still booting — fn runs directly, relying on
+// each replica's own atomic flip.
+func (m *Manager) gated(fn func()) {
+	if m.srv != nil {
+		m.srv.Reconfigure(fn)
+		return
+	}
+	fn()
+}
+
 // SwapModel runs the full pipeline on a candidate model blob. On any
 // verification failure the live model is untouched and the error says
 // why; on success the candidate is serving when this returns, with the
@@ -86,7 +98,13 @@ func (m *Manager) swapLocked(blob []byte) (SwapResult, error) {
 	}
 
 	baseline := m.cfg.Engine.Stats().Degraded
-	prev := m.cfg.Classifier.Swap(cand)
+	var prev *core.Classifier
+	// Under a ReplicaSet the flip touches one pointer per shard; running
+	// it inside the ingest frame gate means no packet is admitted while
+	// replicas disagree, so the swap stays observably atomic across the
+	// whole set (a single shared Classifier flips in one store and gains
+	// nothing, but the gate is cheap and the code stays uniform).
+	m.gated(func() { prev = m.cfg.Classifier.Swap(cand) })
 
 	m.mu.Lock()
 	m.swaps++
@@ -114,7 +132,9 @@ func (m *Manager) watchProbation(prev *core.Classifier, baseline int) {
 	for time.Now().Before(deadline) {
 		time.Sleep(m.cfg.ProbationPoll)
 		if m.cfg.Engine.Stats().Degraded > baseline {
-			m.cfg.Classifier.Swap(prev)
+			// Rollback restores every replica under the same frame gate the
+			// flip used, so the set never serves mixed payloads.
+			m.gated(func() { m.cfg.Classifier.Swap(prev) })
 			m.mu.Lock()
 			m.rollbacks++
 			m.lastSwap = "probation: new model tripped the degraded breaker; previous model restored"

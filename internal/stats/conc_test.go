@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// The concurrent histogram must bin identically to the plain one: same
+// clamping, same counts, for any sample.
+func TestConcurrentHistogramMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	plain, err := NewEmptyHistogram(24, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := NewConcurrentHistogram(24, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		// Include out-of-range samples to exercise edge clamping.
+		x := rng.Float64()*16 - 2
+		plain.Observe(x)
+		conc.Observe(x)
+	}
+	snap := conc.Snapshot()
+	if snap.Total != plain.Total {
+		t.Fatalf("Total = %d, want %d", snap.Total, plain.Total)
+	}
+	for i, c := range plain.Counts {
+		if snap.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d", i, snap.Counts[i], c)
+		}
+	}
+}
+
+// Concurrent writers plus a concurrent snapshotter: no sample may be
+// lost, and every snapshot's Total must equal the sum of its bins (the
+// invariant Snapshot promises even mid-write). Run under -race this is
+// also the data-race proof for the type.
+func TestConcurrentHistogramParallelObserve(t *testing.T) {
+	h, err := NewConcurrentHistogram(16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent snapshotter
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			sum := 0
+			for _, c := range s.Counts {
+				sum += c
+			}
+			if sum != s.Total {
+				panic("snapshot Total diverged from bin sum")
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Float64())
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	if got := h.Snapshot().Total; got != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestConcurrentHistogramRejectsBadBinning(t *testing.T) {
+	if _, err := NewConcurrentHistogram(0, 0, 1); err == nil {
+		t.Error("nbins=0 accepted")
+	}
+	if _, err := NewConcurrentHistogram(8, 1, 1); err == nil {
+		t.Error("hi==lo accepted")
+	}
+}
+
+// The padding types must actually span full cache lines — a silent
+// struct-layout change here would quietly reintroduce false sharing.
+func TestPaddingLayout(t *testing.T) {
+	if s := unsafe.Sizeof(CacheLinePad{}); s != CacheLineSize {
+		t.Errorf("CacheLinePad size = %d, want %d", s, CacheLineSize)
+	}
+	var p PaddedInt64
+	if s := unsafe.Sizeof(p); s < 2*CacheLineSize+8 {
+		t.Errorf("PaddedInt64 size = %d, want >= %d", s, 2*CacheLineSize+8)
+	}
+	p.Add(3)
+	p.Add(4)
+	if p.Load() != 7 {
+		t.Errorf("PaddedInt64 arithmetic broken: %d", p.Load())
+	}
+	p.Store(1)
+	if p.Load() != 1 {
+		t.Errorf("PaddedInt64 store broken: %d", p.Load())
+	}
+}
